@@ -1,0 +1,76 @@
+// Ablation for Section 5.2 / Example 5.1: subplan reuse guarded by
+// external dependency edges (Theorem 5.4) versus naive reuse keyed on the
+// relation set alone. The paper's point is that compensation operators make
+// equal relation sets insufficient for reuse; this bench quantifies it:
+// the guarded enumerator never deviates from the query's semantics, the
+// naive one returns wrong plans on a fraction of random queries.
+//
+// Usage: bench_ablation_dedges [queries] [num_rels]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "enumerate/enumerator.h"
+#include "exec/executor.h"
+#include "testing/random_data.h"
+#include "testing/random_query.h"
+
+namespace eca {
+namespace {
+
+int Run(int queries, int num_rels) {
+  int broken_naive = 0, broken_guarded = 0;
+  int64_t reuses_naive = 0, reuses_guarded = 0;
+  for (int seed = 0; seed < queries; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 31 + 17);
+    RandomDataOptions dopts;
+    RandomQueryOptions qopts;
+    qopts.num_rels = num_rels + seed % 2;
+    Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+    PlanPtr query = RandomQuery(rng, qopts, dopts);
+    CostModel cost = CostModel::FromDatabase(db);
+    for (bool unsafe : {false, true}) {
+      EnumeratorOptions opts;
+      opts.unsafe_ignore_dedges = unsafe;
+      TopDownEnumerator e(&cost, opts);
+      auto r = e.Optimize(*query);
+      if (r.plan == nullptr) continue;
+      bool ok = PlansEquivalentOn(*query, *r.plan, db);
+      if (unsafe) {
+        reuses_naive += r.stats.reuses;
+        if (!ok) ++broken_naive;
+      } else {
+        reuses_guarded += r.stats.reuses;
+        if (!ok) ++broken_guarded;
+      }
+    }
+  }
+  std::printf("==== Ablation: d-edge-guarded subplan reuse (Example 5.1) "
+              "====\n");
+  std::printf("%-34s %10s %14s\n", "", "reuses", "wrong plans");
+  std::printf("%-34s %10lld %10d/%d\n", "guarded (ExtDEdge, Theorem 5.4)",
+              static_cast<long long>(reuses_guarded), broken_guarded,
+              queries);
+  std::printf("%-34s %10lld %10d/%d\n", "naive (relation set only)",
+              static_cast<long long>(reuses_naive), broken_naive, queries);
+  if (broken_guarded != 0) {
+    std::printf("!! the guarded enumerator must never produce a wrong "
+                "plan\n");
+    return 1;
+  }
+  std::printf("\nguarded reuse: always correct; naive reuse returned %d "
+              "non-equivalent plan(s) — the compensation operators make "
+              "equal relation sets insufficient for reuse, exactly the "
+              "paper's Example 5.1.\n",
+              broken_naive);
+  return 0;
+}
+
+}  // namespace
+}  // namespace eca
+
+int main(int argc, char** argv) {
+  int queries = argc > 1 ? std::atoi(argv[1]) : 120;
+  int num_rels = argc > 2 ? std::atoi(argv[2]) : 4;
+  return eca::Run(queries, num_rels);
+}

@@ -1,0 +1,97 @@
+// Section 6.2: measured cost profiles of the four compensation operators.
+// lambda and gamma are single scans (linear); beta and gamma* are
+// best-match operations (n log n via null-pattern grouping / sorting).
+// Built on google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/executor.h"
+#include "testing/random_data.h"
+
+namespace eca {
+namespace {
+
+// An outerjoin-shaped input: R0 loj R1 materialized, so tuples carry the
+// relation-block NULL patterns the compensation operators see in practice.
+Relation MakeInput(int64_t rows) {
+  Rng rng(42);
+  RandomDataOptions opts;
+  opts.min_rows = static_cast<int>(rows);
+  opts.max_rows = static_cast<int>(rows);
+  opts.domain = std::max<int64_t>(4, rows / 4);
+  opts.empty_prob = 0;
+  Relation left = RandomRelation(rng, 0, opts);
+  Relation right = RandomRelation(rng, 1, opts);
+  return EvalJoin(JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p"), left,
+                  right);
+}
+
+void BM_Lambda(benchmark::State& state) {
+  Relation in = MakeInput(state.range(0));
+  PredRef p = EquiJoin(0, "b", 1, "b", "q");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalLambda(p, RelSet::Single(1), in));
+  }
+  state.SetComplexityN(in.NumRows());
+}
+BENCHMARK(BM_Lambda)->Range(1 << 8, 1 << 14)->Complexity(benchmark::oN);
+
+void BM_Gamma(benchmark::State& state) {
+  Relation in = MakeInput(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalGamma(RelSet::Single(1), in));
+  }
+  state.SetComplexityN(in.NumRows());
+}
+BENCHMARK(BM_Gamma)->Range(1 << 8, 1 << 14)->Complexity(benchmark::oN);
+
+void BM_Beta(benchmark::State& state) {
+  Relation joined = MakeInput(state.range(0));
+  // Nullified copies make best-match non-trivial.
+  Relation in = EvalLambda(EquiJoin(0, "b", 1, "b", "q"), RelSet::Single(1),
+                           joined);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalBeta(in));
+  }
+  state.SetComplexityN(in.NumRows());
+}
+BENCHMARK(BM_Beta)->Range(1 << 8, 1 << 14)->Complexity(benchmark::oNLogN);
+
+void BM_GammaStar(benchmark::State& state) {
+  Relation in = MakeInput(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvalGammaStar(RelSet::Single(1), RelSet::Single(0), in));
+  }
+  state.SetComplexityN(in.NumRows());
+}
+BENCHMARK(BM_GammaStar)->Range(1 << 8, 1 << 14)->Complexity(benchmark::oNLogN);
+
+void BM_BetaSorted(benchmark::State& state) {
+  Relation joined = MakeInput(state.range(0));
+  Relation in = EvalLambda(EquiJoin(0, "b", 1, "b", "q"), RelSet::Single(1),
+                           joined);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalBetaSorted(in));
+  }
+  state.SetComplexityN(in.NumRows());
+}
+BENCHMARK(BM_BetaSorted)->Range(1 << 8, 1 << 14)->Complexity(benchmark::oNLogN);
+
+void BM_BetaNaiveReference(benchmark::State& state) {
+  Relation joined = MakeInput(state.range(0));
+  Relation in = EvalLambda(EquiJoin(0, "b", 1, "b", "q"), RelSet::Single(1),
+                           joined);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalBetaNaive(in));
+  }
+  state.SetComplexityN(in.NumRows());
+}
+BENCHMARK(BM_BetaNaiveReference)
+    ->Range(1 << 8, 1 << 11)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+}  // namespace eca
+
+BENCHMARK_MAIN();

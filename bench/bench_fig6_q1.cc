@@ -1,0 +1,13 @@
+// Regenerates Figure 6(a)-(c): Q1 = R1 laj (R2 laj R3) on three database
+// scales, varying the antijoin selectivity f12. The paper reports P^ECA
+// winning at large f12 by up to 1.36x / 1.47x / 1.65x.
+
+#include "fig6_common.h"
+
+int main(int argc, char** argv) {
+  eca::bench::SweepConfig cfg;
+  cfg.figure = "Figure 6(a)-(c)";
+  cfg.which_query = 1;
+  if (argc > 1) cfg.iters = std::atoi(argv[1]);
+  return eca::bench::RunFig6Sweep(cfg);
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 6(d)-(f): Q2 adds the Lineitem join. The paper
+// reports P^ECA winning by up to 2.20x / 2.17x / 2.35x.
+
+#include "fig6_common.h"
+
+int main(int argc, char** argv) {
+  eca::bench::SweepConfig cfg;
+  cfg.figure = "Figure 6(d)-(f)";
+  cfg.which_query = 2;
+  if (argc > 1) cfg.iters = std::atoi(argv[1]);
+  return eca::bench::RunFig6Sweep(cfg);
+}

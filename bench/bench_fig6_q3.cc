@@ -1,0 +1,12 @@
+// Regenerates Figure 6(g)-(i): Q3 adds the Orders join. The paper reports
+// P^ECA winning by up to 2.20x / 2.45x / 2.84x, growing with scale.
+
+#include "fig6_common.h"
+
+int main(int argc, char** argv) {
+  eca::bench::SweepConfig cfg;
+  cfg.figure = "Figure 6(g)-(i)";
+  cfg.which_query = 3;
+  if (argc > 1) cfg.iters = std::atoi(argv[1]);
+  return eca::bench::RunFig6Sweep(cfg);
+}

@@ -1,0 +1,14 @@
+// Regenerates Table 3 (Theorems 4.4): the join reordering rules 14-25 —
+// the seven new compensated reorderings plus the five CBA-inherited ones —
+// verified by randomized execution of both sides.
+
+#include <cstdlib>
+
+#include "rule_bench_common.h"
+
+int main(int argc, char** argv) {
+  int trials = argc > 1 ? std::atoi(argv[1]) : 200;
+  return eca::bench::VerifyRuleTable(
+      "Table 3: join reordering rules 14-25 (Theorem 4.4)",
+      eca::PaperTable3Rules(), trials);
+}

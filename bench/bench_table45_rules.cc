@@ -1,0 +1,213 @@
+// Regenerates Tables 4 and 5 (Theorem 4.7 and Appendix B): the rules for
+// swapping adjacent lambda operators and for pulling lambda above join
+// operators, verified by randomized execution. Rule forms reconstructed
+// per Section 4.4; X = R0 loj[pa] R1 supplies the lambda's provenance
+// (q = pa, A = {R1}), Y = R2 is the join partner.
+
+#include <cstdlib>
+
+#include "rule_bench_common.h"
+
+namespace eca {
+namespace {
+
+RelSet R(int i) { return RelSet::Single(i); }
+
+PlanPtr LambdaX(PredRef pa) {
+  RelSet a = R(1);
+  PlanPtr base = Plan::Join(JoinOp::kLeftOuter, pa, Plan::Leaf(0),
+                            Plan::Leaf(1));
+  return Plan::Comp(CompOp::Lambda(std::move(pa), a), std::move(base));
+}
+PlanPtr BareX(PredRef pa) {
+  return Plan::Join(JoinOp::kLeftOuter, std::move(pa), Plan::Leaf(0),
+                    Plan::Leaf(1));
+}
+PredRef Fold(const PredRef& pb, const PredRef& pa) {
+  return Predicate::WithLabel(Predicate::And({pb, pa}), "pb&pa");
+}
+
+const std::vector<PaperRule>& LambdaRules() {
+  static const std::vector<PaperRule>* rules = new std::vector<PaperRule>{
+      {26, "swap independent lambdas",
+       "lambda[p1,{R1}](lambda[p2,{R2}](X)) = "
+       "lambda[p2,{R2}](lambda[p1,{R1}](X))",
+       [](PredRef pa, PredRef pb) {
+         PlanPtr base = Plan::Join(
+             JoinOp::kLeftOuter, pb,
+             Plan::Join(JoinOp::kLeftOuter, pa, Plan::Leaf(0),
+                        Plan::Leaf(1)),
+             Plan::Leaf(2));
+         return Plan::Comp(
+             CompOp::Lambda(pa, R(1)),
+             Plan::Comp(CompOp::Lambda(pb, R(2)), std::move(base)));
+       },
+       [](PredRef pa, PredRef pb) {
+         PlanPtr base = Plan::Join(
+             JoinOp::kLeftOuter, pb,
+             Plan::Join(JoinOp::kLeftOuter, pa, Plan::Leaf(0),
+                        Plan::Leaf(1)),
+             Plan::Leaf(2));
+         return Plan::Comp(
+             CompOp::Lambda(pb, R(2)),
+             Plan::Comp(CompOp::Lambda(pa, R(1)), std::move(base)));
+       },
+       {0, 1, 0, 2}},
+      {27, "swap dependent lambdas (outer references inner's attrs)",
+       "lambda[p1,{R1}](lambda[p2,{R2}](X)) = "
+       "lambda[p2,{R1,R2}](lambda[p1,{R1}](X)), p1 refs R2",
+       [](PredRef pa, PredRef pb) {
+         // pa joins R1-R2 (references the inner lambda's attrs {R2}).
+         PlanPtr base = Plan::Join(
+             JoinOp::kLeftOuter, pb,
+             Plan::Join(JoinOp::kLeftOuter, pa, Plan::Leaf(1),
+                        Plan::Leaf(2)),
+             Plan::Leaf(0));
+         return Plan::Comp(
+             CompOp::Lambda(pa, R(1)),
+             Plan::Comp(CompOp::Lambda(pb, R(2)), std::move(base)));
+       },
+       [](PredRef pa, PredRef pb) {
+         PlanPtr base = Plan::Join(
+             JoinOp::kLeftOuter, pb,
+             Plan::Join(JoinOp::kLeftOuter, pa, Plan::Leaf(1),
+                        Plan::Leaf(2)),
+             Plan::Leaf(0));
+         return Plan::Comp(
+             CompOp::Lambda(pb, R(1).Union(R(2))),
+             Plan::Comp(CompOp::Lambda(pa, R(1)), std::move(base)));
+       },
+       {1, 2, 0, 1}},
+      {28, "lambda x inner, predicate independent",
+       "lambda[pa,{R1}](X) join[pb] R2 = lambda[pa,{R1}](X join[pb] R2)",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kInner, std::move(pb),
+                           LambdaX(std::move(pa)), Plan::Leaf(2));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Plan::Comp(CompOp::Lambda(pa, R(1)),
+                           Plan::Join(JoinOp::kInner, std::move(pb),
+                                      BareX(pa), Plan::Leaf(2)));
+       },
+       {0, 1, 0, 2}},
+      {29, "lambda x inner, predicate references nullified attrs: fold",
+       "lambda[pa,{R1}](X) join[pb] R2 = X join[pb AND pa] R2",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kInner, std::move(pb),
+                           LambdaX(std::move(pa)), Plan::Leaf(2));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kInner, Fold(pb, pa), BareX(pa),
+                           Plan::Leaf(2));
+       },
+       {0, 1, 1, 2}},
+      {30, "lambda x left outerjoin (preserved side), independent",
+       "lambda[pa,{R1}](X) loj[pb] R2 = lambda[pa,{R1}](X loj[pb] R2)",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftOuter, std::move(pb),
+                           LambdaX(std::move(pa)), Plan::Leaf(2));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Plan::Comp(CompOp::Lambda(pa, R(1)),
+                           Plan::Join(JoinOp::kLeftOuter, std::move(pb),
+                                      BareX(pa), Plan::Leaf(2)));
+       },
+       {0, 1, 0, 2}},
+      {31, "lambda x left outerjoin (preserved side), dependent: widen+beta",
+       "lambda[pa,{R1}](X) loj[pb] R2 = "
+       "beta(lambda[pa,{R1,R2}](X loj[pb] R2))",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftOuter, std::move(pb),
+                           LambdaX(std::move(pa)), Plan::Leaf(2));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Plan::Comp(
+             CompOp::Beta(),
+             Plan::Comp(CompOp::Lambda(pa, R(1).Union(R(2))),
+                        Plan::Join(JoinOp::kLeftOuter, std::move(pb),
+                                   BareX(pa), Plan::Leaf(2))));
+       },
+       {0, 1, 1, 2}},
+      {32, "lambda below outerjoin null side, independent",
+       "R2 loj[pb] lambda[pa,{R1}](X) = lambda[pa,{R1}](R2 loj[pb] X)",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftOuter, std::move(pb), Plan::Leaf(2),
+                           LambdaX(std::move(pa)));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Plan::Comp(CompOp::Lambda(pa, R(1)),
+                           Plan::Join(JoinOp::kLeftOuter, std::move(pb),
+                                      Plan::Leaf(2), BareX(pa)));
+       },
+       {0, 1, 0, 2}},
+      {33, "lambda below outerjoin null side, dependent: fold",
+       "R2 loj[pb] lambda[pa,{R1}](X) = R2 loj[pb AND pa] X",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftOuter, std::move(pb), Plan::Leaf(2),
+                           LambdaX(std::move(pa)));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftOuter, Fold(pb, pa), Plan::Leaf(2),
+                           BareX(pa));
+       },
+       {0, 1, 1, 2}},
+      {34, "lambda x antijoin (output side), independent",
+       "lambda[pa,{R1}](X) laj[pb] R2 = lambda[pa,{R1}](X laj[pb] R2)",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftAnti, std::move(pb),
+                           LambdaX(std::move(pa)), Plan::Leaf(2));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Plan::Comp(CompOp::Lambda(pa, R(1)),
+                           Plan::Join(JoinOp::kLeftAnti, std::move(pb),
+                                      BareX(pa), Plan::Leaf(2)));
+       },
+       {0, 1, 0, 2}},
+      {35, "lambda x antijoin (output side), dependent: fold inside lambda",
+       "lambda[pa,{R1}](X) laj[pb] R2 = "
+       "lambda[pa,{R1}](X laj[pb AND pa] R2)",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftAnti, std::move(pb),
+                           LambdaX(std::move(pa)), Plan::Leaf(2));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Plan::Comp(CompOp::Lambda(pa, R(1)),
+                           Plan::Join(JoinOp::kLeftAnti, Fold(pb, pa),
+                                      BareX(pa), Plan::Leaf(2)));
+       },
+       {0, 1, 1, 2}},
+      {36, "lambda on semijoin probe side, dependent: fold and drop",
+       "R2 lsj[pb] lambda[pa,{R1}](X) = R2 lsj[pb AND pa] X",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftSemi, std::move(pb), Plan::Leaf(2),
+                           LambdaX(std::move(pa)));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftSemi, Fold(pb, pa), Plan::Leaf(2),
+                           BareX(pa));
+       },
+       {0, 1, 1, 2}},
+      {37, "lambda on antijoin probe side, dependent: fold and drop",
+       "R2 laj[pb] lambda[pa,{R1}](X) = R2 laj[pb AND pa] X",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftAnti, std::move(pb), Plan::Leaf(2),
+                           LambdaX(std::move(pa)));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftAnti, Fold(pb, pa), Plan::Leaf(2),
+                           BareX(pa));
+       },
+       {0, 1, 1, 2}},
+  };
+  return *rules;
+}
+
+}  // namespace
+}  // namespace eca
+
+int main(int argc, char** argv) {
+  int trials = argc > 1 ? std::atoi(argv[1]) : 200;
+  return eca::bench::VerifyRuleTable(
+      "Tables 4 & 5: lambda swap and pull-up rules (Theorem 4.7)",
+      eca::LambdaRules(), trials);
+}

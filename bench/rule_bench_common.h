@@ -1,0 +1,68 @@
+#ifndef ECA_BENCH_RULE_BENCH_COMMON_H_
+#define ECA_BENCH_RULE_BENCH_COMMON_H_
+
+// Shared verification harness for the rule benches: executes a rule's LHS
+// and RHS over randomized databases and reports the verdict plus rewrite /
+// execution throughput, one row per rule — regenerating the paper's rule
+// tables as machine-checked artifacts.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "exec/executor.h"
+#include "rewrite/paper_rules.h"
+#include "testing/random_data.h"
+
+namespace eca {
+namespace bench {
+
+inline int VerifyRuleTable(const char* title,
+                           const std::vector<PaperRule>& rules, int trials) {
+  std::printf("==== %s (%d randomized trials per rule) ====\n", title,
+              trials);
+  std::printf("%5s  %-38s %9s %12s\n", "rule", "transformation", "verdict",
+              "t/trial(us)");
+  int failures = 0;
+  for (const PaperRule& rule : rules) {
+    bool sound = true;
+    uint64_t bad_seed = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int trial = 0; trial < trials && sound; ++trial) {
+      Rng rng(static_cast<uint64_t>(trial) * 7907 +
+              static_cast<uint64_t>(rule.number) * 101);
+      RandomDataOptions opts;
+      opts.max_rows = 8;
+      Database db = RandomDatabase(rng, 3, opts);
+      PredRef pa = RandomJoinPredicate(
+          rng, RelSet::Single(rule.endpoints[0]),
+          RelSet::Single(rule.endpoints[1]), opts, "pa");
+      PredRef pb = RandomJoinPredicate(
+          rng, RelSet::Single(rule.endpoints[2]),
+          RelSet::Single(rule.endpoints[3]), opts, "pb");
+      PlanPtr lhs = rule.lhs(pa, pb);
+      PlanPtr rhs = rule.rhs(pa, pb);
+      if (!PlansEquivalentOn(*lhs, *rhs, db)) {
+        sound = false;
+        bad_seed = static_cast<uint64_t>(trial);
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / trials;
+    if (!sound) ++failures;
+    std::printf("%5d  %-38s %9s %12.1f", rule.number,
+                rule.transform.c_str(), sound ? "sound" : "UNSOUND!", us);
+    if (!sound) std::printf("  (seed %llu)", (unsigned long long)bad_seed);
+    std::printf("\n");
+  }
+  std::printf(failures == 0 ? "\nall rules verified.\n"
+                            : "\n!! %d rules failed.\n",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace bench
+}  // namespace eca
+
+#endif  // ECA_BENCH_RULE_BENCH_COMMON_H_

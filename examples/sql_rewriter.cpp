@@ -1,0 +1,50 @@
+// Reproduces Figure 7: the SQL-level deployment of ECA (Section 6.1).
+// Prints (a) the direct SQL for Q1 — two nested NOT EXISTS — and (b) the
+// SQL that enforces ECA's reordered plan: LEFT JOINs, the window-function
+// best-match, and the gamma IS NULL filter, exactly the construction the
+// paper ran on PostgreSQL.
+
+#include <cstdio>
+
+#include "eca/optimizer.h"
+#include "enumerate/join_order.h"
+#include "tpch/paper_queries.h"
+
+using namespace eca;
+
+int main() {
+  TpchData data = GenerateTpch(TpchScale::OfSF(0.002), 3);
+  PaperQuery q = BuildQ1(data, /*nu=*/5.0);
+
+  SqlOptions sql;
+  sql.table_names = {"supplier", "partsupp", "part", "lineitem", "orders"};
+
+  std::printf("==== Figure 7(a): SQL for the direct plan of Q1 ====\n\n");
+  std::printf("%s\n\n",
+              PlanToSql(*q.plan, q.db.BaseSchemas(), sql).c_str());
+
+  Optimizer eca;
+  PlanPtr reordered;
+  for (const OrderingNodePtr& theta : AllJoinOrderingTrees(
+           q.plan->leaves(), PredicateRefSets(*q.plan))) {
+    if (theta->Key() == "((R0,R1),R2)") {
+      reordered = eca.Reorder(*q.plan, *theta);
+    }
+  }
+  if (reordered == nullptr) {
+    std::printf("reordering unavailable\n");
+    return 1;
+  }
+  std::printf("==== Figure 7(b): SQL enforcing ECA's reordered plan ====\n");
+  std::printf("(plan: %s)\n\n", reordered->ToInlineString().c_str());
+  std::printf("%s\n",
+              PlanToSql(*reordered, q.db.BaseSchemas(), sql).c_str());
+
+  // Sanity: both plans produce identical results on the generated data.
+  bool same = SameMultiset(
+      CanonicalizeColumnOrder(eca.Execute(*q.plan, q.db)),
+      CanonicalizeColumnOrder(eca.Execute(*reordered, q.db)));
+  std::printf("results identical on SF 0.002 data: %s\n",
+              same ? "yes" : "NO!");
+  return same ? 0 : 1;
+}

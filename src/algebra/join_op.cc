@@ -1,0 +1,74 @@
+#include "algebra/join_op.h"
+
+namespace eca {
+
+const char* JoinOpName(JoinOp op) {
+  switch (op) {
+    case JoinOp::kCross:
+      return "cross";
+    case JoinOp::kInner:
+      return "join";
+    case JoinOp::kLeftOuter:
+      return "loj";
+    case JoinOp::kRightOuter:
+      return "roj";
+    case JoinOp::kFullOuter:
+      return "foj";
+    case JoinOp::kLeftSemi:
+      return "lsj";
+    case JoinOp::kRightSemi:
+      return "rsj";
+    case JoinOp::kLeftAnti:
+      return "laj";
+    case JoinOp::kRightAnti:
+      return "raj";
+  }
+  return "?";
+}
+
+bool IsSemi(JoinOp op) {
+  return op == JoinOp::kLeftSemi || op == JoinOp::kRightSemi;
+}
+
+bool IsAnti(JoinOp op) {
+  return op == JoinOp::kLeftAnti || op == JoinOp::kRightAnti;
+}
+
+bool OutputsOneSide(JoinOp op) { return IsSemi(op) || IsAnti(op); }
+
+bool PadsLeft(JoinOp op) {
+  return op == JoinOp::kLeftOuter || op == JoinOp::kFullOuter;
+}
+
+bool PadsRight(JoinOp op) {
+  return op == JoinOp::kRightOuter || op == JoinOp::kFullOuter;
+}
+
+bool IsRightVariant(JoinOp op) {
+  return op == JoinOp::kRightOuter || op == JoinOp::kRightSemi ||
+         op == JoinOp::kRightAnti;
+}
+
+JoinOp Mirror(JoinOp op) {
+  switch (op) {
+    case JoinOp::kLeftOuter:
+      return JoinOp::kRightOuter;
+    case JoinOp::kRightOuter:
+      return JoinOp::kLeftOuter;
+    case JoinOp::kLeftSemi:
+      return JoinOp::kRightSemi;
+    case JoinOp::kRightSemi:
+      return JoinOp::kLeftSemi;
+    case JoinOp::kLeftAnti:
+      return JoinOp::kRightAnti;
+    case JoinOp::kRightAnti:
+      return JoinOp::kLeftAnti;
+    case JoinOp::kCross:
+    case JoinOp::kInner:
+    case JoinOp::kFullOuter:
+      return op;
+  }
+  return op;
+}
+
+}  // namespace eca

@@ -1,0 +1,46 @@
+#ifndef ECA_ALGEBRA_JOIN_OP_H_
+#define ECA_ALGEBRA_JOIN_OP_H_
+
+#include <string>
+
+namespace eca {
+
+// The conventional join operators of the paper's query class C_J
+// (Section 1), plus the cartesian/cross product used by canonical forms.
+enum class JoinOp {
+  kCross,       // x    cartesian product
+  kInner,       // |><|
+  kLeftOuter,   // =|><|   preserves left operand
+  kRightOuter,  // |><|=   preserves right operand
+  kFullOuter,   // =|><|=  preserves both
+  kLeftSemi,    // |><     output schema = left operand
+  kRightSemi,   // ><|     output schema = right operand
+  kLeftAnti,    // |>      output schema = left operand
+  kRightAnti,   // <|      output schema = right operand
+};
+
+// Short ASCII name used in plan printouts ("loj", "laj", ...).
+const char* JoinOpName(JoinOp op);
+
+// True for kLeftSemi/kRightSemi.
+bool IsSemi(JoinOp op);
+// True for kLeftAnti/kRightAnti.
+bool IsAnti(JoinOp op);
+// True if the output schema covers only one operand (semi/anti joins).
+bool OutputsOneSide(JoinOp op);
+// True if unmatched tuples of the left (resp. right) operand are preserved
+// with NULL padding.
+bool PadsLeft(JoinOp op);   // kLeftOuter, kFullOuter
+bool PadsRight(JoinOp op);  // kRightOuter, kFullOuter
+
+// True for the right-variants kRightOuter/kRightSemi/kRightAnti, which are
+// mirror images of a left-variant.
+bool IsRightVariant(JoinOp op);
+
+// The operator that produces the same result with the operands swapped:
+// e.g. Mirror(kLeftOuter) = kRightOuter, Mirror(kInner) = kInner.
+JoinOp Mirror(JoinOp op);
+
+}  // namespace eca
+
+#endif  // ECA_ALGEBRA_JOIN_OP_H_

@@ -1,0 +1,256 @@
+#include "algebra/plan_parser.h"
+
+#include <cctype>
+
+namespace eca {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text,
+         const std::map<std::string, PredRef>& preds)
+      : text_(text), preds_(preds) {}
+
+  PlanPtr Parse(std::string* error) {
+    PlanPtr plan = ParsePlanExpr();
+    SkipSpace();
+    if (plan == nullptr || pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = error_.empty()
+                     ? "trailing input at offset " + std::to_string(pos_)
+                     : error_;
+      }
+      return nullptr;
+    }
+    return plan;
+  }
+
+ private:
+  void Fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = msg + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(Peek())) ++pos_;
+  }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ConsumeWord(const std::string& w) {
+    if (text_.compare(pos_, w.size(), w) == 0) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  // "R<k>" -> relation id.
+  bool ParseRelId(int* out) {
+    if (!Consume('R')) {
+      Fail("expected 'R<k>'");
+      return false;
+    }
+    if (!std::isdigit(Peek())) {
+      Fail("expected digit after 'R'");
+      return false;
+    }
+    int v = 0;
+    while (std::isdigit(Peek())) v = v * 10 + (text_[pos_++] - '0');
+    *out = v;
+    return true;
+  }
+
+  // "{R0,R2}" -> RelSet.
+  bool ParseRelSet(RelSet* out) {
+    if (!Consume('{')) {
+      Fail("expected '{'");
+      return false;
+    }
+    RelSet s;
+    if (!Consume('}')) {
+      while (true) {
+        int id = 0;
+        if (!ParseRelId(&id)) return false;
+        s = s.With(id);
+        if (Consume(',')) continue;
+        if (Consume('}')) break;
+        Fail("expected ',' or '}' in relation set");
+        return false;
+      }
+    }
+    *out = s;
+    return true;
+  }
+
+  // Everything up to the given terminator (used for predicate labels).
+  bool ParseUntil(char term, std::string* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != term) ++pos_;
+    if (pos_ >= text_.size()) {
+      Fail(std::string("expected '") + term + "'");
+      return false;
+    }
+    *out = text_.substr(start, pos_ - start);
+    return true;
+  }
+
+  PredRef LookupPred(const std::string& label) {
+    auto it = preds_.find(label);
+    if (it == preds_.end()) {
+      Fail("unknown predicate label '" + label + "'");
+      return nullptr;
+    }
+    return it->second;
+  }
+
+  PlanPtr ParsePlanExpr() {
+    SkipSpace();
+    // Compensation operators.
+    if (ConsumeWord("pi{")) {
+      --pos_;  // re-read '{' via ParseRelSet
+      RelSet s;
+      if (!ParseRelSet(&s)) return nullptr;
+      return WrapComp(CompOp::Project(s));
+    }
+    if (ConsumeWord("gamma*[")) {
+      RelSet a, keep;
+      if (!ParseRelSet(&a)) return nullptr;
+      if (!ConsumeWord(" keep ")) {
+        Fail("expected ' keep '");
+        return nullptr;
+      }
+      if (!ParseRelSet(&keep)) return nullptr;
+      if (!Consume(']')) {
+        Fail("expected ']'");
+        return nullptr;
+      }
+      return WrapComp(CompOp::GammaStar(a, keep));
+    }
+    if (ConsumeWord("gamma{")) {
+      --pos_;
+      RelSet s;
+      if (!ParseRelSet(&s)) return nullptr;
+      return WrapComp(CompOp::Gamma(s));
+    }
+    if (ConsumeWord("lambda[")) {
+      std::string label;
+      if (!ParseUntil(',', &label)) return nullptr;
+      ++pos_;  // consume ','
+      PredRef p = LookupPred(label);
+      if (p == nullptr) return nullptr;
+      RelSet s;
+      if (!ParseRelSet(&s)) return nullptr;
+      if (!Consume(']')) {
+        Fail("expected ']'");
+        return nullptr;
+      }
+      return WrapComp(CompOp::Lambda(std::move(p), s));
+    }
+    if (ConsumeWord("beta")) {
+      return WrapComp(CompOp::Beta());
+    }
+    // Leaf.
+    if (Peek() == 'R') {
+      int id = 0;
+      if (!ParseRelId(&id)) return nullptr;
+      return Plan::Leaf(id);
+    }
+    // Join: "(" plan " " op... ")".
+    if (Consume('(')) {
+      PlanPtr left = ParsePlanExpr();
+      if (left == nullptr) return nullptr;
+      SkipSpace();
+      JoinOp op;
+      if (ConsumeWord("cross")) {
+        op = JoinOp::kCross;
+        SkipSpace();
+        PlanPtr right = ParsePlanExpr();
+        if (right == nullptr) return nullptr;
+        SkipSpace();
+        if (!Consume(')')) {
+          Fail("expected ')'");
+          return nullptr;
+        }
+        return Plan::Join(op, nullptr, std::move(left), std::move(right));
+      }
+      if (ConsumeWord("join")) {
+        op = JoinOp::kInner;
+      } else if (ConsumeWord("loj")) {
+        op = JoinOp::kLeftOuter;
+      } else if (ConsumeWord("roj")) {
+        op = JoinOp::kRightOuter;
+      } else if (ConsumeWord("foj")) {
+        op = JoinOp::kFullOuter;
+      } else if (ConsumeWord("lsj")) {
+        op = JoinOp::kLeftSemi;
+      } else if (ConsumeWord("rsj")) {
+        op = JoinOp::kRightSemi;
+      } else if (ConsumeWord("laj")) {
+        op = JoinOp::kLeftAnti;
+      } else if (ConsumeWord("raj")) {
+        op = JoinOp::kRightAnti;
+      } else {
+        Fail("expected a join operator");
+        return nullptr;
+      }
+      if (!Consume('[')) {
+        Fail("expected '[' after join operator");
+        return nullptr;
+      }
+      std::string label;
+      if (!ParseUntil(']', &label)) return nullptr;
+      ++pos_;  // consume ']'
+      PredRef p = LookupPred(label);
+      if (p == nullptr) return nullptr;
+      SkipSpace();
+      PlanPtr right = ParsePlanExpr();
+      if (right == nullptr) return nullptr;
+      SkipSpace();
+      if (!Consume(')')) {
+        Fail("expected ')'");
+        return nullptr;
+      }
+      return Plan::Join(op, std::move(p), std::move(left),
+                        std::move(right));
+    }
+    Fail("expected a plan expression");
+    return nullptr;
+  }
+
+  PlanPtr WrapComp(CompOp comp) {
+    if (!Consume('(')) {
+      Fail("expected '(' after compensation operator");
+      return nullptr;
+    }
+    PlanPtr child = ParsePlanExpr();
+    if (child == nullptr) return nullptr;
+    SkipSpace();
+    if (!Consume(')')) {
+      Fail("expected ')'");
+      return nullptr;
+    }
+    return Plan::Comp(std::move(comp), std::move(child));
+  }
+
+  const std::string& text_;
+  const std::map<std::string, PredRef>& preds_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+PlanPtr ParsePlan(const std::string& text,
+                  const std::map<std::string, PredRef>& predicates,
+                  std::string* error) {
+  Parser parser(text, predicates);
+  return parser.Parse(error);
+}
+
+}  // namespace eca

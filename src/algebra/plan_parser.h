@@ -1,0 +1,34 @@
+#ifndef ECA_ALGEBRA_PLAN_PARSER_H_
+#define ECA_ALGEBRA_PLAN_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/plan.h"
+
+namespace eca {
+
+// Parses the compact plan notation produced by Plan::ToInlineString():
+//
+//   plan  := "R<k>"
+//          | "(" plan " " op "[" predlabel "]" " " plan ")"
+//          | "(" plan " cross " plan ")"
+//          | comp "(" plan ")"
+//   op    := join | loj | roj | foj | lsj | rsj | laj | raj | cross
+//   comp  := "pi{R..}" | "gamma{R..}" | "beta"
+//          | "gamma*[{R..} keep {R..}]"
+//          | "lambda[" predlabel ",{R..}]"
+//
+// Predicates appear as labels only, so the caller supplies a dictionary
+// from label to PredRef. Round-trips with ToInlineString (see
+// plan_parser_test.cc), which makes golden-style plan assertions and
+// compact test fixtures possible.
+//
+// Returns nullptr and fills *error on malformed input or unknown labels.
+PlanPtr ParsePlan(const std::string& text,
+                  const std::map<std::string, PredRef>& predicates,
+                  std::string* error = nullptr);
+
+}  // namespace eca
+
+#endif  // ECA_ALGEBRA_PLAN_PARSER_H_

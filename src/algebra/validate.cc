@@ -1,0 +1,118 @@
+#include "algebra/validate.h"
+
+#include "common/str_util.h"
+
+namespace eca {
+
+namespace {
+
+void Visit(const Plan& plan, const std::vector<Schema>& base,
+           std::vector<std::string>* problems, RelSet* seen_leaves) {
+  switch (plan.kind()) {
+    case Plan::Kind::kLeaf: {
+      int id = plan.rel_id();
+      if (id < 0 || id >= static_cast<int>(base.size())) {
+        problems->push_back(StrFormat("leaf rel_id %d out of range", id));
+        return;
+      }
+      if (seen_leaves->Contains(id)) {
+        problems->push_back(
+            StrFormat("relation R%d appears as more than one leaf", id));
+      }
+      *seen_leaves = seen_leaves->With(id);
+      return;
+    }
+    case Plan::Kind::kJoin: {
+      Visit(*plan.left(), base, problems, seen_leaves);
+      Visit(*plan.right(), base, problems, seen_leaves);
+      RelSet lo = plan.left()->output_rels();
+      RelSet ro = plan.right()->output_rels();
+      if (lo.Intersects(ro)) {
+        problems->push_back("join operands overlap: " + lo.ToString() +
+                            " vs " + ro.ToString());
+      }
+      if (plan.pred() == nullptr) {
+        if (plan.op() != JoinOp::kCross) {
+          problems->push_back(std::string("missing predicate on ") +
+                              JoinOpName(plan.op()));
+        }
+        return;
+      }
+      RelSet visible = lo.Union(ro);
+      if (!visible.ContainsAll(plan.pred()->refs())) {
+        problems->push_back(
+            "predicate " + plan.pred()->DisplayName() + " references " +
+            plan.pred()->refs().ToString() + " but only " +
+            visible.ToString() + " is visible");
+      }
+      return;
+    }
+    case Plan::Kind::kComp: {
+      Visit(*plan.child(), base, problems, seen_leaves);
+      RelSet out = plan.child()->output_rels();
+      const CompOp& c = plan.comp();
+      switch (c.kind) {
+        case CompOp::Kind::kLambda:
+          if (c.pred == nullptr) {
+            problems->push_back("lambda without a predicate");
+          } else if (!out.ContainsAll(c.pred->refs())) {
+            problems->push_back("lambda predicate references " +
+                                c.pred->refs().ToString() +
+                                " outside the child output " +
+                                out.ToString());
+          }
+          if (!out.Intersects(c.attrs)) {
+            problems->push_back("lambda nullifies no visible attribute (" +
+                                c.attrs.ToString() + ")");
+          }
+          break;
+        case CompOp::Kind::kGamma:
+          if (!out.Intersects(c.attrs)) {
+            problems->push_back("gamma tests no visible attribute (" +
+                                c.attrs.ToString() + ")");
+          }
+          break;
+        case CompOp::Kind::kGammaStar:
+          if (!out.Intersects(c.attrs)) {
+            problems->push_back("gamma* tests no visible attribute (" +
+                                c.attrs.ToString() + ")");
+          }
+          if (out.Minus(c.keep).Empty()) {
+            problems->push_back("gamma* nullifies no visible attribute (" +
+                                c.keep.ToString() + " covers " +
+                                out.ToString() + ")");
+          }
+          break;
+        case CompOp::Kind::kProject:
+          if (!out.Intersects(c.attrs)) {
+            problems->push_back("projection keeps nothing (" +
+                                c.attrs.ToString() + " of " +
+                                out.ToString() + ")");
+          }
+          break;
+        case CompOp::Kind::kBeta:
+          break;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> ValidatePlan(const Plan& plan,
+                                      const std::vector<Schema>& base) {
+  std::vector<std::string> problems;
+  RelSet seen;
+  Visit(plan, base, &problems, &seen);
+  return problems;
+}
+
+void CheckPlanValid(const Plan& plan, const std::vector<Schema>& base) {
+  std::vector<std::string> problems = ValidatePlan(plan, base);
+  if (!problems.empty()) {
+    ECA_CHECK_MSG(false, (problems[0] + "\n" + plan.ToString()).c_str());
+  }
+}
+
+}  // namespace eca

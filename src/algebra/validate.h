@@ -1,0 +1,35 @@
+#ifndef ECA_ALGEBRA_VALIDATE_H_
+#define ECA_ALGEBRA_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "catalog/schema.h"
+
+namespace eca {
+
+// Structural well-formedness checks for plans. The rewrite layer produces
+// well-formed plans by construction; validation catches hand-built or
+// corrupted plans before execution and is run on every optimizer output in
+// the test suite. Returns an empty vector when the plan is valid, else a
+// list of human-readable problems.
+//
+// Checked invariants:
+//  - leaf rel_ids are within the base schema vector and used at most once
+//  - join operands cover disjoint relation sets
+//  - every predicate's referenced relations are visible in the operand
+//    schemas where it is evaluated
+//  - gamma/gamma*/lambda attribute sets are visible in their child's output
+//  - pi keeps a non-empty subset of the child's output
+//  - gamma* actually nullifies something (its keep set does not cover the
+//    whole child output)
+std::vector<std::string> ValidatePlan(const Plan& plan,
+                                      const std::vector<Schema>& base);
+
+// Convenience: CHECK-fails with the first problem (for tests).
+void CheckPlanValid(const Plan& plan, const std::vector<Schema>& base);
+
+}  // namespace eca
+
+#endif  // ECA_ALGEBRA_VALIDATE_H_

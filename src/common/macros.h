@@ -1,0 +1,35 @@
+#ifndef ECA_COMMON_MACROS_H_
+#define ECA_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking. The library does not use exceptions (Google style);
+// violated invariants are programming errors and abort with a message.
+#define ECA_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ECA_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define ECA_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ECA_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define ECA_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define ECA_DCHECK(cond) ECA_CHECK(cond)
+#endif
+
+#endif  // ECA_COMMON_MACROS_H_

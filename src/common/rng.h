@@ -1,0 +1,45 @@
+#ifndef ECA_COMMON_RNG_H_
+#define ECA_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace eca {
+
+// Deterministic, seedable PRNG (splitmix64 core). Used by the data
+// generators and the randomized rule-verification harness so that every
+// test failure is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    ECA_DCHECK(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace eca
+
+#endif  // ECA_COMMON_RNG_H_

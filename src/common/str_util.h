@@ -1,0 +1,22 @@
+#ifndef ECA_COMMON_STR_UTIL_H_
+#define ECA_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace eca {
+
+// Joins the elements of `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+// Repeats `s` `n` times.
+std::string StrRepeat(const std::string& s, int n);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace eca
+
+#endif  // ECA_COMMON_STR_UTIL_H_

@@ -1,0 +1,80 @@
+#ifndef ECA_COST_COST_MODEL_H_
+#define ECA_COST_COST_MODEL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "cost/histogram.h"
+#include "exec/database.h"
+
+namespace eca {
+
+// Per-table statistics used by the cardinality estimator.
+struct TableStats {
+  int64_t rows = 0;
+  // Distinct-value estimates per column name.
+  std::unordered_map<std::string, int64_t> distinct;
+  // Equi-depth histograms per numeric column (column-vs-constant
+  // selectivity for range predicates).
+  std::unordered_map<std::string, EquiDepthHistogram> histograms;
+
+  static TableStats FromRelation(const Relation& rel);
+};
+
+// Cardinality estimation and plan costing (Section 6.2).
+//
+// Join cardinalities use textbook selectivity estimation: 1/max(d1,d2) for
+// equi-conjuncts, equi-depth histograms for column-vs-constant ranges, and
+// cross-sample evaluation for everything else (each base table keeps a
+// small row sample; a predicate like s_acctbal > nu * ps_supplycost is
+// estimated by evaluating it over the cross product of the referenced
+// tables' samples — this is what lets the optimizer track the paper's f12
+// sweep). Costs follow a C_out-style
+// model: the sum of intermediate result sizes, plus per-operator terms —
+// hash joins pay |L|+|R|, nested-loop joins pay |L|*|R|, and the sort-based
+// compensation operators beta and gamma* pay n log n while lambda and gamma
+// pay a scan (exactly the costs Section 6.2 assigns).
+class CostModel {
+ public:
+  explicit CostModel(std::vector<TableStats> base_stats);
+
+  // Convenience: compute stats from actual tables.
+  static CostModel FromDatabase(const Database& db);
+
+  // Estimated output rows of `plan`.
+  double Cardinality(const Plan& plan) const;
+
+  // Estimated total evaluation cost of `plan`.
+  double Cost(const Plan& plan) const;
+
+  // Selectivity of `pred` applied to a (conceptual) cross product of the
+  // relations it references.
+  double Selectivity(const Predicate& pred) const;
+
+  // Attaches per-table row samples (enables cross-sample estimation for
+  // complex predicates). FromDatabase() does this automatically.
+  void SetSamples(std::vector<Relation> samples);
+
+ private:
+  struct NodeEstimate {
+    double rows = 0;
+    double cost = 0;
+  };
+  NodeEstimate Estimate(const Plan& plan) const;
+  double DistinctOf(int rel_id, const std::string& column) const;
+  const EquiDepthHistogram* HistogramOf(int rel_id,
+                                        const std::string& column) const;
+  // Cross-sample estimate; negative when samples are unavailable.
+  double SampleSelectivity(const Predicate& pred) const;
+
+  std::vector<TableStats> base_;
+  std::vector<Relation> samples_;  // per rel_id; may be empty
+  // Memoized per-predicate selectivities (sampling is not free).
+  mutable std::unordered_map<const Predicate*, double> sample_cache_;
+};
+
+}  // namespace eca
+
+#endif  // ECA_COST_COST_MODEL_H_

@@ -1,0 +1,68 @@
+#include "cost/histogram.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace eca {
+
+EquiDepthHistogram EquiDepthHistogram::Build(const Relation& rel, int col,
+                                             int buckets) {
+  EquiDepthHistogram h;
+  std::vector<double> values;
+  int64_t nulls = 0;
+  std::unordered_set<uint64_t> distinct;
+  for (const Tuple& t : rel.rows()) {
+    const Value& v = t[static_cast<size_t>(col)];
+    if (v.is_null()) {
+      ++nulls;
+      continue;
+    }
+    if (v.type() == DataType::kString) continue;  // numeric columns only
+    values.push_back(v.NumericValue());
+    distinct.insert(v.Hash());
+  }
+  h.total_values_ = static_cast<int64_t>(values.size());
+  int64_t total_rows = rel.NumRows();
+  h.null_fraction_ =
+      total_rows > 0 ? static_cast<double>(nulls) /
+                           static_cast<double>(total_rows)
+                     : 0.0;
+  h.distinct_ = std::max<int64_t>(1, static_cast<int64_t>(distinct.size()));
+  if (values.empty()) return h;
+  std::sort(values.begin(), values.end());
+  h.min_ = values.front();
+  h.max_ = values.back();
+  int n = std::min<int>(buckets, static_cast<int>(values.size()));
+  h.bounds_.reserve(static_cast<size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    size_t idx = static_cast<size_t>(
+        (static_cast<int64_t>(values.size()) * i) / n - 1);
+    h.bounds_.push_back(values[idx]);
+  }
+  return h;
+}
+
+double EquiDepthHistogram::FractionBelow(double v) const {
+  if (empty()) return 0.5;
+  if (v <= min_) return 0.0;
+  if (v > max_) return 1.0;
+  // Each bucket holds 1/n of the values; interpolate within the bucket.
+  size_t n = bounds_.size();
+  double prev_bound = min_;
+  for (size_t i = 0; i < n; ++i) {
+    if (v <= bounds_[i]) {
+      double span = bounds_[i] - prev_bound;
+      double within = span > 0 ? (v - prev_bound) / span : 0.5;
+      return (static_cast<double>(i) + within) / static_cast<double>(n);
+    }
+    prev_bound = bounds_[i];
+  }
+  return 1.0;
+}
+
+double EquiDepthHistogram::FractionEquals(double v) const {
+  if (empty() || v < min_ || v > max_) return 0.0;
+  return 1.0 / static_cast<double>(distinct_);
+}
+
+}  // namespace eca

@@ -1,0 +1,44 @@
+#ifndef ECA_COST_HISTOGRAM_H_
+#define ECA_COST_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace eca {
+
+// Equi-depth histogram over a numeric column, used by the cost model for
+// column-vs-constant selectivity (e.g. the sigma filters of the Section 7
+// queries and the s_acctbal comparison of p12).
+class EquiDepthHistogram {
+ public:
+  // Builds from column `col` of `rel` (non-NULL numeric values only).
+  // `buckets` is an upper bound; fewer are used for small inputs.
+  static EquiDepthHistogram Build(const Relation& rel, int col,
+                                  int buckets = 32);
+
+  bool empty() const { return total_values_ == 0; }
+  int64_t total_values() const { return total_values_; }
+  double null_fraction() const { return null_fraction_; }
+  int64_t distinct() const { return distinct_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // Fraction of non-NULL values strictly less than v (interpolated within
+  // the containing bucket).
+  double FractionBelow(double v) const;
+  // Fraction equal to v (uniform-within-distinct assumption).
+  double FractionEquals(double v) const;
+
+ private:
+  std::vector<double> bounds_;  // bucket upper bounds, ascending
+  int64_t total_values_ = 0;
+  double null_fraction_ = 0;
+  int64_t distinct_ = 1;
+  double min_ = 0, max_ = 0;
+};
+
+}  // namespace eca
+
+#endif  // ECA_COST_HISTOGRAM_H_

@@ -1,0 +1,48 @@
+#include "eca/optimizer.h"
+
+#include "common/str_util.h"
+#include "rewrite/comp_simplify.h"
+
+namespace eca {
+
+Optimizer::Optimized Optimizer::Optimize(const Plan& query,
+                                         const Database& db) const {
+  CostModel cost = CostModel::FromDatabase(db);
+  EnumeratorOptions opts;
+  opts.policy = policy();
+  opts.reuse_subplans = options_.reuse_subplans;
+  TopDownEnumerator enumerator(&cost, opts);
+  auto result = enumerator.Optimize(query);
+  Optimized out;
+  out.plan = std::move(result.plan);
+  if (options_.cleanup_compensations && out.plan != nullptr) {
+    SimplifyCompensations(&out.plan);
+  }
+  out.estimated_cost = cost.Cost(*out.plan);
+  out.stats = result.stats;
+  return out;
+}
+
+PlanPtr Optimizer::Reorder(const Plan& query,
+                           const OrderingNode& theta) const {
+  return RealizeOrdering(query, theta, policy());
+}
+
+Relation Optimizer::Execute(const Plan& plan, const Database& db) const {
+  Executor ex(Executor::Options{options_.join_preference});
+  return ex.Execute(plan, db);
+}
+
+std::string Optimizer::Explain(const Plan& plan, const Database& db,
+                               const SqlOptions* sql) const {
+  CostModel cost = CostModel::FromDatabase(db);
+  std::string out = "plan:\n" + plan.ToString();
+  out += StrFormat("estimated cost: %.1f, estimated rows: %.1f\n",
+                   cost.Cost(plan), cost.Cardinality(plan));
+  if (sql != nullptr) {
+    out += "SQL:\n" + PlanToSql(plan, db.BaseSchemas(), *sql) + "\n";
+  }
+  return out;
+}
+
+}  // namespace eca

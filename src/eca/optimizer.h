@@ -1,0 +1,84 @@
+#ifndef ECA_ECA_OPTIMIZER_H_
+#define ECA_ECA_OPTIMIZER_H_
+
+#include <string>
+
+#include "cost/cost_model.h"
+#include "enumerate/enumerator.h"
+#include "enumerate/realize.h"
+#include "exec/executor.h"
+#include "sqlgen/sqlgen.h"
+
+namespace eca {
+
+// The library's one-stop facade: build a logical plan (algebra/plan.h),
+// hand it to Optimize() together with the data, execute or render the
+// result.
+//
+//   Database db = ...;
+//   PlanPtr query = Plan::Join(JoinOp::kLeftAnti, pred, ..., ...);
+//   Optimizer opt;                       // ECA by default
+//   auto best = opt.Optimize(*query, db);
+//   Relation result = opt.Execute(*best.plan, db);
+//
+// The Approach selects the reordering arsenal: the paper's ECA, or the TBA
+// / CBA baselines it is evaluated against (Sections 2 and 3).
+class Optimizer {
+ public:
+  enum class Approach { kECA, kTBA, kCBA };
+
+  struct Options {
+    Approach approach = Approach::kECA;
+    // Enhanced enumeration (Algorithms 4-6): reuse optimal subplans across
+    // contexts when their external dependency edges match.
+    bool reuse_subplans = true;
+    Executor::JoinPreference join_preference =
+        Executor::JoinPreference::kHash;
+    // Run the compensation cleanup pass on the chosen plan (removes
+    // identity projections, redundant best-matches, ...).
+    bool cleanup_compensations = true;
+  };
+
+  Optimizer() : Optimizer(Options()) {}
+  explicit Optimizer(Options options) : options_(options) {}
+
+  struct Optimized {
+    PlanPtr plan;
+    double estimated_cost = 0;
+    EnumeratorStats stats;
+  };
+
+  // Cost-based join reordering of `query` over `db`'s statistics.
+  Optimized Optimize(const Plan& query, const Database& db) const;
+
+  // Rewrites `query` to follow the join ordering `theta` (Section 3's
+  // theta-reorderability); nullptr if unreachable under the approach.
+  PlanPtr Reorder(const Plan& query, const OrderingNode& theta) const;
+
+  // Evaluates a plan (compensation operators included).
+  Relation Execute(const Plan& plan, const Database& db) const;
+
+  // Multi-line report: the plan tree, its cost estimate, and (when table
+  // names are provided) the enforcing SQL of Section 6.1.
+  std::string Explain(const Plan& plan, const Database& db,
+                      const SqlOptions* sql = nullptr) const;
+
+ private:
+  SwapPolicy policy() const {
+    switch (options_.approach) {
+      case Approach::kTBA:
+        return SwapPolicy::kTBA;
+      case Approach::kCBA:
+        return SwapPolicy::kCBA;
+      case Approach::kECA:
+        break;
+    }
+    return SwapPolicy::kECA;
+  }
+
+  Options options_;
+};
+
+}  // namespace eca
+
+#endif  // ECA_ECA_OPTIMIZER_H_

@@ -1,0 +1,268 @@
+#include "enumerate/enumerator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "rewrite/oj_simplify.h"
+
+namespace eca {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Collects the display names of the join predicates inside `sub`.
+void CollectJoinPredNames(const Plan* sub, std::set<std::string>* out) {
+  std::vector<Plan*> joins;
+  CollectJoins(const_cast<Plan*>(sub), &joins);
+  for (const Plan* j : joins) {
+    out->insert(j->pred() ? j->pred()->DisplayName() : "cross");
+  }
+}
+
+// Collects comp vnode ids in `node`'s subtree.
+void CollectVnodes(const Plan* node, std::set<int>* out) {
+  if (node == nullptr) return;
+  switch (node->kind()) {
+    case Plan::Kind::kLeaf:
+      return;
+    case Plan::Kind::kJoin:
+      CollectVnodes(node->left(), out);
+      CollectVnodes(node->right(), out);
+      return;
+    case Plan::Kind::kComp:
+      if (node->comp().vnode >= 0) out->insert(node->comp().vnode);
+      CollectVnodes(node->child(), out);
+      return;
+  }
+}
+
+void RemapVnodes(Plan* node, int offset) {
+  if (node == nullptr) return;
+  switch (node->kind()) {
+    case Plan::Kind::kLeaf:
+      return;
+    case Plan::Kind::kJoin:
+      RemapVnodes(node->left(), offset);
+      RemapVnodes(node->right(), offset);
+      return;
+    case Plan::Kind::kComp:
+      if (node->mutable_comp().vnode >= 0) {
+        node->mutable_comp().vnode += offset;
+      }
+      RemapVnodes(node->child(), offset);
+      return;
+  }
+}
+
+}  // namespace
+
+double TopDownEnumerator::SubtreeCost(const APlan& p, RelSet s) const {
+  const Plan* sub = SubtreeOf(p.root.get(), s);
+  return cost_->Cost(*sub);
+}
+
+std::vector<std::string> TopDownEnumerator::ExtDEdgeKeys(const APlan& p,
+                                                         RelSet s) const {
+  const Plan* sub = SubtreeOf(p.root.get(), s);
+  std::set<std::string> inside_srcs;
+  CollectJoinPredNames(sub, &inside_srcs);
+  std::set<int> inside_vnodes, all_vnodes;
+  CollectVnodes(sub, &inside_vnodes);
+  CollectVnodes(p.root.get(), &all_vnodes);
+  std::vector<std::string> keys;
+  for (const DEdge& e : p.ctx.dedges) {
+    if (inside_srcs.find(e.src_pred) == inside_srcs.end()) continue;
+    bool external;
+    if (e.vnode == DEdge::kContextVnode) {
+      // Fold/simplify markers: the dependency is on the causing predicate.
+      external = inside_srcs.find(e.label_b) == inside_srcs.end();
+    } else {
+      bool in = inside_vnodes.count(e.vnode) > 0;
+      bool out_exists = all_vnodes.count(e.vnode) > 0 && !in;
+      external = !in || out_exists;
+    }
+    if (external) keys.push_back(e.Key());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+const TopDownEnumerator::APlan* TopDownEnumerator::GetBestPlan(
+    const APlan& p, RelSet s,
+    const std::vector<std::string>& ext_keys) const {
+  auto it = cache_.find(s);
+  if (it == cache_.end()) return nullptr;
+  if (options_.unsafe_ignore_dedges && !it->second.empty()) {
+    return &it->second.front().plan;  // ablation: ignore the guard
+  }
+  for (const CacheEntry& entry : it->second) {
+    if (entry.ext_keys == ext_keys) return &entry.plan;
+  }
+  (void)p;
+  return nullptr;
+}
+
+void TopDownEnumerator::UpdateBestPlan(
+    const APlan& p, RelSet s, const std::vector<std::string>& ext_keys) {
+  double cost = SubtreeCost(p, s);
+  std::vector<CacheEntry>& entries = cache_[s];
+  for (CacheEntry& entry : entries) {
+    if (entry.ext_keys == ext_keys) {
+      if (cost < entry.cost) {
+        entry.plan = p.Clone();
+        entry.cost = cost;
+      }
+      return;
+    }
+  }
+  entries.push_back({p.Clone(), cost, ext_keys});
+  ++stats_.cache_entries;
+}
+
+void TopDownEnumerator::GraftSubplan(APlan* p, RelSet s,
+                                     const APlan& best) const {
+  Plan* dst_sub = SubtreeOf(p->root.get(), s);
+  const Plan* src_sub = SubtreeOf(best.root.get(), s);
+  // Drop dependency edges owned by the replaced subplan.
+  std::set<std::string> replaced_srcs;
+  CollectJoinPredNames(dst_sub, &replaced_srcs);
+  std::vector<DEdge> kept;
+  for (const DEdge& e : p->ctx.dedges) {
+    if (replaced_srcs.find(e.src_pred) == replaced_srcs.end()) {
+      kept.push_back(e);
+    }
+  }
+  // Graft a clone with compensation-group ids remapped into p's id space,
+  // and import the graft's dependency edges.
+  PlanPtr graft = src_sub->Clone();
+  int offset = p->ctx.next_vnode;
+  RemapVnodes(graft.get(), offset);
+  std::set<std::string> graft_srcs;
+  CollectJoinPredNames(graft.get(), &graft_srcs);
+  for (const DEdge& e : best.ctx.dedges) {
+    if (graft_srcs.find(e.src_pred) == graft_srcs.end()) continue;
+    DEdge moved = e;
+    if (moved.vnode >= 0) moved.vnode += offset;
+    kept.push_back(std::move(moved));
+  }
+  p->ctx.next_vnode += best.ctx.next_vnode;
+  p->ctx.dedges = std::move(kept);
+  PlanPtr* slot = FindSlot(p->root, dst_sub);
+  ECA_CHECK(slot != nullptr);
+  *slot = std::move(graft);
+}
+
+TopDownEnumerator::APlan TopDownEnumerator::GenerateSubplan(
+    APlan p, const std::optional<NodePath>& i_path, RelSet s) {
+  ++stats_.subplan_calls;
+  if (s.Count() <= 1) {
+    // Best access path: a scan of the base relation (the only access path
+    // in this engine; bestAccess[] hook of Algorithm 1).
+    return p;
+  }
+
+  std::vector<std::string> my_ext_keys;
+  if (options_.reuse_subplans) {
+    my_ext_keys = ExtDEdgeKeys(p, s);
+    if (const APlan* cached = GetBestPlan(p, s, my_ext_keys)) {
+      ++stats_.reuses;
+      GraftSubplan(&p, s, *cached);
+      return p;
+    }
+  }
+
+  APlan best;
+  double best_cost = kInf;
+
+  std::vector<JoinablePair> pairs = JoinablePairs(p.root.get(), s);
+  for (const JoinablePair& pair : pairs) {
+    ++stats_.pairs_considered;
+    APlan work = p.Clone();
+    // Re-locate the pair's join node in the clone.
+    std::vector<JoinablePair> clone_pairs = JoinablePairs(work.root.get(), s);
+    Plan* j = nullptr;
+    for (const JoinablePair& cp : clone_pairs) {
+      if (cp.s1 == pair.s1 && cp.s2 == pair.s2) {
+        j = cp.node;
+        break;
+      }
+    }
+    if (j == nullptr) continue;
+
+    // Move j upward until its parent join is i (Algorithm 2, steps 6-7).
+    Plan* i_node =
+        i_path.has_value() ? ResolvePath(work.root.get(), *i_path) : nullptr;
+    bool feasible = true;
+    int guard = 0;
+    while (ParentJoin(work.root.get(), j) != i_node) {
+      ++stats_.swaps_attempted;
+      Plan* risen = SwapUp(work.root, j, &work.ctx);
+      if (risen == nullptr) {
+        ++stats_.swaps_failed;
+        feasible = false;
+        break;
+      }
+      j = risen;
+      if (++guard > 128) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+
+    // Recurse into the two sides (steps 8-9). j's child subtrees cover
+    // pair.s1 and pair.s2 (in some orientation).
+    NodePath j_path;
+    if (!PathTo(work.root.get(), j, &j_path)) continue;
+    RelSet left_set = j->left()->leaves();
+    RelSet first = left_set == pair.s1 || left_set.ContainsAll(pair.s1)
+                       ? pair.s1
+                       : pair.s2;
+    RelSet second = first == pair.s1 ? pair.s2 : pair.s1;
+    APlan done1 = GenerateSubplan(std::move(work), j_path, first);
+    if (done1.root == nullptr) continue;
+    APlan done2 = GenerateSubplan(std::move(done1), j_path, second);
+    if (done2.root == nullptr) continue;
+
+    double cost = SubtreeCost(done2, s);
+    if (!i_path.has_value()) ++stats_.plans_completed;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(done2);
+    }
+  }
+
+  if (best.root != nullptr && options_.reuse_subplans) {
+    UpdateBestPlan(best, s, my_ext_keys);
+  }
+  return best;
+}
+
+TopDownEnumerator::Result TopDownEnumerator::Optimize(const Plan& query) {
+  stats_ = EnumeratorStats();
+  cache_.clear();
+
+  APlan init;
+  init.root = query.Clone();
+  SimplifyOuterJoins(init.root.get());
+  init.ctx.policy = options_.policy;
+
+  RelSet all = init.root->leaves();
+  APlan best = GenerateSubplan(std::move(init), std::nullopt, all);
+
+  Result result;
+  result.stats = stats_;
+  if (best.root == nullptr) {
+    // No feasible reordering at the top (can happen for single-relation
+    // queries or fully blocked swaps): fall back to the initial plan.
+    result.plan = query.Clone();
+    result.cost = cost_->Cost(*result.plan);
+    return result;
+  }
+  result.plan = std::move(best.root);
+  result.cost = cost_->Cost(*result.plan);
+  return result;
+}
+
+}  // namespace eca

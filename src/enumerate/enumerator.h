@@ -1,0 +1,113 @@
+#ifndef ECA_ENUMERATE_ENUMERATOR_H_
+#define ECA_ENUMERATE_ENUMERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "cost/cost_model.h"
+#include "enumerate/subtree.h"
+#include "rewrite/rules.h"
+
+namespace eca {
+
+// Configuration for the top-down plan enumerator (Section 5).
+struct EnumeratorOptions {
+  // Which rewrite arsenal Swap may use — the paper's ECA, or the TBA / CBA
+  // baselines it compares against.
+  SwapPolicy policy = SwapPolicy::kECA;
+  // Enhanced mode (Algorithms 4-6, Appendix C): cache and reuse optimal
+  // subplans keyed by relation set + external d-edge signature. When false,
+  // runs the basic mode of Algorithms 1-3.
+  bool reuse_subplans = true;
+  // ABLATION ONLY (Example 5.1): reuse cached subplans on the relation set
+  // alone, ignoring the external d-edge signature — the unsound shortcut
+  // the paper's dependency tracking exists to prevent. Used by
+  // bench_ablation_dedges and the corresponding test to demonstrate that
+  // naive reuse produces plans that are NOT equivalent to the query.
+  bool unsafe_ignore_dedges = false;
+};
+
+struct EnumeratorStats {
+  int64_t subplan_calls = 0;
+  int64_t pairs_considered = 0;
+  int64_t swaps_attempted = 0;
+  int64_t swaps_failed = 0;
+  int64_t plans_completed = 0;  // complete plans costed at the top level
+  int64_t reuses = 0;
+  int64_t cache_entries = 0;
+};
+
+// Top-down plan enumeration with compensation operators (Algorithms 1-6).
+//
+// Starting from the initial plan P_init (the query as written), every
+// feasible decomposition of the relation set is explored; joins are
+// repositioned with SwapUp, which generates compensation operators for
+// invalid transformations. The optimal subplan for each relation set is
+// selected by estimated cost; in enhanced mode optimal subplans are reused
+// across contexts when their external dependency edges match (Theorem 5.4).
+class TopDownEnumerator {
+ public:
+  TopDownEnumerator(const CostModel* cost_model, EnumeratorOptions options)
+      : cost_(cost_model), options_(options) {}
+
+  struct Result {
+    PlanPtr plan;          // best complete plan (null if enumeration failed)
+    double cost = 0;
+    EnumeratorStats stats;
+  };
+
+  Result Optimize(const Plan& query);
+
+ private:
+  struct APlan {
+    PlanPtr root;
+    RewriteContext ctx;
+
+    APlan Clone() const {
+      APlan c;
+      c.root = root != nullptr ? root->Clone() : nullptr;
+      c.ctx = ctx;
+      return c;
+    }
+  };
+
+  // Algorithm 2 / Algorithm 4. `i_path` locates the join node below which
+  // the subplan for S must be produced (nullopt = S spans the whole query).
+  // Returns the plan containing the best subplan found, or an empty APlan
+  // if no arrangement is feasible.
+  APlan GenerateSubplan(APlan p, const std::optional<NodePath>& i_path,
+                        RelSet s);
+
+  double SubtreeCost(const APlan& p, RelSet s) const;
+
+  // Enhanced mode: external d-edge signature of subtree(P, S).
+  std::vector<std::string> ExtDEdgeKeys(const APlan& p, RelSet s) const;
+  // Algorithm 6: a cached plan whose subplan for S is reusable in `p`.
+  const APlan* GetBestPlan(const APlan& p, RelSet s,
+                           const std::vector<std::string>& ext_keys) const;
+  void UpdateBestPlan(const APlan& p, RelSet s,
+                      const std::vector<std::string>& ext_keys);
+  // Replaces subtree(P, S) in `p` by a copy of subtree(best, S), remapping
+  // compensation-group ids and dependency edges.
+  void GraftSubplan(APlan* p, RelSet s, const APlan& best) const;
+
+  const CostModel* cost_;
+  EnumeratorOptions options_;
+  EnumeratorStats stats_;
+
+  struct CacheEntry {
+    APlan plan;
+    double cost = 0;
+    std::vector<std::string> ext_keys;
+  };
+  std::unordered_map<RelSet, std::vector<CacheEntry>, RelSetHash> cache_;
+};
+
+}  // namespace eca
+
+#endif  // ECA_ENUMERATE_ENUMERATOR_H_

@@ -1,0 +1,35 @@
+#include "enumerate/exhaustive.h"
+
+#include <limits>
+
+#include "enumerate/join_order.h"
+
+namespace eca {
+
+ExhaustiveResult ExhaustiveEnumerate(const Plan& query,
+                                     const CostModel& cost_model,
+                                     SwapPolicy policy) {
+  ExhaustiveResult result;
+  result.cost = std::numeric_limits<double>::infinity();
+  auto thetas =
+      AllJoinOrderingTrees(query.leaves(), PredicateRefSets(query));
+  result.orderings_total = static_cast<int64_t>(thetas.size());
+  for (const OrderingNodePtr& theta : thetas) {
+    PlanPtr plan = RealizeOrdering(query, *theta, policy);
+    if (plan == nullptr) continue;
+    ++result.orderings_realized;
+    double cost = cost_model.Cost(*plan);
+    if (cost < result.cost) {
+      result.cost = cost;
+      result.plan = std::move(plan);
+    }
+  }
+  if (result.plan == nullptr) {
+    // At minimum the original ordering must be realizable.
+    result.plan = query.Clone();
+    result.cost = cost_model.Cost(*result.plan);
+  }
+  return result;
+}
+
+}  // namespace eca

@@ -1,0 +1,29 @@
+#ifndef ECA_ENUMERATE_EXHAUSTIVE_H_
+#define ECA_ENUMERATE_EXHAUSTIVE_H_
+
+#include "algebra/plan.h"
+#include "cost/cost_model.h"
+#include "enumerate/realize.h"
+
+namespace eca {
+
+// The CBA-style exhaustive baseline of Section 5.4: "their algorithm simply
+// enumerates all possible join plans without any pruning or reusing of
+// query subplans". This enumerator realizes every ordering in JoinOrder(Q)
+// independently, costs each complete plan, and keeps the cheapest — no
+// best-subplan caching, no cost-based pruning, every ordering paid in full.
+// bench_enumeration contrasts it with the paper's top-down algorithms.
+struct ExhaustiveResult {
+  PlanPtr plan;                     // cheapest realized complete plan
+  double cost = 0;
+  int64_t orderings_total = 0;      // |JoinOrder(Q)|
+  int64_t orderings_realized = 0;   // how many the policy could reach
+};
+
+ExhaustiveResult ExhaustiveEnumerate(const Plan& query,
+                                     const CostModel& cost_model,
+                                     SwapPolicy policy = SwapPolicy::kECA);
+
+}  // namespace eca
+
+#endif  // ECA_ENUMERATE_EXHAUSTIVE_H_

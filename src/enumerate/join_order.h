@@ -1,0 +1,30 @@
+#ifndef ECA_ENUMERATE_JOIN_ORDER_H_
+#define ECA_ENUMERATE_JOIN_ORDER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/rel_set.h"
+
+namespace eca {
+
+// The space JoinOrder(Q) of Section 3: all unordered binary trees whose
+// internal nodes are the query's predicates and whose leaves are its
+// relations, such that each predicate references relations in both child
+// subtrees of its node. Keys use the same canonical encoding as
+// OrderingKey() so the two can be compared directly.
+std::set<std::string> AllJoinOrderings(RelSet rels,
+                                       const std::vector<RelSet>& pred_refs);
+
+// The number of join orderings (size of the set above).
+int64_t CountJoinOrderings(RelSet rels, const std::vector<RelSet>& pred_refs);
+
+// Extracts the predicate reference sets of every join node in a query plan
+// (for feeding AllJoinOrderings).
+std::vector<RelSet> PredicateRefSets(const Plan& plan);
+
+}  // namespace eca
+
+#endif  // ECA_ENUMERATE_JOIN_ORDER_H_

@@ -1,0 +1,43 @@
+#ifndef ECA_ENUMERATE_REALIZE_H_
+#define ECA_ENUMERATE_REALIZE_H_
+
+#include <memory>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/rel_set.h"
+#include "rewrite/rules.h"
+
+namespace eca {
+
+// A join ordering theta from JoinOrder(Q) (Section 3): an unordered binary
+// tree over the query's relations. Children are stored with the smaller
+// minimum relation id on the left (canonical orientation).
+struct OrderingNode;
+using OrderingNodePtr = std::shared_ptr<const OrderingNode>;
+
+struct OrderingNode {
+  RelSet rels;
+  OrderingNodePtr left, right;  // null for leaves
+
+  bool is_leaf() const { return left == nullptr; }
+  // Canonical key, identical to OrderingKey() on plans.
+  std::string Key() const;
+};
+
+// All ordering trees of JoinOrder(Q) for a query with relations `rels` and
+// join predicates referencing `pred_refs`.
+std::vector<OrderingNodePtr> AllJoinOrderingTrees(
+    RelSet rels, const std::vector<RelSet>& pred_refs);
+
+// Section 3, theta-reorderability: attempts to rewrite `query` into an
+// equivalent plan whose operands are combined following `theta`, using the
+// swap machinery under the given policy. Returns the realized plan (with
+// whatever compensation operators the rewriting required) or nullptr when
+// the ordering is not reachable under that policy.
+PlanPtr RealizeOrdering(const Plan& query, const OrderingNode& theta,
+                        SwapPolicy policy);
+
+}  // namespace eca
+
+#endif  // ECA_ENUMERATE_REALIZE_H_

@@ -1,0 +1,46 @@
+#ifndef ECA_ENUMERATE_SUBTREE_H_
+#define ECA_ENUMERATE_SUBTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+
+namespace eca {
+
+// Path from a root to a node: 0 = left/child slot, 1 = right slot.
+using NodePath = std::vector<int>;
+
+// Fills `out` with the path from `root` to `node`; false if absent.
+bool PathTo(const Plan* root, const Plan* node, NodePath* out);
+
+// Resolves a path produced by PathTo against (a clone of) the same tree.
+Plan* ResolvePath(Plan* root, const NodePath& path);
+
+// subtree(P, S) per Section 5.1: the smallest subtree containing every
+// relation in S, extended upward over the compensation operators between
+// its root join and the closest ancestor join. Returns nullptr if no
+// single subtree covers exactly-or-more of S... (always succeeds for
+// S = leaves of some subtree; for other S returns the lowest cover).
+Plan* SubtreeOf(Plan* root, RelSet s);
+const Plan* SubtreeOf(const Plan* root, RelSet s);
+
+// A decomposition (S1, S2) of S with the unique join node whose predicate
+// references both sides (the paper's joinable-pair criterion, Section 5.1).
+struct JoinablePair {
+  RelSet s1, s2;
+  Plan* node = nullptr;
+};
+
+// All joinable pairs of S within plan `root` (unordered: s1 contains the
+// smallest relation id of S).
+std::vector<JoinablePair> JoinablePairs(Plan* root, RelSet s);
+
+// Canonical key of the join ordering realized by `plan` (the unordered
+// binary tree over its base relations, ignoring operators and compensation
+// nodes) — e.g. "((R0,R1),R2)" with children ordered by smallest member.
+std::string OrderingKey(const Plan& plan);
+
+}  // namespace eca
+
+#endif  // ECA_ENUMERATE_SUBTREE_H_

@@ -1,0 +1,457 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/executor.h"
+#include "types/tri_bool.h"
+
+namespace eca {
+
+namespace {
+
+// Null mask of a tuple packed into words (bit i set = column i is NULL).
+using NullMask = std::vector<uint64_t>;
+
+NullMask MaskOf(const Tuple& t) {
+  NullMask m((t.size() + 63) / 64, 0);
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].is_null()) m[i / 64] |= uint64_t{1} << (i % 64);
+  }
+  return m;
+}
+
+int Popcount(const NullMask& m) {
+  int c = 0;
+  for (uint64_t w : m) c += __builtin_popcountll(w);
+  return c;
+}
+
+// True if every null position of `a` is also null in `b` (a's null set is a
+// subset of b's).
+bool MaskSubset(const NullMask& a, const NullMask& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+struct MaskHash {
+  size_t operator()(const NullMask& m) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint64_t w : m) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Projection of `t` onto the non-null positions of mask `p`.
+Tuple ProjectNonNull(const Tuple& t, const NullMask& p) {
+  Tuple out;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (((p[i / 64] >> (i % 64)) & 1) == 0) out.push_back(t[i]);
+  }
+  return out;
+}
+
+// Hash-keyed multiset of tuples with exact-equality verification.
+class TupleSet {
+ public:
+  // Returns true if an equal tuple was already present; inserts otherwise.
+  bool InsertCheck(const Tuple& t) {
+    auto& bucket = map_[HashTuple(t)];
+    for (const Tuple& u : bucket) {
+      if (CompareTuples(t, u) == 0) return true;
+    }
+    bucket.push_back(t);
+    return false;
+  }
+
+  bool Contains(const Tuple& t) const {
+    auto it = map_.find(HashTuple(t));
+    if (it == map_.end()) return false;
+    for (const Tuple& u : it->second) {
+      if (CompareTuples(t, u) == 0) return true;
+    }
+    return false;
+  }
+
+  void Insert(const Tuple& t) {
+    auto& bucket = map_[HashTuple(t)];
+    bucket.push_back(t);
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<Tuple>> map_;
+};
+
+}  // namespace
+
+Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in) {
+  ECA_CHECK(pred != nullptr);
+  CompiledPredicate compiled(pred, in.schema());
+  std::vector<int> cols = in.schema().ColumnsOf(attrs);
+  Relation out(in.schema());
+  for (const Tuple& t : in.rows()) {
+    if (compiled.EvalTrue(t)) {
+      out.Add(t);
+    } else {
+      Tuple u = t;
+      for (int c : cols) {
+        u[static_cast<size_t>(c)] =
+            Value::Null(in.schema().column(c).type);
+      }
+      out.Add(std::move(u));
+    }
+  }
+  return out;
+}
+
+Relation EvalGamma(RelSet attrs, const Relation& in) {
+  std::vector<int> cols = in.schema().ColumnsOf(attrs);
+  ECA_CHECK_MSG(!cols.empty(), "gamma over attributes absent from input");
+  Relation out(in.schema());
+  for (const Tuple& t : in.rows()) {
+    bool all_null = true;
+    for (int c : cols) {
+      if (!t[static_cast<size_t>(c)].is_null()) {
+        all_null = false;
+        break;
+      }
+    }
+    if (all_null) out.Add(t);
+  }
+  return out;
+}
+
+Relation EvalBeta(const Relation& in) {
+  // Group rows by null pattern; a tuple with null set P is spurious iff it
+  // duplicates another tuple, or a tuple with null set Q (a strict subset
+  // of P) agrees with it on P's non-null positions. Plan intermediates have
+  // relation-block-structured nulls, so the number of distinct patterns is
+  // small and this runs in near-linear time while implementing the exact
+  // per-attribute definition of Section 2.2.
+  std::unordered_map<NullMask, std::vector<int64_t>, MaskHash> groups;
+  std::vector<NullMask> row_masks(static_cast<size_t>(in.NumRows()));
+  const int num_cols = in.schema().NumColumns();
+  for (int64_t i = 0; i < in.NumRows(); ++i) {
+    NullMask m = MaskOf(in.rows()[static_cast<size_t>(i)]);
+    if (Popcount(m) == num_cols) continue;  // all-NULL tuples are spurious
+    row_masks[static_cast<size_t>(i)] = m;
+    groups[std::move(m)].push_back(i);
+  }
+
+  std::vector<std::pair<NullMask, std::vector<int64_t>>> ordered(
+      groups.begin(), groups.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              int pa = Popcount(a.first), pb = Popcount(b.first);
+              if (pa != pb) return pa < pb;
+              return a.first < b.first;  // deterministic tie-break
+            });
+
+  // Survivor rows per processed group, used to test domination of later
+  // (more-null) groups.
+  std::vector<std::pair<NullMask, std::vector<int64_t>>> processed;
+  std::vector<bool> keep(static_cast<size_t>(in.NumRows()), false);
+
+  for (auto& [mask, rows] : ordered) {
+    // Per-dominator-group projection sets, built lazily for this target
+    // pattern.
+    std::vector<TupleSet> dominator_sets;
+    std::vector<const std::vector<int64_t>*> dominator_rows;
+    for (const auto& [pmask, prows] : processed) {
+      if (MaskSubset(pmask, mask) && pmask != mask) {
+        TupleSet s;
+        for (int64_t r : prows) {
+          s.Insert(ProjectNonNull(in.rows()[static_cast<size_t>(r)], mask));
+        }
+        dominator_sets.push_back(std::move(s));
+        dominator_rows.push_back(&prows);
+      }
+    }
+    TupleSet dedup;
+    std::vector<int64_t> survivors;
+    for (int64_t r : rows) {
+      const Tuple& t = in.rows()[static_cast<size_t>(r)];
+      if (dedup.InsertCheck(t)) continue;  // duplicate
+      bool dominated = false;
+      if (!dominator_sets.empty()) {
+        Tuple proj = ProjectNonNull(t, mask);
+        for (const TupleSet& s : dominator_sets) {
+          if (s.Contains(proj)) {
+            dominated = true;
+            break;
+          }
+        }
+      }
+      if (!dominated) {
+        keep[static_cast<size_t>(r)] = true;
+        survivors.push_back(r);
+      }
+    }
+    processed.emplace_back(mask, std::move(survivors));
+  }
+
+  Relation out(in.schema());
+  for (int64_t i = 0; i < in.NumRows(); ++i) {
+    if (keep[static_cast<size_t>(i)]) {
+      out.Add(in.rows()[static_cast<size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+Relation EvalBetaNaive(const Relation& in) {
+  const auto& rows = in.rows();
+  std::vector<bool> spurious(rows.size(), false);
+  auto null_count = [](const Tuple& t) {
+    int c = 0;
+    for (const Value& v : t) c += v.is_null() ? 1 : 0;
+    return c;
+  };
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (null_count(rows[i]) == static_cast<int>(rows[i].size()) &&
+        !rows[i].empty()) {
+      spurious[i] = true;  // all-NULL tuples are spurious by convention
+      continue;
+    }
+    for (size_t j = 0; j < rows.size(); ++j) {
+      if (i == j || spurious[i]) continue;
+      // Is rows[i] dominated by rows[j], or a duplicate of an earlier equal
+      // tuple?
+      bool agree = true;
+      for (size_t c = 0; c < rows[i].size(); ++c) {
+        if (rows[i][c].is_null()) continue;
+        if (rows[j][c].is_null() ||
+            !rows[i][c].SameAs(rows[j][c])) {
+          agree = false;
+          break;
+        }
+      }
+      if (!agree) continue;
+      int ni = null_count(rows[i]), nj = null_count(rows[j]);
+      if (ni > nj) {
+        spurious[i] = true;  // dominated
+      } else if (ni == nj && j < i && CompareTuples(rows[i], rows[j]) == 0) {
+        spurious[i] = true;  // duplicate of an earlier tuple
+      }
+    }
+  }
+  Relation out(in.schema());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!spurious[i]) out.Add(rows[i]);
+  }
+  return out;
+}
+
+Relation EvalBetaSorted(const Relation& in) {
+  const int num_cols = in.schema().NumColumns();
+  // Distinct null patterns present in the input.
+  std::unordered_map<NullMask, int, MaskHash> patterns;
+  std::vector<NullMask> row_masks(static_cast<size_t>(in.NumRows()));
+  std::vector<bool> keep(static_cast<size_t>(in.NumRows()), true);
+  for (int64_t i = 0; i < in.NumRows(); ++i) {
+    NullMask m = MaskOf(in.rows()[static_cast<size_t>(i)]);
+    if (Popcount(m) == num_cols && num_cols > 0) {
+      keep[static_cast<size_t>(i)] = false;  // all-NULL convention
+      continue;
+    }
+    row_masks[static_cast<size_t>(i)] = m;
+    patterns.emplace(std::move(m), 1);
+  }
+
+  // One sorting pass per pattern P: order by P's non-NULL columns first
+  // (then the rest), NULLS LAST per column. Any tuple of pattern P then
+  // immediately follows a tuple that agrees on its non-NULL columns — a
+  // dominator or duplicate — if one exists.
+  std::vector<int64_t> order;
+  order.reserve(static_cast<size_t>(in.NumRows()));
+  for (const auto& [pattern, unused] : patterns) {
+    (void)unused;
+    std::vector<int> key_cols;
+    key_cols.reserve(static_cast<size_t>(num_cols));
+    for (int c = 0; c < num_cols; ++c) {  // non-NULL-in-P columns first
+      if (((pattern[static_cast<size_t>(c) / 64] >> (c % 64)) & 1) == 0) {
+        key_cols.push_back(c);
+      }
+    }
+    size_t agree_prefix = key_cols.size();  // columns a dominator must match
+    for (int c = 0; c < num_cols; ++c) {
+      if (((pattern[static_cast<size_t>(c) / 64] >> (c % 64)) & 1) == 1) {
+        key_cols.push_back(c);
+      }
+    }
+    order.clear();
+    for (int64_t i = 0; i < in.NumRows(); ++i) {
+      if (keep[static_cast<size_t>(i)]) order.push_back(i);
+    }
+    auto value_less = [&](int64_t a, int64_t b) {
+      const Tuple& ta = in.rows()[static_cast<size_t>(a)];
+      const Tuple& tb = in.rows()[static_cast<size_t>(b)];
+      for (int c : key_cols) {
+        const Value& va = ta[static_cast<size_t>(c)];
+        const Value& vb = tb[static_cast<size_t>(c)];
+        // NULLS LAST within each key column.
+        if (va.is_null() != vb.is_null()) return vb.is_null();
+        int cmp = va.Compare(vb);
+        if (cmp != 0) return cmp < 0;
+      }
+      return false;
+    };
+    std::sort(order.begin(), order.end(), value_less);
+    // Scan: a pattern-P tuple is spurious if its surviving predecessor
+    // agrees on the prefix columns and has fewer-or-equal NULLs.
+    int64_t prev = -1;
+    for (int64_t idx : order) {
+      if (prev >= 0 && row_masks[static_cast<size_t>(idx)] == pattern) {
+        const Tuple& t = in.rows()[static_cast<size_t>(idx)];
+        const Tuple& p = in.rows()[static_cast<size_t>(prev)];
+        bool agree = true;
+        for (size_t k = 0; k < agree_prefix; ++k) {
+          int c = key_cols[k];
+          const Value& vp = p[static_cast<size_t>(c)];
+          if (vp.is_null() ||
+              !vp.SameAs(t[static_cast<size_t>(c)])) {
+            agree = false;
+            break;
+          }
+        }
+        if (agree &&
+            Popcount(row_masks[static_cast<size_t>(prev)]) <=
+                Popcount(row_masks[static_cast<size_t>(idx)])) {
+          // Dominated (strictly fewer NULLs) or duplicate (equal pattern
+          // and full agreement — prefix agreement plus both all-NULL
+          // elsewhere).
+          bool duplicate =
+              row_masks[static_cast<size_t>(prev)] ==
+              row_masks[static_cast<size_t>(idx)];
+          bool dominated =
+              Popcount(row_masks[static_cast<size_t>(prev)]) <
+              Popcount(row_masks[static_cast<size_t>(idx)]);
+          if (duplicate || dominated) {
+            keep[static_cast<size_t>(idx)] = false;
+            continue;  // prev stays the reference survivor
+          }
+        }
+      }
+      prev = idx;
+    }
+  }
+
+  Relation out(in.schema());
+  for (int64_t i = 0; i < in.NumRows(); ++i) {
+    if (keep[static_cast<size_t>(i)]) out.Add(in.rows()[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in) {
+  std::vector<int> acols = in.schema().ColumnsOf(attrs);
+  ECA_CHECK_MSG(!acols.empty(), "gamma* over attributes absent from input");
+  std::vector<int> nulled_cols;
+  for (int c = 0; c < in.schema().NumColumns(); ++c) {
+    if (!keep.Contains(in.schema().column(c).rel_id)) nulled_cols.push_back(c);
+  }
+  Relation modified(in.schema());
+  for (const Tuple& t : in.rows()) {
+    bool all_null = true;
+    for (int c : acols) {
+      if (!t[static_cast<size_t>(c)].is_null()) {
+        all_null = false;
+        break;
+      }
+    }
+    if (all_null) {
+      modified.Add(t);  // selected by gamma_A: passes unchanged
+    } else {
+      Tuple u = t;  // R' branch: null everything outside `keep`
+      for (int c : nulled_cols) {
+        u[static_cast<size_t>(c)] =
+            Value::Null(in.schema().column(c).type);
+      }
+      modified.Add(std::move(u));
+    }
+  }
+  return EvalBeta(modified);
+}
+
+Relation EvalProject(RelSet attrs, const Relation& in) {
+  std::vector<int> cols = in.schema().ColumnsOf(attrs);
+  Relation out(in.schema().Project(attrs));
+  for (const Tuple& t : in.rows()) {
+    Tuple u;
+    u.reserve(cols.size());
+    for (int c : cols) u.push_back(t[static_cast<size_t>(c)]);
+    out.Add(std::move(u));
+  }
+  return out;
+}
+
+Relation EvalOuterUnion(const Relation& a, const Relation& b) {
+  // Union schema: a's columns, then b's columns not already present.
+  std::vector<Column> cols = a.schema().columns();
+  std::vector<int> b_to_union(static_cast<size_t>(b.schema().NumColumns()));
+  for (int c = 0; c < b.schema().NumColumns(); ++c) {
+    const Column& col = b.schema().column(c);
+    int existing = a.schema().FindColumn(col.rel_id, col.name);
+    if (existing >= 0) {
+      b_to_union[static_cast<size_t>(c)] = existing;
+    } else {
+      b_to_union[static_cast<size_t>(c)] = static_cast<int>(cols.size());
+      cols.push_back(col);
+    }
+  }
+  Schema schema(std::move(cols));
+  Relation out(schema);
+  const int width = schema.NumColumns();
+  for (const Tuple& t : a.rows()) {
+    Tuple u = t;
+    for (int c = static_cast<int>(t.size()); c < width; ++c) {
+      u.push_back(Value::Null(schema.column(c).type));
+    }
+    out.Add(std::move(u));
+  }
+  for (const Tuple& t : b.rows()) {
+    Tuple u;
+    u.reserve(static_cast<size_t>(width));
+    for (int c = 0; c < width; ++c) {
+      u.push_back(Value::Null(schema.column(c).type));
+    }
+    for (int c = 0; c < b.schema().NumColumns(); ++c) {
+      u[static_cast<size_t>(b_to_union[static_cast<size_t>(c)])] =
+          t[static_cast<size_t>(c)];
+    }
+    out.Add(std::move(u));
+  }
+  return out;
+}
+
+Relation EvalMinUnion(const Relation& a, const Relation& b) {
+  return EvalBeta(EvalOuterUnion(a, b));
+}
+
+Relation CanonicalizeColumnOrder(const Relation& in) {
+  std::vector<int> order(static_cast<size_t>(in.schema().NumColumns()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Column& ca = in.schema().column(a);
+    const Column& cb = in.schema().column(b);
+    if (ca.rel_id != cb.rel_id) return ca.rel_id < cb.rel_id;
+    return ca.name < cb.name;
+  });
+  std::vector<Column> cols;
+  cols.reserve(order.size());
+  for (int i : order) cols.push_back(in.schema().column(i));
+  Relation out(Schema(std::move(cols)));
+  for (const Tuple& t : in.rows()) {
+    Tuple u;
+    u.reserve(order.size());
+    for (int i : order) u.push_back(t[static_cast<size_t>(i)]);
+    out.Add(std::move(u));
+  }
+  return out;
+}
+
+}  // namespace eca

@@ -1,0 +1,39 @@
+#ifndef ECA_EXEC_DATABASE_H_
+#define ECA_EXEC_DATABASE_H_
+
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace eca {
+
+// The base relations of a query, indexed by query-relation id. Leaf plan
+// nodes reference tables by rel_id.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::vector<Relation> tables)
+      : tables_(std::move(tables)) {}
+
+  int NumTables() const { return static_cast<int>(tables_.size()); }
+  const Relation& table(int rel_id) const {
+    ECA_CHECK(rel_id >= 0 && rel_id < NumTables());
+    return tables_[static_cast<size_t>(rel_id)];
+  }
+  void Add(Relation r) { tables_.push_back(std::move(r)); }
+
+  // Base schemas indexed by rel_id (for PlanOutputSchema).
+  std::vector<Schema> BaseSchemas() const {
+    std::vector<Schema> out;
+    out.reserve(tables_.size());
+    for (const Relation& r : tables_) out.push_back(r.schema());
+    return out;
+  }
+
+ private:
+  std::vector<Relation> tables_;
+};
+
+}  // namespace eca
+
+#endif  // ECA_EXEC_DATABASE_H_

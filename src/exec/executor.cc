@@ -1,0 +1,60 @@
+#include "exec/executor.h"
+
+namespace eca {
+
+Relation Executor::Execute(const Plan& plan, const Database& db) {
+  switch (plan.kind()) {
+    case Plan::Kind::kLeaf:
+      return db.table(plan.rel_id());
+    case Plan::Kind::kJoin:
+      return ExecJoin(plan, db);
+    case Plan::Kind::kComp:
+      return ExecComp(plan, db);
+  }
+  return Relation();
+}
+
+Relation Executor::ExecJoin(const Plan& plan, const Database& db) {
+  Relation left = Execute(*plan.left(), db);
+  Relation right = Execute(*plan.right(), db);
+  ++stats_.join_nodes;
+  Relation out = EvalJoin(plan.op(), plan.pred(), left, right,
+                          options_.join_preference, &stats_);
+  stats_.rows_produced += out.NumRows();
+  return out;
+}
+
+Relation Executor::ExecComp(const Plan& plan, const Database& db) {
+  Relation child = Execute(*plan.child(), db);
+  ++stats_.comp_nodes;
+  const CompOp& c = plan.comp();
+  Relation out;
+  switch (c.kind) {
+    case CompOp::Kind::kLambda:
+      out = EvalLambda(c.pred, c.attrs, child);
+      break;
+    case CompOp::Kind::kBeta:
+      out = EvalBeta(child);
+      break;
+    case CompOp::Kind::kGamma:
+      out = EvalGamma(c.attrs, child);
+      break;
+    case CompOp::Kind::kGammaStar:
+      out = EvalGammaStar(c.attrs, c.keep, child);
+      break;
+    case CompOp::Kind::kProject:
+      out = EvalProject(c.attrs, child);
+      break;
+  }
+  stats_.rows_produced += out.NumRows();
+  return out;
+}
+
+bool PlansEquivalentOn(const Plan& a, const Plan& b, const Database& db) {
+  Executor ea, eb;
+  Relation ra = CanonicalizeColumnOrder(ea.Execute(a, db));
+  Relation rb = CanonicalizeColumnOrder(eb.Execute(b, db));
+  return SameMultiset(ra, rb);
+}
+
+}  // namespace eca

@@ -1,0 +1,396 @@
+#include "exec/iterator_exec.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace eca {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Leaf scan
+// --------------------------------------------------------------------------
+
+class ScanIterator : public RowIterator {
+ public:
+  explicit ScanIterator(const Relation* rel) : rel_(rel) {}
+
+  bool Next(Tuple* out) override {
+    if (pos_ >= rel_->NumRows()) return false;
+    *out = rel_->rows()[static_cast<size_t>(pos_++)];
+    return true;
+  }
+  const Schema& schema() const override { return rel_->schema(); }
+
+ private:
+  const Relation* rel_;
+  int64_t pos_ = 0;
+};
+
+// A materialized relation exposed as an iterator (used below every
+// pipeline breaker).
+class MaterializedIterator : public RowIterator {
+ public:
+  explicit MaterializedIterator(Relation rel) : rel_(std::move(rel)) {}
+
+  bool Next(Tuple* out) override {
+    if (pos_ >= rel_.NumRows()) return false;
+    *out = rel_.rows()[static_cast<size_t>(pos_++)];
+    return true;
+  }
+  const Schema& schema() const override { return rel_.schema(); }
+
+ private:
+  Relation rel_;
+  int64_t pos_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// Streaming unary operators
+// --------------------------------------------------------------------------
+
+class LambdaIterator : public RowIterator {
+ public:
+  LambdaIterator(std::unique_ptr<RowIterator> child, const PredRef& pred,
+                 RelSet attrs)
+      : child_(std::move(child)),
+        compiled_(pred, child_->schema()),
+        cols_(child_->schema().ColumnsOf(attrs)) {}
+
+  bool Next(Tuple* out) override {
+    if (!child_->Next(out)) return false;
+    if (!compiled_.EvalTrue(*out)) {
+      for (int c : cols_) {
+        (*out)[static_cast<size_t>(c)] =
+            Value::Null(child_->schema().column(c).type);
+      }
+    }
+    return true;
+  }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  std::unique_ptr<RowIterator> child_;
+  CompiledPredicate compiled_;
+  std::vector<int> cols_;
+};
+
+class GammaIterator : public RowIterator {
+ public:
+  GammaIterator(std::unique_ptr<RowIterator> child, RelSet attrs)
+      : child_(std::move(child)), cols_(child_->schema().ColumnsOf(attrs)) {}
+
+  bool Next(Tuple* out) override {
+    while (child_->Next(out)) {
+      bool all_null = true;
+      for (int c : cols_) {
+        if (!(*out)[static_cast<size_t>(c)].is_null()) {
+          all_null = false;
+          break;
+        }
+      }
+      if (all_null) return true;
+    }
+    return false;
+  }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  std::unique_ptr<RowIterator> child_;
+  std::vector<int> cols_;
+};
+
+class ProjectIterator : public RowIterator {
+ public:
+  ProjectIterator(std::unique_ptr<RowIterator> child, RelSet attrs)
+      : child_(std::move(child)),
+        cols_(child_->schema().ColumnsOf(attrs)),
+        schema_(child_->schema().Project(attrs)) {}
+
+  bool Next(Tuple* out) override {
+    Tuple t;
+    if (!child_->Next(&t)) return false;
+    out->clear();
+    out->reserve(cols_.size());
+    for (int c : cols_) out->push_back(std::move(t[static_cast<size_t>(c)]));
+    return true;
+  }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<RowIterator> child_;
+  std::vector<int> cols_;
+  Schema schema_;
+};
+
+// --------------------------------------------------------------------------
+// Streaming hash join (build right, probe left). Inner / left-outer /
+// left-semi / left-anti stream the probe side; the remaining variants and
+// non-equi predicates fall back to a materialized evaluation.
+// --------------------------------------------------------------------------
+
+struct EquiKeyPair {
+  ScalarRef left_expr, right_expr;
+};
+
+void SplitKeys(const PredRef& pred, RelSet left, RelSet right,
+               std::vector<EquiKeyPair>* keys, PredRef* residual) {
+  std::vector<PredRef> conjuncts = {pred};
+  std::vector<PredRef> residuals;
+  while (!conjuncts.empty()) {
+    PredRef p = conjuncts.back();
+    conjuncts.pop_back();
+    if (p->kind() == Predicate::Kind::kAnd) {
+      for (const PredRef& c : p->children()) conjuncts.push_back(c);
+      continue;
+    }
+    bool is_key = false;
+    if (p->kind() == Predicate::Kind::kCompare &&
+        p->cmp_op() == Predicate::CmpOp::kEq) {
+      RelSet lr = p->scalar_left()->refs();
+      RelSet rr = p->scalar_right()->refs();
+      if (!lr.Empty() && !rr.Empty()) {
+        if (left.ContainsAll(lr) && right.ContainsAll(rr)) {
+          keys->push_back({p->scalar_left(), p->scalar_right()});
+          is_key = true;
+        } else if (right.ContainsAll(lr) && left.ContainsAll(rr)) {
+          keys->push_back({p->scalar_right(), p->scalar_left()});
+          is_key = true;
+        }
+      }
+    }
+    if (!is_key) residuals.push_back(p);
+  }
+  *residual = residuals.empty() ? nullptr : Predicate::And(residuals);
+}
+
+class StreamingHashJoinIterator : public RowIterator {
+ public:
+  StreamingHashJoinIterator(std::unique_ptr<RowIterator> left,
+                            Relation right, JoinOp op, const PredRef& pred,
+                            std::vector<EquiKeyPair> keys, PredRef residual)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        op_(op),
+        schema_(OutputsOneSide(op) ? left_->schema()
+                                   : left_->schema().Concat(right_.schema())),
+        concat_(left_->schema().Concat(right_.schema())) {
+    (void)pred;
+    for (const EquiKeyPair& k : keys) {
+      lkeys_.push_back(k.left_expr);
+      rkeys_.push_back(k.right_expr);
+    }
+    if (residual != nullptr) {
+      residual_ = CompiledPredicate(residual, concat_);
+      have_residual_ = true;
+    }
+    // Build phase (pipeline breaker on the right input only).
+    std::vector<Value> kv;
+    for (int64_t i = 0; i < right_.NumRows(); ++i) {
+      if (!EvalKeys(rkeys_, right_.schema(), right_.rows()[(size_t)i], &kv))
+        continue;
+      table_[HashTuple(kv)].push_back(i);
+    }
+    pad_right_ = NullsFor(concat_, left_->schema().NumColumns(),
+                          right_.schema().NumColumns());
+  }
+
+  bool Next(Tuple* out) override {
+    while (true) {
+      // Drain pending matches for the current probe row.
+      while (match_pos_ < matches_.size()) {
+        int64_t ri = matches_[match_pos_++];
+        if (op_ == JoinOp::kLeftSemi) {
+          *out = current_;
+          matches_.clear();
+          match_pos_ = 0;
+          return true;
+        }
+        *out = ConcatTuples(current_,
+                            right_.rows()[static_cast<size_t>(ri)]);
+        return true;
+      }
+      if (pending_pad_) {
+        pending_pad_ = false;
+        if (op_ == JoinOp::kLeftAnti) {
+          *out = current_;
+        } else {
+          *out = ConcatTuples(current_, pad_right_);
+        }
+        return true;
+      }
+      // Advance the probe side.
+      if (!left_->Next(&current_)) return false;
+      matches_.clear();
+      match_pos_ = 0;
+      std::vector<Value> kv;
+      if (EvalKeys(lkeys_, left_->schema(), current_, &kv)) {
+        auto it = table_.find(HashTuple(kv));
+        if (it != table_.end()) {
+          for (int64_t ri : it->second) {
+            if (!KeysEqual(kv, right_.rows()[static_cast<size_t>(ri)]))
+              continue;
+            if (have_residual_) {
+              Tuple joint = ConcatTuples(
+                  current_, right_.rows()[static_cast<size_t>(ri)]);
+              if (!residual_.EvalTrue(joint)) continue;
+            }
+            matches_.push_back(ri);
+            if (op_ == JoinOp::kLeftSemi || op_ == JoinOp::kLeftAnti) break;
+          }
+        }
+      }
+      bool matched = !matches_.empty();
+      if (op_ == JoinOp::kLeftAnti) {
+        matches_.clear();
+        pending_pad_ = !matched;
+      } else if (op_ == JoinOp::kLeftOuter) {
+        pending_pad_ = !matched;
+      } else {
+        pending_pad_ = false;  // inner / semi emit matches only
+      }
+    }
+  }
+
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  static bool EvalKeys(const std::vector<ScalarRef>& exprs, const Schema& s,
+                       const Tuple& row, std::vector<Value>* out) {
+    out->clear();
+    for (const ScalarRef& e : exprs) {
+      Value v = e->Eval(s, row);
+      if (v.is_null()) return false;
+      out->push_back(std::move(v));
+    }
+    return true;
+  }
+  bool KeysEqual(const std::vector<Value>& kv, const Tuple& rrow) const {
+    for (size_t i = 0; i < rkeys_.size(); ++i) {
+      Value rv = rkeys_[i]->Eval(right_.schema(), rrow);
+      if (rv.is_null() || !rv.SameAs(kv[i])) return false;
+    }
+    return true;
+  }
+
+  std::unique_ptr<RowIterator> left_;
+  Relation right_;
+  JoinOp op_;
+  Schema schema_;
+  Schema concat_;
+  std::vector<ScalarRef> lkeys_, rkeys_;
+  CompiledPredicate residual_;
+  bool have_residual_ = false;
+  std::unordered_map<uint64_t, std::vector<int64_t>> table_;
+  Tuple current_;
+  Tuple pad_right_;
+  std::vector<int64_t> matches_;
+  size_t match_pos_ = 0;
+  bool pending_pad_ = false;
+};
+
+// --------------------------------------------------------------------------
+// Driver
+// --------------------------------------------------------------------------
+
+bool StreamableJoin(JoinOp op) {
+  return op == JoinOp::kInner || op == JoinOp::kLeftOuter ||
+         op == JoinOp::kLeftSemi || op == JoinOp::kLeftAnti;
+}
+
+std::unique_ptr<RowIterator> Open(const Plan& plan, const Database& db,
+                                  Executor::JoinPreference pref);
+
+// Materializing fallback for operators with no streaming form.
+std::unique_ptr<RowIterator> OpenMaterialized(const Plan& plan,
+                                              const Database& db,
+                                              Executor::JoinPreference pref) {
+  Executor ex(Executor::Options{pref});
+  return std::make_unique<MaterializedIterator>(ex.Execute(plan, db));
+}
+
+std::unique_ptr<RowIterator> Open(const Plan& plan, const Database& db,
+                                  Executor::JoinPreference pref) {
+  switch (plan.kind()) {
+    case Plan::Kind::kLeaf:
+      return std::make_unique<ScanIterator>(&db.table(plan.rel_id()));
+    case Plan::Kind::kJoin: {
+      if (!StreamableJoin(plan.op()) || plan.pred() == nullptr) {
+        return OpenMaterialized(plan, db, pref);
+      }
+      // Try an equi-key split; non-equi predicates fall back.
+      std::vector<EquiKeyPair> keys;
+      PredRef residual;
+      SplitKeys(plan.pred(), plan.left()->output_rels(),
+                plan.right()->output_rels(), &keys, &residual);
+      if (keys.empty()) return OpenMaterialized(plan, db, pref);
+      std::unique_ptr<RowIterator> left = Open(*plan.left(), db, pref);
+      Executor ex(Executor::Options{pref});
+      Relation right = ex.Execute(*plan.right(), db);
+      return std::make_unique<StreamingHashJoinIterator>(
+          std::move(left), std::move(right), plan.op(), plan.pred(),
+          std::move(keys), residual);
+    }
+    case Plan::Kind::kComp: {
+      const CompOp& c = plan.comp();
+      switch (c.kind) {
+        case CompOp::Kind::kLambda:
+          return std::make_unique<LambdaIterator>(
+              Open(*plan.child(), db, pref), c.pred, c.attrs);
+        case CompOp::Kind::kGamma:
+          return std::make_unique<GammaIterator>(
+              Open(*plan.child(), db, pref), c.attrs);
+        case CompOp::Kind::kProject:
+          return std::make_unique<ProjectIterator>(
+              Open(*plan.child(), db, pref), c.attrs);
+        case CompOp::Kind::kBeta:
+        case CompOp::Kind::kGammaStar: {
+          // Pipeline breakers: drain the child pipeline, apply, replay.
+          std::unique_ptr<RowIterator> child =
+              Open(*plan.child(), db, pref);
+          Relation input = DrainIterator(*child);
+          Relation out = c.kind == CompOp::Kind::kBeta
+                             ? EvalBeta(input)
+                             : EvalGammaStar(c.attrs, c.keep, input);
+          return std::make_unique<MaterializedIterator>(std::move(out));
+        }
+      }
+      break;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<RowIterator> OpenPlanIterator(const Plan& plan,
+                                              const Database& db,
+                                              Executor::JoinPreference pref) {
+  return Open(plan, db, pref);
+}
+
+Relation DrainIterator(RowIterator& it) {
+  Relation out(it.schema());
+  Tuple t;
+  while (it.Next(&t)) out.Add(t);
+  return out;
+}
+
+Relation ExecutePull(const Plan& plan, const Database& db,
+                     Executor::JoinPreference pref) {
+  std::unique_ptr<RowIterator> it = OpenPlanIterator(plan, db, pref);
+  ECA_CHECK(it != nullptr);
+  return DrainIterator(*it);
+}
+
+Relation ExecutePullLimit(const Plan& plan, const Database& db,
+                          int64_t limit) {
+  std::unique_ptr<RowIterator> it = OpenPlanIterator(plan, db);
+  ECA_CHECK(it != nullptr);
+  Relation out(it->schema());
+  Tuple t;
+  while (out.NumRows() < limit && it->Next(&t)) out.Add(t);
+  return out;
+}
+
+}  // namespace eca

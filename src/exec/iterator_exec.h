@@ -1,0 +1,57 @@
+#ifndef ECA_EXEC_ITERATOR_EXEC_H_
+#define ECA_EXEC_ITERATOR_EXEC_H_
+
+#include <memory>
+
+#include "algebra/plan.h"
+#include "exec/database.h"
+#include "exec/executor.h"
+
+namespace eca {
+
+// Pull-based (Volcano-style) execution: each operator exposes Next(), and
+// tuples stream through the pipeline without materializing every
+// intermediate. Streaming operators: scan, nested-loop/hash-join probe,
+// lambda, gamma, projection, and the match-producing part of outerjoins.
+// Pipeline breakers: hash-join build, the padding phase of right/full
+// outerjoins and semi/antijoin outputs, and the best-match operators
+// (beta, gamma*), which inherently need the whole input.
+//
+// The pull engine produces exactly the same multisets as the materializing
+// Executor (verified against it on random plans in iterator_exec_test.cc);
+// it exists to bound peak memory for deep plans and as the substrate for
+// the row-limit / early-out use cases a library consumer expects.
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+
+  // Produces the next tuple; false at end of stream. `out` is only valid
+  // when true is returned.
+  virtual bool Next(Tuple* out) = 0;
+
+  // Output schema of this operator.
+  virtual const Schema& schema() const = 0;
+};
+
+// Builds the iterator tree for `plan` over `db`. The returned iterator
+// borrows `db` (must outlive it).
+std::unique_ptr<RowIterator> OpenPlanIterator(
+    const Plan& plan, const Database& db,
+    Executor::JoinPreference pref = Executor::JoinPreference::kHash);
+
+// Convenience: drains the iterator into a relation.
+Relation DrainIterator(RowIterator& it);
+
+// Full pull-based execution of a plan.
+Relation ExecutePull(const Plan& plan, const Database& db,
+                     Executor::JoinPreference pref =
+                         Executor::JoinPreference::kHash);
+
+// Pulls at most `limit` rows — the early-out path a streaming pipeline
+// enables (a materializing engine would compute everything first).
+Relation ExecutePullLimit(const Plan& plan, const Database& db,
+                          int64_t limit);
+
+}  // namespace eca
+
+#endif  // ECA_EXEC_ITERATOR_EXEC_H_

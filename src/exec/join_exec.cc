@@ -1,0 +1,397 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/executor.h"
+#include "types/tri_bool.h"
+
+namespace eca {
+
+namespace {
+
+// A conjunct of the form <left col> = <right col> usable as a hash/merge key.
+struct EquiKey {
+  ScalarRef left_expr;
+  ScalarRef right_expr;
+};
+
+// Splits `pred` into equi-key conjuncts across (left_rels, right_rels) and a
+// residual predicate (nullptr if none). Only top-level AND conjuncts are
+// considered.
+void SplitEquiKeys(const PredRef& pred, RelSet left_rels, RelSet right_rels,
+                   std::vector<EquiKey>* keys, PredRef* residual) {
+  std::vector<PredRef> conjuncts;
+  std::vector<PredRef> pending = {pred};
+  while (!pending.empty()) {
+    PredRef p = pending.back();
+    pending.pop_back();
+    if (p->kind() == Predicate::Kind::kAnd) {
+      for (const PredRef& c : p->children()) pending.push_back(c);
+    } else {
+      conjuncts.push_back(p);
+    }
+  }
+  std::vector<PredRef> residual_conjuncts;
+  for (const PredRef& c : conjuncts) {
+    bool is_key = false;
+    if (c->kind() == Predicate::Kind::kCompare &&
+        c->cmp_op() == Predicate::CmpOp::kEq) {
+      RelSet lr = c->scalar_left()->refs();
+      RelSet rr = c->scalar_right()->refs();
+      if (!lr.Empty() && !rr.Empty()) {
+        if (left_rels.ContainsAll(lr) && right_rels.ContainsAll(rr)) {
+          keys->push_back({c->scalar_left(), c->scalar_right()});
+          is_key = true;
+        } else if (right_rels.ContainsAll(lr) && left_rels.ContainsAll(rr)) {
+          keys->push_back({c->scalar_right(), c->scalar_left()});
+          is_key = true;
+        }
+      }
+    }
+    if (!is_key) residual_conjuncts.push_back(c);
+  }
+  *residual = residual_conjuncts.empty() ? nullptr
+                                         : Predicate::And(residual_conjuncts);
+}
+
+// Evaluates one side's key expressions for a row. Key expressions are almost
+// always bare column refs, so column indexes are precomputed; NULL keys
+// never match under null-intolerant equality.
+struct KeyEvaluator {
+  std::vector<ScalarRef> exprs;
+  std::vector<int> col_fastpath;  // column index or -1
+  const Schema* schema = nullptr;
+
+  void Bind(std::vector<ScalarRef> key_exprs, const Schema& s) {
+    exprs = std::move(key_exprs);
+    schema = &s;
+    col_fastpath.clear();
+    for (const ScalarRef& e : exprs) {
+      if (e->kind() == Scalar::Kind::kColumn) {
+        int idx = s.FindColumn(e->rel_id(), e->column_name());
+        ECA_CHECK(idx >= 0);
+        col_fastpath.push_back(idx);
+      } else {
+        col_fastpath.push_back(-1);
+      }
+    }
+  }
+
+  // Returns true and fills `out` when all keys are non-NULL.
+  bool Eval(const Tuple& row, std::vector<Value>* out) const {
+    out->clear();
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      Value v = col_fastpath[i] >= 0
+                    ? row[static_cast<size_t>(col_fastpath[i])]
+                    : exprs[i]->Eval(*schema, row);
+      if (v.is_null()) return false;
+      out->push_back(std::move(v));
+    }
+    return true;
+  }
+};
+
+struct JoinShape {
+  Schema out_schema;     // schema of emitted tuples
+  Schema concat_schema;  // left ++ right, used for predicate evaluation
+  int left_width = 0;
+  int right_width = 0;
+};
+
+JoinShape MakeShape(JoinOp op, const Relation& left, const Relation& right) {
+  JoinShape shape;
+  shape.concat_schema = left.schema().Concat(right.schema());
+  shape.left_width = left.schema().NumColumns();
+  shape.right_width = right.schema().NumColumns();
+  switch (op) {
+    case JoinOp::kLeftSemi:
+    case JoinOp::kLeftAnti:
+      shape.out_schema = left.schema();
+      break;
+    case JoinOp::kRightSemi:
+    case JoinOp::kRightAnti:
+      shape.out_schema = right.schema();
+      break;
+    default:
+      shape.out_schema = shape.concat_schema;
+      break;
+  }
+  return shape;
+}
+
+// Assembles the output from per-pair matches plus matched flags, shared by
+// all join algorithms.
+class JoinEmitter {
+ public:
+  JoinEmitter(JoinOp op, const JoinShape& shape, const Relation& left,
+              const Relation& right)
+      : op_(op), shape_(shape), left_(left), right_(right),
+        out_(shape.out_schema) {
+    if (op == JoinOp::kLeftOuter || op == JoinOp::kFullOuter ||
+        OutputsOneSide(op)) {
+      left_matched_.assign(static_cast<size_t>(left.NumRows()), false);
+    }
+    if (op == JoinOp::kRightOuter || op == JoinOp::kFullOuter ||
+        OutputsOneSide(op)) {
+      right_matched_.assign(static_cast<size_t>(right.NumRows()), false);
+    }
+  }
+
+  void Match(int64_t li, int64_t ri) {
+    if (!left_matched_.empty()) left_matched_[static_cast<size_t>(li)] = true;
+    if (!right_matched_.empty())
+      right_matched_[static_cast<size_t>(ri)] = true;
+    if (OutputsOneSide(op_)) return;  // semi/anti emit in Finish()
+    out_.Add(ConcatTuples(left_.rows()[static_cast<size_t>(li)],
+                          right_.rows()[static_cast<size_t>(ri)]));
+  }
+
+  Relation Finish() {
+    switch (op_) {
+      case JoinOp::kCross:
+      case JoinOp::kInner:
+        break;
+      case JoinOp::kLeftOuter:
+        EmitUnmatchedLeftPadded();
+        break;
+      case JoinOp::kRightOuter:
+        EmitUnmatchedRightPadded();
+        break;
+      case JoinOp::kFullOuter:
+        EmitUnmatchedLeftPadded();
+        EmitUnmatchedRightPadded();
+        break;
+      case JoinOp::kLeftSemi:
+        EmitSide(left_, left_matched_, /*want_matched=*/true);
+        break;
+      case JoinOp::kLeftAnti:
+        EmitSide(left_, left_matched_, /*want_matched=*/false);
+        break;
+      case JoinOp::kRightSemi:
+        EmitSide(right_, right_matched_, /*want_matched=*/true);
+        break;
+      case JoinOp::kRightAnti:
+        EmitSide(right_, right_matched_, /*want_matched=*/false);
+        break;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void EmitUnmatchedLeftPadded() {
+    Tuple pad = NullsFor(shape_.concat_schema, shape_.left_width,
+                         shape_.right_width);
+    for (size_t i = 0; i < left_matched_.size(); ++i) {
+      if (!left_matched_[i]) out_.Add(ConcatTuples(left_.rows()[i], pad));
+    }
+  }
+  void EmitUnmatchedRightPadded() {
+    Tuple pad = NullsFor(shape_.concat_schema, 0, shape_.left_width);
+    for (size_t i = 0; i < right_matched_.size(); ++i) {
+      if (!right_matched_[i]) out_.Add(ConcatTuples(pad, right_.rows()[i]));
+    }
+  }
+  void EmitSide(const Relation& side, const std::vector<bool>& matched,
+                bool want_matched) {
+    for (size_t i = 0; i < matched.size(); ++i) {
+      if (matched[i] == want_matched) out_.Add(side.rows()[i]);
+    }
+  }
+
+  JoinOp op_;
+  const JoinShape& shape_;
+  const Relation& left_;
+  const Relation& right_;
+  Relation out_;
+  std::vector<bool> left_matched_;
+  std::vector<bool> right_matched_;
+};
+
+Relation NestedLoopJoin(JoinOp op, const PredRef& pred, const Relation& left,
+                        const Relation& right, ExecStats* stats) {
+  JoinShape shape = MakeShape(op, left, right);
+  JoinEmitter emitter(op, shape, left, right);
+  CompiledPredicate compiled;
+  bool have_pred = pred != nullptr;
+  if (have_pred) compiled = CompiledPredicate(pred, shape.concat_schema);
+  for (int64_t li = 0; li < left.NumRows(); ++li) {
+    for (int64_t ri = 0; ri < right.NumRows(); ++ri) {
+      if (stats != nullptr) ++stats->probe_comparisons;
+      bool match = true;
+      if (have_pred) {
+        Tuple t = ConcatTuples(left.rows()[static_cast<size_t>(li)],
+                               right.rows()[static_cast<size_t>(ri)]);
+        match = compiled.EvalTrue(t);
+      }
+      if (match) emitter.Match(li, ri);
+    }
+  }
+  return emitter.Finish();
+}
+
+Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
+                  const PredRef& residual, const Relation& left,
+                  const Relation& right, ExecStats* stats) {
+  JoinShape shape = MakeShape(op, left, right);
+  JoinEmitter emitter(op, shape, left, right);
+
+  KeyEvaluator lkeys, rkeys;
+  std::vector<ScalarRef> lexprs, rexprs;
+  for (const EquiKey& k : keys) {
+    lexprs.push_back(k.left_expr);
+    rexprs.push_back(k.right_expr);
+  }
+  lkeys.Bind(std::move(lexprs), left.schema());
+  rkeys.Bind(std::move(rexprs), right.schema());
+
+  CompiledPredicate compiled_residual;
+  bool have_residual = residual != nullptr;
+  if (have_residual) {
+    compiled_residual = CompiledPredicate(residual, shape.concat_schema);
+  }
+
+  // Build on the right input.
+  std::unordered_map<uint64_t, std::vector<int64_t>> table;
+  std::vector<std::vector<Value>> right_keys(
+      static_cast<size_t>(right.NumRows()));
+  {
+    std::vector<Value> kv;
+    for (int64_t ri = 0; ri < right.NumRows(); ++ri) {
+      if (!rkeys.Eval(right.rows()[static_cast<size_t>(ri)], &kv)) continue;
+      right_keys[static_cast<size_t>(ri)] = kv;
+      table[HashTuple(kv)].push_back(ri);
+    }
+  }
+
+  std::vector<Value> kv;
+  for (int64_t li = 0; li < left.NumRows(); ++li) {
+    const Tuple& lrow = left.rows()[static_cast<size_t>(li)];
+    if (!lkeys.Eval(lrow, &kv)) continue;
+    auto it = table.find(HashTuple(kv));
+    if (it == table.end()) continue;
+    for (int64_t ri : it->second) {
+      if (stats != nullptr) ++stats->probe_comparisons;
+      const std::vector<Value>& rk = right_keys[static_cast<size_t>(ri)];
+      bool key_equal = true;
+      for (size_t i = 0; i < kv.size(); ++i) {
+        if (!kv[i].SameAs(rk[i])) {
+          key_equal = false;
+          break;
+        }
+      }
+      if (!key_equal) continue;
+      bool match = true;
+      if (have_residual) {
+        Tuple t = ConcatTuples(lrow, right.rows()[static_cast<size_t>(ri)]);
+        match = compiled_residual.EvalTrue(t);
+      }
+      if (match) emitter.Match(li, ri);
+    }
+  }
+  return emitter.Finish();
+}
+
+Relation SortMergeJoin(JoinOp op, const std::vector<EquiKey>& keys,
+                       const PredRef& residual, const Relation& left,
+                       const Relation& right, ExecStats* stats) {
+  JoinShape shape = MakeShape(op, left, right);
+  JoinEmitter emitter(op, shape, left, right);
+
+  KeyEvaluator lkeys, rkeys;
+  std::vector<ScalarRef> lexprs, rexprs;
+  for (const EquiKey& k : keys) {
+    lexprs.push_back(k.left_expr);
+    rexprs.push_back(k.right_expr);
+  }
+  lkeys.Bind(std::move(lexprs), left.schema());
+  rkeys.Bind(std::move(rexprs), right.schema());
+
+  CompiledPredicate compiled_residual;
+  bool have_residual = residual != nullptr;
+  if (have_residual) {
+    compiled_residual = CompiledPredicate(residual, shape.concat_schema);
+  }
+
+  struct Entry {
+    std::vector<Value> key;
+    int64_t row;
+  };
+  auto collect = [](const KeyEvaluator& ke, const Relation& rel) {
+    std::vector<Entry> out;
+    std::vector<Value> kv;
+    for (int64_t i = 0; i < rel.NumRows(); ++i) {
+      if (ke.Eval(rel.rows()[static_cast<size_t>(i)], &kv)) {
+        out.push_back({kv, i});
+      }
+      // Rows with NULL keys never match; their outer/anti handling comes
+      // from the matched flags defaulting to false.
+    }
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return CompareTuples(a.key, b.key) < 0;
+    });
+    return out;
+  };
+  std::vector<Entry> ls = collect(lkeys, left);
+  std::vector<Entry> rs = collect(rkeys, right);
+
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < rs.size()) {
+    int c = CompareTuples(ls[i].key, rs[j].key);
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      size_t i_end = i;
+      while (i_end < ls.size() && CompareTuples(ls[i_end].key, ls[i].key) == 0)
+        ++i_end;
+      size_t j_end = j;
+      while (j_end < rs.size() && CompareTuples(rs[j_end].key, rs[j].key) == 0)
+        ++j_end;
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          if (stats != nullptr) ++stats->probe_comparisons;
+          bool match = true;
+          if (have_residual) {
+            Tuple t = ConcatTuples(
+                left.rows()[static_cast<size_t>(ls[a].row)],
+                right.rows()[static_cast<size_t>(rs[b].row)]);
+            match = compiled_residual.EvalTrue(t);
+          }
+          if (match) emitter.Match(ls[a].row, rs[b].row);
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return emitter.Finish();
+}
+
+}  // namespace
+
+Relation EvalJoinNaive(JoinOp op, const PredRef& pred, const Relation& left,
+                       const Relation& right) {
+  return NestedLoopJoin(op, pred, left, right, nullptr);
+}
+
+Relation EvalJoin(JoinOp op, const PredRef& pred, const Relation& left,
+                  const Relation& right, Executor::JoinPreference pref,
+                  ExecStats* stats) {
+  if (pred == nullptr) {
+    return NestedLoopJoin(op, pred, left, right, stats);
+  }
+  std::vector<EquiKey> keys;
+  PredRef residual;
+  SplitEquiKeys(pred, left.schema().rels(), right.schema().rels(), &keys,
+                &residual);
+  if (keys.empty()) {
+    return NestedLoopJoin(op, pred, left, right, stats);
+  }
+  if (pref == Executor::JoinPreference::kSortMerge) {
+    return SortMergeJoin(op, keys, residual, left, right, stats);
+  }
+  return HashJoin(op, keys, residual, left, right, stats);
+}
+
+}  // namespace eca

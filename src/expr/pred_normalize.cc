@@ -1,0 +1,79 @@
+#include "expr/pred_normalize.h"
+
+#include <set>
+#include <vector>
+
+namespace eca {
+
+namespace {
+
+// Collects the child predicates of a flattened AND/OR chain.
+void Flatten(const PredRef& p, Predicate::Kind kind,
+             std::vector<PredRef>* out) {
+  if (p->kind() == kind) {
+    for (const PredRef& c : p->children()) Flatten(c, kind, out);
+  } else {
+    out->push_back(p);
+  }
+}
+
+}  // namespace
+
+PredRef NormalizePredicate(const PredRef& pred) {
+  ECA_CHECK(pred != nullptr);
+  switch (pred->kind()) {
+    case Predicate::Kind::kCompare:
+    case Predicate::Kind::kConstBool:
+    case Predicate::Kind::kIsNull:
+    case Predicate::Kind::kAllNullBlock:
+      return pred;
+    case Predicate::Kind::kNot: {
+      PredRef child = NormalizePredicate(pred->children()[0]);
+      if (child->kind() == Predicate::Kind::kNot) {
+        // NOT(NOT(x)) = x under 3VL (kUnknown maps to kUnknown twice).
+        PredRef inner = child->children()[0];
+        return pred->label().empty()
+                   ? inner
+                   : Predicate::WithLabel(inner, pred->label());
+      }
+      if (child->kind() == Predicate::Kind::kConstBool) {
+        return Predicate::ConstBool(!child->const_bool());
+      }
+      PredRef result = Predicate::Not(std::move(child));
+      return pred->label().empty()
+                 ? result
+                 : Predicate::WithLabel(std::move(result), pred->label());
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      break;
+  }
+
+  const bool is_and = pred->kind() == Predicate::Kind::kAnd;
+  std::vector<PredRef> flat;
+  Flatten(pred, pred->kind(), &flat);
+  std::vector<PredRef> kept;
+  std::set<std::string> seen;
+  for (const PredRef& raw : flat) {
+    PredRef c = NormalizePredicate(raw);
+    if (c->kind() == Predicate::Kind::kConstBool) {
+      if (c->const_bool() == is_and) continue;  // neutral element
+      // Absorbing element: AND with FALSE / OR with TRUE.
+      return Predicate::ConstBool(!is_and);
+    }
+    if (seen.insert(c->ToString()).second) {
+      kept.push_back(std::move(c));
+    }
+  }
+  if (kept.empty()) {
+    // All children were neutral: the chain is TRUE (AND) / FALSE (OR).
+    return Predicate::ConstBool(is_and);
+  }
+  PredRef result = is_and ? Predicate::And(std::move(kept))
+                          : Predicate::Or(std::move(kept));
+  return pred->label().empty()
+             ? result
+             : Predicate::WithLabel(std::move(result), pred->label());
+}
+
+}  // namespace eca

@@ -1,0 +1,22 @@
+#ifndef ECA_EXPR_PRED_NORMALIZE_H_
+#define ECA_EXPR_PRED_NORMALIZE_H_
+
+#include "expr/expr.h"
+
+namespace eca {
+
+// Logical cleanup of predicate trees. The rewrite layer's lambda folds
+// conjoin predicates repeatedly (labels like "p2&p0&gt"), which nests ANDs;
+// normalization keeps evaluation and display tidy:
+//   - flattens nested AND / OR
+//   - drops TRUE conjuncts and FALSE disjuncts
+//   - collapses AND with a FALSE child to FALSE, OR with TRUE to TRUE
+//   - removes duplicate conjuncts / disjuncts (textual identity)
+//   - eliminates double negation
+// The result is logically equivalent under three-valued logic (verified by
+// randomized testing); labels are preserved.
+PredRef NormalizePredicate(const PredRef& pred);
+
+}  // namespace eca
+
+#endif  // ECA_EXPR_PRED_NORMALIZE_H_

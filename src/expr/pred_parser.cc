@@ -1,0 +1,135 @@
+#include "expr/pred_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace eca {
+
+namespace {
+
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+  std::string error;
+
+  void Fail(const std::string& msg) {
+    if (error.empty()) {
+      error = msg + " at offset " + std::to_string(pos);
+    }
+  }
+  void SkipSpace() {
+    while (pos < text.size() && std::isspace(text[pos])) ++pos;
+  }
+  char Peek() const { return pos < text.size() ? text[pos] : '\0'; }
+  bool ConsumeWord(const std::string& w) {
+    if (text.compare(pos, w.size(), w) == 0) {
+      pos += w.size();
+      return true;
+    }
+    return false;
+  }
+};
+
+ScalarRef ParseOperand(Cursor* c) {
+  c->SkipSpace();
+  if (c->Peek() == 'R') {
+    ++c->pos;
+    if (!std::isdigit(c->Peek())) {
+      c->Fail("expected relation id after 'R'");
+      return nullptr;
+    }
+    int rel = 0;
+    while (std::isdigit(c->Peek())) rel = rel * 10 + (c->text[c->pos++] - '0');
+    if (c->Peek() != '.') {
+      c->Fail("expected '.' after relation id");
+      return nullptr;
+    }
+    ++c->pos;
+    size_t start = c->pos;
+    while (c->pos < c->text.size() &&
+           (std::isalnum(c->Peek()) || c->Peek() == '_')) {
+      ++c->pos;
+    }
+    if (c->pos == start) {
+      c->Fail("expected column name");
+      return nullptr;
+    }
+    return Col(rel, c->text.substr(start, c->pos - start));
+  }
+  if (std::isdigit(c->Peek()) || c->Peek() == '-' || c->Peek() == '+') {
+    size_t start = c->pos;
+    ++c->pos;
+    bool is_real = false;
+    while (c->pos < c->text.size() &&
+           (std::isdigit(c->Peek()) || c->Peek() == '.' ||
+            c->Peek() == 'e' || c->Peek() == 'E')) {
+      if (c->Peek() == '.' || c->Peek() == 'e' || c->Peek() == 'E') {
+        is_real = true;
+      }
+      ++c->pos;
+    }
+    std::string num = c->text.substr(start, c->pos - start);
+    if (is_real) return LitReal(std::strtod(num.c_str(), nullptr));
+    return Lit(std::strtoll(num.c_str(), nullptr, 10));
+  }
+  c->Fail("expected 'R<k>.<col>' or a numeric literal");
+  return nullptr;
+}
+
+PredRef ParseTerm(Cursor* c) {
+  ScalarRef left = ParseOperand(c);
+  if (left == nullptr) return nullptr;
+  c->SkipSpace();
+  Predicate::CmpOp op;
+  if (c->ConsumeWord("<>")) {
+    op = Predicate::CmpOp::kNe;
+  } else if (c->ConsumeWord("<=")) {
+    op = Predicate::CmpOp::kLe;
+  } else if (c->ConsumeWord(">=")) {
+    op = Predicate::CmpOp::kGe;
+  } else if (c->ConsumeWord("=")) {
+    op = Predicate::CmpOp::kEq;
+  } else if (c->ConsumeWord("<")) {
+    op = Predicate::CmpOp::kLt;
+  } else if (c->ConsumeWord(">")) {
+    op = Predicate::CmpOp::kGt;
+  } else {
+    c->Fail("expected a comparison operator");
+    return nullptr;
+  }
+  ScalarRef right = ParseOperand(c);
+  if (right == nullptr) return nullptr;
+  return Predicate::Compare(op, std::move(left), std::move(right));
+}
+
+}  // namespace
+
+PredRef ParsePredicate(const std::string& text, const std::string& label,
+                       std::string* error) {
+  Cursor c{text, 0, {}};
+  std::vector<PredRef> terms;
+  while (true) {
+    PredRef term = ParseTerm(&c);
+    if (term == nullptr) {
+      if (error != nullptr) *error = c.error;
+      return nullptr;
+    }
+    terms.push_back(std::move(term));
+    c.SkipSpace();
+    if (c.ConsumeWord("AND")) continue;
+    break;
+  }
+  c.SkipSpace();
+  if (c.pos != c.text.size()) {
+    if (error != nullptr) {
+      *error = "trailing input at offset " + std::to_string(c.pos);
+    }
+    return nullptr;
+  }
+  PredRef combined = Predicate::And(std::move(terms));
+  return label.empty() ? combined
+                       : Predicate::WithLabel(std::move(combined), label);
+}
+
+}  // namespace eca

@@ -1,0 +1,24 @@
+#ifndef ECA_EXPR_PRED_PARSER_H_
+#define ECA_EXPR_PRED_PARSER_H_
+
+#include <string>
+
+#include "expr/expr.h"
+
+namespace eca {
+
+// Parses a simple predicate expression for tooling and tests:
+//
+//   pred   := term (" AND " term)*
+//   term   := operand cmp operand
+//   cmp    := "=" | "<>" | "<" | "<=" | ">" | ">="
+//   operand:= "R<k>.<column>" | integer | floating literal
+//
+// e.g. "R0.a = R1.a AND R0.b > 5". Returns nullptr and fills *error on
+// malformed input. The result carries `label` for plan rendering.
+PredRef ParsePredicate(const std::string& text, const std::string& label,
+                       std::string* error = nullptr);
+
+}  // namespace eca
+
+#endif  // ECA_EXPR_PRED_PARSER_H_

@@ -1,0 +1,82 @@
+#include "rewrite/comp_simplify.h"
+
+#include "rewrite/rules.h"
+
+namespace eca {
+
+namespace {
+
+// Removes `node` (a comp) by replacing it with its child. `slot` owns node.
+void Splice(PlanPtr* slot) {
+  PlanPtr child = std::move((*slot)->mutable_child());
+  *slot = std::move(child);
+}
+
+int SimplifyRec(PlanPtr* slot) {
+  Plan* node = slot->get();
+  int removed = 0;
+  switch (node->kind()) {
+    case Plan::Kind::kLeaf:
+      return 0;
+    case Plan::Kind::kJoin:
+      removed += SimplifyRec(&node->mutable_left());
+      removed += SimplifyRec(&node->mutable_right());
+      return removed;
+    case Plan::Kind::kComp:
+      break;
+  }
+  // Simplify below first; that may expose removable stacks here.
+  removed += SimplifyRec(&node->mutable_child());
+  node = slot->get();
+
+  const CompOp& c = node->comp();
+  switch (c.kind) {
+    case CompOp::Kind::kProject: {
+      RelSet out = node->child()->output_rels();
+      if (c.attrs.ContainsAll(out)) {
+        Splice(slot);
+        return removed + 1 + SimplifyRec(slot);
+      }
+      break;
+    }
+    case CompOp::Kind::kBeta: {
+      const Plan* child = node->child();
+      // beta over beta, or over anything already best-match clean.
+      if (IsBetaClean(*child)) {
+        Splice(slot);
+        return removed + 1 + SimplifyRec(slot);
+      }
+      break;
+    }
+    case CompOp::Kind::kLambda:
+      if (c.pred != nullptr &&
+          c.pred->kind() == Predicate::Kind::kConstBool &&
+          c.pred->const_bool()) {
+        Splice(slot);
+        return removed + 1 + SimplifyRec(slot);
+      }
+      break;
+    case CompOp::Kind::kGamma: {
+      const Plan* child = node->child();
+      if (child->is_comp() &&
+          child->comp().kind == CompOp::Kind::kGamma &&
+          child->comp().attrs == c.attrs) {
+        Splice(slot);  // identical adjacent gammas
+        return removed + 1 + SimplifyRec(slot);
+      }
+      break;
+    }
+    case CompOp::Kind::kGammaStar:
+      break;
+  }
+  return removed;
+}
+
+}  // namespace
+
+int SimplifyCompensations(PlanPtr* plan) {
+  ECA_CHECK(plan != nullptr && *plan != nullptr);
+  return SimplifyRec(plan);
+}
+
+}  // namespace eca

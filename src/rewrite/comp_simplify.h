@@ -1,0 +1,24 @@
+#ifndef ECA_REWRITE_COMP_SIMPLIFY_H_
+#define ECA_REWRITE_COMP_SIMPLIFY_H_
+
+#include "algebra/plan.h"
+
+namespace eca {
+
+// Cleanup pass over compensation operators. The compositional derivations
+// (Equation 9 expansion + pull-ups) can leave operators that no longer do
+// anything; this pass removes them:
+//   - pi that keeps every visible relation of its child
+//   - beta(beta(X)) -> beta(X)            (CBA Equation 3)
+//   - beta directly above a best-match-clean subtree (IsBetaClean)
+//   - lambda with a constant-TRUE predicate
+//   - adjacent identical gammas
+// The pass never changes plan semantics (verified by randomized testing);
+// it reduces executed operator count and makes EXPLAIN output readable.
+//
+// Returns the number of operators removed.
+int SimplifyCompensations(PlanPtr* plan);
+
+}  // namespace eca
+
+#endif  // ECA_REWRITE_COMP_SIMPLIFY_H_

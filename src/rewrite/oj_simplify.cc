@@ -1,0 +1,128 @@
+#include "rewrite/oj_simplify.h"
+
+namespace eca {
+
+namespace {
+
+// `rejected`: relations whose NULL-padded rows cannot survive the
+// operators above this node.
+int SimplifyRec(Plan* node, RelSet rejected) {
+  switch (node->kind()) {
+    case Plan::Kind::kLeaf:
+      return 0;
+    case Plan::Kind::kComp:
+      // Compensation operators either preserve rows (lambda), select the
+      // NULL rows themselves (gamma/gamma*), or project; none of them
+      // rejects NULL-padded rows, so the context resets conservatively.
+      return SimplifyRec(node->child(), RelSet());
+    case Plan::Kind::kJoin:
+      break;
+  }
+
+  int changed = 0;
+  const PredRef pred = node->pred();
+  const bool intol = pred != nullptr && pred->null_intolerant();
+  const RelSet refs = pred != nullptr ? pred->refs() : RelSet();
+  const RelSet out_left = node->left()->output_rels();
+  const RelSet out_right = node->right()->output_rels();
+
+  // Strengthen this join under the context from above.
+  switch (node->op()) {
+    case JoinOp::kLeftOuter:  // pads the right side's attributes
+      if (rejected.Intersects(out_right)) {
+        node->set_op(JoinOp::kInner);
+        ++changed;
+      }
+      break;
+    case JoinOp::kRightOuter:
+      if (rejected.Intersects(out_left)) {
+        node->set_op(JoinOp::kInner);
+        ++changed;
+      }
+      break;
+    case JoinOp::kFullOuter: {
+      // Rows padded on the left (unmatched right tuples) die when a
+      // predicate above needs the left side, and vice versa.
+      bool kill_left_padded_rows = rejected.Intersects(out_left);
+      bool kill_right_padded_rows = rejected.Intersects(out_right);
+      if (kill_left_padded_rows && kill_right_padded_rows) {
+        node->set_op(JoinOp::kInner);
+        ++changed;
+      } else if (kill_right_padded_rows) {
+        // Only (left, NULL) rows die: the join preserves the right side.
+        node->set_op(JoinOp::kRightOuter);
+        ++changed;
+      } else if (kill_left_padded_rows) {
+        node->set_op(JoinOp::kLeftOuter);
+        ++changed;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  // Context for the children, per the (possibly strengthened) operator.
+  RelSet s_left, s_right;
+  const RelSet own = intol ? refs : RelSet();
+  switch (node->op()) {
+    case JoinOp::kCross:
+      s_left = rejected;
+      s_right = rejected;
+      break;
+    case JoinOp::kInner:
+      s_left = rejected.Union(own);
+      s_right = rejected.Union(own);
+      break;
+    case JoinOp::kLeftOuter:
+      // Left rows failing the predicate survive padded, so the predicate
+      // rejects nothing on the left; right rows failing it vanish.
+      s_left = rejected;
+      s_right = rejected.Union(own);
+      break;
+    case JoinOp::kRightOuter:
+      s_left = rejected.Union(own);
+      s_right = rejected;
+      break;
+    case JoinOp::kFullOuter:
+      s_left = RelSet();
+      s_right = RelSet();
+      break;
+    case JoinOp::kLeftSemi:
+      s_left = rejected.Union(own);
+      s_right = own;
+      break;
+    case JoinOp::kRightSemi:
+      s_left = own;
+      s_right = rejected.Union(own);
+      break;
+    case JoinOp::kLeftAnti:
+      // Unmatched rows (including NULL-predicate ones) are the output.
+      s_left = rejected;
+      s_right = own;
+      break;
+    case JoinOp::kRightAnti:
+      s_left = own;
+      s_right = rejected;
+      break;
+  }
+  changed += SimplifyRec(node->left(), s_left);
+  changed += SimplifyRec(node->right(), s_right);
+  return changed;
+}
+
+}  // namespace
+
+int SimplifyOuterJoins(Plan* plan) {
+  // Iterate to a fixpoint: strengthening one join can expose further
+  // rejections below it.
+  int total = 0;
+  while (true) {
+    int changed = SimplifyRec(plan, RelSet());
+    total += changed;
+    if (changed == 0) break;
+  }
+  return total;
+}
+
+}  // namespace eca

@@ -1,0 +1,22 @@
+#ifndef ECA_REWRITE_OJ_SIMPLIFY_H_
+#define ECA_REWRITE_OJ_SIMPLIFY_H_
+
+#include "algebra/plan.h"
+
+namespace eca {
+
+// Classic null-rejection-based outerjoin simplification (Galindo-Legaria /
+// Rosenthal; the paper's Section 2 cites this line of work as the early
+// outerjoin-simplification research). A padded row dies wherever a
+// null-intolerant predicate above references the padded side, so
+//   full outer -> left/right outer -> inner
+// degrade accordingly. Every mainstream optimizer (and all three compared
+// approaches) performs this normalization before join reordering; the
+// enumerators apply it to the initial plan.
+//
+// Returns the number of joins strengthened.
+int SimplifyOuterJoins(Plan* plan);
+
+}  // namespace eca
+
+#endif  // ECA_REWRITE_OJ_SIMPLIFY_H_

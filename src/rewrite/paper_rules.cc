@@ -1,0 +1,443 @@
+#include "rewrite/paper_rules.h"
+
+namespace eca {
+
+namespace {
+
+// Shorthands for the closed forms over leaves R0, R1, R2.
+RelSet R(int i) { return RelSet::Single(i); }
+RelSet R01() { return RelSet::FirstN(2); }
+RelSet R12() { return R(1).Union(R(2)); }
+
+PlanPtr L0() { return Plan::Leaf(0); }
+PlanPtr L1() { return Plan::Leaf(1); }
+PlanPtr L2() { return Plan::Leaf(2); }
+
+PlanPtr Loj(PredRef p, PlanPtr l, PlanPtr r) {
+  return Plan::Join(JoinOp::kLeftOuter, std::move(p), std::move(l),
+                    std::move(r));
+}
+PlanPtr Inner(PredRef p, PlanPtr l, PlanPtr r) {
+  return Plan::Join(JoinOp::kInner, std::move(p), std::move(l),
+                    std::move(r));
+}
+PlanPtr Laj(PredRef p, PlanPtr l, PlanPtr r) {
+  return Plan::Join(JoinOp::kLeftAnti, std::move(p), std::move(l),
+                    std::move(r));
+}
+PlanPtr Pi(RelSet s, PlanPtr c) {
+  return Plan::Comp(CompOp::Project(s), std::move(c));
+}
+PlanPtr Gam(RelSet s, PlanPtr c) {
+  return Plan::Comp(CompOp::Gamma(s), std::move(c));
+}
+PlanPtr GamStar(RelSet a, RelSet keep, PlanPtr c) {
+  return Plan::Comp(CompOp::GammaStar(a, keep), std::move(c));
+}
+PlanPtr BetaLambda(PredRef p, RelSet a, PlanPtr c) {
+  return Plan::Comp(CompOp::Beta(),
+                    Plan::Comp(CompOp::Lambda(std::move(p), a),
+                               std::move(c)));
+}
+
+// (R0 loj[pa] R1) loj[pb] R2 — the shared spine of most right-hand sides.
+PlanPtr Spine(PredRef pa, PredRef pb) {
+  return Loj(std::move(pb), Loj(std::move(pa), L0(), L1()), L2());
+}
+// (R0 loj[pa] R2) loj[pb] R1 — the r-asscom spine.
+PlanPtr SpineR(PredRef pa, PredRef pb) {
+  return Loj(std::move(pb), Loj(std::move(pa), L0(), L2()), L1());
+}
+
+const std::vector<PaperRule>& Rules() {
+  static const std::vector<PaperRule>* rules = new std::vector<PaperRule>{
+      {14, "assoc(laj, join)",
+       "R0 laj (R1 join R2) = pi{R0}(gamma{R1,R2}(beta(lambda[pb]("
+       "(R0 loj R1) loj R2))))",
+       [](PredRef pa, PredRef pb) {
+         return Laj(std::move(pa), L0(),
+                    Inner(std::move(pb), L1(), L2()));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Pi(R(0), Gam(R12(), BetaLambda(pb, R12(), Spine(pa, pb))));
+       },
+       {0, 1, 1, 2}},
+
+      {15, "assoc(laj, laj)",
+       "R0 laj (R1 laj R2) = pi{R0}(gamma{R1}(pi{R0,R1}(gamma*{R2(R0)}("
+       "(R0 loj R1) loj R2))))",
+       [](PredRef pa, PredRef pb) {
+         return Laj(std::move(pa), L0(), Laj(std::move(pb), L1(), L2()));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Pi(R(0), Gam(R(1), Pi(R01(), GamStar(R(2), R(0),
+                                                     Spine(pa, pb)))));
+       },
+       {0, 1, 1, 2}},
+
+      {16, "assoc(laj, loj)",
+       "R0 laj (R1 loj R2) = pi{R0}(gamma{R1,R2}((R0 loj R1) loj R2))",
+       [](PredRef pa, PredRef pb) {
+         return Laj(std::move(pa), L0(), Loj(std::move(pb), L1(), L2()));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Pi(R(0), Gam(R12(), Spine(pa, pb)));
+       },
+       {0, 1, 1, 2}},
+
+      {17, "assoc(loj, laj) forward",
+       "(R0 loj R1) laj R2 = pi{R0,R1}(gamma{R2}(R0 loj (R1 loj R2)))",
+       [](PredRef pa, PredRef pb) {
+         return Laj(std::move(pb), Loj(std::move(pa), L0(), L1()), L2());
+       },
+       [](PredRef pa, PredRef pb) {
+         return Pi(R01(),
+                   Gam(R(2), Loj(pa, L0(), Loj(pb, L1(), L2()))));
+       },
+       {0, 1, 1, 2}},
+
+      {18, "assoc(loj, laj) reverse (Appendix A)",
+       "R0 loj (R1 laj R2) = pi{R0,R1}(gamma*{R2(R0)}((R0 loj R1) loj R2))",
+       [](PredRef pa, PredRef pb) {
+         return Loj(std::move(pa), L0(), Laj(std::move(pb), L1(), L2()));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Pi(R01(), GamStar(R(2), R(0), Spine(pa, pb)));
+       },
+       {0, 1, 1, 2}},
+
+      {19, "r-asscom(laj, join)",
+       "R0 laj (R1 join R2) = pi{R0}(gamma{R1,R2}(beta(lambda[pb]("
+       "(R0 loj R2) loj R1)))) [pa joins R0-R2]",
+       [](PredRef pa, PredRef pb) {
+         return Laj(std::move(pa), L0(), Inner(std::move(pb), L1(), L2()));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Pi(R(0), Gam(R12(), BetaLambda(pb, R12(), SpineR(pa, pb))));
+       },
+       {0, 2, 1, 2}},
+
+      {20, "r-asscom(laj, loj)",
+       "R0 laj (R1 loj R2) = pi{R0}(gamma{R1,R2}(beta(lambda[pb]("
+       "(R0 loj R2) loj R1)))) [pa joins R0-R2]",
+       [](PredRef pa, PredRef pb) {
+         return Laj(std::move(pa), L0(), Loj(std::move(pb), L1(), L2()));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Pi(R(0), Gam(R12(), BetaLambda(pb, R12(), SpineR(pa, pb))));
+       },
+       {0, 2, 1, 2}},
+
+      {21, "assoc(loj, join) reverse [CBA]",
+       "R0 loj (R1 join R2) = beta(lambda[pb]((R0 loj R1) loj R2))",
+       [](PredRef pa, PredRef pb) {
+         return Loj(std::move(pa), L0(), Inner(std::move(pb), L1(), L2()));
+       },
+       [](PredRef pa, PredRef pb) {
+         return BetaLambda(pb, R12(), Spine(pa, pb));
+       },
+       {0, 1, 1, 2}},
+
+      {22, "assoc(loj, join) forward [simplification]",
+       "(R0 loj R1) join R2 = R0 join (R1 join R2) [pb null-intolerant on R1]",
+       [](PredRef pa, PredRef pb) {
+         return Inner(std::move(pb), Loj(std::move(pa), L0(), L1()), L2());
+       },
+       [](PredRef pa, PredRef pb) {
+         return Inner(pa, L0(), Inner(pb, L1(), L2()));
+       },
+       {0, 1, 1, 2}},
+
+      {23, "r-asscom(loj, join) [CBA]",
+       "R0 loj (R1 join R2) = beta(lambda[pb]((R0 loj R2) loj R1)) "
+       "[pa joins R0-R2]",
+       [](PredRef pa, PredRef pb) {
+         return Loj(std::move(pa), L0(), Inner(std::move(pb), L1(), L2()));
+       },
+       [](PredRef pa, PredRef pb) {
+         return BetaLambda(pb, R12(), SpineR(pa, pb));
+       },
+       {0, 2, 1, 2}},
+
+      {24, "r-asscom(join, loj) [simplification]",
+       "R0 join (R1 loj R2) = R1 join (R0 join R2) [pa joins R0-R2]",
+       [](PredRef pa, PredRef pb) {
+         return Inner(std::move(pa), L0(), Loj(std::move(pb), L1(), L2()));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Inner(pb, L1(), Inner(pa, L0(), L2()));
+       },
+       {0, 2, 1, 2}},
+
+      {25, "r-asscom(loj, loj) [CBA]",
+       "R0 loj (R1 loj R2) = beta(lambda[pb]((R0 loj R2) loj R1)) "
+       "[pa joins R0-R2]",
+       [](PredRef pa, PredRef pb) {
+         return Loj(std::move(pa), L0(), Loj(std::move(pb), L1(), L2()));
+       },
+       [](PredRef pa, PredRef pb) {
+         return BetaLambda(pb, R12(), SpineR(pa, pb));
+       },
+       {0, 2, 1, 2}},
+  };
+  return *rules;
+}
+
+// Table 2 reconstruction: gamma / gamma* interchange with joins. The gamma
+// operand X = (R0 loj[pa] R1) supplies the provenance for the attribute set
+// A = {R1}; Y = R2 is the other join operand with predicate pb.
+PlanPtr GammaChild(PredRef pa) {
+  return Gam(R(1), Loj(std::move(pa), L0(), L1()));
+}
+PlanPtr GammaStarChild(PredRef pa) {
+  return GamStar(R(1), R(0), Loj(std::move(pa), L0(), L1()));
+}
+PlanPtr LojBase(PredRef pa) { return Loj(std::move(pa), L0(), L1()); }
+
+const std::vector<PaperRule>& Table2() {
+  static const std::vector<PaperRule>* rules = new std::vector<PaperRule>{
+      {1, "gamma x inner (left)",
+       "gamma{R1}(X) join[pb] R2 = gamma{R1}(X join[pb] R2), pb !ref R1",
+       [](PredRef pa, PredRef pb) {
+         return Inner(std::move(pb), GammaChild(std::move(pa)), L2());
+       },
+       [](PredRef pa, PredRef pb) {
+         return Gam(R(1), Inner(std::move(pb), LojBase(std::move(pa)), L2()));
+       },
+       {0, 1, 0, 2}},
+      {2, "gamma x inner (right)",
+       "R2 join[pb] gamma{R1}(X) = gamma{R1}(R2 join[pb] X), pb !ref R1",
+       [](PredRef pa, PredRef pb) {
+         return Inner(std::move(pb), L2(), GammaChild(std::move(pa)));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Gam(R(1), Inner(std::move(pb), L2(), LojBase(std::move(pa))));
+       },
+       {0, 1, 0, 2}},
+      {3, "gamma below outerjoin null side (Appendix A)",
+       "R2 loj[pb] gamma{R1}(X) = gamma*{R1(R2)}(R2 loj[pb] X)",
+       [](PredRef pa, PredRef pb) {
+         return Loj(std::move(pb), L2(), GammaChild(std::move(pa)));
+       },
+       [](PredRef pa, PredRef pb) {
+         return GamStar(R(1), R(2),
+                        Loj(std::move(pb), L2(), LojBase(std::move(pa))));
+       },
+       {0, 1, 0, 2}},
+      {4, "gamma x left outerjoin (preserved side)",
+       "gamma{R1}(X) loj[pb] R2 = gamma{R1}(X loj[pb] R2), pb !ref R1",
+       [](PredRef pa, PredRef pb) {
+         return Loj(std::move(pb), GammaChild(std::move(pa)), L2());
+       },
+       [](PredRef pa, PredRef pb) {
+         return Gam(R(1), Loj(std::move(pb), LojBase(std::move(pa)), L2()));
+       },
+       {0, 1, 0, 2}},
+      {5, "gamma x left antijoin (output side)",
+       "gamma{R1}(X) laj[pb] R2 = gamma{R1}(X laj[pb] R2), pb !ref R1",
+       [](PredRef pa, PredRef pb) {
+         return Laj(std::move(pb), GammaChild(std::move(pa)), L2());
+       },
+       [](PredRef pa, PredRef pb) {
+         return Gam(R(1), Laj(std::move(pb), LojBase(std::move(pa)), L2()));
+       },
+       {0, 1, 0, 2}},
+      {6, "gamma x left semijoin (output side)",
+       "gamma{R1}(X) lsj[pb] R2 = gamma{R1}(X lsj[pb] R2), pb !ref R1",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kLeftSemi, std::move(pb),
+                           GammaChild(std::move(pa)), L2());
+       },
+       [](PredRef pa, PredRef pb) {
+         return Gam(R(1),
+                    Plan::Join(JoinOp::kLeftSemi, std::move(pb),
+                               LojBase(std::move(pa)), L2()));
+       },
+       {0, 1, 0, 2}},
+      {7, "gamma x full outerjoin",
+       "gamma{R1}(X) foj[pb] R2 = gamma*{R1(R2)}(X foj[pb] R2)",
+       [](PredRef pa, PredRef pb) {
+         return Plan::Join(JoinOp::kFullOuter, std::move(pb),
+                           GammaChild(std::move(pa)), L2());
+       },
+       [](PredRef pa, PredRef pb) {
+         return GamStar(R(1), R(2),
+                        Plan::Join(JoinOp::kFullOuter, std::move(pb),
+                                   LojBase(std::move(pa)), L2()));
+       },
+       {0, 1, 0, 2}},
+      {8, "gamma* x inner",
+       "gamma*{R1(R0)}(X) join[pb] R2 = gamma*{R1(R0,R2)}(X join[pb] R2), "
+       "pb refs subset of keep",
+       [](PredRef pa, PredRef pb) {
+         return Inner(std::move(pb), GammaStarChild(std::move(pa)), L2());
+       },
+       [](PredRef pa, PredRef pb) {
+         return GamStar(R(1), R(0).Union(R(2)),
+                        Inner(std::move(pb), LojBase(std::move(pa)), L2()));
+       },
+       {0, 1, 0, 2}},
+      {9, "gamma* x left outerjoin (preserved side)",
+       "gamma*{R1(R0)}(X) loj[pb] R2 = gamma*{R1(R0,R2)}(X loj[pb] R2)",
+       [](PredRef pa, PredRef pb) {
+         return Loj(std::move(pb), GammaStarChild(std::move(pa)), L2());
+       },
+       [](PredRef pa, PredRef pb) {
+         return GamStar(R(1), R(0).Union(R(2)),
+                        Loj(std::move(pb), LojBase(std::move(pa)), L2()));
+       },
+       {0, 1, 0, 2}},
+      {10, "gamma* below outerjoin null side",
+       "R2 loj[pb] gamma*{R1(R0)}(X) = gamma*{R1(R0,R2)}(R2 loj[pb] X)",
+       [](PredRef pa, PredRef pb) {
+         return Loj(std::move(pb), L2(), GammaStarChild(std::move(pa)));
+       },
+       [](PredRef pa, PredRef pb) {
+         return GamStar(R(1), R(0).Union(R(2)),
+                        Loj(std::move(pb), L2(), LojBase(std::move(pa))));
+       },
+       {0, 1, 0, 2}},
+      {11, "adjacent gammas commute",
+       "gamma{R1}(gamma{R2}(X)) = gamma{R2}(gamma{R1}(X))",
+       [](PredRef pa, PredRef pb) {
+         return Gam(R(1), Gam(R(2),
+                              Loj(std::move(pb),
+                                  Loj(std::move(pa), L0(), L1()), L2())));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Gam(R(2), Gam(R(1),
+                              Loj(std::move(pb),
+                                  Loj(std::move(pa), L0(), L1()), L2())));
+       },
+       {0, 1, 0, 2}},
+      {12, "gamma x projection (Equation 10 family)",
+       "pi{R0,R1}(gamma{R1}(X joined with R2)) = "
+       "gamma{R1}(pi{R0,R1}(X joined with R2))",
+       [](PredRef pa, PredRef pb) {
+         return Pi(R01(), Gam(R(1), Loj(std::move(pb),
+                                        Loj(std::move(pa), L0(), L1()),
+                                        L2())));
+       },
+       [](PredRef pa, PredRef pb) {
+         return Gam(R(1), Pi(R01(), Loj(std::move(pb),
+                                        Loj(std::move(pa), L0(), L1()),
+                                        L2())));
+       },
+       {0, 1, 0, 2}},
+      {13, "Equation 9 (antijoin via gamma)",
+       "R0 laj[pa] R1 = pi{R0}(gamma{R1}(R0 loj[pa] R1))",
+       [](PredRef pa, PredRef) { return Laj(std::move(pa), L0(), L1()); },
+       [](PredRef pa, PredRef) {
+         return Pi(R(0), Gam(R(1), Loj(std::move(pa), L0(), L1())));
+       },
+       {0, 1, 0, 2}},
+  };
+  return *rules;
+}
+
+}  // namespace
+
+const std::vector<PaperRule>& PaperTable3Rules() { return Rules(); }
+
+const std::vector<PaperRule>& PaperTable2Rules() { return Table2(); }
+
+PlanPtr OuterCross(PlanPtr left, PlanPtr right) {
+  PredRef truth = Predicate::WithLabel(Predicate::ConstBool(true), "true");
+  return Plan::Join(JoinOp::kFullOuter, std::move(truth), std::move(left),
+                    std::move(right));
+}
+
+PlanPtr CbaInnerJoinCanonical(PredRef p, PlanPtr left, PlanPtr right) {
+  RelSet both = left->output_rels().Union(right->output_rels());
+  PlanPtr cross = OuterCross(std::move(left), std::move(right));
+  return Plan::Comp(
+      CompOp::Beta(),
+      Plan::Comp(CompOp::Lambda(std::move(p), both), std::move(cross)));
+}
+
+PlanPtr CbaLeftOuterJoinCanonical(PredRef p, PlanPtr left, PlanPtr right) {
+  RelSet null_side = right->output_rels();
+  PlanPtr cross = OuterCross(std::move(left), std::move(right));
+  return Plan::Comp(
+      CompOp::Beta(),
+      Plan::Comp(CompOp::Lambda(std::move(p), null_side), std::move(cross)));
+}
+
+namespace {
+
+// Recursive canonicalization: returns the cross-product tree and pushes
+// the nullification operators (innermost first) onto `lambdas`.
+PlanPtr CanonicalRec(const Plan& node, std::vector<CompOp>* lambdas) {
+  switch (node.kind()) {
+    case Plan::Kind::kLeaf:
+      return Plan::Leaf(node.rel_id());
+    case Plan::Kind::kComp:
+      return nullptr;  // canonicalization applies to plain join queries
+    case Plan::Kind::kJoin:
+      break;
+  }
+  PlanPtr left = CanonicalRec(*node.left(), lambdas);
+  if (left == nullptr) return nullptr;
+  PlanPtr right = CanonicalRec(*node.right(), lambdas);
+  if (right == nullptr) return nullptr;
+  RelSet lrels = node.left()->output_rels();
+  RelSet rrels = node.right()->output_rels();
+  switch (node.op()) {
+    case JoinOp::kCross:
+      break;  // no nullification
+    case JoinOp::kInner:
+      lambdas->push_back(
+          CompOp::Lambda(node.pred(), lrels.Union(rrels)));
+      break;
+    case JoinOp::kLeftOuter:
+      lambdas->push_back(CompOp::Lambda(node.pred(), rrels));
+      break;
+    case JoinOp::kRightOuter:
+      lambdas->push_back(CompOp::Lambda(node.pred(), lrels));
+      break;
+    default:
+      return nullptr;  // semi/anti/full outside CBA's scope
+  }
+  return OuterCross(std::move(left), std::move(right));
+}
+
+}  // namespace
+
+PlanPtr CbaCanonicalForm(const Plan& query) {
+  std::vector<CompOp> lambdas;
+  PlanPtr cross = CanonicalRec(query, &lambdas);
+  if (cross == nullptr) return nullptr;
+  PlanPtr plan = std::move(cross);
+  for (CompOp& l : lambdas) {
+    plan = Plan::Comp(std::move(l), std::move(plan));
+  }
+  return Plan::Comp(CompOp::Beta(), std::move(plan));
+}
+
+PlanPtr SwapLambdaPair(PlanPtr chain) {
+  ECA_CHECK(chain->is_comp() &&
+            chain->comp().kind == CompOp::Kind::kLambda);
+  ECA_CHECK(chain->child()->is_comp() &&
+            chain->child()->comp().kind == CompOp::Kind::kLambda);
+  CompOp outer = chain->comp();                    // lambda[p1, M]
+  CompOp inner = chain->child()->comp();           // lambda[p2, N]
+  PlanPtr body = std::move(chain->mutable_child()->mutable_child());
+
+  const bool p1_refs_n = outer.pred->refs().Intersects(inner.attrs);
+  const bool p2_refs_m = inner.pred->refs().Intersects(outer.attrs);
+  if (!p1_refs_n) {
+    // Rule 26: independent lambdas commute (p2 must also not see M, or the
+    // swap would change p2's inputs).
+    if (p2_refs_m) return nullptr;
+    return Plan::Comp(inner, Plan::Comp(outer, std::move(body)));
+  }
+  // Rule 27: p1 references N. After the swap, the p2-lambda must nullify M
+  // as well: tuples failing p2 had N nulled first, which forced p1 to fail
+  // and null M — the widened outer lambda reproduces that.
+  if (p2_refs_m) return nullptr;
+  CompOp widened = CompOp::Lambda(inner.pred, inner.attrs.Union(outer.attrs));
+  widened.vnode = inner.vnode;
+  return Plan::Comp(widened, Plan::Comp(outer, std::move(body)));
+}
+
+}  // namespace eca

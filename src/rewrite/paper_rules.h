@@ -1,0 +1,87 @@
+#ifndef ECA_REWRITE_PAPER_RULES_H_
+#define ECA_REWRITE_PAPER_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+
+namespace eca {
+
+// ---------------------------------------------------------------------------
+// The paper's named rewrite rules, in their explicit closed forms.
+//
+// The swap machinery (rules_swap.cc) derives these compositionally; this
+// module states them directly — Table 3's join reordering rules and the
+// CBA rules of Section 2.2 — so each can be exhibited, tested and benched
+// one-for-one against the paper. A rule is a pair of plan builders over
+// leaf relations R0, R1, R2 with predicates p01 (R0-R1), p12 (R1-R2) and,
+// for the r-asscom rules, p02 (R0-R2).
+// ---------------------------------------------------------------------------
+
+struct PaperRule {
+  int number;              // the paper's rule number
+  std::string transform;   // e.g. "assoc(laj, join)"
+  std::string description;
+  // Builds the two sides over fresh leaves; preds labeled p01/p12/p02.
+  PlanPtr (*lhs)(PredRef pa, PredRef pb);
+  PlanPtr (*rhs)(PredRef pa, PredRef pb);
+  // Which relation pairs pa/pb connect: {a0,a1,b0,b1}.
+  int endpoints[4];
+};
+
+// Rules 14-20 (the paper's new compensated reorderings, Table 3) and
+// 21-25 (the CBA-style lambda/beta reorderings the approach inherits).
+// The exact algebra is reconstructed from the paper's Appendix A proofs
+// (Rule 3, Rule 18) and the Equation 9 / Table 2 derivations; every form is
+// machine-verified in table3_rules_test.cc and bench_table3_rules.
+const std::vector<PaperRule>& PaperTable3Rules();
+
+// Table 2: the 13 rules for interchanging gamma / gamma* with the
+// conventional join operators (reconstruction; rule 3 is the one proved in
+// the paper's Appendix A). The builders take pa = the predicate of the
+// outerjoin that the gamma's attribute set originates from (R0-R1) and
+// pb = the interchanged join's predicate (endpoints per rule).
+const std::vector<PaperRule>& PaperTable2Rules();
+
+// ---------------------------------------------------------------------------
+// CBA canonical-form rules (Section 2.2, Equations 1-2)
+// ---------------------------------------------------------------------------
+
+// The outer variant of the cartesian product (CBA's x-circle): preserves all
+// tuples of non-empty operands. Implemented as a full outerjoin with a TRUE
+// predicate.
+PlanPtr OuterCross(PlanPtr left, PlanPtr right);
+
+// Equation 1: R0 join[p] R1 = beta(lambda[p, {R0,R1}](R0 xo R1)).
+PlanPtr CbaInnerJoinCanonical(PredRef p, PlanPtr left, PlanPtr right);
+
+// Equation 2: R0 loj[p] R1 = beta(lambda[p, {R1}](R0 xo R1)).
+PlanPtr CbaLeftOuterJoinCanonical(PredRef p, PlanPtr left, PlanPtr right);
+
+// The full CBA canonical form of Section 2.2 for a query over
+// {join, loj, roj, cross}:
+//     beta(lambda[p_n,A_n](... lambda[p_1,A_1](R_1 xo ... xo R_n)))
+// with the nullification operators ordered bottom-up (a join's lambda sits
+// above the lambdas of its operands, so predicates over already-nullified
+// attributes fail and cascade the nullification — the mechanism CBA's
+// reordering relies on). Returns nullptr if the query contains operators
+// outside CBA's scope (semi/antijoins, full outerjoins).
+PlanPtr CbaCanonicalForm(const Plan& query);
+
+// ---------------------------------------------------------------------------
+// Table 4: swapping adjacent lambda operators (Rules 26-27)
+// ---------------------------------------------------------------------------
+
+// Rewrites lambda[p1,M](lambda[p2,N](X)) so that the p2-lambda is outermost:
+//   Rule 26 (p1 does not reference N):
+//       = lambda[p2,N](lambda[p1,M](X))
+//   Rule 27 (p1 references N; requires p2 not referencing M):
+//       = lambda[p2, N+M](lambda[p1,M](X))
+// `chain` must be a lambda whose child is a lambda. Returns nullptr when
+// neither side condition holds.
+PlanPtr SwapLambdaPair(PlanPtr chain);
+
+}  // namespace eca
+
+#endif  // ECA_REWRITE_PAPER_RULES_H_

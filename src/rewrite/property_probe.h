@@ -1,0 +1,37 @@
+#ifndef ECA_REWRITE_PROPERTY_PROBE_H_
+#define ECA_REWRITE_PROPERTY_PROBE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rewrite/transform.h"
+
+namespace eca {
+
+// Result of an empirical validity classification for one transformation.
+struct ProbeResult {
+  Validity validity = Validity::kNotApplicable;
+  int trials_run = 0;
+  // Seed of the first counterexample when validity == kInvalid; lets a
+  // failure be reproduced exactly.
+  uint64_t counterexample_seed = 0;
+  std::string counterexample_detail;  // plans + diff for the counterexample
+};
+
+// Classifies transform (t, a, b) by executing LHS and RHS patterns over
+// randomized databases (varied sizes, NULL rates, skew, empty relations).
+// A single mismatch proves kInvalid; survival of all trials reports kValid.
+// This is the machinery that regenerates the paper's Table 1 and guards the
+// hardcoded TableOneValidity used by the enumerators.
+ProbeResult ClassifyTransform(TransformType t, JoinOp a, JoinOp b,
+                              int trials = 300, uint64_t seed0 = 0,
+                              bool tolerant_preds = false);
+
+// Renders the full 6x6 matrix for a transform type (rows = op a,
+// cols = op b) using the empirical classifier; used by bench_table1_matrix.
+std::string RenderEmpiricalMatrix(TransformType t, int trials = 300,
+                                  bool tolerant_preds = false);
+
+}  // namespace eca
+
+#endif  // ECA_REWRITE_PROPERTY_PROBE_H_

@@ -1,0 +1,353 @@
+// Compensation-operator pull-up rules (Tables 2, 4, 5 and Equation 10 of the
+// paper) and the anti/semijoin expansion rewrites (Equation 9 and the
+// best-match semijoin form). Every rule here is verified by randomized
+// equivalence testing in tests/rewrite/.
+
+#include "rewrite/rules.h"
+
+#include "expr/pred_normalize.h"
+
+namespace eca {
+
+namespace {
+
+// Combined predicate for lambda folding: (pj AND q), labeled "pj&q".
+// Normalized so that repeated folds stay flat and duplicate conjuncts
+// collapse.
+PredRef FoldPreds(const PredRef& pj, const PredRef& q) {
+  PredRef folded = NormalizePredicate(Predicate::And({pj, q}));
+  return Predicate::WithLabel(std::move(folded),
+                              pj->DisplayName() + "&" + q->DisplayName());
+}
+
+// Records that pulling a compensation operator across join `j` changed the
+// comp's form or the join's predicate/operator: any subplan boundary between
+// the comp and the join now carries a dependency (Section 5.2, second
+// scenario).
+void RecordPullDependency(RewriteContext* ctx, const Plan& j,
+                          const char* what, CompOp* comp) {
+  if (ctx == nullptr) return;
+  if (comp != nullptr && comp->vnode < 0) comp->vnode = ctx->NewVnode();
+  DEdge e;
+  e.src_pred = j.pred() ? j.pred()->DisplayName() : "cross";
+  e.label_a = what;
+  e.label_b = e.src_pred;
+  e.vnode = comp != nullptr ? comp->vnode : DEdge::kContextVnode;
+  ctx->dedges.push_back(std::move(e));
+}
+
+}  // namespace
+
+namespace {
+
+// Stamps the expansion compensations with a fresh group id and records the
+// join's dependency on them (without this, a subplan that pulled the
+// compensations outside its boundary would look reusable in a context that
+// kept them inside — Example 5.1's hazard).
+int RecordExpansionDependency(RewriteContext* ctx, const PredRef& pred,
+                              const char* what) {
+  if (ctx == nullptr) return -1;
+  int vnode = ctx->NewVnode();
+  DEdge e;
+  e.src_pred = pred ? pred->DisplayName() : "cross";
+  e.label_a = what;
+  e.label_b = e.src_pred;
+  e.vnode = vnode;
+  ctx->dedges.push_back(std::move(e));
+  return vnode;
+}
+
+}  // namespace
+
+PlanPtr ExpandAntiJoinNode(PlanPtr node, RewriteContext* ctx) {
+  ECA_CHECK(node->is_join());
+  if (node->op() == JoinOp::kRightAnti) NormalizeRightVariants(node.get());
+  ECA_CHECK(node->op() == JoinOp::kLeftAnti);
+  RelSet out_left = node->left()->output_rels();
+  RelSet out_right = node->right()->output_rels();
+  int vnode = RecordExpansionDependency(ctx, node->pred(), "eq9");
+  node->set_op(JoinOp::kLeftOuter);
+  CompOp gamma = CompOp::Gamma(out_right);
+  gamma.vnode = vnode;
+  CompOp pi = CompOp::Project(out_left);
+  pi.vnode = vnode;
+  PlanPtr inner = Plan::Comp(std::move(gamma), std::move(node));
+  return Plan::Comp(std::move(pi), std::move(inner));
+}
+
+PlanPtr ExpandSemiJoinNode(PlanPtr node, RewriteContext* ctx) {
+  ECA_CHECK(node->is_join());
+  if (node->op() == JoinOp::kRightSemi) NormalizeRightVariants(node.get());
+  ECA_CHECK(node->op() == JoinOp::kLeftSemi);
+  RelSet out_left = node->left()->output_rels();
+  int vnode = RecordExpansionDependency(ctx, node->pred(), "semijoin");
+  node->set_op(JoinOp::kInner);
+  CompOp pi = CompOp::Project(out_left);
+  pi.vnode = vnode;
+  CompOp beta = CompOp::Beta();
+  beta.vnode = vnode;
+  PlanPtr projected = Plan::Comp(std::move(pi), std::move(node));
+  return Plan::Comp(std::move(beta), std::move(projected));
+}
+
+bool IsBetaClean(const Plan& plan) {
+  switch (plan.kind()) {
+    case Plan::Kind::kLeaf:
+      return true;  // base relations are duplicate-free (key columns)
+    case Plan::Kind::kJoin:
+      // Joins of clean inputs are clean: padded rows exist only for
+      // unmatched tuples, so a padded and a non-padded row for the same
+      // tuple never coexist, and distinct keys prevent cross-tuple
+      // domination. Semi/antijoins select subsets of a clean input.
+      return IsBetaClean(*plan.left()) &&
+             (OutputsOneSide(plan.op()) && plan.op() != JoinOp::kRightSemi &&
+                      plan.op() != JoinOp::kRightAnti
+                  ? true
+                  : IsBetaClean(*plan.right()));
+    case Plan::Kind::kComp:
+      switch (plan.comp().kind) {
+        case CompOp::Kind::kBeta:
+        case CompOp::Kind::kGammaStar:  // ends with a best-match
+          return true;
+        case CompOp::Kind::kGamma:  // selection of clean input stays clean
+          return IsBetaClean(*plan.child());
+        case CompOp::Kind::kLambda:   // nullified copies may be dominated
+        case CompOp::Kind::kProject:  // projection may create duplicates
+          return false;
+      }
+  }
+  return false;
+}
+
+bool PullCompAboveJoin(PlanPtr* j_subtree_slot, bool comp_on_left,
+                       RewriteContext* ctx) {
+  PlanPtr j_subtree = std::move(*j_subtree_slot);
+  Plan* j = j_subtree.get();
+  // Every early-out below must restore the subtree before returning false.
+  auto fail = [&]() {
+    *j_subtree_slot = std::move(j_subtree);
+    return false;
+  };
+  auto succeed = [&](PlanPtr result) {
+    *j_subtree_slot = std::move(result);
+    return true;
+  };
+  ECA_CHECK(j->is_join());
+  // Right-variant joins are normalized by the caller (SwapUp); handle only
+  // left variants plus cross/inner/full.
+  ECA_CHECK(!IsRightVariant(j->op()));
+  PlanPtr& comp_slot = comp_on_left ? j->mutable_left() : j->mutable_right();
+  ECA_CHECK(comp_slot->is_comp());
+  CompOp comp = comp_slot->comp();
+  Plan* sibling = comp_on_left ? j->right() : j->left();
+  const RelSet out_sibling = sibling->output_rels();
+  const RelSet out_child = comp_slot->child()->output_rels();
+  const JoinOp op = j->op();
+  const PredRef pj = j->pred();
+  const RelSet pj_refs = pj ? pj->refs() : RelSet();
+
+  // Which role does the comp side play?
+  const bool probe_side = OutputsOneSide(op) && !comp_on_left;
+  const bool null_padded_side =  // unmatched sibling rows pad the comp side
+      (op == JoinOp::kLeftOuter && !comp_on_left) || op == JoinOp::kFullOuter;
+
+  auto splice_child = [&]() {
+    // Replace the comp node by its child under j.
+    PlanPtr child = std::move(comp_slot->mutable_child());
+    comp_slot = std::move(child);
+  };
+
+  switch (comp.kind) {
+    case CompOp::Kind::kProject: {
+      // Equation 10: pi commutes with the join when the predicate only
+      // needs surviving attributes.
+      RelSet visible = comp.attrs.Intersect(out_child).Union(out_sibling);
+      if (!visible.ContainsAll(pj_refs)) return fail();
+      splice_child();
+      if (probe_side) {
+        // The probe side does not reach the output; the projection is
+        // irrelevant once the predicate is known to survive it.
+        return succeed(std::move(j_subtree));
+      }
+      CompOp up = CompOp::Project(
+          OutputsOneSide(op) ? comp.attrs
+                             : comp.attrs.Union(out_sibling));
+      up.vnode = comp.vnode;
+      return succeed(Plan::Comp(std::move(up), std::move(j_subtree)));
+    }
+
+    case CompOp::Kind::kGamma: {
+      if (pj_refs.Intersects(comp.attrs)) return fail();
+      if (op == JoinOp::kFullOuter || null_padded_side) {
+        // Table 2 Rule 3 (and its full-outerjoin analog): a gamma below the
+        // null-producing side becomes a gamma* that nullifies instead of
+        // removing, keeping the sibling's attributes.
+        splice_child();
+        CompOp up = CompOp::GammaStar(comp.attrs, out_sibling);
+        up.vnode = comp.vnode;
+        RecordPullDependency(ctx, *j, "gamma->gamma*", &up);
+        return succeed(Plan::Comp(std::move(up), std::move(j_subtree)));
+      }
+      if (probe_side) return fail();  // gamma changes matching; expand j
+      // Selection on an output side commutes (inner/cross/left-preserved
+      // outer/semi/anti-output side).
+      splice_child();
+      CompOp up = comp;
+      return succeed(Plan::Comp(std::move(up), std::move(j_subtree)));
+    }
+
+    case CompOp::Kind::kGammaStar: {
+      const RelSet nulled = out_child.Minus(comp.keep);
+      if (pj != nullptr && pj->null_intolerant() &&
+          pj_refs.Intersects(nulled) && IsBetaClean(*comp_slot->child())) {
+        // The join predicate needs attributes that gamma* nullifies, so
+        // the modified tuples can never match — they either vanish (inner,
+        // probe side), stay padded (outerjoins), or survive unmatched
+        // (antijoin output). A best-match-clean operand guarantees that
+        // applying the modification after the join removes exactly the
+        // same spurious tuples.
+        if (op == JoinOp::kLeftOuter && comp_on_left) {
+          // gamma*{A(B)}(X) loj[pj] Y = gamma*{A(B)}(X loj[pj] Y): failing
+          // tuples join with original values, then both their non-B attrs
+          // and the joined Y side are nullified, collapsing to the padded
+          // rows the left side produced.
+          splice_child();
+          CompOp up = CompOp::GammaStar(comp.attrs, comp.keep);
+          up.vnode = comp.vnode;
+          RecordPullDependency(ctx, *j, "gamma*-keep", &up);
+          return succeed(Plan::Comp(std::move(up), std::move(j_subtree)));
+        }
+        if (op == JoinOp::kLeftOuter && null_padded_side) {
+          // Y loj[pj] gamma*{A(B)}(X) = gamma*{A(out Y)}(Y loj[pj] X):
+          // in the result only Y's attributes survive for A-non-NULL rows
+          // (matching the padded rows of the left-hand side).
+          splice_child();
+          CompOp up = CompOp::GammaStar(comp.attrs, out_sibling);
+          up.vnode = comp.vnode;
+          RecordPullDependency(ctx, *j, "gamma*-nullside", &up);
+          return succeed(Plan::Comp(std::move(up), std::move(j_subtree)));
+        }
+        if (op == JoinOp::kInner || probe_side ||
+            (op == JoinOp::kLeftSemi && comp_on_left)) {
+          // Only A-all-NULL tuples participate: fold the gamma test into
+          // the predicate; the gamma* vanishes (modified tuples cannot
+          // reach the output).
+          PredRef folded = Predicate::WithLabel(
+              NormalizePredicate(
+                  Predicate::And({pj, Predicate::AllNull(comp.attrs)})),
+              pj->DisplayName() + "&gt");
+          j->set_pred(folded);
+          splice_child();
+          RecordPullDependency(ctx, *j, "gamma*-fold", nullptr);
+          return succeed(std::move(j_subtree));
+        }
+        if (op == JoinOp::kLeftAnti && comp_on_left) {
+          // Modified tuples never match, so they survive the antijoin;
+          // fold the gamma test and re-apply gamma* above.
+          PredRef folded = Predicate::WithLabel(
+              NormalizePredicate(
+                  Predicate::And({pj, Predicate::AllNull(comp.attrs)})),
+              pj->DisplayName() + "&gt");
+          j->set_pred(folded);
+          splice_child();
+          CompOp up = CompOp::GammaStar(comp.attrs, comp.keep);
+          up.vnode = comp.vnode;
+          RecordPullDependency(ctx, *j, "gamma*-antijoin", &up);
+          return succeed(Plan::Comp(std::move(up), std::move(j_subtree)));
+        }
+        return fail();
+      }
+      // The predicate only touches the preserved attributes B (plus the
+      // sibling); the gamma* widens across the join.
+      if (!comp.keep.Union(out_sibling).ContainsAll(pj_refs)) return fail();
+      if (probe_side || OutputsOneSide(op)) return fail();  // expand j
+      splice_child();
+      CompOp up = CompOp::GammaStar(comp.attrs, comp.keep.Union(out_sibling));
+      up.vnode = comp.vnode;
+      RecordPullDependency(ctx, *j, "gamma*-widen", &up);
+      return succeed(Plan::Comp(std::move(up), std::move(j_subtree)));
+    }
+
+    case CompOp::Kind::kLambda: {
+      const PredRef q = comp.pred;
+      if (!pj_refs.Intersects(comp.attrs)) {
+        // Table 5, easy cases: the join predicate ignores the nullified
+        // attributes, so nullification commutes with the join.
+        splice_child();
+        if (probe_side) return succeed(std::move(j_subtree));  // invisible
+        CompOp up = comp;
+        return succeed(Plan::Comp(std::move(up), std::move(j_subtree)));
+      }
+      // pj references the nullified attributes. Every fold/widen below
+      // relies on nullified attributes never satisfying pj.
+      if (pj != nullptr && !pj->null_intolerant()) return fail();
+      if (op == JoinOp::kFullOuter) return fail();
+      if (op == JoinOp::kInner || probe_side ||
+          (op == JoinOp::kLeftOuter && null_padded_side) ||
+          (op == JoinOp::kLeftSemi && comp_on_left)) {
+        // Folding: tuples failing q cannot match pj anyway, so the lambda
+        // becomes a conjunct of the join predicate (Section 4.4 discussion;
+        // verified in rules_lambda_test.cc).
+        ECA_CHECK(pj != nullptr);
+        j->set_pred(FoldPreds(pj, q));
+        splice_child();
+        RecordPullDependency(ctx, *j, "lambda-fold", nullptr);
+        return succeed(std::move(j_subtree));
+      }
+      if (op == JoinOp::kLeftAnti && comp_on_left) {
+        // lambda_{q,A}(X) laj[pj] Y = lambda_{q,A}(X laj[pj AND q] Y):
+        // failing tuples cannot match, so they survive the antijoin and are
+        // then nullified.
+        ECA_CHECK(pj != nullptr);
+        j->set_pred(FoldPreds(pj, q));
+        splice_child();
+        CompOp up = comp;
+        RecordPullDependency(ctx, *j, "lambda-antijoin", &up);
+        return succeed(Plan::Comp(std::move(up), std::move(j_subtree)));
+      }
+      if (op == JoinOp::kLeftOuter && comp_on_left) {
+        // Table 5 with best-match: lambda_{q,A}(X) loj[pj] Y =
+        // beta(lambda_{q, A+out(Y)}(X loj[pj] Y)). Failing tuples join with
+        // their original values; the widened lambda nullifies those joins
+        // and beta removes the resulting spurious tuples.
+        splice_child();
+        CompOp up = CompOp::Lambda(q, comp.attrs.Union(out_sibling));
+        up.vnode = comp.vnode;
+        RecordPullDependency(ctx, *j, "lambda-widen", &up);
+        PlanPtr with_lambda =
+            Plan::Comp(std::move(up), std::move(j_subtree));
+        CompOp beta = CompOp::Beta();
+        beta.vnode = comp.vnode;
+        return succeed(Plan::Comp(std::move(beta), std::move(with_lambda)));
+      }
+      return fail();
+    }
+
+    case CompOp::Kind::kBeta: {
+      if (probe_side) {
+        // Removing dominated/duplicate tuples never changes whether a tuple
+        // has a match (dominated matches imply dominator matches — which
+        // again needs a null-intolerant predicate), so beta on the probe
+        // side of a semi/antijoin is a no-op for the result.
+        if (pj != nullptr && !pj->null_intolerant()) return fail();
+        splice_child();
+        return succeed(std::move(j_subtree));
+      }
+      if (op == JoinOp::kLeftAnti) return fail();  // see rules_pull tests
+      // The domination argument ("if a dominated tuple matches, its
+      // dominator matches") needs a null-intolerant predicate.
+      if (pj != nullptr && !pj->null_intolerant()) return fail();
+      // For output-preserving joins the sibling must itself be free of
+      // spurious tuples, or the pulled beta would remove cross-sibling
+      // dominations the original did not. Semijoins output only the beta
+      // side, so no sibling condition applies.
+      if (op != JoinOp::kLeftSemi && !IsBetaClean(*sibling)) return fail();
+      splice_child();
+      CompOp up = comp;
+      return succeed(Plan::Comp(std::move(up), std::move(j_subtree)));
+    }
+  }
+  return fail();
+}
+
+}  // namespace eca

@@ -1,0 +1,416 @@
+// The compensated swap primitive (Section 4.3 / Algorithm 3 and 5 of the
+// paper). A child join m rises one level above its parent join p via an
+// assoc / l-asscom / r-asscom step; when the step is invalid per Table 1 it
+// is repaired by outerjoin simplification, anti/semijoin expansion
+// (Equation 9), compensation pull-up, or the generalized-outerjoin
+// compensation (lambda + beta). The paper's Table 3 rules 14-25 arise as
+// compositions of these primitives (verified in rules_reorder_test.cc).
+
+#include "rewrite/rules.h"
+
+namespace eca {
+
+namespace {
+
+enum class Candidate { kAssocFwd, kLAsscom, kAssocRev, kRAsscom };
+
+// Mirrors a right-variant join node in place (children swapped).
+void MirrorNode(Plan* j) {
+  if (j->is_join() && IsRightVariant(j->op())) {
+    j->set_op(Mirror(j->op()));
+    std::swap(j->mutable_left(), j->mutable_right());
+  }
+}
+
+void RecordSwapDEdges(RewriteContext* ctx, const PredRef& pm,
+                      const PredRef& pp, int vnode) {
+  if (ctx == nullptr) return;
+  std::string la = pm ? pm->DisplayName() : "cross";
+  std::string lb = pp ? pp->DisplayName() : "cross";
+  for (const std::string& src : {la, lb}) {
+    DEdge e;
+    e.src_pred = src;
+    e.label_a = la;
+    e.label_b = lb;
+    e.vnode = vnode;
+    ctx->dedges.push_back(std::move(e));
+  }
+}
+
+void RecordSimplifyDEdge(RewriteContext* ctx, const PredRef& changed,
+                         const PredRef& cause) {
+  if (ctx == nullptr) return;
+  DEdge e;
+  e.src_pred = changed ? changed->DisplayName() : "cross";
+  e.label_a = "simplify";
+  e.label_b = cause ? cause->DisplayName() : "cross";
+  e.vnode = DEdge::kContextVnode;
+  ctx->dedges.push_back(std::move(e));
+}
+
+PlanPtr StripTopComps(PlanPtr sub, std::vector<CompOp>* comps) {
+  while (sub->is_comp()) {
+    comps->push_back(sub->comp());
+    PlanPtr child = std::move(sub->mutable_child());
+    sub = std::move(child);
+  }
+  return sub;
+}
+
+PlanPtr WrapComps(const std::vector<CompOp>& comps, PlanPtr child) {
+  for (auto it = comps.rbegin(); it != comps.rend(); ++it) {
+    child = Plan::Comp(*it, std::move(child));
+  }
+  return child;
+}
+
+// Destructures the (p, m) pattern and rebuilds the risen shape for a
+// table-valid transformation. Consumes `sub`.
+PlanPtr RebuildPlain(PlanPtr sub, Candidate c, bool m_on_left) {
+  Plan* p = sub.get();
+  PlanPtr m = std::move(m_on_left ? p->mutable_left() : p->mutable_right());
+  JoinOp op_p = p->op(), op_m = m->op();
+  PredRef pp = p->pred(), pm = m->pred();
+  PlanPtr e1, e2, e3;
+  if (m_on_left) {
+    e1 = std::move(m->mutable_left());
+    e2 = std::move(m->mutable_right());
+    e3 = std::move(p->mutable_right());
+  } else {
+    e1 = std::move(p->mutable_left());
+    e2 = std::move(m->mutable_left());
+    e3 = std::move(m->mutable_right());
+  }
+  switch (c) {
+    case Candidate::kAssocFwd:  // (e1 m e2) p e3 -> e1 m (e2 p e3)
+      return Plan::Join(op_m, pm, std::move(e1),
+                        Plan::Join(op_p, pp, std::move(e2), std::move(e3)));
+    case Candidate::kLAsscom:  // (e1 m e2) p e3 -> (e1 p e3) m e2
+      return Plan::Join(op_m, pm,
+                        Plan::Join(op_p, pp, std::move(e1), std::move(e3)),
+                        std::move(e2));
+    case Candidate::kAssocRev:  // e1 p (e2 m e3) -> (e1 p e2) m e3
+      return Plan::Join(op_m, pm,
+                        Plan::Join(op_p, pp, std::move(e1), std::move(e2)),
+                        std::move(e3));
+    case Candidate::kRAsscom:  // e1 p (e2 m e3) -> e2 m (e1 p e3)
+      return Plan::Join(op_m, pm, std::move(e2),
+                        Plan::Join(op_p, pp, std::move(e1), std::move(e3)));
+  }
+  return nullptr;
+}
+
+// The generalized-outerjoin compensation:
+//   e1 loj[pp] (e2 join[pm] e3)   [pp referencing e2]
+//     = beta(lambda[pm, out(e2)+out(e3)]((e1 loj[pp] e2) loj[pm] e3))
+// and the r-asscom variant with pp referencing e3:
+//     = beta(lambda[pm, out(e2)+out(e3)]((e1 loj[pp] e3) loj[pm] e2))
+// Consumes `sub` (whose root p must be kLeftOuter with inner join m =
+// kInner on the right).
+PlanPtr BuildGeneralizedOuterjoin(PlanPtr sub, Candidate c,
+                                  RewriteContext* ctx) {
+  Plan* p = sub.get();
+  PlanPtr m = std::move(p->mutable_right());
+  PredRef pp = p->pred(), pm = m->pred();
+  PlanPtr e1 = std::move(p->mutable_left());
+  PlanPtr e2 = std::move(m->mutable_left());
+  PlanPtr e3 = std::move(m->mutable_right());
+  RelSet nulled = e2->output_rels().Union(e3->output_rels());
+
+  PlanPtr inner, top;
+  if (c == Candidate::kAssocRev) {
+    inner = Plan::Join(JoinOp::kLeftOuter, pp, std::move(e1), std::move(e2));
+    top = Plan::Join(JoinOp::kLeftOuter, pm, std::move(inner), std::move(e3));
+  } else {
+    ECA_CHECK(c == Candidate::kRAsscom);
+    inner = Plan::Join(JoinOp::kLeftOuter, pp, std::move(e1), std::move(e3));
+    top = Plan::Join(JoinOp::kLeftOuter, pm, std::move(inner), std::move(e2));
+  }
+  int vnode = ctx != nullptr ? ctx->NewVnode() : -1;
+  RecordSwapDEdges(ctx, pm, pp, vnode);
+  CompOp lambda = CompOp::Lambda(pm, nulled);
+  lambda.vnode = vnode;
+  CompOp beta = CompOp::Beta();
+  beta.vnode = vnode;
+  return Plan::Comp(std::move(beta),
+                    Plan::Comp(std::move(lambda), std::move(top)));
+}
+
+PlanPtr SwapAdjacentRec(PlanPtr sub, bool m_on_left, RewriteContext* ctx,
+                        int depth) {
+  if (depth > 16) return nullptr;
+  Plan* p = sub.get();
+  ECA_CHECK(p->is_join());
+  if (IsRightVariant(p->op())) {
+    MirrorNode(p);
+    m_on_left = !m_on_left;
+  }
+  {
+    PlanPtr& ms = m_on_left ? p->mutable_left() : p->mutable_right();
+    ECA_CHECK(ms->is_join());
+    MirrorNode(ms.get());
+  }
+  Plan* m = m_on_left ? p->left() : p->right();
+  const PredRef pp = p->pred();
+  const PredRef pm = m->pred();
+  const RelSet pp_refs = pp ? pp->refs() : RelSet();
+  const JoinOp op_p = p->op();
+  const JoinOp op_m = m->op();
+
+  // Pattern operands per the transform definitions.
+  const Plan* e1 = m_on_left ? m->left() : p->left();
+  const Plan* e2 = m_on_left ? m->right() : m->left();
+  const Plan* e3 = m_on_left ? p->right() : m->right();
+  const RelSet l1 = e1->leaves(), l2 = e2->leaves(), l3 = e3->leaves();
+
+  // Which transforms does pp's shape admit?
+  std::vector<Candidate> candidates;
+  if (m_on_left) {
+    if (!pp_refs.Intersects(l1)) candidates.push_back(Candidate::kAssocFwd);
+    if (!pp_refs.Intersects(l2)) candidates.push_back(Candidate::kLAsscom);
+  } else {
+    if (!pp_refs.Intersects(l3)) candidates.push_back(Candidate::kAssocRev);
+    if (!pp_refs.Intersects(l2)) candidates.push_back(Candidate::kRAsscom);
+  }
+  if (candidates.empty()) return nullptr;  // predicate spans both subtrees
+
+  // CBA's nullification framework covers inner and outer joins only; it
+  // cannot reorder across semi/antijoins at all (Section 2.2), which is
+  // what makes TBA and CBA incomparable: TBA performs the *valid*
+  // anti/semijoin transformations that CBA lacks, while CBA performs the
+  // compensated outerjoin transformations that TBA forbids.
+  if (PolicyOf(ctx) == SwapPolicy::kCBA &&
+      (OutputsOneSide(op_m) || OutputsOneSide(op_p))) {
+    return nullptr;
+  }
+
+  auto table_ops = [&](Candidate c, JoinOp* a, JoinOp* b) {
+    if (c == Candidate::kAssocFwd || c == Candidate::kLAsscom) {
+      *a = op_m;
+      *b = op_p;
+    } else {
+      *a = op_p;
+      *b = op_m;
+    }
+  };
+  auto transform_of = [](Candidate c) {
+    switch (c) {
+      case Candidate::kAssocFwd:
+      case Candidate::kAssocRev:
+        return TransformType::kAssoc;
+      case Candidate::kLAsscom:
+        return TransformType::kLAsscom;
+      case Candidate::kRAsscom:
+        return TransformType::kRAsscom;
+    }
+    return TransformType::kAssoc;
+  };
+
+  // Appendix D: with null-tolerant predicates only the tolerant validity
+  // matrix applies and the compensation machinery (whose derivations rely
+  // on padded rows never matching) is off the table.
+  const bool preds_intolerant =
+      (pm == nullptr || pm->null_intolerant()) &&
+      (pp == nullptr || pp->null_intolerant());
+
+  // 1. Table-valid plain transformations (this is all TBA supports).
+  for (Candidate c : candidates) {
+    JoinOp a, b;
+    table_ops(c, &a, &b);
+    if (TableOneValidity(transform_of(c), a, b, preds_intolerant) ==
+        Validity::kValid) {
+      return RebuildPlain(std::move(sub), c, m_on_left);
+    }
+  }
+
+  const SwapPolicy policy = PolicyOf(ctx);
+  if (policy == SwapPolicy::kTBA) return nullptr;  // valid transforms only
+
+  const bool pp_nullintol = pp != nullptr && pp->null_intolerant();
+
+  // 2. Outerjoin simplifications: a null-intolerant predicate above kills
+  // (or never sees) padded tuples, so the padding join degrades to a
+  // stricter operator; then the transformation is re-dispatched.
+  for (Candidate c : candidates) {
+    Plan* mm = m_on_left ? p->left() : p->right();
+    switch (c) {
+      case Candidate::kAssocFwd:
+        // (e1 m e2) p e3, pp references e2. Padded e2-NULL rows of m are
+        // filtered by an inner/semi parent.
+        if (pp_nullintol && pp_refs.Intersects(l2) &&
+            (op_p == JoinOp::kInner || op_p == JoinOp::kLeftSemi)) {
+          if (op_m == JoinOp::kLeftOuter) {
+            mm->set_op(JoinOp::kInner);
+            RecordSimplifyDEdge(ctx, pm, pp);
+            return SwapAdjacentRec(std::move(sub), m_on_left, ctx, depth + 1);
+          }
+          if (op_m == JoinOp::kFullOuter) {
+            mm->set_op(JoinOp::kRightOuter);  // keep only e2's padding
+            RecordSimplifyDEdge(ctx, pm, pp);
+            return SwapAdjacentRec(std::move(sub), m_on_left, ctx, depth + 1);
+          }
+        }
+        break;
+      case Candidate::kLAsscom:
+        // (e1 m e2) p e3, pp references e1. Padded e1-NULL rows (full
+        // outerjoin only) are filtered by an inner/semi parent.
+        if (pp_nullintol && pp_refs.Intersects(l1) &&
+            (op_p == JoinOp::kInner || op_p == JoinOp::kLeftSemi) &&
+            op_m == JoinOp::kFullOuter) {
+          mm->set_op(JoinOp::kLeftOuter);
+          RecordSimplifyDEdge(ctx, pm, pp);
+          return SwapAdjacentRec(std::move(sub), m_on_left, ctx, depth + 1);
+        }
+        break;
+      case Candidate::kAssocRev:
+        // e1 p (e2 m e3), pp references e2. The inner operand's e2-NULL
+        // padded rows never reach the output (p outputs only e1 plus
+        // matches, or filters them) unless p is a full outerjoin.
+        if (pp_nullintol && pp_refs.Intersects(l2) &&
+            op_p != JoinOp::kFullOuter && op_m == JoinOp::kFullOuter) {
+          mm->set_op(JoinOp::kLeftOuter);
+          RecordSimplifyDEdge(ctx, pm, pp);
+          return SwapAdjacentRec(std::move(sub), m_on_left, ctx, depth + 1);
+        }
+        break;
+      case Candidate::kRAsscom:
+        // e1 p (e2 m e3), pp references e3: e3-NULL padded rows of m are
+        // invisible below any non-full p.
+        if (pp_nullintol && pp_refs.Intersects(l3) &&
+            op_p != JoinOp::kFullOuter) {
+          if (op_m == JoinOp::kLeftOuter) {
+            mm->set_op(JoinOp::kInner);
+            RecordSimplifyDEdge(ctx, pm, pp);
+            return SwapAdjacentRec(std::move(sub), m_on_left, ctx, depth + 1);
+          }
+          if (op_m == JoinOp::kFullOuter) {
+            mm->set_op(JoinOp::kRightOuter);  // keep e3's padding only
+            MirrorNode(mm);                   // normalize: preserved side left
+            RecordSimplifyDEdge(ctx, pm, pp);
+            return SwapAdjacentRec(std::move(sub), m_on_left, ctx, depth + 1);
+          }
+        }
+        break;
+    }
+  }
+
+  // 3. Generalized-outerjoin compensation for the two invalid core cases
+  // with a left outerjoin parent and inner-join child on the right. The
+  // lambda compensation relies on padded rows never matching pm, so pm
+  // must be null-intolerant.
+  if (!m_on_left && op_p == JoinOp::kLeftOuter && op_m == JoinOp::kInner &&
+      pm != nullptr && pm->null_intolerant()) {
+    for (Candidate c : candidates) {
+      if (c == Candidate::kAssocRev || c == Candidate::kRAsscom) {
+        return BuildGeneralizedOuterjoin(std::move(sub), c, ctx);
+      }
+    }
+  }
+
+  // 4. Anti/semijoin expansion (Equation 9 and the best-match semijoin
+  // form), after which the pair is retried with outerjoin/inner operators.
+  // The parent expands first: compensations of a later child expansion can
+  // always be pulled through the parent's outerjoin form, but not through a
+  // semi/antijoin probe side. This is what CBA lacks (gamma/gamma*), hence
+  // its limited reorderability for antijoin queries (Section 2.2).
+  if (policy != SwapPolicy::kECA) return nullptr;
+  if (OutputsOneSide(op_p)) {
+    sub = IsAnti(op_p) ? ExpandAntiJoinNode(std::move(sub), ctx)
+                       : ExpandSemiJoinNode(std::move(sub), ctx);
+    std::vector<CompOp> above;
+    PlanPtr inner = StripTopComps(std::move(sub), &above);
+    PlanPtr swapped =
+        SwapAdjacentRec(std::move(inner), m_on_left, ctx, depth + 1);
+    if (swapped == nullptr) return nullptr;
+    return WrapComps(above, std::move(swapped));
+  }
+  if (OutputsOneSide(op_m)) {
+    PlanPtr& ms = m_on_left ? p->mutable_left() : p->mutable_right();
+    ms = IsAnti(op_m) ? ExpandAntiJoinNode(std::move(ms), ctx)
+                      : ExpandSemiJoinNode(std::move(ms), ctx);
+    // Pull the expansion's compensation operators above p.
+    std::vector<CompOp> above;
+    while ((m_on_left ? p->left() : p->right())->is_comp()) {
+      if (!PullCompAboveJoin(&sub, m_on_left, ctx)) return nullptr;
+      sub = StripTopComps(std::move(sub), &above);
+      p = sub.get();
+    }
+    PlanPtr swapped = SwapAdjacentRec(std::move(sub), m_on_left, ctx,
+                                      depth + 1);
+    if (swapped == nullptr) return nullptr;
+    return WrapComps(above, std::move(swapped));
+  }
+
+  return nullptr;
+}
+
+}  // namespace
+
+PlanPtr SwapAdjacentJoins(PlanPtr p_subtree, bool m_on_left,
+                          RewriteContext* ctx) {
+  return SwapAdjacentRec(std::move(p_subtree), m_on_left, ctx, 0);
+}
+
+Plan* SwapUp(PlanPtr& root, Plan* m, RewriteContext* ctx) {
+  ECA_CHECK(m != nullptr && m->is_join());
+  Plan* j = ParentJoin(root.get(), m);
+  if (j == nullptr) return nullptr;
+  if (IsRightVariant(j->op())) MirrorNode(j);
+  bool m_side_left = FindSlot(j->mutable_left(), m) != nullptr ||
+                     j->left() == m;
+
+  // Pull every compensation operator between j and m above j. These pulls
+  // are equivalence-preserving, so the tree stays valid even if the final
+  // swap turns out to be infeasible. If a pull is blocked by j's
+  // semi/antijoin semantics (e.g. beta cannot cross an antijoin's output,
+  // gamma cannot cross a probe side), j itself is expanded via Equation 9
+  // into its outerjoin form, which every compensation can cross.
+  while (true) {
+    Plan* child = m_side_left ? j->left() : j->right();
+    if (child == m) break;
+    ECA_CHECK(child->is_comp());
+    PlanPtr* jslot = FindSlot(root, j);
+    ECA_CHECK(jslot != nullptr);
+    if (!PullCompAboveJoin(jslot, m_side_left, ctx)) {
+      if (PolicyOf(ctx) != SwapPolicy::kECA || !OutputsOneSide(j->op())) {
+        return nullptr;
+      }
+      PlanPtr expanded = IsAnti(j->op())
+                             ? ExpandAntiJoinNode(std::move(*jslot), ctx)
+                             : ExpandSemiJoinNode(std::move(*jslot), ctx);
+      *jslot = std::move(expanded);
+      // The join node under the new comp stack carries j's predicate.
+      Plan* cur = jslot->get();
+      while (cur->is_comp()) cur = cur->child();
+      j = cur;
+      if (!PullCompAboveJoin(FindSlot(root, j), m_side_left, ctx)) {
+        return nullptr;
+      }
+    }
+    // j is unchanged as a node; the pulled comp now sits above it.
+  }
+
+  // Attempt the adjacent swap on a clone so that failure leaves the plan
+  // untouched; roll back any speculative d-edges on failure.
+  PlanPtr* jslot = FindSlot(root, j);
+  ECA_CHECK(jslot != nullptr);
+  size_t dedge_mark = ctx != nullptr ? ctx->dedges.size() : 0;
+  int vnode_mark = ctx != nullptr ? ctx->next_vnode : 0;
+  PlanPtr attempt = (*jslot)->Clone();
+  PlanPtr swapped = SwapAdjacentJoins(std::move(attempt), m_side_left, ctx);
+  if (swapped == nullptr) {
+    if (ctx != nullptr) {
+      ctx->dedges.resize(dedge_mark);
+      ctx->next_vnode = vnode_mark;
+    }
+    return nullptr;
+  }
+  *jslot = std::move(swapped);
+  // The risen join is the first join below the comp stack at *jslot.
+  Plan* cur = jslot->get();
+  while (cur->is_comp()) cur = cur->child();
+  ECA_CHECK(cur->is_join());
+  return cur;
+}
+
+}  // namespace eca

@@ -1,0 +1,39 @@
+#ifndef ECA_SQLGEN_SQLGEN_H_
+#define ECA_SQLGEN_SQLGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "catalog/schema.h"
+
+namespace eca {
+
+// SQL-level implementation of plans with compensation operators
+// (Section 6.1). Each operator renders as a subquery:
+//   joins        ANSI JOIN syntax; semi/antijoins via [NOT] EXISTS
+//   lambda       CASE WHEN <pred> THEN col END per nullified column
+//   gamma        WHERE col IS NULL for every tested column
+//   gamma*       CASE-nullification of the non-preserved columns guarded by
+//                the gamma test, followed by a best-match block
+//   beta         the paper's window-function spurious-tuple elimination
+//                (Figure 7(b)): sort, compare each row with its
+//                predecessor, keep the non-dominated ones
+//
+// The generated SQL enforces the plan's join order through nesting, which
+// is exactly how the paper deploys ECA on PostgreSQL without engine
+// changes.
+struct SqlOptions {
+  // Table name per rel_id (e.g. {"supplier", "partsupp", "part"}).
+  std::vector<std::string> table_names;
+  // Pretty-print with indentation.
+  bool pretty = true;
+};
+
+std::string PlanToSql(const Plan& plan,
+                      const std::vector<Schema>& base_schemas,
+                      const SqlOptions& options);
+
+}  // namespace eca
+
+#endif  // ECA_SQLGEN_SQLGEN_H_

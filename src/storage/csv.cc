@@ -1,0 +1,111 @@
+#include "storage/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace eca {
+
+std::string RelationToTbl(const Relation& rel) {
+  std::string out;
+  for (const Tuple& t : rel.rows()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += '|';
+      const Value& v = t[i];
+      if (v.is_null()) {
+        out += "\\N";
+        continue;
+      }
+      switch (v.type()) {
+        case DataType::kInt64:
+          out += std::to_string(v.AsInt());
+          break;
+        case DataType::kDouble:
+          out += StrFormat("%.17g", v.AsDouble());
+          break;
+        case DataType::kString:
+          ECA_CHECK_MSG(v.AsStr().find('|') == std::string::npos &&
+                            v.AsStr().find('\n') == std::string::npos,
+                        "string value not representable in .tbl format");
+          out += v.AsStr();
+          break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Relation RelationFromTbl(const Schema& schema, const std::string& text) {
+  Relation rel(schema);
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    // An empty line is a legitimate row only for a single string column
+    // (the empty string); otherwise it is inter-row noise.
+    if (line.empty() &&
+        !(schema.NumColumns() == 1 &&
+          schema.column(0).type == DataType::kString)) {
+      continue;
+    }
+    Tuple t;
+    t.reserve(static_cast<size_t>(schema.NumColumns()));
+    size_t field_start = 0;
+    for (int c = 0; c < schema.NumColumns(); ++c) {
+      size_t sep = c + 1 < schema.NumColumns()
+                       ? line.find('|', field_start)
+                       : line.size();
+      ECA_CHECK_MSG(sep != std::string::npos, "row has too few fields");
+      std::string field = line.substr(field_start, sep - field_start);
+      field_start = sep + 1;
+      DataType type = schema.column(c).type;
+      if (field == "\\N" || (field.empty() && type != DataType::kString)) {
+        t.push_back(Value::Null(type));
+        continue;
+      }
+      switch (type) {
+        case DataType::kInt64:
+          t.push_back(Value::Int(std::strtoll(field.c_str(), nullptr, 10)));
+          break;
+        case DataType::kDouble:
+          t.push_back(Value::Real(std::strtod(field.c_str(), nullptr)));
+          break;
+        case DataType::kString:
+          t.push_back(Value::Str(std::move(field)));
+          break;
+      }
+    }
+    rel.Add(std::move(t));
+  }
+  return rel;
+}
+
+bool WriteRelationFile(const std::string& path, const Relation& rel) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string data = RelationToTbl(rel);
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return written == data.size();
+}
+
+bool ReadRelationFile(const std::string& path, const Schema& schema,
+                      Relation* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  std::fclose(f);
+  *out = RelationFromTbl(schema, data);
+  return true;
+}
+
+}  // namespace eca

@@ -1,0 +1,30 @@
+#ifndef ECA_STORAGE_CSV_H_
+#define ECA_STORAGE_CSV_H_
+
+#include <string>
+
+#include "storage/relation.h"
+
+namespace eca {
+
+// TPC-H ".tbl"-style serialization: one row per line, '|'-separated values,
+// NULL encoded as \N (so empty strings stay distinct). Strings are stored
+// verbatim (the format forbids '|' and newlines inside values, which our
+// generators never produce).
+//
+// Used to persist generated databases between runs and to feed external
+// tools; round-trip tested in csv_test.cc.
+std::string RelationToTbl(const Relation& rel);
+
+// Parses `text` against `schema` (types drive value parsing). Aborts on
+// malformed rows via ECA_CHECK — inputs are trusted project files.
+Relation RelationFromTbl(const Schema& schema, const std::string& text);
+
+// File convenience wrappers; return false on I/O failure.
+bool WriteRelationFile(const std::string& path, const Relation& rel);
+bool ReadRelationFile(const std::string& path, const Schema& schema,
+                      Relation* out);
+
+}  // namespace eca
+
+#endif  // ECA_STORAGE_CSV_H_

@@ -1,0 +1,73 @@
+#ifndef ECA_STORAGE_RELATION_H_
+#define ECA_STORAGE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "types/value.h"
+
+namespace eca {
+
+// A tuple is a row of values aligned with a Schema.
+using Tuple = std::vector<Value>;
+
+// Compares two tuples under the Value total order (NULL first).
+// Returns <0, 0, >0.
+int CompareTuples(const Tuple& a, const Tuple& b);
+
+uint64_t HashTuple(const Tuple& t);
+
+// An in-memory row-major relation (bag of tuples with a schema).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Tuple> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {
+#ifndef NDEBUG
+    for (const Tuple& t : rows_) {
+      ECA_DCHECK(static_cast<int>(t.size()) == schema_.NumColumns());
+    }
+#endif
+  }
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  std::vector<Tuple>& mutable_rows() { return rows_; }
+  int64_t NumRows() const { return static_cast<int64_t>(rows_.size()); }
+
+  void Add(Tuple t) {
+    ECA_DCHECK(static_cast<int>(t.size()) == schema_.NumColumns());
+    rows_.push_back(std::move(t));
+  }
+
+  // Sorts rows in place under the tuple total order. Canonical form for
+  // multiset comparison.
+  void SortRows();
+
+  // A table rendering for debugging and examples.
+  std::string ToString(int max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+// True iff the two relations have equal schemas and equal row multisets.
+bool SameMultiset(const Relation& a, const Relation& b);
+
+// Human-oriented diff of two relations (first differing rows); empty string
+// when SameMultiset holds. Used by test assertions.
+std::string ExplainDifference(const Relation& a, const Relation& b,
+                              int max_diffs = 5);
+
+// A tuple of `n` NULL values typed per the schema columns [begin, begin+n).
+Tuple NullsFor(const Schema& schema, int begin, int n);
+
+// Concatenation of two tuples.
+Tuple ConcatTuples(const Tuple& a, const Tuple& b);
+
+}  // namespace eca
+
+#endif  // ECA_STORAGE_RELATION_H_

@@ -1,0 +1,84 @@
+#include "testing/random_data.h"
+
+namespace eca {
+
+Relation RandomRelation(Rng& rng, int rel_id, const RandomDataOptions& opts) {
+  std::vector<Column> cols;
+  cols.push_back({rel_id, "k", DataType::kInt64});
+  for (int i = 0; i < opts.data_cols; ++i) {
+    cols.push_back({rel_id, std::string(1, static_cast<char>('a' + i)),
+                    DataType::kInt64});
+  }
+  Relation r{Schema(std::move(cols))};
+  if (rng.Bernoulli(opts.empty_prob)) return r;
+  int n = static_cast<int>(rng.Uniform(opts.min_rows, opts.max_rows));
+  for (int row = 0; row < n; ++row) {
+    Tuple t;
+    t.push_back(Value::Int(row));  // unique key
+    for (int i = 0; i < opts.data_cols; ++i) {
+      if (rng.Bernoulli(opts.null_prob)) {
+        t.push_back(Value::Null(DataType::kInt64));
+      } else {
+        t.push_back(Value::Int(rng.Uniform(0, opts.domain - 1)));
+      }
+    }
+    r.Add(std::move(t));
+  }
+  return r;
+}
+
+Database RandomDatabase(Rng& rng, int num_rels,
+                        const RandomDataOptions& opts) {
+  Database db;
+  for (int i = 0; i < num_rels; ++i) {
+    db.Add(RandomRelation(rng, i, opts));
+  }
+  return db;
+}
+
+PredRef RandomTolerantJoinPredicate(Rng& rng, RelSet left, RelSet right,
+                                    const RandomDataOptions& opts,
+                                    const std::string& label) {
+  PredRef base = RandomJoinPredicate(rng, left, right, opts, "");
+  // OR with an IS NULL test on one side: true on some NULL inputs.
+  RelSet side = rng.Bernoulli(0.5) ? left : right;
+  int rel = side.Min();
+  std::string col(1, static_cast<char>('a' + rng.Uniform(0, opts.data_cols - 1)));
+  PredRef tolerant =
+      Predicate::Or({base, Predicate::IsNull(Col(rel, col))});
+  return Predicate::WithLabel(std::move(tolerant), label);
+}
+
+PredRef RandomJoinPredicate(Rng& rng, RelSet left, RelSet right,
+                            const RandomDataOptions& opts,
+                            const std::string& label) {
+  ECA_CHECK(!left.Empty() && !right.Empty());
+  auto pick_rel = [&rng](RelSet s) {
+    int n = s.Count();
+    int want = static_cast<int>(rng.Uniform(0, n - 1));
+    for (int id : s) {
+      if (want-- == 0) return id;
+    }
+    return s.Min();
+  };
+  auto pick_col = [&](int) {
+    return std::string(
+        1, static_cast<char>('a' + rng.Uniform(0, opts.data_cols - 1)));
+  };
+  int lr = pick_rel(left);
+  int rr = pick_rel(right);
+  ScalarRef l = Col(lr, pick_col(lr));
+  ScalarRef r = Col(rr, pick_col(rr));
+  PredRef p;
+  double dice = rng.NextDouble();
+  if (dice < 0.7) {
+    p = Eq(std::move(l), std::move(r));
+  } else if (dice < 0.85) {
+    p = Lt(std::move(l), std::move(r));
+  } else {
+    p = Predicate::Compare(Predicate::CmpOp::kLe, std::move(l), std::move(r));
+  }
+  return Predicate::WithLabel(std::move(p), label);
+}
+
+}  // namespace eca

@@ -1,0 +1,51 @@
+#ifndef ECA_TESTING_RANDOM_DATA_H_
+#define ECA_TESTING_RANDOM_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/database.h"
+#include "expr/expr.h"
+
+namespace eca {
+
+// Options for random base-relation generation. Defaults produce small
+// relations with frequent join matches, NULLs in data columns, and repeated
+// data values — the regime in which unsound rewrite rules break fastest.
+struct RandomDataOptions {
+  int min_rows = 0;
+  int max_rows = 8;
+  int data_cols = 2;       // non-key columns per relation ("a", "b", ...)
+  int64_t domain = 4;      // data values drawn from [0, domain)
+  double null_prob = 0.2;  // probability a data value is NULL
+  double empty_prob = 0.1; // probability a relation is empty
+};
+
+// A relation with a unique key column "k" (values 0..n-1) and `data_cols`
+// small-domain nullable int columns. The unique key reflects the standard
+// assumption of compensation-based reordering that base tuples are
+// distinguishable (see DESIGN.md).
+Relation RandomRelation(Rng& rng, int rel_id, const RandomDataOptions& opts);
+
+// A database of `num_rels` random relations with rel_ids 0..num_rels-1.
+Database RandomDatabase(Rng& rng, int num_rels,
+                        const RandomDataOptions& opts = RandomDataOptions());
+
+// A random null-intolerant join predicate between a column of some relation
+// in `left` and a column of some relation in `right` (both drawn from data
+// columns; equality with high probability, inequality otherwise). `label`
+// is attached for plan printing.
+PredRef RandomJoinPredicate(Rng& rng, RelSet left, RelSet right,
+                            const RandomDataOptions& opts,
+                            const std::string& label);
+
+// A null-TOLERANT join predicate (Appendix D): a comparison OR-ed with an
+// IS NULL test, so it can evaluate to true on NULL inputs.
+PredRef RandomTolerantJoinPredicate(Rng& rng, RelSet left, RelSet right,
+                                    const RandomDataOptions& opts,
+                                    const std::string& label);
+
+}  // namespace eca
+
+#endif  // ECA_TESTING_RANDOM_DATA_H_

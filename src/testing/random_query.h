@@ -1,0 +1,35 @@
+#ifndef ECA_TESTING_RANDOM_QUERY_H_
+#define ECA_TESTING_RANDOM_QUERY_H_
+
+#include "algebra/plan.h"
+#include "common/rng.h"
+#include "testing/random_data.h"
+
+namespace eca {
+
+// Options for random query generation (class C_J of the paper and its
+// subclasses).
+struct RandomQueryOptions {
+  int num_rels = 4;
+  bool allow_full_outer = false;  // off = the C_J^{no-foj} class
+  bool allow_semi_anti = true;
+  // Probability that a join predicate is null-tolerant (Appendix D).
+  double tolerant_pred_prob = 0.0;
+  // Probability weights for operator selection.
+  double inner_weight = 0.35;
+  double outer_weight = 0.35;
+  double semi_weight = 0.10;
+  double anti_weight = 0.20;
+};
+
+// A random well-formed join query over relations 0..num_rels-1: a random
+// binary tree where each join's predicate references a visible relation in
+// each child subtree (so the query is in JoinOrder-normal form with one
+// predicate per join). Right-variant operators appear via random child
+// orientation of the left variants.
+PlanPtr RandomQuery(Rng& rng, const RandomQueryOptions& qopts,
+                    const RandomDataOptions& dopts);
+
+}  // namespace eca
+
+#endif  // ECA_TESTING_RANDOM_QUERY_H_

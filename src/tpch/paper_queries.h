@@ -1,0 +1,50 @@
+#ifndef ECA_TPCH_PAPER_QUERIES_H_
+#define ECA_TPCH_PAPER_QUERIES_H_
+
+#include <string>
+
+#include "algebra/plan.h"
+#include "exec/database.h"
+#include "tpch/tpch_gen.h"
+
+namespace eca {
+
+// The three evaluation queries of Section 7, over R1 = Supplier,
+// R2 = Partsupp, R3 = sigma_{p_name = c1}(Part), R4 = Lineitem,
+// R5 = sigma_{o_totalprice > c2}(Orders):
+//
+//   Q1 = R1 laj[p12] (R2 laj[p23] R3)
+//   Q2 = R1 laj[p12] ((R2 join[p24] R4) laj[p23] R3)
+//   Q3 = R1 laj[p12] (((R2 join[p24] R4) join[p45] R5) laj[p23] R3)
+//
+// with p12 = (s_suppkey = ps_suppkey AND s_acctbal > nu * ps_supplycost),
+// p23 = (ps_partkey = p_partkey), p24 = (ps_suppkey = l_suppkey AND
+// ps_partkey = l_partkey), p45 = (l_orderkey = o_orderkey). The parameter
+// nu controls the antijoin selectivity f12 = |R1 laj R2| / |R1| that the
+// paper sweeps on the x-axis of Figure 6.
+struct PaperQuery {
+  std::string name;
+  PlanPtr plan;  // the query exactly as written (P^direct)
+  Database db;   // tables indexed by TpchRel ids
+};
+
+// The join predicates (shared by query builders and plan checks).
+PredRef PredP12(double nu);
+PredRef PredP23();
+PredRef PredP24();
+PredRef PredP45();
+
+PaperQuery BuildQ1(const TpchData& data, double nu,
+                   const std::string& part_name = "name0");
+PaperQuery BuildQ2(const TpchData& data, double nu,
+                   const std::string& part_name = "name0");
+PaperQuery BuildQ3(const TpchData& data, double nu,
+                   const std::string& part_name = "name0",
+                   double price_cutoff = 350000.0);
+
+// Measured antijoin selectivity f12 for the given database and nu.
+double MeasureF12(const Database& db, double nu);
+
+}  // namespace eca
+
+#endif  // ECA_TPCH_PAPER_QUERIES_H_

@@ -1,0 +1,127 @@
+#include "tpch/tpch_gen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace eca {
+
+TpchScale TpchScale::OfSF(double sf) {
+  TpchScale s;
+  s.suppliers = std::max<int64_t>(4, static_cast<int64_t>(10000 * sf));
+  s.parts = std::max<int64_t>(8, static_cast<int64_t>(200000 * sf));
+  s.orders = std::max<int64_t>(8, static_cast<int64_t>(1500000 * sf));
+  return s;
+}
+
+int64_t PartNamePool(const TpchScale& scale) {
+  // Enough names that a single-name filter selects a handful of parts
+  // (TPC-H's p_name filter matches ~1 row; we keep a few for robustness).
+  return std::max<int64_t>(8, scale.parts / 8);
+}
+
+TpchData GenerateTpch(const TpchScale& scale, uint64_t seed) {
+  Rng rng(seed);
+  TpchData data;
+
+  // --- supplier -----------------------------------------------------------
+  data.supplier = Relation(Schema({
+      {kSupplier, "s_suppkey", DataType::kInt64},
+      {kSupplier, "s_nationkey", DataType::kInt64},
+      {kSupplier, "s_acctbal", DataType::kDouble},
+  }));
+  for (int64_t s = 1; s <= scale.suppliers; ++s) {
+    data.supplier.Add({Value::Int(s), Value::Int(rng.Uniform(0, 24)),
+                       Value::Real(-999.99 +
+                                   rng.NextDouble() * (9999.99 + 999.99))});
+  }
+
+  // --- part ---------------------------------------------------------------
+  const int64_t name_pool = PartNamePool(scale);
+  data.part = Relation(Schema({
+      {kPart, "p_partkey", DataType::kInt64},
+      {kPart, "p_name", DataType::kString},
+      {kPart, "p_size", DataType::kInt64},
+      {kPart, "p_retailprice", DataType::kDouble},
+  }));
+  for (int64_t p = 1; p <= scale.parts; ++p) {
+    data.part.Add({Value::Int(p),
+                   Value::Str("name" + std::to_string(
+                                  rng.Uniform(0, name_pool - 1))),
+                   Value::Int(rng.Uniform(1, 50)),
+                   Value::Real(900.0 + static_cast<double>(p % 1000))});
+  }
+
+  // --- partsupp (TPC-H suppkey formula for referential spread) -----------
+  data.partsupp = Relation(Schema({
+      {kPartsupp, "ps_partkey", DataType::kInt64},
+      {kPartsupp, "ps_suppkey", DataType::kInt64},
+      {kPartsupp, "ps_availqty", DataType::kInt64},
+      {kPartsupp, "ps_supplycost", DataType::kDouble},
+  }));
+  auto supp_of = [&](int64_t part, int64_t i) {
+    return (part + i * (scale.suppliers / scale.partsupp_per_part + 1)) %
+               scale.suppliers +
+           1;
+  };
+  for (int64_t p = 1; p <= scale.parts; ++p) {
+    for (int64_t i = 0; i < scale.partsupp_per_part; ++i) {
+      data.partsupp.Add({Value::Int(p), Value::Int(supp_of(p, i)),
+                         Value::Int(rng.Uniform(1, 9999)),
+                         Value::Real(1.0 + rng.NextDouble() * 999.0)});
+    }
+  }
+
+  // --- orders + lineitem --------------------------------------------------
+  data.orders = Relation(Schema({
+      {kOrders, "o_orderkey", DataType::kInt64},
+      {kOrders, "o_custkey", DataType::kInt64},
+      {kOrders, "o_totalprice", DataType::kDouble},
+  }));
+  data.lineitem = Relation(Schema({
+      {kLineitem, "l_orderkey", DataType::kInt64},
+      {kLineitem, "l_linenumber", DataType::kInt64},
+      {kLineitem, "l_partkey", DataType::kInt64},
+      {kLineitem, "l_suppkey", DataType::kInt64},
+      {kLineitem, "l_quantity", DataType::kDouble},
+      {kLineitem, "l_extendedprice", DataType::kDouble},
+  }));
+  for (int64_t o = 1; o <= scale.orders; ++o) {
+    data.orders.Add({Value::Int(o), Value::Int(rng.Uniform(1, 1000000)),
+                     Value::Real(1000.0 + rng.NextDouble() * 499000.0)});
+    int64_t lines = rng.Uniform(1, scale.max_lines_per_order);
+    for (int64_t l = 1; l <= lines; ++l) {
+      int64_t part = rng.Uniform(1, scale.parts);
+      int64_t supp = supp_of(part, rng.Uniform(0, scale.partsupp_per_part - 1));
+      data.lineitem.Add({Value::Int(o), Value::Int(l), Value::Int(part),
+                         Value::Int(supp),
+                         Value::Real(1.0 + rng.NextDouble() * 49.0),
+                         Value::Real(900.0 + rng.NextDouble() * 104000.0)});
+    }
+  }
+  return data;
+}
+
+Relation FilterPartByName(const Relation& part, const std::string& name) {
+  int name_col = part.schema().FindColumn(kPart, "p_name");
+  ECA_CHECK(name_col >= 0);
+  Relation out(part.schema());
+  for (const Tuple& t : part.rows()) {
+    const Value& v = t[static_cast<size_t>(name_col)];
+    if (!v.is_null() && v.AsStr() == name) out.Add(t);
+  }
+  return out;
+}
+
+Relation FilterOrdersByTotalPrice(const Relation& orders, double cutoff) {
+  int col = orders.schema().FindColumn(kOrders, "o_totalprice");
+  ECA_CHECK(col >= 0);
+  Relation out(orders.schema());
+  for (const Tuple& t : orders.rows()) {
+    const Value& v = t[static_cast<size_t>(col)];
+    if (!v.is_null() && v.AsDouble() > cutoff) out.Add(t);
+  }
+  return out;
+}
+
+}  // namespace eca

@@ -1,0 +1,63 @@
+#ifndef ECA_TPCH_TPCH_GEN_H_
+#define ECA_TPCH_TPCH_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/relation.h"
+
+namespace eca {
+
+// Relation ids used by the paper's queries (Section 7): R1 = Supplier,
+// R2 = Partsupp, R3 = sigma(Part), R4 = Lineitem, R5 = sigma(Orders).
+// Ids are zero-based here.
+enum TpchRel {
+  kSupplier = 0,
+  kPartsupp = 1,
+  kPart = 2,
+  kLineitem = 3,
+  kOrders = 4,
+};
+
+// Table cardinalities for a scale factor, following TPC-H's ratios
+// (SF 1 = 10k suppliers, 200k parts, 800k partsupp, 1.5M orders, ~6M
+// lineitem). The reproduction runs in-memory, so benches use small SFs; the
+// inter-table ratios are what the experiments depend on.
+struct TpchScale {
+  int64_t suppliers = 0;
+  int64_t parts = 0;
+  int64_t partsupp_per_part = 4;
+  int64_t orders = 0;
+  int64_t max_lines_per_order = 7;
+
+  static TpchScale OfSF(double sf);
+};
+
+// The generated database (unfiltered base tables).
+struct TpchData {
+  Relation supplier;   // s_suppkey, s_nationkey, s_acctbal
+  Relation partsupp;   // ps_partkey, ps_suppkey, ps_availqty, ps_supplycost
+  Relation part;       // p_partkey, p_name, p_size, p_retailprice
+  Relation lineitem;   // l_orderkey, l_linenumber, l_partkey, l_suppkey,
+                       // l_quantity, l_extendedprice
+  Relation orders;     // o_orderkey, o_custkey, o_totalprice
+};
+
+// Deterministic TPC-H-style generation with referential integrity:
+// partsupp links each part to partsupp_per_part suppliers (TPC-H's suppkey
+// formula) and every lineitem's (l_partkey, l_suppkey) is one of that
+// part's registered suppliers.
+TpchData GenerateTpch(const TpchScale& scale, uint64_t seed);
+
+// Number of distinct p_name values the generator uses at this scale (the
+// Section 7 queries filter Part on one name value; selectivity ~= 1/pool).
+int64_t PartNamePool(const TpchScale& scale);
+
+// The filtered relations of Section 7: R3 = sigma_{p_name = name}(Part) and
+// R5 = sigma_{o_totalprice > cutoff}(Orders).
+Relation FilterPartByName(const Relation& part, const std::string& name);
+Relation FilterOrdersByTotalPrice(const Relation& orders, double cutoff);
+
+}  // namespace eca
+
+#endif  // ECA_TPCH_TPCH_GEN_H_

@@ -1,0 +1,43 @@
+#ifndef ECA_TYPES_TRI_BOOL_H_
+#define ECA_TYPES_TRI_BOOL_H_
+
+namespace eca {
+
+// SQL three-valued logic. Predicates over tuples with NULLs evaluate to
+// kUnknown when a referenced operand is NULL (null-intolerant semantics,
+// Section 1 footnote 1 of the paper); a join/filter accepts a tuple only if
+// the predicate evaluates to kTrue.
+enum class TriBool {
+  kFalse = 0,
+  kUnknown = 1,
+  kTrue = 2,
+};
+
+inline TriBool TriAnd(TriBool a, TriBool b) {
+  if (a == TriBool::kFalse || b == TriBool::kFalse) return TriBool::kFalse;
+  if (a == TriBool::kUnknown || b == TriBool::kUnknown)
+    return TriBool::kUnknown;
+  return TriBool::kTrue;
+}
+
+inline TriBool TriOr(TriBool a, TriBool b) {
+  if (a == TriBool::kTrue || b == TriBool::kTrue) return TriBool::kTrue;
+  if (a == TriBool::kUnknown || b == TriBool::kUnknown)
+    return TriBool::kUnknown;
+  return TriBool::kFalse;
+}
+
+inline TriBool TriNot(TriBool a) {
+  if (a == TriBool::kUnknown) return TriBool::kUnknown;
+  return a == TriBool::kTrue ? TriBool::kFalse : TriBool::kTrue;
+}
+
+inline bool IsTrue(TriBool a) { return a == TriBool::kTrue; }
+
+inline TriBool FromBool(bool b) {
+  return b ? TriBool::kTrue : TriBool::kFalse;
+}
+
+}  // namespace eca
+
+#endif  // ECA_TYPES_TRI_BOOL_H_

@@ -1,0 +1,90 @@
+#include "types/value.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace eca {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  if (null_ || other.null_) {
+    if (null_ && other.null_) return 0;
+    return null_ ? -1 : 1;
+  }
+  // Numeric types compare by numeric value so that Int(3) == Real(3.0);
+  // mixed numeric/string never occurs in well-typed plans but is ordered by
+  // type tag for totality.
+  bool a_num = type_ != DataType::kString;
+  bool b_num = other.type_ != DataType::kString;
+  if (a_num != b_num) return a_num ? -1 : 1;
+  if (a_num) {
+    double a = NumericValue(), b = other.NumericValue();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  int c = str_.compare(other.str_);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+uint64_t Value::Hash() const {
+  if (null_) return 0x9e3779b97f4a7c15ULL;
+  uint64_t h;
+  switch (type_) {
+    case DataType::kInt64:
+      h = static_cast<uint64_t>(int_);
+      break;
+    case DataType::kDouble: {
+      // Hash doubles representing integers identically to the int64 hash so
+      // that equi-join hashing across numeric types is consistent with
+      // Compare().
+      double d = double_;
+      if (d == std::floor(d) && std::abs(d) < 9.0e18) {
+        h = static_cast<uint64_t>(static_cast<int64_t>(d));
+      } else {
+        static_assert(sizeof(double) == sizeof(uint64_t));
+        __builtin_memcpy(&h, &d, sizeof(h));
+      }
+      break;
+    }
+    case DataType::kString: {
+      h = 1469598103934665603ULL;
+      for (char c : str_) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+      }
+      return h;  // string hashes are in a separate family; no mixing needed
+    }
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::string Value::ToString() const {
+  if (null_) return "null";
+  switch (type_) {
+    case DataType::kInt64:
+      return std::to_string(int_);
+    case DataType::kDouble:
+      return StrFormat("%g", double_);
+    case DataType::kString:
+      return "'" + str_ + "'";
+  }
+  return "?";
+}
+
+}  // namespace eca

@@ -1,0 +1,106 @@
+#ifndef ECA_TYPES_VALUE_H_
+#define ECA_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace eca {
+
+// Column data types. Values additionally carry a null flag; NULL is a
+// property of a value, not a type.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeName(DataType t);
+
+// A single (nullable) SQL value.
+//
+// Values are small and copyable. The total order used for sorting and
+// best-match processing places NULL before every non-null value; this is an
+// implementation ordering, distinct from SQL comparison semantics which are
+// handled by the expression evaluator (3-valued logic).
+class Value {
+ public:
+  // A null value of the given type.
+  static Value Null(DataType type = DataType::kInt64) {
+    Value v;
+    v.type_ = type;
+    v.null_ = true;
+    return v;
+  }
+  static Value Int(int64_t x) {
+    Value v;
+    v.type_ = DataType::kInt64;
+    v.null_ = false;
+    v.int_ = x;
+    return v;
+  }
+  static Value Real(double x) {
+    Value v;
+    v.type_ = DataType::kDouble;
+    v.null_ = false;
+    v.double_ = x;
+    return v;
+  }
+  static Value Str(std::string s) {
+    Value v;
+    v.type_ = DataType::kString;
+    v.null_ = false;
+    v.str_ = std::move(s);
+    return v;
+  }
+
+  Value() : type_(DataType::kInt64), null_(true), int_(0) {}
+
+  bool is_null() const { return null_; }
+  DataType type() const { return type_; }
+
+  int64_t AsInt() const {
+    ECA_DCHECK(!null_ && type_ == DataType::kInt64);
+    return int_;
+  }
+  double AsDouble() const {
+    ECA_DCHECK(!null_ && type_ == DataType::kDouble);
+    return double_;
+  }
+  const std::string& AsStr() const {
+    ECA_DCHECK(!null_ && type_ == DataType::kString);
+    return str_;
+  }
+
+  // Numeric view: int64 promoted to double. Valid for numeric non-nulls.
+  double NumericValue() const {
+    ECA_DCHECK(!null_);
+    if (type_ == DataType::kInt64) return static_cast<double>(int_);
+    ECA_DCHECK(type_ == DataType::kDouble);
+    return double_;
+  }
+
+  // Total order for sorting: NULL first, then by type tag, then by value.
+  // Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  // Exact equality under the total order (NULL == NULL here). Used for
+  // duplicate detection and result comparison, not for predicate semantics.
+  bool SameAs(const Value& other) const { return Compare(other) == 0; }
+
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  DataType type_;
+  bool null_;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;
+};
+
+}  // namespace eca
+
+#endif  // ECA_TYPES_VALUE_H_

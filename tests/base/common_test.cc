@@ -1,0 +1,79 @@
+// Tests for the common utilities (RNG, string helpers).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace eca {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.Next(), c2.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all values hit over 1000 draws
+  // Degenerate range.
+  EXPECT_EQ(rng.Uniform(4, 4), 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 2000, 0.5, 0.05);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(StrUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"a"}, ","), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StrUtilTest, StrRepeat) {
+  EXPECT_EQ(StrRepeat("ab", 3), "ababab");
+  EXPECT_EQ(StrRepeat("x", 0), "");
+  EXPECT_EQ(StrRepeat("x", -2), "");
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.0 / 3), "0.33");
+  // Long output beyond any small internal buffer.
+  std::string big = StrFormat("%s", std::string(5000, 'z').c_str());
+  EXPECT_EQ(big.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace eca

@@ -1,0 +1,68 @@
+// Round-trip tests for the .tbl serialization.
+
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_data.h"
+#include "tpch/tpch_gen.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+TEST(CsvTest, RoundTripWithNullsAndTypes) {
+  Relation r = MakeRelation({{0, "k", DataType::kInt64},
+                             {0, "name", DataType::kString},
+                             {0, "price", DataType::kDouble}},
+                            {{I(1), S("widget"), Value::Real(19.5)},
+                             {I(2), N(), Value::Real(-0.25)},
+                             {I(3), S("gadget"), Value::Null(DataType::kDouble)},
+                             {N(), S(""), Value::Real(1e-9)}});
+  std::string text = RelationToTbl(r);
+  Relation back = RelationFromTbl(r.schema(), text);
+  ExpectSameRelation(r, back, "tbl round trip");
+}
+
+TEST(CsvTest, EmptyStringAndNullDistinct) {
+  Relation r = MakeRelation({{0, "s", DataType::kString}},
+                            {{S("")}, {N()}});
+  std::string text = RelationToTbl(r);
+  EXPECT_NE(text.find("\\N"), std::string::npos);
+  Relation back = RelationFromTbl(r.schema(), text);
+  ASSERT_EQ(back.NumRows(), 2);
+  EXPECT_FALSE(back.rows()[0][0].is_null());
+  EXPECT_TRUE(back.rows()[1][0].is_null());
+}
+
+TEST(CsvTest, RandomRelationsRoundTrip) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 3 + 11);
+    RandomDataOptions opts;
+    opts.null_prob = 0.3;
+    opts.max_rows = 30;
+    Relation r = RandomRelation(rng, 0, opts);
+    Relation back = RelationFromTbl(r.schema(), RelationToTbl(r));
+    ExpectSameRelation(r, back);
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  TpchData data = GenerateTpch(TpchScale::OfSF(0.002), 5);
+  std::string path = ::testing::TempDir() + "/eca_supplier.tbl";
+  ASSERT_TRUE(WriteRelationFile(path, data.supplier));
+  Relation back;
+  ASSERT_TRUE(ReadRelationFile(path, data.supplier.schema(), &back));
+  ExpectSameRelation(data.supplier, back, "file round trip");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  Relation out;
+  EXPECT_FALSE(ReadRelationFile("/nonexistent/path/x.tbl",
+                                Schema({{0, "a", DataType::kInt64}}), &out));
+}
+
+}  // namespace
+}  // namespace eca

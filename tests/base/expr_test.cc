@@ -1,0 +1,113 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{0, "x", DataType::kInt64},
+                 {0, "y", DataType::kDouble},
+                 {1, "x", DataType::kInt64}});
+}
+
+TEST(ScalarTest, ColumnAndConstEval) {
+  Schema s = TestSchema();
+  Tuple t = {I(3), Value::Real(1.5), I(7)};
+  EXPECT_EQ(Col(0, "x")->Eval(s, t).AsInt(), 3);
+  EXPECT_EQ(Col(1, "x")->Eval(s, t).AsInt(), 7);
+  EXPECT_EQ(Lit(9)->Eval(s, t).AsInt(), 9);
+}
+
+TEST(ScalarTest, ArithmeticPropagatesNull) {
+  Schema s = TestSchema();
+  Tuple t = {N(), Value::Real(1.5), I(7)};
+  ScalarRef sum =
+      Scalar::Arith(Scalar::ArithOp::kAdd, Col(0, "x"), Col(1, "x"));
+  EXPECT_TRUE(sum->Eval(s, t).is_null());
+  ScalarRef prod =
+      Scalar::Arith(Scalar::ArithOp::kMul, Lit(2), Col(1, "x"));
+  EXPECT_DOUBLE_EQ(prod->Eval(s, t).NumericValue(), 14.0);
+}
+
+TEST(ScalarTest, DivisionByZeroIsNull) {
+  Schema s = TestSchema();
+  Tuple t = {I(3), Value::Real(0.0), I(7)};
+  ScalarRef div =
+      Scalar::Arith(Scalar::ArithOp::kDiv, Col(0, "x"), Col(0, "y"));
+  EXPECT_TRUE(div->Eval(s, t).is_null());
+}
+
+TEST(PredicateTest, ComparisonNullIntolerance) {
+  Schema s = TestSchema();
+  PredRef p = Eq(Col(0, "x"), Col(1, "x"));
+  EXPECT_TRUE(p->null_intolerant());
+  EXPECT_EQ(p->Eval(s, {I(7), Value::Real(0), I(7)}), TriBool::kTrue);
+  EXPECT_EQ(p->Eval(s, {I(3), Value::Real(0), I(7)}), TriBool::kFalse);
+  EXPECT_EQ(p->Eval(s, {N(), Value::Real(0), I(7)}), TriBool::kUnknown);
+  EXPECT_EQ(p->Eval(s, {I(3), Value::Real(0), N()}), TriBool::kUnknown);
+}
+
+TEST(PredicateTest, AndOrNotSemantics) {
+  Schema s = TestSchema();
+  PredRef eq = Eq(Col(0, "x"), Col(1, "x"));
+  PredRef gt = Gt(Col(0, "x"), Lit(0));
+  PredRef both = Predicate::And({eq, gt});
+  EXPECT_EQ(both->Eval(s, {I(7), Value::Real(0), I(7)}), TriBool::kTrue);
+  EXPECT_EQ(both->Eval(s, {I(-1), Value::Real(0), I(-1)}), TriBool::kFalse);
+  // NULL x: eq unknown, gt unknown -> unknown, never true.
+  EXPECT_EQ(both->Eval(s, {N(), Value::Real(0), I(7)}), TriBool::kUnknown);
+
+  PredRef either = Predicate::Or({eq, gt});
+  EXPECT_EQ(either->Eval(s, {I(3), Value::Real(0), I(7)}), TriBool::kTrue);
+  EXPECT_EQ(either->Eval(s, {N(), Value::Real(0), I(7)}), TriBool::kUnknown);
+
+  PredRef neg = Predicate::Not(eq);
+  EXPECT_EQ(neg->Eval(s, {I(3), Value::Real(0), I(7)}), TriBool::kTrue);
+  EXPECT_EQ(neg->Eval(s, {N(), Value::Real(0), I(7)}), TriBool::kUnknown);
+}
+
+TEST(PredicateTest, IsNullIsNullTolerant) {
+  Schema s = TestSchema();
+  PredRef p = Predicate::IsNull(Col(0, "x"));
+  EXPECT_FALSE(p->null_intolerant());
+  EXPECT_EQ(p->Eval(s, {N(), Value::Real(0), I(7)}), TriBool::kTrue);
+  EXPECT_EQ(p->Eval(s, {I(1), Value::Real(0), I(7)}), TriBool::kFalse);
+}
+
+TEST(PredicateTest, ConstBool) {
+  Schema s = TestSchema();
+  EXPECT_EQ(Predicate::ConstBool(false)->Eval(s, {I(1), Value::Real(0), I(1)}),
+            TriBool::kFalse);
+  EXPECT_TRUE(Predicate::ConstBool(false)->null_intolerant());
+  EXPECT_FALSE(Predicate::ConstBool(true)->null_intolerant());
+}
+
+TEST(PredicateTest, RefsAndLabels) {
+  PredRef p = EquiJoin(0, "x", 1, "x", "p01");
+  EXPECT_EQ(p->refs(), RelSet::FirstN(2));
+  EXPECT_EQ(p->DisplayName(), "p01");
+  EXPECT_EQ(p->ToString(), "R0.x = R1.x");
+}
+
+TEST(CompiledPredicateTest, MatchesInterpretedEval) {
+  Schema s = TestSchema();
+  ScalarRef expr =
+      Scalar::Arith(Scalar::ArithOp::kMul, LitReal(0.5), Col(1, "x"));
+  PredRef p = Predicate::And(
+      {Gt(Col(0, "x"), expr), Predicate::Not(Eq(Col(0, "x"), Lit(99)))});
+  CompiledPredicate compiled(p, s);
+  std::vector<Tuple> tuples = {
+      {I(7), Value::Real(0), I(7)},  {I(3), Value::Real(0), I(7)},
+      {N(), Value::Real(0), I(7)},   {I(99), Value::Real(0), I(7)},
+      {I(4), Value::Real(0), N()},
+  };
+  for (const Tuple& t : tuples) {
+    EXPECT_EQ(compiled.Eval(t), p->Eval(s, t));
+  }
+}
+
+}  // namespace
+}  // namespace eca

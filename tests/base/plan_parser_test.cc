@@ -1,0 +1,106 @@
+// Round-trip tests for the compact plan notation: every plan the system
+// produces must survive ToInlineString -> ParsePlan unchanged.
+
+#include "algebra/plan_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "enumerate/enumerator.h"
+#include "testing/random_data.h"
+#include "testing/random_query.h"
+
+namespace eca {
+namespace {
+
+// Collects the predicate dictionary (display label -> PredRef) of a plan.
+void CollectPreds(const Plan& plan, std::map<std::string, PredRef>* out) {
+  switch (plan.kind()) {
+    case Plan::Kind::kLeaf:
+      return;
+    case Plan::Kind::kJoin:
+      if (plan.pred() != nullptr) {
+        (*out)[plan.pred()->DisplayName()] = plan.pred();
+      }
+      CollectPreds(*plan.left(), out);
+      CollectPreds(*plan.right(), out);
+      return;
+    case Plan::Kind::kComp:
+      if (plan.comp().pred != nullptr) {
+        (*out)[plan.comp().pred->DisplayName()] = plan.comp().pred;
+      }
+      CollectPreds(*plan.child(), out);
+      return;
+  }
+}
+
+void ExpectRoundTrip(const Plan& plan) {
+  std::map<std::string, PredRef> preds;
+  CollectPreds(plan, &preds);
+  std::string text = plan.ToInlineString();
+  std::string error;
+  PlanPtr parsed = ParsePlan(text, preds, &error);
+  ASSERT_NE(parsed, nullptr) << text << "\nerror: " << error;
+  EXPECT_TRUE(PlanEquals(plan, *parsed)) << text;
+  EXPECT_EQ(parsed->ToInlineString(), text);
+}
+
+TEST(PlanParserTest, HandwrittenForms) {
+  std::map<std::string, PredRef> preds = {
+      {"p01", EquiJoin(0, "a", 1, "a", "p01")},
+      {"p12", EquiJoin(1, "b", 2, "b", "p12")},
+  };
+  const char* cases[] = {
+      "R0",
+      "(R0 join[p01] R1)",
+      "(R0 laj[p01] (R1 loj[p12] R2))",
+      "(R0 cross R1)",
+      "pi{R0}(gamma{R1}((R0 loj[p01] R1)))",
+      "beta(lambda[p12,{R1,R2}]((R0 loj[p01] (R1 join[p12] R2))))",
+      "gamma*[{R2} keep {R0}]((R0 loj[p01] R1))",
+  };
+  for (const char* c : cases) {
+    std::string error;
+    PlanPtr plan = ParsePlan(c, preds, &error);
+    ASSERT_NE(plan, nullptr) << c << " -> " << error;
+    EXPECT_EQ(plan->ToInlineString(), c);
+  }
+}
+
+TEST(PlanParserTest, Errors) {
+  std::map<std::string, PredRef> preds = {
+      {"p01", EquiJoin(0, "a", 1, "a", "p01")}};
+  std::string error;
+  EXPECT_EQ(ParsePlan("", preds, &error), nullptr);
+  EXPECT_EQ(ParsePlan("(R0 join[p99] R1)", preds, &error), nullptr);
+  EXPECT_NE(error.find("p99"), std::string::npos);
+  EXPECT_EQ(ParsePlan("(R0 join[p01] R1", preds, &error), nullptr);
+  EXPECT_EQ(ParsePlan("(R0 frob[p01] R1)", preds, &error), nullptr);
+  EXPECT_EQ(ParsePlan("R0 R1", preds, &error), nullptr);
+  EXPECT_EQ(ParsePlan("pi{R0}", preds, &error), nullptr);
+}
+
+class ParserRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserRoundTrip, RandomQueriesAndOptimizedPlans) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 83 + 7);
+  RandomDataOptions dopts;
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3 + seed % 3;
+  Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  ExpectRoundTrip(*query);
+
+  // Optimized plans exercise the compensation-operator notation.
+  CostModel cost = CostModel::FromDatabase(db);
+  EnumeratorOptions opts;
+  TopDownEnumerator e(&cost, opts);
+  auto result = e.Optimize(*query);
+  ASSERT_NE(result.plan, nullptr);
+  ExpectRoundTrip(*result.plan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTrip, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace eca

@@ -1,0 +1,117 @@
+#include "algebra/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace eca {
+namespace {
+
+PlanPtr ThreeWayPlan() {
+  // R0 laj[p01] (R1 loj[p12] R2)
+  return Plan::Join(JoinOp::kLeftAnti, EquiJoin(0, "a", 1, "a", "p01"),
+                    Plan::Leaf(0),
+                    Plan::Join(JoinOp::kLeftOuter,
+                               EquiJoin(1, "b", 2, "b", "p12"),
+                               Plan::Leaf(1), Plan::Leaf(2)));
+}
+
+TEST(PlanTest, LeavesAndOutputRels) {
+  PlanPtr p = ThreeWayPlan();
+  EXPECT_EQ(p->leaves(), RelSet::FirstN(3));
+  // Left antijoin hides the right side from the output.
+  EXPECT_EQ(p->output_rels(), RelSet::Single(0));
+  EXPECT_EQ(p->right()->output_rels(), RelSet::FirstN(3).Without(0));
+}
+
+TEST(PlanTest, CompNodesAndProjection) {
+  PlanPtr p = Plan::Comp(
+      CompOp::Project(RelSet::Single(1)),
+      Plan::Comp(CompOp::Gamma(RelSet::Single(2)), ThreeWayPlan()->Clone()));
+  // gamma over R2's attrs... note the antijoin hides R2; output_rels of the
+  // projected plan narrows to {R1} intersect visible = {} here since R0 is
+  // the only visible relation. Use a join plan instead:
+  PlanPtr j = Plan::Comp(
+      CompOp::Project(RelSet::Single(1)),
+      Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 1, "a", "p01"),
+                 Plan::Leaf(0), Plan::Leaf(1)));
+  EXPECT_EQ(j->output_rels(), RelSet::Single(1));
+  EXPECT_EQ(j->leaves(), RelSet::FirstN(2));
+  (void)p;
+}
+
+TEST(PlanTest, CloneIsDeepAndEqual) {
+  PlanPtr p = ThreeWayPlan();
+  PlanPtr q = p->Clone();
+  EXPECT_TRUE(PlanEquals(*p, *q));
+  q->set_op(JoinOp::kLeftSemi);
+  EXPECT_FALSE(PlanEquals(*p, *q));
+  EXPECT_EQ(p->op(), JoinOp::kLeftAnti);  // original untouched
+}
+
+TEST(PlanTest, OutputSchema) {
+  std::vector<Schema> base = {
+      Schema({{0, "a", DataType::kInt64}}),
+      Schema({{1, "a", DataType::kInt64}, {1, "b", DataType::kInt64}}),
+      Schema({{2, "b", DataType::kInt64}}),
+  };
+  PlanPtr p = ThreeWayPlan();
+  Schema s = PlanOutputSchema(*p, base);
+  EXPECT_EQ(s.NumColumns(), 1);  // antijoin output = R0 only
+  Schema inner = PlanOutputSchema(*p->right(), base);
+  EXPECT_EQ(inner.NumColumns(), 3);
+}
+
+TEST(PlanTest, NavigationHelpers) {
+  PlanPtr root = ThreeWayPlan();
+  Plan* inner_join = root->right();
+  EXPECT_EQ(ParentJoin(root.get(), inner_join), root.get());
+  EXPECT_EQ(ParentJoin(root.get(), root.get()), nullptr);
+
+  // Parent of a leaf under a comp node skips to the enclosing join.
+  PlanPtr with_comp = Plan::Join(
+      JoinOp::kInner, EquiJoin(0, "a", 1, "a", "p01"), Plan::Leaf(0),
+      Plan::Comp(CompOp::Beta(), Plan::Leaf(1)));
+  const Plan* leaf1 = with_comp->right()->child();
+  EXPECT_EQ(ParentJoin(with_comp.get(), leaf1), with_comp.get());
+  EXPECT_EQ(ParentNode(with_comp.get(), leaf1), with_comp->right());
+
+  PlanPtr* slot = FindSlot(with_comp, leaf1);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->get(), leaf1);
+
+  std::vector<Plan*> joins;
+  CollectJoins(root.get(), &joins);
+  EXPECT_EQ(joins.size(), 2u);
+}
+
+TEST(PlanTest, NormalizeRightVariants) {
+  PlanPtr p = Plan::Join(JoinOp::kRightOuter, EquiJoin(0, "a", 1, "a", "p01"),
+                         Plan::Leaf(0), Plan::Leaf(1));
+  NormalizeRightVariants(p.get());
+  EXPECT_EQ(p->op(), JoinOp::kLeftOuter);
+  EXPECT_EQ(p->left()->rel_id(), 1);
+  EXPECT_EQ(p->right()->rel_id(), 0);
+}
+
+TEST(PlanTest, ToStringRendersTree) {
+  std::string s = ThreeWayPlan()->ToString();
+  EXPECT_NE(s.find("laj[p01]"), std::string::npos);
+  EXPECT_NE(s.find("loj[p12]"), std::string::npos);
+  std::string inline_s = ThreeWayPlan()->ToInlineString();
+  EXPECT_EQ(inline_s, "(R0 laj[p01] (R1 loj[p12] R2))");
+}
+
+TEST(JoinOpTest, Helpers) {
+  EXPECT_TRUE(IsAnti(JoinOp::kRightAnti));
+  EXPECT_TRUE(IsSemi(JoinOp::kLeftSemi));
+  EXPECT_TRUE(OutputsOneSide(JoinOp::kLeftAnti));
+  EXPECT_FALSE(OutputsOneSide(JoinOp::kLeftOuter));
+  EXPECT_TRUE(PadsLeft(JoinOp::kFullOuter));
+  EXPECT_TRUE(PadsRight(JoinOp::kFullOuter));
+  EXPECT_FALSE(PadsRight(JoinOp::kLeftOuter));
+  EXPECT_EQ(Mirror(JoinOp::kLeftAnti), JoinOp::kRightAnti);
+  EXPECT_EQ(Mirror(JoinOp::kInner), JoinOp::kInner);
+  EXPECT_TRUE(IsRightVariant(JoinOp::kRightSemi));
+}
+
+}  // namespace
+}  // namespace eca

@@ -1,0 +1,55 @@
+// Tests for the simple predicate parser used by ecatool.
+
+#include "expr/pred_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace eca {
+namespace {
+
+TEST(PredParserTest, ParsesComparisonsAndConjunctions) {
+  std::string error;
+  PredRef p = ParsePredicate("R0.a = R1.a", "p01", &error);
+  ASSERT_NE(p, nullptr) << error;
+  EXPECT_EQ(p->DisplayName(), "p01");
+  EXPECT_EQ(p->ToString(), "R0.a = R1.a");
+  EXPECT_EQ(p->refs(), RelSet::FirstN(2));
+  EXPECT_TRUE(p->null_intolerant());
+
+  PredRef q = ParsePredicate("R0.x <= 5 AND R1.y <> -2.5", "", &error);
+  ASSERT_NE(q, nullptr) << error;
+  EXPECT_EQ(q->kind(), Predicate::Kind::kAnd);
+  EXPECT_EQ(q->children().size(), 2u);
+
+  PredRef r = ParsePredicate("R2.long_name > 1e3", "", &error);
+  ASSERT_NE(r, nullptr) << error;
+  EXPECT_EQ(r->refs(), RelSet::Single(2));
+}
+
+TEST(PredParserTest, EvaluatesLikeHandBuilt) {
+  Schema s({{0, "a", DataType::kInt64}, {1, "a", DataType::kInt64}});
+  std::string error;
+  PredRef parsed = ParsePredicate("R0.a = R1.a", "", &error);
+  ASSERT_NE(parsed, nullptr);
+  PredRef built = Eq(Col(0, "a"), Col(1, "a"));
+  for (const Tuple& t :
+       std::vector<Tuple>{{Value::Int(1), Value::Int(1)},
+                          {Value::Int(1), Value::Int(2)},
+                          {Value::Null(), Value::Int(1)}}) {
+    EXPECT_EQ(parsed->Eval(s, t), built->Eval(s, t));
+  }
+}
+
+TEST(PredParserTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_EQ(ParsePredicate("", "", &error), nullptr);
+  EXPECT_EQ(ParsePredicate("R0.a", "", &error), nullptr);
+  EXPECT_EQ(ParsePredicate("R0.a = ", "", &error), nullptr);
+  EXPECT_EQ(ParsePredicate("R0.a ~ R1.a", "", &error), nullptr);
+  EXPECT_EQ(ParsePredicate("Rx.a = R1.a", "", &error), nullptr);
+  EXPECT_EQ(ParsePredicate("R0.a = R1.a garbage", "", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace eca

@@ -1,0 +1,70 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+Relation SmallRel() {
+  return MakeRelation({{0, "k", DataType::kInt64}, {0, "a", DataType::kInt64}},
+                      {{I(1), I(10)}, {I(2), N()}});
+}
+
+TEST(RelationTest, AddAndAccess) {
+  Relation r = SmallRel();
+  EXPECT_EQ(r.NumRows(), 2);
+  EXPECT_TRUE(r.rows()[1][1].is_null());
+}
+
+TEST(RelationTest, CompareTuplesNullFirst) {
+  Tuple a = {N(), I(1)};
+  Tuple b = {I(0), I(1)};
+  EXPECT_LT(CompareTuples(a, b), 0);
+  EXPECT_EQ(CompareTuples(a, a), 0);
+}
+
+TEST(RelationTest, SameMultisetIgnoresRowOrder) {
+  Relation a = SmallRel();
+  Relation b = MakeRelation(
+      {{0, "k", DataType::kInt64}, {0, "a", DataType::kInt64}},
+      {{I(2), N()}, {I(1), I(10)}});
+  EXPECT_TRUE(SameMultiset(a, b));
+}
+
+TEST(RelationTest, SameMultisetCountsDuplicates) {
+  Relation a = MakeRelation({{0, "a", DataType::kInt64}},
+                            {{I(1)}, {I(1)}, {I(2)}});
+  Relation b = MakeRelation({{0, "a", DataType::kInt64}},
+                            {{I(1)}, {I(2)}, {I(2)}});
+  EXPECT_FALSE(SameMultiset(a, b));
+}
+
+TEST(RelationTest, SameMultisetRequiresEqualSchemas) {
+  Relation a = MakeRelation({{0, "a", DataType::kInt64}}, {{I(1)}});
+  Relation b = MakeRelation({{1, "a", DataType::kInt64}}, {{I(1)}});
+  EXPECT_FALSE(SameMultiset(a, b));
+}
+
+TEST(RelationTest, ExplainDifferenceShowsMismatch) {
+  Relation a = MakeRelation({{0, "a", DataType::kInt64}}, {{I(1)}});
+  Relation b = MakeRelation({{0, "a", DataType::kInt64}}, {{I(2)}});
+  std::string diff = ExplainDifference(a, b);
+  EXPECT_NE(diff.find("only in left"), std::string::npos);
+  EXPECT_NE(diff.find("only in right"), std::string::npos);
+  EXPECT_TRUE(ExplainDifference(a, a).empty());
+}
+
+TEST(RelationTest, NullsForAndConcat) {
+  Schema s({{0, "a", DataType::kInt64}, {1, "b", DataType::kString}});
+  Tuple pad = NullsFor(s, 1, 1);
+  ASSERT_EQ(pad.size(), 1u);
+  EXPECT_TRUE(pad[0].is_null());
+  EXPECT_EQ(pad[0].type(), DataType::kString);
+  Tuple joined = ConcatTuples({I(5)}, pad);
+  EXPECT_EQ(joined.size(), 2u);
+}
+
+}  // namespace
+}  // namespace eca

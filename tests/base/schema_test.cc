@@ -1,0 +1,67 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace eca {
+namespace {
+
+Schema TwoRelSchema() {
+  return Schema({{0, "k", DataType::kInt64},
+                 {0, "a", DataType::kInt64},
+                 {1, "k", DataType::kInt64},
+                 {1, "b", DataType::kString}});
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = TwoRelSchema();
+  EXPECT_EQ(s.FindColumn(0, "k"), 0);
+  EXPECT_EQ(s.FindColumn(1, "k"), 2);
+  EXPECT_EQ(s.FindColumn(1, "b"), 3);
+  EXPECT_EQ(s.FindColumn(2, "k"), -1);
+  EXPECT_EQ(s.FindColumn(0, "b"), -1);
+}
+
+TEST(SchemaTest, RelsAndColumnsOf) {
+  Schema s = TwoRelSchema();
+  EXPECT_EQ(s.rels(), RelSet::FirstN(2));
+  EXPECT_EQ(s.ColumnsOf(RelSet::Single(1)), (std::vector<int>{2, 3}));
+  EXPECT_EQ(s.ColumnsOf(RelSet::FirstN(2)), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(s.ColumnsOf(RelSet::Single(5)).empty());
+}
+
+TEST(SchemaTest, ProjectKeepsOrder) {
+  Schema s = TwoRelSchema();
+  Schema p = s.Project(RelSet::Single(1));
+  ASSERT_EQ(p.NumColumns(), 2);
+  EXPECT_EQ(p.column(0).name, "k");
+  EXPECT_EQ(p.column(1).name, "b");
+  EXPECT_EQ(p.rels(), RelSet::Single(1));
+}
+
+TEST(SchemaTest, ConcatDisjoint) {
+  Schema a({{0, "k", DataType::kInt64}});
+  Schema b({{1, "k", DataType::kInt64}});
+  Schema c = a.Concat(b);
+  EXPECT_EQ(c.NumColumns(), 2);
+  EXPECT_EQ(c.rels(), RelSet::FirstN(2));
+}
+
+TEST(RelSetTest, Basics) {
+  RelSet s = RelSet::Single(2).Union(RelSet::Single(5));
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Count(), 2);
+  EXPECT_EQ(s.Min(), 2);
+  EXPECT_EQ(s.ToString(), "{R2,R5}");
+  EXPECT_TRUE(RelSet::FirstN(6).ContainsAll(s));
+  EXPECT_FALSE(s.ContainsAll(RelSet::FirstN(6)));
+  EXPECT_EQ(s.Minus(RelSet::Single(2)), RelSet::Single(5));
+
+  std::vector<int> members;
+  for (int id : RelSet::FirstN(3)) members.push_back(id);
+  EXPECT_EQ(members, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace eca

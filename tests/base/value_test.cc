@@ -1,0 +1,66 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+#include "types/tri_bool.h"
+
+namespace eca {
+namespace {
+
+TEST(ValueTest, NullBasics) {
+  Value v = Value::Null();
+  EXPECT_TRUE(v.is_null());
+  Value d = Value::Null(DataType::kDouble);
+  EXPECT_TRUE(d.is_null());
+  EXPECT_EQ(d.type(), DataType::kDouble);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, CompareTotalOrderNullFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Str("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null(DataType::kString)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(3).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeCompare) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Real(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Real(3.5)), 0);
+  EXPECT_GT(Value::Real(4.0).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, StringsOrderedAfterNumbers) {
+  EXPECT_LT(Value::Int(1'000'000).Compare(Value::Str("a")), 0);
+  EXPECT_LT(Value::Str("a").Compare(Value::Str("b")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithCompare) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Real(42.0).Hash());
+  EXPECT_EQ(Value::Str("xyz").Hash(), Value::Str("xyz").Hash());
+  // Nulls hash equal to each other regardless of type.
+  EXPECT_EQ(Value::Null(DataType::kInt64).Hash(),
+            Value::Null(DataType::kString).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Real(2.5).ToString(), "2.5");
+}
+
+TEST(TriBoolTest, ThreeValuedLogicTables) {
+  using enum TriBool;
+  EXPECT_EQ(TriAnd(kTrue, kTrue), kTrue);
+  EXPECT_EQ(TriAnd(kTrue, kUnknown), kUnknown);
+  EXPECT_EQ(TriAnd(kFalse, kUnknown), kFalse);
+  EXPECT_EQ(TriOr(kFalse, kUnknown), kUnknown);
+  EXPECT_EQ(TriOr(kTrue, kUnknown), kTrue);
+  EXPECT_EQ(TriNot(kUnknown), kUnknown);
+  EXPECT_EQ(TriNot(kTrue), kFalse);
+  EXPECT_FALSE(IsTrue(kUnknown));
+}
+
+}  // namespace
+}  // namespace eca

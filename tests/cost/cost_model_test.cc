@@ -1,0 +1,134 @@
+// Tests for the cost model, cardinality estimation, and the equi-depth
+// histograms.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/histogram.h"
+#include "testing/random_data.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+Relation SequenceRelation(int rel_id, int n) {
+  Relation r(Schema({{rel_id, "k", DataType::kInt64},
+                     {rel_id, "v", DataType::kDouble}}));
+  for (int i = 0; i < n; ++i) {
+    r.Add({I(i), Value::Real(static_cast<double>(i))});
+  }
+  return r;
+}
+
+TEST(HistogramTest, FractionBelowIsMonotoneAndCalibrated) {
+  Relation r = SequenceRelation(0, 1000);  // v uniform on [0, 999]
+  EquiDepthHistogram h = EquiDepthHistogram::Build(r, 1);
+  EXPECT_EQ(h.total_values(), 1000);
+  EXPECT_NEAR(h.FractionBelow(500.0), 0.5, 0.05);
+  EXPECT_NEAR(h.FractionBelow(100.0), 0.1, 0.05);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(5000.0), 1.0);
+  double prev = 0;
+  for (double v = 0; v <= 1000; v += 50) {
+    double f = h.FractionBelow(v);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(HistogramTest, NullsAndEmpties) {
+  Relation r(Schema({{0, "v", DataType::kInt64}}));
+  r.Add({N()});
+  r.Add({N()});
+  r.Add({I(1)});
+  r.Add({I(2)});
+  EquiDepthHistogram h = EquiDepthHistogram::Build(r, 0);
+  EXPECT_DOUBLE_EQ(h.null_fraction(), 0.5);
+  EXPECT_EQ(h.total_values(), 2);
+
+  Relation empty(Schema({{0, "v", DataType::kInt64}}));
+  EquiDepthHistogram he = EquiDepthHistogram::Build(empty, 0);
+  EXPECT_TRUE(he.empty());
+  EXPECT_DOUBLE_EQ(he.FractionBelow(3.0), 0.5);  // uninformative default
+}
+
+TEST(CostModelTest, RangeSelectivityUsesHistogram) {
+  Database db;
+  db.Add(SequenceRelation(0, 1000));
+  CostModel cost = CostModel::FromDatabase(db);
+  // v > 900 keeps ~10%.
+  PredRef p = Gt(Col(0, "v"), LitReal(900.0));
+  EXPECT_NEAR(cost.Selectivity(*p), 0.1, 0.05);
+  // const < col is the mirrored shape.
+  PredRef q = Lt(LitReal(900.0), Col(0, "v"));
+  EXPECT_NEAR(cost.Selectivity(*q), 0.1, 0.05);
+  // v < 100 keeps ~10%.
+  PredRef r = Lt(Col(0, "v"), LitReal(100.0));
+  EXPECT_NEAR(cost.Selectivity(*r), 0.1, 0.05);
+}
+
+TEST(CostModelTest, EquiJoinSelectivity) {
+  Database db;
+  db.Add(SequenceRelation(0, 100));
+  db.Add(SequenceRelation(1, 50));
+  CostModel cost = CostModel::FromDatabase(db);
+  PredRef p = EquiJoin(0, "k", 1, "k");
+  // 1/max(d0, d1) = 1/100.
+  EXPECT_NEAR(cost.Selectivity(*p), 0.01, 1e-9);
+}
+
+TEST(CostModelTest, CardinalitiesFollowOperatorSemantics) {
+  Database db;
+  db.Add(SequenceRelation(0, 100));
+  db.Add(SequenceRelation(1, 50));
+  CostModel cost = CostModel::FromDatabase(db);
+  PredRef p = EquiJoin(0, "k", 1, "k", "p01");
+
+  auto card = [&](JoinOp op) {
+    PlanPtr plan = Plan::Join(op, p, Plan::Leaf(0), Plan::Leaf(1));
+    return cost.Cardinality(*plan);
+  };
+  double inner = card(JoinOp::kInner);
+  EXPECT_NEAR(inner, 50.0, 10.0);  // key-FK join
+  // Left outer >= max(inner, |L|).
+  EXPECT_GE(card(JoinOp::kLeftOuter) + 1e-9, inner);
+  EXPECT_GE(card(JoinOp::kLeftOuter), 99.0);
+  // Semi + anti partition the left side.
+  EXPECT_NEAR(card(JoinOp::kLeftSemi) + card(JoinOp::kLeftAnti), 100.0,
+              1.0);
+  // Full outer >= both outer variants.
+  EXPECT_GE(card(JoinOp::kFullOuter) + 1e-9, card(JoinOp::kLeftOuter));
+}
+
+TEST(CostModelTest, CompensationCosts) {
+  Database db;
+  db.Add(SequenceRelation(0, 1000));
+  db.Add(SequenceRelation(1, 1000));
+  CostModel cost = CostModel::FromDatabase(db);
+  PredRef p = EquiJoin(0, "k", 1, "k", "p01");
+  PlanPtr join = Plan::Join(JoinOp::kLeftOuter, p, Plan::Leaf(0),
+                            Plan::Leaf(1));
+  double base = cost.Cost(*join);
+  // beta costs n log n on top; lambda only a scan.
+  PlanPtr with_beta = Plan::Comp(CompOp::Beta(), join->Clone());
+  PlanPtr with_lambda =
+      Plan::Comp(CompOp::Lambda(p, RelSet::Single(1)), join->Clone());
+  EXPECT_GT(cost.Cost(*with_beta), cost.Cost(*with_lambda));
+  EXPECT_GT(cost.Cost(*with_lambda), base);
+}
+
+TEST(CostModelTest, NestedLoopPenalizedOverHash) {
+  Database db;
+  db.Add(SequenceRelation(0, 500));
+  db.Add(SequenceRelation(1, 500));
+  CostModel cost = CostModel::FromDatabase(db);
+  PlanPtr hash = Plan::Join(JoinOp::kInner, EquiJoin(0, "k", 1, "k"),
+                            Plan::Leaf(0), Plan::Leaf(1));
+  PlanPtr nl = Plan::Join(JoinOp::kInner, Lt(Col(0, "k"), Col(1, "k")),
+                          Plan::Leaf(0), Plan::Leaf(1));
+  EXPECT_LT(cost.Cost(*hash), cost.Cost(*nl));
+}
+
+}  // namespace
+}  // namespace eca

@@ -1,0 +1,92 @@
+// Tests for the public Optimizer facade.
+
+#include "eca/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "enumerate/join_order.h"
+#include "testing/random_data.h"
+#include "testing/random_query.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+struct Fixture {
+  Database db;
+  PlanPtr query;
+};
+
+Fixture MakeFixture(int seed, int rels = 4) {
+  Rng rng(static_cast<uint64_t>(seed) * 17 + 23);
+  RandomDataOptions dopts;
+  RandomQueryOptions qopts;
+  qopts.num_rels = rels;
+  Fixture f;
+  f.db = RandomDatabase(rng, rels, dopts);
+  f.query = RandomQuery(rng, qopts, dopts);
+  return f;
+}
+
+TEST(OptimizerFacadeTest, OptimizeExecuteRoundTrip) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Fixture f = MakeFixture(seed);
+    Optimizer opt;
+    auto best = opt.Optimize(*f.query, f.db);
+    ASSERT_NE(best.plan, nullptr);
+    EXPECT_GT(best.estimated_cost, 0);
+    Relation direct = opt.Execute(*f.query, f.db);
+    Relation optimized = opt.Execute(*best.plan, f.db);
+    ExpectSameRelation(direct, optimized, "facade round trip");
+  }
+}
+
+TEST(OptimizerFacadeTest, ApproachesDiffer) {
+  // A double-antijoin query: TBA must keep the original ordering; ECA may
+  // choose another, and Reorder() exposes the reachability difference.
+  PlanPtr q = Plan::Join(
+      JoinOp::kLeftAnti, EquiJoin(0, "a", 1, "a", "p01"), Plan::Leaf(0),
+      Plan::Join(JoinOp::kLeftAnti, EquiJoin(1, "b", 2, "b", "p12"),
+                 Plan::Leaf(1), Plan::Leaf(2)));
+  auto thetas = AllJoinOrderingTrees(q->leaves(), PredicateRefSets(*q));
+  ASSERT_EQ(thetas.size(), 2u);
+
+  Optimizer tba{Optimizer::Options{Optimizer::Approach::kTBA}};
+  Optimizer eca;
+  int tba_reach = 0, eca_reach = 0;
+  for (const OrderingNodePtr& theta : thetas) {
+    if (tba.Reorder(*q, *theta)) ++tba_reach;
+    if (eca.Reorder(*q, *theta)) ++eca_reach;
+  }
+  EXPECT_EQ(tba_reach, 1);
+  EXPECT_EQ(eca_reach, 2);
+}
+
+TEST(OptimizerFacadeTest, ExplainIncludesPlanCostAndSql) {
+  Fixture f = MakeFixture(3, 3);
+  Optimizer opt;
+  std::string basic = opt.Explain(*f.query, f.db);
+  EXPECT_NE(basic.find("plan:"), std::string::npos);
+  EXPECT_NE(basic.find("estimated cost"), std::string::npos);
+  EXPECT_EQ(basic.find("SQL:"), std::string::npos);
+
+  SqlOptions sql;
+  sql.table_names = {"t0", "t1", "t2"};
+  std::string with_sql = opt.Explain(*f.query, f.db, &sql);
+  EXPECT_NE(with_sql.find("SQL:"), std::string::npos);
+  EXPECT_NE(with_sql.find("FROM t0"), std::string::npos);
+}
+
+TEST(OptimizerFacadeTest, JoinPreferenceRespected) {
+  Fixture f = MakeFixture(5, 3);
+  Optimizer hash;
+  Optimizer smj{Optimizer::Options{Optimizer::Approach::kECA, true,
+                                   Executor::JoinPreference::kSortMerge}};
+  Relation a = hash.Execute(*f.query, f.db);
+  Relation b = smj.Execute(*f.query, f.db);
+  ExpectSameRelation(a, b, "hash vs sort-merge engine profiles");
+}
+
+}  // namespace
+}  // namespace eca

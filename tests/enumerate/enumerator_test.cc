@@ -1,0 +1,329 @@
+// Tests for the top-down plan enumerator (Algorithms 1-6):
+//  - every plan it returns must evaluate identically to the input query;
+//  - the enhanced mode (subplan reuse, d-edges) must agree with the basic
+//    mode on cost and stay equivalent to the query;
+//  - the ECA policy must reach EVERY join ordering for the
+//    no-full-outerjoin class (Theorem 3.2(a): complete reorderability),
+//    while TBA and CBA reach incomparable subsets.
+
+#include <gtest/gtest.h>
+
+#include "enumerate/enumerator.h"
+#include "enumerate/join_order.h"
+#include "enumerate/realize.h"
+#include "exec/executor.h"
+#include "testing/random_data.h"
+#include "testing/random_query.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+class EnumeratorRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumeratorRandomized, OptimizedPlanEquivalentToQuery) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 1337 + 5);
+  RandomDataOptions dopts;
+  dopts.max_rows = 7;
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3 + seed % 3;  // 3..5 relations
+  qopts.allow_full_outer = seed % 4 == 0;  // Section 5.3 partial support
+  Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+
+  CostModel cost = CostModel::FromDatabase(db);
+  EnumeratorOptions opts;
+  opts.reuse_subplans = false;
+  TopDownEnumerator basic(&cost, opts);
+  auto result = basic.Optimize(*query);
+  ASSERT_NE(result.plan, nullptr);
+  ExpectPlansEquivalent(*query, *result.plan, db,
+                        "optimizer output must preserve query semantics");
+}
+
+TEST_P(EnumeratorRandomized, EnhancedAgreesWithBasic) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 7001 + 11);
+  RandomDataOptions dopts;
+  dopts.max_rows = 7;
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3 + seed % 3;
+  Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  CostModel cost = CostModel::FromDatabase(db);
+
+  EnumeratorOptions basic_opts;
+  basic_opts.reuse_subplans = false;
+  EnumeratorOptions enhanced_opts;
+  enhanced_opts.reuse_subplans = true;
+  TopDownEnumerator basic(&cost, basic_opts);
+  TopDownEnumerator enhanced(&cost, enhanced_opts);
+  auto rb = basic.Optimize(*query);
+  auto re = enhanced.Optimize(*query);
+  ASSERT_NE(rb.plan, nullptr);
+  ASSERT_NE(re.plan, nullptr);
+  ExpectPlansEquivalent(*query, *re.plan, db,
+                        "enhanced optimizer must preserve query semantics");
+  // Reuse may only improve or match the chosen plan's estimated cost
+  // within a small numeric tolerance (both explore the same space).
+  EXPECT_NEAR(rb.cost, re.cost, 1e-6 + 0.01 * rb.cost)
+      << "basic plan:\n"
+      << rb.plan->ToString() << "enhanced plan:\n"
+      << re.plan->ToString();
+}
+
+TEST_P(EnumeratorRandomized, TBAPolicyAlsoSound) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 909 + 3);
+  RandomDataOptions dopts;
+  RandomQueryOptions qopts;
+  qopts.num_rels = 4;
+  Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  CostModel cost = CostModel::FromDatabase(db);
+  EnumeratorOptions opts;
+  opts.policy = SwapPolicy::kTBA;
+  opts.reuse_subplans = false;
+  TopDownEnumerator tba(&cost, opts);
+  auto result = tba.Optimize(*query);
+  ASSERT_NE(result.plan, nullptr);
+  ExpectPlansEquivalent(*query, *result.plan, db, "TBA policy");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumeratorRandomized,
+                         ::testing::Range(0, 24));
+
+// --------------------------------------------------------------------------
+// Theorem 3.2: reorderability completeness
+// --------------------------------------------------------------------------
+
+// The set of orderings theta for which Q is theta-reorderable under the
+// given policy (Section 3), established constructively via RealizeOrdering.
+std::set<std::string> RealizableOrderings(const Plan& query,
+                                          SwapPolicy policy) {
+  std::set<std::string> out;
+  for (const OrderingNodePtr& theta : AllJoinOrderingTrees(
+           query.leaves(), PredicateRefSets(query))) {
+    PlanPtr realized = RealizeOrdering(query, *theta, policy);
+    if (realized != nullptr) out.insert(theta->Key());
+  }
+  return out;
+}
+
+class Reorderability : public ::testing::TestWithParam<int> {};
+
+TEST_P(Reorderability, ECACompleteForNoFullOuterClass) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 37 + 19);
+  RandomDataOptions dopts;
+  dopts.max_rows = 4;
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3 + seed % 2;  // 3..4 relations
+  qopts.allow_full_outer = false;
+  Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  CostModel cost = CostModel::FromDatabase(db);
+
+  // Every ordering must be realizable (Theorem 3.2a) and every realized
+  // plan must follow its ordering and evaluate like the query.
+  int realized_count = 0;
+  auto thetas =
+      AllJoinOrderingTrees(query->leaves(), PredicateRefSets(*query));
+  for (const OrderingNodePtr& theta : thetas) {
+    PlanPtr realized = RealizeOrdering(*query, *theta, SwapPolicy::kECA);
+    ASSERT_NE(realized, nullptr)
+        << "query:\n" << query->ToString() << "unreachable ordering "
+        << theta->Key();
+    ++realized_count;
+    EXPECT_EQ(OrderingKey(*realized), theta->Key())
+        << "realized plan does not follow the requested ordering:\n"
+        << realized->ToString();
+    ExpectPlansEquivalent(*query, *realized, db,
+                          "realized ordering " + theta->Key());
+  }
+  EXPECT_EQ(realized_count, static_cast<int>(thetas.size()));
+  EXPECT_GE(realized_count, 1);
+}
+
+TEST_P(Reorderability, BaselinesReachSubsets) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 53 + 7);
+  RandomDataOptions dopts;
+  dopts.max_rows = 4;
+  RandomQueryOptions qopts;
+  qopts.num_rels = 4;
+  Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  CostModel cost = CostModel::FromDatabase(db);
+
+  (void)cost;
+  std::set<std::string> eca = RealizableOrderings(*query, SwapPolicy::kECA);
+  std::set<std::string> tba = RealizableOrderings(*query, SwapPolicy::kTBA);
+  std::set<std::string> cba = RealizableOrderings(*query, SwapPolicy::kCBA);
+  for (const std::string& k : tba) {
+    EXPECT_TRUE(eca.count(k)) << "TBA ordering missing from ECA: " << k;
+  }
+  for (const std::string& k : cba) {
+    EXPECT_TRUE(eca.count(k)) << "CBA ordering missing from ECA: " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Reorderability, ::testing::Range(0, 16));
+
+// The paper's motivating example (Section 1 / Example 3.1):
+// Q = R0 loj[p01] (R1 join[p12] R2). assoc(loj, join) is invalid, so TBA
+// cannot put (R0, R1) first; CBA and ECA can, via beta(lambda(...)).
+TEST(ReorderabilityExamples, MotivatingOuterJoinExample) {
+  Rng rng(4242);
+  RandomDataOptions dopts;
+  Database db = RandomDatabase(rng, 3, dopts);
+  PlanPtr query = Plan::Join(
+      JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p01"), Plan::Leaf(0),
+      Plan::Join(JoinOp::kInner, EquiJoin(1, "b", 2, "b", "p12"),
+                 Plan::Leaf(1), Plan::Leaf(2)));
+  CostModel cost = CostModel::FromDatabase(db);
+
+  std::set<std::string> all =
+      AllJoinOrderings(query->leaves(), PredicateRefSets(*query));
+  EXPECT_EQ(all.size(), 2u);
+
+  (void)cost;
+  std::set<std::string> tba = RealizableOrderings(*query, SwapPolicy::kTBA);
+  std::set<std::string> cba = RealizableOrderings(*query, SwapPolicy::kCBA);
+  std::set<std::string> eca = RealizableOrderings(*query, SwapPolicy::kECA);
+  EXPECT_EQ(tba.size(), 1u);  // only the original ordering
+  EXPECT_EQ(cba.size(), 2u);
+  EXPECT_EQ(eca.size(), 2u);
+}
+
+// An antijoin pair: Q = R0 laj[p01] (R1 laj[p12] R2). assoc(laj, laj) is
+// invalid and CBA cannot reorder antijoins; ECA reaches both orderings
+// (Rule 15 of Table 3, the paper's query Q1 pattern).
+TEST(ReorderabilityExamples, AntijoinPairOnlyECAReorders) {
+  Rng rng(777);
+  RandomDataOptions dopts;
+  Database db = RandomDatabase(rng, 3, dopts);
+  PlanPtr query = Plan::Join(
+      JoinOp::kLeftAnti, EquiJoin(0, "a", 1, "a", "p01"), Plan::Leaf(0),
+      Plan::Join(JoinOp::kLeftAnti, EquiJoin(1, "b", 2, "b", "p12"),
+                 Plan::Leaf(1), Plan::Leaf(2)));
+  CostModel cost = CostModel::FromDatabase(db);
+  std::set<std::string> tba = RealizableOrderings(*query, SwapPolicy::kTBA);
+  std::set<std::string> cba = RealizableOrderings(*query, SwapPolicy::kCBA);
+  std::set<std::string> eca = RealizableOrderings(*query, SwapPolicy::kECA);
+  EXPECT_EQ(tba.size(), 1u);
+  EXPECT_EQ(cba.size(), 1u);
+  EXPECT_EQ(eca.size(), 2u);
+
+  // And the reordered plan is still correct.
+  EnumeratorOptions opts;
+  opts.reuse_subplans = false;
+  TopDownEnumerator e(&cost, opts);
+  auto result = e.Optimize(*query);
+  ExpectPlansEquivalent(*query, *result.plan, db);
+}
+
+// TBA and CBA are incomparable (Section 1): a valid antijoin assoc step is
+// TBA-only, while an invalid outerjoin assoc step is CBA-only.
+TEST(ReorderabilityExamples, TBAandCBAIncomparable) {
+  Rng rng(31);
+  RandomDataOptions dopts;
+  Database db = RandomDatabase(rng, 3, dopts);
+  CostModel cost = CostModel::FromDatabase(db);
+
+  // (a) R0 join[p01] (R1 laj[p12] R2): assoc(join, laj) is valid -> TBA
+  // reorders; CBA cannot touch the antijoin.
+  PlanPtr qa = Plan::Join(
+      JoinOp::kInner, EquiJoin(0, "a", 1, "a", "p01"), Plan::Leaf(0),
+      Plan::Join(JoinOp::kLeftAnti, EquiJoin(1, "b", 2, "b", "p12"),
+                 Plan::Leaf(1), Plan::Leaf(2)));
+  (void)cost;
+  EXPECT_EQ(RealizableOrderings(*qa, SwapPolicy::kTBA).size(), 2u);
+  EXPECT_EQ(RealizableOrderings(*qa, SwapPolicy::kCBA).size(), 1u);
+
+  // (b) R0 loj[p01] (R1 join[p12] R2): invalid assoc -> CBA-only.
+  PlanPtr qb = Plan::Join(
+      JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p01"), Plan::Leaf(0),
+      Plan::Join(JoinOp::kInner, EquiJoin(1, "b", 2, "b", "p12"),
+                 Plan::Leaf(1), Plan::Leaf(2)));
+  EXPECT_EQ(RealizableOrderings(*qb, SwapPolicy::kTBA).size(), 1u);
+  EXPECT_EQ(RealizableOrderings(*qb, SwapPolicy::kCBA).size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Support machinery
+// --------------------------------------------------------------------------
+
+TEST(JoinOrderTest, ChainQueryCounts) {
+  // Chain R0-R1-R2: orderings = ((01)2), (0(12)) = 2; the cartesian
+  // ordering ((02)1) is excluded (no predicate would connect the split).
+  std::vector<RelSet> preds = {RelSet::FirstN(2),
+                               RelSet::Single(1).Union(RelSet::Single(2))};
+  EXPECT_EQ(CountJoinOrderings(RelSet::FirstN(3), preds), 2);
+
+  // Chain of 4: 0-1-2-3 has Catalan-ish count = 5? Orderings of a chain of
+  // n relations = (number of ways) — for n=4 it is 5... each contiguous
+  // bracketing; chain allows only contiguous splits: count = Catalan(3) = 5.
+  std::vector<RelSet> chain4 = {
+      RelSet::FirstN(2), RelSet::Single(1).Union(RelSet::Single(2)),
+      RelSet::Single(2).Union(RelSet::Single(3))};
+  EXPECT_EQ(CountJoinOrderings(RelSet::FirstN(4), chain4), 5);
+}
+
+TEST(JoinOrderTest, StarQueryCounts) {
+  // Star centered at R0 with 3 satellites: any permutation of attaching
+  // satellites: orderings = 3! = 6? Each tree: R0 joined with satellites in
+  // some nesting: ((0 s1) s2) s3 and (0 s) groupings... every binary tree
+  // where each split separates satellites; count for star-3 = 6? Verified
+  // value from enumeration: 6? Let the code answer and pin it.
+  std::vector<RelSet> star = {
+      RelSet::FirstN(2),                              // 0-1
+      RelSet::Single(0).Union(RelSet::Single(2)),     // 0-2
+      RelSet::Single(0).Union(RelSet::Single(3))};    // 0-3
+  // For a star query with k satellites the orderings are the sequences in
+  // which satellites join the center: k! = 6.
+  EXPECT_EQ(CountJoinOrderings(RelSet::FirstN(4), star), 6);
+}
+
+TEST(SubtreeTest, JoinablePairsMatchPaperExample) {
+  // P = (R0 x[p03] (R1 x[p12] R2)) shaped plan from Figure 4's discussion:
+  // with S = all, the pair ({R0},{R1,R2}) is joinable via p03 only if p03
+  // is the unique join referring to both sides.
+  PlanPtr p = Plan::Join(
+      JoinOp::kInner, EquiJoin(0, "a", 1, "a", "p01"), Plan::Leaf(0),
+      Plan::Join(JoinOp::kInner, EquiJoin(1, "b", 2, "b", "p12"),
+                 Plan::Leaf(1), Plan::Leaf(2)));
+  auto pairs = JoinablePairs(p.get(), RelSet::FirstN(3));
+  // Valid: ({R0},{R1,R2}) via p01 and ({R0,R1},{R2}) via p12; the split
+  // ({R0,R2},{R1}) has two joins referring to both sides -> rejected.
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST(SubtreeTest, SubtreeIncludesCompChain) {
+  PlanPtr join = Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 1, "a", "p01"),
+                            Plan::Leaf(0), Plan::Leaf(1));
+  PlanPtr wrapped = Plan::Comp(
+      CompOp::Beta(), Plan::Comp(CompOp::Project(RelSet::FirstN(2)),
+                                 std::move(join)));
+  PlanPtr root = Plan::Join(JoinOp::kInner, EquiJoin(1, "b", 2, "b", "p12"),
+                            std::move(wrapped), Plan::Leaf(2));
+  Plan* sub = SubtreeOf(root.get(), RelSet::FirstN(2));
+  ASSERT_TRUE(sub->is_comp());
+  EXPECT_EQ(sub->comp().kind, CompOp::Kind::kBeta);
+  // Whole-set subtree is the root itself.
+  EXPECT_EQ(SubtreeOf(root.get(), RelSet::FirstN(3)), root.get());
+}
+
+TEST(SubtreeTest, OrderingKeyCanonical) {
+  PlanPtr a = Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 1, "a", "p01"),
+                         Plan::Leaf(0), Plan::Leaf(1));
+  PlanPtr b = Plan::Join(JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p01"),
+                         Plan::Leaf(1), Plan::Leaf(0));
+  EXPECT_EQ(OrderingKey(*a), OrderingKey(*b));  // unordered, op-insensitive
+  EXPECT_EQ(OrderingKey(*a), "(R0,R1)");
+}
+
+}  // namespace
+}  // namespace eca

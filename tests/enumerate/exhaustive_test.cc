@@ -1,0 +1,132 @@
+// Tests for the exhaustive (CBA-style, Section 5.4) enumeration baseline
+// and for plan validation of every enumerator output.
+
+#include <gtest/gtest.h>
+
+#include "algebra/validate.h"
+#include "enumerate/enumerator.h"
+#include "enumerate/exhaustive.h"
+#include "enumerate/join_order.h"
+#include "testing/random_data.h"
+#include "testing/random_query.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+class ExhaustiveRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExhaustiveRandomized, BestPlanEquivalentAndCountsMatch) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 211 + 9);
+  RandomDataOptions dopts;
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3 + seed % 3;
+  Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  CostModel cost = CostModel::FromDatabase(db);
+
+  ExhaustiveResult ex = ExhaustiveEnumerate(*query, cost);
+  ASSERT_NE(ex.plan, nullptr);
+  // ECA realizes every ordering of the no-full-outerjoin class.
+  EXPECT_EQ(ex.orderings_realized, ex.orderings_total);
+  ExpectPlansEquivalent(*query, *ex.plan, db, "exhaustive best plan");
+
+  // The chosen plan can never cost more than the (realized) original
+  // ordering.
+  PlanPtr original = query->Clone();
+  EXPECT_LE(ex.cost, cost.Cost(*original) * 1.0001 + 1e-6);
+}
+
+TEST_P(ExhaustiveRandomized, TopDownWithinExhaustiveBallpark) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 977 + 2);
+  RandomDataOptions dopts;
+  RandomQueryOptions qopts;
+  qopts.num_rels = 4;
+  Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  CostModel cost = CostModel::FromDatabase(db);
+
+  ExhaustiveResult ex = ExhaustiveEnumerate(*query, cost);
+  EnumeratorOptions opts;
+  TopDownEnumerator td(&cost, opts);
+  auto topdown = td.Optimize(*query);
+  ASSERT_NE(topdown.plan, nullptr);
+  // Both explore the same ordering space; derivation routes may place
+  // compensations differently, so costs agree only approximately — but
+  // neither should be wildly worse.
+  EXPECT_LE(topdown.cost, ex.cost * 2.0 + 1e-6)
+      << "top-down:\n" << topdown.plan->ToString() << "exhaustive:\n"
+      << ex.plan->ToString();
+  EXPECT_LE(ex.cost, topdown.cost * 2.0 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveRandomized,
+                         ::testing::Range(0, 16));
+
+// --------------------------------------------------------------------------
+// Plan validation
+// --------------------------------------------------------------------------
+
+TEST(ValidateTest, AcceptsWellFormedAndOptimizerOutputs) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 5 + 77);
+    RandomDataOptions dopts;
+    RandomQueryOptions qopts;
+    qopts.num_rels = 4;
+    Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+    PlanPtr query = RandomQuery(rng, qopts, dopts);
+    std::vector<Schema> base = db.BaseSchemas();
+    EXPECT_TRUE(ValidatePlan(*query, base).empty());
+
+    CostModel cost = CostModel::FromDatabase(db);
+    EnumeratorOptions opts;
+    TopDownEnumerator e(&cost, opts);
+    auto result = e.Optimize(*query);
+    std::vector<std::string> problems = ValidatePlan(*result.plan, base);
+    EXPECT_TRUE(problems.empty())
+        << problems[0] << "\n" << result.plan->ToString();
+  }
+}
+
+TEST(ValidateTest, RejectsMalformedPlans) {
+  std::vector<Schema> base = {
+      Schema({{0, "a", DataType::kInt64}}),
+      Schema({{1, "a", DataType::kInt64}}),
+  };
+  // Out-of-range leaf.
+  EXPECT_FALSE(ValidatePlan(*Plan::Leaf(7), base).empty());
+  // Duplicate leaf.
+  PlanPtr dup = Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 0, "a"),
+                           Plan::Leaf(0), Plan::Leaf(0));
+  EXPECT_FALSE(ValidatePlan(*dup, base).empty());
+  // Predicate referencing an invisible relation.
+  PlanPtr bad_pred = Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 5, "a"),
+                                Plan::Leaf(0), Plan::Leaf(1));
+  EXPECT_FALSE(ValidatePlan(*bad_pred, base).empty());
+  // Missing predicate on a non-cross join.
+  PlanPtr no_pred = Plan::Join(JoinOp::kCross, nullptr, Plan::Leaf(0),
+                               Plan::Leaf(1));
+  no_pred->set_op(JoinOp::kInner);
+  EXPECT_FALSE(ValidatePlan(*no_pred, base).empty());
+  // Gamma over invisible attributes.
+  PlanPtr bad_gamma =
+      Plan::Comp(CompOp::Gamma(RelSet::Single(5)), Plan::Leaf(0));
+  EXPECT_FALSE(ValidatePlan(*bad_gamma, base).empty());
+  // Projection keeping nothing.
+  PlanPtr bad_pi =
+      Plan::Comp(CompOp::Project(RelSet::Single(5)), Plan::Leaf(0));
+  EXPECT_FALSE(ValidatePlan(*bad_pi, base).empty());
+  // A predicate referencing attributes hidden by an antijoin below.
+  PlanPtr hidden = Plan::Join(
+      JoinOp::kInner, EquiJoin(1, "a", 0, "a"),
+      Plan::Join(JoinOp::kLeftAnti, EquiJoin(0, "a", 1, "a"),
+                 Plan::Leaf(0), Plan::Leaf(1)),
+      Plan::Leaf(1));
+  EXPECT_FALSE(ValidatePlan(*hidden, base).empty());
+}
+
+}  // namespace
+}  // namespace eca

@@ -1,0 +1,67 @@
+// Tests for the full CBA canonical form (Section 2.2): any query over
+// {join, loj, roj, cross} equals beta(lambda-chain(outer cross products)).
+
+#include <gtest/gtest.h>
+
+#include "rewrite/paper_rules.h"
+#include "testing/random_data.h"
+#include "testing/random_query.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+class CbaCanonical : public ::testing::TestWithParam<int> {};
+
+TEST_P(CbaCanonical, EquivalentOnRandomOuterJoinQueries) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 127 + 3);
+  RandomDataOptions dopts;
+  dopts.empty_prob = 0.2;  // the outer-cross semantics matter when empty
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3 + seed % 3;
+  qopts.allow_semi_anti = false;  // CBA's scope
+  qopts.allow_full_outer = false;
+  Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  PlanPtr canonical = CbaCanonicalForm(*query);
+  ASSERT_NE(canonical, nullptr);
+  ExpectPlansEquivalent(*query, *canonical, db,
+                        "CBA canonical form (Section 2.2)");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CbaCanonical, ::testing::Range(0, 25));
+
+TEST(CbaCanonicalTest, ShapeIsBetaLambdaChainOverOuterCrosses) {
+  PlanPtr q = Plan::Join(
+      JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p01"), Plan::Leaf(0),
+      Plan::Join(JoinOp::kInner, EquiJoin(1, "b", 2, "b", "p12"),
+                 Plan::Leaf(1), Plan::Leaf(2)));
+  PlanPtr canonical = CbaCanonicalForm(*q);
+  ASSERT_NE(canonical, nullptr);
+  // beta on top.
+  ASSERT_TRUE(canonical->is_comp());
+  EXPECT_EQ(canonical->comp().kind, CompOp::Kind::kBeta);
+  // Then the outer join's lambda (bottom-up order: p01 above p12).
+  const Plan* l1 = canonical->child();
+  ASSERT_EQ(l1->comp().kind, CompOp::Kind::kLambda);
+  EXPECT_EQ(l1->comp().pred->DisplayName(), "p01");
+  EXPECT_EQ(l1->comp().attrs, RelSet::Single(1).Union(RelSet::Single(2)));
+  const Plan* l2 = l1->child();
+  ASSERT_EQ(l2->comp().kind, CompOp::Kind::kLambda);
+  EXPECT_EQ(l2->comp().pred->DisplayName(), "p12");
+  // Below: full-outer TRUE joins (the outer cartesian products).
+  const Plan* cross = l2->child();
+  ASSERT_TRUE(cross->is_join());
+  EXPECT_EQ(cross->op(), JoinOp::kFullOuter);
+}
+
+TEST(CbaCanonicalTest, RefusesAntijoins) {
+  PlanPtr q = Plan::Join(JoinOp::kLeftAnti, EquiJoin(0, "a", 1, "a"),
+                         Plan::Leaf(0), Plan::Leaf(1));
+  EXPECT_EQ(CbaCanonicalForm(*q), nullptr);
+}
+
+}  // namespace
+}  // namespace eca

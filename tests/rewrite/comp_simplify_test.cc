@@ -1,0 +1,103 @@
+// Tests for the compensation cleanup pass.
+
+#include "rewrite/comp_simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "enumerate/enumerator.h"
+#include "exec/executor.h"
+#include "testing/random_data.h"
+#include "testing/random_query.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+TEST(CompSimplifyTest, RemovesIdentityProjection) {
+  PlanPtr plan = Plan::Comp(
+      CompOp::Project(RelSet::FirstN(2)),
+      Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 1, "a", "p"),
+                 Plan::Leaf(0), Plan::Leaf(1)));
+  EXPECT_EQ(SimplifyCompensations(&plan), 1);
+  EXPECT_TRUE(plan->is_join());
+
+  // A narrowing projection stays.
+  PlanPtr narrowing = Plan::Comp(
+      CompOp::Project(RelSet::Single(0)),
+      Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 1, "a", "p"),
+                 Plan::Leaf(0), Plan::Leaf(1)));
+  EXPECT_EQ(SimplifyCompensations(&narrowing), 0);
+  EXPECT_TRUE(narrowing->is_comp());
+}
+
+TEST(CompSimplifyTest, CollapsesBetaChains) {
+  PlanPtr plan = Plan::Comp(
+      CompOp::Beta(),
+      Plan::Comp(CompOp::Beta(),
+                 Plan::Comp(CompOp::Lambda(EquiJoin(0, "a", 1, "a", "p"),
+                                           RelSet::Single(1)),
+                            Plan::Join(JoinOp::kLeftOuter,
+                                       EquiJoin(0, "a", 1, "a", "p"),
+                                       Plan::Leaf(0), Plan::Leaf(1)))));
+  // The outer beta sits on a beta (clean) -> removed; the inner one guards
+  // a lambda and must stay.
+  EXPECT_EQ(SimplifyCompensations(&plan), 1);
+  ASSERT_TRUE(plan->is_comp());
+  EXPECT_EQ(plan->comp().kind, CompOp::Kind::kBeta);
+  EXPECT_EQ(plan->child()->comp().kind, CompOp::Kind::kLambda);
+}
+
+TEST(CompSimplifyTest, RemovesBetaOverCleanJoins) {
+  PlanPtr plan = Plan::Comp(
+      CompOp::Beta(),
+      Plan::Join(JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p"),
+                 Plan::Leaf(0), Plan::Leaf(1)));
+  EXPECT_EQ(SimplifyCompensations(&plan), 1);
+  EXPECT_TRUE(plan->is_join());
+}
+
+TEST(CompSimplifyTest, RemovesTrueLambdaAndDuplicateGamma) {
+  PlanPtr base = Plan::Join(JoinOp::kLeftOuter,
+                            EquiJoin(0, "a", 1, "a", "p"), Plan::Leaf(0),
+                            Plan::Leaf(1));
+  PlanPtr plan = Plan::Comp(
+      CompOp::Gamma(RelSet::Single(1)),
+      Plan::Comp(CompOp::Gamma(RelSet::Single(1)),
+                 Plan::Comp(CompOp::Lambda(Predicate::ConstBool(true),
+                                           RelSet::Single(1)),
+                            std::move(base))));
+  EXPECT_EQ(SimplifyCompensations(&plan), 2);
+  ASSERT_TRUE(plan->is_comp());
+  EXPECT_EQ(plan->comp().kind, CompOp::Kind::kGamma);
+  EXPECT_TRUE(plan->child()->is_join());
+}
+
+class CompSimplifyRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompSimplifyRandomized, PreservesOptimizedPlanSemantics) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 401 + 13);
+  RandomDataOptions dopts;
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3 + seed % 3;
+  Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  CostModel cost = CostModel::FromDatabase(db);
+  EnumeratorOptions opts;
+  TopDownEnumerator e(&cost, opts);
+  auto result = e.Optimize(*query);
+  ASSERT_NE(result.plan, nullptr);
+
+  PlanPtr cleaned = result.plan->Clone();
+  SimplifyCompensations(&cleaned);
+  ExpectPlansEquivalent(*result.plan, *cleaned, db,
+                        "compensation cleanup");
+  ExpectPlansEquivalent(*query, *cleaned, db, "cleanup vs query");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompSimplifyRandomized,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace eca

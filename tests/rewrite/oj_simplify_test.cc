@@ -1,0 +1,131 @@
+// Tests for the null-rejection outerjoin simplification pass.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "rewrite/oj_simplify.h"
+#include "testing/random_data.h"
+#include "testing/random_query.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+TEST(OjSimplifyTest, InnerAboveKillsLeftOuter) {
+  // (R0 loj[p01] R1) join[p12] R2 with p12 referencing R1: padded rows
+  // cannot satisfy p12, so the outerjoin strengthens to an inner join.
+  PlanPtr plan = Plan::Join(
+      JoinOp::kInner, EquiJoin(1, "b", 2, "b", "p12"),
+      Plan::Join(JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p01"),
+                 Plan::Leaf(0), Plan::Leaf(1)),
+      Plan::Leaf(2));
+  EXPECT_EQ(SimplifyOuterJoins(plan.get()), 1);
+  EXPECT_EQ(plan->left()->op(), JoinOp::kInner);
+}
+
+TEST(OjSimplifyTest, PredicateOnPreservedSideDoesNotSimplify) {
+  // p12 references R0 (the preserved side): padded rows survive, so the
+  // outerjoin must stay.
+  PlanPtr plan = Plan::Join(
+      JoinOp::kInner, EquiJoin(0, "b", 2, "b", "p02"),
+      Plan::Join(JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p01"),
+                 Plan::Leaf(0), Plan::Leaf(1)),
+      Plan::Leaf(2));
+  EXPECT_EQ(SimplifyOuterJoins(plan.get()), 0);
+  EXPECT_EQ(plan->left()->op(), JoinOp::kLeftOuter);
+}
+
+TEST(OjSimplifyTest, FullOuterDegradesStepwise) {
+  // (R0 foj R1) join[p12 refs R1] R2: R0-padded rows (NULL R0) survive p12
+  // but R1-padded rows do not -> foj becomes roj... i.e. only the padding
+  // of R1's side is killed, keeping R1-preserving semantics.
+  PlanPtr plan = Plan::Join(
+      JoinOp::kInner, EquiJoin(1, "b", 2, "b", "p12"),
+      Plan::Join(JoinOp::kFullOuter, EquiJoin(0, "a", 1, "a", "p01"),
+                 Plan::Leaf(0), Plan::Leaf(1)),
+      Plan::Leaf(2));
+  EXPECT_EQ(SimplifyOuterJoins(plan.get()), 1);
+  EXPECT_EQ(plan->left()->op(), JoinOp::kRightOuter);
+
+  // With predicates on both sides it goes all the way to inner.
+  PlanPtr both = Plan::Join(
+      JoinOp::kInner,
+      Predicate::And({EquiJoin(1, "b", 2, "b"), EquiJoin(0, "b", 2, "a")}),
+      Plan::Join(JoinOp::kFullOuter, EquiJoin(0, "a", 1, "a", "p01"),
+                 Plan::Leaf(0), Plan::Leaf(1)),
+      Plan::Leaf(2));
+  EXPECT_EQ(SimplifyOuterJoins(both.get()), 1);
+  EXPECT_EQ(both->left()->op(), JoinOp::kInner);
+}
+
+TEST(OjSimplifyTest, NullTolerantPredicateBlocksSimplification) {
+  PredRef tolerant = Predicate::Or(
+      {EquiJoin(1, "b", 2, "b"), Predicate::IsNull(Col(1, "b"))});
+  PlanPtr plan = Plan::Join(
+      JoinOp::kInner, tolerant,
+      Plan::Join(JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p01"),
+                 Plan::Leaf(0), Plan::Leaf(1)),
+      Plan::Leaf(2));
+  EXPECT_EQ(SimplifyOuterJoins(plan.get()), 0);
+}
+
+TEST(OjSimplifyTest, AntijoinKeepsPaddedRows) {
+  // (R0 loj R1) laj[p12 refs R1] R2: padded rows survive the antijoin
+  // (they have no match), so no simplification.
+  PlanPtr plan = Plan::Join(
+      JoinOp::kLeftAnti, EquiJoin(1, "b", 2, "b", "p12"),
+      Plan::Join(JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p01"),
+                 Plan::Leaf(0), Plan::Leaf(1)),
+      Plan::Leaf(2));
+  EXPECT_EQ(SimplifyOuterJoins(plan.get()), 0);
+}
+
+TEST(OjSimplifyTest, SemijoinFiltersLikeInner) {
+  PlanPtr plan = Plan::Join(
+      JoinOp::kLeftSemi, EquiJoin(1, "b", 2, "b", "p12"),
+      Plan::Join(JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p01"),
+                 Plan::Leaf(0), Plan::Leaf(1)),
+      Plan::Leaf(2));
+  EXPECT_EQ(SimplifyOuterJoins(plan.get()), 1);
+  EXPECT_EQ(plan->left()->op(), JoinOp::kInner);
+}
+
+TEST(OjSimplifyTest, FixpointCascades) {
+  // join[p23 refs R2] above loj above loj: both outerjoins die.
+  PlanPtr plan = Plan::Join(
+      JoinOp::kInner, EquiJoin(2, "b", 3, "b", "p23"),
+      Plan::Join(JoinOp::kLeftOuter, EquiJoin(1, "b", 2, "a", "p12"),
+                 Plan::Leaf(0),
+                 Plan::Join(JoinOp::kLeftOuter,
+                            EquiJoin(1, "a", 2, "b", "x"),
+                            Plan::Leaf(1), Plan::Leaf(2))),
+      Plan::Leaf(3));
+  // p23 kills padding of the inner operand chain transitively.
+  int changed = SimplifyOuterJoins(plan.get());
+  EXPECT_GE(changed, 1);
+}
+
+// The pass must never change semantics.
+class OjSimplifyRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(OjSimplifyRandomized, PreservesSemantics) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 29 + 3);
+  RandomDataOptions dopts;
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3 + seed % 3;
+  qopts.allow_full_outer = true;
+  qopts.tolerant_pred_prob = seed % 3 == 0 ? 0.4 : 0.0;
+  Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  PlanPtr simplified = query->Clone();
+  SimplifyOuterJoins(simplified.get());
+  ExpectPlansEquivalent(*query, *simplified, db, "outerjoin simplification");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OjSimplifyRandomized,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace eca

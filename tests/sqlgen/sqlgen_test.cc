@@ -1,0 +1,191 @@
+// Tests for the SQL-level implementation (Section 6.1 / Figure 7): the
+// generated SQL must render every operator with the construct the paper
+// prescribes, reference every base table, and stay structurally sound.
+
+#include <gtest/gtest.h>
+
+#include "enumerate/join_order.h"
+#include "enumerate/realize.h"
+#include "sqlgen/sqlgen.h"
+#include "tpch/paper_queries.h"
+
+namespace eca {
+namespace {
+
+bool Contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+int Count(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  size_t pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+bool BalancedParens(const std::string& s) {
+  int depth = 0;
+  for (char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+SqlOptions TpchNames() {
+  SqlOptions o;
+  o.table_names = {"supplier", "partsupp", "part", "lineitem", "orders"};
+  return o;
+}
+
+TEST(SqlGenTest, DirectQ1UsesNotExists) {
+  TpchData data = GenerateTpch(TpchScale::OfSF(0.002), 3);
+  PaperQuery q = BuildQ1(data, 5.0);
+  std::string sql = PlanToSql(*q.plan, q.db.BaseSchemas(), TpchNames());
+  // Figure 7(a): the direct plan nests two NOT EXISTS antijoins.
+  EXPECT_EQ(Count(sql, "NOT EXISTS"), 2) << sql;
+  EXPECT_TRUE(Contains(sql, "FROM supplier"));
+  EXPECT_TRUE(Contains(sql, "FROM partsupp"));
+  EXPECT_TRUE(Contains(sql, "FROM part"));
+  EXPECT_TRUE(BalancedParens(sql)) << sql;
+}
+
+TEST(SqlGenTest, EcaQ1MatchesFigure7Shape) {
+  TpchData data = GenerateTpch(TpchScale::OfSF(0.002), 3);
+  PaperQuery q = BuildQ1(data, 5.0);
+  // The reordered plan of Figure 5(b): supplier loj partsupp first.
+  auto thetas =
+      AllJoinOrderingTrees(q.plan->leaves(), PredicateRefSets(*q.plan));
+  PlanPtr eca;
+  for (const OrderingNodePtr& theta : thetas) {
+    if (theta->Key() == "((R0,R1),R2)") {
+      eca = RealizeOrdering(*q.plan, *theta, SwapPolicy::kECA);
+    }
+  }
+  ASSERT_NE(eca, nullptr);
+  std::string sql = PlanToSql(*eca, q.db.BaseSchemas(), TpchNames());
+  // Figure 7(b)'s ingredients: LEFT JOINs instead of NOT EXISTS, a window
+  // (best-match) block, and the gamma IS NULL filter.
+  EXPECT_GE(Count(sql, "LEFT JOIN"), 2) << sql;
+  EXPECT_TRUE(Contains(sql, "ROW_NUMBER() OVER (ORDER BY")) << sql;
+  EXPECT_TRUE(Contains(sql, "LAG(")) << sql;
+  EXPECT_TRUE(Contains(sql, "IS NULL")) << sql;
+  EXPECT_EQ(Count(sql, "NOT EXISTS"), 0) << sql;
+  EXPECT_TRUE(BalancedParens(sql)) << sql;
+}
+
+TEST(SqlGenTest, LambdaRendersCaseWhen) {
+  PredRef p = EquiJoin(0, "s_suppkey", 1, "ps_suppkey", "p12");
+  PlanPtr plan = Plan::Comp(
+      CompOp::Lambda(p, RelSet::Single(1)),
+      Plan::Join(JoinOp::kLeftOuter, p, Plan::Leaf(0), Plan::Leaf(1)));
+  TpchData data = GenerateTpch(TpchScale::OfSF(0.002), 3);
+  PaperQuery q = BuildQ1(data, 5.0);
+  std::string sql = PlanToSql(*plan, q.db.BaseSchemas(), TpchNames());
+  EXPECT_TRUE(Contains(sql, "CASE WHEN")) << sql;
+  // Only R1's columns are nullified.
+  EXPECT_TRUE(Contains(sql, "CASE WHEN r0_s_suppkey = r1_ps_suppkey"));
+  EXPECT_TRUE(BalancedParens(sql));
+}
+
+TEST(SqlGenTest, SemiJoinRendersExists) {
+  PredRef p = EquiJoin(0, "s_suppkey", 1, "ps_suppkey", "p12");
+  PlanPtr plan =
+      Plan::Join(JoinOp::kLeftSemi, p, Plan::Leaf(0), Plan::Leaf(1));
+  TpchData data = GenerateTpch(TpchScale::OfSF(0.002), 3);
+  PaperQuery q = BuildQ1(data, 5.0);
+  std::string sql = PlanToSql(*plan, q.db.BaseSchemas(), TpchNames());
+  EXPECT_TRUE(Contains(sql, "WHERE EXISTS")) << sql;
+}
+
+TEST(SqlGenTest, FullOuterAndCross) {
+  PredRef p = EquiJoin(0, "s_suppkey", 1, "ps_suppkey", "p12");
+  TpchData data = GenerateTpch(TpchScale::OfSF(0.002), 3);
+  PaperQuery q = BuildQ1(data, 5.0);
+  PlanPtr foj =
+      Plan::Join(JoinOp::kFullOuter, p, Plan::Leaf(0), Plan::Leaf(1));
+  EXPECT_TRUE(Contains(PlanToSql(*foj, q.db.BaseSchemas(), TpchNames()),
+                       "FULL JOIN"));
+  PlanPtr cross =
+      Plan::Join(JoinOp::kCross, nullptr, Plan::Leaf(0), Plan::Leaf(1));
+  EXPECT_TRUE(Contains(PlanToSql(*cross, q.db.BaseSchemas(), TpchNames()),
+                       "CROSS JOIN"));
+}
+
+TEST(SqlGenTest, GammaStarRendersGuardedNullificationAndBestMatch) {
+  TpchData data = GenerateTpch(TpchScale::OfSF(0.002), 3);
+  PaperQuery q = BuildQ1(data, 5.0);
+  PlanPtr plan = Plan::Comp(
+      CompOp::GammaStar(RelSet::Single(1), RelSet::Single(0)),
+      Plan::Join(JoinOp::kLeftOuter, PredP12(5.0), Plan::Leaf(0),
+                 Plan::Leaf(1)));
+  std::string sql = PlanToSql(*plan, q.db.BaseSchemas(), TpchNames());
+  EXPECT_TRUE(Contains(sql, "CASE WHEN (")) << sql;
+  EXPECT_TRUE(Contains(sql, "ROW_NUMBER()")) << sql;
+  EXPECT_TRUE(BalancedParens(sql));
+}
+
+}  // namespace
+}  // namespace eca
+
+namespace eca {
+namespace {
+
+TEST(SqlGenTest, Q3FullPlanRendersAllFiveTables) {
+  TpchData data = GenerateTpch(TpchScale::OfSF(0.002), 3);
+  PaperQuery q = BuildQ3(data, 5.0);
+  SqlOptions names;
+  names.table_names = {"supplier", "partsupp", "part", "lineitem", "orders"};
+  std::string sql = PlanToSql(*q.plan, q.db.BaseSchemas(), names);
+  for (const char* t :
+       {"supplier", "partsupp", "part", "lineitem", "orders"}) {
+    EXPECT_NE(sql.find(std::string("FROM ") + t), std::string::npos) << t;
+  }
+  // Two antijoins -> two NOT EXISTS; two inner joins -> two JOIN ... ON.
+  int not_exists = 0, joins = 0;
+  for (size_t pos = 0; (pos = sql.find("NOT EXISTS", pos)) != std::string::npos;
+       pos += 10) {
+    ++not_exists;
+  }
+  size_t line_start = 0;
+  while (line_start < sql.size()) {
+    size_t eol = sql.find('\n', line_start);
+    if (eol == std::string::npos) eol = sql.size();
+    std::string line = sql.substr(line_start, eol - line_start);
+    size_t first = line.find_first_not_of(' ');
+    if (first != std::string::npos && line.compare(first, 5, "JOIN ") == 0) {
+      ++joins;
+    }
+    line_start = eol + 1;
+  }
+  EXPECT_EQ(not_exists, 2);
+  EXPECT_EQ(joins, 2);
+}
+
+TEST(SqlGenTest, EcaQ3PlanRendersWindowedBestMatch) {
+  TpchData data = GenerateTpch(TpchScale::OfSF(0.002), 3);
+  PaperQuery q = BuildQ3(data, 5.0);
+  // Realize the Figure 5(h)-style ordering: supplier-partsupp first, then
+  // lineitem, orders, and part last.
+  OrderingNodePtr theta;
+  for (const OrderingNodePtr& t : AllJoinOrderingTrees(
+           q.plan->leaves(), PredicateRefSets(*q.plan))) {
+    if (t->Key() == "((((R0,R1),R3),R4),R2)") theta = t;
+  }
+  ASSERT_NE(theta, nullptr);
+  PlanPtr eca = RealizeOrdering(*q.plan, *theta, SwapPolicy::kECA);
+  ASSERT_NE(eca, nullptr);
+  SqlOptions names;
+  names.table_names = {"supplier", "partsupp", "part", "lineitem", "orders"};
+  std::string sql = PlanToSql(*eca, q.db.BaseSchemas(), names);
+  EXPECT_NE(sql.find("ROW_NUMBER()"), std::string::npos);
+  EXPECT_NE(sql.find("LEFT JOIN"), std::string::npos);
+  EXPECT_NE(sql.find("CASE WHEN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eca

@@ -1,0 +1,54 @@
+#ifndef ECA_TESTS_TEST_UTIL_H_
+#define ECA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "storage/relation.h"
+
+namespace eca {
+
+// Asserts that two relations hold the same multiset of rows (after
+// canonicalizing column order), with a readable diff on failure.
+inline void ExpectSameRelation(const Relation& expected,
+                               const Relation& actual,
+                               const std::string& context = "") {
+  Relation ce = CanonicalizeColumnOrder(expected);
+  Relation ca = CanonicalizeColumnOrder(actual);
+  if (!SameMultiset(ce, ca)) {
+    ADD_FAILURE() << context << "\nrelations differ:\n"
+                  << ExplainDifference(ce, ca) << "\nexpected:\n"
+                  << ce.ToString() << "actual:\n"
+                  << ca.ToString();
+  }
+}
+
+// Asserts that two plans produce the same result on `db`.
+inline void ExpectPlansEquivalent(const Plan& a, const Plan& b,
+                                  const Database& db,
+                                  const std::string& context = "") {
+  Executor ea, eb;
+  Relation ra = ea.Execute(a, db);
+  Relation rb = eb.Execute(b, db);
+  ExpectSameRelation(ra, rb,
+                     context + "\nplan A:\n" + a.ToString() + "plan B:\n" +
+                         b.ToString());
+}
+
+// Builds a relation from an inline spec. Columns are (rel_id, name, type);
+// rows as vectors of Values.
+inline Relation MakeRelation(std::vector<Column> cols,
+                             std::vector<Tuple> rows) {
+  return Relation(Schema(std::move(cols)), std::move(rows));
+}
+
+inline Value N() { return Value::Null(DataType::kInt64); }
+inline Value I(int64_t x) { return Value::Int(x); }
+inline Value S(const char* s) { return Value::Str(s); }
+
+}  // namespace eca
+
+#endif  // ECA_TESTS_TEST_UTIL_H_

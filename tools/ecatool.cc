@@ -1,0 +1,193 @@
+// ecatool — command-line front end for the library.
+//
+//   ecatool gen-tpch <sf> <dir>
+//       Generate TPC-H-style .tbl files (supplier, partsupp, part,
+//       lineitem, orders) at the given scale factor.
+//
+//   ecatool orderings "<plan>" --pred name="<expr>" ...
+//       List every join ordering of the query and which approach
+//       (TBA / CBA / ECA) can realize it.
+//
+//   ecatool explain "<plan>" --pred name="<expr>" ... [--rows N]
+//       Optimize the query with all three approaches over random data
+//       (N rows per relation) and print plans, costs and EXPLAIN ANALYZE.
+//
+// Plan syntax is the library's compact notation, e.g.
+//   "(R0 laj[p01] (R1 laj[p12] R2))"
+// with predicates like --pred p01="R0.a = R1.a".
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/plan_parser.h"
+#include "eca/optimizer.h"
+#include "enumerate/join_order.h"
+#include "exec/explain.h"
+#include "expr/pred_parser.h"
+#include "storage/csv.h"
+#include "testing/random_data.h"
+#include "tpch/tpch_gen.h"
+
+namespace eca {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ecatool gen-tpch <sf> <dir>\n"
+               "  ecatool orderings \"<plan>\" --pred name=\"<expr>\"...\n"
+               "  ecatool explain \"<plan>\" --pred name=\"<expr>\"... "
+               "[--rows N]\n");
+  return 2;
+}
+
+bool ParsePredArgs(int argc, char** argv, int start,
+                   std::map<std::string, PredRef>* preds, int* rows) {
+  for (int i = start; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pred") == 0 && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "bad --pred spec '%s'\n", spec.c_str());
+        return false;
+      }
+      std::string name = spec.substr(0, eq);
+      std::string expr = spec.substr(eq + 1);
+      std::string error;
+      PredRef p = ParsePredicate(expr, name, &error);
+      if (p == nullptr) {
+        std::fprintf(stderr, "cannot parse predicate '%s': %s\n",
+                     expr.c_str(), error.c_str());
+        return false;
+      }
+      (*preds)[name] = std::move(p);
+    } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+      *rows = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+Database RandomDataFor(const Plan& plan, int rows) {
+  Rng rng(12345);
+  RandomDataOptions opts;
+  opts.min_rows = rows;
+  opts.max_rows = rows;
+  opts.empty_prob = 0;
+  int max_rel = 0;
+  for (int id : plan.leaves()) max_rel = std::max(max_rel, id);
+  Database db;
+  for (int i = 0; i <= max_rel; ++i) {
+    db.Add(RandomRelation(rng, i, opts));
+  }
+  return db;
+}
+
+int GenTpch(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  double sf = std::atof(argv[2]);
+  std::string dir = argv[3];
+  TpchData data = GenerateTpch(TpchScale::OfSF(sf), 42);
+  struct {
+    const char* name;
+    const Relation* rel;
+  } tables[] = {
+      {"supplier", &data.supplier}, {"partsupp", &data.partsupp},
+      {"part", &data.part},         {"lineitem", &data.lineitem},
+      {"orders", &data.orders},
+  };
+  for (const auto& t : tables) {
+    std::string path = dir + "/" + t.name + ".tbl";
+    if (!WriteRelationFile(path, *t.rel)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("%-10s %8lld rows -> %s\n", t.name,
+                static_cast<long long>(t.rel->NumRows()), path.c_str());
+  }
+  return 0;
+}
+
+int Orderings(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::map<std::string, PredRef> preds;
+  int rows = 8;
+  if (!ParsePredArgs(argc, argv, 3, &preds, &rows)) return 2;
+  std::string error;
+  PlanPtr plan = ParsePlan(argv[2], preds, &error);
+  if (plan == nullptr) {
+    std::fprintf(stderr, "cannot parse plan: %s\n", error.c_str());
+    return 2;
+  }
+  Optimizer tba{Optimizer::Options{Optimizer::Approach::kTBA}};
+  Optimizer cba{Optimizer::Options{Optimizer::Approach::kCBA}};
+  Optimizer eca;
+  auto thetas =
+      AllJoinOrderingTrees(plan->leaves(), PredicateRefSets(*plan));
+  std::printf("JoinOrder(Q): %zu orderings\n", thetas.size());
+  for (const OrderingNodePtr& theta : thetas) {
+    PlanPtr via_eca = eca.Reorder(*plan, *theta);
+    std::printf("%-32s TBA:%s CBA:%s ECA:%s\n", theta->Key().c_str(),
+                tba.Reorder(*plan, *theta) ? "yes" : " no",
+                cba.Reorder(*plan, *theta) ? "yes" : " no",
+                via_eca ? "yes" : " no");
+    if (via_eca != nullptr) {
+      std::printf("    %s\n", via_eca->ToInlineString().c_str());
+    }
+  }
+  return 0;
+}
+
+int Explain(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::map<std::string, PredRef> preds;
+  int rows = 64;
+  if (!ParsePredArgs(argc, argv, 3, &preds, &rows)) return 2;
+  std::string error;
+  PlanPtr plan = ParsePlan(argv[2], preds, &error);
+  if (plan == nullptr) {
+    std::fprintf(stderr, "cannot parse plan: %s\n", error.c_str());
+    return 2;
+  }
+  Database db = RandomDataFor(*plan, rows);
+  std::printf("query:\n%s\n", plan->ToString().c_str());
+  for (auto approach : {Optimizer::Approach::kTBA, Optimizer::Approach::kCBA,
+                        Optimizer::Approach::kECA}) {
+    const char* name = approach == Optimizer::Approach::kTBA   ? "TBA"
+                       : approach == Optimizer::Approach::kCBA ? "CBA"
+                                                               : "ECA";
+    Optimizer opt{Optimizer::Options{approach}};
+    auto best = opt.Optimize(*plan, db);
+    std::printf("---- %s (estimated cost %.1f) ----\n%s", name,
+                best.estimated_cost,
+                ExplainAnalyze(*best.plan, db).c_str());
+    Relation a = opt.Execute(*plan, db);
+    Relation b = opt.Execute(*best.plan, db);
+    std::printf("result matches query: %s\n\n",
+                SameMultiset(CanonicalizeColumnOrder(a),
+                             CanonicalizeColumnOrder(b))
+                    ? "yes"
+                    : "NO!");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "gen-tpch") == 0) return GenTpch(argc, argv);
+  if (std::strcmp(argv[1], "orderings") == 0) return Orderings(argc, argv);
+  if (std::strcmp(argv[1], "explain") == 0) return Explain(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace eca
+
+int main(int argc, char** argv) { return eca::Main(argc, argv); }
