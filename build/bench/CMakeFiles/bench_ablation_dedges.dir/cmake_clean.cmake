@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dedges.dir/bench_ablation_dedges.cc.o"
+  "CMakeFiles/bench_ablation_dedges.dir/bench_ablation_dedges.cc.o.d"
+  "bench_ablation_dedges"
+  "bench_ablation_dedges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dedges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compensation_ops.dir/bench_compensation_ops.cc.o"
+  "CMakeFiles/bench_compensation_ops.dir/bench_compensation_ops.cc.o.d"
+  "bench_compensation_ops"
+  "bench_compensation_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compensation_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

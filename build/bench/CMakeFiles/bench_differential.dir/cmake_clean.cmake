@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_differential.dir/bench_differential.cc.o"
+  "CMakeFiles/bench_differential.dir/bench_differential.cc.o.d"
+  "bench_differential"
+  "bench_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

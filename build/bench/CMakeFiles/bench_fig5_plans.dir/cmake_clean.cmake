@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_plans.dir/bench_fig5_plans.cc.o"
+  "CMakeFiles/bench_fig5_plans.dir/bench_fig5_plans.cc.o.d"
+  "bench_fig5_plans"
+  "bench_fig5_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_reorderability.cc" "bench/CMakeFiles/bench_reorderability.dir/bench_reorderability.cc.o" "gcc" "bench/CMakeFiles/bench_reorderability.dir/bench_reorderability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rewrite/CMakeFiles/eca_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/testing/CMakeFiles/eca_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/eca_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/eca_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/eca_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eca_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eca_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eca_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumerate/CMakeFiles/eca_enumerate.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/eca_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

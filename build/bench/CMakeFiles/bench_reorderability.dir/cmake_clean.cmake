@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reorderability.dir/bench_reorderability.cc.o"
+  "CMakeFiles/bench_reorderability.dir/bench_reorderability.cc.o.d"
+  "bench_reorderability"
+  "bench_reorderability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reorderability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

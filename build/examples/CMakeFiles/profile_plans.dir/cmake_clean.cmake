@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_plans.dir/profile_plans.cpp.o"
+  "CMakeFiles/profile_plans.dir/profile_plans.cpp.o.d"
+  "profile_plans"
+  "profile_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_rewriter.dir/sql_rewriter.cpp.o"
+  "CMakeFiles/sql_rewriter.dir/sql_rewriter.cpp.o.d"
+  "sql_rewriter"
+  "sql_rewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_antijoin.dir/tpch_antijoin.cpp.o"
+  "CMakeFiles/tpch_antijoin.dir/tpch_antijoin.cpp.o.d"
+  "tpch_antijoin"
+  "tpch_antijoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_antijoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

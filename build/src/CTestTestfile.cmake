@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("catalog")
+subdirs("storage")
+subdirs("expr")
+subdirs("algebra")
+subdirs("exec")
+subdirs("testing")
+subdirs("rewrite")
+subdirs("cost")
+subdirs("enumerate")
+subdirs("tpch")
+subdirs("sqlgen")
+subdirs("eca")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/join_op.cc" "src/algebra/CMakeFiles/eca_algebra.dir/join_op.cc.o" "gcc" "src/algebra/CMakeFiles/eca_algebra.dir/join_op.cc.o.d"
+  "/root/repo/src/algebra/plan.cc" "src/algebra/CMakeFiles/eca_algebra.dir/plan.cc.o" "gcc" "src/algebra/CMakeFiles/eca_algebra.dir/plan.cc.o.d"
+  "/root/repo/src/algebra/plan_parser.cc" "src/algebra/CMakeFiles/eca_algebra.dir/plan_parser.cc.o" "gcc" "src/algebra/CMakeFiles/eca_algebra.dir/plan_parser.cc.o.d"
+  "/root/repo/src/algebra/validate.cc" "src/algebra/CMakeFiles/eca_algebra.dir/validate.cc.o" "gcc" "src/algebra/CMakeFiles/eca_algebra.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/eca_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eca_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eca_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eca_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

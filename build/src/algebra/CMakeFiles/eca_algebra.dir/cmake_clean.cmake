@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_algebra.dir/join_op.cc.o"
+  "CMakeFiles/eca_algebra.dir/join_op.cc.o.d"
+  "CMakeFiles/eca_algebra.dir/plan.cc.o"
+  "CMakeFiles/eca_algebra.dir/plan.cc.o.d"
+  "CMakeFiles/eca_algebra.dir/plan_parser.cc.o"
+  "CMakeFiles/eca_algebra.dir/plan_parser.cc.o.d"
+  "CMakeFiles/eca_algebra.dir/validate.cc.o"
+  "CMakeFiles/eca_algebra.dir/validate.cc.o.d"
+  "libeca_algebra.a"
+  "libeca_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

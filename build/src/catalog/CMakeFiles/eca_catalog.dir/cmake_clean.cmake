@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_catalog.dir/schema.cc.o"
+  "CMakeFiles/eca_catalog.dir/schema.cc.o.d"
+  "libeca_catalog.a"
+  "libeca_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_common.dir/str_util.cc.o"
+  "CMakeFiles/eca_common.dir/str_util.cc.o.d"
+  "libeca_common.a"
+  "libeca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

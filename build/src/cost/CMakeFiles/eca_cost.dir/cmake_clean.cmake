@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_cost.dir/cost_model.cc.o"
+  "CMakeFiles/eca_cost.dir/cost_model.cc.o.d"
+  "CMakeFiles/eca_cost.dir/histogram.cc.o"
+  "CMakeFiles/eca_cost.dir/histogram.cc.o.d"
+  "libeca_cost.a"
+  "libeca_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_facade.dir/optimizer.cc.o"
+  "CMakeFiles/eca_facade.dir/optimizer.cc.o.d"
+  "libeca_facade.a"
+  "libeca_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_enumerate.dir/enumerator.cc.o"
+  "CMakeFiles/eca_enumerate.dir/enumerator.cc.o.d"
+  "CMakeFiles/eca_enumerate.dir/exhaustive.cc.o"
+  "CMakeFiles/eca_enumerate.dir/exhaustive.cc.o.d"
+  "CMakeFiles/eca_enumerate.dir/join_order.cc.o"
+  "CMakeFiles/eca_enumerate.dir/join_order.cc.o.d"
+  "CMakeFiles/eca_enumerate.dir/realize.cc.o"
+  "CMakeFiles/eca_enumerate.dir/realize.cc.o.d"
+  "CMakeFiles/eca_enumerate.dir/subtree.cc.o"
+  "CMakeFiles/eca_enumerate.dir/subtree.cc.o.d"
+  "libeca_enumerate.a"
+  "libeca_enumerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_enumerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

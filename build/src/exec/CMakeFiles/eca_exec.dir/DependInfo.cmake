@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/comp_exec.cc" "src/exec/CMakeFiles/eca_exec.dir/comp_exec.cc.o" "gcc" "src/exec/CMakeFiles/eca_exec.dir/comp_exec.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/eca_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/eca_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/explain.cc" "src/exec/CMakeFiles/eca_exec.dir/explain.cc.o" "gcc" "src/exec/CMakeFiles/eca_exec.dir/explain.cc.o.d"
+  "/root/repo/src/exec/iterator_exec.cc" "src/exec/CMakeFiles/eca_exec.dir/iterator_exec.cc.o" "gcc" "src/exec/CMakeFiles/eca_exec.dir/iterator_exec.cc.o.d"
+  "/root/repo/src/exec/join_exec.cc" "src/exec/CMakeFiles/eca_exec.dir/join_exec.cc.o" "gcc" "src/exec/CMakeFiles/eca_exec.dir/join_exec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/eca_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/eca_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eca_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eca_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eca_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

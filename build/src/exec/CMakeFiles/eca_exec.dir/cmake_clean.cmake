@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_exec.dir/comp_exec.cc.o"
+  "CMakeFiles/eca_exec.dir/comp_exec.cc.o.d"
+  "CMakeFiles/eca_exec.dir/executor.cc.o"
+  "CMakeFiles/eca_exec.dir/executor.cc.o.d"
+  "CMakeFiles/eca_exec.dir/explain.cc.o"
+  "CMakeFiles/eca_exec.dir/explain.cc.o.d"
+  "CMakeFiles/eca_exec.dir/iterator_exec.cc.o"
+  "CMakeFiles/eca_exec.dir/iterator_exec.cc.o.d"
+  "CMakeFiles/eca_exec.dir/join_exec.cc.o"
+  "CMakeFiles/eca_exec.dir/join_exec.cc.o.d"
+  "libeca_exec.a"
+  "libeca_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

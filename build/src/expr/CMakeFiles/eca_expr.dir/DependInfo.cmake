@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/expr.cc" "src/expr/CMakeFiles/eca_expr.dir/expr.cc.o" "gcc" "src/expr/CMakeFiles/eca_expr.dir/expr.cc.o.d"
+  "/root/repo/src/expr/pred_normalize.cc" "src/expr/CMakeFiles/eca_expr.dir/pred_normalize.cc.o" "gcc" "src/expr/CMakeFiles/eca_expr.dir/pred_normalize.cc.o.d"
+  "/root/repo/src/expr/pred_parser.cc" "src/expr/CMakeFiles/eca_expr.dir/pred_parser.cc.o" "gcc" "src/expr/CMakeFiles/eca_expr.dir/pred_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/eca_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eca_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eca_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_expr.dir/expr.cc.o"
+  "CMakeFiles/eca_expr.dir/expr.cc.o.d"
+  "CMakeFiles/eca_expr.dir/pred_normalize.cc.o"
+  "CMakeFiles/eca_expr.dir/pred_normalize.cc.o.d"
+  "CMakeFiles/eca_expr.dir/pred_parser.cc.o"
+  "CMakeFiles/eca_expr.dir/pred_parser.cc.o.d"
+  "libeca_expr.a"
+  "libeca_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/comp_simplify.cc" "src/rewrite/CMakeFiles/eca_rewrite.dir/comp_simplify.cc.o" "gcc" "src/rewrite/CMakeFiles/eca_rewrite.dir/comp_simplify.cc.o.d"
+  "/root/repo/src/rewrite/oj_simplify.cc" "src/rewrite/CMakeFiles/eca_rewrite.dir/oj_simplify.cc.o" "gcc" "src/rewrite/CMakeFiles/eca_rewrite.dir/oj_simplify.cc.o.d"
+  "/root/repo/src/rewrite/paper_rules.cc" "src/rewrite/CMakeFiles/eca_rewrite.dir/paper_rules.cc.o" "gcc" "src/rewrite/CMakeFiles/eca_rewrite.dir/paper_rules.cc.o.d"
+  "/root/repo/src/rewrite/property_probe.cc" "src/rewrite/CMakeFiles/eca_rewrite.dir/property_probe.cc.o" "gcc" "src/rewrite/CMakeFiles/eca_rewrite.dir/property_probe.cc.o.d"
+  "/root/repo/src/rewrite/rules_pull.cc" "src/rewrite/CMakeFiles/eca_rewrite.dir/rules_pull.cc.o" "gcc" "src/rewrite/CMakeFiles/eca_rewrite.dir/rules_pull.cc.o.d"
+  "/root/repo/src/rewrite/rules_swap.cc" "src/rewrite/CMakeFiles/eca_rewrite.dir/rules_swap.cc.o" "gcc" "src/rewrite/CMakeFiles/eca_rewrite.dir/rules_swap.cc.o.d"
+  "/root/repo/src/rewrite/transform.cc" "src/rewrite/CMakeFiles/eca_rewrite.dir/transform.cc.o" "gcc" "src/rewrite/CMakeFiles/eca_rewrite.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/eca_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/testing/CMakeFiles/eca_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/eca_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/eca_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eca_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eca_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eca_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_rewrite.dir/comp_simplify.cc.o"
+  "CMakeFiles/eca_rewrite.dir/comp_simplify.cc.o.d"
+  "CMakeFiles/eca_rewrite.dir/oj_simplify.cc.o"
+  "CMakeFiles/eca_rewrite.dir/oj_simplify.cc.o.d"
+  "CMakeFiles/eca_rewrite.dir/paper_rules.cc.o"
+  "CMakeFiles/eca_rewrite.dir/paper_rules.cc.o.d"
+  "CMakeFiles/eca_rewrite.dir/property_probe.cc.o"
+  "CMakeFiles/eca_rewrite.dir/property_probe.cc.o.d"
+  "CMakeFiles/eca_rewrite.dir/rules_pull.cc.o"
+  "CMakeFiles/eca_rewrite.dir/rules_pull.cc.o.d"
+  "CMakeFiles/eca_rewrite.dir/rules_swap.cc.o"
+  "CMakeFiles/eca_rewrite.dir/rules_swap.cc.o.d"
+  "CMakeFiles/eca_rewrite.dir/transform.cc.o"
+  "CMakeFiles/eca_rewrite.dir/transform.cc.o.d"
+  "libeca_rewrite.a"
+  "libeca_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

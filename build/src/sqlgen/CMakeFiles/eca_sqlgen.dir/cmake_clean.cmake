@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_sqlgen.dir/sqlgen.cc.o"
+  "CMakeFiles/eca_sqlgen.dir/sqlgen.cc.o.d"
+  "libeca_sqlgen.a"
+  "libeca_sqlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_sqlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_storage.dir/csv.cc.o"
+  "CMakeFiles/eca_storage.dir/csv.cc.o.d"
+  "CMakeFiles/eca_storage.dir/relation.cc.o"
+  "CMakeFiles/eca_storage.dir/relation.cc.o.d"
+  "libeca_storage.a"
+  "libeca_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testing/random_data.cc" "src/testing/CMakeFiles/eca_testing.dir/random_data.cc.o" "gcc" "src/testing/CMakeFiles/eca_testing.dir/random_data.cc.o.d"
+  "/root/repo/src/testing/random_query.cc" "src/testing/CMakeFiles/eca_testing.dir/random_query.cc.o" "gcc" "src/testing/CMakeFiles/eca_testing.dir/random_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/eca_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/eca_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/eca_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eca_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/eca_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eca_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

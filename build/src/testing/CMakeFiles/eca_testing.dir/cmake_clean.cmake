@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_testing.dir/random_data.cc.o"
+  "CMakeFiles/eca_testing.dir/random_data.cc.o.d"
+  "CMakeFiles/eca_testing.dir/random_query.cc.o"
+  "CMakeFiles/eca_testing.dir/random_query.cc.o.d"
+  "libeca_testing.a"
+  "libeca_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

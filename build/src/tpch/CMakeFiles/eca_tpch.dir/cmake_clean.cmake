@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_tpch.dir/paper_queries.cc.o"
+  "CMakeFiles/eca_tpch.dir/paper_queries.cc.o.d"
+  "CMakeFiles/eca_tpch.dir/tpch_gen.cc.o"
+  "CMakeFiles/eca_tpch.dir/tpch_gen.cc.o.d"
+  "libeca_tpch.a"
+  "libeca_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

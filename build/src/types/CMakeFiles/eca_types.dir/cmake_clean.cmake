@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_types.dir/value.cc.o"
+  "CMakeFiles/eca_types.dir/value.cc.o.d"
+  "libeca_types.a"
+  "libeca_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

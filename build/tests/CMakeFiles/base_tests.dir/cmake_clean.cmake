@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_tests.dir/base/common_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/common_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/csv_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/csv_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/expr_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/expr_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/plan_parser_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/plan_parser_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/plan_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/plan_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/pred_parser_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/pred_parser_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/relation_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/relation_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/schema_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/schema_test.cc.o.d"
+  "CMakeFiles/base_tests.dir/base/value_test.cc.o"
+  "CMakeFiles/base_tests.dir/base/value_test.cc.o.d"
+  "base_tests"
+  "base_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_tests.dir/cost/cost_model_test.cc.o"
+  "CMakeFiles/cost_tests.dir/cost/cost_model_test.cc.o.d"
+  "cost_tests"
+  "cost_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

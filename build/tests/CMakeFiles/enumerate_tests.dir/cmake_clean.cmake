@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enumerate_tests.dir/enumerate/dedge_reuse_test.cc.o"
+  "CMakeFiles/enumerate_tests.dir/enumerate/dedge_reuse_test.cc.o.d"
+  "CMakeFiles/enumerate_tests.dir/enumerate/enumerator_test.cc.o"
+  "CMakeFiles/enumerate_tests.dir/enumerate/enumerator_test.cc.o.d"
+  "CMakeFiles/enumerate_tests.dir/enumerate/exhaustive_test.cc.o"
+  "CMakeFiles/enumerate_tests.dir/enumerate/exhaustive_test.cc.o.d"
+  "CMakeFiles/enumerate_tests.dir/enumerate/null_tolerant_test.cc.o"
+  "CMakeFiles/enumerate_tests.dir/enumerate/null_tolerant_test.cc.o.d"
+  "CMakeFiles/enumerate_tests.dir/enumerate/robustness_test.cc.o"
+  "CMakeFiles/enumerate_tests.dir/enumerate/robustness_test.cc.o.d"
+  "enumerate_tests"
+  "enumerate_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enumerate_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

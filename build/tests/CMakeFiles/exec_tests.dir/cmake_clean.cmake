@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_tests.dir/exec/comp_exec_test.cc.o"
+  "CMakeFiles/exec_tests.dir/exec/comp_exec_test.cc.o.d"
+  "CMakeFiles/exec_tests.dir/exec/iterator_exec_test.cc.o"
+  "CMakeFiles/exec_tests.dir/exec/iterator_exec_test.cc.o.d"
+  "CMakeFiles/exec_tests.dir/exec/join_exec_test.cc.o"
+  "CMakeFiles/exec_tests.dir/exec/join_exec_test.cc.o.d"
+  "CMakeFiles/exec_tests.dir/exec/metamorphic_test.cc.o"
+  "CMakeFiles/exec_tests.dir/exec/metamorphic_test.cc.o.d"
+  "CMakeFiles/exec_tests.dir/exec/union_normalize_test.cc.o"
+  "CMakeFiles/exec_tests.dir/exec/union_normalize_test.cc.o.d"
+  "exec_tests"
+  "exec_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facade_tests.dir/eca/optimizer_test.cc.o"
+  "CMakeFiles/facade_tests.dir/eca/optimizer_test.cc.o.d"
+  "facade_tests"
+  "facade_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facade_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_tests.dir/rewrite/cba_canonical_test.cc.o"
+  "CMakeFiles/rewrite_tests.dir/rewrite/cba_canonical_test.cc.o.d"
+  "CMakeFiles/rewrite_tests.dir/rewrite/comp_simplify_test.cc.o"
+  "CMakeFiles/rewrite_tests.dir/rewrite/comp_simplify_test.cc.o.d"
+  "CMakeFiles/rewrite_tests.dir/rewrite/oj_simplify_test.cc.o"
+  "CMakeFiles/rewrite_tests.dir/rewrite/oj_simplify_test.cc.o.d"
+  "CMakeFiles/rewrite_tests.dir/rewrite/paper_examples_test.cc.o"
+  "CMakeFiles/rewrite_tests.dir/rewrite/paper_examples_test.cc.o.d"
+  "CMakeFiles/rewrite_tests.dir/rewrite/paper_rules_test.cc.o"
+  "CMakeFiles/rewrite_tests.dir/rewrite/paper_rules_test.cc.o.d"
+  "CMakeFiles/rewrite_tests.dir/rewrite/pull_rules_test.cc.o"
+  "CMakeFiles/rewrite_tests.dir/rewrite/pull_rules_test.cc.o.d"
+  "CMakeFiles/rewrite_tests.dir/rewrite/swap_test.cc.o"
+  "CMakeFiles/rewrite_tests.dir/rewrite/swap_test.cc.o.d"
+  "rewrite_tests"
+  "rewrite_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlgen_tests.dir/sqlgen/sqlgen_test.cc.o"
+  "CMakeFiles/sqlgen_tests.dir/sqlgen/sqlgen_test.cc.o.d"
+  "sqlgen_tests"
+  "sqlgen_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlgen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

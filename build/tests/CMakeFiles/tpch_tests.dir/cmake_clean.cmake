@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_tests.dir/tpch/tpch_test.cc.o"
+  "CMakeFiles/tpch_tests.dir/tpch/tpch_test.cc.o.d"
+  "tpch_tests"
+  "tpch_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(base_tests "/root/repo/build/tests/base_tests")
+set_tests_properties(base_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;eca_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(exec_tests "/root/repo/build/tests/exec_tests")
+set_tests_properties(exec_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;25;eca_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cost_tests "/root/repo/build/tests/cost_tests")
+set_tests_properties(cost_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;34;eca_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rewrite_tests "/root/repo/build/tests/rewrite_tests")
+set_tests_properties(rewrite_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;39;eca_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(enumerate_tests "/root/repo/build/tests/enumerate_tests")
+set_tests_properties(enumerate_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;50;eca_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tpch_tests "/root/repo/build/tests/tpch_tests")
+set_tests_properties(tpch_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;59;eca_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sqlgen_tests "/root/repo/build/tests/sqlgen_tests")
+set_tests_properties(sqlgen_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;64;eca_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(facade_tests "/root/repo/build/tests/facade_tests")
+set_tests_properties(facade_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;69;eca_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecatool.dir/ecatool.cc.o"
+  "CMakeFiles/ecatool.dir/ecatool.cc.o.d"
+  "ecatool"
+  "ecatool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecatool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
