@@ -6,6 +6,54 @@ namespace eca {
 
 namespace {
 
+// Checks that every column a scalar references exists in its base
+// relation's schema. Execution aborts on unresolved columns (they are a
+// programming error there); validation turns them into reportable
+// problems for externally-supplied plans.
+void CheckScalarColumns(const Scalar* s, const std::vector<Schema>& base,
+                        const std::string& pred_name,
+                        std::vector<std::string>* problems) {
+  if (s == nullptr) return;
+  switch (s->kind()) {
+    case Scalar::Kind::kColumn: {
+      int rel = s->rel_id();
+      if (rel < 0 || rel >= static_cast<int>(base.size())) {
+        problems->push_back(StrFormat(
+            "predicate %s references R%d, outside the database's %d "
+            "relation(s)",
+            pred_name.c_str(), rel, static_cast<int>(base.size())));
+        return;
+      }
+      StatusOr<int> idx = base[static_cast<size_t>(rel)].ResolveColumn(
+          rel, s->column_name());
+      if (!idx.ok()) {
+        problems->push_back("predicate " + pred_name + ": " +
+                            idx.status().message());
+      }
+      return;
+    }
+    case Scalar::Kind::kConst:
+      return;
+    case Scalar::Kind::kArith:
+      CheckScalarColumns(s->left().get(), base, pred_name, problems);
+      CheckScalarColumns(s->right().get(), base, pred_name, problems);
+      return;
+  }
+}
+
+void CheckPredicateColumns(const Predicate* p,
+                           const std::vector<Schema>& base,
+                           std::vector<std::string>* problems) {
+  if (p == nullptr) return;
+  CheckScalarColumns(p->scalar_left().get(), base, p->DisplayName(),
+                     problems);
+  CheckScalarColumns(p->scalar_right().get(), base, p->DisplayName(),
+                     problems);
+  for (const PredRef& c : p->children()) {
+    CheckPredicateColumns(c.get(), base, problems);
+  }
+}
+
 void Visit(const Plan& plan, const std::vector<Schema>& base,
            std::vector<std::string>* problems, RelSet* seen_leaves) {
   switch (plan.kind()) {
@@ -45,6 +93,7 @@ void Visit(const Plan& plan, const std::vector<Schema>& base,
             plan.pred()->refs().ToString() + " but only " +
             visible.ToString() + " is visible");
       }
+      CheckPredicateColumns(plan.pred().get(), base, problems);
       return;
     }
     case Plan::Kind::kComp: {
@@ -60,6 +109,8 @@ void Visit(const Plan& plan, const std::vector<Schema>& base,
                                 c.pred->refs().ToString() +
                                 " outside the child output " +
                                 out.ToString());
+          } else {
+            CheckPredicateColumns(c.pred.get(), base, problems);
           }
           if (!out.Intersects(c.attrs)) {
             problems->push_back("lambda nullifies no visible attribute (" +
@@ -106,6 +157,14 @@ std::vector<std::string> ValidatePlan(const Plan& plan,
   RelSet seen;
   Visit(plan, base, &problems, &seen);
   return problems;
+}
+
+Status ValidatePlanStatus(const Plan& plan,
+                          const std::vector<Schema>& base) {
+  std::vector<std::string> problems = ValidatePlan(plan, base);
+  if (problems.empty()) return Status::OK();
+  return Status::InvalidArgument("invalid plan: " + StrJoin(problems, "; ") +
+                                 "\n" + plan.ToString());
 }
 
 void CheckPlanValid(const Plan& plan, const std::vector<Schema>& base) {

@@ -6,6 +6,7 @@
 
 #include "algebra/plan.h"
 #include "catalog/schema.h"
+#include "common/status.h"
 
 namespace eca {
 
@@ -24,8 +25,14 @@ namespace eca {
 //  - pi keeps a non-empty subset of the child's output
 //  - gamma* actually nullifies something (its keep set does not cover the
 //    whole child output)
+//  - every column referenced by a join/lambda predicate exists in its base
+//    relation's schema (so execution cannot hit an unresolved column)
 std::vector<std::string> ValidatePlan(const Plan& plan,
                                       const std::vector<Schema>& base);
+
+// Status form for propagating callers (the Optimizer facade, tools):
+// INVALID_ARGUMENT joining every problem found, OK when valid.
+Status ValidatePlanStatus(const Plan& plan, const std::vector<Schema>& base);
 
 // Convenience: CHECK-fails with the first problem (for tests).
 void CheckPlanValid(const Plan& plan, const std::vector<Schema>& base);

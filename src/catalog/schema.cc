@@ -11,6 +11,24 @@ Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
   }
 }
 
+StatusOr<Schema> Schema::Make(std::vector<Column> columns) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const Column& c = columns[i];
+    if (c.rel_id < 0 || c.rel_id >= 64) {
+      return Status::OutOfRange(
+          StrFormat("column %zu ('%s'): rel_id %d outside [0, 64)", i,
+                    c.name.c_str(), c.rel_id));
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (columns[j].rel_id == c.rel_id && columns[j].name == c.name) {
+        return Status::InvalidArgument("duplicate column " +
+                                       c.QualifiedName());
+      }
+    }
+  }
+  return Schema(std::move(columns));
+}
+
 int Schema::FindColumn(int rel_id, const std::string& name) const {
   for (size_t i = 0; i < columns_.size(); ++i) {
     if (columns_[i].rel_id == rel_id && columns_[i].name == name) {
@@ -18,6 +36,14 @@ int Schema::FindColumn(int rel_id, const std::string& name) const {
     }
   }
   return -1;
+}
+
+StatusOr<int> Schema::ResolveColumn(int rel_id,
+                                    const std::string& name) const {
+  int idx = FindColumn(rel_id, name);
+  if (idx >= 0) return idx;
+  return Status::NotFound("no column R" + std::to_string(rel_id) + "." +
+                          name + " in schema " + ToString());
 }
 
 std::vector<int> Schema::ColumnsOf(RelSet set) const {

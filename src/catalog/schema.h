@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rel_set.h"
+#include "common/status.h"
 #include "types/value.h"
 
 namespace eca {
@@ -26,7 +27,14 @@ struct Column {
 class Schema {
  public:
   Schema() = default;
+  // Aborts on out-of-range rel_ids: for schemas built by trusted code. For
+  // schemas assembled from user input, use Make().
   explicit Schema(std::vector<Column> columns);
+
+  // Validating factory for externally-supplied column lists: rejects
+  // rel_ids outside [0, 64) and duplicate (rel_id, name) pairs with an
+  // actionable error instead of aborting.
+  static StatusOr<Schema> Make(std::vector<Column> columns);
 
   int NumColumns() const { return static_cast<int>(columns_.size()); }
   const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
@@ -37,6 +45,11 @@ class Schema {
 
   // Index of the column (rel_id, name); -1 if absent.
   int FindColumn(int rel_id, const std::string& name) const;
+
+  // FindColumn with an error channel: NOT_FOUND lists the columns the
+  // schema does have, so a typo'd predicate is diagnosable from the
+  // message alone.
+  StatusOr<int> ResolveColumn(int rel_id, const std::string& name) const;
 
   // Indexes of all columns owned by relations in `set`, in schema order.
   std::vector<int> ColumnsOf(RelSet set) const;

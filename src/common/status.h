@@ -1,0 +1,138 @@
+#ifndef ECA_COMMON_STATUS_H_
+#define ECA_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace eca {
+
+// Error taxonomy for fallible operations. The library does not use
+// exceptions (Google style); operations that can fail on *user input* —
+// malformed data files, hand-built plans, bad CLI arguments, exhausted
+// resource budgets — return Status / StatusOr<T> instead of aborting.
+// ECA_CHECK remains reserved for programming-error invariants.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // malformed input (plan, predicate, CLI flag)
+  kNotFound,           // missing file / table / column
+  kOutOfRange,         // index or id outside its valid domain
+  kResourceExhausted,  // budget or memory limit hit
+  kDataLoss,           // unreadable or truncated data file
+  kInternal,           // invariant violation surfaced as an error
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type carrying success or an (code, message) error.
+// The message of an error Status is never empty: every failure must be
+// actionable for the user who caused it.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status Error(StatusCode code, std::string message) {
+    ECA_DCHECK(code != StatusCode::kOk);
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+  static Status InvalidArgument(std::string message) {
+    return Error(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Error(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Error(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Error(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Error(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Error(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  // Prefixes the message with context ("while reading foo.tbl: ...");
+  // no-op on OK.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Either a T or the Status explaining why there is none. The wrapped
+// Status of a value-holding StatusOr is OK; an error StatusOr never holds
+// a value. value() on an error is a programming error and CHECK-fails.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value)  // NOLINT: implicit by design, mirrors absl::StatusOr
+      : value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT
+      : status_(std::move(status)) {
+    ECA_CHECK_MSG(!status_.ok(), "OK status used to construct StatusOr");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    ECA_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& value() & {
+    ECA_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    ECA_CHECK_MSG(ok(), status_.message().c_str());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagation helpers, usable in any function returning Status or
+// StatusOr<T> (both convert from Status).
+#define ECA_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::eca::Status eca_status_ = (expr);        \
+    if (!eca_status_.ok()) return eca_status_; \
+  } while (0)
+
+#define ECA_STATUS_CONCAT_INNER_(a, b) a##b
+#define ECA_STATUS_CONCAT_(a, b) ECA_STATUS_CONCAT_INNER_(a, b)
+
+#define ECA_ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto ECA_STATUS_CONCAT_(eca_statusor_, __LINE__) = (expr);         \
+  if (!ECA_STATUS_CONCAT_(eca_statusor_, __LINE__).ok()) {           \
+    return ECA_STATUS_CONCAT_(eca_statusor_, __LINE__).status();     \
+  }                                                                  \
+  lhs = std::move(ECA_STATUS_CONCAT_(eca_statusor_, __LINE__)).value()
+
+}  // namespace eca
+
+#endif  // ECA_COMMON_STATUS_H_

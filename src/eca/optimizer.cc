@@ -1,5 +1,8 @@
 #include "eca/optimizer.h"
 
+#include <cctype>
+
+#include "algebra/validate.h"
 #include "common/str_util.h"
 #include "rewrite/comp_simplify.h"
 
@@ -11,6 +14,7 @@ Optimizer::Optimized Optimizer::Optimize(const Plan& query,
   EnumeratorOptions opts;
   opts.policy = policy();
   opts.reuse_subplans = options_.reuse_subplans;
+  opts.budget = options_.budget;
   TopDownEnumerator enumerator(&cost, opts);
   auto result = enumerator.Optimize(query);
   Optimized out;
@@ -21,6 +25,45 @@ Optimizer::Optimized Optimizer::Optimize(const Plan& query,
   out.estimated_cost = cost.Cost(*out.plan);
   out.stats = result.stats;
   return out;
+}
+
+StatusOr<Optimizer::Optimized> Optimizer::OptimizeChecked(
+    const Plan& query, const Database& db) const {
+  ECA_RETURN_IF_ERROR(
+      ValidatePlanStatus(query, db.BaseSchemas()).WithContext("Optimize"));
+  return Optimize(query, db);
+}
+
+StatusOr<Relation> Optimizer::ExecuteChecked(const Plan& plan,
+                                             const Database& db) const {
+  ECA_RETURN_IF_ERROR(
+      ValidatePlanStatus(plan, db.BaseSchemas()).WithContext("Execute"));
+  return Execute(plan, db);
+}
+
+StatusOr<Optimizer::Approach> Optimizer::ParseApproach(
+    const std::string& name) {
+  std::string lower;
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "eca") return Approach::kECA;
+  if (lower == "tba") return Approach::kTBA;
+  if (lower == "cba") return Approach::kCBA;
+  return Status::InvalidArgument("unknown approach '" + name +
+                                 "' (expected eca, tba or cba)");
+}
+
+const char* Optimizer::ApproachName(Approach approach) {
+  switch (approach) {
+    case Approach::kECA:
+      return "ECA";
+    case Approach::kTBA:
+      return "TBA";
+    case Approach::kCBA:
+      return "CBA";
+  }
+  return "unknown";
 }
 
 PlanPtr Optimizer::Reorder(const Plan& query,

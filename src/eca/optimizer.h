@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "cost/cost_model.h"
 #include "enumerate/enumerator.h"
 #include "enumerate/realize.h"
@@ -37,6 +38,11 @@ class Optimizer {
     // Run the compensation cleanup pass on the chosen plan (removes
     // identity projections, redundant best-matches, ...).
     bool cleanup_compensations = true;
+    // Resource budget for the enumeration (default unlimited). On
+    // exhaustion Optimize degrades gracefully: it returns the best
+    // complete plan found so far, or the query as written, and reports
+    // stats.degraded plus the trigger. See docs/robustness.md.
+    EnumeratorBudget budget;
   };
 
   Optimizer() : Optimizer(Options()) {}
@@ -49,7 +55,26 @@ class Optimizer {
   };
 
   // Cost-based join reordering of `query` over `db`'s statistics.
+  // `query` must be well formed (CHECK-fails otherwise); for plans built
+  // from user input, use OptimizeChecked.
   Optimized Optimize(const Plan& query, const Database& db) const;
+
+  // Validating front door for externally-supplied plans: rejects plans
+  // that reference missing relations/columns or violate the structural
+  // invariants of ValidatePlan with INVALID_ARGUMENT instead of aborting.
+  // On success, behaves exactly like Optimize (including budget-degraded
+  // results — a degraded plan is a valid plan, not an error).
+  StatusOr<Optimized> OptimizeChecked(const Plan& query,
+                                      const Database& db) const;
+
+  // Validating counterpart of Execute for externally-supplied plans.
+  StatusOr<Relation> ExecuteChecked(const Plan& plan,
+                                    const Database& db) const;
+
+  // "eca" / "tba" / "cba" (case-insensitive) -> Approach; the error lists
+  // the valid names.
+  static StatusOr<Approach> ParseApproach(const std::string& name);
+  static const char* ApproachName(Approach approach);
 
   // Rewrites `query` to follow the join ordering `theta` (Section 3's
   // theta-reorderability); nullptr if unreachable under the approach.

@@ -1,15 +1,23 @@
 #include "enumerate/enumerator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "rewrite/oj_simplify.h"
+#include "testing/fault_injection.h"
 
 namespace eca {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Collects the display names of the join predicates inside `sub`.
 void CollectJoinPredNames(const Plan* sub, std::set<std::string>* out) {
@@ -56,6 +64,54 @@ void RemapVnodes(Plan* node, int offset) {
 }
 
 }  // namespace
+
+const char* BudgetTriggerName(BudgetTrigger trigger) {
+  switch (trigger) {
+    case BudgetTrigger::kNone:
+      return "none";
+    case BudgetTrigger::kEnumeratedNodes:
+      return "max_enumerated_nodes";
+    case BudgetTrigger::kMemoEntries:
+      return "max_memo_entries";
+    case BudgetTrigger::kWallClock:
+      return "wall_clock_ms";
+    case BudgetTrigger::kInjectedFault:
+      return "injected-budget-fault";
+    case BudgetTrigger::kAllocationFault:
+      return "injected-allocation-fault";
+    case BudgetTrigger::kRewriteFault:
+      return "injected-rewrite-fault";
+  }
+  return "unknown";
+}
+
+void TopDownEnumerator::Trip(BudgetTrigger trigger, bool hard) {
+  // The first trigger wins the report; later ones add no information.
+  if (!stats_.degraded) {
+    stats_.degraded = true;
+    stats_.trigger = trigger;
+  }
+  if (hard) stop_ = true;
+}
+
+bool TopDownEnumerator::Exhausted() {
+  if (stop_) return true;
+  if (FaultInjector::ShouldFail(FaultPoint::kEnumeratorBudget)) {
+    Trip(BudgetTrigger::kInjectedFault, /*hard=*/true);
+    return true;
+  }
+  const EnumeratorBudget& b = options_.budget;
+  if (b.max_enumerated_nodes > 0 &&
+      stats_.subplan_calls >= b.max_enumerated_nodes) {
+    Trip(BudgetTrigger::kEnumeratedNodes, /*hard=*/true);
+    return true;
+  }
+  if (deadline_ms_ > 0 && SteadyNowMs() >= deadline_ms_) {
+    Trip(BudgetTrigger::kWallClock, /*hard=*/true);
+    return true;
+  }
+  return false;
+}
 
 double TopDownEnumerator::SubtreeCost(const APlan& p, RelSet s) const {
   const Plan* sub = SubtreeOf(p.root.get(), s);
@@ -116,6 +172,13 @@ void TopDownEnumerator::UpdateBestPlan(
       return;
     }
   }
+  if (options_.budget.max_memo_entries > 0 &&
+      stats_.cache_entries >= options_.budget.max_memo_entries) {
+    // Memo full: keep searching without caching this subplan. The search
+    // stays exhaustive (soft trigger), it just loses reuse opportunities.
+    Trip(BudgetTrigger::kMemoEntries, /*hard=*/false);
+    return;
+  }
   entries.push_back({p.Clone(), cost, ext_keys});
   ++stats_.cache_entries;
 }
@@ -155,6 +218,7 @@ void TopDownEnumerator::GraftSubplan(APlan* p, RelSet s,
 
 TopDownEnumerator::APlan TopDownEnumerator::GenerateSubplan(
     APlan p, const std::optional<NodePath>& i_path, RelSet s) {
+  if (Exhausted()) return APlan();
   ++stats_.subplan_calls;
   if (s.Count() <= 1) {
     // Best access path: a scan of the base relation (the only access path
@@ -177,6 +241,13 @@ TopDownEnumerator::APlan TopDownEnumerator::GenerateSubplan(
 
   std::vector<JoinablePair> pairs = JoinablePairs(p.root.get(), s);
   for (const JoinablePair& pair : pairs) {
+    if (Exhausted()) break;
+    if (FaultInjector::ShouldFail(FaultPoint::kAllocation)) {
+      // Simulated clone-allocation failure: stop expanding this search
+      // branch and settle for the best plan found so far.
+      Trip(BudgetTrigger::kAllocationFault, /*hard=*/true);
+      break;
+    }
     ++stats_.pairs_considered;
     APlan work = p.Clone();
     // Re-locate the pair's join node in the clone.
@@ -197,7 +268,14 @@ TopDownEnumerator::APlan TopDownEnumerator::GenerateSubplan(
     int guard = 0;
     while (ParentJoin(work.root.get(), j) != i_node) {
       ++stats_.swaps_attempted;
-      Plan* risen = SwapUp(work.root, j, &work.ctx);
+      Plan* risen = nullptr;
+      if (FaultInjector::ShouldFail(FaultPoint::kRewriteRule)) {
+        // Simulated rewrite-rule failure: the swap is reported infeasible
+        // (soft trigger — other decompositions may still complete).
+        Trip(BudgetTrigger::kRewriteFault, /*hard=*/false);
+      } else {
+        risen = SwapUp(work.root, j, &work.ctx);
+      }
       if (risen == nullptr) {
         ++stats_.swaps_failed;
         feasible = false;
@@ -242,6 +320,10 @@ TopDownEnumerator::APlan TopDownEnumerator::GenerateSubplan(
 TopDownEnumerator::Result TopDownEnumerator::Optimize(const Plan& query) {
   stats_ = EnumeratorStats();
   cache_.clear();
+  stop_ = false;
+  deadline_ms_ = options_.budget.wall_clock_ms > 0
+                     ? SteadyNowMs() + options_.budget.wall_clock_ms
+                     : 0;
 
   APlan init;
   init.root = query.Clone();
@@ -254,8 +336,10 @@ TopDownEnumerator::Result TopDownEnumerator::Optimize(const Plan& query) {
   Result result;
   result.stats = stats_;
   if (best.root == nullptr) {
-    // No feasible reordering at the top (can happen for single-relation
-    // queries or fully blocked swaps): fall back to the initial plan.
+    // No complete plan: either no feasible reordering exists at the top
+    // (single-relation queries, fully blocked swaps) or the budget ran
+    // out before one was found. Fall back to the query as written —
+    // always executable and trivially correct.
     result.plan = query.Clone();
     result.cost = cost_->Cost(*result.plan);
     return result;

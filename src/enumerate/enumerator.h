@@ -15,6 +15,38 @@
 
 namespace eca {
 
+// Hard resource limits for one Optimize() call. Enumeration cost grows
+// explosively with query size, so a production deployment caps the search
+// and accepts the best plan found so far (or, when nothing complete was
+// found, the query as written). A field <= 0 means unlimited.
+struct EnumeratorBudget {
+  // Cap on GenerateSubplan invocations (the enumerated search-tree nodes).
+  int64_t max_enumerated_nodes = 0;
+  // Cap on memo entries; when reached, the search continues but stops
+  // caching new subplans (bounds memory, costs reuse opportunities).
+  int64_t max_memo_entries = 0;
+  // Wall-clock deadline for the whole enumeration.
+  int64_t wall_clock_ms = 0;
+
+  bool Unlimited() const {
+    return max_enumerated_nodes <= 0 && max_memo_entries <= 0 &&
+           wall_clock_ms <= 0;
+  }
+};
+
+// What cut the search short (EnumeratorStats::trigger).
+enum class BudgetTrigger {
+  kNone = 0,
+  kEnumeratedNodes,  // EnumeratorBudget::max_enumerated_nodes reached
+  kMemoEntries,      // memo capped: search completed without full reuse
+  kWallClock,        // deadline passed
+  kInjectedFault,    // FaultPoint::kEnumeratorBudget fired
+  kAllocationFault,  // FaultPoint::kAllocation fired (clone denied)
+  kRewriteFault,     // FaultPoint::kRewriteRule fired (swap denied)
+};
+
+const char* BudgetTriggerName(BudgetTrigger trigger);
+
 // Configuration for the top-down plan enumerator (Section 5).
 struct EnumeratorOptions {
   // Which rewrite arsenal Swap may use — the paper's ECA, or the TBA / CBA
@@ -30,6 +62,8 @@ struct EnumeratorOptions {
   // bench_ablation_dedges and the corresponding test to demonstrate that
   // naive reuse produces plans that are NOT equivalent to the query.
   bool unsafe_ignore_dedges = false;
+  // Resource limits; default unlimited (exhaustive enumeration).
+  EnumeratorBudget budget;
 };
 
 struct EnumeratorStats {
@@ -40,6 +74,10 @@ struct EnumeratorStats {
   int64_t plans_completed = 0;  // complete plans costed at the top level
   int64_t reuses = 0;
   int64_t cache_entries = 0;
+  // True when the search was cut short (budget or injected fault): the
+  // returned plan is correct but possibly not the enumeration optimum.
+  bool degraded = false;
+  BudgetTrigger trigger = BudgetTrigger::kNone;
 };
 
 // Top-down plan enumeration with compensation operators (Algorithms 1-6).
@@ -56,7 +94,9 @@ class TopDownEnumerator {
       : cost_(cost_model), options_(options) {}
 
   struct Result {
-    PlanPtr plan;          // best complete plan (null if enumeration failed)
+    // Never null: on budget exhaustion with no complete plan, falls back
+    // to the query as written (stats.degraded tells the two apart).
+    PlanPtr plan;
     double cost = 0;
     EnumeratorStats stats;
   };
@@ -96,9 +136,18 @@ class TopDownEnumerator {
   // compensation-group ids and dependency edges.
   void GraftSubplan(APlan* p, RelSet s, const APlan& best) const;
 
+  // Budget enforcement: records `trigger` as the degradation cause; a
+  // hard trigger additionally stops the search (Exhausted() turns true).
+  void Trip(BudgetTrigger trigger, bool hard);
+  // True once the search must stop — budget spent, deadline passed, or a
+  // budget/allocation fault injected. Rechecks the budget on every call.
+  bool Exhausted();
+
   const CostModel* cost_;
   EnumeratorOptions options_;
   EnumeratorStats stats_;
+  bool stop_ = false;  // hard budget trigger seen; unwind the search
+  int64_t deadline_ms_ = 0;  // absolute steady-clock deadline (0 = none)
 
   struct CacheEntry {
     APlan plan;

@@ -1,11 +1,29 @@
 #include "storage/csv.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/str_util.h"
 
 namespace eca {
+
+namespace {
+
+// "<source>:<line>: column 'R0.a' (field 3): <what>" — every parse error
+// names the exact cell so a bad export can be fixed without a debugger.
+Status RowError(const std::string& source, int64_t line_no,
+                const Schema& schema, int col, const std::string& what) {
+  std::string where = source + ":" + std::to_string(line_no);
+  if (col >= 0 && col < schema.NumColumns()) {
+    where += ": column '" + schema.column(col).QualifiedName() + "' (field " +
+             std::to_string(col + 1) + ")";
+  }
+  return Status::InvalidArgument(where + ": " + what);
+}
+
+}  // namespace
 
 std::string RelationToTbl(const Relation& rel) {
   std::string out;
@@ -37,14 +55,19 @@ std::string RelationToTbl(const Relation& rel) {
   return out;
 }
 
-Relation RelationFromTbl(const Schema& schema, const std::string& text) {
+StatusOr<Relation> RelationFromTbl(const Schema& schema,
+                                   const std::string& text,
+                                   const std::string& source) {
   Relation rel(schema);
   size_t pos = 0;
+  int64_t line_no = 0;
   while (pos < text.size()) {
     size_t eol = text.find('\n', pos);
-    if (eol == std::string::npos) eol = text.size();
+    bool truncated = eol == std::string::npos;  // last line, no newline
+    if (truncated) eol = text.size();
     std::string line = text.substr(pos, eol - pos);
     pos = eol + 1;
+    ++line_no;
     // An empty line is a legitimate row only for a single string column
     // (the empty string); otherwise it is inter-row noise.
     if (line.empty() &&
@@ -56,10 +79,22 @@ Relation RelationFromTbl(const Schema& schema, const std::string& text) {
     t.reserve(static_cast<size_t>(schema.NumColumns()));
     size_t field_start = 0;
     for (int c = 0; c < schema.NumColumns(); ++c) {
-      size_t sep = c + 1 < schema.NumColumns()
-                       ? line.find('|', field_start)
-                       : line.size();
-      ECA_CHECK_MSG(sep != std::string::npos, "row has too few fields");
+      bool last = c + 1 == schema.NumColumns();
+      size_t sep = last ? line.size() : line.find('|', field_start);
+      if (sep == std::string::npos) {
+        // Fields 0..c are present (c's content runs to end of line), so
+        // the first missing column is c + 1.
+        return RowError(
+            source, line_no, schema, c + 1,
+            StrFormat("row has %d field(s), schema expects %d%s", c + 1,
+                      schema.NumColumns(),
+                      truncated ? " (file truncated mid-row?)" : ""));
+      }
+      if (last && line.find('|', field_start) != std::string::npos) {
+        return RowError(source, line_no, schema, c,
+                        StrFormat("row has more fields than the schema's %d",
+                                  schema.NumColumns()));
+      }
       std::string field = line.substr(field_start, sep - field_start);
       field_start = sep + 1;
       DataType type = schema.column(c).type;
@@ -67,13 +102,28 @@ Relation RelationFromTbl(const Schema& schema, const std::string& text) {
         t.push_back(Value::Null(type));
         continue;
       }
+      char* end = nullptr;
       switch (type) {
-        case DataType::kInt64:
-          t.push_back(Value::Int(std::strtoll(field.c_str(), nullptr, 10)));
+        case DataType::kInt64: {
+          errno = 0;
+          long long v = std::strtoll(field.c_str(), &end, 10);
+          if (end == field.c_str() || *end != '\0' || errno == ERANGE) {
+            return RowError(source, line_no, schema, c,
+                            "cannot parse '" + field + "' as int64");
+          }
+          t.push_back(Value::Int(v));
           break;
-        case DataType::kDouble:
-          t.push_back(Value::Real(std::strtod(field.c_str(), nullptr)));
+        }
+        case DataType::kDouble: {
+          errno = 0;
+          double v = std::strtod(field.c_str(), &end);
+          if (end == field.c_str() || *end != '\0') {
+            return RowError(source, line_no, schema, c,
+                            "cannot parse '" + field + "' as double");
+          }
+          t.push_back(Value::Real(v));
           break;
+        }
         case DataType::kString:
           t.push_back(Value::Str(std::move(field)));
           break;
@@ -93,19 +143,26 @@ bool WriteRelationFile(const std::string& path, const Relation& rel) {
   return written == data.size();
 }
 
-bool ReadRelationFile(const std::string& path, const Schema& schema,
-                      Relation* out) {
+Status ReadRelationFile(const std::string& path, const Schema& schema,
+                        Relation* out) {
   std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
   std::string data;
   char buf[1 << 16];
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
     data.append(buf, n);
   }
+  bool read_error = std::ferror(f) != 0;
   std::fclose(f);
-  *out = RelationFromTbl(schema, data);
-  return true;
+  if (read_error) {
+    return Status::DataLoss("read error on '" + path + "'");
+  }
+  ECA_ASSIGN_OR_RETURN(*out, RelationFromTbl(schema, data, path));
+  return Status::OK();
 }
 
 }  // namespace eca

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "storage/relation.h"
 
 namespace eca {
@@ -16,14 +17,18 @@ namespace eca {
 // tools; round-trip tested in csv_test.cc.
 std::string RelationToTbl(const Relation& rel);
 
-// Parses `text` against `schema` (types drive value parsing). Aborts on
-// malformed rows via ECA_CHECK — inputs are trusted project files.
-Relation RelationFromTbl(const Schema& schema, const std::string& text);
+// Parses `text` against `schema` (types drive value parsing). Malformed
+// rows — wrong arity, truncated lines, unparseable numerics — produce an
+// error Status carrying source/line/column context; `source` names the
+// input in those messages (a file path, or "<string>").
+StatusOr<Relation> RelationFromTbl(const Schema& schema,
+                                   const std::string& text,
+                                   const std::string& source = "<string>");
 
-// File convenience wrappers; return false on I/O failure.
+// File convenience wrappers.
 bool WriteRelationFile(const std::string& path, const Relation& rel);
-bool ReadRelationFile(const std::string& path, const Schema& schema,
-                      Relation* out);
+Status ReadRelationFile(const std::string& path, const Schema& schema,
+                        Relation* out);
 
 }  // namespace eca
 

@@ -1,0 +1,76 @@
+#include "testing/fault_injection.h"
+
+#include "common/macros.h"
+
+namespace eca {
+
+namespace {
+
+constexpr int kNumPoints = static_cast<int>(FaultPoint::kNumPoints);
+
+struct PointState {
+  bool armed = false;
+  int64_t skip = 0;   // hits to let pass before failing
+  int64_t hits = 0;   // hits observed since Reset
+};
+
+thread_local PointState g_points[kNumPoints];
+
+PointState& StateOf(FaultPoint point) {
+  int idx = static_cast<int>(point);
+  ECA_CHECK(idx >= 0 && idx < kNumPoints);
+  return g_points[idx];
+}
+
+}  // namespace
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kEnumeratorBudget:
+      return "enumerator-budget";
+    case FaultPoint::kRewriteRule:
+      return "rewrite-rule";
+    case FaultPoint::kAllocation:
+      return "allocation";
+    case FaultPoint::kNumPoints:
+      break;
+  }
+  return "unknown";
+}
+
+void FaultInjector::Arm(FaultPoint point, int64_t skip) {
+  PointState& s = StateOf(point);
+  s.armed = true;
+  s.skip = skip;
+}
+
+void FaultInjector::Disarm(FaultPoint point) {
+  PointState& s = StateOf(point);
+  s.armed = false;
+  s.skip = 0;
+}
+
+void FaultInjector::Reset() {
+  for (int i = 0; i < kNumPoints; ++i) {
+    g_points[i] = PointState();
+  }
+}
+
+bool FaultInjector::ShouldFail(FaultPoint point) {
+  PointState& s = StateOf(point);
+  ++s.hits;
+  if (!s.armed) return false;
+  if (s.skip > 0) {
+    --s.skip;
+    return false;
+  }
+  return true;
+}
+
+int64_t FaultInjector::HitCount(FaultPoint point) {
+  return StateOf(point).hits;
+}
+
+bool FaultInjector::IsArmed(FaultPoint point) { return StateOf(point).armed; }
+
+}  // namespace eca

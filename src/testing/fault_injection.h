@@ -1,0 +1,65 @@
+#ifndef ECA_TESTING_FAULT_INJECTION_H_
+#define ECA_TESTING_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+namespace eca {
+
+// Deterministic fault injection for robustness testing. Production code
+// asks ShouldFail(point) at the few places where an external failure can
+// occur (resource budget exhausted, rewrite rule giving up, allocation
+// failure); tests and the differential fuzzer arm a point for the Nth hit
+// and verify that the optimizer degrades gracefully instead of crashing
+// or producing a wrong plan.
+//
+// Disarmed points cost one branch on a thread-local counter, so the hooks
+// stay compiled into release builds (the fuzzer runs against the shipped
+// code, not a special build).
+enum class FaultPoint {
+  kEnumeratorBudget = 0,  // forces budget exhaustion in the enumerator
+  kRewriteRule,           // forces SwapUp to report an infeasible swap
+  kAllocation,            // forces a plan-clone allocation failure
+  kNumPoints,             // sentinel
+};
+
+const char* FaultPointName(FaultPoint point);
+
+// Per-point arming state. All state is thread-local: concurrent fuzzer
+// shards never observe each other's faults.
+class FaultInjector {
+ public:
+  // Arms `point` to fail on its (skip+1)-th upcoming hit and on every hit
+  // after that, until Disarm or Reset.
+  static void Arm(FaultPoint point, int64_t skip = 0);
+  static void Disarm(FaultPoint point);
+  // Disarms every point and zeroes the hit counters.
+  static void Reset();
+
+  // Production-side probe: counts the hit and reports whether the armed
+  // failure fires. Always false for disarmed points.
+  static bool ShouldFail(FaultPoint point);
+
+  // Observability for tests: hits seen since the last Reset.
+  static int64_t HitCount(FaultPoint point);
+  static bool IsArmed(FaultPoint point);
+};
+
+// RAII arming for tests: arms in the constructor, resets the point on
+// destruction.
+class ScopedFault {
+ public:
+  explicit ScopedFault(FaultPoint point, int64_t skip = 0) : point_(point) {
+    FaultInjector::Arm(point_, skip);
+  }
+  ~ScopedFault() { FaultInjector::Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  FaultPoint point_;
+};
+
+}  // namespace eca
+
+#endif  // ECA_TESTING_FAULT_INJECTION_H_

@@ -1,4 +1,6 @@
-// Round-trip tests for the .tbl serialization.
+// Round-trip tests for the .tbl serialization, plus regression coverage
+// for the malformed-input Status paths (wrong arity, truncation, garbage
+// numerics) — none of which may abort.
 
 #include "storage/csv.h"
 
@@ -21,8 +23,9 @@ TEST(CsvTest, RoundTripWithNullsAndTypes) {
                              {I(3), S("gadget"), Value::Null(DataType::kDouble)},
                              {N(), S(""), Value::Real(1e-9)}});
   std::string text = RelationToTbl(r);
-  Relation back = RelationFromTbl(r.schema(), text);
-  ExpectSameRelation(r, back, "tbl round trip");
+  StatusOr<Relation> back = RelationFromTbl(r.schema(), text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameRelation(r, *back, "tbl round trip");
 }
 
 TEST(CsvTest, EmptyStringAndNullDistinct) {
@@ -30,10 +33,11 @@ TEST(CsvTest, EmptyStringAndNullDistinct) {
                             {{S("")}, {N()}});
   std::string text = RelationToTbl(r);
   EXPECT_NE(text.find("\\N"), std::string::npos);
-  Relation back = RelationFromTbl(r.schema(), text);
-  ASSERT_EQ(back.NumRows(), 2);
-  EXPECT_FALSE(back.rows()[0][0].is_null());
-  EXPECT_TRUE(back.rows()[1][0].is_null());
+  StatusOr<Relation> back = RelationFromTbl(r.schema(), text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NumRows(), 2);
+  EXPECT_FALSE(back->rows()[0][0].is_null());
+  EXPECT_TRUE(back->rows()[1][0].is_null());
 }
 
 TEST(CsvTest, RandomRelationsRoundTrip) {
@@ -43,8 +47,9 @@ TEST(CsvTest, RandomRelationsRoundTrip) {
     opts.null_prob = 0.3;
     opts.max_rows = 30;
     Relation r = RandomRelation(rng, 0, opts);
-    Relation back = RelationFromTbl(r.schema(), RelationToTbl(r));
-    ExpectSameRelation(r, back);
+    StatusOr<Relation> back = RelationFromTbl(r.schema(), RelationToTbl(r));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ExpectSameRelation(r, *back);
   }
 }
 
@@ -53,15 +58,80 @@ TEST(CsvTest, FileRoundTrip) {
   std::string path = ::testing::TempDir() + "/eca_supplier.tbl";
   ASSERT_TRUE(WriteRelationFile(path, data.supplier));
   Relation back;
-  ASSERT_TRUE(ReadRelationFile(path, data.supplier.schema(), &back));
+  Status s = ReadRelationFile(path, data.supplier.schema(), &back);
+  ASSERT_TRUE(s.ok()) << s.ToString();
   ExpectSameRelation(data.supplier, back, "file round trip");
   std::remove(path.c_str());
 }
 
 TEST(CsvTest, MissingFileFails) {
   Relation out;
-  EXPECT_FALSE(ReadRelationFile("/nonexistent/path/x.tbl",
-                                Schema({{0, "a", DataType::kInt64}}), &out));
+  Status s = ReadRelationFile("/nonexistent/path/x.tbl",
+                              Schema({{0, "a", DataType::kInt64}}), &out);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("/nonexistent/path/x.tbl"), std::string::npos);
+}
+
+// ---- malformed-input regression fixtures ---------------------------------
+
+Schema TwoIntCols() {
+  return Schema({{0, "k", DataType::kInt64}, {0, "a", DataType::kInt64}});
+}
+
+TEST(CsvMalformedTest, WrongArityTooFewFields) {
+  // Second row lost a field — the error names source, line and field.
+  StatusOr<Relation> r =
+      RelationFromTbl(TwoIntCols(), "1|2\n3\n", "fixture.tbl");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("fixture.tbl:2"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("R0.a"), std::string::npos);
+}
+
+TEST(CsvMalformedTest, WrongArityTooManyFields) {
+  StatusOr<Relation> r =
+      RelationFromTbl(TwoIntCols(), "1|2|3\n", "fixture.tbl");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("more fields"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvMalformedTest, TruncatedFinalRow) {
+  // File cut off mid-row: last line has no newline and too few fields.
+  StatusOr<Relation> r =
+      RelationFromTbl(TwoIntCols(), "1|2\n3", "trunc.tbl");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("trunc.tbl:2"), std::string::npos);
+}
+
+TEST(CsvMalformedTest, GarbageNumericField) {
+  StatusOr<Relation> r =
+      RelationFromTbl(TwoIntCols(), "1|banana\n", "fixture.tbl");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("'banana'"), std::string::npos)
+      << r.status().ToString();
+
+  Schema dbl({{0, "x", DataType::kDouble}});
+  StatusOr<Relation> r2 = RelationFromTbl(dbl, "1.5x\n", "fixture.tbl");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("as double"), std::string::npos);
+}
+
+TEST(CsvMalformedTest, MalformedFileReportsPath) {
+  std::string path = ::testing::TempDir() + "/eca_malformed.tbl";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1|2\nnot-a-number|7\n", f);
+  std::fclose(f);
+  Relation out;
+  Status s = ReadRelationFile(path, TwoIntCols(), &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(path + ":2"), std::string::npos)
+      << s.ToString();
+  std::remove(path.c_str());
 }
 
 }  // namespace

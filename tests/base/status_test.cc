@@ -1,0 +1,122 @@
+// Tests for the Status / StatusOr error-propagation layer.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "testing/fault_injection.h"
+
+namespace eca {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad plan");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad plan");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad plan");
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status s = Status::NotFound("no column R0.z").WithContext("while binding");
+  EXPECT_EQ(s.message(), "while binding: no column R0.z");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode c : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                       StatusCode::kNotFound, StatusCode::kOutOfRange,
+                       StatusCode::kResourceExhausted, StatusCode::kDataLoss,
+                       StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "UNKNOWN");
+  }
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+Status UseParsed(int x, int* out) {
+  ECA_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, ValueAndErrorStates) {
+  StatusOr<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+
+  StatusOr<int> bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, PropagationMacros) {
+  int out = 0;
+  EXPECT_TRUE(UseParsed(4, &out).ok());
+  EXPECT_EQ(out, 8);
+  Status s = UseParsed(0, &out);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, 8);  // untouched on error
+}
+
+TEST(StatusOrTest, MoveOnlyPayload) {
+  StatusOr<std::unique_ptr<int>> p = std::make_unique<int>(7);
+  ASSERT_TRUE(p.ok());
+  std::unique_ptr<int> owned = std::move(p).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(FaultInjectionTest, DisarmedNeverFires) {
+  FaultInjector::Reset();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(FaultInjector::ShouldFail(FaultPoint::kAllocation));
+  }
+  EXPECT_EQ(FaultInjector::HitCount(FaultPoint::kAllocation), 100);
+  FaultInjector::Reset();
+}
+
+TEST(FaultInjectionTest, SkipCountsThenFailsPersistently) {
+  FaultInjector::Reset();
+  FaultInjector::Arm(FaultPoint::kRewriteRule, /*skip=*/2);
+  EXPECT_FALSE(FaultInjector::ShouldFail(FaultPoint::kRewriteRule));
+  EXPECT_FALSE(FaultInjector::ShouldFail(FaultPoint::kRewriteRule));
+  EXPECT_TRUE(FaultInjector::ShouldFail(FaultPoint::kRewriteRule));
+  EXPECT_TRUE(FaultInjector::ShouldFail(FaultPoint::kRewriteRule));
+  FaultInjector::Disarm(FaultPoint::kRewriteRule);
+  EXPECT_FALSE(FaultInjector::ShouldFail(FaultPoint::kRewriteRule));
+  FaultInjector::Reset();
+}
+
+TEST(FaultInjectionTest, ScopedFaultRestores) {
+  FaultInjector::Reset();
+  {
+    ScopedFault fault(FaultPoint::kEnumeratorBudget);
+    EXPECT_TRUE(FaultInjector::ShouldFail(FaultPoint::kEnumeratorBudget));
+  }
+  EXPECT_FALSE(FaultInjector::ShouldFail(FaultPoint::kEnumeratorBudget));
+  FaultInjector::Reset();
+}
+
+TEST(FaultInjectionTest, PointsHaveNames) {
+  EXPECT_STREQ(FaultPointName(FaultPoint::kEnumeratorBudget),
+               "enumerator-budget");
+  EXPECT_STREQ(FaultPointName(FaultPoint::kRewriteRule), "rewrite-rule");
+  EXPECT_STREQ(FaultPointName(FaultPoint::kAllocation), "allocation");
+}
+
+}  // namespace
+}  // namespace eca

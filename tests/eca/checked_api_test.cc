@@ -1,0 +1,120 @@
+// Tests for the validating Optimizer entry points: malformed user input
+// must come back as Status errors, never aborts.
+
+#include <gtest/gtest.h>
+
+#include "algebra/plan_parser.h"
+#include "algebra/validate.h"
+#include "eca/optimizer.h"
+#include "testing/random_data.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+Database SmallDb(int rels) {
+  Rng rng(99);
+  RandomDataOptions opts;
+  opts.min_rows = 2;
+  opts.max_rows = 4;
+  opts.empty_prob = 0;
+  return RandomDatabase(rng, rels, opts);
+}
+
+TEST(CheckedApiTest, ValidQueryOptimizesAndExecutes) {
+  Database db = SmallDb(3);
+  PlanPtr q = Plan::Join(
+      JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a", "p01"),
+      Plan::Join(JoinOp::kInner, EquiJoin(1, "b", 2, "b", "p12"),
+                 Plan::Leaf(1), Plan::Leaf(2)),
+      Plan::Leaf(0));
+  Optimizer opt;
+  auto best = opt.OptimizeChecked(*q, db);
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  auto direct = opt.ExecuteChecked(*q, db);
+  auto optimized = opt.ExecuteChecked(*best->plan, db);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  ExpectSameRelation(*direct, *optimized, "checked round trip");
+}
+
+TEST(CheckedApiTest, LeafOutsideDatabaseIsInvalidArgument) {
+  Database db = SmallDb(2);
+  // R7 does not exist in a 2-table database.
+  PlanPtr q = Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 7, "a", "p07"),
+                         Plan::Leaf(0), Plan::Leaf(7));
+  Optimizer opt;
+  auto best = opt.OptimizeChecked(*q, db);
+  ASSERT_FALSE(best.ok());
+  EXPECT_EQ(best.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(best.status().message().find("rel_id 7"), std::string::npos)
+      << best.status().ToString();
+}
+
+TEST(CheckedApiTest, DuplicateLeafIsInvalidArgument) {
+  Database db = SmallDb(2);
+  PlanPtr q = Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 0, "b", "p00"),
+                         Plan::Leaf(0), Plan::Leaf(0));
+  Optimizer opt;
+  auto best = opt.OptimizeChecked(*q, db);
+  ASSERT_FALSE(best.ok());
+  EXPECT_NE(best.status().message().find("more than one leaf"),
+            std::string::npos)
+      << best.status().ToString();
+}
+
+TEST(CheckedApiTest, UnknownColumnIsReportedWithCandidates) {
+  Database db = SmallDb(2);
+  // Column "zz" exists in no relation; execution would abort on the
+  // unresolved column, so validation must catch it first.
+  PlanPtr q = Plan::Join(JoinOp::kInner, EquiJoin(0, "zz", 1, "a", "p01"),
+                         Plan::Leaf(0), Plan::Leaf(1));
+  Optimizer opt;
+  auto best = opt.OptimizeChecked(*q, db);
+  ASSERT_FALSE(best.ok());
+  EXPECT_NE(best.status().message().find("R0.zz"), std::string::npos)
+      << best.status().ToString();
+  auto run = opt.ExecuteChecked(*q, db);
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(CheckedApiTest, HiddenPredicateReferenceIsInvalidArgument) {
+  Database db = SmallDb(3);
+  // p02 references R2, which is not visible under this join.
+  PlanPtr q = Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 2, "a", "p02"),
+                         Plan::Leaf(0), Plan::Leaf(1));
+  Optimizer opt;
+  EXPECT_FALSE(opt.OptimizeChecked(*q, db).ok());
+}
+
+TEST(CheckedApiTest, ParseApproachNamesAndErrors) {
+  EXPECT_EQ(*Optimizer::ParseApproach("eca"), Optimizer::Approach::kECA);
+  EXPECT_EQ(*Optimizer::ParseApproach("TBA"), Optimizer::Approach::kTBA);
+  EXPECT_EQ(*Optimizer::ParseApproach("Cba"), Optimizer::Approach::kCBA);
+  auto bad = Optimizer::ParseApproach("postgres");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("postgres"), std::string::npos);
+  EXPECT_STREQ(Optimizer::ApproachName(Optimizer::Approach::kECA), "ECA");
+}
+
+// A parsed-then-validated pipeline, as tools use it: garbage text fails at
+// the parser, semantically-broken plans fail at validation, and neither
+// path aborts the process.
+TEST(CheckedApiTest, ParserAndValidatorComposeWithoutAborting) {
+  Database db = SmallDb(2);
+  std::map<std::string, PredRef> preds;
+  preds["p01"] = EquiJoin(0, "a", 1, "a", "p01");
+  std::string error;
+  EXPECT_EQ(ParsePlan("(R0 join[p01", preds, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+
+  PlanPtr dup = ParsePlan("(R0 join[p01] R0)", preds, &error);
+  if (dup != nullptr) {
+    Optimizer opt;
+    EXPECT_FALSE(opt.OptimizeChecked(*dup, db).ok());
+  }
+}
+
+}  // namespace
+}  // namespace eca

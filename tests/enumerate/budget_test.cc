@@ -1,0 +1,163 @@
+// Enumeration budgets and graceful degradation: a budget-capped or
+// fault-injected Optimize must still return a plan that executes to the
+// same relation as the unoptimized query, and must say it degraded.
+
+#include <gtest/gtest.h>
+
+#include "eca/optimizer.h"
+#include "enumerate/enumerator.h"
+#include "testing/fault_injection.h"
+#include "testing/random_data.h"
+#include "testing/random_query.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+struct Fixture {
+  Database db;
+  PlanPtr query;
+};
+
+Fixture MakeFixture(int seed, int rels = 4) {
+  Rng rng(static_cast<uint64_t>(seed) * 131 + 7);
+  RandomDataOptions dopts;
+  RandomQueryOptions qopts;
+  qopts.num_rels = rels;
+  Fixture f;
+  f.db = RandomDatabase(rng, rels, dopts);
+  f.query = RandomQuery(rng, qopts, dopts);
+  return f;
+}
+
+// The acceptance bar: max_enumerated_nodes=1 leaves no room to enumerate
+// anything, so the optimizer must fall back to the query as written and
+// flag the degradation.
+TEST(BudgetTest, OneNodeBudgetDegradesToUnreorderedQuery) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Fixture f = MakeFixture(seed);
+    Optimizer::Options opts;
+    opts.budget.max_enumerated_nodes = 1;
+    Optimizer opt(opts);
+    auto best = opt.Optimize(*f.query, f.db);
+    ASSERT_NE(best.plan, nullptr);
+    EXPECT_TRUE(best.stats.degraded);
+    EXPECT_EQ(best.stats.trigger, BudgetTrigger::kEnumeratedNodes);
+    Relation direct = opt.Execute(*f.query, f.db);
+    Relation capped = opt.Execute(*best.plan, f.db);
+    ExpectSameRelation(direct, capped, "1-node budget fallback");
+  }
+}
+
+// Intermediate budgets return the best-so-far complete plan; every budget
+// level must stay result-identical to the query.
+TEST(BudgetTest, EveryNodeBudgetLevelStaysCorrect) {
+  Fixture f = MakeFixture(3);
+  Optimizer unlimited;
+  Relation direct = unlimited.Execute(*f.query, f.db);
+  int64_t full_calls = unlimited.Optimize(*f.query, f.db).stats.subplan_calls;
+  ASSERT_GT(full_calls, 1);
+  for (int64_t cap : {int64_t{1}, int64_t{2}, full_calls / 2, full_calls}) {
+    Optimizer::Options opts;
+    opts.budget.max_enumerated_nodes = cap;
+    Optimizer opt(opts);
+    auto best = opt.Optimize(*f.query, f.db);
+    ASSERT_NE(best.plan, nullptr) << "cap " << cap;
+    EXPECT_LE(best.stats.subplan_calls, cap);
+    Relation capped = opt.Execute(*best.plan, f.db);
+    ExpectSameRelation(direct, capped,
+                       "budget cap " + std::to_string(cap));
+  }
+}
+
+TEST(BudgetTest, UnlimitedBudgetNotDegraded) {
+  Fixture f = MakeFixture(1, 4);
+  Optimizer opt;
+  auto best = opt.Optimize(*f.query, f.db);
+  EXPECT_FALSE(best.stats.degraded);
+  EXPECT_EQ(best.stats.trigger, BudgetTrigger::kNone);
+}
+
+TEST(BudgetTest, MemoCapBoundsCacheAndKeepsSearchingCorrectly) {
+  Fixture f = MakeFixture(2);
+  Optimizer::Options opts;
+  opts.budget.max_memo_entries = 2;
+  Optimizer opt(opts);
+  auto best = opt.Optimize(*f.query, f.db);
+  ASSERT_NE(best.plan, nullptr);
+  EXPECT_LE(best.stats.cache_entries, 2);
+  Relation direct = opt.Execute(*f.query, f.db);
+  Relation capped = opt.Execute(*best.plan, f.db);
+  ExpectSameRelation(direct, capped, "memo-capped optimization");
+}
+
+TEST(BudgetTest, WallClockDeadlineDegrades) {
+  Fixture small = MakeFixture(4);
+  Optimizer::Options opts;
+  opts.budget.wall_clock_ms = -1;  // <= 0 means unlimited...
+  Optimizer opt(opts);
+  EXPECT_FALSE(opt.Optimize(*small.query, small.db).stats.degraded);
+
+  // ...so use the smallest positive deadline and a query big enough that
+  // enumeration cannot finish within it (6 relations). If the machine is
+  // superhumanly fast the test still passes (the plan stays correct), it
+  // just won't degrade.
+  Fixture f = MakeFixture(4, 6);
+  opts.budget.wall_clock_ms = 1;
+  Optimizer timed(opts);
+  auto best = timed.Optimize(*f.query, f.db);
+  ASSERT_NE(best.plan, nullptr);
+  Relation direct = timed.Execute(*f.query, f.db);
+  Relation capped = timed.Execute(*best.plan, f.db);
+  ExpectSameRelation(direct, capped, "deadline-capped optimization");
+  if (best.stats.degraded) {
+    EXPECT_EQ(best.stats.trigger, BudgetTrigger::kWallClock);
+  }
+}
+
+// Each fault-injection point, armed: valid plan, degraded=true, result
+// identical to the unoptimized query (the acceptance criterion).
+TEST(FaultInjectedOptimizeTest, EachPointDegradesGracefully) {
+  for (FaultPoint point : {FaultPoint::kEnumeratorBudget,
+                           FaultPoint::kRewriteRule,
+                           FaultPoint::kAllocation}) {
+    for (int seed = 0; seed < 4; ++seed) {
+      Fixture f = MakeFixture(seed);
+      FaultInjector::Reset();
+      ScopedFault fault(point);
+      Optimizer opt;
+      auto best = opt.Optimize(*f.query, f.db);
+      FaultInjector::Disarm(point);
+      ASSERT_NE(best.plan, nullptr)
+          << FaultPointName(point) << " seed " << seed;
+      EXPECT_TRUE(best.stats.degraded)
+          << FaultPointName(point) << " seed " << seed;
+      Relation direct = opt.Execute(*f.query, f.db);
+      Relation faulted = opt.Execute(*best.plan, f.db);
+      ExpectSameRelation(direct, faulted,
+                         std::string("fault point ") + FaultPointName(point));
+    }
+  }
+  FaultInjector::Reset();
+}
+
+// A fault armed for a later hit (skip > 0) degrades mid-search: the
+// best-so-far plan must be complete and correct.
+TEST(FaultInjectedOptimizeTest, MidSearchFaultKeepsBestSoFar) {
+  for (int seed = 0; seed < 4; ++seed) {
+    Fixture f = MakeFixture(seed);
+    FaultInjector::Reset();
+    ScopedFault fault(FaultPoint::kEnumeratorBudget, /*skip=*/50);
+    Optimizer opt;
+    auto best = opt.Optimize(*f.query, f.db);
+    ASSERT_NE(best.plan, nullptr);
+    Relation direct = opt.Execute(*f.query, f.db);
+    Relation faulted = opt.Execute(*best.plan, f.db);
+    ExpectSameRelation(direct, faulted, "mid-search fault");
+  }
+  FaultInjector::Reset();
+}
+
+}  // namespace
+}  // namespace eca

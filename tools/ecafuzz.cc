@@ -1,0 +1,325 @@
+// ecafuzz — fault-injected differential fuzzer for the optimizer pipeline.
+//
+//   ecafuzz [--queries N] [--seed S] [--max-rels N] [--smoke] [--verbose]
+//
+// Each iteration derives everything from one seed: a random database, a
+// random query, a random approach (ECA / TBA / CBA), a random enumeration
+// budget and randomly armed fault-injection points. The optimized plan is
+// executed against the unoptimized query as a semantic oracle: any
+// divergence is a bug, budget or no budget, fault or no fault. Every
+// fourth iteration additionally mutates the query's plan notation and
+// feeds it through the parse -> validate -> optimize pipeline, which must
+// reject garbage with a Status, never abort.
+//
+// On divergence the failing configuration is minimized (faults dropped,
+// then budgets dropped) and a single-seed repro command is printed.
+//
+//   --smoke   deterministic CI profile: 200 queries, fixed seed, no
+//             wall-clock budgets (those are timing-dependent).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "algebra/plan_parser.h"
+#include "algebra/validate.h"
+#include "common/rng.h"
+#include "eca/optimizer.h"
+#include "exec/executor.h"
+#include "testing/fault_injection.h"
+#include "testing/random_data.h"
+#include "testing/random_query.h"
+
+namespace eca {
+namespace {
+
+struct FuzzConfig {
+  int64_t queries = 500;
+  uint64_t seed = 1;
+  int max_rels = 5;
+  bool smoke = false;
+  bool verbose = false;
+};
+
+// One iteration's randomized setup, minus the data/query (regenerated
+// from the seed on demand so minimization can replay exactly).
+struct TrialSetup {
+  Optimizer::Approach approach = Optimizer::Approach::kECA;
+  bool reuse_subplans = true;
+  EnumeratorBudget budget;
+  // skip counts per fault point; -1 = disarmed.
+  int64_t fault_skip[static_cast<int>(FaultPoint::kNumPoints)] = {-1, -1, -1};
+
+  bool AnyFault() const {
+    for (int64_t s : fault_skip) {
+      if (s >= 0) return true;
+    }
+    return false;
+  }
+  std::string ToString() const {
+    std::string out = std::string("approach=") +
+                      Optimizer::ApproachName(approach) +
+                      (reuse_subplans ? " reuse" : " no-reuse");
+    if (budget.max_enumerated_nodes > 0) {
+      out += " nodes=" + std::to_string(budget.max_enumerated_nodes);
+    }
+    if (budget.max_memo_entries > 0) {
+      out += " memo=" + std::to_string(budget.max_memo_entries);
+    }
+    if (budget.wall_clock_ms > 0) {
+      out += " wall_ms=" + std::to_string(budget.wall_clock_ms);
+    }
+    for (int p = 0; p < static_cast<int>(FaultPoint::kNumPoints); ++p) {
+      if (fault_skip[p] >= 0) {
+        out += std::string(" fault:") +
+               FaultPointName(static_cast<FaultPoint>(p)) + "+" +
+               std::to_string(fault_skip[p]);
+      }
+    }
+    return out;
+  }
+};
+
+struct Trial {
+  Database db;
+  PlanPtr query;
+  TrialSetup setup;
+};
+
+// Deterministically rebuilds iteration `seed`'s world. The data/query
+// stream and the setup stream are drawn from one Rng in a fixed order, so
+// the same seed always means the same trial.
+Trial MakeTrial(uint64_t seed, const FuzzConfig& cfg) {
+  Rng rng(seed * 0x9e3779b9u + 17);
+  Trial t;
+  RandomDataOptions dopts;
+  RandomQueryOptions qopts;
+  qopts.num_rels = static_cast<int>(rng.Uniform(2, cfg.max_rels));
+  qopts.allow_full_outer = rng.Bernoulli(0.15);
+  qopts.tolerant_pred_prob = rng.Bernoulli(0.2) ? 0.3 : 0.0;
+  t.db = RandomDatabase(rng, qopts.num_rels, dopts);
+  t.query = RandomQuery(rng, qopts, dopts);
+
+  TrialSetup& s = t.setup;
+  s.approach = static_cast<Optimizer::Approach>(rng.Uniform(0, 2));
+  s.reuse_subplans = rng.Bernoulli(0.7);
+  if (rng.Bernoulli(0.5)) {
+    // Biased low so the cap actually bites: small queries only enumerate
+    // a handful of nodes, and the nodes=1 extreme is the acceptance case.
+    s.budget.max_enumerated_nodes =
+        rng.Bernoulli(0.4) ? rng.Uniform(1, 8) : rng.Uniform(1, 300);
+  }
+  if (rng.Bernoulli(0.3)) {
+    s.budget.max_memo_entries = rng.Uniform(1, 32);
+  }
+  if (!cfg.smoke && rng.Bernoulli(0.15)) {
+    s.budget.wall_clock_ms = rng.Uniform(1, 4);
+  }
+  for (int p = 0; p < static_cast<int>(FaultPoint::kNumPoints); ++p) {
+    if (rng.Bernoulli(0.25)) {
+      s.fault_skip[p] =
+          rng.Bernoulli(0.5) ? rng.Uniform(0, 8) : rng.Uniform(0, 200);
+    }
+  }
+  return t;
+}
+
+// Runs one optimize-and-compare round. Returns an empty string on
+// success, else a description of the failure.
+std::string RunTrial(const Trial& t, const TrialSetup& setup,
+                     EnumeratorStats* stats_out = nullptr) {
+  FaultInjector::Reset();
+  for (int p = 0; p < static_cast<int>(FaultPoint::kNumPoints); ++p) {
+    if (setup.fault_skip[p] >= 0) {
+      FaultInjector::Arm(static_cast<FaultPoint>(p), setup.fault_skip[p]);
+    }
+  }
+  Optimizer::Options opts;
+  opts.approach = setup.approach;
+  opts.reuse_subplans = setup.reuse_subplans;
+  opts.budget = setup.budget;
+  Optimizer opt(opts);
+  StatusOr<Optimizer::Optimized> best = opt.OptimizeChecked(*t.query, t.db);
+  FaultInjector::Reset();
+  if (!best.ok()) {
+    return "OptimizeChecked failed on a valid query: " +
+           best.status().ToString();
+  }
+  if (best->plan == nullptr) return "Optimize returned a null plan";
+  if (stats_out != nullptr) *stats_out = best->stats;
+
+  Status valid = ValidatePlanStatus(*best->plan, t.db.BaseSchemas());
+  if (!valid.ok()) {
+    return "optimized plan fails validation: " + valid.ToString();
+  }
+  // A one-node budget leaves no room to complete any enumeration: the
+  // result must be flagged degraded.
+  if (setup.budget.max_enumerated_nodes == 1 && !best->stats.degraded) {
+    return "nodes=1 budget did not set stats.degraded";
+  }
+
+  Optimizer plain;  // execute with default options on both sides
+  Relation expect = plain.Execute(*t.query, t.db);
+  Relation got = plain.Execute(*best->plan, t.db);
+  if (!SameMultiset(CanonicalizeColumnOrder(expect),
+                    CanonicalizeColumnOrder(got))) {
+    return "DIVERGENCE: optimized plan result differs from the query\n" +
+           best->plan->ToString();
+  }
+  return "";
+}
+
+// Shrinks a failing setup: drop the faults, then each budget knob, and
+// keep any reduction that still fails. The result is the smallest
+// configuration (for this seed) that reproduces the bug.
+TrialSetup Minimize(const Trial& t, TrialSetup setup) {
+  TrialSetup no_faults = setup;
+  for (int64_t& s : no_faults.fault_skip) s = -1;
+  if (!RunTrial(t, no_faults).empty()) setup = no_faults;
+
+  TrialSetup no_nodes = setup;
+  no_nodes.budget.max_enumerated_nodes = 0;
+  if (!RunTrial(t, no_nodes).empty()) setup = no_nodes;
+
+  TrialSetup no_memo = setup;
+  no_memo.budget.max_memo_entries = 0;
+  if (!RunTrial(t, no_memo).empty()) setup = no_memo;
+
+  TrialSetup no_wall = setup;
+  no_wall.budget.wall_clock_ms = 0;
+  if (!RunTrial(t, no_wall).empty()) setup = no_wall;
+
+  return setup;
+}
+
+// Feeds a mutated copy of the query's plan notation through the
+// parse -> validate -> optimize pipeline. Nothing here may abort; a
+// mutated plan that still parses and validates must stay semantically
+// consistent under optimization.
+std::string RunMutatedNotation(const Trial& t, uint64_t seed) {
+  Rng rng(seed ^ 0xf00dULL);
+  std::string text = t.query->ToInlineString();
+  int edits = static_cast<int>(rng.Uniform(1, 3));
+  for (int e = 0; e < edits && !text.empty(); ++e) {
+    size_t pos = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(text.size()) - 1));
+    switch (rng.Uniform(0, 2)) {
+      case 0:  // truncate
+        text = text.substr(0, pos);
+        break;
+      case 1:  // overwrite with a random structural character
+        text[pos] = "()[]R0123 joxl"[rng.Uniform(0, 13)];
+        break;
+      default:  // duplicate a chunk
+        text = text + text.substr(pos);
+        break;
+    }
+  }
+  std::map<std::string, PredRef> preds;
+  std::vector<Plan*> joins;
+  CollectJoins(t.query.get(), &joins);
+  for (const Plan* j : joins) {
+    if (j->pred() != nullptr && !j->pred()->label().empty()) {
+      preds[j->pred()->label()] = j->pred();
+    }
+  }
+  std::string error;
+  PlanPtr mutated = ParsePlan(text, preds, &error);
+  if (mutated == nullptr) return "";  // rejected at the parser: fine
+  Optimizer opt;
+  StatusOr<Optimizer::Optimized> best = opt.OptimizeChecked(*mutated, t.db);
+  if (!best.ok()) return "";  // rejected at validation: fine
+  Relation expect = opt.Execute(*mutated, t.db);
+  Relation got = opt.Execute(*best->plan, t.db);
+  if (!SameMultiset(CanonicalizeColumnOrder(expect),
+                    CanonicalizeColumnOrder(got))) {
+    return "DIVERGENCE on mutated notation '" + text + "'";
+  }
+  return "";
+}
+
+int Main(int argc, char** argv) {
+  FuzzConfig cfg;
+  bool queries_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      cfg.queries = std::atoll(argv[++i]);
+      queries_set = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      cfg.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-rels") == 0 && i + 1 < argc) {
+      cfg.max_rels = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      cfg.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'\nusage: ecafuzz [--queries N] "
+                   "[--seed S] [--max-rels N] [--smoke] [--verbose]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (cfg.smoke && !queries_set) cfg.queries = 200;
+  if (cfg.max_rels < 2 || cfg.queries <= 0) {
+    std::fprintf(stderr, "need --max-rels >= 2 and --queries > 0\n");
+    return 2;
+  }
+
+  int64_t failures = 0, degraded = 0, mutants_parsed = 0;
+  for (int64_t i = 0; i < cfg.queries; ++i) {
+    uint64_t seed = cfg.seed + static_cast<uint64_t>(i);
+    Trial t = MakeTrial(seed, cfg);
+    EnumeratorStats stats;
+    std::string failure = RunTrial(t, t.setup, &stats);
+    if (stats.degraded) ++degraded;
+    if (failure.empty() && i % 4 == 0) {
+      failure = RunMutatedNotation(t, seed);
+      if (!failure.empty()) {
+        std::fprintf(stderr, "seed %llu: %s\n",
+                     static_cast<unsigned long long>(seed), failure.c_str());
+        std::fprintf(stderr,
+                     "repro: ecafuzz --seed %llu --queries 1%s\n",
+                     static_cast<unsigned long long>(seed),
+                     cfg.smoke ? " --smoke" : "");
+        ++failures;
+        continue;
+      }
+      ++mutants_parsed;
+    }
+    if (!failure.empty()) {
+      TrialSetup minimal = Minimize(t, t.setup);
+      std::fprintf(stderr, "seed %llu: %s\n",
+                   static_cast<unsigned long long>(seed), failure.c_str());
+      std::fprintf(stderr, "  query: %s\n",
+                   t.query->ToInlineString().c_str());
+      std::fprintf(stderr, "  minimized config: %s\n",
+                   minimal.ToString().c_str());
+      std::fprintf(stderr, "  repro: ecafuzz --seed %llu --queries 1%s\n",
+                   static_cast<unsigned long long>(seed),
+                   cfg.smoke ? " --smoke" : "");
+      ++failures;
+    } else if (cfg.verbose) {
+      std::printf("seed %llu ok: %s%s\n",
+                  static_cast<unsigned long long>(seed),
+                  t.setup.ToString().c_str(),
+                  stats.degraded ? " [degraded]" : "");
+    }
+  }
+  std::printf(
+      "ecafuzz: %lld queries, %lld degraded gracefully, %lld mutated-"
+      "notation probes, %lld failure(s)\n",
+      static_cast<long long>(cfg.queries), static_cast<long long>(degraded),
+      static_cast<long long>(mutants_parsed),
+      static_cast<long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace eca
+
+int main(int argc, char** argv) { return eca::Main(argc, argv); }

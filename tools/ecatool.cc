@@ -9,12 +9,20 @@
 //       (TBA / CBA / ECA) can realize it.
 //
 //   ecatool explain "<plan>" --pred name="<expr>" ... [--rows N]
-//       Optimize the query with all three approaches over random data
-//       (N rows per relation) and print plans, costs and EXPLAIN ANALYZE.
+//           [--approach eca|tba|cba] [--data <dir>]
+//       Optimize the query — with all three approaches, or just the one
+//       named by --approach — and print plans, costs and EXPLAIN ANALYZE.
+//       Data is random (N rows per relation) unless --data names a
+//       directory of R<i>.tbl files (columns k,a,b as written by the
+//       generators; see gen-tpch for TPC-H-style tables).
 //
 // Plan syntax is the library's compact notation, e.g.
 //   "(R0 laj[p01] (R1 laj[p12] R2))"
 // with predicates like --pred p01="R0.a = R1.a".
+//
+// Bad arguments, unknown approach names, unreadable or malformed data
+// files and invalid plans all produce a diagnostic on stderr and a
+// nonzero exit — never an abort.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +32,7 @@
 #include <vector>
 
 #include "algebra/plan_parser.h"
+#include "algebra/validate.h"
 #include "eca/optimizer.h"
 #include "enumerate/join_order.h"
 #include "exec/explain.h"
@@ -41,14 +50,32 @@ int Usage() {
                "  ecatool gen-tpch <sf> <dir>\n"
                "  ecatool orderings \"<plan>\" --pred name=\"<expr>\"...\n"
                "  ecatool explain \"<plan>\" --pred name=\"<expr>\"... "
-               "[--rows N]\n");
+               "[--rows N] [--approach eca|tba|cba] [--data <dir>]\n");
   return 2;
 }
 
+// Optional-flag sink for explain: approaches to run and a data directory.
+struct ExplainArgs {
+  std::vector<Optimizer::Approach> approaches;
+  std::string data_dir;
+};
+
 bool ParsePredArgs(int argc, char** argv, int start,
-                   std::map<std::string, PredRef>* preds, int* rows) {
+                   std::map<std::string, PredRef>* preds, int* rows,
+                   ExplainArgs* explain = nullptr) {
   for (int i = start; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--pred") == 0 && i + 1 < argc) {
+    if (explain != nullptr && std::strcmp(argv[i], "--approach") == 0 &&
+        i + 1 < argc) {
+      auto approach = Optimizer::ParseApproach(argv[++i]);
+      if (!approach.ok()) {
+        std::fprintf(stderr, "%s\n", approach.status().ToString().c_str());
+        return false;
+      }
+      explain->approaches.push_back(*approach);
+    } else if (explain != nullptr && std::strcmp(argv[i], "--data") == 0 &&
+               i + 1 < argc) {
+      explain->data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--pred") == 0 && i + 1 < argc) {
       std::string spec = argv[++i];
       size_t eq = spec.find('=');
       if (eq == std::string::npos) {
@@ -90,9 +117,34 @@ Database RandomDataFor(const Plan& plan, int rows) {
   return db;
 }
 
+// Loads R<i>.tbl from `dir` for every relation the plan touches, in the
+// generators' (k, a, b) int64 schema.
+StatusOr<Database> DataFromDir(const Plan& plan, const std::string& dir) {
+  int max_rel = 0;
+  for (int id : plan.leaves()) max_rel = std::max(max_rel, id);
+  Database db;
+  for (int i = 0; i <= max_rel; ++i) {
+    Schema schema({{i, "k", DataType::kInt64},
+                   {i, "a", DataType::kInt64},
+                   {i, "b", DataType::kInt64}});
+    Relation rel{schema};
+    ECA_RETURN_IF_ERROR(
+        ReadRelationFile(dir + "/R" + std::to_string(i) + ".tbl", schema,
+                         &rel));
+    db.Add(std::move(rel));
+  }
+  return db;
+}
+
 int GenTpch(int argc, char** argv) {
   if (argc < 4) return Usage();
-  double sf = std::atof(argv[2]);
+  char* end = nullptr;
+  double sf = std::strtod(argv[2], &end);
+  if (end == argv[2] || *end != '\0' || sf <= 0) {
+    std::fprintf(stderr, "bad scale factor '%s' (want a positive number)\n",
+                 argv[2]);
+    return 2;
+  }
   std::string dir = argv[3];
   TpchData data = GenerateTpch(TpchScale::OfSF(sf), 42);
   struct {
@@ -126,8 +178,21 @@ int Orderings(int argc, char** argv) {
     std::fprintf(stderr, "cannot parse plan: %s\n", error.c_str());
     return 2;
   }
-  Optimizer tba{Optimizer::Options{Optimizer::Approach::kTBA}};
-  Optimizer cba{Optimizer::Options{Optimizer::Approach::kCBA}};
+  // Validate against the synthetic (k, a, b) schemas the data generators
+  // use, so a hand-typed plan with duplicate leaves or a typo'd column
+  // fails with a diagnostic instead of aborting mid-reorder.
+  Status valid =
+      ValidatePlanStatus(*plan, RandomDataFor(*plan, 1).BaseSchemas());
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 2;
+  }
+  Optimizer::Options tba_opts;
+  tba_opts.approach = Optimizer::Approach::kTBA;
+  Optimizer::Options cba_opts;
+  cba_opts.approach = Optimizer::Approach::kCBA;
+  Optimizer tba{tba_opts};
+  Optimizer cba{cba_opts};
   Optimizer eca;
   auto thetas =
       AllJoinOrderingTrees(plan->leaves(), PredicateRefSets(*plan));
@@ -149,27 +214,46 @@ int Explain(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::map<std::string, PredRef> preds;
   int rows = 64;
-  if (!ParsePredArgs(argc, argv, 3, &preds, &rows)) return 2;
+  ExplainArgs extra;
+  if (!ParsePredArgs(argc, argv, 3, &preds, &rows, &extra)) return 2;
   std::string error;
   PlanPtr plan = ParsePlan(argv[2], preds, &error);
   if (plan == nullptr) {
     std::fprintf(stderr, "cannot parse plan: %s\n", error.c_str());
     return 2;
   }
-  Database db = RandomDataFor(*plan, rows);
+  Database db;
+  if (!extra.data_dir.empty()) {
+    StatusOr<Database> loaded = DataFromDir(*plan, extra.data_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load data from '%s': %s\n",
+                   extra.data_dir.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(loaded).value();
+  } else {
+    db = RandomDataFor(*plan, rows);
+  }
+  if (extra.approaches.empty()) {
+    extra.approaches = {Optimizer::Approach::kTBA, Optimizer::Approach::kCBA,
+                        Optimizer::Approach::kECA};
+  }
   std::printf("query:\n%s\n", plan->ToString().c_str());
-  for (auto approach : {Optimizer::Approach::kTBA, Optimizer::Approach::kCBA,
-                        Optimizer::Approach::kECA}) {
-    const char* name = approach == Optimizer::Approach::kTBA   ? "TBA"
-                       : approach == Optimizer::Approach::kCBA ? "CBA"
-                                                               : "ECA";
-    Optimizer opt{Optimizer::Options{approach}};
-    auto best = opt.Optimize(*plan, db);
-    std::printf("---- %s (estimated cost %.1f) ----\n%s", name,
-                best.estimated_cost,
-                ExplainAnalyze(*best.plan, db).c_str());
+  for (auto approach : extra.approaches) {
+    Optimizer::Options opts;
+    opts.approach = approach;
+    Optimizer opt{opts};
+    StatusOr<Optimizer::Optimized> best = opt.OptimizeChecked(*plan, db);
+    if (!best.ok()) {
+      std::fprintf(stderr, "%s\n", best.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("---- %s (estimated cost %.1f) ----\n%s",
+                Optimizer::ApproachName(approach), best->estimated_cost,
+                ExplainAnalyze(*best->plan, db).c_str());
     Relation a = opt.Execute(*plan, db);
-    Relation b = opt.Execute(*best.plan, db);
+    Relation b = opt.Execute(*best->plan, db);
     std::printf("result matches query: %s\n\n",
                 SameMultiset(CanonicalizeColumnOrder(a),
                              CanonicalizeColumnOrder(b))
