@@ -92,7 +92,12 @@ void CostModel::SetSamples(std::vector<Relation> samples) {
 }
 
 double CostModel::SampleSelectivity(const Predicate& pred) const {
-  auto cached = sample_cache_.find(&pred);
+  // Keyed by structural fingerprint, NOT by address: a CostModel outlives
+  // individual queries, and a freed Predicate's address is routinely
+  // reused by the allocator for the next query's (different) predicate —
+  // an address-keyed cache would serve it a stale selectivity.
+  const uint64_t key = StructuralFingerprint(pred);
+  auto cached = sample_cache_.find(key);
   if (cached != sample_cache_.end()) return cached->second;
   RelSet refs = pred.refs();
   if (refs.Empty() || refs.Count() > 2) return -1;
@@ -127,7 +132,7 @@ double CostModel::SampleSelectivity(const Predicate& pred) const {
   double sel = total == 0
                    ? -1
                    : static_cast<double>(trues) / static_cast<double>(total);
-  sample_cache_[&pred] = sel;
+  sample_cache_[key] = sel;
   return sel;
 }
 
@@ -168,14 +173,18 @@ double CostModel::Selectivity(const Predicate& pred) const {
       const Scalar* l = pred.scalar_left().get();
       const Scalar* r = pred.scalar_right().get();
       if (pred.cmp_op() == Predicate::CmpOp::kEq) {
+        // Distinct counts are clamped to >= 1 at every division: an
+        // all-NULL column (or user-supplied TableStats) can report 0
+        // distinct values, and 1/0 here would poison every cardinality
+        // above this predicate with inf.
         double dl = l->kind() == Scalar::Kind::kColumn
                         ? DistinctOf(l->rel_id(), l->column_name())
                         : 10.0;
         double dr = r->kind() == Scalar::Kind::kColumn
                         ? DistinctOf(r->rel_id(), r->column_name())
                         : 10.0;
-        if (l->kind() == Scalar::Kind::kConst) return 1.0 / dr;
-        if (r->kind() == Scalar::Kind::kConst) return 1.0 / dl;
+        if (l->kind() == Scalar::Kind::kConst) return 1.0 / std::max(1.0, dr);
+        if (r->kind() == Scalar::Kind::kConst) return 1.0 / std::max(1.0, dl);
         return 1.0 / std::max(1.0, std::max(dl, dr));
       }
       if (pred.cmp_op() == Predicate::CmpOp::kNe) return 0.9;
@@ -221,6 +230,10 @@ double CostModel::Selectivity(const Predicate& pred) const {
       }
       return kDefaultRangeSelectivity;
     }
+    case Predicate::Kind::kAllNullBlock:
+      // The gamma-test as a predicate: the fraction of tuples whose block
+      // is all-NULL is exactly what kGammaSelectivity models.
+      return kGammaSelectivity;
   }
   return kDefaultSelectivity;
 }

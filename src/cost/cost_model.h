@@ -71,8 +71,10 @@ class CostModel {
 
   std::vector<TableStats> base_;
   std::vector<Relation> samples_;  // per rel_id; may be empty
-  // Memoized per-predicate selectivities (sampling is not free).
-  mutable std::unordered_map<const Predicate*, double> sample_cache_;
+  // Memoized per-predicate selectivities (sampling is not free), keyed by
+  // StructuralFingerprint so entries stay valid across queries whose
+  // predicate objects are freed and their addresses reused.
+  mutable std::unordered_map<uint64_t, double> sample_cache_;
 };
 
 }  // namespace eca

@@ -72,7 +72,8 @@ PlanPtr Optimizer::Reorder(const Plan& query,
 }
 
 Relation Optimizer::Execute(const Plan& plan, const Database& db) const {
-  Executor ex(Executor::Options{options_.join_preference});
+  Executor ex(
+      Executor::Options{options_.join_preference, options_.num_threads});
   return ex.Execute(plan, db);
 }
 

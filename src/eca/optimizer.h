@@ -35,6 +35,9 @@ class Optimizer {
     bool reuse_subplans = true;
     Executor::JoinPreference join_preference =
         Executor::JoinPreference::kHash;
+    // Threads for Execute()'s partitioned join/compensation evaluation;
+    // results are byte-identical for every value (docs/performance.md).
+    int num_threads = 1;
     // Run the compensation cleanup pass on the chosen plan (removes
     // identity projections, redundant best-matches, ...).
     bool cleanup_compensations = true;
@@ -42,7 +45,7 @@ class Optimizer {
     // exhaustion Optimize degrades gracefully: it returns the best
     // complete plan found so far, or the query as written, and reports
     // stats.degraded plus the trigger. See docs/robustness.md.
-    EnumeratorBudget budget;
+    EnumeratorBudget budget{};
   };
 
   Optimizer() : Optimizer(Options()) {}

@@ -2,12 +2,32 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "types/tri_bool.h"
 
 namespace eca {
 
 namespace {
+
+// Runs fn(row) for every input row, chunk-parallel when a pool is given.
+// fn must only touch state owned by its row (the transforms below write
+// into a pre-sized output slot per row), so the result is identical for
+// every thread count.
+template <typename RowFn>
+void ForEachRow(const Relation& in, ThreadPool* pool, const RowFn& fn) {
+  const int64_t n = in.NumRows();
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const int64_t chunks = pool->ShardsFor(n);
+  pool->ParallelFor(chunks, [&](int64_t c) {
+    int64_t begin = c * n / chunks;
+    int64_t end = (c + 1) * n / chunks;
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
 
 // Null mask of a tuple packed into words (bit i set = column i is NULL).
 using NullMask = std::vector<uint64_t>;
@@ -88,31 +108,38 @@ class TupleSet {
 
 }  // namespace
 
-Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in) {
+Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in,
+                    ThreadPool* pool) {
   ECA_CHECK(pred != nullptr);
   CompiledPredicate compiled(pred, in.schema());
   std::vector<int> cols = in.schema().ColumnsOf(attrs);
   Relation out(in.schema());
-  for (const Tuple& t : in.rows()) {
+  // One output row per input row: pre-size and fill slots in parallel.
+  out.mutable_rows().resize(static_cast<size_t>(in.NumRows()));
+  ForEachRow(in, pool, [&](int64_t i) {
+    const Tuple& t = in.rows()[static_cast<size_t>(i)];
     if (compiled.EvalTrue(t)) {
-      out.Add(t);
+      out.mutable_rows()[static_cast<size_t>(i)] = t;
     } else {
       Tuple u = t;
       for (int c : cols) {
         u[static_cast<size_t>(c)] =
             Value::Null(in.schema().column(c).type);
       }
-      out.Add(std::move(u));
+      out.mutable_rows()[static_cast<size_t>(i)] = std::move(u);
     }
-  }
+  });
   return out;
 }
 
-Relation EvalGamma(RelSet attrs, const Relation& in) {
+Relation EvalGamma(RelSet attrs, const Relation& in, ThreadPool* pool) {
   std::vector<int> cols = in.schema().ColumnsOf(attrs);
   ECA_CHECK_MSG(!cols.empty(), "gamma over attributes absent from input");
-  Relation out(in.schema());
-  for (const Tuple& t : in.rows()) {
+  // Filter: mark selected rows in parallel, emit sequentially in row
+  // order (so the output is identical for every thread count).
+  std::vector<uint8_t> selected(static_cast<size_t>(in.NumRows()), 0);
+  ForEachRow(in, pool, [&](int64_t i) {
+    const Tuple& t = in.rows()[static_cast<size_t>(i)];
     bool all_null = true;
     for (int c : cols) {
       if (!t[static_cast<size_t>(c)].is_null()) {
@@ -120,7 +147,13 @@ Relation EvalGamma(RelSet attrs, const Relation& in) {
         break;
       }
     }
-    if (all_null) out.Add(t);
+    selected[static_cast<size_t>(i)] = all_null ? 1 : 0;
+  });
+  Relation out(in.schema());
+  for (int64_t i = 0; i < in.NumRows(); ++i) {
+    if (selected[static_cast<size_t>(i)]) {
+      out.Add(in.rows()[static_cast<size_t>(i)]);
+    }
   }
   return out;
 }
@@ -347,15 +380,20 @@ Relation EvalBetaSorted(const Relation& in) {
   return out;
 }
 
-Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in) {
+Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in,
+                       ThreadPool* pool) {
   std::vector<int> acols = in.schema().ColumnsOf(attrs);
   ECA_CHECK_MSG(!acols.empty(), "gamma* over attributes absent from input");
   std::vector<int> nulled_cols;
   for (int c = 0; c < in.schema().NumColumns(); ++c) {
     if (!keep.Contains(in.schema().column(c).rel_id)) nulled_cols.push_back(c);
   }
+  // The modification scan is 1:1 and row-parallel; the best-match stage
+  // below is inherently sequential (cross-row domination).
   Relation modified(in.schema());
-  for (const Tuple& t : in.rows()) {
+  modified.mutable_rows().resize(static_cast<size_t>(in.NumRows()));
+  ForEachRow(in, pool, [&](int64_t i) {
+    const Tuple& t = in.rows()[static_cast<size_t>(i)];
     bool all_null = true;
     for (int c : acols) {
       if (!t[static_cast<size_t>(c)].is_null()) {
@@ -364,16 +402,16 @@ Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in) {
       }
     }
     if (all_null) {
-      modified.Add(t);  // selected by gamma_A: passes unchanged
+      modified.mutable_rows()[static_cast<size_t>(i)] = t;  // gamma_A branch
     } else {
       Tuple u = t;  // R' branch: null everything outside `keep`
       for (int c : nulled_cols) {
         u[static_cast<size_t>(c)] =
             Value::Null(in.schema().column(c).type);
       }
-      modified.Add(std::move(u));
+      modified.mutable_rows()[static_cast<size_t>(i)] = std::move(u);
     }
-  }
+  });
   return EvalBeta(modified);
 }
 

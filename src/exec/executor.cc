@@ -1,11 +1,52 @@
 #include "exec/executor.h"
 
+#include <chrono>
+
+#include "common/thread_pool.h"
+
 namespace eca {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Executor::Executor(Options options) : options_(options) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+Executor::~Executor() = default;
 
 Relation Executor::Execute(const Plan& plan, const Database& db) {
   switch (plan.kind()) {
-    case Plan::Kind::kLeaf:
-      return db.table(plan.rel_id());
+    case Plan::Kind::kLeaf: {
+      // Leaf scans materialize a copy of the base table; chunk-parallel
+      // row copy when a pool is available (output order is by row index
+      // either way).
+      const Relation& table = db.table(plan.rel_id());
+      if (pool_ == nullptr) return table;
+      Relation out(table.schema());
+      out.mutable_rows().resize(table.rows().size());
+      pool_->ParallelFor(
+          pool_->ShardsFor(table.NumRows()), [&](int64_t c) {
+            int64_t chunks = pool_->ShardsFor(table.NumRows());
+            int64_t begin = c * table.NumRows() / chunks;
+            int64_t end = (c + 1) * table.NumRows() / chunks;
+            for (int64_t i = begin; i < end; ++i) {
+              out.mutable_rows()[static_cast<size_t>(i)] =
+                  table.rows()[static_cast<size_t>(i)];
+            }
+          });
+      return out;
+    }
     case Plan::Kind::kJoin:
       return ExecJoin(plan, db);
     case Plan::Kind::kComp:
@@ -18,8 +59,10 @@ Relation Executor::ExecJoin(const Plan& plan, const Database& db) {
   Relation left = Execute(*plan.left(), db);
   Relation right = Execute(*plan.right(), db);
   ++stats_.join_nodes;
+  auto t0 = Clock::now();
   Relation out = EvalJoin(plan.op(), plan.pred(), left, right,
-                          options_.join_preference, &stats_);
+                          options_.join_preference, &stats_, pool_.get());
+  stats_.join_ms += MsSince(t0);
   stats_.rows_produced += out.NumRows();
   return out;
 }
@@ -28,24 +71,26 @@ Relation Executor::ExecComp(const Plan& plan, const Database& db) {
   Relation child = Execute(*plan.child(), db);
   ++stats_.comp_nodes;
   const CompOp& c = plan.comp();
+  auto t0 = Clock::now();
   Relation out;
   switch (c.kind) {
     case CompOp::Kind::kLambda:
-      out = EvalLambda(c.pred, c.attrs, child);
+      out = EvalLambda(c.pred, c.attrs, child, pool_.get());
       break;
     case CompOp::Kind::kBeta:
       out = EvalBeta(child);
       break;
     case CompOp::Kind::kGamma:
-      out = EvalGamma(c.attrs, child);
+      out = EvalGamma(c.attrs, child, pool_.get());
       break;
     case CompOp::Kind::kGammaStar:
-      out = EvalGammaStar(c.attrs, c.keep, child);
+      out = EvalGammaStar(c.attrs, c.keep, child, pool_.get());
       break;
     case CompOp::Kind::kProject:
       out = EvalProject(c.attrs, child);
       break;
   }
+  stats_.comp_ms += MsSince(t0);
   stats_.rows_produced += out.NumRows();
   return out;
 }

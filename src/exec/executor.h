@@ -2,6 +2,7 @@
 #define ECA_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "algebra/plan.h"
 #include "exec/database.h"
@@ -9,12 +10,29 @@
 
 namespace eca {
 
+class ThreadPool;
+
 // Execution statistics accumulated over one Execute() call.
 struct ExecStats {
   int64_t rows_produced = 0;   // total rows materialized across operators
   int64_t probe_comparisons = 0;
   int64_t join_nodes = 0;
   int64_t comp_nodes = 0;
+  int64_t hash_build_rows = 0;  // rows inserted into hash-join tables
+
+  // Per-operator-class wall clock (milliseconds), parallel sections
+  // included at their real elapsed time.
+  double join_ms = 0;
+  double comp_ms = 0;
+
+  // Partition shape of the hash joins executed: total partitions built,
+  // the largest/smallest build partition, and the worst observed skew
+  // (largest partition over the mean partition size; 1.0 = perfectly
+  // balanced, higher = one partition dominates the parallel build).
+  int64_t partitions_built = 0;
+  int64_t max_partition_rows = 0;
+  int64_t min_partition_rows = 0;
+  double partition_skew = 0;
 
   void Reset() { *this = ExecStats(); }
 };
@@ -35,10 +53,15 @@ class Executor {
 
   struct Options {
     JoinPreference join_preference = JoinPreference::kHash;
+    // Number of threads for partitioned join/compensation evaluation.
+    // 1 (the default) runs the exact sequential code path with zero
+    // synchronization; results are byte-identical for every value.
+    int num_threads = 1;
   };
 
   Executor() : Executor(Options()) {}
-  explicit Executor(Options options) : options_(options) {}
+  explicit Executor(Options options);
+  ~Executor();
 
   // Evaluates `plan` bottom-up. Aborts on malformed plans (unresolved
   // columns, schema mismatches) — plans coming out of the rewrite layer are
@@ -53,16 +76,21 @@ class Executor {
 
   Options options_;
   ExecStats stats_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
 };
 
 // --- Operator building blocks (exposed for unit tests and benches) --------
 
 // Generic join evaluation: uses hash (or sort-merge) join when the predicate
 // contains equi-conjuncts across the two inputs, nested loop otherwise.
+// The hash path partitions the build side (the smaller input for
+// inner/semi/anti joins) and probes in contiguous chunks; passing a
+// ThreadPool runs build and probe in parallel with output assembled in
+// chunk order, so the result is byte-identical for every thread count.
 Relation EvalJoin(JoinOp op, const PredRef& pred, const Relation& left,
                   const Relation& right,
                   Executor::JoinPreference pref = Executor::JoinPreference::kHash,
-                  ExecStats* stats = nullptr);
+                  ExecStats* stats = nullptr, ThreadPool* pool = nullptr);
 
 // Reference nested-loop implementation of every join operator; used to
 // validate the hash/sort-merge paths.
@@ -70,8 +98,10 @@ Relation EvalJoinNaive(JoinOp op, const PredRef& pred, const Relation& left,
                        const Relation& right);
 
 // lambda_{p,A}: NULLs the columns of relations in `attrs` for every tuple
-// on which `pred` does not evaluate to true.
-Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in);
+// on which `pred` does not evaluate to true. Row-parallel when a pool is
+// given (chunk-ordered assembly keeps the output order identical).
+Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in,
+                    ThreadPool* pool = nullptr);
 
 // beta: removes spurious (dominated or duplicated) tuples. Exact
 // per-attribute semantics via null-pattern grouping; near-linear when the
@@ -101,13 +131,16 @@ Relation EvalBetaNaive(const Relation& in);
 Relation EvalBetaSorted(const Relation& in);
 
 // gamma_A: keeps tuples whose attributes of relations in `attrs` are all
-// NULL (Equation 7).
-Relation EvalGamma(RelSet attrs, const Relation& in);
+// NULL (Equation 7). Row-parallel when a pool is given.
+Relation EvalGamma(RelSet attrs, const Relation& in,
+                   ThreadPool* pool = nullptr);
 
 // gamma*_{A(B)}: Equation 8 — tuples with all-NULL A pass unchanged; other
 // tuples get every attribute outside `keep` NULLed; beta removes spurious
-// tuples.
-Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in);
+// tuples. The modification scan is row-parallel when a pool is given; the
+// best-match stage is inherently sequential.
+Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in,
+                       ThreadPool* pool = nullptr);
 
 // pi_A at relation granularity.
 Relation EvalProject(RelSet attrs, const Relation& in);

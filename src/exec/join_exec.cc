@@ -1,7 +1,9 @@
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "types/tri_bool.h"
 
@@ -56,7 +58,8 @@ void SplitEquiKeys(const PredRef& pred, RelSet left_rels, RelSet right_rels,
 
 // Evaluates one side's key expressions for a row. Key expressions are almost
 // always bare column refs, so column indexes are precomputed; NULL keys
-// never match under null-intolerant equality.
+// never match under null-intolerant equality. Eval is const and touches no
+// shared state, so one bound evaluator serves all worker threads.
 struct KeyEvaluator {
   std::vector<ScalarRef> exprs;
   std::vector<int> col_fastpath;  // column index or -1
@@ -119,92 +122,115 @@ JoinShape MakeShape(JoinOp op, const Relation& left, const Relation& right) {
   return shape;
 }
 
+bool NeedsLeftFlags(JoinOp op) {
+  return op == JoinOp::kLeftOuter || op == JoinOp::kFullOuter ||
+         OutputsOneSide(op);
+}
+
+bool NeedsRightFlags(JoinOp op) {
+  return op == JoinOp::kRightOuter || op == JoinOp::kFullOuter ||
+         OutputsOneSide(op);
+}
+
+// The padding / side-emission phase every join algorithm ends with:
+// appends outer-join NULL padding for unmatched rows, or emits the
+// semi/anti output from the matched flags. Runs sequentially in row
+// order, so the tail of the output is independent of how the matched
+// flags were computed.
+void FinishJoinOutput(JoinOp op, const JoinShape& shape, const Relation& left,
+                      const Relation& right,
+                      const std::vector<uint8_t>& left_matched,
+                      const std::vector<uint8_t>& right_matched,
+                      Relation* out) {
+  auto emit_unmatched_left_padded = [&] {
+    Tuple pad =
+        NullsFor(shape.concat_schema, shape.left_width, shape.right_width);
+    for (size_t i = 0; i < left_matched.size(); ++i) {
+      if (!left_matched[i]) out->Add(ConcatTuples(left.rows()[i], pad));
+    }
+  };
+  auto emit_unmatched_right_padded = [&] {
+    Tuple pad = NullsFor(shape.concat_schema, 0, shape.left_width);
+    for (size_t i = 0; i < right_matched.size(); ++i) {
+      if (!right_matched[i]) out->Add(ConcatTuples(pad, right.rows()[i]));
+    }
+  };
+  auto emit_side = [&](const Relation& side,
+                       const std::vector<uint8_t>& matched,
+                       bool want_matched) {
+    for (size_t i = 0; i < matched.size(); ++i) {
+      if (static_cast<bool>(matched[i]) == want_matched) {
+        out->Add(side.rows()[i]);
+      }
+    }
+  };
+  switch (op) {
+    case JoinOp::kCross:
+    case JoinOp::kInner:
+      break;
+    case JoinOp::kLeftOuter:
+      emit_unmatched_left_padded();
+      break;
+    case JoinOp::kRightOuter:
+      emit_unmatched_right_padded();
+      break;
+    case JoinOp::kFullOuter:
+      emit_unmatched_left_padded();
+      emit_unmatched_right_padded();
+      break;
+    case JoinOp::kLeftSemi:
+      emit_side(left, left_matched, /*want_matched=*/true);
+      break;
+    case JoinOp::kLeftAnti:
+      emit_side(left, left_matched, /*want_matched=*/false);
+      break;
+    case JoinOp::kRightSemi:
+      emit_side(right, right_matched, /*want_matched=*/true);
+      break;
+    case JoinOp::kRightAnti:
+      emit_side(right, right_matched, /*want_matched=*/false);
+      break;
+  }
+}
+
 // Assembles the output from per-pair matches plus matched flags, shared by
-// all join algorithms.
+// the sequential (nested-loop, sort-merge) join algorithms.
 class JoinEmitter {
  public:
   JoinEmitter(JoinOp op, const JoinShape& shape, const Relation& left,
               const Relation& right)
       : op_(op), shape_(shape), left_(left), right_(right),
         out_(shape.out_schema) {
-    if (op == JoinOp::kLeftOuter || op == JoinOp::kFullOuter ||
-        OutputsOneSide(op)) {
-      left_matched_.assign(static_cast<size_t>(left.NumRows()), false);
+    if (NeedsLeftFlags(op)) {
+      left_matched_.assign(static_cast<size_t>(left.NumRows()), 0);
     }
-    if (op == JoinOp::kRightOuter || op == JoinOp::kFullOuter ||
-        OutputsOneSide(op)) {
-      right_matched_.assign(static_cast<size_t>(right.NumRows()), false);
+    if (NeedsRightFlags(op)) {
+      right_matched_.assign(static_cast<size_t>(right.NumRows()), 0);
     }
   }
 
   void Match(int64_t li, int64_t ri) {
-    if (!left_matched_.empty()) left_matched_[static_cast<size_t>(li)] = true;
-    if (!right_matched_.empty())
-      right_matched_[static_cast<size_t>(ri)] = true;
+    if (!left_matched_.empty()) left_matched_[static_cast<size_t>(li)] = 1;
+    if (!right_matched_.empty()) right_matched_[static_cast<size_t>(ri)] = 1;
     if (OutputsOneSide(op_)) return;  // semi/anti emit in Finish()
     out_.Add(ConcatTuples(left_.rows()[static_cast<size_t>(li)],
                           right_.rows()[static_cast<size_t>(ri)]));
   }
 
   Relation Finish() {
-    switch (op_) {
-      case JoinOp::kCross:
-      case JoinOp::kInner:
-        break;
-      case JoinOp::kLeftOuter:
-        EmitUnmatchedLeftPadded();
-        break;
-      case JoinOp::kRightOuter:
-        EmitUnmatchedRightPadded();
-        break;
-      case JoinOp::kFullOuter:
-        EmitUnmatchedLeftPadded();
-        EmitUnmatchedRightPadded();
-        break;
-      case JoinOp::kLeftSemi:
-        EmitSide(left_, left_matched_, /*want_matched=*/true);
-        break;
-      case JoinOp::kLeftAnti:
-        EmitSide(left_, left_matched_, /*want_matched=*/false);
-        break;
-      case JoinOp::kRightSemi:
-        EmitSide(right_, right_matched_, /*want_matched=*/true);
-        break;
-      case JoinOp::kRightAnti:
-        EmitSide(right_, right_matched_, /*want_matched=*/false);
-        break;
-    }
+    FinishJoinOutput(op_, shape_, left_, right_, left_matched_,
+                     right_matched_, &out_);
     return std::move(out_);
   }
 
  private:
-  void EmitUnmatchedLeftPadded() {
-    Tuple pad = NullsFor(shape_.concat_schema, shape_.left_width,
-                         shape_.right_width);
-    for (size_t i = 0; i < left_matched_.size(); ++i) {
-      if (!left_matched_[i]) out_.Add(ConcatTuples(left_.rows()[i], pad));
-    }
-  }
-  void EmitUnmatchedRightPadded() {
-    Tuple pad = NullsFor(shape_.concat_schema, 0, shape_.left_width);
-    for (size_t i = 0; i < right_matched_.size(); ++i) {
-      if (!right_matched_[i]) out_.Add(ConcatTuples(pad, right_.rows()[i]));
-    }
-  }
-  void EmitSide(const Relation& side, const std::vector<bool>& matched,
-                bool want_matched) {
-    for (size_t i = 0; i < matched.size(); ++i) {
-      if (matched[i] == want_matched) out_.Add(side.rows()[i]);
-    }
-  }
-
   JoinOp op_;
   const JoinShape& shape_;
   const Relation& left_;
   const Relation& right_;
   Relation out_;
-  std::vector<bool> left_matched_;
-  std::vector<bool> right_matched_;
+  std::vector<uint8_t> left_matched_;
+  std::vector<uint8_t> right_matched_;
 };
 
 Relation NestedLoopJoin(JoinOp op, const PredRef& pred, const Relation& left,
@@ -229,11 +255,138 @@ Relation NestedLoopJoin(JoinOp op, const PredRef& pred, const Relation& left,
   return emitter.Finish();
 }
 
+// --- Partitioned hash join ------------------------------------------------
+//
+// The build side is hash-partitioned: each partition owns a disjoint slice
+// of the key-hash space and builds its own bucket table, so partitions
+// build independently (in parallel) without locks. The probe side is cut
+// into contiguous row chunks; each chunk probes the (read-only) partition
+// tables and buffers its matches, and chunk outputs are concatenated in
+// chunk order. Both phases therefore produce output whose content AND
+// order depend only on the inputs — never on the thread count or the
+// partition count — which is what lets `--threads N` promise results
+// byte-identical to the sequential engine.
+
+int PartitionCountFor(ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1) return 1;
+  int want = pool->num_threads() * 4;
+  int p = 1;
+  while (p < want && p < 256) p <<= 1;
+  return p;
+}
+
+struct BuildIndex {
+  int num_partitions = 1;
+  std::vector<std::vector<Value>> keys;  // per build row; empty = NULL key
+  std::vector<uint64_t> hashes;          // valid where keys[row] non-empty
+  // partition -> bucket map, bucket rows in increasing row order.
+  std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> tables;
+  int64_t valid_rows = 0;
+};
+
+BuildIndex BuildPartitionedIndex(const KeyEvaluator& ke, const Relation& rel,
+                                 ThreadPool* pool, ExecStats* stats) {
+  BuildIndex index;
+  const int64_t n = rel.NumRows();
+  const int P = PartitionCountFor(pool);
+  index.num_partitions = P;
+  index.keys.resize(static_cast<size_t>(n));
+  index.hashes.resize(static_cast<size_t>(n));
+
+  // Phase 1: evaluate keys and scatter rows into per-chunk partition
+  // lists. Chunks are contiguous, so concatenating a partition's lists in
+  // chunk order preserves increasing row order within the partition.
+  const int64_t chunks = pool != nullptr ? pool->ShardsFor(n) : 1;
+  std::vector<std::vector<std::vector<int64_t>>> scatter(
+      static_cast<size_t>(chunks),
+      std::vector<std::vector<int64_t>>(static_cast<size_t>(P)));
+  auto scan_chunk = [&](int64_t c) {
+    int64_t begin = c * n / chunks;
+    int64_t end = (c + 1) * n / chunks;
+    std::vector<Value> kv;
+    for (int64_t r = begin; r < end; ++r) {
+      if (!ke.Eval(rel.rows()[static_cast<size_t>(r)], &kv)) continue;
+      uint64_t h = HashTuple(kv);
+      index.keys[static_cast<size_t>(r)] = kv;
+      index.hashes[static_cast<size_t>(r)] = h;
+      scatter[static_cast<size_t>(c)]
+             [static_cast<size_t>(h % static_cast<uint64_t>(P))]
+                 .push_back(r);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(chunks, scan_chunk);
+  } else {
+    for (int64_t c = 0; c < chunks; ++c) scan_chunk(c);
+  }
+
+  // Phase 2: per-partition table build, one partition per task.
+  index.tables.resize(static_cast<size_t>(P));
+  std::vector<int64_t> partition_rows(static_cast<size_t>(P), 0);
+  auto build_partition = [&](int64_t p) {
+    auto& table = index.tables[static_cast<size_t>(p)];
+    int64_t rows = 0;
+    for (int64_t c = 0; c < chunks; ++c) {
+      for (int64_t r : scatter[static_cast<size_t>(c)]
+                              [static_cast<size_t>(p)]) {
+        table[index.hashes[static_cast<size_t>(r)]].push_back(r);
+        ++rows;
+      }
+    }
+    partition_rows[static_cast<size_t>(p)] = rows;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(P, build_partition);
+  } else {
+    for (int64_t p = 0; p < P; ++p) build_partition(p);
+  }
+
+  for (int64_t rows : partition_rows) index.valid_rows += rows;
+  if (stats != nullptr) {
+    stats->hash_build_rows += index.valid_rows;
+    stats->partitions_built += P;
+    int64_t max_rows = 0;
+    int64_t min_rows = n + 1;
+    for (int64_t rows : partition_rows) {
+      max_rows = std::max(max_rows, rows);
+      min_rows = std::min(min_rows, rows);
+    }
+    stats->max_partition_rows = std::max(stats->max_partition_rows, max_rows);
+    stats->min_partition_rows =
+        stats->partitions_built == P  // first join this Execute()
+            ? min_rows
+            : std::min(stats->min_partition_rows, min_rows);
+    double mean = static_cast<double>(index.valid_rows) / P;
+    double skew = mean > 0 ? static_cast<double>(max_rows) / mean : 1.0;
+    stats->partition_skew = std::max(stats->partition_skew, skew);
+  }
+  return index;
+}
+
 Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
                   const PredRef& residual, const Relation& left,
-                  const Relation& right, ExecStats* stats) {
+                  const Relation& right, ExecStats* stats, ThreadPool* pool) {
   JoinShape shape = MakeShape(op, left, right);
-  JoinEmitter emitter(op, shape, left, right);
+
+  // Build on the smaller input where the operator allows it. Inner, semi
+  // and anti joins track matches through side-indexed flags, so either
+  // side can host the table; the outer variants keep the historical
+  // build-right shape (their padding phase reads the flags either way,
+  // but a stable choice keeps plans' observable row order predictable).
+  bool build_left = false;
+  switch (op) {
+    case JoinOp::kInner:
+    case JoinOp::kLeftSemi:
+    case JoinOp::kRightSemi:
+    case JoinOp::kLeftAnti:
+    case JoinOp::kRightAnti:
+      build_left = left.NumRows() < right.NumRows();
+      break;
+    default:
+      break;
+  }
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
 
   KeyEvaluator lkeys, rkeys;
   std::vector<ScalarRef> lexprs, rexprs;
@@ -243,6 +396,8 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
   }
   lkeys.Bind(std::move(lexprs), left.schema());
   rkeys.Bind(std::move(rexprs), right.schema());
+  const KeyEvaluator& build_keys = build_left ? lkeys : rkeys;
+  const KeyEvaluator& probe_keys = build_left ? rkeys : lkeys;
 
   CompiledPredicate compiled_residual;
   bool have_residual = residual != nullptr;
@@ -250,45 +405,107 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
     compiled_residual = CompiledPredicate(residual, shape.concat_schema);
   }
 
-  // Build on the right input.
-  std::unordered_map<uint64_t, std::vector<int64_t>> table;
-  std::vector<std::vector<Value>> right_keys(
-      static_cast<size_t>(right.NumRows()));
-  {
+  BuildIndex index = BuildPartitionedIndex(build_keys, build, pool, stats);
+  const uint64_t P = static_cast<uint64_t>(index.num_partitions);
+
+  // Matched flags. Probe-side flags are written by exactly one chunk per
+  // row (chunks are disjoint), so plain bytes suffice; build-side rows can
+  // match concurrently in several probe chunks, so those flags are
+  // relaxed atomics (all writers store 1 — order is irrelevant).
+  const bool need_left = NeedsLeftFlags(op);
+  const bool need_right = NeedsRightFlags(op);
+  const bool need_build = build_left ? need_left : need_right;
+  const bool need_probe = build_left ? need_right : need_left;
+  const bool emit_pairs = !OutputsOneSide(op);
+  std::vector<uint8_t> probe_matched(
+      need_probe ? static_cast<size_t>(probe.NumRows()) : 0, 0);
+  std::vector<std::atomic<uint8_t>> build_matched(
+      need_build ? static_cast<size_t>(build.NumRows()) : 0);
+  for (auto& f : build_matched) f.store(0, std::memory_order_relaxed);
+
+  const int64_t pn = probe.NumRows();
+  const int64_t chunks = pool != nullptr ? pool->ShardsFor(pn) : 1;
+  std::vector<std::vector<Tuple>> chunk_out(
+      emit_pairs ? static_cast<size_t>(chunks) : 0);
+  std::vector<int64_t> chunk_comparisons(static_cast<size_t>(chunks), 0);
+
+  auto probe_chunk = [&](int64_t c) {
+    int64_t begin = c * pn / chunks;
+    int64_t end = (c + 1) * pn / chunks;
+    std::vector<Tuple>* out =
+        emit_pairs ? &chunk_out[static_cast<size_t>(c)] : nullptr;
+    int64_t comparisons = 0;
     std::vector<Value> kv;
-    for (int64_t ri = 0; ri < right.NumRows(); ++ri) {
-      if (!rkeys.Eval(right.rows()[static_cast<size_t>(ri)], &kv)) continue;
-      right_keys[static_cast<size_t>(ri)] = kv;
-      table[HashTuple(kv)].push_back(ri);
+    for (int64_t pi = begin; pi < end; ++pi) {
+      const Tuple& prow = probe.rows()[static_cast<size_t>(pi)];
+      if (!probe_keys.Eval(prow, &kv)) continue;
+      uint64_t h = HashTuple(kv);
+      const auto& table = index.tables[static_cast<size_t>(h % P)];
+      auto it = table.find(h);
+      if (it == table.end()) continue;
+      for (int64_t bi : it->second) {
+        ++comparisons;
+        const std::vector<Value>& bk = index.keys[static_cast<size_t>(bi)];
+        bool key_equal = true;
+        for (size_t i = 0; i < kv.size(); ++i) {
+          if (!kv[i].SameAs(bk[i])) {
+            key_equal = false;
+            break;
+          }
+        }
+        if (!key_equal) continue;
+        const Tuple& brow = build.rows()[static_cast<size_t>(bi)];
+        const Tuple& lrow = build_left ? brow : prow;
+        const Tuple& rrow = build_left ? prow : brow;
+        if (have_residual &&
+            !compiled_residual.EvalTrue(ConcatTuples(lrow, rrow))) {
+          continue;
+        }
+        if (need_probe) probe_matched[static_cast<size_t>(pi)] = 1;
+        if (need_build) {
+          build_matched[static_cast<size_t>(bi)].store(
+              1, std::memory_order_relaxed);
+        }
+        if (emit_pairs) out->push_back(ConcatTuples(lrow, rrow));
+      }
+    }
+    chunk_comparisons[static_cast<size_t>(c)] = comparisons;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(chunks, probe_chunk);
+  } else {
+    for (int64_t c = 0; c < chunks; ++c) probe_chunk(c);
+  }
+
+  if (stats != nullptr) {
+    for (int64_t comparisons : chunk_comparisons) {
+      stats->probe_comparisons += comparisons;
     }
   }
 
-  std::vector<Value> kv;
-  for (int64_t li = 0; li < left.NumRows(); ++li) {
-    const Tuple& lrow = left.rows()[static_cast<size_t>(li)];
-    if (!lkeys.Eval(lrow, &kv)) continue;
-    auto it = table.find(HashTuple(kv));
-    if (it == table.end()) continue;
-    for (int64_t ri : it->second) {
-      if (stats != nullptr) ++stats->probe_comparisons;
-      const std::vector<Value>& rk = right_keys[static_cast<size_t>(ri)];
-      bool key_equal = true;
-      for (size_t i = 0; i < kv.size(); ++i) {
-        if (!kv[i].SameAs(rk[i])) {
-          key_equal = false;
-          break;
-        }
-      }
-      if (!key_equal) continue;
-      bool match = true;
-      if (have_residual) {
-        Tuple t = ConcatTuples(lrow, right.rows()[static_cast<size_t>(ri)]);
-        match = compiled_residual.EvalTrue(t);
-      }
-      if (match) emitter.Match(li, ri);
+  // Chunk-ordered merge, then the sequential padding/side phase.
+  Relation out(shape.out_schema);
+  if (emit_pairs) {
+    size_t total = 0;
+    for (const auto& part : chunk_out) total += part.size();
+    out.mutable_rows().reserve(total);
+    for (auto& part : chunk_out) {
+      for (Tuple& t : part) out.Add(std::move(t));
     }
   }
-  return emitter.Finish();
+  std::vector<uint8_t> left_matched(
+      need_left ? static_cast<size_t>(left.NumRows()) : 0, 0);
+  std::vector<uint8_t> right_matched(
+      need_right ? static_cast<size_t>(right.NumRows()) : 0, 0);
+  std::vector<uint8_t>& build_out = build_left ? left_matched : right_matched;
+  std::vector<uint8_t>& probe_out = build_left ? right_matched : left_matched;
+  for (size_t i = 0; i < build_matched.size(); ++i) {
+    build_out[i] = build_matched[i].load(std::memory_order_relaxed);
+  }
+  if (need_probe) probe_out = std::move(probe_matched);
+  FinishJoinOutput(op, shape, left, right, left_matched, right_matched,
+                   &out);
+  return out;
 }
 
 Relation SortMergeJoin(JoinOp op, const std::vector<EquiKey>& keys,
@@ -377,7 +594,7 @@ Relation EvalJoinNaive(JoinOp op, const PredRef& pred, const Relation& left,
 
 Relation EvalJoin(JoinOp op, const PredRef& pred, const Relation& left,
                   const Relation& right, Executor::JoinPreference pref,
-                  ExecStats* stats) {
+                  ExecStats* stats, ThreadPool* pool) {
   if (pred == nullptr) {
     return NestedLoopJoin(op, pred, left, right, stats);
   }
@@ -391,7 +608,7 @@ Relation EvalJoin(JoinOp op, const PredRef& pred, const Relation& left,
   if (pref == Executor::JoinPreference::kSortMerge) {
     return SortMergeJoin(op, keys, residual, left, right, stats);
   }
-  return HashJoin(op, keys, residual, left, right, stats);
+  return HashJoin(op, keys, residual, left, right, stats, pool);
 }
 
 }  // namespace eca

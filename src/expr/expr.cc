@@ -315,6 +315,77 @@ std::string Predicate::ToString() const {
 }
 
 // ---------------------------------------------------------------------------
+// Structural fingerprints
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h * kFnvPrime;
+}
+
+uint64_t MixStr(uint64_t h, const std::string& s) {
+  for (char c : s) h = Mix(h, static_cast<uint64_t>(c));
+  return Mix(h, s.size());
+}
+
+}  // namespace
+
+uint64_t StructuralFingerprint(const Scalar& s) {
+  uint64_t h = Mix(kFnvOffset, static_cast<uint64_t>(s.kind()));
+  switch (s.kind()) {
+    case Scalar::Kind::kColumn:
+      h = Mix(h, static_cast<uint64_t>(s.rel_id()));
+      h = MixStr(h, s.column_name());
+      break;
+    case Scalar::Kind::kConst:
+      h = Mix(h, s.const_value().is_null() ? 0x517cc1b7ULL
+                                           : s.const_value().Hash());
+      h = Mix(h, static_cast<uint64_t>(s.const_value().type()));
+      break;
+    case Scalar::Kind::kArith:
+      h = Mix(h, static_cast<uint64_t>(s.arith_op()));
+      h = Mix(h, StructuralFingerprint(*s.left()));
+      h = Mix(h, StructuralFingerprint(*s.right()));
+      break;
+  }
+  return h;
+}
+
+uint64_t StructuralFingerprint(const Predicate& p) {
+  uint64_t h = Mix(kFnvOffset, static_cast<uint64_t>(p.kind()) + 0x51ULL);
+  switch (p.kind()) {
+    case Predicate::Kind::kCompare:
+      h = Mix(h, static_cast<uint64_t>(p.cmp_op()));
+      h = Mix(h, StructuralFingerprint(*p.scalar_left()));
+      h = Mix(h, StructuralFingerprint(*p.scalar_right()));
+      break;
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+    case Predicate::Kind::kNot:
+      for (const PredRef& c : p.children()) {
+        h = Mix(h, StructuralFingerprint(*c));
+      }
+      h = Mix(h, p.children().size());
+      break;
+    case Predicate::Kind::kConstBool:
+      h = Mix(h, p.const_bool() ? 1 : 2);
+      break;
+    case Predicate::Kind::kIsNull:
+      h = Mix(h, StructuralFingerprint(*p.scalar_left()));
+      break;
+    case Predicate::Kind::kAllNullBlock:
+      for (int id : p.all_null_rels()) h = Mix(h, static_cast<uint64_t>(id));
+      break;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
 // Builders
 // ---------------------------------------------------------------------------
 

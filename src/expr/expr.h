@@ -137,6 +137,16 @@ class Predicate {
   bool null_intolerant_ = true;
 };
 
+// Structural fingerprints ----------------------------------------------------
+
+// A 64-bit hash of the expression's structure (kinds, operators, column
+// references, constants). Structurally identical expressions fingerprint
+// equal regardless of where they live in memory; labels are ignored.
+// Used wherever expressions key a cache that outlives the expression
+// objects themselves (e.g. the cost model's sampled-selectivity cache).
+uint64_t StructuralFingerprint(const Scalar& s);
+uint64_t StructuralFingerprint(const Predicate& p);
+
 // Convenience builders -------------------------------------------------------
 
 ScalarRef Col(int rel_id, std::string name);

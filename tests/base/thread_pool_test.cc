@@ -1,0 +1,113 @@
+// Tests for the work-stealing thread pool backing parallel execution.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace eca {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsEveryIteration) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(100, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ThreadCountClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool neg(-3);
+  EXPECT_EQ(neg.num_threads(), 1);
+  int64_t sum = 0;
+  neg.ParallelFor(10, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, EveryIterationRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kCount = 100000;
+  std::vector<std::atomic<int>> hits(kCount);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kCount, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "iteration " << i;
+  }
+}
+
+TEST(ThreadPoolTest, CountSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(3, [&](int64_t i) {
+    sum.fetch_add(i + 1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 6);
+  // Empty loops must be a no-op, not a hang.
+  pool.ParallelFor(0, [&](int64_t) { FAIL() << "no iterations expected"; });
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(64, [&](int64_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), 64 * 63 / 2) << "round " << round;
+  }
+}
+
+// Work stealing: front-load all the cost onto the first iterations so the
+// worker that owns them lags; the loop only finishes in reasonable time if
+// the other workers steal the tail. Correctness (every index exactly once)
+// is what we assert — timing is not, since CI machines may be single-core.
+TEST(ThreadPoolTest, SkewedWorkStillCompletes) {
+  ThreadPool pool(4);
+  constexpr int64_t kCount = 400;
+  std::vector<std::atomic<int>> hits(kCount);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kCount, [&](int64_t i) {
+    if (i < 4) {  // four slow iterations land in worker 0's range
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "iteration " << i;
+  }
+}
+
+// Reentrant ParallelFor from inside a loop body must run inline (documented
+// degradation) rather than deadlock on the pool's own workers.
+TEST(ThreadPoolTest, ReentrantCallRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> inner_sum{0};
+  pool.ParallelFor(4, [&](int64_t) {
+    pool.ParallelFor(8, [&](int64_t j) {
+      inner_sum.fetch_add(j, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_sum.load(), 4 * (8 * 7 / 2));
+}
+
+TEST(ThreadPoolTest, ShardsForBalancesWithoutOverSharding) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.ShardsFor(0), 1);   // degenerate: one empty shard
+  EXPECT_EQ(pool.ShardsFor(1), 1);
+  EXPECT_EQ(pool.ShardsFor(7), 7);   // never more shards than items
+  EXPECT_EQ(pool.ShardsFor(1000), 16);  // 4x threads for balance
+  ThreadPool one(1);
+  EXPECT_EQ(one.ShardsFor(1000), 4);
+}
+
+}  // namespace
+}  // namespace eca

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cost/cost_model.h"
 #include "cost/histogram.h"
 #include "testing/random_data.h"
@@ -116,6 +118,63 @@ TEST(CostModelTest, CompensationCosts) {
       Plan::Comp(CompOp::Lambda(p, RelSet::Single(1)), join->Clone());
   EXPECT_GT(cost.Cost(*with_beta), cost.Cost(*with_lambda));
   EXPECT_GT(cost.Cost(*with_lambda), base);
+}
+
+// Regression: user-supplied TableStats can report 0 distinct values (an
+// all-NULL join column, or hand-built stats). 1/0 in the equi-selectivity
+// poisoned every cardinality above the predicate with inf, which then made
+// all plans compare equal. The divisions must clamp distinct >= 1.
+TEST(CostModelTest, ZeroDistinctStaysFinite) {
+  TableStats left;
+  left.rows = 100;
+  left.distinct["k"] = 0;  // e.g. an all-NULL column
+  TableStats right;
+  right.rows = 50;
+  right.distinct["k"] = 0;
+  CostModel cost(std::vector<TableStats>{left, right});
+
+  PredRef join = EquiJoin(0, "k", 1, "k", "p01");
+  double sel = cost.Selectivity(*join);
+  EXPECT_TRUE(std::isfinite(sel)) << sel;
+  EXPECT_LE(sel, 1.0);
+
+  // Column-vs-constant equality divides by the other side's distinct count.
+  PredRef vs_const = Eq(Col(0, "k"), Lit(7));
+  double sel_const = cost.Selectivity(*vs_const);
+  EXPECT_TRUE(std::isfinite(sel_const)) << sel_const;
+  EXPECT_LE(sel_const, 1.0);
+
+  PlanPtr plan = Plan::Join(JoinOp::kInner, join, Plan::Leaf(0),
+                            Plan::Leaf(1));
+  EXPECT_TRUE(std::isfinite(cost.Cardinality(*plan)));
+  EXPECT_TRUE(std::isfinite(cost.Cost(*plan)));
+}
+
+// Regression: the sampled-selectivity cache was keyed by the Predicate's
+// address. A CostModel outlives individual queries, and the allocator
+// routinely hands a freed predicate's address to the next query's
+// (different) predicate — which then got served the stale selectivity.
+// Two structurally different predicates cycled through fresh allocations
+// must always get their own estimates.
+TEST(CostModelTest, SampleCacheSurvivesPredicateAddressReuse) {
+  Database db;
+  db.Add(SequenceRelation(0, 100));
+  CostModel cost = CostModel::FromDatabase(db);
+  for (int i = 0; i < 64; ++i) {
+    // v > 1*v: never true (selectivity 0). Arith form forces the sampled
+    // path, which is the one that caches.
+    PredRef never = Gt(Col(0, "v"),
+                       Scalar::Arith(Scalar::ArithOp::kMul, LitReal(1.0),
+                                     Col(0, "v")));
+    EXPECT_NEAR(cost.Selectivity(*never), 0.0, 1e-9) << "iteration " << i;
+    never.reset();  // free, so the next allocation may reuse the address
+    // v > 0*v: true for every sampled row but v=0.
+    PredRef most = Gt(Col(0, "v"),
+                      Scalar::Arith(Scalar::ArithOp::kMul, LitReal(0.0),
+                                    Col(0, "v")));
+    EXPECT_GT(cost.Selectivity(*most), 0.5) << "iteration " << i;
+    most.reset();
+  }
 }
 
 TEST(CostModelTest, NestedLoopPenalizedOverHash) {

@@ -1,6 +1,7 @@
 // ecafuzz — fault-injected differential fuzzer for the optimizer pipeline.
 //
-//   ecafuzz [--queries N] [--seed S] [--max-rels N] [--smoke] [--verbose]
+//   ecafuzz [--queries N] [--seed S] [--max-rels N] [--threads N]
+//           [--smoke] [--verbose]
 //
 // Each iteration derives everything from one seed: a random database, a
 // random query, a random approach (ECA / TBA / CBA), a random enumeration
@@ -16,6 +17,9 @@
 //
 //   --smoke   deterministic CI profile: 200 queries, fixed seed, no
 //             wall-clock budgets (those are timing-dependent).
+//   --threads runs the optimized plan on a worker pool while the oracle
+//             side stays single-threaded, so the differential check also
+//             proves parallel execution matches sequential execution.
 
 #include <cstdio>
 #include <cstring>
@@ -40,6 +44,7 @@ struct FuzzConfig {
   int64_t queries = 500;
   uint64_t seed = 1;
   int max_rels = 5;
+  int threads = 1;
   bool smoke = false;
   bool verbose = false;
 };
@@ -50,6 +55,10 @@ struct TrialSetup {
   Optimizer::Approach approach = Optimizer::Approach::kECA;
   bool reuse_subplans = true;
   EnumeratorBudget budget;
+  // Thread count for executing the optimized plan (--threads); the oracle
+  // side is always single-threaded, so the comparison doubles as a
+  // parallel-vs-sequential equivalence check.
+  int exec_threads = 1;
   // skip counts per fault point; -1 = disarmed.
   int64_t fault_skip[static_cast<int>(FaultPoint::kNumPoints)] = {-1, -1, -1};
 
@@ -71,6 +80,9 @@ struct TrialSetup {
     }
     if (budget.wall_clock_ms > 0) {
       out += " wall_ms=" + std::to_string(budget.wall_clock_ms);
+    }
+    if (exec_threads != 1) {
+      out += " threads=" + std::to_string(exec_threads);
     }
     for (int p = 0; p < static_cast<int>(FaultPoint::kNumPoints); ++p) {
       if (fault_skip[p] >= 0) {
@@ -104,6 +116,7 @@ Trial MakeTrial(uint64_t seed, const FuzzConfig& cfg) {
   t.query = RandomQuery(rng, qopts, dopts);
 
   TrialSetup& s = t.setup;
+  s.exec_threads = cfg.threads;
   s.approach = static_cast<Optimizer::Approach>(rng.Uniform(0, 2));
   s.reuse_subplans = rng.Bernoulli(0.7);
   if (rng.Bernoulli(0.5)) {
@@ -161,9 +174,12 @@ std::string RunTrial(const Trial& t, const TrialSetup& setup,
     return "nodes=1 budget did not set stats.degraded";
   }
 
-  Optimizer plain;  // execute with default options on both sides
+  Optimizer plain;  // the oracle side always executes single-threaded
   Relation expect = plain.Execute(*t.query, t.db);
-  Relation got = plain.Execute(*best->plan, t.db);
+  Optimizer::Options exec_opts;
+  exec_opts.num_threads = setup.exec_threads;
+  Optimizer threaded{exec_opts};
+  Relation got = threaded.Execute(*best->plan, t.db);
   if (!SameMultiset(CanonicalizeColumnOrder(expect),
                     CanonicalizeColumnOrder(got))) {
     return "DIVERGENCE: optimized plan result differs from the query\n" +
@@ -252,6 +268,8 @@ int Main(int argc, char** argv) {
       cfg.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--max-rels") == 0 && i + 1 < argc) {
       cfg.max_rels = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      cfg.threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       cfg.smoke = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
@@ -259,14 +277,16 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\nusage: ecafuzz [--queries N] "
-                   "[--seed S] [--max-rels N] [--smoke] [--verbose]\n",
+                   "[--seed S] [--max-rels N] [--threads N] [--smoke] "
+                   "[--verbose]\n",
                    argv[i]);
       return 2;
     }
   }
   if (cfg.smoke && !queries_set) cfg.queries = 200;
-  if (cfg.max_rels < 2 || cfg.queries <= 0) {
-    std::fprintf(stderr, "need --max-rels >= 2 and --queries > 0\n");
+  if (cfg.max_rels < 2 || cfg.queries <= 0 || cfg.threads < 1) {
+    std::fprintf(stderr,
+                 "need --max-rels >= 2, --queries > 0 and --threads >= 1\n");
     return 2;
   }
 

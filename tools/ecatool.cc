@@ -9,12 +9,14 @@
 //       (TBA / CBA / ECA) can realize it.
 //
 //   ecatool explain "<plan>" --pred name="<expr>" ... [--rows N]
-//           [--approach eca|tba|cba] [--data <dir>]
+//           [--approach eca|tba|cba] [--data <dir>] [--threads N]
 //       Optimize the query — with all three approaches, or just the one
 //       named by --approach — and print plans, costs and EXPLAIN ANALYZE.
 //       Data is random (N rows per relation) unless --data names a
 //       directory of R<i>.tbl files (columns k,a,b as written by the
-//       generators; see gen-tpch for TPC-H-style tables).
+//       generators; see gen-tpch for TPC-H-style tables). --threads runs
+//       the executions on a worker pool; results are identical for every
+//       thread count (docs/performance.md).
 //
 // Plan syntax is the library's compact notation, e.g.
 //   "(R0 laj[p01] (R1 laj[p12] R2))"
@@ -50,7 +52,8 @@ int Usage() {
                "  ecatool gen-tpch <sf> <dir>\n"
                "  ecatool orderings \"<plan>\" --pred name=\"<expr>\"...\n"
                "  ecatool explain \"<plan>\" --pred name=\"<expr>\"... "
-               "[--rows N] [--approach eca|tba|cba] [--data <dir>]\n");
+               "[--rows N] [--approach eca|tba|cba] [--data <dir>] "
+               "[--threads N]\n");
   return 2;
 }
 
@@ -58,6 +61,7 @@ int Usage() {
 struct ExplainArgs {
   std::vector<Optimizer::Approach> approaches;
   std::string data_dir;
+  int num_threads = 1;
 };
 
 bool ParsePredArgs(int argc, char** argv, int start,
@@ -75,6 +79,14 @@ bool ParsePredArgs(int argc, char** argv, int start,
     } else if (explain != nullptr && std::strcmp(argv[i], "--data") == 0 &&
                i + 1 < argc) {
       explain->data_dir = argv[++i];
+    } else if (explain != nullptr && std::strcmp(argv[i], "--threads") == 0 &&
+               i + 1 < argc) {
+      explain->num_threads = std::atoi(argv[++i]);
+      if (explain->num_threads < 1) {
+        std::fprintf(stderr, "bad --threads value '%s' (want >= 1)\n",
+                     argv[i]);
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--pred") == 0 && i + 1 < argc) {
       std::string spec = argv[++i];
       size_t eq = spec.find('=');
@@ -243,6 +255,7 @@ int Explain(int argc, char** argv) {
   for (auto approach : extra.approaches) {
     Optimizer::Options opts;
     opts.approach = approach;
+    opts.num_threads = extra.num_threads;
     Optimizer opt{opts};
     StatusOr<Optimizer::Optimized> best = opt.OptimizeChecked(*plan, db);
     if (!best.ok()) {
