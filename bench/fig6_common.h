@@ -15,6 +15,7 @@
 
 #include "enumerate/enumerator.h"
 #include "enumerate/realize.h"
+#include "enumerate/subtree.h"
 #include "exec/executor.h"
 #include "tpch/paper_queries.h"
 

@@ -1,8 +1,10 @@
 #ifndef ECA_ALGEBRA_PLAN_H_
 #define ECA_ALGEBRA_PLAN_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "algebra/comp_op.h"
@@ -89,6 +91,19 @@ Schema PlanOutputSchema(const Plan& plan, const std::vector<Schema>& base);
 // Structural equality (same shape, ops, predicates by pointer-or-label,
 // comp parameters).
 bool PlanEquals(const Plan& a, const Plan& b);
+
+// Order-sensitive 64-bit structural fingerprint of the whole tree: node
+// kinds, leaf relation ids, join operators, predicate structure
+// (StructuralFingerprint — labels ignored) and compensation parameters
+// including the group vnode. Two plans with equal fingerprints are
+// structurally identical modulo 64-bit collisions; the enumerator keys its
+// subtree-cost memo on this and uses it as the deterministic tie-break when
+// merging parallel search results. `pred_cache`, when given, memoizes
+// predicate fingerprints by object identity (predicates are shared across
+// clones, so a search-long cache turns the predicate walk into a lookup).
+uint64_t PlanFingerprint(
+    const Plan& plan,
+    std::unordered_map<const Predicate*, uint64_t>* pred_cache = nullptr);
 
 // Returns the unique_ptr slot that owns `node` within `root`, or nullptr if
 // `node` is not in the tree. (`root_slot` must own the tree root.)

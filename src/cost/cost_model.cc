@@ -97,8 +97,11 @@ double CostModel::SampleSelectivity(const Predicate& pred) const {
   // reused by the allocator for the next query's (different) predicate —
   // an address-keyed cache would serve it a stale selectivity.
   const uint64_t key = StructuralFingerprint(pred);
-  auto cached = sample_cache_.find(key);
-  if (cached != sample_cache_.end()) return cached->second;
+  {
+    std::lock_guard<std::mutex> lock(sample_cache_mu_);
+    auto cached = sample_cache_.find(key);
+    if (cached != sample_cache_.end()) return cached->second;
+  }
   RelSet refs = pred.refs();
   if (refs.Empty() || refs.Count() > 2) return -1;
   Schema combined;
@@ -132,7 +135,10 @@ double CostModel::SampleSelectivity(const Predicate& pred) const {
   double sel = total == 0
                    ? -1
                    : static_cast<double>(trues) / static_cast<double>(total);
-  sample_cache_[key] = sel;
+  {
+    std::lock_guard<std::mutex> lock(sample_cache_mu_);
+    sample_cache_[key] = sel;
+  }
   return sel;
 }
 

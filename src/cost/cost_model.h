@@ -1,6 +1,7 @@
 #ifndef ECA_COST_COST_MODEL_H_
 #define ECA_COST_COST_MODEL_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +41,14 @@ class CostModel {
  public:
   explicit CostModel(std::vector<TableStats> base_stats);
 
+  // Movable (FromDatabase returns by value); the cache mutex is not moved —
+  // the source must not be mid-Cost() on another thread, which trivially
+  // holds for the construction sites.
+  CostModel(CostModel&& other) noexcept
+      : base_(std::move(other.base_)),
+        samples_(std::move(other.samples_)),
+        sample_cache_(std::move(other.sample_cache_)) {}
+
   // Convenience: compute stats from actual tables.
   static CostModel FromDatabase(const Database& db);
 
@@ -73,7 +82,11 @@ class CostModel {
   std::vector<Relation> samples_;  // per rel_id; may be empty
   // Memoized per-predicate selectivities (sampling is not free), keyed by
   // StructuralFingerprint so entries stay valid across queries whose
-  // predicate objects are freed and their addresses reused.
+  // predicate objects are freed and their addresses reused. Guarded by a
+  // mutex: one CostModel is shared by every task of a parallel enumeration
+  // (Cost() stays logically const, and a selectivity for a given
+  // fingerprint is the same no matter which thread computes it).
+  mutable std::mutex sample_cache_mu_;
   mutable std::unordered_map<uint64_t, double> sample_cache_;
 };
 

@@ -14,6 +14,7 @@ Optimizer::Optimized Optimizer::Optimize(const Plan& query,
   EnumeratorOptions opts;
   opts.policy = policy();
   opts.reuse_subplans = options_.reuse_subplans;
+  opts.num_threads = options_.num_threads;
   opts.budget = options_.budget;
   TopDownEnumerator enumerator(&cost, opts);
   auto result = enumerator.Optimize(query);

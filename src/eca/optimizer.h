@@ -35,8 +35,9 @@ class Optimizer {
     bool reuse_subplans = true;
     Executor::JoinPreference join_preference =
         Executor::JoinPreference::kHash;
-    // Threads for Execute()'s partitioned join/compensation evaluation;
-    // results are byte-identical for every value (docs/performance.md).
+    // Threads for Execute()'s partitioned join/compensation evaluation and
+    // for Optimize()'s root-level pair enumeration; results are
+    // byte-identical for every value (docs/performance.md).
     int num_threads = 1;
     // Run the compensation cleanup pass on the chosen plan (removes
     // identity projections, redundant best-matches, ...).

@@ -1,9 +1,18 @@
 #include "enumerate/enumerator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <limits>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/thread_pool.h"
+#include "enumerate/subtree.h"
 #include "rewrite/oj_simplify.h"
 #include "testing/fault_injection.h"
 
@@ -19,17 +28,47 @@ int64_t SteadyNowMs() {
       .count();
 }
 
-// Collects the display names of the join predicates inside `sub`.
-void CollectJoinPredNames(const Plan* sub, std::set<std::string>* out) {
-  std::vector<Plan*> joins;
-  CollectJoins(const_cast<Plan*>(sub), &joins);
-  for (const Plan* j : joins) {
-    out->insert(j->pred() ? j->pred()->DisplayName() : "cross");
-  }
+uint64_t FpMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h * 1099511628211ULL;
 }
 
-// Collects comp vnode ids in `node`'s subtree.
-void CollectVnodes(const Plan* node, std::set<int>* out) {
+int64_t CountNodes(const Plan* node) {
+  if (node == nullptr) return 0;
+  switch (node->kind()) {
+    case Plan::Kind::kLeaf:
+      return 1;
+    case Plan::Kind::kJoin:
+      return 1 + CountNodes(node->left()) + CountNodes(node->right());
+    case Plan::Kind::kComp:
+      return 1 + CountNodes(node->child());
+  }
+  return 1;
+}
+
+// A plan plus the rewrite history its swaps accumulated.
+struct APlan {
+  PlanPtr root;
+  RewriteContext ctx;
+};
+
+// Sorted, deduplicated interned ids of the join predicates inside `sub`.
+// Joins without a predicate intern as PredNameInterner::kCross, matching
+// the "cross" pseudo-name the d-edge recording uses.
+std::vector<int> JoinPredIdsOf(const Plan* sub, RewriteContext* ctx) {
+  std::vector<Plan*> joins;
+  CollectJoins(const_cast<Plan*>(sub), &joins);
+  std::vector<int> ids;
+  ids.reserve(joins.size());
+  PredNameInterner& interner = ctx->Interner();
+  for (const Plan* j : joins) ids.push_back(interner.Intern(j->pred()));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+// Sorted, deduplicated comp-group vnodes in `node`'s subtree.
+void CollectVnodes(const Plan* node, std::vector<int>* out) {
   if (node == nullptr) return;
   switch (node->kind()) {
     case Plan::Kind::kLeaf:
@@ -39,10 +78,18 @@ void CollectVnodes(const Plan* node, std::set<int>* out) {
       CollectVnodes(node->right(), out);
       return;
     case Plan::Kind::kComp:
-      if (node->comp().vnode >= 0) out->insert(node->comp().vnode);
+      if (node->comp().vnode >= 0) out->push_back(node->comp().vnode);
       CollectVnodes(node->child(), out);
       return;
   }
+}
+
+std::vector<int> VnodesOf(const Plan* node) {
+  std::vector<int> v;
+  CollectVnodes(node, &v);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
 }
 
 void RemapVnodes(Plan* node, int offset) {
@@ -61,6 +108,599 @@ void RemapVnodes(Plan* node, int offset) {
       RemapVnodes(node->child(), offset);
       return;
   }
+}
+
+bool Contains(const std::vector<int>& sorted, int v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+// One external d-edge key: the (source, label_a, label_b) name triple as
+// interner ids. Ids are task-local but the memo is too, so exact id
+// comparison is exact name comparison.
+struct ExtKey {
+  int src = 0;
+  int a = 0;
+  int b = 0;
+
+  bool operator==(const ExtKey& o) const {
+    return src == o.src && a == o.a && b == o.b;
+  }
+  bool operator<(const ExtKey& o) const {
+    if (src != o.src) return src < o.src;
+    if (a != o.a) return a < o.a;
+    return b < o.b;
+  }
+};
+
+// A cached optimal subplan: just the subtree for S (not the whole plan the
+// seed enumerator stored) plus everything a graft needs — the subtree's own
+// d-edges and the producer's vnode counter for remapping into the consumer.
+struct MemoEntry {
+  RelSet s;
+  std::vector<ExtKey> ext_keys;  // full key: verified on every probe
+  PlanPtr subtree;
+  double cost = 0;
+  std::vector<DEdge> dedges;  // producer-id space; vnodes unremapped
+  int next_vnode = 1;         // producer's counter at store time
+};
+
+// Budget state shared by every root task. Counters that feed hard caps are
+// atomics; the degraded/trigger report is first-trigger-wins under a mutex.
+struct SharedState {
+  const EnumeratorOptions* options = nullptr;
+  int64_t deadline_ms = 0;
+  std::atomic<int64_t> subplan_calls{0};
+  std::atomic<int64_t> cache_entries{0};
+  std::atomic<bool> stop{false};
+  std::mutex trip_mu;
+  bool degraded = false;
+  BudgetTrigger trigger = BudgetTrigger::kNone;
+
+  void Trip(BudgetTrigger t, bool hard) {
+    {
+      std::lock_guard<std::mutex> lock(trip_mu);
+      if (!degraded) {
+        degraded = true;
+        trigger = t;
+      }
+    }
+    if (hard) stop.store(true, std::memory_order_relaxed);
+  }
+
+  bool Exhausted() {
+    if (stop.load(std::memory_order_relaxed)) return true;
+    if (FaultInjector::ShouldFail(FaultPoint::kEnumeratorBudget)) {
+      Trip(BudgetTrigger::kInjectedFault, /*hard=*/true);
+      return true;
+    }
+    const EnumeratorBudget& b = options->budget;
+    if (b.max_enumerated_nodes > 0 &&
+        subplan_calls.load(std::memory_order_relaxed) >=
+            b.max_enumerated_nodes) {
+      Trip(BudgetTrigger::kEnumeratedNodes, /*hard=*/true);
+      return true;
+    }
+    if (deadline_ms > 0 && SteadyNowMs() >= deadline_ms) {
+      Trip(BudgetTrigger::kWallClock, /*hard=*/true);
+      return true;
+    }
+    return false;
+  }
+};
+
+// The search state of one root task: its memo, its fingerprint caches and
+// its slice of the statistics. Tasks never share a Search, so everything
+// here is single-threaded; cross-task coordination goes through
+// SharedState only.
+class Search {
+ public:
+  Search(const CostModel* cost, SharedState* shared,
+         const EnumeratorOptions& options)
+      : cost_(cost), shared_(shared), opt_(options) {}
+
+  EnumeratorStats stats;
+
+  // In-place Algorithm 2/5: finds the cheapest realization of relation set
+  // `s` inside p's subtree under the join at `i_path` (the whole plan when
+  // absent). On success returns true with the winner installed in *p; on
+  // failure returns false with *p exactly as on entry. `bound` is the
+  // branch-and-bound upper limit inherited from the caller: any realization
+  // costing strictly more than bound is useless to the caller, so the
+  // search may abandon such candidates early. Realizations tying the bound
+  // exactly must still complete — the root merge distinguishes equal-cost
+  // plans by fingerprint. The search must not cache its best when the
+  // bound cut anything off, because that best is only "best under the
+  // bound".
+  bool GenerateSubplan(APlan* p, const std::optional<NodePath>& i_path,
+                       RelSet s, double bound);
+
+  double SubtreeCost(const APlan& p, RelSet s) {
+    const Plan* sub = SubtreeOf(p.root.get(), s);
+    if (!opt_.cost_memo) {
+      ++stats.cost_evals;
+      return cost_->Cost(*sub);
+    }
+    uint64_t fp = PlanFingerprint(*sub, &pred_fp_);
+    auto it = cost_memo_.find(fp);
+    if (it != cost_memo_.end()) {
+      ++stats.cost_memo_hits;
+      return it->second;
+    }
+    if (base_cost_memo_ != nullptr) {
+      auto bit = base_cost_memo_->find(fp);
+      if (bit != base_cost_memo_->end()) {
+        ++stats.cost_memo_hits;
+        return bit->second;
+      }
+    }
+    ++stats.cost_evals;
+    double c = cost_->Cost(*sub);
+    cost_memo_.emplace(fp, c);
+    return c;
+  }
+
+  uint64_t Fingerprint(const Plan& plan) {
+    return PlanFingerprint(plan, &pred_fp_);
+  }
+
+  // Wave memo sharing (see Optimize): this search probes `base` — a memo
+  // from an earlier wave, frozen for the duration of this search — after
+  // its own overlay. The caller guarantees `base` (and the cost memo)
+  // outlives this search, is never written while any wave task runs, and
+  // that the interner this search works with was forked from the base
+  // interner after the last merge, so the int ids inside base entries keep
+  // their meaning here.
+  void SetBase(const Search& base) {
+    base_memo_ = &base.memo_;
+    base_cost_memo_ = &base.cost_memo_;
+  }
+
+  // Deterministic barrier merge for the multi-wave schedule: moves the
+  // overlay task's memo entries into this (base) memo under the usual
+  // update-if-strictly-cheaper discipline, translating interner ids from
+  // the overlay's fork into the base id space by name (new names grow the
+  // base interner, so later waves fork a superset and ids stay aligned).
+  // Entry content is deterministic per task and merge order is pair order,
+  // so the merged memo is identical at any thread count. Must only run
+  // between waves — never while a task is probing this memo.
+  void AbsorbOverlay(Search* overlay, const PredNameInterner& overlay_ids,
+                     PredNameInterner* base_ids) {
+    std::vector<int> xlat(static_cast<size_t>(overlay_ids.size()), -1);
+    auto translate = [&](int id) {
+      int& t = xlat[static_cast<size_t>(id)];
+      if (t < 0) t = base_ids->InternName(overlay_ids.NameOf(id));
+      return t;
+    };
+    for (auto& [map_key, entries] : overlay->memo_) {
+      std::vector<MemoEntry>& bucket = memo_[map_key];
+      for (MemoEntry& oe : entries) {
+        for (ExtKey& k : oe.ext_keys) {
+          k.src = translate(k.src);
+          k.a = translate(k.a);
+          k.b = translate(k.b);
+        }
+        // Probes sort keys by id; re-establish that order in base id space.
+        std::sort(oe.ext_keys.begin(), oe.ext_keys.end());
+        for (DEdge& e : oe.dedges) {
+          e.src_pred = translate(e.src_pred);
+          e.label_a = translate(e.label_a);
+          e.label_b = translate(e.label_b);
+        }
+        bool matched = false;
+        for (MemoEntry& be : bucket) {
+          if (be.s == oe.s && be.ext_keys == oe.ext_keys) {
+            if (oe.cost < be.cost) be = std::move(oe);
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) bucket.push_back(std::move(oe));
+      }
+    }
+    overlay->memo_.clear();
+    // Subtree costs are keyed by canonical fingerprints, so they merge
+    // without translation; first writer wins (all writers agree).
+    for (const auto& [fp, c] : overlay->cost_memo_) {
+      cost_memo_.try_emplace(fp, c);
+    }
+    overlay->cost_memo_.clear();
+  }
+
+ private:
+  struct Probe {
+    std::vector<ExtKey> keys;  // sorted
+    uint64_t map_key = 0;
+  };
+
+  // The external d-edge signature of subtree(p, s): every d-edge whose
+  // source join lies inside but whose dependency target does not (or exists
+  // both inside and out), per Theorem 5.4. The sorted key vector is the full
+  // identity; map_key compresses (s, signature) to the 64-bit memo index.
+  Probe MakeProbe(APlan* p, RelSet s) {
+    const Plan* sub = SubtreeOf(p->root.get(), s);
+    std::vector<int> inside_ids = JoinPredIdsOf(sub, &p->ctx);
+    std::vector<int> inside_vnodes = VnodesOf(sub);
+    std::vector<int> all_vnodes = VnodesOf(p->root.get());
+    Probe probe;
+    for (const DEdge& e : p->ctx.dedges) {
+      if (!Contains(inside_ids, e.src_pred)) continue;
+      bool external;
+      if (e.vnode == DEdge::kContextVnode) {
+        // Fold/simplify markers: the dependency is on the causing predicate.
+        external = !Contains(inside_ids, e.label_b);
+      } else {
+        bool in = Contains(inside_vnodes, e.vnode);
+        bool out_exists = !in && Contains(all_vnodes, e.vnode);
+        external = !in || out_exists;
+      }
+      if (external) probe.keys.push_back({e.src_pred, e.label_a, e.label_b});
+    }
+    std::sort(probe.keys.begin(), probe.keys.end());
+    uint64_t sig = 0;
+    if (!opt_.collide_signatures && !opt_.unsafe_ignore_dedges) {
+      // Hash canonical per-name hashes, not ids, so the signature depends
+      // only on the names involved (ids are interner-order dependent).
+      const PredNameInterner& interner = p->ctx.Interner();
+      sig = 1469598103934665603ULL;
+      for (const ExtKey& k : probe.keys) {
+        sig = FpMix(sig, interner.HashOf(k.src));
+        sig = FpMix(sig, interner.HashOf(k.a));
+        sig = FpMix(sig, interner.HashOf(k.b));
+      }
+    }
+    probe.map_key = FpMix(FpMix(0x5eedULL, s.bits()), sig);
+    return probe;
+  }
+
+  const MemoEntry* FindIn(
+      const std::unordered_map<uint64_t, std::vector<MemoEntry>>& memo,
+      const Probe& probe, RelSet s, bool count_collisions) {
+    auto it = memo.find(probe.map_key);
+    if (it == memo.end()) return nullptr;
+    if (opt_.unsafe_ignore_dedges) {
+      // ABLATION (Example 5.1): first entry for the relation set, external
+      // dependencies ignored — the unsound shortcut under test.
+      for (const MemoEntry& e : it->second) {
+        if (e.s == s) return &e;
+      }
+      return nullptr;
+    }
+    for (const MemoEntry& e : it->second) {
+      if (e.s != s) continue;
+      if (e.ext_keys == probe.keys) return &e;
+      // Same 64-bit (s, signature) slot, different full key: a signature
+      // collision a hash-only memo would have grafted unsoundly.
+      if (count_collisions) ++stats.sig_collisions;
+    }
+    return nullptr;
+  }
+
+  // Overlay first, then the frozen base. An overlay entry shadows a base
+  // entry with the same full key only when it is strictly cheaper
+  // (StoreEntry maintains that invariant), so preferring the overlay is the
+  // same update-if-cheaper discipline a single sequential memo has.
+  const MemoEntry* FindEntry(const Probe& probe, RelSet s) {
+    if (const MemoEntry* e =
+            FindIn(memo_, probe, s, /*count_collisions=*/true)) {
+      return e;
+    }
+    if (base_memo_ != nullptr) {
+      return FindIn(*base_memo_, probe, s, /*count_collisions=*/true);
+    }
+    return nullptr;
+  }
+
+  void StoreEntry(APlan* p, RelSet s, const Probe& probe, double cost) {
+    const Plan* sub = SubtreeOf(p->root.get(), s);
+    std::vector<MemoEntry>& bucket = memo_[probe.map_key];
+    for (MemoEntry& e : bucket) {
+      if (e.s == s && e.ext_keys == probe.keys) {
+        if (cost < e.cost) {
+          e.subtree = sub->Clone();
+          stats.cloned_nodes += CountNodes(e.subtree.get());
+          e.cost = cost;
+          e.dedges = OwnDEdges(p, sub);
+          e.next_vnode = p->ctx.next_vnode;
+        }
+        return;
+      }
+    }
+    if (base_memo_ != nullptr) {
+      const MemoEntry* base =
+          FindIn(*base_memo_, probe, s, /*count_collisions=*/false);
+      // Seed semantics against the frozen base: a same-key entry only
+      // enters the overlay when strictly cheaper than the base's, so
+      // FindEntry's overlay-first order never returns a worse subplan.
+      if (base != nullptr && cost >= base->cost) return;
+    }
+    const EnumeratorBudget& b = opt_.budget;
+    if (b.max_memo_entries > 0 &&
+        shared_->cache_entries.load(std::memory_order_relaxed) >=
+            b.max_memo_entries) {
+      // Memo full: keep searching without caching this subplan. The search
+      // stays exhaustive (soft trigger), it just loses reuse opportunities.
+      shared_->Trip(BudgetTrigger::kMemoEntries, /*hard=*/false);
+      return;
+    }
+    MemoEntry e;
+    e.s = s;
+    e.ext_keys = probe.keys;
+    e.subtree = sub->Clone();
+    stats.cloned_nodes += CountNodes(e.subtree.get());
+    e.cost = cost;
+    e.dedges = OwnDEdges(p, sub);
+    e.next_vnode = p->ctx.next_vnode;
+    bucket.push_back(std::move(e));
+    shared_->cache_entries.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // The d-edges whose source join lies inside `sub` — what a graft of this
+  // subtree must carry along.
+  std::vector<DEdge> OwnDEdges(APlan* p, const Plan* sub) {
+    std::vector<int> ids = JoinPredIdsOf(sub, &p->ctx);
+    std::vector<DEdge> out;
+    for (const DEdge& e : p->ctx.dedges) {
+      if (Contains(ids, e.src_pred)) out.push_back(e);
+    }
+    return out;
+  }
+
+  void Graft(APlan* p, RelSet s, const MemoEntry& entry) {
+    Plan* dst = SubtreeOf(p->root.get(), s);
+    // Drop dependency edges owned by the replaced subplan.
+    std::vector<int> replaced = JoinPredIdsOf(dst, &p->ctx);
+    std::vector<DEdge> kept;
+    for (const DEdge& e : p->ctx.dedges) {
+      if (!Contains(replaced, e.src_pred)) kept.push_back(e);
+    }
+    // Graft a clone with compensation-group ids remapped into p's id space,
+    // and import the graft's dependency edges.
+    PlanPtr graft = entry.subtree->Clone();
+    stats.cloned_nodes += CountNodes(graft.get());
+    int offset = p->ctx.next_vnode;
+    RemapVnodes(graft.get(), offset);
+    for (DEdge moved : entry.dedges) {
+      if (moved.vnode >= 0) moved.vnode += offset;
+      kept.push_back(moved);
+    }
+    p->ctx.next_vnode += entry.next_vnode;
+    p->ctx.dedges = std::move(kept);
+    PlanPtr* slot = FindSlot(p->root, dst);
+    ECA_CHECK(slot != nullptr);
+    *slot = std::move(graft);
+  }
+
+  const CostModel* cost_;
+  SharedState* shared_;
+  const EnumeratorOptions& opt_;
+  // (relation set, ext-d-edge signature) -> candidate entries. Collisions
+  // on the 64-bit index land in one bucket and are told apart by the stored
+  // full key.
+  std::unordered_map<uint64_t, std::vector<MemoEntry>> memo_;
+  const std::unordered_map<uint64_t, std::vector<MemoEntry>>* base_memo_ =
+      nullptr;
+  std::unordered_map<const Predicate*, uint64_t> pred_fp_;
+  std::unordered_map<uint64_t, double> cost_memo_;
+  const std::unordered_map<uint64_t, double>* base_cost_memo_ = nullptr;
+};
+
+bool Search::GenerateSubplan(APlan* p, const std::optional<NodePath>& i_path,
+                             RelSet s, double bound) {
+  if (shared_->Exhausted()) return false;
+  shared_->subplan_calls.fetch_add(1, std::memory_order_relaxed);
+  if (s.Count() <= 1) {
+    // Best access path: a scan of the base relation (the only access path
+    // in this engine; bestAccess[] hook of Algorithm 1).
+    return true;
+  }
+
+  Probe probe;
+  if (opt_.reuse_subplans) {
+    probe = MakeProbe(p, s);
+    if (const MemoEntry* entry = FindEntry(probe, s)) {
+      ++stats.reuses;
+      Graft(p, s, *entry);
+      return true;
+    }
+  }
+
+  std::vector<JoinablePair> pairs = JoinablePairs(p->root.get(), s);
+  if (pairs.empty()) return false;
+  // Record each pair's node path up front: the node pointers die with the
+  // first snapshot restore, the paths stay valid (restored trees are
+  // structurally identical).
+  std::vector<NodePath> pair_paths(pairs.size());
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    bool found = PathTo(p->root.get(), pairs[k].node, &pair_paths[k]);
+    ECA_CHECK(found);
+  }
+
+  // Clone-light state management. Every mutation made while positioning a
+  // join for pair k — the SwapUp chain and both recursions — stays inside
+  // the child slot of the i node that contains pair k's join (SwapUp only
+  // rewrites at and below the rising join's parent, which sits strictly
+  // below i until the chain terminates). So instead of deep-copying the
+  // whole plan per pair like the seed enumerator, we snapshot just that
+  // slot's subtree (lazily, per side) and restore it before the next pair.
+  // Slot keys: 0/1 = left/right child slot of the i node, 2 = the plan
+  // root (top-level calls, and the conservative fallback when a pair's
+  // join is not under the i node — the swap chain will fail for those, but
+  // it may still canonicalize nodes it touches).
+  auto slot_key_of = [&](size_t k) -> int {
+    if (!i_path.has_value()) return 2;
+    const NodePath& ip = *i_path;
+    if (pair_paths[k].size() > ip.size() &&
+        std::equal(ip.begin(), ip.end(), pair_paths[k].begin())) {
+      return pair_paths[k][ip.size()] == 0 ? 0 : 1;
+    }
+    return 2;
+  };
+  auto slot_of = [&](int key) -> PlanPtr* {
+    if (key == 2) return &p->root;
+    Plan* i_node = ResolvePath(p->root.get(), *i_path);
+    ECA_CHECK(i_node != nullptr && i_node->is_join());
+    return key == 0 ? &i_node->mutable_left() : &i_node->mutable_right();
+  };
+
+  PlanPtr snapshots[3];
+  RewriteContext saved_ctx = p->ctx;
+  int dirty_key = -1;
+
+  PlanPtr best_subtree;
+  RewriteContext best_ctx;
+  int best_key = -1;
+  double best_cost = kInf;
+
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    if (shared_->Exhausted()) break;
+    if (FaultInjector::ShouldFail(FaultPoint::kAllocation)) {
+      // Simulated clone-allocation failure: stop expanding this search
+      // branch and settle for the best plan found so far.
+      shared_->Trip(BudgetTrigger::kAllocationFault, /*hard=*/true);
+      break;
+    }
+    ++stats.pairs_considered;
+    if (dirty_key >= 0) {
+      PlanPtr* dirty_slot = slot_of(dirty_key);
+      *dirty_slot = snapshots[dirty_key]->Clone();
+      stats.cloned_nodes += CountNodes(dirty_slot->get());
+      p->ctx = saved_ctx;
+      dirty_key = -1;
+    }
+    const int key = slot_key_of(k);
+    PlanPtr* slot = slot_of(key);
+    if (snapshots[key] == nullptr) {
+      snapshots[key] = (*slot)->Clone();
+      stats.cloned_nodes += CountNodes(snapshots[key].get());
+    }
+    // dirty_key is set lazily, at the first mutation this pair commits (a
+    // SwapUp that reports a tree change, or a successful recursion). Pairs
+    // whose swap chain fails without touching the tree — the common way a
+    // decomposition dies — then cost no restore clone at the next pair.
+    // A failed recursion needs no mark either: GenerateSubplan's failure
+    // contract restores content exactly, so the slot is as the pair found
+    // it.
+
+    const JoinablePair& pair = pairs[k];
+    Plan* j = ResolvePath(p->root.get(), pair_paths[k]);
+    Plan* i_node =
+        i_path.has_value() ? ResolvePath(p->root.get(), *i_path) : nullptr;
+    // Pruning uses two cuts with different strictness. Against the local
+    // best, >= is right: a candidate at or above it can never strictly
+    // improve, which is all this loop asks. Against the inherited bound the
+    // cut must be tie-permissive (strictly above, plus slack so rounding
+    // only loosens it): a candidate costing exactly `bound` has to
+    // complete, because callers — ultimately the root merge — distinguish
+    // equal-cost plans by fingerprint, and the no-prune search would have
+    // produced that tie candidate.
+    const double tie_slack =
+        bound < kInf ? 1e-9 * (std::abs(bound) + 1.0) : 0.0;
+    const double eff_bound = opt_.prune ? std::min(bound, best_cost) : kInf;
+
+    // Move j upward until its parent join is i (Algorithm 2, steps 6-7).
+    bool feasible = true;
+    int chain = 0;
+    while (ParentJoin(p->root.get(), j) != i_node) {
+      if (shared_->Exhausted()) {
+        feasible = false;
+        break;
+      }
+      ++stats.swaps_attempted;
+      Plan* risen = nullptr;
+      if (FaultInjector::ShouldFail(FaultPoint::kRewriteRule)) {
+        // Simulated rewrite-rule failure: the swap is reported infeasible
+        // (soft trigger — other decompositions may still complete).
+        shared_->Trip(BudgetTrigger::kRewriteFault, /*hard=*/false);
+      } else {
+        bool sw_changed = false;
+        risen = SwapUp(p->root, j, &p->ctx, &sw_changed);
+        if (sw_changed) dirty_key = key;
+      }
+      if (risen == nullptr) {
+        ++stats.swaps_failed;
+        feasible = false;
+        break;
+      }
+      j = risen;
+      if (++chain > opt_.max_swap_chain) {
+        ++stats.swap_chain_guard_trips;
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+
+    // Recurse into the two sides (steps 8-9). j's child subtrees cover
+    // pair.s1 and pair.s2 (in some orientation).
+    NodePath j_path;
+    if (!PathTo(p->root.get(), j, &j_path)) continue;
+    RelSet left_set = j->left()->leaves();
+    RelSet first = left_set == pair.s1 || left_set.ContainsAll(pair.s1)
+                       ? pair.s1
+                       : pair.s2;
+    RelSet second = first == pair.s1 ? pair.s2 : pair.s1;
+
+    if (!GenerateSubplan(p, j_path, first, eff_bound)) continue;
+    dirty_key = key;  // a successful recursion rewrote the slot's subtree
+    double c1 = 0;
+    if (opt_.prune) {
+      // The cost model is additive with non-negative terms, so the first
+      // side's cost is a lower bound on the candidate's final cost.
+      c1 = SubtreeCost(*p, first);
+      if (c1 >= best_cost || c1 > bound + tie_slack) {
+        ++stats.prunes;
+        continue;
+      }
+    }
+    // Bound for the second side: what is left of eff_bound after paying
+    // c1, slackened by one epsilon so floating-point rounding can only
+    // loosen the pruning (never discard a would-be winner).
+    const double bound2 =
+        opt_.prune ? eff_bound - c1 + 1e-9 * (std::abs(eff_bound) + 1.0)
+                   : kInf;
+    if (!GenerateSubplan(p, j_path, second, bound2)) continue;
+
+    double cost = SubtreeCost(*p, s);
+    if (!i_path.has_value()) ++stats.plans_completed;
+#ifndef NDEBUG
+    if (opt_.prune) {
+      // The pruning rule is sound only while child costs lower-bound the
+      // parent cost; verify the cost model still satisfies that.
+      ECA_CHECK(cost >= c1);
+      double c2 = SubtreeCost(*p, second);
+      ECA_CHECK(cost + 1e-6 * (std::abs(cost) + 1.0) >= c1 + c2);
+    }
+#endif
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_key = key;
+      // Move the winner out instead of cloning it: the slot is dirty and
+      // will be restored from its snapshot before the next pair anyway (or
+      // refilled by the install below when this pair is the last).
+      best_subtree = std::move(*slot_of(key));
+      best_ctx = p->ctx;
+    }
+  }
+
+  if (best_subtree != nullptr) {
+    if (dirty_key >= 0 && dirty_key != best_key && best_key != 2) {
+      *slot_of(dirty_key) = std::move(snapshots[dirty_key]);
+    }
+    *slot_of(best_key) = std::move(best_subtree);
+    p->ctx = std::move(best_ctx);
+    // Cache only a best the bound did not constrain: under a finite bound,
+    // pruned candidates might have beaten this one for other callers.
+    if (opt_.reuse_subplans && best_cost < bound) {
+      StoreEntry(p, s, probe, best_cost);
+    }
+    return true;
+  }
+  if (dirty_key >= 0) {
+    PlanPtr* dirty_slot = slot_of(dirty_key);
+    *dirty_slot = std::move(snapshots[dirty_key]);
+    p->ctx = std::move(saved_ctx);
+  }
+  return false;
 }
 
 }  // namespace
@@ -85,245 +725,12 @@ const char* BudgetTriggerName(BudgetTrigger trigger) {
   return "unknown";
 }
 
-void TopDownEnumerator::Trip(BudgetTrigger trigger, bool hard) {
-  // The first trigger wins the report; later ones add no information.
-  if (!stats_.degraded) {
-    stats_.degraded = true;
-    stats_.trigger = trigger;
-  }
-  if (hard) stop_ = true;
-}
-
-bool TopDownEnumerator::Exhausted() {
-  if (stop_) return true;
-  if (FaultInjector::ShouldFail(FaultPoint::kEnumeratorBudget)) {
-    Trip(BudgetTrigger::kInjectedFault, /*hard=*/true);
-    return true;
-  }
-  const EnumeratorBudget& b = options_.budget;
-  if (b.max_enumerated_nodes > 0 &&
-      stats_.subplan_calls >= b.max_enumerated_nodes) {
-    Trip(BudgetTrigger::kEnumeratedNodes, /*hard=*/true);
-    return true;
-  }
-  if (deadline_ms_ > 0 && SteadyNowMs() >= deadline_ms_) {
-    Trip(BudgetTrigger::kWallClock, /*hard=*/true);
-    return true;
-  }
-  return false;
-}
-
-double TopDownEnumerator::SubtreeCost(const APlan& p, RelSet s) const {
-  const Plan* sub = SubtreeOf(p.root.get(), s);
-  return cost_->Cost(*sub);
-}
-
-std::vector<std::string> TopDownEnumerator::ExtDEdgeKeys(const APlan& p,
-                                                         RelSet s) const {
-  const Plan* sub = SubtreeOf(p.root.get(), s);
-  std::set<std::string> inside_srcs;
-  CollectJoinPredNames(sub, &inside_srcs);
-  std::set<int> inside_vnodes, all_vnodes;
-  CollectVnodes(sub, &inside_vnodes);
-  CollectVnodes(p.root.get(), &all_vnodes);
-  std::vector<std::string> keys;
-  for (const DEdge& e : p.ctx.dedges) {
-    if (inside_srcs.find(e.src_pred) == inside_srcs.end()) continue;
-    bool external;
-    if (e.vnode == DEdge::kContextVnode) {
-      // Fold/simplify markers: the dependency is on the causing predicate.
-      external = inside_srcs.find(e.label_b) == inside_srcs.end();
-    } else {
-      bool in = inside_vnodes.count(e.vnode) > 0;
-      bool out_exists = all_vnodes.count(e.vnode) > 0 && !in;
-      external = !in || out_exists;
-    }
-    if (external) keys.push_back(e.Key());
-  }
-  std::sort(keys.begin(), keys.end());
-  return keys;
-}
-
-const TopDownEnumerator::APlan* TopDownEnumerator::GetBestPlan(
-    const APlan& p, RelSet s,
-    const std::vector<std::string>& ext_keys) const {
-  auto it = cache_.find(s);
-  if (it == cache_.end()) return nullptr;
-  if (options_.unsafe_ignore_dedges && !it->second.empty()) {
-    return &it->second.front().plan;  // ablation: ignore the guard
-  }
-  for (const CacheEntry& entry : it->second) {
-    if (entry.ext_keys == ext_keys) return &entry.plan;
-  }
-  (void)p;
-  return nullptr;
-}
-
-void TopDownEnumerator::UpdateBestPlan(
-    const APlan& p, RelSet s, const std::vector<std::string>& ext_keys) {
-  double cost = SubtreeCost(p, s);
-  std::vector<CacheEntry>& entries = cache_[s];
-  for (CacheEntry& entry : entries) {
-    if (entry.ext_keys == ext_keys) {
-      if (cost < entry.cost) {
-        entry.plan = p.Clone();
-        entry.cost = cost;
-      }
-      return;
-    }
-  }
-  if (options_.budget.max_memo_entries > 0 &&
-      stats_.cache_entries >= options_.budget.max_memo_entries) {
-    // Memo full: keep searching without caching this subplan. The search
-    // stays exhaustive (soft trigger), it just loses reuse opportunities.
-    Trip(BudgetTrigger::kMemoEntries, /*hard=*/false);
-    return;
-  }
-  entries.push_back({p.Clone(), cost, ext_keys});
-  ++stats_.cache_entries;
-}
-
-void TopDownEnumerator::GraftSubplan(APlan* p, RelSet s,
-                                     const APlan& best) const {
-  Plan* dst_sub = SubtreeOf(p->root.get(), s);
-  const Plan* src_sub = SubtreeOf(best.root.get(), s);
-  // Drop dependency edges owned by the replaced subplan.
-  std::set<std::string> replaced_srcs;
-  CollectJoinPredNames(dst_sub, &replaced_srcs);
-  std::vector<DEdge> kept;
-  for (const DEdge& e : p->ctx.dedges) {
-    if (replaced_srcs.find(e.src_pred) == replaced_srcs.end()) {
-      kept.push_back(e);
-    }
-  }
-  // Graft a clone with compensation-group ids remapped into p's id space,
-  // and import the graft's dependency edges.
-  PlanPtr graft = src_sub->Clone();
-  int offset = p->ctx.next_vnode;
-  RemapVnodes(graft.get(), offset);
-  std::set<std::string> graft_srcs;
-  CollectJoinPredNames(graft.get(), &graft_srcs);
-  for (const DEdge& e : best.ctx.dedges) {
-    if (graft_srcs.find(e.src_pred) == graft_srcs.end()) continue;
-    DEdge moved = e;
-    if (moved.vnode >= 0) moved.vnode += offset;
-    kept.push_back(std::move(moved));
-  }
-  p->ctx.next_vnode += best.ctx.next_vnode;
-  p->ctx.dedges = std::move(kept);
-  PlanPtr* slot = FindSlot(p->root, dst_sub);
-  ECA_CHECK(slot != nullptr);
-  *slot = std::move(graft);
-}
-
-TopDownEnumerator::APlan TopDownEnumerator::GenerateSubplan(
-    APlan p, const std::optional<NodePath>& i_path, RelSet s) {
-  if (Exhausted()) return APlan();
-  ++stats_.subplan_calls;
-  if (s.Count() <= 1) {
-    // Best access path: a scan of the base relation (the only access path
-    // in this engine; bestAccess[] hook of Algorithm 1).
-    return p;
-  }
-
-  std::vector<std::string> my_ext_keys;
-  if (options_.reuse_subplans) {
-    my_ext_keys = ExtDEdgeKeys(p, s);
-    if (const APlan* cached = GetBestPlan(p, s, my_ext_keys)) {
-      ++stats_.reuses;
-      GraftSubplan(&p, s, *cached);
-      return p;
-    }
-  }
-
-  APlan best;
-  double best_cost = kInf;
-
-  std::vector<JoinablePair> pairs = JoinablePairs(p.root.get(), s);
-  for (const JoinablePair& pair : pairs) {
-    if (Exhausted()) break;
-    if (FaultInjector::ShouldFail(FaultPoint::kAllocation)) {
-      // Simulated clone-allocation failure: stop expanding this search
-      // branch and settle for the best plan found so far.
-      Trip(BudgetTrigger::kAllocationFault, /*hard=*/true);
-      break;
-    }
-    ++stats_.pairs_considered;
-    APlan work = p.Clone();
-    // Re-locate the pair's join node in the clone.
-    std::vector<JoinablePair> clone_pairs = JoinablePairs(work.root.get(), s);
-    Plan* j = nullptr;
-    for (const JoinablePair& cp : clone_pairs) {
-      if (cp.s1 == pair.s1 && cp.s2 == pair.s2) {
-        j = cp.node;
-        break;
-      }
-    }
-    if (j == nullptr) continue;
-
-    // Move j upward until its parent join is i (Algorithm 2, steps 6-7).
-    Plan* i_node =
-        i_path.has_value() ? ResolvePath(work.root.get(), *i_path) : nullptr;
-    bool feasible = true;
-    int guard = 0;
-    while (ParentJoin(work.root.get(), j) != i_node) {
-      ++stats_.swaps_attempted;
-      Plan* risen = nullptr;
-      if (FaultInjector::ShouldFail(FaultPoint::kRewriteRule)) {
-        // Simulated rewrite-rule failure: the swap is reported infeasible
-        // (soft trigger — other decompositions may still complete).
-        Trip(BudgetTrigger::kRewriteFault, /*hard=*/false);
-      } else {
-        risen = SwapUp(work.root, j, &work.ctx);
-      }
-      if (risen == nullptr) {
-        ++stats_.swaps_failed;
-        feasible = false;
-        break;
-      }
-      j = risen;
-      if (++guard > 128) {
-        feasible = false;
-        break;
-      }
-    }
-    if (!feasible) continue;
-
-    // Recurse into the two sides (steps 8-9). j's child subtrees cover
-    // pair.s1 and pair.s2 (in some orientation).
-    NodePath j_path;
-    if (!PathTo(work.root.get(), j, &j_path)) continue;
-    RelSet left_set = j->left()->leaves();
-    RelSet first = left_set == pair.s1 || left_set.ContainsAll(pair.s1)
-                       ? pair.s1
-                       : pair.s2;
-    RelSet second = first == pair.s1 ? pair.s2 : pair.s1;
-    APlan done1 = GenerateSubplan(std::move(work), j_path, first);
-    if (done1.root == nullptr) continue;
-    APlan done2 = GenerateSubplan(std::move(done1), j_path, second);
-    if (done2.root == nullptr) continue;
-
-    double cost = SubtreeCost(done2, s);
-    if (!i_path.has_value()) ++stats_.plans_completed;
-    if (cost < best_cost) {
-      best_cost = cost;
-      best = std::move(done2);
-    }
-  }
-
-  if (best.root != nullptr && options_.reuse_subplans) {
-    UpdateBestPlan(best, s, my_ext_keys);
-  }
-  return best;
-}
-
 TopDownEnumerator::Result TopDownEnumerator::Optimize(const Plan& query) {
-  stats_ = EnumeratorStats();
-  cache_.clear();
-  stop_ = false;
-  deadline_ms_ = options_.budget.wall_clock_ms > 0
-                     ? SteadyNowMs() + options_.budget.wall_clock_ms
-                     : 0;
+  SharedState shared;
+  shared.options = &options_;
+  shared.deadline_ms = options_.budget.wall_clock_ms > 0
+                           ? SteadyNowMs() + options_.budget.wall_clock_ms
+                           : 0;
 
   APlan init;
   init.root = query.Clone();
@@ -331,11 +738,270 @@ TopDownEnumerator::Result TopDownEnumerator::Optimize(const Plan& query) {
   init.ctx.policy = options_.policy;
 
   RelSet all = init.root->leaves();
-  APlan best = GenerateSubplan(std::move(init), std::nullopt, all);
+
+  // Mirror the seed enumerator's top-level GenerateSubplan entry: the gate
+  // check, the call count, and the trivial single-relation return.
+  const bool root_live = !shared.Exhausted();
+  if (root_live) {
+    shared.subplan_calls.fetch_add(1, std::memory_order_relaxed);
+  }
 
   Result result;
-  result.stats = stats_;
-  if (best.root == nullptr) {
+  if (root_live && all.Count() <= 1) {
+    result.plan = std::move(init.root);
+    result.cost = cost_->Cost(*result.plan);
+    result.stats.subplan_calls = 1;
+    return result;
+  }
+
+  std::vector<JoinablePair> pairs;
+  std::vector<NodePath> pair_paths;
+  if (root_live) {
+    pairs = JoinablePairs(init.root.get(), all);
+    pair_paths.resize(pairs.size());
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      bool found = PathTo(init.root.get(), pairs[k].node, &pair_paths[k]);
+      ECA_CHECK(found);
+    }
+  }
+
+  // One task per root joinable pair: its own clone of the initial plan,
+  // its own rewrite context and its own memo overlay. Beyond the budget
+  // counters, tasks share only frozen state published at wave barriers
+  // before they start (the multi-wave schedule below), so every task
+  // computes the same result at any thread count and the merge is
+  // deterministic. `search` and `interner` are kept alive past the task so
+  // the barrier can absorb its overlay into the base memo.
+  struct RootTask {
+    bool found = false;
+    PlanPtr plan;
+    double cost = kInf;
+    uint64_t fingerprint = 0;
+    EnumeratorStats stats;
+    std::unique_ptr<Search> search;
+    std::shared_ptr<PredNameInterner> interner;
+  };
+  std::vector<RootTask> tasks(pairs.size());
+
+  // ABLATION (Example 5.1): unsafe_ignore_dedges exists to demonstrate that
+  // reuse without the d-edge guard corrupts plans, and the demonstration
+  // needs the seed enumerator's semantics — one memo shared across every
+  // root pair (isolated per-pair memos leave too few unsound reuse
+  // opportunities to reliably misbehave). The mode runs sequentially with a
+  // shared interner so cached ids stay comparable across tasks.
+  const bool share_memo = options_.unsafe_ignore_dedges;
+  std::unique_ptr<Search> shared_search;
+  std::shared_ptr<PredNameInterner> shared_interner;
+  if (share_memo) {
+    shared_search = std::make_unique<Search>(cost_, &shared, options_);
+    shared_interner = std::make_shared<PredNameInterner>();
+  }
+
+  // Multi-wave schedule (normal mode). Root pair 0 runs first, alone, and
+  // publishes the base state: its memo (which every later task probes
+  // through a private overlay), its interner (forked per task, so the int
+  // ids inside base entries keep their meaning), and its plan cost (the
+  // branch-and-bound bound for later tasks). The remaining pairs then run
+  // in fixed-size waves; at each wave barrier the wave's overlays are
+  // absorbed into the base in pair order and the bound is tightened to the
+  // best cost seen so far. That recovers the cross-root-pair subplan reuse
+  // a single sequential memo gives — without giving up determinism: wave
+  // boundaries depend only on pair indices, and everything a task observes
+  // is a function of the query and of fully-merged earlier waves, never of
+  // timing or thread count.
+  std::unique_ptr<Search> base_search;
+  std::shared_ptr<PredNameInterner> base_interner;
+  double wave_bound = kInf;
+  if (!share_memo && !pairs.empty()) {
+    base_search = std::make_unique<Search>(cost_, &shared, options_);
+    base_interner = std::make_shared<PredNameInterner>();
+  }
+
+  auto run_pair = [&](int64_t k) {
+    RootTask& task = tasks[static_cast<size_t>(k)];
+    if (shared.Exhausted()) return;
+    if (FaultInjector::ShouldFail(FaultPoint::kAllocation)) {
+      shared.Trip(BudgetTrigger::kAllocationFault, /*hard=*/true);
+      return;
+    }
+    const bool is_base = !share_memo && k == 0;
+    if (!share_memo && !is_base) {
+      task.search = std::make_unique<Search>(cost_, &shared, options_);
+      task.search->SetBase(*base_search);
+    }
+    Search& search = share_memo ? *shared_search
+                     : is_base  ? *base_search
+                                : *task.search;
+    ++search.stats.pairs_considered;
+
+    APlan p;
+    p.root = init.root->Clone();
+    search.stats.cloned_nodes += CountNodes(p.root.get());
+    p.ctx.policy = options_.policy;
+    if (share_memo) {
+      p.ctx.interner = shared_interner;
+    } else if (is_base) {
+      p.ctx.interner = base_interner;
+    } else {
+      task.interner =
+          std::make_shared<PredNameInterner>(base_interner->Fork());
+      p.ctx.interner = task.interner;
+    }
+
+    const JoinablePair& pair = pairs[static_cast<size_t>(k)];
+    Plan* j = ResolvePath(p.root.get(), pair_paths[static_cast<size_t>(k)]);
+    bool feasible = true;
+    int chain = 0;
+    while (ParentJoin(p.root.get(), j) != nullptr) {
+      if (shared.Exhausted()) {
+        feasible = false;
+        break;
+      }
+      ++search.stats.swaps_attempted;
+      Plan* risen = nullptr;
+      if (FaultInjector::ShouldFail(FaultPoint::kRewriteRule)) {
+        shared.Trip(BudgetTrigger::kRewriteFault, /*hard=*/false);
+      } else {
+        risen = SwapUp(p.root, j, &p.ctx);
+      }
+      if (risen == nullptr) {
+        ++search.stats.swaps_failed;
+        feasible = false;
+        break;
+      }
+      j = risen;
+      if (++chain > options_.max_swap_chain) {
+        ++search.stats.swap_chain_guard_trips;
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) {
+      NodePath j_path;
+      if (PathTo(p.root.get(), j, &j_path)) {
+        RelSet left_set = j->left()->leaves();
+        RelSet first = left_set == pair.s1 || left_set.ContainsAll(pair.s1)
+                           ? pair.s1
+                           : pair.s2;
+        RelSet second = first == pair.s1 ? pair.s2 : pair.s1;
+        // Task 0's bound is infinite, never the initial plan's cost: the
+        // enumerator returns its best completed plan even when that is
+        // worse than the query as written, and a tighter base bound would
+        // suppress exactly those plans. Later tasks are bounded by the
+        // best cost completed waves achieved: a candidate at or above it
+        // cannot win the merge (equal-cost ties still complete — the
+        // additive cost model means the c1 cut only ever discards strictly
+        // worse plans), so the merged result is the same as with an
+        // infinite bound.
+        const double bound =
+            is_base || !options_.prune ? kInf : wave_bound;
+        const double tie_slack =
+            bound < kInf ? 1e-9 * (std::abs(bound) + 1.0) : 0.0;
+        bool viable = search.GenerateSubplan(&p, j_path, first, bound);
+        double c1 = 0;
+        if (viable && bound < kInf) {
+          c1 = search.SubtreeCost(p, first);
+          // Tie-permissive, like the in-search cut: a plan tying the bound
+          // exactly must survive to the fingerprint tie-break.
+          if (c1 > bound + tie_slack) {
+            ++search.stats.prunes;
+            viable = false;
+          }
+        }
+        const double bound2 =
+            bound < kInf ? bound - c1 + 1e-9 * (std::abs(bound) + 1.0)
+                         : kInf;
+        if (viable && search.GenerateSubplan(&p, j_path, second, bound2)) {
+          task.cost = search.SubtreeCost(p, all);
+          ++search.stats.plans_completed;
+          task.fingerprint = search.Fingerprint(*p.root);
+          task.plan = std::move(p.root);
+          task.found = true;
+        }
+      }
+    }
+    if (!share_memo) task.stats = std::move(search.stats);
+  };
+
+  if (!pairs.empty()) {
+    // Wave 0: root pair 0, alone. Publishes the base memo and the first
+    // bound before any other task starts, at every thread count.
+    run_pair(0);
+    if (!share_memo && tasks[0].found) wave_bound = tasks[0].cost;
+    const int64_t total = static_cast<int64_t>(pairs.size());
+    // Wave width: fixed, so wave boundaries (and with them everything a
+    // task can observe) are independent of the thread count. Four keeps
+    // typical machines busy while still merging often enough that late
+    // pairs see most earlier subplans.
+    constexpr int64_t kRootWave = 4;
+    std::optional<ThreadPool> pool;
+    if (options_.num_threads > 1 && !share_memo && total > 1) {
+      pool.emplace(options_.num_threads);
+    }
+    for (int64_t start = 1; start < total; start += kRootWave) {
+      const int64_t count = std::min(kRootWave, total - start);
+      if (pool.has_value()) {
+        pool->ParallelFor(count, [&](int64_t i) { run_pair(start + i); });
+      } else {
+        for (int64_t i = 0; i < count; ++i) run_pair(start + i);
+      }
+      if (share_memo) continue;
+      // Barrier: absorb the wave's overlays into the base in pair order
+      // and tighten the bound for the next wave. Both are deterministic —
+      // they depend on task results, not on completion order.
+      for (int64_t i = 0; i < count; ++i) {
+        RootTask& t = tasks[static_cast<size_t>(start + i)];
+        if (t.search != nullptr) {
+          base_search->AbsorbOverlay(t.search.get(), *t.interner,
+                                     base_interner.get());
+          t.search.reset();
+        }
+        if (t.found && t.cost < wave_bound) wave_bound = t.cost;
+      }
+    }
+  }
+
+  // Deterministic merge, independent of completion order: lowest cost wins;
+  // equal costs tie-break on the structural fingerprint; remaining ties
+  // keep the lowest pair index.
+  int best_k = -1;
+  for (int k = 0; k < static_cast<int>(tasks.size()); ++k) {
+    const RootTask& t = tasks[static_cast<size_t>(k)];
+    if (!t.found) continue;
+    if (best_k < 0 || t.cost < tasks[static_cast<size_t>(best_k)].cost ||
+        (t.cost == tasks[static_cast<size_t>(best_k)].cost &&
+         t.fingerprint < tasks[static_cast<size_t>(best_k)].fingerprint)) {
+      best_k = k;
+    }
+  }
+
+  EnumeratorStats stats;
+  stats.subplan_calls = shared.subplan_calls.load(std::memory_order_relaxed);
+  stats.cache_entries = shared.cache_entries.load(std::memory_order_relaxed);
+  stats.root_tasks = static_cast<int64_t>(tasks.size());
+  auto accumulate = [&stats](const EnumeratorStats& t) {
+    stats.pairs_considered += t.pairs_considered;
+    stats.swaps_attempted += t.swaps_attempted;
+    stats.swaps_failed += t.swaps_failed;
+    stats.plans_completed += t.plans_completed;
+    stats.reuses += t.reuses;
+    stats.prunes += t.prunes;
+    stats.cost_evals += t.cost_evals;
+    stats.cost_memo_hits += t.cost_memo_hits;
+    stats.cloned_nodes += t.cloned_nodes;
+    stats.swap_chain_guard_trips += t.swap_chain_guard_trips;
+    stats.sig_collisions += t.sig_collisions;
+  };
+  for (const RootTask& t : tasks) accumulate(t.stats);
+  if (shared_search != nullptr) accumulate(shared_search->stats);
+  {
+    std::lock_guard<std::mutex> lock(shared.trip_mu);
+    stats.degraded = shared.degraded;
+    stats.trigger = shared.trigger;
+  }
+  result.stats = stats;
+
+  if (best_k < 0) {
     // No complete plan: either no feasible reordering exists at the top
     // (single-relation queries, fully blocked swaps) or the budget ran
     // out before one was found. Fall back to the query as written —
@@ -344,7 +1010,7 @@ TopDownEnumerator::Result TopDownEnumerator::Optimize(const Plan& query) {
     result.cost = cost_->Cost(*result.plan);
     return result;
   }
-  result.plan = std::move(best.root);
+  result.plan = std::move(tasks[static_cast<size_t>(best_k)].plan);
   result.cost = cost_->Cost(*result.plan);
   return result;
 }

@@ -1,16 +1,11 @@
 #ifndef ECA_ENUMERATE_ENUMERATOR_H_
 #define ECA_ENUMERATE_ENUMERATOR_H_
 
+#include <cstdint>
 #include <memory>
-#include <optional>
-#include <set>
-#include <string>
-#include <unordered_map>
-#include <vector>
 
 #include "algebra/plan.h"
 #include "cost/cost_model.h"
-#include "enumerate/subtree.h"
 #include "rewrite/rules.h"
 
 namespace eca {
@@ -62,6 +57,28 @@ struct EnumeratorOptions {
   // bench_ablation_dedges and the corresponding test to demonstrate that
   // naive reuse produces plans that are NOT equivalent to the query.
   bool unsafe_ignore_dedges = false;
+  // Branch-and-bound: prune a decomposition as soon as the already-fixed
+  // part of the subtree costs at least the best complete alternative. Never
+  // changes the selected plan (the cost model is additive, so a partial
+  // cost is a lower bound; see docs/performance.md for the exactness
+  // argument). Off = the plain exhaustive loop, kept for A/B checks.
+  bool prune = true;
+  // Memoize subtree costs by structural fingerprint (PlanFingerprint), so
+  // the repeated costings of identical subtrees during the pair loop and
+  // branch-and-bound checks hit a hash map instead of the cost model.
+  bool cost_memo = true;
+  // Worker threads for the top-level joinable-pair loop. The chosen plan is
+  // byte-identical for every value (each root pair is searched as an
+  // isolated task; results merge deterministically).
+  int num_threads = 1;
+  // Cycle guard: maximum SwapUp chain length while positioning one join.
+  // Exceeding it abandons the decomposition and increments
+  // EnumeratorStats::swap_chain_guard_trips.
+  int max_swap_chain = 128;
+  // TESTING ONLY: degrade every memo signature to a single value so that
+  // distinct ext-d-edge key vectors collide in one bucket — exercises the
+  // stored-full-key verification that keeps 64-bit collisions sound.
+  bool collide_signatures = false;
   // Resource limits; default unlimited (exhaustive enumeration).
   EnumeratorBudget budget;
 };
@@ -74,6 +91,25 @@ struct EnumeratorStats {
   int64_t plans_completed = 0;  // complete plans costed at the top level
   int64_t reuses = 0;
   int64_t cache_entries = 0;
+  // Decompositions abandoned by branch-and-bound (fixed part already
+  // costed at least the best complete alternative).
+  int64_t prunes = 0;
+  // Full cost-model evaluations vs. subtree-fingerprint memo hits; their
+  // sum is what the seed enumerator paid on every SubtreeCost call.
+  int64_t cost_evals = 0;
+  int64_t cost_memo_hits = 0;
+  // Plan nodes deep-copied by the search (snapshot/restore/graft clones).
+  // Together with cost_evals this is the "work" measure the perf bench
+  // tracks (BENCH_enum.json).
+  int64_t cloned_nodes = 0;
+  // SwapUp chains abandoned by the cycle guard (options.max_swap_chain).
+  int64_t swap_chain_guard_trips = 0;
+  // Memo probes whose 64-bit signature matched but whose stored full key
+  // did not — rejected grafts that a signature-only memo would have
+  // performed unsoundly.
+  int64_t sig_collisions = 0;
+  // Root-level joinable pairs searched as (potentially parallel) tasks.
+  int64_t root_tasks = 0;
   // True when the search was cut short (budget or injected fault): the
   // returned plan is correct but possibly not the enumeration optimum.
   bool degraded = false;
@@ -88,6 +124,13 @@ struct EnumeratorStats {
 // invalid transformations. The optimal subplan for each relation set is
 // selected by estimated cost; in enhanced mode optimal subplans are reused
 // across contexts when their external dependency edges match (Theorem 5.4).
+//
+// The search is clone-light (per-decomposition state is snapshot/restored
+// in place of whole-plan deep copies), memoized ((relation set, 64-bit
+// ext-d-edge signature) -> optimal subtree, with the full key stored for
+// collision verification), branch-and-bound pruned, and parallel across
+// root-level joinable pairs — all while selecting the same plan the plain
+// exhaustive loop selects (docs/performance.md, bench_enumerator_perf).
 class TopDownEnumerator {
  public:
   TopDownEnumerator(const CostModel* cost_model, EnumeratorOptions options)
@@ -104,57 +147,8 @@ class TopDownEnumerator {
   Result Optimize(const Plan& query);
 
  private:
-  struct APlan {
-    PlanPtr root;
-    RewriteContext ctx;
-
-    APlan Clone() const {
-      APlan c;
-      c.root = root != nullptr ? root->Clone() : nullptr;
-      c.ctx = ctx;
-      return c;
-    }
-  };
-
-  // Algorithm 2 / Algorithm 4. `i_path` locates the join node below which
-  // the subplan for S must be produced (nullopt = S spans the whole query).
-  // Returns the plan containing the best subplan found, or an empty APlan
-  // if no arrangement is feasible.
-  APlan GenerateSubplan(APlan p, const std::optional<NodePath>& i_path,
-                        RelSet s);
-
-  double SubtreeCost(const APlan& p, RelSet s) const;
-
-  // Enhanced mode: external d-edge signature of subtree(P, S).
-  std::vector<std::string> ExtDEdgeKeys(const APlan& p, RelSet s) const;
-  // Algorithm 6: a cached plan whose subplan for S is reusable in `p`.
-  const APlan* GetBestPlan(const APlan& p, RelSet s,
-                           const std::vector<std::string>& ext_keys) const;
-  void UpdateBestPlan(const APlan& p, RelSet s,
-                      const std::vector<std::string>& ext_keys);
-  // Replaces subtree(P, S) in `p` by a copy of subtree(best, S), remapping
-  // compensation-group ids and dependency edges.
-  void GraftSubplan(APlan* p, RelSet s, const APlan& best) const;
-
-  // Budget enforcement: records `trigger` as the degradation cause; a
-  // hard trigger additionally stops the search (Exhausted() turns true).
-  void Trip(BudgetTrigger trigger, bool hard);
-  // True once the search must stop — budget spent, deadline passed, or a
-  // budget/allocation fault injected. Rechecks the budget on every call.
-  bool Exhausted();
-
   const CostModel* cost_;
   EnumeratorOptions options_;
-  EnumeratorStats stats_;
-  bool stop_ = false;  // hard budget trigger seen; unwind the search
-  int64_t deadline_ms_ = 0;  // absolute steady-clock deadline (0 = none)
-
-  struct CacheEntry {
-    APlan plan;
-    double cost = 0;
-    std::vector<std::string> ext_keys;
-  };
-  std::unordered_map<RelSet, std::vector<CacheEntry>, RelSetHash> cache_;
 };
 
 }  // namespace eca

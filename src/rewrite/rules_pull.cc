@@ -29,11 +29,11 @@ void RecordPullDependency(RewriteContext* ctx, const Plan& j,
   if (ctx == nullptr) return;
   if (comp != nullptr && comp->vnode < 0) comp->vnode = ctx->NewVnode();
   DEdge e;
-  e.src_pred = j.pred() ? j.pred()->DisplayName() : "cross";
-  e.label_a = what;
+  e.src_pred = ctx->Interner().Intern(j.pred());
+  e.label_a = ctx->Interner().InternName(what);
   e.label_b = e.src_pred;
   e.vnode = comp != nullptr ? comp->vnode : DEdge::kContextVnode;
-  ctx->dedges.push_back(std::move(e));
+  ctx->dedges.push_back(e);
 }
 
 }  // namespace
@@ -49,11 +49,11 @@ int RecordExpansionDependency(RewriteContext* ctx, const PredRef& pred,
   if (ctx == nullptr) return -1;
   int vnode = ctx->NewVnode();
   DEdge e;
-  e.src_pred = pred ? pred->DisplayName() : "cross";
-  e.label_a = what;
+  e.src_pred = ctx->Interner().Intern(pred);
+  e.label_a = ctx->Interner().InternName(what);
   e.label_b = e.src_pred;
   e.vnode = vnode;
-  ctx->dedges.push_back(std::move(e));
+  ctx->dedges.push_back(e);
   return vnode;
 }
 

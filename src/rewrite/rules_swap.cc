@@ -25,15 +25,15 @@ void MirrorNode(Plan* j) {
 void RecordSwapDEdges(RewriteContext* ctx, const PredRef& pm,
                       const PredRef& pp, int vnode) {
   if (ctx == nullptr) return;
-  std::string la = pm ? pm->DisplayName() : "cross";
-  std::string lb = pp ? pp->DisplayName() : "cross";
-  for (const std::string& src : {la, lb}) {
+  int la = ctx->Interner().Intern(pm);
+  int lb = ctx->Interner().Intern(pp);
+  for (int src : {la, lb}) {
     DEdge e;
     e.src_pred = src;
     e.label_a = la;
     e.label_b = lb;
     e.vnode = vnode;
-    ctx->dedges.push_back(std::move(e));
+    ctx->dedges.push_back(e);
   }
 }
 
@@ -41,11 +41,11 @@ void RecordSimplifyDEdge(RewriteContext* ctx, const PredRef& changed,
                          const PredRef& cause) {
   if (ctx == nullptr) return;
   DEdge e;
-  e.src_pred = changed ? changed->DisplayName() : "cross";
-  e.label_a = "simplify";
-  e.label_b = cause ? cause->DisplayName() : "cross";
+  e.src_pred = ctx->Interner().Intern(changed);
+  e.label_a = ctx->Interner().InternName("simplify");
+  e.label_b = ctx->Interner().Intern(cause);
   e.vnode = DEdge::kContextVnode;
-  ctx->dedges.push_back(std::move(e));
+  ctx->dedges.push_back(e);
 }
 
 PlanPtr StripTopComps(PlanPtr sub, std::vector<CompOp>* comps) {
@@ -351,11 +351,15 @@ PlanPtr SwapAdjacentJoins(PlanPtr p_subtree, bool m_on_left,
   return SwapAdjacentRec(std::move(p_subtree), m_on_left, ctx, 0);
 }
 
-Plan* SwapUp(PlanPtr& root, Plan* m, RewriteContext* ctx) {
+Plan* SwapUp(PlanPtr& root, Plan* m, RewriteContext* ctx,
+             bool* tree_changed) {
   ECA_CHECK(m != nullptr && m->is_join());
   Plan* j = ParentJoin(root.get(), m);
   if (j == nullptr) return nullptr;
-  if (IsRightVariant(j->op())) MirrorNode(j);
+  if (IsRightVariant(j->op())) {
+    MirrorNode(j);
+    if (tree_changed != nullptr) *tree_changed = true;
+  }
   bool m_side_left = FindSlot(j->mutable_left(), m) != nullptr ||
                      j->left() == m;
 
@@ -379,6 +383,7 @@ Plan* SwapUp(PlanPtr& root, Plan* m, RewriteContext* ctx) {
                              ? ExpandAntiJoinNode(std::move(*jslot), ctx)
                              : ExpandSemiJoinNode(std::move(*jslot), ctx);
       *jslot = std::move(expanded);
+      if (tree_changed != nullptr) *tree_changed = true;
       // The join node under the new comp stack carries j's predicate.
       Plan* cur = jslot->get();
       while (cur->is_comp()) cur = cur->child();
@@ -388,6 +393,7 @@ Plan* SwapUp(PlanPtr& root, Plan* m, RewriteContext* ctx) {
       }
     }
     // j is unchanged as a node; the pulled comp now sits above it.
+    if (tree_changed != nullptr) *tree_changed = true;
   }
 
   // Attempt the adjacent swap on a clone so that failure leaves the plan
@@ -406,6 +412,7 @@ Plan* SwapUp(PlanPtr& root, Plan* m, RewriteContext* ctx) {
     return nullptr;
   }
   *jslot = std::move(swapped);
+  if (tree_changed != nullptr) *tree_changed = true;
   // The risen join is the first join below the comp stack at *jslot.
   Plan* cur = jslot->get();
   while (cur->is_comp()) cur = cur->child();

@@ -11,6 +11,7 @@
 #include "enumerate/enumerator.h"
 #include "enumerate/join_order.h"
 #include "enumerate/realize.h"
+#include "enumerate/subtree.h"
 #include "exec/executor.h"
 #include "testing/random_data.h"
 #include "testing/random_query.h"

@@ -1,7 +1,7 @@
 // ecafuzz — fault-injected differential fuzzer for the optimizer pipeline.
 //
 //   ecafuzz [--queries N] [--seed S] [--max-rels N] [--threads N]
-//           [--smoke] [--verbose]
+//           [--smoke] [--verbose] [--enum-diff]
 //
 // Each iteration derives everything from one seed: a random database, a
 // random query, a random approach (ECA / TBA / CBA), a random enumeration
@@ -20,6 +20,11 @@
 //   --threads runs the optimized plan on a worker pool while the oracle
 //             side stays single-threaded, so the differential check also
 //             proves parallel execution matches sequential execution.
+//   --enum-diff  enumerator-differential mode: no budgets and no faults;
+//             each seeded query is enumerated at 1, 2 and 4 threads and
+//             with branch-and-bound and the cost memo toggled, asserting a
+//             byte-identical plan (cost and structural fingerprint), plus
+//             reuse on/off, asserting an identical plan cost.
 
 #include <cstdio>
 #include <cstring>
@@ -47,6 +52,7 @@ struct FuzzConfig {
   int threads = 1;
   bool smoke = false;
   bool verbose = false;
+  bool enum_diff = false;
 };
 
 // One iteration's randomized setup, minus the data/query (regenerated
@@ -188,6 +194,61 @@ std::string RunTrial(const Trial& t, const TrialSetup& setup,
   return "";
 }
 
+// Enumerator-differential round: the same query enumerated with the fast
+// paths toggled one by one, with no budgets and no faults. Parallel root
+// enumeration, branch-and-bound and the cost memo all promise a
+// byte-identical plan; subplan reuse promises an identical plan cost
+// (Theorem 5.4 guards its soundness, and in practice it is plan-identical
+// too — but the cost is the contract). Any difference is a bug.
+std::string RunEnumDiff(const Trial& t) {
+  CostModel cost = CostModel::FromDatabase(t.db);
+  SwapPolicy policy = SwapPolicy::kECA;
+  if (t.setup.approach == Optimizer::Approach::kTBA) policy = SwapPolicy::kTBA;
+  if (t.setup.approach == Optimizer::Approach::kCBA) policy = SwapPolicy::kCBA;
+  auto run = [&](int threads, bool reuse, bool prune, bool cost_memo) {
+    EnumeratorOptions o;
+    o.policy = policy;
+    o.reuse_subplans = reuse;
+    o.prune = prune;
+    o.cost_memo = cost_memo;
+    o.num_threads = threads;
+    TopDownEnumerator e(&cost, o);
+    return e.Optimize(*t.query);
+  };
+  TopDownEnumerator::Result base = run(1, true, true, true);
+  if (base.plan == nullptr) return "enum-diff: null plan from the baseline";
+  const uint64_t base_fp = PlanFingerprint(*base.plan);
+
+  struct Variant {
+    const char* name;
+    int threads;
+    bool reuse, prune, cost_memo;
+    bool plan_identical;  // else: cost-identical only
+  };
+  const Variant variants[] = {
+      {"threads=2", 2, true, true, true, true},
+      {"threads=4", 4, true, true, true, true},
+      {"no-prune", 1, true, false, true, true},
+      {"no-cost-memo", 1, true, true, false, true},
+      {"no-reuse", 1, false, true, true, false},
+  };
+  for (const Variant& v : variants) {
+    TopDownEnumerator::Result r = run(v.threads, v.reuse, v.prune,
+                                      v.cost_memo);
+    if (r.plan == nullptr) {
+      return std::string("enum-diff: null plan from ") + v.name;
+    }
+    if (r.cost != base.cost) {
+      return std::string("enum-diff: ") + v.name + " changed the plan cost";
+    }
+    if (v.plan_identical && PlanFingerprint(*r.plan) != base_fp) {
+      return std::string("enum-diff: ") + v.name + " changed the plan\n" +
+             r.plan->ToString();
+    }
+  }
+  return "";
+}
+
 // Shrinks a failing setup: drop the faults, then each budget knob, and
 // keep any reduction that still fails. The result is the smallest
 // configuration (for this seed) that reproduces the bug.
@@ -274,11 +335,13 @@ int Main(int argc, char** argv) {
       cfg.smoke = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       cfg.verbose = true;
+    } else if (std::strcmp(argv[i], "--enum-diff") == 0) {
+      cfg.enum_diff = true;
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\nusage: ecafuzz [--queries N] "
                    "[--seed S] [--max-rels N] [--threads N] [--smoke] "
-                   "[--verbose]\n",
+                   "[--verbose] [--enum-diff]\n",
                    argv[i]);
       return 2;
     }
@@ -288,6 +351,31 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "need --max-rels >= 2, --queries > 0 and --threads >= 1\n");
     return 2;
+  }
+
+  if (cfg.enum_diff) {
+    int64_t failures = 0;
+    for (int64_t i = 0; i < cfg.queries; ++i) {
+      uint64_t seed = cfg.seed + static_cast<uint64_t>(i);
+      Trial t = MakeTrial(seed, cfg);
+      std::string failure = RunEnumDiff(t);
+      if (!failure.empty()) {
+        std::fprintf(stderr, "seed %llu: %s\n",
+                     static_cast<unsigned long long>(seed), failure.c_str());
+        std::fprintf(stderr,
+                     "  query: %s\n"
+                     "  repro: ecafuzz --enum-diff --seed %llu --queries 1\n",
+                     t.query->ToInlineString().c_str(),
+                     static_cast<unsigned long long>(seed));
+        ++failures;
+      } else if (cfg.verbose) {
+        std::printf("seed %llu ok\n", static_cast<unsigned long long>(seed));
+      }
+    }
+    std::printf("ecafuzz --enum-diff: %lld queries, %lld failure(s)\n",
+                static_cast<long long>(cfg.queries),
+                static_cast<long long>(failures));
+    return failures == 0 ? 0 : 1;
   }
 
   int64_t failures = 0, degraded = 0, mutants_parsed = 0;

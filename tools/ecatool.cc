@@ -10,13 +10,18 @@
 //
 //   ecatool explain "<plan>" --pred name="<expr>" ... [--rows N]
 //           [--approach eca|tba|cba] [--data <dir>] [--threads N]
+//           [--explain-stats]
 //       Optimize the query — with all three approaches, or just the one
 //       named by --approach — and print plans, costs and EXPLAIN ANALYZE.
 //       Data is random (N rows per relation) unless --data names a
 //       directory of R<i>.tbl files (columns k,a,b as written by the
 //       generators; see gen-tpch for TPC-H-style tables). --threads runs
-//       the executions on a worker pool; results are identical for every
-//       thread count (docs/performance.md).
+//       the enumeration's root pair loop and the executions on a worker
+//       pool; results are identical for every thread count
+//       (docs/performance.md). --explain-stats additionally prints the
+//       full EnumeratorStats of each optimization (search-tree nodes,
+//       memo reuses, branch-and-bound prunes, cloned nodes, budget
+//       trigger, ...) together with its wall-clock time.
 //
 // Plan syntax is the library's compact notation, e.g.
 //   "(R0 laj[p01] (R1 laj[p12] R2))"
@@ -26,6 +31,7 @@
 // files and invalid plans all produce a diagnostic on stderr and a
 // nonzero exit — never an abort.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,7 +59,7 @@ int Usage() {
                "  ecatool orderings \"<plan>\" --pred name=\"<expr>\"...\n"
                "  ecatool explain \"<plan>\" --pred name=\"<expr>\"... "
                "[--rows N] [--approach eca|tba|cba] [--data <dir>] "
-               "[--threads N]\n");
+               "[--threads N] [--explain-stats]\n");
   return 2;
 }
 
@@ -62,6 +68,7 @@ struct ExplainArgs {
   std::vector<Optimizer::Approach> approaches;
   std::string data_dir;
   int num_threads = 1;
+  bool explain_stats = false;
 };
 
 bool ParsePredArgs(int argc, char** argv, int start,
@@ -87,6 +94,9 @@ bool ParsePredArgs(int argc, char** argv, int start,
                      argv[i]);
         return false;
       }
+    } else if (explain != nullptr &&
+               std::strcmp(argv[i], "--explain-stats") == 0) {
+      explain->explain_stats = true;
     } else if (std::strcmp(argv[i], "--pred") == 0 && i + 1 < argc) {
       std::string spec = argv[++i];
       size_t eq = spec.find('=');
@@ -257,7 +267,11 @@ int Explain(int argc, char** argv) {
     opts.approach = approach;
     opts.num_threads = extra.num_threads;
     Optimizer opt{opts};
+    auto opt_start = std::chrono::steady_clock::now();
     StatusOr<Optimizer::Optimized> best = opt.OptimizeChecked(*plan, db);
+    double opt_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - opt_start)
+                        .count();
     if (!best.ok()) {
       std::fprintf(stderr, "%s\n", best.status().ToString().c_str());
       return 1;
@@ -265,6 +279,34 @@ int Explain(int argc, char** argv) {
     std::printf("---- %s (estimated cost %.1f) ----\n%s",
                 Optimizer::ApproachName(approach), best->estimated_cost,
                 ExplainAnalyze(*best->plan, db).c_str());
+    if (extra.explain_stats) {
+      const EnumeratorStats& s = best->stats;
+      std::printf(
+          "enumerator stats (optimized in %.2f ms):\n"
+          "  subplan_calls=%lld pairs_considered=%lld root_tasks=%lld\n"
+          "  swaps_attempted=%lld swaps_failed=%lld "
+          "swap_chain_guard_trips=%lld\n"
+          "  plans_completed=%lld reuses=%lld cache_entries=%lld "
+          "sig_collisions=%lld\n"
+          "  prunes=%lld cost_evals=%lld cost_memo_hits=%lld "
+          "cloned_nodes=%lld\n"
+          "  degraded=%s trigger=%s\n",
+          opt_ms, static_cast<long long>(s.subplan_calls),
+          static_cast<long long>(s.pairs_considered),
+          static_cast<long long>(s.root_tasks),
+          static_cast<long long>(s.swaps_attempted),
+          static_cast<long long>(s.swaps_failed),
+          static_cast<long long>(s.swap_chain_guard_trips),
+          static_cast<long long>(s.plans_completed),
+          static_cast<long long>(s.reuses),
+          static_cast<long long>(s.cache_entries),
+          static_cast<long long>(s.sig_collisions),
+          static_cast<long long>(s.prunes),
+          static_cast<long long>(s.cost_evals),
+          static_cast<long long>(s.cost_memo_hits),
+          static_cast<long long>(s.cloned_nodes),
+          s.degraded ? "yes" : "no", BudgetTriggerName(s.trigger));
+    }
     Relation a = opt.Execute(*plan, db);
     Relation b = opt.Execute(*best->plan, db);
     std::printf("result matches query: %s\n\n",
