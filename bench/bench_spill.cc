@@ -1,0 +1,230 @@
+// E14: resource-governor spill overhead on the Figure 6 workload.
+//
+// Executes the direct and compensated-reordered (ECA) plans for paper
+// query Q2 under three memory budgets:
+//
+//   in-memory   ungoverned Execute() — the baseline the spilled runs must
+//               match row for row
+//   unlimited   governed, no limits: pure accounting overhead (tracker
+//               charges, deadline checks), nothing spills
+//   soft-spill  tiny soft threshold, no hard limit: every hash join
+//               escalates to a grace join and beta/gamma* sort externally
+//   near-hard   same soft threshold plus a hard limit ~1.5x the spilled
+//               run's high-water mark: the governor must still finish
+//
+// Results go to BENCH_spill.json (see EXPERIMENTS.md, E14). The exit code
+// reflects only the identity checks (spilled output == in-memory output)
+// and unexpected Status failures — never timings.
+//
+// Usage: bench_spill [sf] [nu] [iters] [json_path]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exec/query_context.h"
+#include "fig6_common.h"
+#include "storage/relation.h"
+
+namespace eca {
+namespace {
+
+struct BudgetRow {
+  const char* mode = "";
+  const char* plan = "";
+  double wall_ms = 0;
+  int64_t rows = 0;
+  ExecStats stats;
+  bool identical = false;
+};
+
+constexpr int64_t kSoftBytes = 64 << 10;  // forces spilling on every build
+
+bool Identical(const Relation& a, const Relation& b) {
+  if (a.NumRows() != b.NumRows()) return false;
+  if (a.schema().NumColumns() != b.schema().NumColumns()) return false;
+  for (int64_t i = 0; i < a.NumRows(); ++i) {
+    if (CompareTuples(a.rows()[i], b.rows()[i]) != 0) return false;
+  }
+  return true;
+}
+
+// Best-of-iters governed execution; the stats/rows of the fastest run win.
+StatusOr<Relation> TimeGoverned(const Plan& plan, const Database& db,
+                                const QueryContext::Limits& limits, int iters,
+                                BudgetRow* row) {
+  StatusOr<Relation> out = Status::Internal("bench_spill: no runs");
+  row->wall_ms = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    QueryContext ctx(limits);
+    Executor ex(Executor::Options{Executor::JoinPreference::kHash});
+    auto t0 = std::chrono::steady_clock::now();
+    StatusOr<Relation> got = ex.ExecuteWithContext(plan, db, &ctx);
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < row->wall_ms) {
+      row->wall_ms = ms;
+      row->stats = ex.stats();
+      out = std::move(got);
+    }
+  }
+  return out;
+}
+
+int Run(double sf, double nu, int iters, const std::string& json_path) {
+  TpchData data = GenerateTpch(TpchScale::OfSF(sf), 42);
+  PaperQuery q = BuildQ2(data, nu);
+  std::printf("==== E14: governed execution of Q2 at SF %.3f, nu %.0f ====\n",
+              sf, nu);
+
+  // The two plan shapes of Figure 6: the query as written and the
+  // compensated reordering that evaluates supplier x partsupp first.
+  OrderingNodePtr theta = bench::EcaTargetOrdering(q.plan->leaves().Count());
+  PlanPtr eca = RealizeOrdering(*q.plan, *theta, SwapPolicy::kECA);
+  if (eca == nullptr) {
+    std::printf("!! ECA reordering unexpectedly infeasible\n");
+    return 1;
+  }
+  struct NamedPlan {
+    const char* name;
+    const Plan* plan;
+  };
+  std::vector<NamedPlan> plans = {{"direct", q.plan.get()},
+                                  {"eca-reordered", eca.get()}};
+
+  std::vector<BudgetRow> rows;
+  int failures = 0;
+  for (const NamedPlan& np : plans) {
+    // Baseline: ungoverned in-memory execution, also the identity oracle.
+    Relation oracle;
+    BudgetRow base;
+    base.mode = "in-memory";
+    base.plan = np.name;
+    base.wall_ms = 1e300;
+    for (int i = 0; i < iters; ++i) {
+      Executor ex(Executor::Options{Executor::JoinPreference::kHash});
+      auto t0 = std::chrono::steady_clock::now();
+      Relation out = ex.Execute(*np.plan, q.db);
+      auto t1 = std::chrono::steady_clock::now();
+      double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (ms < base.wall_ms) {
+        base.wall_ms = ms;
+        base.stats = ex.stats();
+        oracle = std::move(out);
+      }
+    }
+    base.rows = oracle.NumRows();
+    base.identical = true;
+    rows.push_back(base);
+
+    struct Budget {
+      const char* mode;
+      QueryContext::Limits limits;
+    };
+    std::vector<Budget> budgets;
+    budgets.push_back({"unlimited", {}});
+    QueryContext::Limits soft;
+    soft.mem_soft_bytes = kSoftBytes;
+    budgets.push_back({"soft-spill", soft});
+
+    for (size_t bi = 0; bi < budgets.size(); ++bi) {
+      BudgetRow r;
+      r.mode = budgets[bi].mode;
+      r.plan = np.name;
+      StatusOr<Relation> got =
+          TimeGoverned(*np.plan, q.db, budgets[bi].limits, iters, &r);
+      if (!got.ok()) {
+        std::printf("!! %s/%s failed: %s\n", np.name, r.mode,
+                    got.status().ToString().c_str());
+        ++failures;
+      } else {
+        r.rows = got->NumRows();
+        r.identical = Identical(*got, oracle);
+        if (!r.identical) {
+          std::printf("!! %s/%s output differs from in-memory run\n",
+                      np.name, r.mode);
+          ++failures;
+        }
+      }
+      rows.push_back(r);
+      // Derive the near-hard budget from the spilled run's high-water
+      // mark: the governor must finish with ~1.5x that headroom.
+      if (std::string(r.mode) == "soft-spill" && got.ok() &&
+          r.stats.peak_bytes > 0) {
+        QueryContext::Limits hard = budgets[bi].limits;
+        hard.mem_limit_bytes = r.stats.peak_bytes + r.stats.peak_bytes / 2;
+        budgets.push_back({"near-hard", hard});
+      }
+    }
+  }
+
+  std::printf("%14s %12s %10s %9s %7s %10s %12s %12s %6s\n", "plan", "mode",
+              "wall(ms)", "rows", "spills", "runs", "write(B)", "read(B)",
+              "peak");
+  for (const BudgetRow& r : rows) {
+    std::printf("%14s %12s %10.2f %9lld %7lld %10lld %12lld %12lld %6s\n",
+                r.plan, r.mode, r.wall_ms, static_cast<long long>(r.rows),
+                static_cast<long long>(r.stats.spilled_partitions),
+                static_cast<long long>(r.stats.spilled_sort_runs),
+                static_cast<long long>(r.stats.spill_bytes),
+                static_cast<long long>(r.stats.spill_read_bytes),
+                r.stats.peak_bytes > 0
+                    ? std::to_string(r.stats.peak_bytes >> 10)
+                          .append("K")
+                          .c_str()
+                    : "-");
+  }
+
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"bench\": \"bench_spill\",\n");
+    std::fprintf(out, "  \"workload\": \"fig6-q2\",\n");
+    std::fprintf(out, "  \"sf\": %.4f,\n  \"nu\": %.1f,\n", sf, nu);
+    std::fprintf(out, "  \"soft_bytes\": %lld,\n",
+                 static_cast<long long>(kSoftBytes));
+    std::fprintf(out, "  \"identity_pass\": %s,\n",
+                 failures == 0 ? "true" : "false");
+    std::fprintf(out, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const BudgetRow& r = rows[i];
+      std::fprintf(
+          out,
+          "    {\"plan\": \"%s\", \"mode\": \"%s\", \"wall_ms\": %.3f, "
+          "\"rows\": %lld, \"identical\": %s, \"peak_bytes\": %lld, "
+          "\"spilled_partitions\": %lld, \"spilled_sort_runs\": %lld, "
+          "\"spill_bytes\": %lld, \"spill_read_bytes\": %lld}%s\n",
+          r.plan, r.mode, r.wall_ms, static_cast<long long>(r.rows),
+          r.identical ? "true" : "false",
+          static_cast<long long>(r.stats.peak_bytes),
+          static_cast<long long>(r.stats.spilled_partitions),
+          static_cast<long long>(r.stats.spilled_sort_runs),
+          static_cast<long long>(r.stats.spill_bytes),
+          static_cast<long long>(r.stats.spill_read_bytes),
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("warning: could not write %s\n", json_path.c_str());
+  }
+  if (failures > 0) {
+    std::printf("!! %d identity/Status failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("all spilled outputs identical to in-memory execution\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace eca
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+  double nu = argc > 2 ? std::atof(argv[2]) : 200;
+  int iters = argc > 3 ? std::atoi(argv[3]) : 3;
+  std::string json_path = argc > 4 ? argv[4] : "BENCH_spill.json";
+  return eca::Run(sf, nu, iters, json_path);
+}

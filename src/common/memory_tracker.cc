@@ -1,0 +1,63 @@
+#include "common/memory_tracker.h"
+
+#include "common/str_util.h"
+
+namespace eca {
+
+Status MemoryTracker::Reserve(int64_t bytes, const char* what) {
+  ECA_DCHECK(bytes >= 0);
+  if (bytes <= 0) return Status::OK();
+  // Charge parents first so the query-level counter is the one that
+  // enforces the limit for the whole operator tree.
+  if (parent_ != nullptr) {
+    ECA_RETURN_IF_ERROR(parent_->Reserve(bytes, what));
+  }
+  if (hard_bytes_ > 0) {
+    // Optimistic add, undo on overflow: concurrent reservations may
+    // transiently exceed by their own size, never by another thread's.
+    int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (now > hard_bytes_) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      if (parent_ != nullptr) parent_->Release(bytes);
+      return Status::ResourceExhausted(StrFormat(
+          "memory limit exceeded: %s of %lld bytes would put tracked usage "
+          "at %lld of %lld",
+          what, static_cast<long long>(bytes), static_cast<long long>(now),
+          static_cast<long long>(hard_bytes_)));
+    }
+    Charge(0);  // refresh peak from the successful add
+  } else {
+    used_.fetch_add(bytes, std::memory_order_relaxed);
+    Charge(0);
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Charge(int64_t bytes) {
+  int64_t now = used_.load(std::memory_order_relaxed) + bytes;
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::Release(int64_t bytes) {
+  ECA_DCHECK(bytes >= 0);
+  if (bytes <= 0) return;
+  int64_t prev = used_.fetch_sub(bytes, std::memory_order_relaxed);
+  ECA_DCHECK(prev >= bytes);
+  if (prev < bytes) used_.store(0, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+bool MemoryTracker::SoftExceeded() const {
+  if (soft_bytes_ > 0 && used() >= soft_bytes_) return true;
+  return parent_ != nullptr && parent_->SoftExceeded();
+}
+
+bool MemoryTracker::WouldExceedSoft(int64_t bytes) const {
+  if (soft_bytes_ > 0 && used() + bytes >= soft_bytes_) return true;
+  return parent_ != nullptr && parent_->WouldExceedSoft(bytes);
+}
+
+}  // namespace eca

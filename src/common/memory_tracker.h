@@ -1,0 +1,126 @@
+#ifndef ECA_COMMON_MEMORY_TRACKER_H_
+#define ECA_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace eca {
+
+// Hierarchical memory accounting for one query (query -> operator).
+//
+// A tracker holds an atomic usage counter plus two thresholds:
+//
+//  - `soft_bytes`: the spill threshold. Reservations always succeed past
+//    it, but SoftExceeded()/WouldExceedSoft() flip, which is the signal
+//    operators use to escalate to a spilling algorithm (grace hash join,
+//    external merge sort) before the hard limit is in danger.
+//  - `hard_bytes`: the limit. A reservation that would cross it fails
+//    with kResourceExhausted; the operator unwinds with that Status and
+//    the query fails cleanly instead of taking the process down.
+//
+// A child tracker (one per operator) charges its parent first, so the
+// query-level counter always reflects the sum of its operators while each
+// operator can still report its own usage/peak. All counters are atomics:
+// parallel operator chunks charge concurrently without locks. <= 0 for a
+// threshold means unlimited (accounting only).
+//
+// MemoryTracker does not allocate or own memory; callers charge what they
+// are about to allocate and release what they free. Estimates, not
+// malloc-byte truth — see ApproxTupleBytes in storage/relation.h for the
+// row heuristic the executor uses.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+  MemoryTracker(int64_t soft_bytes, int64_t hard_bytes,
+                MemoryTracker* parent = nullptr)
+      : soft_bytes_(soft_bytes), hard_bytes_(hard_bytes), parent_(parent) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  // Charges `bytes` against this tracker and every ancestor. On a hard
+  // limit hit anywhere in the chain, nothing is charged and the Status
+  // names the exhausted tracker's usage. `bytes` < 0 is a programming
+  // error.
+  Status Reserve(int64_t bytes, const char* what = "allocation");
+
+  // Returns the charge. Releasing more than was reserved is a programming
+  // error (DCHECK), clamped in release builds.
+  void Release(int64_t bytes);
+
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t soft_bytes() const { return soft_bytes_; }
+  int64_t hard_bytes() const { return hard_bytes_; }
+  MemoryTracker* parent() const { return parent_; }
+
+  // True once usage is at or above the soft threshold (somewhere in the
+  // chain: a child is soft-exceeded when its parent is).
+  bool SoftExceeded() const;
+  // True if reserving `bytes` now would put usage at or above the soft
+  // threshold (here or in an ancestor). The spill-escalation predicate.
+  bool WouldExceedSoft(int64_t bytes) const;
+
+ private:
+  void Charge(int64_t bytes);
+
+  const int64_t soft_bytes_ = 0;  // <= 0: no spill threshold
+  const int64_t hard_bytes_ = 0;  // <= 0: no hard limit
+  MemoryTracker* const parent_ = nullptr;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+// RAII charge: reserves in the constructor (check ok() before relying on
+// it), releases the reserved amount on destruction. Add() grows the charge
+// later (e.g. per output chunk).
+class ScopedReservation {
+ public:
+  explicit ScopedReservation(MemoryTracker* tracker) : tracker_(tracker) {}
+  ScopedReservation(MemoryTracker* tracker, int64_t bytes,
+                    const char* what = "allocation")
+      : tracker_(tracker) {
+    status_ = Add(bytes, what);
+  }
+  ~ScopedReservation() { Reset(); }
+
+  ScopedReservation(const ScopedReservation&) = delete;
+  ScopedReservation& operator=(const ScopedReservation&) = delete;
+
+  Status Add(int64_t bytes, const char* what = "allocation") {
+    if (tracker_ == nullptr || bytes <= 0) return Status::OK();
+    Status s = tracker_->Reserve(bytes, what);
+    if (s.ok()) bytes_ += bytes;
+    return s;
+  }
+
+  // Releases everything reserved so far.
+  void Reset() {
+    if (tracker_ != nullptr && bytes_ > 0) tracker_->Release(bytes_);
+    bytes_ = 0;
+  }
+
+  // Hands the accumulated charge to the caller (it will not be released
+  // on destruction). Used when the charged object outlives this scope.
+  int64_t Detach() {
+    int64_t b = bytes_;
+    bytes_ = 0;
+    return b;
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryTracker* tracker_;
+  int64_t bytes_ = 0;
+  Status status_;
+};
+
+}  // namespace eca
+
+#endif  // ECA_COMMON_MEMORY_TRACKER_H_

@@ -22,6 +22,8 @@ enum class StatusCode {
   kResourceExhausted,  // budget or memory limit hit
   kDataLoss,           // unreadable or truncated data file
   kInternal,           // invariant violation surfaced as an error
+  kDeadlineExceeded,   // wall-clock deadline passed (query governor)
+  kCancelled,          // cooperative cancellation (CancelToken)
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -58,6 +60,12 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Error(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Error(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Error(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

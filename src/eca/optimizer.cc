@@ -42,6 +42,34 @@ StatusOr<Relation> Optimizer::ExecuteChecked(const Plan& plan,
   return Execute(plan, db);
 }
 
+Optimizer::Optimized Optimizer::OptimizeGoverned(const Plan& query,
+                                                 const Database& db,
+                                                 QueryContext* ctx) const {
+  Options opts = options_;
+  int64_t remaining = ctx != nullptr ? ctx->RemainingMs() : INT64_MAX;
+  if (remaining != INT64_MAX) {
+    // An expired deadline still gets a 1ms budget: the enumerator notices
+    // exhaustion at its first between-wave check and returns the query as
+    // written, flagged degraded.
+    int64_t ms = remaining > 0 ? remaining : 1;
+    if (opts.budget.wall_clock_ms <= 0 || opts.budget.wall_clock_ms > ms) {
+      opts.budget.wall_clock_ms = ms;
+    }
+  }
+  return Optimizer(opts).Optimize(query, db);
+}
+
+StatusOr<Relation> Optimizer::ExecuteGoverned(const Plan& plan,
+                                              const Database& db,
+                                              QueryContext* ctx,
+                                              ExecStats* stats) const {
+  Executor ex(
+      Executor::Options{options_.join_preference, options_.num_threads});
+  StatusOr<Relation> result = ex.ExecuteWithContext(plan, db, ctx);
+  if (stats != nullptr) *stats = ex.stats();
+  return result;
+}
+
 StatusOr<Optimizer::Approach> Optimizer::ParseApproach(
     const std::string& name) {
   std::string lower;

@@ -8,6 +8,7 @@
 #include "enumerate/enumerator.h"
 #include "enumerate/realize.h"
 #include "exec/executor.h"
+#include "exec/query_context.h"
 #include "sqlgen/sqlgen.h"
 
 namespace eca {
@@ -74,6 +75,23 @@ class Optimizer {
   // Validating counterpart of Execute for externally-supplied plans.
   StatusOr<Relation> ExecuteChecked(const Plan& plan,
                                     const Database& db) const;
+
+  // Governed optimization: like Optimize, but the enumeration budget's
+  // wall clock is clamped to `ctx`'s remaining deadline, so one
+  // --timeout-ms covers enumeration and execution as a single contract.
+  // An already-expired context degrades immediately (best-so-far plan,
+  // stats.degraded set) rather than erroring — callers decide whether a
+  // degraded plan is still worth executing with the time they have left.
+  Optimized OptimizeGoverned(const Plan& query, const Database& db,
+                             QueryContext* ctx) const;
+
+  // Governed execution: evaluates `plan` under `ctx`'s memory, deadline
+  // and cancellation limits (Executor::ExecuteWithContext). On both
+  // success and failure `stats`, when given, receives the executor's
+  // counters (peak_bytes, spilled_partitions, ...).
+  StatusOr<Relation> ExecuteGoverned(const Plan& plan, const Database& db,
+                                     QueryContext* ctx,
+                                     ExecStats* stats = nullptr) const;
 
   // "eca" / "tba" / "cba" (case-insensitive) -> Approach; the error lists
   // the valid names.

@@ -23,9 +23,12 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 int64_t SteadyNowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  int64_t real = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count();
+  // Routed through the fault clock so deadline behavior (mid-search and
+  // between waves) is testable deterministically (testing/fault_injection).
+  return FaultClock::NowMs(real);
 }
 
 uint64_t FpMix(uint64_t h, uint64_t v) {
@@ -945,19 +948,24 @@ TopDownEnumerator::Result TopDownEnumerator::Optimize(const Plan& query) {
       } else {
         for (int64_t i = 0; i < count; ++i) run_pair(start + i);
       }
-      if (share_memo) continue;
-      // Barrier: absorb the wave's overlays into the base in pair order
-      // and tighten the bound for the next wave. Both are deterministic —
-      // they depend on task results, not on completion order.
-      for (int64_t i = 0; i < count; ++i) {
-        RootTask& t = tasks[static_cast<size_t>(start + i)];
-        if (t.search != nullptr) {
-          base_search->AbsorbOverlay(t.search.get(), *t.interner,
-                                     base_interner.get());
-          t.search.reset();
+      if (!share_memo) {
+        // Barrier: absorb the wave's overlays into the base in pair order
+        // and tighten the bound for the next wave. Both are deterministic —
+        // they depend on task results, not on completion order.
+        for (int64_t i = 0; i < count; ++i) {
+          RootTask& t = tasks[static_cast<size_t>(start + i)];
+          if (t.search != nullptr) {
+            base_search->AbsorbOverlay(t.search.get(), *t.interner,
+                                       base_interner.get());
+            t.search.reset();
+          }
+          if (t.found && t.cost < wave_bound) wave_bound = t.cost;
         }
-        if (t.found && t.cost < wave_bound) wave_bound = t.cost;
       }
+      // The deadline is also observed between waves: a tripped budget ends
+      // the schedule at this barrier with every completed wave's results
+      // merged, so the final pick below is a true best-so-far.
+      if (shared.Exhausted()) break;
     }
   }
 

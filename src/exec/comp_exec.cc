@@ -1,9 +1,12 @@
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "exec/executor.h"
+#include "exec/query_context.h"
+#include "storage/spill_file.h"
 #include "types/tri_bool.h"
 
 namespace eca {
@@ -13,16 +16,23 @@ namespace {
 // Runs fn(row) for every input row, chunk-parallel when a pool is given.
 // fn must only touch state owned by its row (the transforms below write
 // into a pre-sized output slot per row), so the result is identical for
-// every thread count.
+// every thread count. A governed ctx is observed at chunk granularity
+// (every 4096 rows when sequential): once ShouldStop() flips, remaining
+// rows are skipped — callers' outputs are discarded on the error path.
 template <typename RowFn>
-void ForEachRow(const Relation& in, ThreadPool* pool, const RowFn& fn) {
+void ForEachRow(const Relation& in, ThreadPool* pool, QueryContext* ctx,
+                const RowFn& fn) {
   const int64_t n = in.NumRows();
   if (pool == nullptr || pool->num_threads() <= 1) {
-    for (int64_t i = 0; i < n; ++i) fn(i);
+    for (int64_t i = 0; i < n; ++i) {
+      if (ctx != nullptr && (i & 4095) == 0 && ctx->ShouldStop()) return;
+      fn(i);
+    }
     return;
   }
   const int64_t chunks = pool->ShardsFor(n);
   pool->ParallelFor(chunks, [&](int64_t c) {
+    if (ctx != nullptr && ctx->ShouldStop()) return;
     int64_t begin = c * n / chunks;
     int64_t end = (c + 1) * n / chunks;
     for (int64_t i = begin; i < end; ++i) fn(i);
@@ -106,17 +116,21 @@ class TupleSet {
   std::unordered_map<uint64_t, std::vector<Tuple>> map_;
 };
 
+// Defined after EvalBetaSorted, whose per-pattern sort it externalizes.
+Relation EvalBetaExternal(const Relation& in, QueryContext* ctx,
+                          ExecStats* stats);
+
 }  // namespace
 
 Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in,
-                    ThreadPool* pool) {
+                    ThreadPool* pool, QueryContext* ctx) {
   ECA_CHECK(pred != nullptr);
   CompiledPredicate compiled(pred, in.schema());
   std::vector<int> cols = in.schema().ColumnsOf(attrs);
   Relation out(in.schema());
   // One output row per input row: pre-size and fill slots in parallel.
   out.mutable_rows().resize(static_cast<size_t>(in.NumRows()));
-  ForEachRow(in, pool, [&](int64_t i) {
+  ForEachRow(in, pool, ctx, [&](int64_t i) {
     const Tuple& t = in.rows()[static_cast<size_t>(i)];
     if (compiled.EvalTrue(t)) {
       out.mutable_rows()[static_cast<size_t>(i)] = t;
@@ -132,13 +146,14 @@ Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in,
   return out;
 }
 
-Relation EvalGamma(RelSet attrs, const Relation& in, ThreadPool* pool) {
+Relation EvalGamma(RelSet attrs, const Relation& in, ThreadPool* pool,
+                   QueryContext* ctx) {
   std::vector<int> cols = in.schema().ColumnsOf(attrs);
   ECA_CHECK_MSG(!cols.empty(), "gamma over attributes absent from input");
   // Filter: mark selected rows in parallel, emit sequentially in row
   // order (so the output is identical for every thread count).
   std::vector<uint8_t> selected(static_cast<size_t>(in.NumRows()), 0);
-  ForEachRow(in, pool, [&](int64_t i) {
+  ForEachRow(in, pool, ctx, [&](int64_t i) {
     const Tuple& t = in.rows()[static_cast<size_t>(i)];
     bool all_null = true;
     for (int c : cols) {
@@ -158,7 +173,15 @@ Relation EvalGamma(RelSet attrs, const Relation& in, ThreadPool* pool) {
   return out;
 }
 
-Relation EvalBeta(const Relation& in) {
+Relation EvalBeta(const Relation& in, QueryContext* ctx, ExecStats* stats) {
+  // Governed escalation: past the soft threshold the pattern-group
+  // structures below (per-group tuple sets and projections, roughly
+  // input-sized) are not affordable; switch to the external-merge-sort
+  // variant whose resident set is one sort run. Same rows, same order.
+  if (ctx != nullptr &&
+      ctx->tracker()->WouldExceedSoft(ApproxRowsBytes(in.rows()))) {
+    return EvalBetaExternal(in, ctx, stats);
+  }
   // Group rows by null pattern; a tuple with null set P is spurious iff it
   // duplicates another tuple, or a tuple with null set Q (a strict subset
   // of P) agrees with it on P's non-null positions. Plan intermediates have
@@ -380,8 +403,135 @@ Relation EvalBetaSorted(const Relation& in) {
   return out;
 }
 
+namespace {
+
+// The governed spill path for beta: EvalBetaSorted's per-pattern sort
+// routed through ExternalRowSorter, so resident memory is bounded by one
+// sort run no matter the input size. The sorter breaks ties by tag
+// (ascending input row index), a legal ordering for EvalBetaSorted's
+// unstable std::sort, and the elimination scan reads rows back via their
+// index — the keep[] decisions, the output rows, and their order are the
+// ones EvalBeta produces.
+Relation EvalBetaExternal(const Relation& in, QueryContext* ctx,
+                          ExecStats* stats) {
+  const int num_cols = in.schema().NumColumns();
+  std::unordered_map<NullMask, int, MaskHash> patterns;
+  std::vector<NullMask> row_masks(static_cast<size_t>(in.NumRows()));
+  std::vector<bool> keep(static_cast<size_t>(in.NumRows()), true);
+  for (int64_t i = 0; i < in.NumRows(); ++i) {
+    NullMask m = MaskOf(in.rows()[static_cast<size_t>(i)]);
+    if (Popcount(m) == num_cols && num_cols > 0) {
+      keep[static_cast<size_t>(i)] = false;  // all-NULL convention
+      continue;
+    }
+    row_masks[static_cast<size_t>(i)] = m;
+    patterns.emplace(std::move(m), 1);
+  }
+
+  SpillDir dir("eca-beta", ctx->spill_dir());
+  SpillStats sstats;
+  const int64_t soft = ctx->tracker()->soft_bytes();
+  const int64_t run_bytes =
+      soft > 0 ? std::max<int64_t>(soft / 8, int64_t{64} << 10)
+               : int64_t{16} << 20;
+  ExecCharge run_charge(ctx);
+  Status status = run_charge.Add(run_bytes, "beta external-sort run");
+
+  for (const auto& [pattern, unused] : patterns) {
+    if (!status.ok()) break;
+    (void)unused;
+    std::vector<int> key_cols;
+    key_cols.reserve(static_cast<size_t>(num_cols));
+    for (int c = 0; c < num_cols; ++c) {  // non-NULL-in-P columns first
+      if (((pattern[static_cast<size_t>(c) / 64] >> (c % 64)) & 1) == 0) {
+        key_cols.push_back(c);
+      }
+    }
+    size_t agree_prefix = key_cols.size();
+    for (int c = 0; c < num_cols; ++c) {
+      if (((pattern[static_cast<size_t>(c) / 64] >> (c % 64)) & 1) == 1) {
+        key_cols.push_back(c);
+      }
+    }
+    auto value_less = [&key_cols](const Tuple& ta, const Tuple& tb) {
+      for (int c : key_cols) {
+        const Value& va = ta[static_cast<size_t>(c)];
+        const Value& vb = tb[static_cast<size_t>(c)];
+        if (va.is_null() != vb.is_null()) return vb.is_null();
+        if (va.is_null()) continue;
+        int cmp = va.Compare(vb);
+        if (cmp != 0) return cmp < 0;
+      }
+      return false;
+    };
+    ExternalRowSorter sorter(&dir, value_less, run_bytes, &sstats);
+    for (int64_t i = 0; i < in.NumRows() && status.ok(); ++i) {
+      if (keep[static_cast<size_t>(i)]) {
+        status = sorter.Add(static_cast<uint64_t>(i),
+                            in.rows()[static_cast<size_t>(i)]);
+      }
+    }
+    if (!status.ok()) break;
+    int64_t prev = -1;
+    int64_t seen = 0;
+    status = sorter.Drain([&](uint64_t tag, Tuple&) -> Status {
+      if ((++seen & 1023) == 0 && ctx->ShouldStop()) {
+        return ctx->StopStatus();
+      }
+      int64_t idx = static_cast<int64_t>(tag);
+      if (prev >= 0 && row_masks[static_cast<size_t>(idx)] == pattern) {
+        const Tuple& t = in.rows()[static_cast<size_t>(idx)];
+        const Tuple& p = in.rows()[static_cast<size_t>(prev)];
+        bool agree = true;
+        for (size_t k = 0; k < agree_prefix; ++k) {
+          int c = key_cols[k];
+          const Value& vp = p[static_cast<size_t>(c)];
+          if (vp.is_null() || !vp.SameAs(t[static_cast<size_t>(c)])) {
+            agree = false;
+            break;
+          }
+        }
+        if (agree &&
+            Popcount(row_masks[static_cast<size_t>(prev)]) <=
+                Popcount(row_masks[static_cast<size_t>(idx)])) {
+          bool duplicate = row_masks[static_cast<size_t>(prev)] ==
+                           row_masks[static_cast<size_t>(idx)];
+          bool dominated = Popcount(row_masks[static_cast<size_t>(prev)]) <
+                           Popcount(row_masks[static_cast<size_t>(idx)]);
+          if (duplicate || dominated) {
+            keep[static_cast<size_t>(idx)] = false;
+            return Status::OK();  // prev stays the reference survivor
+          }
+        }
+      }
+      prev = idx;
+      return Status::OK();
+    });
+    if (stats != nullptr) stats->spilled_sort_runs += sorter.runs_spilled();
+  }
+
+  if (stats != nullptr) {
+    stats->spill_bytes += sstats.bytes_written;
+    stats->spill_read_bytes += sstats.bytes_read;
+  }
+  if (!status.ok()) {
+    ctx->RecordError(std::move(status));
+    return Relation(in.schema());
+  }
+  Relation out(in.schema());
+  for (int64_t i = 0; i < in.NumRows(); ++i) {
+    if (keep[static_cast<size_t>(i)]) {
+      out.Add(in.rows()[static_cast<size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in,
-                       ThreadPool* pool) {
+                       ThreadPool* pool, QueryContext* ctx,
+                       ExecStats* stats) {
   std::vector<int> acols = in.schema().ColumnsOf(attrs);
   ECA_CHECK_MSG(!acols.empty(), "gamma* over attributes absent from input");
   std::vector<int> nulled_cols;
@@ -392,7 +542,7 @@ Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in,
   // below is inherently sequential (cross-row domination).
   Relation modified(in.schema());
   modified.mutable_rows().resize(static_cast<size_t>(in.NumRows()));
-  ForEachRow(in, pool, [&](int64_t i) {
+  ForEachRow(in, pool, ctx, [&](int64_t i) {
     const Tuple& t = in.rows()[static_cast<size_t>(i)];
     bool all_null = true;
     for (int c : acols) {
@@ -412,7 +562,7 @@ Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in,
       modified.mutable_rows()[static_cast<size_t>(i)] = std::move(u);
     }
   });
-  return EvalBeta(modified);
+  return EvalBeta(modified, ctx, stats);
 }
 
 Relation EvalProject(RelSet attrs, const Relation& in) {

@@ -1,8 +1,10 @@
 #include "exec/executor.h"
 
 #include <chrono>
+#include <utility>
 
 #include "common/thread_pool.h"
+#include "exec/query_context.h"
 
 namespace eca {
 
@@ -26,14 +28,22 @@ Executor::Executor(Options options) : options_(options) {
 Executor::~Executor() = default;
 
 Relation Executor::Execute(const Plan& plan, const Database& db) {
+  // Governed runs stop descending the moment the query is cancelled, past
+  // its deadline, or carrying an error: subtrees return empty relations
+  // that ExecuteWithContext discards in favor of StopStatus().
+  if (ctx_ != nullptr && ctx_->ShouldStop()) return Relation();
+  Relation out;
   switch (plan.kind()) {
     case Plan::Kind::kLeaf: {
       // Leaf scans materialize a copy of the base table; chunk-parallel
       // row copy when a pool is available (output order is by row index
       // either way).
       const Relation& table = db.table(plan.rel_id());
-      if (pool_ == nullptr) return table;
-      Relation out(table.schema());
+      if (pool_ == nullptr) {
+        out = table;
+        break;
+      }
+      out = Relation(table.schema());
       out.mutable_rows().resize(table.rows().size());
       pool_->ParallelFor(
           pool_->ShardsFor(table.NumRows()), [&](int64_t c) {
@@ -45,46 +55,95 @@ Relation Executor::Execute(const Plan& plan, const Database& db) {
                   table.rows()[static_cast<size_t>(i)];
             }
           });
-      return out;
+      break;
     }
     case Plan::Kind::kJoin:
-      return ExecJoin(plan, db);
+      out = ExecJoin(plan, db);
+      break;
     case Plan::Kind::kComp:
-      return ExecComp(plan, db);
+      out = ExecComp(plan, db);
+      break;
   }
-  return Relation();
+  // Every plan node's materialized output is charged to the query tracker
+  // as it comes into existence; the parent releases it once consumed.
+  ChargeNodeOutput(out);
+  return out;
+}
+
+StatusOr<Relation> Executor::ExecuteWithContext(const Plan& plan,
+                                                const Database& db,
+                                                QueryContext* ctx) {
+  ECA_CHECK(ctx != nullptr);
+  ctx_ = ctx;
+  Relation out = Execute(plan, db);
+  stats_.peak_bytes = ctx->tracker()->peak();
+  if (ctx->ShouldStop()) {
+    Status s = ctx->StopStatus();
+    ctx_ = nullptr;
+    if (!s.ok()) return s;
+  }
+  // Release the root's charge (ctx_ must still be set — ReleaseNodeOutput
+  // is a no-op otherwise): the caller owns the result now and the tracker
+  // balance returns to zero on success (asserted in tests).
+  ReleaseNodeOutput(out);
+  ctx_ = nullptr;
+  return out;
+}
+
+void Executor::ChargeNodeOutput(const Relation& rel) {
+  if (ctx_ == nullptr || ctx_->HasError() || rel.NumRows() == 0) return;
+  ExecCharge charge(ctx_);
+  Status s = charge.Add(ApproxRowsBytes(rel.rows()), "operator output");
+  if (!s.ok()) {
+    ctx_->RecordError(std::move(s));
+    return;
+  }
+  charge.Detach();
+}
+
+void Executor::ReleaseNodeOutput(const Relation& rel) {
+  // Mirror of ChargeNodeOutput; once an error is recorded charges stop,
+  // so releases stop too (the failed query's tracker is discarded).
+  if (ctx_ == nullptr || ctx_->HasError() || rel.NumRows() == 0) return;
+  ctx_->tracker()->Release(ApproxRowsBytes(rel.rows()));
 }
 
 Relation Executor::ExecJoin(const Plan& plan, const Database& db) {
   Relation left = Execute(*plan.left(), db);
   Relation right = Execute(*plan.right(), db);
+  if (ctx_ != nullptr && ctx_->ShouldStop()) return Relation();
   ++stats_.join_nodes;
   auto t0 = Clock::now();
   Relation out = EvalJoin(plan.op(), plan.pred(), left, right,
-                          options_.join_preference, &stats_, pool_.get());
+                          options_.join_preference, &stats_, pool_.get(),
+                          ctx_);
   stats_.join_ms += MsSince(t0);
   stats_.rows_produced += out.NumRows();
+  ReleaseNodeOutput(left);
+  ReleaseNodeOutput(right);
   return out;
 }
 
 Relation Executor::ExecComp(const Plan& plan, const Database& db) {
   Relation child = Execute(*plan.child(), db);
+  if (ctx_ != nullptr && ctx_->ShouldStop()) return Relation();
   ++stats_.comp_nodes;
   const CompOp& c = plan.comp();
   auto t0 = Clock::now();
   Relation out;
   switch (c.kind) {
     case CompOp::Kind::kLambda:
-      out = EvalLambda(c.pred, c.attrs, child, pool_.get());
+      out = EvalLambda(c.pred, c.attrs, child, pool_.get(), ctx_);
       break;
     case CompOp::Kind::kBeta:
-      out = EvalBeta(child);
+      out = EvalBeta(child, ctx_, &stats_);
       break;
     case CompOp::Kind::kGamma:
-      out = EvalGamma(c.attrs, child, pool_.get());
+      out = EvalGamma(c.attrs, child, pool_.get(), ctx_);
       break;
     case CompOp::Kind::kGammaStar:
-      out = EvalGammaStar(c.attrs, c.keep, child, pool_.get());
+      out = EvalGammaStar(c.attrs, c.keep, child, pool_.get(), ctx_,
+                          &stats_);
       break;
     case CompOp::Kind::kProject:
       out = EvalProject(c.attrs, child);
@@ -92,6 +151,7 @@ Relation Executor::ExecComp(const Plan& plan, const Database& db) {
   }
   stats_.comp_ms += MsSince(t0);
   stats_.rows_produced += out.NumRows();
+  ReleaseNodeOutput(child);
   return out;
 }
 

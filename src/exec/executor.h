@@ -5,12 +5,14 @@
 #include <memory>
 
 #include "algebra/plan.h"
+#include "common/status.h"
 #include "exec/database.h"
 #include "storage/relation.h"
 
 namespace eca {
 
 class ThreadPool;
+class QueryContext;
 
 // Execution statistics accumulated over one Execute() call.
 struct ExecStats {
@@ -33,6 +35,16 @@ struct ExecStats {
   int64_t max_partition_rows = 0;
   int64_t min_partition_rows = 0;
   double partition_skew = 0;
+
+  // Resource-governor counters (ExecuteWithContext only; all zero for
+  // ungoverned runs). peak_bytes is the query tracker's high-water mark;
+  // the spill counters cover grace hash joins and external-sort
+  // compensation operators (docs/robustness.md, "Resource governor").
+  int64_t peak_bytes = 0;
+  int64_t spilled_partitions = 0;  // grace-join leaf partitions probed
+  int64_t spill_bytes = 0;         // serialized bytes written to temp files
+  int64_t spill_read_bytes = 0;    // serialized bytes read back
+  int64_t spilled_sort_runs = 0;   // external-sort runs spilled (beta/gamma*)
 
   void Reset() { *this = ExecStats(); }
 };
@@ -68,15 +80,35 @@ class Executor {
   // well-formed by construction.
   Relation Execute(const Plan& plan, const Database& db);
 
+  // Governed execution under `ctx`'s memory/deadline/cancellation contract
+  // (docs/robustness.md). Same plans, same results, three extra outcomes:
+  //
+  //  - memory pressure past the soft threshold escalates hash joins to the
+  //    spilling grace join and beta/gamma* to external merge sort — the
+  //    result stays byte-identical to the in-memory engine;
+  //  - the hard limit, the deadline, or a Cancel() unwind cleanly with
+  //    kResourceExhausted / kDeadlineExceeded / kCancelled;
+  //  - stats() gains peak_bytes and the spill counters.
+  //
+  // `ctx` must already be Arm()ed if a timeout is configured; it is
+  // borrowed for the duration of the call only.
+  StatusOr<Relation> ExecuteWithContext(const Plan& plan, const Database& db,
+                                        QueryContext* ctx);
+
   const ExecStats& stats() const { return stats_; }
 
  private:
   Relation ExecJoin(const Plan& plan, const Database& db);
   Relation ExecComp(const Plan& plan, const Database& db);
+  // Charges `rel`'s rows to the query tracker as the durable output of a
+  // plan node; records the error on failure. No-op when ungoverned.
+  void ChargeNodeOutput(const Relation& rel);
+  void ReleaseNodeOutput(const Relation& rel);
 
   Options options_;
   ExecStats stats_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+  QueryContext* ctx_ = nullptr;  // non-null only inside ExecuteWithContext
 };
 
 // --- Operator building blocks (exposed for unit tests and benches) --------
@@ -87,10 +119,15 @@ class Executor {
 // inner/semi/anti joins) and probes in contiguous chunks; passing a
 // ThreadPool runs build and probe in parallel with output assembled in
 // chunk order, so the result is byte-identical for every thread count.
+// A governed call (non-null ctx) additionally observes cancellation and
+// deadline at chunk granularity, charges the build index to the memory
+// tracker, and escalates to the spilling grace hash join when the build
+// would cross the soft threshold — with output still byte-identical.
 Relation EvalJoin(JoinOp op, const PredRef& pred, const Relation& left,
                   const Relation& right,
                   Executor::JoinPreference pref = Executor::JoinPreference::kHash,
-                  ExecStats* stats = nullptr, ThreadPool* pool = nullptr);
+                  ExecStats* stats = nullptr, ThreadPool* pool = nullptr,
+                  QueryContext* ctx = nullptr);
 
 // Reference nested-loop implementation of every join operator; used to
 // validate the hash/sort-merge paths.
@@ -101,7 +138,7 @@ Relation EvalJoinNaive(JoinOp op, const PredRef& pred, const Relation& left,
 // on which `pred` does not evaluate to true. Row-parallel when a pool is
 // given (chunk-ordered assembly keeps the output order identical).
 Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in,
-                    ThreadPool* pool = nullptr);
+                    ThreadPool* pool = nullptr, QueryContext* ctx = nullptr);
 
 // beta: removes spurious (dominated or duplicated) tuples. Exact
 // per-attribute semantics via null-pattern grouping; near-linear when the
@@ -113,7 +150,13 @@ Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in,
 // semantics; it is required for the compensation identities to hold on
 // empty/no-match inputs (e.g. CBA's R1 join R2 = beta(lambda(R1 x R2)) with
 // an empty R2, and gamma* above a full outerjoin).
-Relation EvalBeta(const Relation& in);
+//
+// Under a governed ctx whose tracker is past (or would be pushed past) the
+// soft threshold, evaluation switches to the external-merge-sort variant of
+// EvalBetaSorted: one bounded-memory sort per null pattern, runs spilled
+// through the ctx spill dir. Output rows and order are identical.
+Relation EvalBeta(const Relation& in, QueryContext* ctx = nullptr,
+                  ExecStats* stats = nullptr);
 
 // Reference O(n^2) beta, straight from the Section 2.2 definition (plus the
 // all-NULL convention above).
@@ -133,14 +176,15 @@ Relation EvalBetaSorted(const Relation& in);
 // gamma_A: keeps tuples whose attributes of relations in `attrs` are all
 // NULL (Equation 7). Row-parallel when a pool is given.
 Relation EvalGamma(RelSet attrs, const Relation& in,
-                   ThreadPool* pool = nullptr);
+                   ThreadPool* pool = nullptr, QueryContext* ctx = nullptr);
 
 // gamma*_{A(B)}: Equation 8 — tuples with all-NULL A pass unchanged; other
 // tuples get every attribute outside `keep` NULLed; beta removes spurious
 // tuples. The modification scan is row-parallel when a pool is given; the
 // best-match stage is inherently sequential.
 Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in,
-                       ThreadPool* pool = nullptr);
+                       ThreadPool* pool = nullptr, QueryContext* ctx = nullptr,
+                       ExecStats* stats = nullptr);
 
 // pi_A at relation granularity.
 Relation EvalProject(RelSet attrs, const Relation& in);

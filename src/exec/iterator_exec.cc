@@ -1,7 +1,10 @@
 #include "exec/iterator_exec.h"
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "exec/query_context.h"
 
 namespace eca {
 
@@ -374,6 +377,39 @@ Relation DrainIterator(RowIterator& it) {
   Tuple t;
   while (it.Next(&t)) out.Add(t);
   return out;
+}
+
+StatusOr<Relation> DrainIteratorGoverned(RowIterator& it, QueryContext* ctx) {
+  ECA_CHECK(ctx != nullptr);
+  Relation out(it.schema());
+  ExecCharge charge(ctx);
+  int64_t pending = 0;
+  int64_t n = 0;
+  Tuple t;
+  while (it.Next(&t)) {
+    if ((++n & 1023) == 0 && ctx->ShouldStop()) return ctx->StopStatus();
+    pending += ApproxTupleBytes(t);
+    out.Add(std::move(t));
+    t = Tuple();
+    if (pending >= (64 << 10)) {
+      ECA_RETURN_IF_ERROR(charge.Add(pending, "pull-drain output"));
+      pending = 0;
+    }
+  }
+  ECA_RETURN_IF_ERROR(charge.Add(pending, "pull-drain output"));
+  if (ctx->ShouldStop()) {
+    Status s = ctx->StopStatus();
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+StatusOr<Relation> ExecutePullGoverned(const Plan& plan, const Database& db,
+                                       QueryContext* ctx,
+                                       Executor::JoinPreference pref) {
+  std::unique_ptr<RowIterator> it = OpenPlanIterator(plan, db, pref);
+  ECA_CHECK(it != nullptr);
+  return DrainIteratorGoverned(*it, ctx);
 }
 
 Relation ExecutePull(const Plan& plan, const Database& db,

@@ -42,6 +42,18 @@ std::unique_ptr<RowIterator> OpenPlanIterator(
 // Convenience: drains the iterator into a relation.
 Relation DrainIterator(RowIterator& it);
 
+// Governed drain: observes `ctx`'s cancellation/deadline every 1024 rows
+// and charges the materialized output to its memory tracker, so even the
+// streaming engine honors the --timeout-ms / --mem-limit-mb contract at
+// its single materialization point.
+StatusOr<Relation> DrainIteratorGoverned(RowIterator& it, QueryContext* ctx);
+
+// Full pull-based execution under a resource governor.
+StatusOr<Relation> ExecutePullGoverned(const Plan& plan, const Database& db,
+                                       QueryContext* ctx,
+                                       Executor::JoinPreference pref =
+                                           Executor::JoinPreference::kHash);
+
 // Full pull-based execution of a plan.
 Relation ExecutePull(const Plan& plan, const Database& db,
                      Executor::JoinPreference pref =

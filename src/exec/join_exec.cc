@@ -1,10 +1,13 @@
 #include <algorithm>
 #include <atomic>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "exec/executor.h"
+#include "exec/query_context.h"
+#include "storage/spill_file.h"
 #include "types/tri_bool.h"
 
 namespace eca {
@@ -223,6 +226,10 @@ class JoinEmitter {
     return std::move(out_);
   }
 
+  // Output accumulated so far (pre-Finish); the governed nested-loop
+  // path charges its growth against the memory tracker.
+  const Relation& out() const { return out_; }
+
  private:
   JoinOp op_;
   const JoinShape& shape_;
@@ -234,13 +241,21 @@ class JoinEmitter {
 };
 
 Relation NestedLoopJoin(JoinOp op, const PredRef& pred, const Relation& left,
-                        const Relation& right, ExecStats* stats) {
+                        const Relation& right, ExecStats* stats,
+                        QueryContext* ctx = nullptr) {
   JoinShape shape = MakeShape(op, left, right);
   JoinEmitter emitter(op, shape, left, right);
   CompiledPredicate compiled;
   bool have_pred = pred != nullptr;
   if (have_pred) compiled = CompiledPredicate(pred, shape.concat_schema);
+  // Governed runs enforce the hard limit while the output materializes
+  // (a cross join can explode well before the executor's node-level
+  // charge would see it); the charge is scratch, released on return.
+  ExecCharge out_charge(ctx);
+  size_t charged_rows = 0;
+  int64_t pending_bytes = 0;
   for (int64_t li = 0; li < left.NumRows(); ++li) {
+    if (ctx != nullptr && (li & 1023) == 0 && ctx->ShouldStop()) break;
     for (int64_t ri = 0; ri < right.NumRows(); ++ri) {
       if (stats != nullptr) ++stats->probe_comparisons;
       bool match = true;
@@ -250,6 +265,20 @@ Relation NestedLoopJoin(JoinOp op, const PredRef& pred, const Relation& left,
         match = compiled.EvalTrue(t);
       }
       if (match) emitter.Match(li, ri);
+    }
+    if (ctx != nullptr) {
+      const auto& rows = emitter.out().rows();
+      for (; charged_rows < rows.size(); ++charged_rows) {
+        pending_bytes += ApproxTupleBytes(rows[charged_rows]);
+      }
+      if (pending_bytes >= (64 << 10)) {
+        Status s = out_charge.Add(pending_bytes, "nested-loop join output");
+        pending_bytes = 0;
+        if (!s.ok()) {
+          ctx->RecordError(std::move(s));
+          break;
+        }
+      }
     }
   }
   return emitter.Finish();
@@ -363,9 +392,344 @@ BuildIndex BuildPartitionedIndex(const KeyEvaluator& ke, const Relation& rel,
   return index;
 }
 
+// --- Grace (spilling) hash join -------------------------------------------
+//
+// The escalation target when a governed hash join's build side would push
+// the memory tracker past its soft threshold: both sides are hash-
+// partitioned to temp files (rows with NULL keys never spill — they cannot
+// match and their outer/anti handling comes from the matched flags), then
+// each partition is joined independently with only its build slice
+// resident. A partition whose build side still exceeds the budget is
+// re-partitioned recursively on the next 4 hash bits. Peak memory is one
+// build partition plus the output.
+//
+// Output stays byte-identical to the in-memory join: the in-memory probe
+// emits matches in ascending (probe row, build row) order — all matches of
+// one probe row share its key, hence its hash, hence one bucket whose
+// build rows are inserted in increasing row order. Here every spilled row
+// carries its global row index as the record tag, partitioning preserves
+// relative order per partition, all matches of one probe row land in one
+// partition, and a final stable sort on the probe index restores the
+// global order. The matched-flag arrays are global, so the sequential
+// FinishJoinOutput padding phase is identical too.
+
+constexpr int kGraceFanout = 16;  // partitions per level: 4 hash bits
+constexpr int kGraceMaxDepth = 8;  // beyond this, process in memory
+
+size_t GracePartOf(uint64_t h, int depth) {
+  return static_cast<size_t>(
+      (h >> (4 * depth)) & static_cast<uint64_t>(kGraceFanout - 1));
+}
+
+// Lazily-opened fan of partition files for one side of one level.
+class GraceFan {
+ public:
+  GraceFan(SpillDir* dir, SpillStats* stats) : dir_(dir), stats_(stats) {}
+
+  Status Add(size_t part, uint64_t tag, const Tuple& row) {
+    SpillWriter& w = writers_[part];
+    if (paths_[part].empty()) {
+      ECA_ASSIGN_OR_RETURN(std::string path, dir_->NextFilePath());
+      ECA_RETURN_IF_ERROR(w.Open(path, stats_));
+      paths_[part] = std::move(path);
+    }
+    return w.Append(tag, row);
+  }
+
+  Status FinishAll() {
+    for (int p = 0; p < kGraceFanout; ++p) {
+      if (!paths_[p].empty()) ECA_RETURN_IF_ERROR(writers_[p].Finish());
+    }
+    return Status::OK();
+  }
+
+  // Empty string when no row landed in `part`.
+  const std::string& path(size_t part) const { return paths_[part]; }
+  int64_t bytes(size_t part) const { return writers_[part].bytes_written(); }
+
+ private:
+  SpillDir* dir_;
+  SpillStats* stats_;
+  SpillWriter writers_[kGraceFanout];
+  std::string paths_[kGraceFanout];
+};
+
+class GraceHashJoin {
+ public:
+  GraceHashJoin(JoinOp op, const JoinShape& shape,
+                const KeyEvaluator& build_keys, const KeyEvaluator& probe_keys,
+                bool build_left, const CompiledPredicate* residual,
+                const Relation& left, const Relation& right, QueryContext* ctx,
+                ExecStats* stats)
+      : op_(op),
+        shape_(shape),
+        build_keys_(build_keys),
+        probe_keys_(probe_keys),
+        build_left_(build_left),
+        residual_(residual),
+        left_(left),
+        right_(right),
+        build_(build_left ? left : right),
+        probe_(build_left ? right : left),
+        ctx_(ctx),
+        stats_(stats),
+        dir_("eca-grace", ctx->spill_dir()),
+        out_charge_(ctx) {
+    if (NeedsLeftFlags(op)) {
+      left_matched_.assign(static_cast<size_t>(left.NumRows()), 0);
+    }
+    if (NeedsRightFlags(op)) {
+      right_matched_.assign(static_cast<size_t>(right.NumRows()), 0);
+    }
+  }
+
+  Status Run(Relation* out) {
+    SpillStats before = sstats_;
+    Status s = RunImpl(out);
+    if (stats_ != nullptr) {
+      stats_->spill_bytes += sstats_.bytes_written - before.bytes_written;
+      stats_->spill_read_bytes += sstats_.bytes_read - before.bytes_read;
+    }
+    return s;
+  }
+
+ private:
+  struct TaggedRow {
+    uint64_t tag;
+    Tuple row;
+  };
+
+  // Build-partition budget: a leaf is processed in memory only once its
+  // build slice fits under this, otherwise it re-partitions.
+  int64_t PartitionBudget() const {
+    int64_t soft = ctx_->tracker()->soft_bytes();
+    if (soft <= 0) return int64_t{16} << 20;
+    return std::max<int64_t>(soft / 4, int64_t{16} << 10);
+  }
+
+  Status RunImpl(Relation* out) {
+    // Level 0: partition both in-memory sides.
+    GraceFan build_fan(&dir_, &sstats_);
+    GraceFan probe_fan(&dir_, &sstats_);
+    ECA_RETURN_IF_ERROR(PartitionRelation(build_, build_keys_, &build_fan));
+    ECA_RETURN_IF_ERROR(PartitionRelation(probe_, probe_keys_, &probe_fan));
+    ECA_RETURN_IF_ERROR(build_fan.FinishAll());
+    ECA_RETURN_IF_ERROR(probe_fan.FinishAll());
+
+    for (int p = 0; p < kGraceFanout; ++p) {
+      ECA_RETURN_IF_ERROR(ProcessPartition(build_fan.path(p),
+                                           build_fan.bytes(p),
+                                           probe_fan.path(p), /*depth=*/1));
+    }
+
+    // Stable sort on the probe index restores the in-memory emit order
+    // (within one probe row, partition-local order is already ascending
+    // build index, and one probe row's matches live in one partition).
+    std::stable_sort(matches_.begin(), matches_.end(),
+                     [](const TaggedRow& a, const TaggedRow& b) {
+                       return a.tag < b.tag;
+                     });
+    Relation result(shape_.out_schema);
+    result.mutable_rows().reserve(matches_.size());
+    for (TaggedRow& m : matches_) result.Add(std::move(m.row));
+    matches_.clear();
+    FinishJoinOutput(op_, shape_, left_, right_, left_matched_,
+                     right_matched_, &result);
+    *out = std::move(result);
+    return Status::OK();
+  }
+
+  Status PartitionRelation(const Relation& rel, const KeyEvaluator& ke,
+                           GraceFan* fan) {
+    std::vector<Value> kv;
+    for (int64_t r = 0; r < rel.NumRows(); ++r) {
+      if ((r & 4095) == 0 && ctx_->ShouldStop()) return ctx_->StopStatus();
+      const Tuple& row = rel.rows()[static_cast<size_t>(r)];
+      if (!ke.Eval(row, &kv)) continue;  // NULL keys never match
+      uint64_t h = HashTuple(kv);
+      ECA_RETURN_IF_ERROR(
+          fan->Add(GracePartOf(h, 0), static_cast<uint64_t>(r), row));
+    }
+    return Status::OK();
+  }
+
+  // Streams a spill file through the key evaluator into a deeper fan.
+  Status Repartition(const std::string& path, const KeyEvaluator& ke,
+                     int depth, GraceFan* fan) {
+    SpillReader reader;
+    ECA_RETURN_IF_ERROR(reader.Open(path, &sstats_));
+    std::vector<Value> kv;
+    uint64_t tag = 0;
+    Tuple row;
+    bool eof = false;
+    int64_t n = 0;
+    while (true) {
+      ECA_RETURN_IF_ERROR(reader.Next(&tag, &row, &eof));
+      if (eof) break;
+      if ((++n & 4095) == 0 && ctx_->ShouldStop()) return ctx_->StopStatus();
+      bool valid = ke.Eval(row, &kv);
+      ECA_DCHECK(valid);  // NULL-key rows were never spilled
+      (void)valid;
+      ECA_RETURN_IF_ERROR(
+          fan->Add(GracePartOf(HashTuple(kv), depth), tag, row));
+    }
+    return Status::OK();
+  }
+
+  Status ProcessPartition(const std::string& build_path, int64_t build_bytes,
+                          const std::string& probe_path, int depth) {
+    // A side with no file received no rows; nothing can match, and the
+    // matched flags already default to unmatched.
+    if (build_path.empty() || probe_path.empty()) return Status::OK();
+    if (ctx_->ShouldStop()) return ctx_->StopStatus();
+    if (depth < kGraceMaxDepth && build_bytes > PartitionBudget()) {
+      GraceFan build_fan(&dir_, &sstats_);
+      GraceFan probe_fan(&dir_, &sstats_);
+      ECA_RETURN_IF_ERROR(
+          Repartition(build_path, build_keys_, depth, &build_fan));
+      ECA_RETURN_IF_ERROR(
+          Repartition(probe_path, probe_keys_, depth, &probe_fan));
+      ECA_RETURN_IF_ERROR(build_fan.FinishAll());
+      ECA_RETURN_IF_ERROR(probe_fan.FinishAll());
+      for (int p = 0; p < kGraceFanout; ++p) {
+        ECA_RETURN_IF_ERROR(ProcessPartition(build_fan.path(p),
+                                             build_fan.bytes(p),
+                                             probe_fan.path(p), depth + 1));
+      }
+      return Status::OK();
+    }
+    return ProbeLeaf(build_path, probe_path);
+  }
+
+  Status ProbeLeaf(const std::string& build_path,
+                   const std::string& probe_path) {
+    if (stats_ != nullptr) ++stats_->spilled_partitions;
+
+    // Load the build slice (the only resident piece) and key it by hash;
+    // file order is ascending global row index, so bucket vectors are too.
+    ExecCharge part_charge(ctx_);
+    int64_t pending = 0;
+    std::vector<TaggedRow> build_rows;
+    std::vector<std::vector<Value>> build_kvs;
+    std::unordered_map<uint64_t, std::vector<size_t>> table;
+    {
+      SpillReader reader;
+      ECA_RETURN_IF_ERROR(reader.Open(build_path, &sstats_));
+      uint64_t tag = 0;
+      Tuple row;
+      bool eof = false;
+      std::vector<Value> kv;
+      while (true) {
+        ECA_RETURN_IF_ERROR(reader.Next(&tag, &row, &eof));
+        if (eof) break;
+        bool valid = build_keys_.Eval(row, &kv);
+        ECA_DCHECK(valid);
+        (void)valid;
+        pending += ApproxTupleBytes(row);
+        if (pending >= (64 << 10)) {
+          ECA_RETURN_IF_ERROR(
+              part_charge.Add(pending, "grace-join build partition"));
+          pending = 0;
+        }
+        table[HashTuple(kv)].push_back(build_rows.size());
+        build_rows.push_back({tag, std::move(row)});
+        build_kvs.push_back(kv);
+        row = Tuple();
+      }
+    }
+    ECA_RETURN_IF_ERROR(
+        part_charge.Add(pending, "grace-join build partition"));
+    if (stats_ != nullptr) {
+      stats_->hash_build_rows += static_cast<int64_t>(build_rows.size());
+    }
+
+    // Stream the probe side; nothing but the current row is resident.
+    const bool need_build = build_left_ ? !left_matched_.empty()
+                                        : !right_matched_.empty();
+    const bool need_probe = build_left_ ? !right_matched_.empty()
+                                        : !left_matched_.empty();
+    std::vector<uint8_t>& build_flags =
+        build_left_ ? left_matched_ : right_matched_;
+    std::vector<uint8_t>& probe_flags =
+        build_left_ ? right_matched_ : left_matched_;
+    const bool emit_pairs = !OutputsOneSide(op_);
+
+    SpillReader reader;
+    ECA_RETURN_IF_ERROR(reader.Open(probe_path, &sstats_));
+    uint64_t ptag = 0;
+    Tuple prow;
+    bool eof = false;
+    std::vector<Value> kv;
+    int64_t n = 0;
+    int64_t out_pending = 0;
+    while (true) {
+      ECA_RETURN_IF_ERROR(reader.Next(&ptag, &prow, &eof));
+      if (eof) break;
+      if ((++n & 1023) == 0 && ctx_->ShouldStop()) return ctx_->StopStatus();
+      bool valid = probe_keys_.Eval(prow, &kv);
+      ECA_DCHECK(valid);
+      (void)valid;
+      auto it = table.find(HashTuple(kv));
+      if (it == table.end()) continue;
+      for (size_t bi : it->second) {
+        if (stats_ != nullptr) ++stats_->probe_comparisons;
+        const std::vector<Value>& bk = build_kvs[bi];
+        bool key_equal = kv.size() == bk.size();
+        for (size_t i = 0; key_equal && i < kv.size(); ++i) {
+          if (!kv[i].SameAs(bk[i])) key_equal = false;
+        }
+        if (!key_equal) continue;
+        const Tuple& brow = build_rows[bi].row;
+        const Tuple& lrow = build_left_ ? brow : prow;
+        const Tuple& rrow = build_left_ ? prow : brow;
+        if (residual_ != nullptr &&
+            !residual_->EvalTrue(ConcatTuples(lrow, rrow))) {
+          continue;
+        }
+        if (need_probe) probe_flags[static_cast<size_t>(ptag)] = 1;
+        if (need_build) {
+          build_flags[static_cast<size_t>(build_rows[bi].tag)] = 1;
+        }
+        if (emit_pairs) {
+          Tuple t = ConcatTuples(lrow, rrow);
+          out_pending += ApproxTupleBytes(t);
+          matches_.push_back({ptag, std::move(t)});
+          if (out_pending >= (64 << 10)) {
+            ECA_RETURN_IF_ERROR(
+                out_charge_.Add(out_pending, "grace-join output"));
+            out_pending = 0;
+          }
+        }
+      }
+    }
+    return out_charge_.Add(out_pending, "grace-join output");
+  }
+
+  const JoinOp op_;
+  const JoinShape& shape_;
+  const KeyEvaluator& build_keys_;
+  const KeyEvaluator& probe_keys_;
+  const bool build_left_;
+  const CompiledPredicate* residual_;
+  const Relation& left_;
+  const Relation& right_;
+  const Relation& build_;
+  const Relation& probe_;
+  QueryContext* ctx_;
+  ExecStats* stats_;
+  SpillDir dir_;
+  SpillStats sstats_;
+  ExecCharge out_charge_;  // the accumulated match output (scratch here;
+                           // the executor re-charges it as node output)
+  std::vector<TaggedRow> matches_;  // (probe row index, output tuple)
+  std::vector<uint8_t> left_matched_;
+  std::vector<uint8_t> right_matched_;
+};
+
 Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
                   const PredRef& residual, const Relation& left,
-                  const Relation& right, ExecStats* stats, ThreadPool* pool) {
+                  const Relation& right, ExecStats* stats, ThreadPool* pool,
+                  QueryContext* ctx = nullptr) {
   JoinShape shape = MakeShape(op, left, right);
 
   // Build on the smaller input where the operator allows it. Inner, semi
@@ -405,6 +769,32 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
     compiled_residual = CompiledPredicate(residual, shape.concat_schema);
   }
 
+  // Governed runs: estimate the in-memory build index (key copies, hashes,
+  // bucket entries ride on top of the row bytes). Past the soft threshold,
+  // escalate to the spilling grace join; otherwise charge the estimate —
+  // a hard-limit hit here unwinds the query with kResourceExhausted.
+  ExecCharge build_charge(ctx);
+  if (ctx != nullptr) {
+    int64_t est = ApproxRowsBytes(build.rows()) + build.NumRows() * 64;
+    if (ctx->tracker()->WouldExceedSoft(est)) {
+      GraceHashJoin grace(op, shape, build_keys, probe_keys, build_left,
+                          have_residual ? &compiled_residual : nullptr, left,
+                          right, ctx, stats);
+      Relation out(shape.out_schema);
+      Status s = grace.Run(&out);
+      if (!s.ok()) {
+        ctx->RecordError(std::move(s));
+        return Relation(shape.out_schema);
+      }
+      return out;
+    }
+    Status s = build_charge.Add(est, "hash-join build index");
+    if (!s.ok()) {
+      ctx->RecordError(std::move(s));
+      return Relation(shape.out_schema);
+    }
+  }
+
   BuildIndex index = BuildPartitionedIndex(build_keys, build, pool, stats);
   const uint64_t P = static_cast<uint64_t>(index.num_partitions);
 
@@ -436,7 +826,28 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
         emit_pairs ? &chunk_out[static_cast<size_t>(c)] : nullptr;
     int64_t comparisons = 0;
     std::vector<Value> kv;
+    // Per-chunk governor probe and output charge (thread-local; a failed
+    // charge records the error and every chunk sees ShouldStop()).
+    ExecCharge chunk_charge(ctx);
+    size_t charged_rows = 0;
+    int64_t chunk_pending = 0;
     for (int64_t pi = begin; pi < end; ++pi) {
+      if (ctx != nullptr && ((pi - begin) & 1023) == 0) {
+        if (ctx->ShouldStop()) return;
+        if (out != nullptr) {
+          for (; charged_rows < out->size(); ++charged_rows) {
+            chunk_pending += ApproxTupleBytes((*out)[charged_rows]);
+          }
+          if (chunk_pending >= (64 << 10)) {
+            Status s = chunk_charge.Add(chunk_pending, "hash-join output");
+            chunk_pending = 0;
+            if (!s.ok()) {
+              ctx->RecordError(std::move(s));
+              return;
+            }
+          }
+        }
+      }
       const Tuple& prow = probe.rows()[static_cast<size_t>(pi)];
       if (!probe_keys.Eval(prow, &kv)) continue;
       uint64_t h = HashTuple(kv);
@@ -510,7 +921,8 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
 
 Relation SortMergeJoin(JoinOp op, const std::vector<EquiKey>& keys,
                        const PredRef& residual, const Relation& left,
-                       const Relation& right, ExecStats* stats) {
+                       const Relation& right, ExecStats* stats,
+                       QueryContext* ctx = nullptr) {
   JoinShape shape = MakeShape(op, left, right);
   JoinEmitter emitter(op, shape, left, right);
 
@@ -551,8 +963,23 @@ Relation SortMergeJoin(JoinOp op, const std::vector<EquiKey>& keys,
   std::vector<Entry> ls = collect(lkeys, left);
   std::vector<Entry> rs = collect(rkeys, right);
 
+  // Governed runs charge the sorted key arrays (the algorithm's resident
+  // scratch); a hard-limit hit unwinds cleanly before the merge starts.
+  ExecCharge key_charge(ctx);
+  if (ctx != nullptr) {
+    int64_t est = static_cast<int64_t>((ls.size() + rs.size()) *
+                                       (sizeof(Entry) + 64));
+    Status s = key_charge.Add(est, "sort-merge join keys");
+    if (!s.ok()) {
+      ctx->RecordError(std::move(s));
+      return Relation(shape.out_schema);
+    }
+  }
+
   size_t i = 0, j = 0;
+  int64_t steps = 0;
   while (i < ls.size() && j < rs.size()) {
+    if (ctx != nullptr && (++steps & 1023) == 0 && ctx->ShouldStop()) break;
     int c = CompareTuples(ls[i].key, rs[j].key);
     if (c < 0) {
       ++i;
@@ -594,21 +1021,21 @@ Relation EvalJoinNaive(JoinOp op, const PredRef& pred, const Relation& left,
 
 Relation EvalJoin(JoinOp op, const PredRef& pred, const Relation& left,
                   const Relation& right, Executor::JoinPreference pref,
-                  ExecStats* stats, ThreadPool* pool) {
+                  ExecStats* stats, ThreadPool* pool, QueryContext* ctx) {
   if (pred == nullptr) {
-    return NestedLoopJoin(op, pred, left, right, stats);
+    return NestedLoopJoin(op, pred, left, right, stats, ctx);
   }
   std::vector<EquiKey> keys;
   PredRef residual;
   SplitEquiKeys(pred, left.schema().rels(), right.schema().rels(), &keys,
                 &residual);
   if (keys.empty()) {
-    return NestedLoopJoin(op, pred, left, right, stats);
+    return NestedLoopJoin(op, pred, left, right, stats, ctx);
   }
   if (pref == Executor::JoinPreference::kSortMerge) {
-    return SortMergeJoin(op, keys, residual, left, right, stats);
+    return SortMergeJoin(op, keys, residual, left, right, stats, ctx);
   }
-  return HashJoin(op, keys, residual, left, right, stats, pool);
+  return HashJoin(op, keys, residual, left, right, stats, pool, ctx);
 }
 
 }  // namespace eca

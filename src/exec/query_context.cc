@@ -1,0 +1,91 @@
+#include "exec/query_context.h"
+
+#include <chrono>
+
+#include "testing/fault_injection.h"
+
+namespace eca {
+
+namespace {
+
+int64_t GovernedNowMs() {
+  int64_t real = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count();
+  return FaultClock::NowMs(real);
+}
+
+}  // namespace
+
+QueryContext::QueryContext(Limits limits)
+    : limits_(limits),
+      tracker_(limits.mem_soft_bytes > 0
+                   ? limits.mem_soft_bytes
+                   : (limits.mem_limit_bytes > 0 ? limits.mem_limit_bytes / 2
+                                                 : 0),
+               limits.mem_limit_bytes) {}
+
+void QueryContext::Arm() {
+  if (limits_.timeout_ms > 0) {
+    deadline_ms_ = GovernedNowMs() + limits_.timeout_ms;
+  }
+  deadline_hit_.store(false, std::memory_order_relaxed);
+}
+
+int64_t QueryContext::RemainingMs() const {
+  if (deadline_ms_ <= 0) return INT64_MAX;
+  return deadline_ms_ - GovernedNowMs();
+}
+
+bool QueryContext::ShouldStop() {
+  if (error_set_.load(std::memory_order_acquire)) return true;
+  if (cancel_.cancelled()) return true;
+  if (FaultInjector::ShouldFail(FaultPoint::kCancelRace)) {
+    cancel_.Cancel();
+    return true;
+  }
+  if (deadline_ms_ > 0) {
+    if (deadline_hit_.load(std::memory_order_relaxed)) return true;
+    if (GovernedNowMs() >= deadline_ms_) {
+      deadline_hit_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+Status QueryContext::StopStatus() const {
+  if (error_set_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    return error_;
+  }
+  if (cancel_.cancelled()) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (deadline_hit_.load(std::memory_order_relaxed) ||
+      (deadline_ms_ > 0 && GovernedNowMs() >= deadline_ms_)) {
+    return Status::DeadlineExceeded(
+        "query deadline exceeded during execution");
+  }
+  return Status::OK();
+}
+
+Status ExecCharge::Add(int64_t bytes, const char* what) {
+  if (ctx_ == nullptr || bytes <= 0) return Status::OK();
+  if (FaultInjector::ShouldFail(FaultPoint::kExecAllocation)) {
+    return Status::ResourceExhausted(
+        std::string("allocation fault injected at ") + what);
+  }
+  return res_.Add(bytes, what);
+}
+
+void QueryContext::RecordError(Status status) {
+  ECA_DCHECK(!status.ok());
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (!error_set_.load(std::memory_order_relaxed)) {
+    error_ = std::move(status);
+    error_set_.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace eca

@@ -115,6 +115,23 @@ std::string ExplainDifference(const Relation& a, const Relation& b,
   return out;
 }
 
+int64_t ApproxTupleBytes(const Tuple& t) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Tuple)) +
+                  static_cast<int64_t>(t.capacity() * sizeof(Value));
+  for (const Value& v : t) {
+    if (!v.is_null() && v.type() == DataType::kString) {
+      bytes += static_cast<int64_t>(v.AsStr().capacity());
+    }
+  }
+  return bytes;
+}
+
+int64_t ApproxRowsBytes(const std::vector<Tuple>& rows) {
+  int64_t bytes = 0;
+  for (const Tuple& t : rows) bytes += ApproxTupleBytes(t);
+  return bytes;
+}
+
 Tuple NullsFor(const Schema& schema, int begin, int n) {
   Tuple t;
   t.reserve(static_cast<size_t>(n));

@@ -62,6 +62,15 @@ bool SameMultiset(const Relation& a, const Relation& b);
 std::string ExplainDifference(const Relation& a, const Relation& b,
                               int max_diffs = 5);
 
+// Accounting heuristic for one in-memory tuple: container overhead plus
+// per-value footprint (string payloads included). Shared by the executor's
+// memory-tracker charge sites and the spill machinery's run thresholds so
+// "bytes" mean one thing across the resource governor.
+int64_t ApproxTupleBytes(const Tuple& t);
+
+// Sum of ApproxTupleBytes over a row vector (the relation's row storage).
+int64_t ApproxRowsBytes(const std::vector<Tuple>& rows);
+
 // A tuple of `n` NULL values typed per the schema columns [begin, begin+n).
 Tuple NullsFor(const Schema& schema, int begin, int n);
 

@@ -1,0 +1,441 @@
+#include "storage/spill_file.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/str_util.h"
+#include "testing/fault_injection.h"
+
+namespace eca {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t h, const unsigned char* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void PutU8(std::vector<unsigned char>* b, uint8_t v) { b->push_back(v); }
+
+void PutU32(std::vector<unsigned char>* b, uint32_t v) {
+  for (int i = 0; i < 4; ++i) b->push_back((v >> (8 * i)) & 0xff);
+}
+
+void PutU64(std::vector<unsigned char>* b, uint64_t v) {
+  for (int i = 0; i < 8; ++i) b->push_back((v >> (8 * i)) & 0xff);
+}
+
+uint8_t TypeTag(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return 0;
+    case DataType::kDouble:
+      return 1;
+    case DataType::kString:
+      return 2;
+  }
+  return 0;
+}
+
+Status InjectedIo(const char* op, const std::string& path) {
+  return Status::DataLoss(std::string("spill I/O fault injected during ") +
+                          op + " of " + path);
+}
+
+// Process-wide counter for unique spill directory names; combined with
+// the pid so concurrent processes sharing a temp dir never collide.
+std::atomic<int64_t> g_spill_dir_seq{0};
+
+}  // namespace
+
+// --- SpillDir -------------------------------------------------------------
+
+SpillDir::SpillDir(std::string label, std::string base_dir)
+    : label_(std::move(label)), base_dir_(std::move(base_dir)) {}
+
+SpillDir::~SpillDir() { RemoveAll(); }
+
+StatusOr<std::string> SpillDir::NextFilePath() {
+  if (!created_) {
+    if (FaultInjector::ShouldFail(FaultPoint::kSpillIo)) {
+      return InjectedIo("mkdir", label_);
+    }
+    std::error_code ec;
+    fs::path base = base_dir_.empty()
+                        ? fs::temp_directory_path(ec)
+                        : fs::path(base_dir_);
+    if (ec) {
+      return Status::DataLoss("cannot resolve temp directory: " +
+                              ec.message());
+    }
+    int64_t seq = g_spill_dir_seq.fetch_add(1, std::memory_order_relaxed);
+#ifdef _WIN32
+    long long pid = 0;
+#else
+    long long pid = static_cast<long long>(getpid());
+#endif
+    fs::path dir = base / StrFormat("%s-%lld-%lld", label_.c_str(), pid,
+                                    static_cast<long long>(seq));
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::DataLoss("cannot create spill directory " +
+                              dir.string() + ": " + ec.message());
+    }
+    path_ = dir.string();
+    created_ = true;
+  }
+  return path_ + "/run-" + std::to_string(next_file_++) + ".spill";
+}
+
+void SpillDir::RemoveAll() {
+  if (!created_) return;
+  std::error_code ec;
+  fs::remove_all(path_, ec);  // best effort; nothing to do on failure
+  created_ = false;
+  next_file_ = 0;
+}
+
+// --- SpillWriter ----------------------------------------------------------
+
+SpillWriter::~SpillWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillWriter::Open(const std::string& path, SpillStats* stats) {
+  ECA_CHECK(file_ == nullptr);
+  if (FaultInjector::ShouldFail(FaultPoint::kSpillIo)) {
+    return InjectedIo("open", path);
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::DataLoss("cannot create spill file " + path);
+  }
+  path_ = path;
+  rows_ = 0;
+  bytes_ = 0;
+  stats_ = stats;
+  if (stats_ != nullptr) ++stats_->files_created;
+  return Status::OK();
+}
+
+Status SpillWriter::Append(uint64_t tag, const Tuple& row) {
+  ECA_CHECK(file_ != nullptr);
+  buf_.clear();
+  PutU64(&buf_, tag);
+  PutU32(&buf_, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) {
+    PutU8(&buf_, static_cast<uint8_t>((TypeTag(v.type()) << 1) |
+                                      (v.is_null() ? 1 : 0)));
+    if (v.is_null()) continue;
+    switch (v.type()) {
+      case DataType::kInt64:
+        PutU64(&buf_, static_cast<uint64_t>(v.AsInt()));
+        break;
+      case DataType::kDouble: {
+        uint64_t bits;
+        double d = v.AsDouble();
+        std::memcpy(&bits, &d, sizeof(bits));
+        PutU64(&buf_, bits);
+        break;
+      }
+      case DataType::kString: {
+        const std::string& s = v.AsStr();
+        PutU32(&buf_, static_cast<uint32_t>(s.size()));
+        buf_.insert(buf_.end(), s.begin(), s.end());
+        break;
+      }
+    }
+  }
+  PutU64(&buf_, FnvMix(kFnvOffset, buf_.data(), buf_.size()));
+  if (FaultInjector::ShouldFail(FaultPoint::kSpillIo)) {
+    return InjectedIo("write", path_);
+  }
+  if (std::fwrite(buf_.data(), 1, buf_.size(), file_) != buf_.size()) {
+    return Status::DataLoss("short write to spill file " + path_);
+  }
+  ++rows_;
+  bytes_ += static_cast<int64_t>(buf_.size());
+  if (stats_ != nullptr) {
+    ++stats_->rows_written;
+    stats_->bytes_written += static_cast<int64_t>(buf_.size());
+  }
+  return Status::OK();
+}
+
+Status SpillWriter::Finish() {
+  ECA_CHECK(file_ != nullptr);
+  int flush_rc = std::fflush(file_);
+  int close_rc = std::fclose(file_);
+  file_ = nullptr;
+  if (FaultInjector::ShouldFail(FaultPoint::kSpillIo)) {
+    return InjectedIo("flush", path_);
+  }
+  if (flush_rc != 0 || close_rc != 0) {
+    return Status::DataLoss("cannot flush spill file " + path_ +
+                            " (disk full?)");
+  }
+  return Status::OK();
+}
+
+// --- SpillReader ----------------------------------------------------------
+
+SpillReader::~SpillReader() { Close(); }
+
+Status SpillReader::Open(const std::string& path, SpillStats* stats) {
+  ECA_CHECK(file_ == nullptr);
+  if (FaultInjector::ShouldFail(FaultPoint::kSpillIo)) {
+    return InjectedIo("open", path);
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::DataLoss("cannot open spill file " + path);
+  }
+  path_ = path;
+  stats_ = stats;
+  return Status::OK();
+}
+
+void SpillReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status SpillReader::Next(uint64_t* tag, Tuple* row, bool* eof) {
+  ECA_CHECK(file_ != nullptr);
+  *eof = false;
+  auto read_exact = [&](void* dst, size_t n, bool allow_eof) -> Status {
+    size_t got = std::fread(dst, 1, n, file_);
+    if (got == 0 && allow_eof && std::feof(file_)) {
+      *eof = true;
+      return Status::OK();
+    }
+    if (got != n) {
+      return Status::DataLoss("truncated spill file " + path_);
+    }
+    if (stats_ != nullptr) stats_->bytes_read += static_cast<int64_t>(n);
+    return Status::OK();
+  };
+  auto get_u32 = [](const unsigned char* p) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+  };
+  auto get_u64 = [](const unsigned char* p) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+  };
+
+  if (FaultInjector::ShouldFail(FaultPoint::kSpillIo)) {
+    return InjectedIo("read", path_);
+  }
+  unsigned char header[12];
+  ECA_RETURN_IF_ERROR(read_exact(header, sizeof(header), /*allow_eof=*/true));
+  if (*eof) return Status::OK();
+  uint64_t checksum = FnvMix(kFnvOffset, header, sizeof(header));
+  *tag = get_u64(header);
+  uint32_t nvalues = get_u32(header + 8);
+  // A corrupted count would make us allocate garbage; bound it so the
+  // checksum check below is reached instead of an OOM.
+  if (nvalues > (1u << 20)) {
+    return Status::DataLoss("corrupt spill record (value count) in " +
+                            path_);
+  }
+  row->clear();
+  row->reserve(nvalues);
+  for (uint32_t i = 0; i < nvalues; ++i) {
+    unsigned char vh;
+    ECA_RETURN_IF_ERROR(read_exact(&vh, 1, /*allow_eof=*/false));
+    checksum = FnvMix(checksum, &vh, 1);
+    bool null = (vh & 1) != 0;
+    uint8_t type_tag = vh >> 1;
+    DataType type = type_tag == 0   ? DataType::kInt64
+                    : type_tag == 1 ? DataType::kDouble
+                                    : DataType::kString;
+    if (type_tag > 2) {
+      return Status::DataLoss("corrupt spill record (type tag) in " + path_);
+    }
+    if (null) {
+      row->push_back(Value::Null(type));
+      continue;
+    }
+    switch (type) {
+      case DataType::kInt64: {
+        unsigned char p[8];
+        ECA_RETURN_IF_ERROR(read_exact(p, 8, /*allow_eof=*/false));
+        checksum = FnvMix(checksum, p, 8);
+        row->push_back(Value::Int(static_cast<int64_t>(get_u64(p))));
+        break;
+      }
+      case DataType::kDouble: {
+        unsigned char p[8];
+        ECA_RETURN_IF_ERROR(read_exact(p, 8, /*allow_eof=*/false));
+        checksum = FnvMix(checksum, p, 8);
+        uint64_t bits = get_u64(p);
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        row->push_back(Value::Real(d));
+        break;
+      }
+      case DataType::kString: {
+        unsigned char p[4];
+        ECA_RETURN_IF_ERROR(read_exact(p, 4, /*allow_eof=*/false));
+        checksum = FnvMix(checksum, p, 4);
+        uint32_t len = get_u32(p);
+        if (len > (1u << 28)) {
+          return Status::DataLoss("corrupt spill record (string length) in " +
+                                  path_);
+        }
+        std::string s(len, '\0');
+        if (len > 0) {
+          ECA_RETURN_IF_ERROR(read_exact(s.data(), len, /*allow_eof=*/false));
+          checksum = FnvMix(
+              checksum, reinterpret_cast<const unsigned char*>(s.data()),
+              len);
+        }
+        row->push_back(Value::Str(std::move(s)));
+        break;
+      }
+    }
+  }
+  unsigned char stored[8];
+  ECA_RETURN_IF_ERROR(read_exact(stored, 8, /*allow_eof=*/false));
+  if (get_u64(stored) != checksum) {
+    return Status::DataLoss("spill record checksum mismatch in " + path_ +
+                            " (corrupted or torn write)");
+  }
+  return Status::OK();
+}
+
+// --- ExternalRowSorter ----------------------------------------------------
+
+ExternalRowSorter::ExternalRowSorter(SpillDir* dir, Less less,
+                                     int64_t run_bytes, SpillStats* stats)
+    : dir_(dir), less_(std::move(less)),
+      run_bytes_(run_bytes > 0 ? run_bytes : (int64_t{16} << 20)),
+      stats_(stats) {}
+
+ExternalRowSorter::~ExternalRowSorter() = default;
+
+void ExternalRowSorter::SortPending() {
+  std::sort(pending_.begin(), pending_.end(),
+            [this](const TaggedRow& a, const TaggedRow& b) {
+              if (less_(a.row, b.row)) return true;
+              if (less_(b.row, a.row)) return false;
+              return a.tag < b.tag;  // stable under equal rows
+            });
+}
+
+Status ExternalRowSorter::SpillRun() {
+  SortPending();
+  ECA_ASSIGN_OR_RETURN(std::string path, dir_->NextFilePath());
+  SpillWriter w;
+  ECA_RETURN_IF_ERROR(w.Open(path, stats_));
+  for (const TaggedRow& r : pending_) {
+    ECA_RETURN_IF_ERROR(w.Append(r.tag, r.row));
+  }
+  ECA_RETURN_IF_ERROR(w.Finish());
+  run_paths_.push_back(std::move(path));
+  ++runs_spilled_;
+  pending_.clear();
+  pending_bytes_ = 0;
+  return Status::OK();
+}
+
+Status ExternalRowSorter::Add(uint64_t tag, Tuple row) {
+  pending_bytes_ += ApproxTupleBytes(row);
+  pending_.push_back({tag, std::move(row)});
+  if (pending_bytes_ >= run_bytes_) {
+    ECA_RETURN_IF_ERROR(SpillRun());
+  }
+  return Status::OK();
+}
+
+Status ExternalRowSorter::Drain(
+    const std::function<Status(uint64_t, Tuple&)>& emit) {
+  SortPending();
+  if (run_paths_.empty()) {
+    // Everything fit: plain in-memory sort.
+    for (TaggedRow& r : pending_) {
+      ECA_RETURN_IF_ERROR(emit(r.tag, r.row));
+    }
+    pending_.clear();
+    pending_bytes_ = 0;
+    return Status::OK();
+  }
+
+  // K-way merge of the spilled runs plus the in-memory tail.
+  struct Source {
+    std::unique_ptr<SpillReader> reader;  // null for the in-memory tail
+    std::vector<TaggedRow>* tail = nullptr;
+    size_t tail_pos = 0;
+    TaggedRow head;
+    bool open = false;
+  };
+  std::vector<Source> sources;
+  sources.reserve(run_paths_.size() + 1);
+  for (const std::string& p : run_paths_) {
+    Source s;
+    s.reader = std::make_unique<SpillReader>();
+    ECA_RETURN_IF_ERROR(s.reader->Open(p, stats_));
+    sources.push_back(std::move(s));
+  }
+  {
+    Source s;
+    s.tail = &pending_;
+    sources.push_back(std::move(s));
+  }
+  auto advance = [&](Source& s) -> Status {
+    if (s.reader != nullptr) {
+      bool eof = false;
+      ECA_RETURN_IF_ERROR(s.reader->Next(&s.head.tag, &s.head.row, &eof));
+      s.open = !eof;
+    } else {
+      if (s.tail_pos < s.tail->size()) {
+        s.head = std::move((*s.tail)[s.tail_pos++]);
+        s.open = true;
+      } else {
+        s.open = false;
+      }
+    }
+    return Status::OK();
+  };
+  for (Source& s : sources) ECA_RETURN_IF_ERROR(advance(s));
+  auto head_less = [&](const Source& a, const Source& b) {
+    if (less_(a.head.row, b.head.row)) return true;
+    if (less_(b.head.row, a.head.row)) return false;
+    return a.head.tag < b.head.tag;
+  };
+  for (;;) {
+    Source* next = nullptr;
+    for (Source& s : sources) {
+      if (!s.open) continue;
+      if (next == nullptr || head_less(s, *next)) next = &s;
+    }
+    if (next == nullptr) break;
+    ECA_RETURN_IF_ERROR(emit(next->head.tag, next->head.row));
+    ECA_RETURN_IF_ERROR(advance(*next));
+  }
+  pending_.clear();
+  pending_bytes_ = 0;
+  return Status::OK();
+}
+
+}  // namespace eca

@@ -1,5 +1,7 @@
 #include "testing/fault_injection.h"
 
+#include <atomic>
+
 #include "common/macros.h"
 
 namespace eca {
@@ -32,6 +34,12 @@ const char* FaultPointName(FaultPoint point) {
       return "rewrite-rule";
     case FaultPoint::kAllocation:
       return "allocation";
+    case FaultPoint::kExecAllocation:
+      return "exec-allocation";
+    case FaultPoint::kSpillIo:
+      return "spill-io";
+    case FaultPoint::kCancelRace:
+      return "cancel-race";
     case FaultPoint::kNumPoints:
       break;
   }
@@ -72,5 +80,35 @@ int64_t FaultInjector::HitCount(FaultPoint point) {
 }
 
 bool FaultInjector::IsArmed(FaultPoint point) { return StateOf(point).armed; }
+
+namespace {
+
+// Global (not thread-local): deadline checks run on worker threads that
+// must see the fake time the test thread armed.
+std::atomic<bool> g_clock_armed{false};
+std::atomic<int64_t> g_clock_now_ms{0};
+std::atomic<int64_t> g_clock_step_ms{0};
+
+}  // namespace
+
+void FaultClock::Arm(int64_t now_ms, int64_t step_ms) {
+  g_clock_now_ms.store(now_ms, std::memory_order_relaxed);
+  g_clock_step_ms.store(step_ms, std::memory_order_relaxed);
+  g_clock_armed.store(true, std::memory_order_release);
+}
+
+void FaultClock::Disarm() {
+  g_clock_armed.store(false, std::memory_order_release);
+}
+
+bool FaultClock::IsArmed() {
+  return g_clock_armed.load(std::memory_order_acquire);
+}
+
+int64_t FaultClock::NowMs(int64_t real_now_ms) {
+  if (!IsArmed()) return real_now_ms;
+  int64_t step = g_clock_step_ms.load(std::memory_order_relaxed);
+  return g_clock_now_ms.fetch_add(step, std::memory_order_relaxed);
+}
 
 }  // namespace eca

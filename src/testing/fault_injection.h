@@ -19,6 +19,9 @@ enum class FaultPoint {
   kEnumeratorBudget = 0,  // forces budget exhaustion in the enumerator
   kRewriteRule,           // forces SwapUp to report an infeasible swap
   kAllocation,            // forces a plan-clone allocation failure
+  kExecAllocation,        // forces an executor memory reservation failure
+  kSpillIo,               // forces a spill-file open/write/read I/O error
+  kCancelRace,            // forces a governor cancellation check to fire
   kNumPoints,             // sentinel
 };
 
@@ -58,6 +61,40 @@ class ScopedFault {
 
  private:
   FaultPoint point_;
+};
+
+// Deterministic clock override for deadline logic. When armed, every
+// NowMs() call returns the override value and then advances it by
+// `step_ms`, so a test can make a wall-clock deadline fire at an exact
+// check count without sleeping. Unlike the fault points the override is
+// process-global (atomics, no locks): deadline checks run on pool worker
+// threads, which must observe the same fake time as the arming thread.
+class FaultClock {
+ public:
+  // Arms the override: NowMs() returns now_ms, now_ms + step_ms, ... in
+  // call order (across all threads; the interleaving is irrelevant for
+  // deadline tests, which only need time to advance past the deadline
+  // after a bounded number of checks).
+  static void Arm(int64_t now_ms, int64_t step_ms = 0);
+  static void Disarm();
+  static bool IsArmed();
+
+  // The governed clock: fake time when armed, `real_now_ms` otherwise.
+  // Call sites pass their steady-clock reading so the disarmed path costs
+  // one relaxed load.
+  static int64_t NowMs(int64_t real_now_ms);
+};
+
+// RAII arming for tests.
+class ScopedFaultClock {
+ public:
+  explicit ScopedFaultClock(int64_t now_ms, int64_t step_ms = 0) {
+    FaultClock::Arm(now_ms, step_ms);
+  }
+  ~ScopedFaultClock() { FaultClock::Disarm(); }
+
+  ScopedFaultClock(const ScopedFaultClock&) = delete;
+  ScopedFaultClock& operator=(const ScopedFaultClock&) = delete;
 };
 
 }  // namespace eca

@@ -1,0 +1,143 @@
+// MemoryTracker: hierarchical reservation accounting, soft/hard threshold
+// semantics, RAII reservations, and concurrent charging.
+
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace eca {
+namespace {
+
+TEST(MemoryTrackerTest, ReserveAndReleaseBalance) {
+  MemoryTracker t(0, 0);  // accounting only
+  EXPECT_EQ(t.used(), 0);
+  ASSERT_TRUE(t.Reserve(100).ok());
+  ASSERT_TRUE(t.Reserve(50).ok());
+  EXPECT_EQ(t.used(), 150);
+  EXPECT_EQ(t.peak(), 150);
+  t.Release(120);
+  EXPECT_EQ(t.used(), 30);
+  EXPECT_EQ(t.peak(), 150);  // peak is a high-water mark
+  t.Release(30);
+  EXPECT_EQ(t.used(), 0);
+}
+
+TEST(MemoryTrackerTest, HardLimitFailsCleanlyAndChargesNothing) {
+  MemoryTracker t(0, 1000);
+  ASSERT_TRUE(t.Reserve(900).ok());
+  Status s = t.Reserve(200, "test blob");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("test blob"), std::string::npos);
+  // A failed reservation must not leak a partial charge.
+  EXPECT_EQ(t.used(), 900);
+  // Exactly up to the limit is allowed.
+  EXPECT_TRUE(t.Reserve(100).ok());
+  EXPECT_EQ(t.used(), 1000);
+}
+
+TEST(MemoryTrackerTest, SoftThresholdSignalsWithoutFailing) {
+  MemoryTracker t(500, 1000);
+  EXPECT_FALSE(t.SoftExceeded());
+  EXPECT_FALSE(t.WouldExceedSoft(100));
+  EXPECT_TRUE(t.WouldExceedSoft(500));
+  ASSERT_TRUE(t.Reserve(600).ok());  // past soft, below hard: succeeds
+  EXPECT_TRUE(t.SoftExceeded());
+  EXPECT_TRUE(t.WouldExceedSoft(1));
+}
+
+TEST(MemoryTrackerTest, ChildChargesParentFirst) {
+  MemoryTracker query(0, 1000);
+  MemoryTracker op_a(0, 0, &query);
+  MemoryTracker op_b(0, 0, &query);
+  ASSERT_TRUE(op_a.Reserve(400).ok());
+  ASSERT_TRUE(op_b.Reserve(500).ok());
+  EXPECT_EQ(query.used(), 900);
+  // The parent's hard limit bounds the children's sum even though neither
+  // child has its own limit.
+  EXPECT_EQ(op_a.Reserve(200).code(), StatusCode::kResourceExhausted);
+  // The refused reservation left both levels untouched.
+  EXPECT_EQ(op_a.used(), 400);
+  EXPECT_EQ(query.used(), 900);
+  op_a.Release(400);
+  op_b.Release(500);
+  EXPECT_EQ(query.used(), 0);
+}
+
+TEST(MemoryTrackerTest, ChildSeesParentSoftPressure) {
+  MemoryTracker query(500, 1000);
+  MemoryTracker op(0, 0, &query);
+  ASSERT_TRUE(query.Reserve(600).ok());
+  // The child has no threshold of its own, but escalation predicates look
+  // up the chain: spilling relieves query-level pressure.
+  EXPECT_TRUE(op.SoftExceeded());
+  EXPECT_TRUE(op.WouldExceedSoft(1));
+  query.Release(600);
+}
+
+TEST(MemoryTrackerTest, ScopedReservationReleasesOnDestruction) {
+  MemoryTracker t(0, 0);
+  {
+    ScopedReservation r(&t, 256);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(t.used(), 256);
+    ASSERT_TRUE(r.Add(64).ok());
+    EXPECT_EQ(r.bytes(), 320);
+  }
+  EXPECT_EQ(t.used(), 0);
+}
+
+TEST(MemoryTrackerTest, ScopedReservationDetachKeepsCharge) {
+  MemoryTracker t(0, 0);
+  int64_t detached = 0;
+  {
+    ScopedReservation r(&t, 128);
+    detached = r.Detach();
+  }
+  EXPECT_EQ(detached, 128);
+  EXPECT_EQ(t.used(), 128);  // survives the scope; owner releases later
+  t.Release(detached);
+  EXPECT_EQ(t.used(), 0);
+}
+
+TEST(MemoryTrackerTest, FailedAddLeavesScopedReservationConsistent) {
+  MemoryTracker t(0, 100);
+  ScopedReservation r(&t, 80);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.Add(50).ok());
+  EXPECT_EQ(r.bytes(), 80);  // failed Add charged nothing
+  r.Reset();
+  EXPECT_EQ(t.used(), 0);
+}
+
+TEST(MemoryTrackerTest, ConcurrentReserveReleaseStaysConsistent) {
+  MemoryTracker query(0, 0);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&query] {
+      MemoryTracker op(0, 0, &query);
+      for (int i = 0; i < kIters; ++i) {
+        ASSERT_TRUE(op.Reserve(64).ok());
+        op.Release(64);
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  EXPECT_EQ(query.used(), 0);
+  EXPECT_GE(query.peak(), 64);
+}
+
+TEST(MemoryTrackerTest, UnlimitedTrackerNeverFails) {
+  MemoryTracker t(0, 0);
+  EXPECT_TRUE(t.Reserve(int64_t{1} << 40).ok());
+  EXPECT_FALSE(t.SoftExceeded());  // no soft threshold configured
+  t.Release(int64_t{1} << 40);
+}
+
+}  // namespace
+}  // namespace eca

@@ -6,6 +6,7 @@
 
 #include "eca/optimizer.h"
 #include "enumerate/enumerator.h"
+#include "exec/query_context.h"
 #include "testing/fault_injection.h"
 #include "testing/random_data.h"
 #include "testing/random_query.h"
@@ -114,6 +115,70 @@ TEST(BudgetTest, WallClockDeadlineDegrades) {
   if (best.stats.degraded) {
     EXPECT_EQ(best.stats.trigger, BudgetTrigger::kWallClock);
   }
+}
+
+// Deterministic wall-clock degradation via the fault clock: every NowMs
+// observation advances fake time 1ms, so the deadline trips after a fixed
+// number of budget checks — no sleeping, no flakiness. The deadline is
+// observed both inside root tasks and at the wave barriers of the
+// parallel schedule, so every thread count must degrade to a valid
+// best-so-far plan with the kWallClock trigger.
+TEST(BudgetTest, FaultClockDeadlineDegradesAtEveryThreadCount) {
+  Fixture f = MakeFixture(5, 6);
+  Relation direct = Optimizer().Execute(*f.query, f.db);
+  for (int threads : {1, 2, 4}) {
+    Optimizer::Options opts;
+    opts.num_threads = threads;
+    opts.budget.wall_clock_ms = 40;
+    Optimizer opt(opts);
+    Optimizer::Optimized best;
+    {
+      ScopedFaultClock clock(/*now_ms=*/1000, /*step_ms=*/1);
+      best = opt.Optimize(*f.query, f.db);
+    }
+    ASSERT_NE(best.plan, nullptr) << "threads " << threads;
+    EXPECT_TRUE(best.stats.degraded) << "threads " << threads;
+    EXPECT_EQ(best.stats.trigger, BudgetTrigger::kWallClock)
+        << "threads " << threads;
+    Relation timed = opt.Execute(*best.plan, f.db);
+    ExpectSameRelation(direct, timed,
+                       "fault-clock deadline, threads " +
+                           std::to_string(threads));
+  }
+}
+
+// OptimizeGoverned clamps the enumeration budget to the context's
+// remaining deadline: one --timeout-ms covers optimization too.
+TEST(BudgetTest, GovernedOptimizeSharesDeadlineWithEnumerator) {
+  Fixture f = MakeFixture(6, 6);
+  ScopedFaultClock clock(/*now_ms=*/1000, /*step_ms=*/1);
+  QueryContext::Limits limits;
+  limits.timeout_ms = 30;
+  QueryContext ctx(limits);
+  ctx.Arm();
+  Optimizer opt;
+  auto best = opt.OptimizeGoverned(*f.query, f.db, &ctx);
+  ASSERT_NE(best.plan, nullptr);
+  EXPECT_TRUE(best.stats.degraded);
+  EXPECT_EQ(best.stats.trigger, BudgetTrigger::kWallClock);
+}
+
+// A context already past its deadline still yields a plan (the query as
+// written, degraded) — the caller decides whether to bother executing it.
+TEST(BudgetTest, ExpiredContextDegradesImmediately) {
+  Fixture f = MakeFixture(7, 4);
+  ScopedFaultClock clock(/*now_ms=*/1000, /*step_ms=*/1);
+  QueryContext::Limits limits;
+  limits.timeout_ms = 1;
+  QueryContext ctx(limits);
+  ctx.Arm();
+  for (int i = 0; i < 10 && !ctx.ShouldStop(); ++i) {
+  }
+  EXPECT_TRUE(ctx.ShouldStop());
+  auto best = Optimizer().OptimizeGoverned(*f.query, f.db, &ctx);
+  ASSERT_NE(best.plan, nullptr);
+  EXPECT_TRUE(best.stats.degraded);
+  EXPECT_EQ(best.stats.trigger, BudgetTrigger::kWallClock);
 }
 
 // Each fault-injection point, armed: valid plan, degraded=true, result

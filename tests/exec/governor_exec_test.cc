@@ -1,0 +1,405 @@
+// Resource governor end-to-end: spilled execution must be byte-identical
+// to in-memory execution (every join operator and every compensation
+// operator, NULL keys included), limits/deadlines/cancellation must unwind
+// with a clean Status, spill I/O faults must not leave temp files behind,
+// and the query tracker must balance to zero on success.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "eca/optimizer.h"
+#include "exec/executor.h"
+#include "exec/iterator_exec.h"
+#include "exec/query_context.h"
+#include "storage/relation.h"
+#include "testing/fault_injection.h"
+#include "testing/random_data.h"
+#include "testing/random_query.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+// The spill paths promise byte-identical output — same rows in the same
+// order — which is strictly stronger than ExpectSameRelation's multiset
+// equality.
+void ExpectIdentical(const Relation& expected, const Relation& actual,
+                     const std::string& context) {
+  ASSERT_EQ(expected.NumRows(), actual.NumRows()) << context;
+  ASSERT_EQ(expected.schema().NumColumns(), actual.schema().NumColumns())
+      << context;
+  for (size_t r = 0; r < expected.rows().size(); ++r) {
+    ASSERT_EQ(CompareTuples(expected.rows()[r], actual.rows()[r]), 0)
+        << context << ": first difference at row " << r;
+  }
+}
+
+// A relation big enough that its hash-join build estimate dwarfs any soft
+// threshold: unique key k, a skewed join column with NULLs, a payload
+// column with NULLs.
+Relation BigRel(int rel_id, int rows, uint64_t seed, int64_t key_domain) {
+  Rng rng(seed);
+  std::vector<Tuple> data;
+  data.reserve(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    Value join_key = rng.Bernoulli(0.15)
+                         ? N()
+                         : I(static_cast<int64_t>(rng.Uniform(0, key_domain)));
+    Value payload =
+        rng.Bernoulli(0.2) ? N() : I(static_cast<int64_t>(rng.Uniform(0, 5)));
+    data.push_back({I(i), join_key, payload});
+  }
+  return MakeRelation({{rel_id, "k", DataType::kInt64},
+                       {rel_id, "a", DataType::kInt64},
+                       {rel_id, "b", DataType::kInt64}},
+                      std::move(data));
+}
+
+// A context whose soft threshold is one byte: every governed hash join
+// escalates to the grace (spill-to-disk) path and every governed
+// best-match to external merge sort.
+QueryContext::Limits SpillEverythingLimits() {
+  QueryContext::Limits limits;
+  limits.mem_limit_bytes = int64_t{1} << 30;
+  limits.mem_soft_bytes = 1;
+  return limits;
+}
+
+constexpr JoinOp kAllJoinOps[] = {
+    JoinOp::kInner,    JoinOp::kLeftOuter, JoinOp::kRightOuter,
+    JoinOp::kFullOuter, JoinOp::kLeftSemi, JoinOp::kRightSemi,
+    JoinOp::kLeftAnti, JoinOp::kRightAnti,
+};
+
+TEST(GovernorSpillTest, AllJoinOpsSpilledByteIdentical) {
+  Relation left = BigRel(0, 400, 7, /*key_domain=*/25);
+  Relation right = BigRel(1, 300, 11, /*key_domain=*/25);
+  PredRef pred = EquiJoin(0, "a", 1, "a", "p01");
+  for (JoinOp op : kAllJoinOps) {
+    Relation in_memory = EvalJoin(op, pred, left, right);
+    QueryContext ctx(SpillEverythingLimits());
+    ExecStats stats;
+    Relation spilled = EvalJoin(op, pred, left, right,
+                                Executor::JoinPreference::kHash, &stats,
+                                /*pool=*/nullptr, &ctx);
+    ASSERT_FALSE(ctx.HasError())
+        << JoinOpName(op) << ": " << ctx.StopStatus().ToString();
+    ExpectIdentical(in_memory, spilled,
+                    std::string("grace join, op ") + JoinOpName(op));
+    EXPECT_GT(stats.spilled_partitions, 0) << JoinOpName(op);
+    EXPECT_GT(stats.spill_bytes, 0) << JoinOpName(op);
+    EXPECT_EQ(ctx.tracker()->used(), 0)
+        << JoinOpName(op) << ": scratch charges must all release";
+  }
+}
+
+// Heavy skew: nearly all rows share one join key, so one grace partition
+// keeps exceeding its budget and the join recurses through repartitioning
+// levels. Output must still be byte-identical.
+TEST(GovernorSpillTest, SkewedGraceJoinRecursesAndStaysIdentical) {
+  Relation left = BigRel(0, 1500, 3, /*key_domain=*/2);
+  Relation right = BigRel(1, 1200, 5, /*key_domain=*/2);
+  PredRef pred = EquiJoin(0, "a", 1, "a", "p01");
+  Relation in_memory = EvalJoin(JoinOp::kFullOuter, pred, left, right);
+  QueryContext ctx(SpillEverythingLimits());
+  ExecStats stats;
+  Relation spilled = EvalJoin(JoinOp::kFullOuter, pred, left, right,
+                              Executor::JoinPreference::kHash, &stats,
+                              /*pool=*/nullptr, &ctx);
+  ASSERT_FALSE(ctx.HasError()) << ctx.StopStatus().ToString();
+  ExpectIdentical(in_memory, spilled, "skewed grace join");
+  EXPECT_GT(stats.spilled_partitions, 0);
+}
+
+TEST(GovernorSpillTest, CompensationOpsSpilledByteIdentical) {
+  // A left outerjoin output has relation-block NULL patterns — exactly the
+  // input shape the compensation operators see in rewritten plans.
+  Relation left = BigRel(0, 300, 13, /*key_domain=*/20);
+  Relation right = BigRel(1, 250, 17, /*key_domain=*/20);
+  Relation joined = EvalJoin(JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a"),
+                             left, right);
+  ASSERT_GT(joined.NumRows(), 0);
+
+  {
+    QueryContext ctx(SpillEverythingLimits());
+    ExecStats stats;
+    Relation spilled = EvalBeta(joined, &ctx, &stats);
+    ASSERT_FALSE(ctx.HasError()) << ctx.StopStatus().ToString();
+    ExpectIdentical(EvalBeta(joined), spilled, "external-sort beta");
+    EXPECT_GT(stats.spilled_sort_runs, 0);
+    EXPECT_EQ(ctx.tracker()->used(), 0);
+  }
+  {
+    QueryContext ctx(SpillEverythingLimits());
+    Relation governed =
+        EvalLambda(EquiJoin(0, "b", 1, "b"), RelSet::Single(1), joined,
+                   /*pool=*/nullptr, &ctx);
+    ASSERT_FALSE(ctx.HasError());
+    ExpectIdentical(EvalLambda(EquiJoin(0, "b", 1, "b"), RelSet::Single(1),
+                               joined),
+                    governed, "governed lambda");
+  }
+  {
+    QueryContext ctx(SpillEverythingLimits());
+    Relation governed = EvalGamma(RelSet::Single(1), joined,
+                                  /*pool=*/nullptr, &ctx);
+    ASSERT_FALSE(ctx.HasError());
+    ExpectIdentical(EvalGamma(RelSet::Single(1), joined), governed,
+                    "governed gamma");
+  }
+  {
+    QueryContext ctx(SpillEverythingLimits());
+    ExecStats stats;
+    Relation governed =
+        EvalGammaStar(RelSet::Single(1), RelSet::Single(0), joined,
+                      /*pool=*/nullptr, &ctx, &stats);
+    ASSERT_FALSE(ctx.HasError()) << ctx.StopStatus().ToString();
+    ExpectIdentical(EvalGammaStar(RelSet::Single(1), RelSet::Single(0),
+                                  joined),
+                    governed, "governed gamma*");
+    EXPECT_GT(stats.spilled_sort_runs, 0);  // gamma*'s best-match spilled
+  }
+}
+
+// Whole optimized plans, spilled vs in-memory, across random queries: the
+// materializing engine's governed run must match its ungoverned run
+// byte for byte, and the tracker must balance to zero.
+TEST(GovernorSpillTest, GovernedPlansMatchUngovernedAndBalance) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) * 977 + 5);
+    RandomDataOptions dopts;
+    dopts.max_rows = 16;
+    RandomQueryOptions qopts;
+    qopts.num_rels = 4;
+    Database db = RandomDatabase(rng, qopts.num_rels, dopts);
+    PlanPtr query = RandomQuery(rng, qopts, dopts);
+    auto best = Optimizer().Optimize(*query, db);
+    ASSERT_NE(best.plan, nullptr);
+
+    Executor plain;
+    Relation expected = plain.Execute(*best.plan, db);
+
+    QueryContext ctx(SpillEverythingLimits());
+    Executor governed;
+    StatusOr<Relation> got = governed.ExecuteWithContext(*best.plan, db,
+                                                         &ctx);
+    ASSERT_TRUE(got.ok()) << "seed " << seed << ": "
+                          << got.status().ToString();
+    ExpectIdentical(expected, *got, "seed " + std::to_string(seed));
+    EXPECT_EQ(ctx.tracker()->used(), 0) << "seed " << seed;
+    EXPECT_GT(governed.stats().peak_bytes, 0) << "seed " << seed;
+  }
+}
+
+TEST(GovernorLimitTest, HardLimitUnwindsWithResourceExhausted) {
+  Relation left = BigRel(0, 500, 19, /*key_domain=*/4);
+  Relation right = BigRel(1, 500, 23, /*key_domain=*/4);
+  Database db;
+  db.Add(std::move(left));
+  db.Add(std::move(right));
+  PlanPtr plan = Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 1, "a"),
+                            Plan::Leaf(0), Plan::Leaf(1));
+  QueryContext::Limits limits;
+  limits.mem_limit_bytes = 64 << 10;  // far below the join's output
+  QueryContext ctx(limits);
+  Executor ex;
+  StatusOr<Relation> got = ex.ExecuteWithContext(*plan, db, &ctx);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted)
+      << got.status().ToString();
+}
+
+TEST(GovernorLimitTest, DeadlineUnwindsWithDeadlineExceeded) {
+  Rng rng(41);
+  RandomDataOptions dopts;
+  dopts.max_rows = 24;
+  Database db = RandomDatabase(rng, 3, dopts);
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3;
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  // Every governed clock observation advances fake time 1ms past a 2ms
+  // budget, so the deadline fires at the executor's first few checks.
+  ScopedFaultClock clock(/*now_ms=*/100, /*step_ms=*/1);
+  QueryContext::Limits limits;
+  limits.timeout_ms = 2;
+  QueryContext ctx(limits);
+  ctx.Arm();
+  Executor ex;
+  StatusOr<Relation> got = ex.ExecuteWithContext(*query, db, &ctx);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded)
+      << got.status().ToString();
+}
+
+TEST(GovernorLimitTest, CancellationUnwindsWithCancelled) {
+  Rng rng(43);
+  RandomDataOptions dopts;
+  Database db = RandomDatabase(rng, 3, dopts);
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3;
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  QueryContext ctx;
+  ctx.cancel_token()->Cancel();
+  Executor ex;
+  StatusOr<Relation> got = ex.ExecuteWithContext(*query, db, &ctx);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCancelled);
+}
+
+// kCancelRace flips the token from inside a governor probe mid-execution —
+// the unwind must still be a clean kCancelled, wherever it lands.
+TEST(GovernorLimitTest, InjectedCancelRaceUnwindsCleanly) {
+  Relation left = BigRel(0, 200, 29, /*key_domain=*/10);
+  Relation right = BigRel(1, 200, 31, /*key_domain=*/10);
+  Database db;
+  db.Add(std::move(left));
+  db.Add(std::move(right));
+  PlanPtr plan = Plan::Join(JoinOp::kFullOuter, EquiJoin(0, "a", 1, "a"),
+                            Plan::Leaf(0), Plan::Leaf(1));
+  for (int64_t skip : {int64_t{0}, int64_t{1}, int64_t{3}}) {
+    FaultInjector::Reset();
+    ScopedFault fault(FaultPoint::kCancelRace, skip);
+    QueryContext ctx(SpillEverythingLimits());
+    Executor ex;
+    StatusOr<Relation> got = ex.ExecuteWithContext(*plan, db, &ctx);
+    ASSERT_FALSE(got.ok()) << "skip " << skip;
+    EXPECT_EQ(got.status().code(), StatusCode::kCancelled) << "skip " << skip;
+  }
+  FaultInjector::Reset();
+}
+
+TEST(GovernorLimitTest, InjectedAllocationFaultUnwindsCleanly) {
+  Relation left = BigRel(0, 200, 37, /*key_domain=*/10);
+  Relation right = BigRel(1, 200, 41, /*key_domain=*/10);
+  Database db;
+  db.Add(std::move(left));
+  db.Add(std::move(right));
+  PlanPtr plan = Plan::Join(JoinOp::kInner, EquiJoin(0, "a", 1, "a"),
+                            Plan::Leaf(0), Plan::Leaf(1));
+  for (int64_t skip : {int64_t{0}, int64_t{1}, int64_t{2}}) {
+    FaultInjector::Reset();
+    ScopedFault fault(FaultPoint::kExecAllocation, skip);
+    QueryContext::Limits limits;
+    limits.mem_limit_bytes = int64_t{1} << 30;
+    QueryContext ctx(limits);
+    Executor ex;
+    StatusOr<Relation> got = ex.ExecuteWithContext(*plan, db, &ctx);
+    ASSERT_FALSE(got.ok()) << "skip " << skip;
+    EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted)
+        << "skip " << skip << ": " << got.status().ToString();
+  }
+  FaultInjector::Reset();
+}
+
+// Spill I/O faults at every early stage (mkdir, open, first writes): the
+// query must fail with a Status — never abort — and the spill directory
+// must hold zero orphaned files afterwards.
+TEST(GovernorLimitTest, SpillIoFaultFailsCleanlyWithoutOrphanFiles) {
+  namespace fs = std::filesystem;
+  Relation left = BigRel(0, 300, 43, /*key_domain=*/10);
+  Relation right = BigRel(1, 300, 47, /*key_domain=*/10);
+  Database db;
+  db.Add(std::move(left));
+  db.Add(std::move(right));
+  PlanPtr plan = Plan::Join(JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a"),
+                            Plan::Leaf(0), Plan::Leaf(1));
+  const std::string base =
+      (fs::temp_directory_path() / "eca-governor-test-spill").string();
+  for (int64_t skip = 0; skip < 6; ++skip) {
+    FaultInjector::Reset();
+    ScopedFault fault(FaultPoint::kSpillIo, skip);
+    QueryContext::Limits limits = SpillEverythingLimits();
+    limits.spill_dir = base;
+    QueryContext ctx(limits);
+    Executor ex;
+    StatusOr<Relation> got = ex.ExecuteWithContext(*plan, db, &ctx);
+    ASSERT_FALSE(got.ok()) << "skip " << skip;
+    EXPECT_EQ(got.status().code(), StatusCode::kDataLoss)
+        << "skip " << skip << ": " << got.status().ToString();
+    // SpillDir's RAII cleanup must have removed every temp file even on
+    // the error path.
+    int64_t orphans = 0;
+    if (fs::exists(base)) {
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        (void)entry;
+        ++orphans;
+      }
+    }
+    EXPECT_EQ(orphans, 0) << "skip " << skip;
+  }
+  FaultInjector::Reset();
+  std::error_code ec;
+  fs::remove_all(base, ec);
+}
+
+// The pull (iterator) engine honors the same contract at its single
+// materialization point.
+TEST(GovernorPullTest, GovernedPullMatchesUngovernedPull) {
+  Rng rng(53);
+  RandomDataOptions dopts;
+  dopts.max_rows = 16;
+  Database db = RandomDatabase(rng, 3, dopts);
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3;
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  Relation expected = ExecutePull(*query, db);
+  QueryContext ctx(SpillEverythingLimits());
+  StatusOr<Relation> got = ExecutePullGoverned(*query, db, &ctx);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectIdentical(expected, *got, "governed pull");
+  EXPECT_EQ(ctx.tracker()->used(), 0);
+}
+
+TEST(GovernorPullTest, GovernedPullObservesCancellation) {
+  Rng rng(59);
+  RandomDataOptions dopts;
+  Database db = RandomDatabase(rng, 3, dopts);
+  RandomQueryOptions qopts;
+  qopts.num_rels = 3;
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  QueryContext ctx;
+  ctx.cancel_token()->Cancel();
+  StatusOr<Relation> got = ExecutePullGoverned(*query, db, &ctx);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCancelled);
+}
+
+// Parallel governed execution must stay byte-identical to sequential
+// governed execution (the PR 2 invariant extended to the spill paths).
+TEST(GovernorSpillTest, ThreadedGovernedExecutionIdentical) {
+  Rng rng(61);
+  RandomDataOptions dopts;
+  dopts.max_rows = 16;
+  Database db = RandomDatabase(rng, 4, dopts);
+  RandomQueryOptions qopts;
+  qopts.num_rels = 4;
+  PlanPtr query = RandomQuery(rng, qopts, dopts);
+  auto best = Optimizer().Optimize(*query, db);
+  ASSERT_NE(best.plan, nullptr);
+
+  QueryContext seq_ctx(SpillEverythingLimits());
+  Executor seq;
+  StatusOr<Relation> seq_out = seq.ExecuteWithContext(*best.plan, db,
+                                                      &seq_ctx);
+  ASSERT_TRUE(seq_out.ok()) << seq_out.status().ToString();
+  for (int threads : {2, 4}) {
+    QueryContext ctx(SpillEverythingLimits());
+    Executor::Options opts;
+    opts.num_threads = threads;
+    Executor ex(opts);
+    StatusOr<Relation> got = ex.ExecuteWithContext(*best.plan, db, &ctx);
+    ASSERT_TRUE(got.ok()) << "threads " << threads << ": "
+                          << got.status().ToString();
+    ExpectIdentical(*seq_out, *got,
+                    "threads " + std::to_string(threads));
+    EXPECT_EQ(ctx.tracker()->used(), 0) << "threads " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace eca

@@ -1,0 +1,84 @@
+# ecatool CLI contract test, run via `cmake -DECATOOL=<path> -P`.
+#
+# Asserts the strict numeric flag parsing added with the resource governor:
+# garbage, trailing-junk, negative, zero and out-of-range values for
+# --threads / --rows / --timeout-ms / --mem-limit-mb must exit nonzero with
+# a diagnostic naming the flag, and valid governed invocations must run.
+
+if(NOT DEFINED ECATOOL)
+  message(FATAL_ERROR "pass -DECATOOL=<path to ecatool>")
+endif()
+
+set(PLAN "(R0 join[p01] R1)")
+set(PRED "p01=R0.a = R1.a")
+
+function(expect_fail label diag_substr)
+  execute_process(
+    COMMAND ${ECATOOL} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "${label}: expected nonzero exit, got 0\n${out}${err}")
+  endif()
+  if(NOT err MATCHES "${diag_substr}")
+    message(FATAL_ERROR
+            "${label}: stderr missing '${diag_substr}':\n${err}")
+  endif()
+endfunction()
+
+function(expect_ok label)
+  execute_process(
+    COMMAND ${ECATOOL} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${label}: expected exit 0, got ${rc}\n${out}${err}")
+  endif()
+  set(LAST_OUT "${out}" PARENT_SCOPE)
+endfunction()
+
+# --- strict numeric parsing -------------------------------------------------
+
+expect_fail("threads garbage" "bad --threads value '12abc'"
+            explain ${PLAN} --pred ${PRED} --threads 12abc)
+expect_fail("threads empty-ish" "bad --threads value 'x'"
+            explain ${PLAN} --pred ${PRED} --threads x)
+expect_fail("threads zero" "bad --threads value '0'"
+            explain ${PLAN} --pred ${PRED} --threads 0)
+expect_fail("threads negative" "bad --threads value '-2'"
+            explain ${PLAN} --pred ${PRED} --threads -2)
+expect_fail("threads huge" "bad --threads value '99999999999'"
+            explain ${PLAN} --pred ${PRED} --threads 99999999999)
+expect_fail("rows garbage" "bad --rows value '10q'"
+            explain ${PLAN} --pred ${PRED} --rows 10q)
+expect_fail("rows negative" "bad --rows value '-3'"
+            explain ${PLAN} --pred ${PRED} --rows -3)
+expect_fail("timeout garbage" "bad --timeout-ms value 'soon'"
+            explain ${PLAN} --pred ${PRED} --timeout-ms soon)
+expect_fail("timeout zero" "bad --timeout-ms value '0'"
+            explain ${PLAN} --pred ${PRED} --timeout-ms 0)
+expect_fail("mem-limit garbage" "bad --mem-limit-mb value '1.5'"
+            explain ${PLAN} --pred ${PRED} --mem-limit-mb 1.5)
+expect_fail("mem-limit negative" "bad --mem-limit-mb value '-8'"
+            explain ${PLAN} --pred ${PRED} --mem-limit-mb -8)
+expect_fail("unknown flag" "unknown argument"
+            explain ${PLAN} --pred ${PRED} --frobnicate 3)
+expect_fail("no subcommand" "usage")
+expect_fail("bad gen-tpch sf" "bad scale factor"
+            gen-tpch nope /tmp)
+
+# --- governed explain runs --------------------------------------------------
+
+expect_ok("plain explain"
+          explain ${PLAN} --pred ${PRED} --rows 32 --approach eca)
+expect_ok("governed explain"
+          explain ${PLAN} --pred ${PRED} --rows 32 --approach eca
+          --timeout-ms 60000 --mem-limit-mb 256)
+if(NOT LAST_OUT MATCHES "governor: degraded=")
+  message(FATAL_ERROR
+          "governed explain did not print governor counters:\n${LAST_OUT}")
+endif()
+
+message(STATUS "ecatool CLI contract: all checks passed")

@@ -1,7 +1,7 @@
 // ecafuzz — fault-injected differential fuzzer for the optimizer pipeline.
 //
 //   ecafuzz [--queries N] [--seed S] [--max-rels N] [--threads N]
-//           [--smoke] [--verbose] [--enum-diff]
+//           [--smoke] [--verbose] [--enum-diff] [--mem-limit-mb N]
 //
 // Each iteration derives everything from one seed: a random database, a
 // random query, a random approach (ECA / TBA / CBA), a random enumeration
@@ -25,6 +25,15 @@
 //             with branch-and-bound and the cost memo toggled, asserting a
 //             byte-identical plan (cost and structural fingerprint), plus
 //             reuse on/off, asserting an identical plan cost.
+//   --mem-limit-mb  spilled-vs-in-memory differential: after the oracle
+//             comparison, the optimized plan is re-executed under a
+//             resource governor with the given hard limit and a
+//             deliberately tiny soft threshold, forcing hash joins onto
+//             the grace (spill-to-disk) path and best-matches onto
+//             external merge sort. The governed result must be
+//             value-identical, row for row, to the in-memory result;
+//             kResourceExhausted / kDeadlineExceeded are accepted as
+//             clean outcomes (docs/robustness.md).
 
 #include <cstdio>
 #include <cstring>
@@ -38,6 +47,7 @@
 #include "common/rng.h"
 #include "eca/optimizer.h"
 #include "exec/executor.h"
+#include "exec/query_context.h"
 #include "testing/fault_injection.h"
 #include "testing/random_data.h"
 #include "testing/random_query.h"
@@ -53,6 +63,7 @@ struct FuzzConfig {
   bool smoke = false;
   bool verbose = false;
   bool enum_diff = false;
+  int64_t mem_limit_mb = 0;  // > 0: governed re-execution differential
 };
 
 // One iteration's randomized setup, minus the data/query (regenerated
@@ -65,8 +76,16 @@ struct TrialSetup {
   // side is always single-threaded, so the comparison doubles as a
   // parallel-vs-sequential equivalence check.
   int exec_threads = 1;
-  // skip counts per fault point; -1 = disarmed.
-  int64_t fault_skip[static_cast<int>(FaultPoint::kNumPoints)] = {-1, -1, -1};
+  // Hard memory limit (MB) for the governed re-execution differential;
+  // 0 disables it.
+  int64_t mem_limit_mb = 0;
+  // skip counts per fault point; -1 = disarmed. Filled in the constructor
+  // so every point starts disarmed however many FaultPoints exist.
+  int64_t fault_skip[static_cast<int>(FaultPoint::kNumPoints)];
+
+  TrialSetup() {
+    for (int64_t& s : fault_skip) s = -1;
+  }
 
   bool AnyFault() const {
     for (int64_t s : fault_skip) {
@@ -89,6 +108,9 @@ struct TrialSetup {
     }
     if (exec_threads != 1) {
       out += " threads=" + std::to_string(exec_threads);
+    }
+    if (mem_limit_mb > 0) {
+      out += " mem_limit_mb=" + std::to_string(mem_limit_mb);
     }
     for (int p = 0; p < static_cast<int>(FaultPoint::kNumPoints); ++p) {
       if (fault_skip[p] >= 0) {
@@ -123,6 +145,7 @@ Trial MakeTrial(uint64_t seed, const FuzzConfig& cfg) {
 
   TrialSetup& s = t.setup;
   s.exec_threads = cfg.threads;
+  s.mem_limit_mb = cfg.mem_limit_mb;
   s.approach = static_cast<Optimizer::Approach>(rng.Uniform(0, 2));
   s.reuse_subplans = rng.Bernoulli(0.7);
   if (rng.Bernoulli(0.5)) {
@@ -144,6 +167,17 @@ Trial MakeTrial(uint64_t seed, const FuzzConfig& cfg) {
     }
   }
   return t;
+}
+
+// Value-identity including row order — the contract the spill paths make
+// (byte-identical output), strictly stronger than SameMultiset.
+bool IdenticalRelations(const Relation& a, const Relation& b) {
+  if (a.NumRows() != b.NumRows()) return false;
+  if (a.schema().NumColumns() != b.schema().NumColumns()) return false;
+  for (size_t r = 0; r < a.rows().size(); ++r) {
+    if (CompareTuples(a.rows()[r], b.rows()[r]) != 0) return false;
+  }
+  return true;
 }
 
 // Runs one optimize-and-compare round. Returns an empty string on
@@ -190,6 +224,42 @@ std::string RunTrial(const Trial& t, const TrialSetup& setup,
                     CanonicalizeColumnOrder(got))) {
     return "DIVERGENCE: optimized plan result differs from the query\n" +
            best->plan->ToString();
+  }
+
+  if (setup.mem_limit_mb > 0) {
+    // Spilled-vs-in-memory differential: re-execute the optimized plan
+    // under the governor with a tiny soft threshold so every hash join
+    // takes the grace path and best-matches sort externally. With the
+    // trial's faults re-armed, any Status is a clean outcome; a success
+    // must be value-identical, row for row, to the ungoverned run.
+    for (int p = 0; p < static_cast<int>(FaultPoint::kNumPoints); ++p) {
+      if (setup.fault_skip[p] >= 0) {
+        FaultInjector::Arm(static_cast<FaultPoint>(p), setup.fault_skip[p]);
+      }
+    }
+    QueryContext::Limits limits;
+    limits.mem_limit_bytes = setup.mem_limit_mb << 20;
+    limits.mem_soft_bytes = 16 << 10;
+    QueryContext ctx(limits);
+    ctx.Arm();
+    Executor::Options xopts;
+    xopts.num_threads = setup.exec_threads;
+    Executor ex(xopts);
+    StatusOr<Relation> governed = ex.ExecuteWithContext(*best->plan, t.db,
+                                                        &ctx);
+    FaultInjector::Reset();
+    if (governed.ok()) {
+      if (!IdenticalRelations(*governed, got)) {
+        return "SPILL DIVERGENCE: governed (spilled) execution differs "
+               "from the in-memory result\n" +
+               best->plan->ToString();
+      }
+      if (ctx.tracker()->used() != 0) {
+        return "governed execution leaked " +
+               std::to_string(ctx.tracker()->used()) +
+               " tracked bytes (reservation imbalance)";
+      }
+    }
   }
   return "";
 }
@@ -269,6 +339,10 @@ TrialSetup Minimize(const Trial& t, TrialSetup setup) {
   no_wall.budget.wall_clock_ms = 0;
   if (!RunTrial(t, no_wall).empty()) setup = no_wall;
 
+  TrialSetup no_spill = setup;
+  no_spill.mem_limit_mb = 0;
+  if (!RunTrial(t, no_spill).empty()) setup = no_spill;
+
   return setup;
 }
 
@@ -337,19 +411,23 @@ int Main(int argc, char** argv) {
       cfg.verbose = true;
     } else if (std::strcmp(argv[i], "--enum-diff") == 0) {
       cfg.enum_diff = true;
+    } else if (std::strcmp(argv[i], "--mem-limit-mb") == 0 && i + 1 < argc) {
+      cfg.mem_limit_mb = std::atoll(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\nusage: ecafuzz [--queries N] "
                    "[--seed S] [--max-rels N] [--threads N] [--smoke] "
-                   "[--verbose] [--enum-diff]\n",
+                   "[--verbose] [--enum-diff] [--mem-limit-mb N]\n",
                    argv[i]);
       return 2;
     }
   }
   if (cfg.smoke && !queries_set) cfg.queries = 200;
-  if (cfg.max_rels < 2 || cfg.queries <= 0 || cfg.threads < 1) {
+  if (cfg.max_rels < 2 || cfg.queries <= 0 || cfg.threads < 1 ||
+      cfg.mem_limit_mb < 0) {
     std::fprintf(stderr,
-                 "need --max-rels >= 2, --queries > 0 and --threads >= 1\n");
+                 "need --max-rels >= 2, --queries > 0, --threads >= 1 "
+                 "and --mem-limit-mb >= 0\n");
     return 2;
   }
 
@@ -379,6 +457,10 @@ int Main(int argc, char** argv) {
   }
 
   int64_t failures = 0, degraded = 0, mutants_parsed = 0;
+  std::string repro_suffix = cfg.smoke ? " --smoke" : "";
+  if (cfg.mem_limit_mb > 0) {
+    repro_suffix += " --mem-limit-mb " + std::to_string(cfg.mem_limit_mb);
+  }
   for (int64_t i = 0; i < cfg.queries; ++i) {
     uint64_t seed = cfg.seed + static_cast<uint64_t>(i);
     Trial t = MakeTrial(seed, cfg);
@@ -393,7 +475,7 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr,
                      "repro: ecafuzz --seed %llu --queries 1%s\n",
                      static_cast<unsigned long long>(seed),
-                     cfg.smoke ? " --smoke" : "");
+                     repro_suffix.c_str());
         ++failures;
         continue;
       }
@@ -409,7 +491,7 @@ int Main(int argc, char** argv) {
                    minimal.ToString().c_str());
       std::fprintf(stderr, "  repro: ecafuzz --seed %llu --queries 1%s\n",
                    static_cast<unsigned long long>(seed),
-                   cfg.smoke ? " --smoke" : "");
+                   repro_suffix.c_str());
       ++failures;
     } else if (cfg.verbose) {
       std::printf("seed %llu ok: %s%s\n",

@@ -10,7 +10,7 @@
 //
 //   ecatool explain "<plan>" --pred name="<expr>" ... [--rows N]
 //           [--approach eca|tba|cba] [--data <dir>] [--threads N]
-//           [--explain-stats]
+//           [--explain-stats] [--timeout-ms N] [--mem-limit-mb N]
 //       Optimize the query — with all three approaches, or just the one
 //       named by --approach — and print plans, costs and EXPLAIN ANALYZE.
 //       Data is random (N rows per relation) unless --data names a
@@ -23,6 +23,14 @@
 //       memo reuses, branch-and-bound prunes, cloned nodes, budget
 //       trigger, ...) together with its wall-clock time.
 //
+//       --timeout-ms and --mem-limit-mb run each approach under the
+//       resource governor (docs/robustness.md): the deadline covers
+//       enumeration and execution end to end, the memory limit makes hash
+//       joins spill (grace join) and best-matches sort externally past the
+//       soft threshold, and exhausting either produces a clean diagnostic
+//       and exit 1 instead of an abort or OOM kill. Governed runs print
+//       the governor counters (peak_bytes, spilled_partitions, ...).
+//
 // Plan syntax is the library's compact notation, e.g.
 //   "(R0 laj[p01] (R1 laj[p12] R2))"
 // with predicates like --pred p01="R0.a = R1.a".
@@ -31,6 +39,7 @@
 // files and invalid plans all produce a diagnostic on stderr and a
 // nonzero exit — never an abort.
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -59,8 +68,27 @@ int Usage() {
                "  ecatool orderings \"<plan>\" --pred name=\"<expr>\"...\n"
                "  ecatool explain \"<plan>\" --pred name=\"<expr>\"... "
                "[--rows N] [--approach eca|tba|cba] [--data <dir>] "
-               "[--threads N] [--explain-stats]\n");
+               "[--threads N] [--explain-stats] "
+               "[--timeout-ms N] [--mem-limit-mb N]\n");
   return 2;
+}
+
+// Strict base-10 parse for numeric flags: rejects empty values, trailing
+// garbage ("12abc"), out-of-range input and anything below `min`, with a
+// diagnostic naming the flag. atoi-style silent truncation turned flag
+// typos into surprising-but-valid runs.
+bool ParseIntFlag(const char* flag, const char* text, int64_t min,
+                  int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < min) {
+    std::fprintf(stderr, "bad %s value '%s' (want an integer >= %lld)\n",
+                 flag, text, static_cast<long long>(min));
+    return false;
+  }
+  *out = value;
+  return true;
 }
 
 // Optional-flag sink for explain: approaches to run and a data directory.
@@ -69,6 +97,10 @@ struct ExplainArgs {
   std::string data_dir;
   int num_threads = 1;
   bool explain_stats = false;
+  int64_t timeout_ms = 0;     // 0 = no deadline
+  int64_t mem_limit_mb = 0;   // 0 = no memory limit
+
+  bool governed() const { return timeout_ms > 0 || mem_limit_mb > 0; }
 };
 
 bool ParsePredArgs(int argc, char** argv, int start,
@@ -88,10 +120,23 @@ bool ParsePredArgs(int argc, char** argv, int start,
       explain->data_dir = argv[++i];
     } else if (explain != nullptr && std::strcmp(argv[i], "--threads") == 0 &&
                i + 1 < argc) {
-      explain->num_threads = std::atoi(argv[++i]);
-      if (explain->num_threads < 1) {
-        std::fprintf(stderr, "bad --threads value '%s' (want >= 1)\n",
+      int64_t threads = 0;
+      if (!ParseIntFlag("--threads", argv[++i], 1, &threads)) return false;
+      if (threads > 4096) {
+        std::fprintf(stderr, "bad --threads value '%s' (want <= 4096)\n",
                      argv[i]);
+        return false;
+      }
+      explain->num_threads = static_cast<int>(threads);
+    } else if (explain != nullptr &&
+               std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      if (!ParseIntFlag("--timeout-ms", argv[++i], 1, &explain->timeout_ms)) {
+        return false;
+      }
+    } else if (explain != nullptr &&
+               std::strcmp(argv[i], "--mem-limit-mb") == 0 && i + 1 < argc) {
+      if (!ParseIntFlag("--mem-limit-mb", argv[++i], 1,
+                        &explain->mem_limit_mb)) {
         return false;
       }
     } else if (explain != nullptr &&
@@ -115,7 +160,14 @@ bool ParsePredArgs(int argc, char** argv, int start,
       }
       (*preds)[name] = std::move(p);
     } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
-      *rows = std::atoi(argv[++i]);
+      int64_t parsed = 0;
+      if (!ParseIntFlag("--rows", argv[++i], 1, &parsed)) return false;
+      if (parsed > (int64_t{1} << 30)) {
+        std::fprintf(stderr, "bad --rows value '%s' (want <= 2^30)\n",
+                     argv[i]);
+        return false;
+      }
+      *rows = static_cast<int>(parsed);
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
       return false;
@@ -261,14 +313,34 @@ int Explain(int argc, char** argv) {
     extra.approaches = {Optimizer::Approach::kTBA, Optimizer::Approach::kCBA,
                         Optimizer::Approach::kECA};
   }
+  if (extra.governed()) {
+    // OptimizeGoverned skips the validating front door, so validate the
+    // hand-typed plan here once for all approaches.
+    Status valid = ValidatePlanStatus(*plan, db.BaseSchemas());
+    if (!valid.ok()) {
+      std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+      return 1;
+    }
+  }
   std::printf("query:\n%s\n", plan->ToString().c_str());
   for (auto approach : extra.approaches) {
     Optimizer::Options opts;
     opts.approach = approach;
     opts.num_threads = extra.num_threads;
     Optimizer opt{opts};
+    // Each approach runs as its own governed query: fresh tracker, fresh
+    // deadline, so --timeout-ms bounds every optimize+execute pair.
+    QueryContext::Limits limits;
+    limits.mem_limit_bytes = extra.mem_limit_mb << 20;
+    limits.timeout_ms = extra.timeout_ms;
+    QueryContext ctx(limits);
+    if (extra.governed()) ctx.Arm();
     auto opt_start = std::chrono::steady_clock::now();
-    StatusOr<Optimizer::Optimized> best = opt.OptimizeChecked(*plan, db);
+    StatusOr<Optimizer::Optimized> best =
+        extra.governed()
+            ? StatusOr<Optimizer::Optimized>(
+                  opt.OptimizeGoverned(*plan, db, &ctx))
+            : opt.OptimizeChecked(*plan, db);
     double opt_ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - opt_start)
                         .count();
@@ -276,9 +348,18 @@ int Explain(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", best.status().ToString().c_str());
       return 1;
     }
-    std::printf("---- %s (estimated cost %.1f) ----\n%s",
-                Optimizer::ApproachName(approach), best->estimated_cost,
-                ExplainAnalyze(*best->plan, db).c_str());
+    if (extra.governed()) {
+      // ExplainAnalyze profiles by executing ungoverned; under a memory
+      // limit that would dodge the very contract the flags ask for, so
+      // governed runs print the plan and execute it once, governed.
+      std::printf("---- %s (estimated cost %.1f) ----\n%s",
+                  Optimizer::ApproachName(approach), best->estimated_cost,
+                  best->plan->ToString().c_str());
+    } else {
+      std::printf("---- %s (estimated cost %.1f) ----\n%s",
+                  Optimizer::ApproachName(approach), best->estimated_cost,
+                  ExplainAnalyze(*best->plan, db).c_str());
+    }
     if (extra.explain_stats) {
       const EnumeratorStats& s = best->stats;
       std::printf(
@@ -307,13 +388,32 @@ int Explain(int argc, char** argv) {
           static_cast<long long>(s.cloned_nodes),
           s.degraded ? "yes" : "no", BudgetTriggerName(s.trigger));
     }
-    Relation a = opt.Execute(*plan, db);
-    Relation b = opt.Execute(*best->plan, db);
-    std::printf("result matches query: %s\n\n",
-                SameMultiset(CanonicalizeColumnOrder(a),
-                             CanonicalizeColumnOrder(b))
-                    ? "yes"
-                    : "NO!");
+    if (extra.governed()) {
+      ExecStats xs;
+      StatusOr<Relation> res = opt.ExecuteGoverned(*best->plan, db, &ctx, &xs);
+      std::printf(
+          "governor: degraded=%s peak_bytes=%lld spilled_partitions=%lld "
+          "spill_bytes=%lld spill_read_bytes=%lld spilled_sort_runs=%lld\n",
+          best->stats.degraded ? "yes" : "no",
+          static_cast<long long>(xs.peak_bytes),
+          static_cast<long long>(xs.spilled_partitions),
+          static_cast<long long>(xs.spill_bytes),
+          static_cast<long long>(xs.spill_read_bytes),
+          static_cast<long long>(xs.spilled_sort_runs));
+      if (!res.ok()) {
+        std::fprintf(stderr, "%s\n", res.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("rows: %lld\n\n", static_cast<long long>(res->NumRows()));
+    } else {
+      Relation a = opt.Execute(*plan, db);
+      Relation b = opt.Execute(*best->plan, db);
+      std::printf("result matches query: %s\n\n",
+                  SameMultiset(CanonicalizeColumnOrder(a),
+                               CanonicalizeColumnOrder(b))
+                      ? "yes"
+                      : "NO!");
+    }
   }
   return 0;
 }
