@@ -1,6 +1,8 @@
 #include "common/memory_tracker.h"
 
+#include "common/metrics.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 
 namespace eca {
 
@@ -19,6 +21,10 @@ Status MemoryTracker::Reserve(int64_t bytes, const char* what) {
     if (now > hard_bytes_) {
       used_.fetch_sub(bytes, std::memory_order_relaxed);
       if (parent_ != nullptr) parent_->Release(bytes);
+      static Counter* const fails =
+          MetricsRegistry::Global().counter("governor.reserve_fail");
+      fails->Increment();
+      Tracer::Instant("governor/reserve-fail", what);
       return Status::ResourceExhausted(StrFormat(
           "memory limit exceeded: %s of %lld bytes would put tracked usage "
           "at %lld of %lld",

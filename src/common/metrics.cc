@@ -1,0 +1,193 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace eca {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char ch : s) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  // Bucket k >= 1 holds [2^(k-1), 2^k): k = bit_width(value).
+  int k = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  while (v != 0) {
+    v >>= 1;
+    ++k;
+  }
+  return k < kNumBuckets ? k : kNumBuckets - 1;
+}
+
+int64_t Histogram::BucketLowerBound(int b) {
+  if (b <= 0) return 0;
+  return static_cast<int64_t>(1) << (b - 1);
+}
+
+MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    auto it = base.counters.find(name);
+    int64_t prev = it != base.counters.end() ? it->second : 0;
+    out.counters[name] = value - prev;
+  }
+  for (const auto& [name, hist] : histograms) {
+    HistogramSnapshot d = hist;
+    auto it = base.histograms.find(name);
+    if (it != base.histograms.end()) {
+      d.count -= it->second.count;
+      d.sum -= it->second.sum;
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        d.buckets[b] -= it->second.buckets[b];
+      }
+    }
+    out.histograms[name] = d;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    if (value == 0) continue;
+    std::snprintf(line, sizeof(line), "  %-40s %12lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms) {
+    if (hist.count == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "  %-40s count=%lld sum=%lld mean=%.1f\n", name.c_str(),
+                  static_cast<long long>(hist.count),
+                  static_cast<long long>(hist.sum), hist.Mean());
+    out += line;
+  }
+  if (out.empty()) out = "  (no activity)\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  char num[96];
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, name);
+    std::snprintf(num, sizeof(num), "\":%lld",
+                  static_cast<long long>(value));
+    out += num;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(&out, name);
+    std::snprintf(num, sizeof(num), "\":{\"count\":%lld,\"sum\":%lld",
+                  static_cast<long long>(hist.count),
+                  static_cast<long long>(hist.sum));
+    out += num;
+    out += ",\"buckets\":[";
+    // Trailing all-zero buckets are elided to keep the JSON compact.
+    int last = Histogram::kNumBuckets - 1;
+    while (last >= 0 && hist.buckets[static_cast<size_t>(last)] == 0) --last;
+    for (int b = 0; b <= last; ++b) {
+      if (b > 0) out += ',';
+      std::snprintf(num, sizeof(num), "%lld",
+                    static_cast<long long>(
+                        hist.buckets[static_cast<size_t>(b)]));
+      out += num;
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* r = new MetricsRegistry();  // never destroyed:
+  return *r;  // cached metric pointers must outlive static teardown
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) {
+    out.counters[name] = c->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    s.count = h->count();
+    s.sum = h->sum();
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      s.buckets[static_cast<size_t>(b)] =
+          h->buckets_[b].load(std::memory_order_relaxed);
+    }
+    out.histograms[name] = s;
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      h->buckets_[b].store(0, std::memory_order_relaxed);
+    }
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace eca

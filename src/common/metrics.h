@@ -1,0 +1,111 @@
+#ifndef ECA_COMMON_METRICS_H_
+#define ECA_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace eca {
+
+// Process-wide metrics registry (docs/observability.md): named counters
+// and fixed-bucket histograms with lock-free increments. Registration
+// (name -> object) takes a mutex once; hot paths cache the returned
+// pointer (objects are never destroyed or moved, so a cached pointer
+// stays valid for the life of the process — the usual pattern is a
+// function-local `static Counter* const`). Readers take consistent-enough
+// relaxed snapshots; the snapshot/diff API is how per-query views are
+// carved out of the monotonically-growing process totals.
+
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+// Power-of-two bucketed histogram for non-negative int64 samples: bucket
+// 0 counts value 0, bucket k (k >= 1) counts [2^(k-1), 2^k). 48 buckets
+// cover the full non-negative range, so there is no overflow bucket to
+// lose tail samples in.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 48;
+
+  void Record(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  // Inclusive lower bound of bucket index `b`.
+  static int64_t BucketLowerBound(int b);
+  static int BucketFor(int64_t value);
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  std::array<int64_t, Histogram::kNumBuckets> buckets = {};
+
+  double Mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+// A point-in-time copy of every registered metric. DiffSince() yields the
+// activity between two snapshots — what ecatool prints per approach and
+// what the registry-vs-ExecStats consistency tests compare.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  MetricsSnapshot DiffSince(const MetricsSnapshot& base) const;
+
+  // Human-readable table (counters first, then histograms), zero-valued
+  // entries elided.
+  std::string ToTable() const;
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  // The process registry. Library code records here; there is exactly one
+  // way to count things (docs/observability.md has the name catalog).
+  static MetricsRegistry& Global();
+
+  // Get-or-create; returned pointers are stable forever.
+  Counter* counter(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered metric, keeping the objects (and thus every
+  // cached pointer) alive. Tests only — production code diffs snapshots
+  // instead of resetting shared state.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace eca
+
+#endif  // ECA_COMMON_METRICS_H_

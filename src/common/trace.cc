@@ -1,0 +1,263 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace eca {
+
+namespace {
+
+// Every heap allocation the tracer makes goes through here so the
+// disabled-mode zero-allocation guarantee is testable.
+std::atomic<int64_t> g_allocations{0};
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Tracer::Event> ring;  // fixed capacity, slot = count % cap
+  uint64_t count = 0;               // total events ever pushed
+  int tid = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  size_t capacity = Tracer::kDefaultCapacity;
+  // Bumped by Enable(): thread-local cached buffers from an older epoch
+  // re-register, so every Enable() starts from clean rings.
+  std::atomic<uint64_t> epoch{0};
+  std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // never destroyed: threads may
+  return *r;                            // outlive static teardown
+}
+
+struct LocalSlot {
+  uint64_t epoch = 0;
+  std::shared_ptr<ThreadBuffer> buf;
+};
+
+ThreadBuffer* LocalBuffer() {
+  thread_local LocalSlot slot;
+  Registry& reg = registry();
+  uint64_t epoch = reg.epoch.load(std::memory_order_acquire);
+  if (slot.buf == nullptr || slot.epoch != epoch) {
+    auto buf = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buf->ring.resize(reg.capacity);
+    buf->tid = static_cast<int>(reg.buffers.size()) + 1;
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    reg.buffers.push_back(buf);
+    slot.buf = std::move(buf);
+    slot.epoch = epoch;
+  }
+  return slot.buf.get();
+}
+
+void CopyBounded(char* dst, size_t cap, const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  std::snprintf(dst, cap, "%s", src);
+}
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+int64_t Tracer::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - registry().t0)
+      .count();
+}
+
+void Tracer::Enable(size_t per_thread_capacity) {
+  Registry& reg = registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.buffers.clear();
+    reg.capacity = per_thread_capacity > 0 ? per_thread_capacity : 1;
+    reg.t0 = std::chrono::steady_clock::now();
+  }
+  reg.epoch.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::Emit(const char* name, const char* args, int64_t start_ns,
+                  int64_t dur_ns) {
+  ThreadBuffer* buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  Event& e = buf->ring[static_cast<size_t>(buf->count % buf->ring.size())];
+  CopyBounded(e.name, kNameSize, name);
+  CopyBounded(e.args, kArgsSize, args);
+  e.tid = buf->tid;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  ++buf->count;
+}
+
+void Tracer::Instant(const char* name, const char* args) {
+  if (!enabled()) return;
+  Emit(name, args, NowNs(), kInstant);
+}
+
+std::string Tracer::ToJson() {
+  Registry& reg = registry();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char num[160];
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    const uint64_t cap = buf->ring.size();
+    const uint64_t begin = buf->count > cap ? buf->count - cap : 0;
+    for (uint64_t i = begin; i < buf->count; ++i) {
+      const Event& e = buf->ring[static_cast<size_t>(i % cap)];
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"";
+      AppendEscaped(&out, e.name);
+      out += "\",\"cat\":\"eca\",\"pid\":1,";
+      // Timestamps are microseconds in the trace event format; keep ns
+      // resolution with fractional microseconds.
+      if (e.dur_ns == kInstant) {
+        std::snprintf(num, sizeof(num),
+                      "\"tid\":%d,\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f",
+                      e.tid, static_cast<double>(e.start_ns) / 1000.0);
+      } else {
+        std::snprintf(num, sizeof(num),
+                      "\"tid\":%d,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f",
+                      e.tid, static_cast<double>(e.start_ns) / 1000.0,
+                      static_cast<double>(e.dur_ns) / 1000.0);
+      }
+      out += num;
+      if (e.args[0] != '\0') {
+        out += ",\"args\":{\"detail\":\"";
+        AppendEscaped(&out, e.args);
+        out += "\"}";
+      }
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+Status Tracer::WriteJson(const std::string& path) {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace output '" + path + "'");
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to trace output '" + path + "'");
+  }
+  return Status::OK();
+}
+
+int64_t Tracer::EventCount() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  int64_t total = 0;
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += static_cast<int64_t>(
+        buf->count > buf->ring.size() ? buf->ring.size() : buf->count);
+  }
+  return total;
+}
+
+int64_t Tracer::DroppedCount() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  int64_t dropped = 0;
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    if (buf->count > buf->ring.size()) {
+      dropped += static_cast<int64_t>(buf->count - buf->ring.size());
+    }
+  }
+  return dropped;
+}
+
+int Tracer::ThreadBufferCount() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return static_cast<int>(reg.buffers.size());
+}
+
+int64_t Tracer::AllocationCountForTest() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void TraceSpan::Begin(const char* name) {
+  active_ = true;
+  CopyBounded(name_, Tracer::kNameSize, name);
+  args_[0] = '\0';
+  start_ns_ = Tracer::NowNs();
+}
+
+void TraceSpan::End() {
+  // A span that straddles Disable() is dropped rather than recorded into
+  // buffers that a concurrent Enable() may be recycling.
+  if (!Tracer::enabled()) return;
+  Tracer::Emit(name_, args_, start_ns_, Tracer::NowNs() - start_ns_);
+}
+
+void TraceSpan::AppendArg(const char* key, long long value) {
+  if (!active_) return;
+  size_t len = std::strlen(args_);
+  std::snprintf(args_ + len, Tracer::kArgsSize - len, "%s%s=%lld",
+                len > 0 ? " " : "", key, value);
+}
+
+void TraceSpan::AppendArg(const char* key, const char* value) {
+  if (!active_) return;
+  size_t len = std::strlen(args_);
+  std::snprintf(args_ + len, Tracer::kArgsSize - len, "%s%s=%s",
+                len > 0 ? " " : "", key, value);
+}
+
+}  // namespace eca

@@ -1,0 +1,133 @@
+#ifndef ECA_COMMON_TRACE_H_
+#define ECA_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eca {
+
+// Low-overhead query-lifecycle span tracer (docs/observability.md).
+//
+// Disabled (the default) the whole machinery is a single relaxed atomic
+// load per span: TraceSpan's constructor reads the flag and does nothing
+// else — no allocation, no clock read, no buffer registration (asserted
+// by trace_test's zero-allocation case). Enabled, every completed span
+// becomes one fixed-size Event in a per-thread ring buffer:
+//
+//  - writes touch only the calling thread's ring (one uncontended mutex
+//    acquisition; the exporter is the only other party that ever takes
+//    it), so governed, parallel and spilled runs trace correctly at any
+//    thread count without synchronizing with each other;
+//  - rings have fixed capacity; when full, the oldest events of that
+//    thread are overwritten and DroppedCount() grows — tracing never
+//    allocates beyond the ring it created at registration;
+//  - ToJson()/WriteJson() render the retained events in Chrome trace
+//    event format ("traceEvents", ph "X"/"i"), loadable directly in
+//    chrome://tracing or https://ui.perfetto.dev.
+//
+// Event names and args are copied into fixed-size char arrays, so spans
+// may be named from stack-built strings ("wave-3") without lifetime
+// concerns. Args render as one "detail" string in the JSON.
+class Tracer {
+ public:
+  static constexpr size_t kNameSize = 40;
+  static constexpr size_t kArgsSize = 56;
+  static constexpr size_t kDefaultCapacity = 16384;  // events per thread
+
+  struct Event {
+    char name[kNameSize];
+    char args[kArgsSize];
+    int tid = 0;
+    int64_t start_ns = 0;
+    int64_t dur_ns = 0;  // kInstant for instant ("i") events
+  };
+  static constexpr int64_t kInstant = -1;
+
+  // Starts recording with fresh, empty buffers (any previously retained
+  // events are discarded). Threads register their ring lazily on first
+  // span; each ring holds `per_thread_capacity` events.
+  static void Enable(size_t per_thread_capacity = kDefaultCapacity);
+
+  // Stops recording. Retained events stay exportable until the next
+  // Enable().
+  static void Disable();
+
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // A zero-duration marker event (governor trips, escalations, ...).
+  static void Instant(const char* name, const char* args = nullptr);
+
+  // Chrome trace event JSON of every retained event, across threads.
+  static std::string ToJson();
+  static Status WriteJson(const std::string& path);
+
+  // Retained / overwritten event counts and the number of registered
+  // per-thread rings, for tests and the CLI summary line.
+  static int64_t EventCount();
+  static int64_t DroppedCount();
+  static int ThreadBufferCount();
+
+  // Heap allocations the tracer itself has performed since process start
+  // (ring registration and JSON export only). Stays at zero as long as
+  // the tracer is disabled — the hook trace_test uses to pin down the
+  // disabled-mode zero-allocation guarantee.
+  static int64_t AllocationCountForTest();
+
+  // Time since the tracer's clock epoch; the timestamp base of Event.
+  static int64_t NowNs();
+
+ private:
+  friend class TraceSpan;
+
+  static void Emit(const char* name, const char* args, int64_t start_ns,
+                   int64_t dur_ns);
+
+  static std::atomic<bool> enabled_;
+};
+
+// RAII span: construction stamps the start time, destruction emits one
+// Event covering the enclosed scope. Construct-before-work so nested
+// spans nest in the timeline. AppendArg formats into a fixed on-stack
+// buffer (no allocation); args added after the span is created show up
+// in the exported event.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!Tracer::enabled()) return;
+    Begin(name);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (active_) End();
+  }
+
+  // True when the tracer was enabled at construction; callers use this to
+  // skip arg formatting entirely on the disabled path.
+  bool active() const { return active_; }
+
+  void AppendArg(const char* key, long long value);
+  void AppendArg(const char* key, const char* value);
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  bool active_ = false;
+  int64_t start_ns_ = 0;
+  char name_[Tracer::kNameSize];
+  char args_[Tracer::kArgsSize];
+};
+
+}  // namespace eca
+
+#endif  // ECA_COMMON_TRACE_H_

@@ -4,13 +4,20 @@
 
 #include "algebra/validate.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "rewrite/comp_simplify.h"
 
 namespace eca {
 
 Optimizer::Optimized Optimizer::Optimize(const Plan& query,
                                          const Database& db) const {
-  CostModel cost = CostModel::FromDatabase(db);
+  TraceSpan span("optimize");
+  if (span.active()) span.AppendArg("approach", ApproachName(options_.approach));
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  CostModel cost = [&] {
+    TraceSpan model_span("cost-model");
+    return CostModel::FromDatabase(db);
+  }();
   EnumeratorOptions opts;
   opts.policy = policy();
   opts.reuse_subplans = options_.reuse_subplans;
@@ -21,10 +28,15 @@ Optimizer::Optimized Optimizer::Optimize(const Plan& query,
   Optimized out;
   out.plan = std::move(result.plan);
   if (options_.cleanup_compensations && out.plan != nullptr) {
+    TraceSpan cleanup_span("rewrite-cleanup");
     SimplifyCompensations(&out.plan);
   }
   out.estimated_cost = cost.Cost(*out.plan);
   out.stats = result.stats;
+  out.provenance =
+      BuildPlanProvenance(*out.plan, out.stats, before,
+                          MetricsRegistry::Global().Snapshot(),
+                          ApproachName(options_.approach));
   return out;
 }
 
@@ -107,11 +119,13 @@ Relation Optimizer::Execute(const Plan& plan, const Database& db) const {
 }
 
 std::string Optimizer::Explain(const Plan& plan, const Database& db,
-                               const SqlOptions* sql) const {
+                               const SqlOptions* sql,
+                               const PlanProvenance* provenance) const {
   CostModel cost = CostModel::FromDatabase(db);
   std::string out = "plan:\n" + plan.ToString();
   out += StrFormat("estimated cost: %.1f, estimated rows: %.1f\n",
                    cost.Cost(plan), cost.Cardinality(plan));
+  if (provenance != nullptr) out += provenance->ToString();
   if (sql != nullptr) {
     out += "SQL:\n" + PlanToSql(plan, db.BaseSchemas(), *sql) + "\n";
   }

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "cost/cost_model.h"
+#include "eca/provenance.h"
 #include "enumerate/enumerator.h"
 #include "enumerate/realize.h"
 #include "exec/executor.h"
@@ -57,6 +58,10 @@ class Optimizer {
     PlanPtr plan;
     double estimated_cost = 0;
     EnumeratorStats stats;
+    // How the plan came to be: rewrite rules fired during the search,
+    // compensation operators carried by the winner, degradation state.
+    // Render with provenance.ToString() or via Explain().
+    PlanProvenance provenance;
   };
 
   // Cost-based join reordering of `query` over `db`'s statistics.
@@ -105,10 +110,12 @@ class Optimizer {
   // Evaluates a plan (compensation operators included).
   Relation Execute(const Plan& plan, const Database& db) const;
 
-  // Multi-line report: the plan tree, its cost estimate, and (when table
+  // Multi-line report: the plan tree, its cost estimate, optionally the
+  // provenance block of the Optimized that produced it, and (when table
   // names are provided) the enforcing SQL of Section 6.1.
   std::string Explain(const Plan& plan, const Database& db,
-                      const SqlOptions* sql = nullptr) const;
+                      const SqlOptions* sql = nullptr,
+                      const PlanProvenance* provenance = nullptr) const;
 
  private:
   SwapPolicy policy() const {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <mutex>
 #include <optional>
@@ -11,7 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "enumerate/subtree.h"
 #include "rewrite/oj_simplify.h"
 #include "testing/fault_injection.h"
@@ -728,7 +731,63 @@ const char* BudgetTriggerName(BudgetTrigger trigger) {
   return "unknown";
 }
 
+namespace {
+
+// One registry delta per Optimize() call, so a snapshot diff around a
+// single call reproduces Result::stats (asserted by metrics_test).
+void PublishEnumeratorStats(const EnumeratorStats& s) {
+  auto& reg = MetricsRegistry::Global();
+  static Counter* const subplan_calls = reg.counter("enum.subplan_calls");
+  static Counter* const pairs = reg.counter("enum.pairs_considered");
+  static Counter* const swaps = reg.counter("enum.swaps_attempted");
+  static Counter* const swaps_failed = reg.counter("enum.swaps_failed");
+  static Counter* const completed = reg.counter("enum.plans_completed");
+  static Counter* const memo_hits = reg.counter("enum.memo_hits");
+  static Counter* const memo_entries = reg.counter("enum.memo_entries");
+  static Counter* const prunes = reg.counter("enum.bb_prunes");
+  static Counter* const cost_evals = reg.counter("enum.cost_evals");
+  static Counter* const cost_memo_hits = reg.counter("enum.cost_memo_hits");
+  static Counter* const cloned = reg.counter("enum.cloned_nodes");
+  static Counter* const guard = reg.counter("enum.swap_chain_guard_trips");
+  static Counter* const collisions = reg.counter("enum.sig_collisions");
+  static Counter* const root_tasks = reg.counter("enum.root_tasks");
+  static Counter* const degraded = reg.counter("enum.degraded_runs");
+  subplan_calls->Add(s.subplan_calls);
+  pairs->Add(s.pairs_considered);
+  swaps->Add(s.swaps_attempted);
+  swaps_failed->Add(s.swaps_failed);
+  completed->Add(s.plans_completed);
+  memo_hits->Add(s.reuses);
+  memo_entries->Add(s.cache_entries);
+  prunes->Add(s.prunes);
+  cost_evals->Add(s.cost_evals);
+  cost_memo_hits->Add(s.cost_memo_hits);
+  cloned->Add(s.cloned_nodes);
+  guard->Add(s.swap_chain_guard_trips);
+  collisions->Add(s.sig_collisions);
+  root_tasks->Add(s.root_tasks);
+  if (s.degraded) degraded->Increment();
+}
+
+}  // namespace
+
 TopDownEnumerator::Result TopDownEnumerator::Optimize(const Plan& query) {
+  TraceSpan span("enumerate");
+  Result result = OptimizeImpl(query);
+  PublishEnumeratorStats(result.stats);
+  if (span.active()) {
+    span.AppendArg("subplan_calls",
+                   static_cast<long long>(result.stats.subplan_calls));
+    span.AppendArg("memo_hits", static_cast<long long>(result.stats.reuses));
+    span.AppendArg("prunes", static_cast<long long>(result.stats.prunes));
+    if (result.stats.degraded) {
+      span.AppendArg("degraded", BudgetTriggerName(result.stats.trigger));
+    }
+  }
+  return result;
+}
+
+TopDownEnumerator::Result TopDownEnumerator::OptimizeImpl(const Plan& query) {
   SharedState shared;
   shared.options = &options_;
   shared.deadline_ms = options_.budget.wall_clock_ms > 0
@@ -822,6 +881,8 @@ TopDownEnumerator::Result TopDownEnumerator::Optimize(const Plan& query) {
 
   auto run_pair = [&](int64_t k) {
     RootTask& task = tasks[static_cast<size_t>(k)];
+    TraceSpan pair_span("root-pair");
+    if (pair_span.active()) pair_span.AppendArg("k", k);
     if (shared.Exhausted()) return;
     if (FaultInjector::ShouldFail(FaultPoint::kAllocation)) {
       shared.Trip(BudgetTrigger::kAllocationFault, /*hard=*/true);
@@ -929,7 +990,10 @@ TopDownEnumerator::Result TopDownEnumerator::Optimize(const Plan& query) {
   if (!pairs.empty()) {
     // Wave 0: root pair 0, alone. Publishes the base memo and the first
     // bound before any other task starts, at every thread count.
-    run_pair(0);
+    {
+      TraceSpan wave_span("wave-0");
+      run_pair(0);
+    }
     if (!share_memo && tasks[0].found) wave_bound = tasks[0].cost;
     const int64_t total = static_cast<int64_t>(pairs.size());
     // Wave width: fixed, so wave boundaries (and with them everything a
@@ -943,6 +1007,11 @@ TopDownEnumerator::Result TopDownEnumerator::Optimize(const Plan& query) {
     }
     for (int64_t start = 1; start < total; start += kRootWave) {
       const int64_t count = std::min(kRootWave, total - start);
+      char wave_name[Tracer::kNameSize];
+      std::snprintf(wave_name, sizeof(wave_name), "wave-%lld",
+                    static_cast<long long>(1 + (start - 1) / kRootWave));
+      TraceSpan wave_span(wave_name);
+      if (wave_span.active()) wave_span.AppendArg("pairs", count);
       if (pool.has_value()) {
         pool->ParallelFor(count, [&](int64_t i) { run_pair(start + i); });
       } else {

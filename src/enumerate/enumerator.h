@@ -144,9 +144,15 @@ class TopDownEnumerator {
     EnumeratorStats stats;
   };
 
+  // Wraps the search in an "enumerate" trace span and publishes the run's
+  // EnumeratorStats as enum.* counter deltas in MetricsRegistry::Global()
+  // (docs/observability.md), so a registry diff around one call matches
+  // Result::stats exactly.
   Result Optimize(const Plan& query);
 
  private:
+  Result OptimizeImpl(const Plan& query);
+
   const CostModel* cost_;
   EnumeratorOptions options_;
 };

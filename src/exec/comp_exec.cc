@@ -3,7 +3,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "exec/executor.h"
 #include "exec/query_context.h"
 #include "storage/spill_file.h"
@@ -180,6 +182,10 @@ Relation EvalBeta(const Relation& in, QueryContext* ctx, ExecStats* stats) {
   // variant whose resident set is one sort run. Same rows, same order.
   if (ctx != nullptr &&
       ctx->tracker()->WouldExceedSoft(ApproxRowsBytes(in.rows()))) {
+    static Counter* const escalations =
+        MetricsRegistry::Global().counter("governor.spill_escalate");
+    escalations->Increment();
+    Tracer::Instant("governor/spill-escalate", "beta");
     return EvalBetaExternal(in, ctx, stats);
   }
   // Group rows by null pattern; a tuple with null set P is spurious iff it
@@ -414,6 +420,10 @@ namespace {
 // ones EvalBeta produces.
 Relation EvalBetaExternal(const Relation& in, QueryContext* ctx,
                           ExecStats* stats) {
+  TraceSpan span("comp/beta-external");
+  if (span.active()) {
+    span.AppendArg("rows", static_cast<long long>(in.NumRows()));
+  }
   const int num_cols = in.schema().NumColumns();
   std::unordered_map<NullMask, int, MaskHash> patterns;
   std::vector<NullMask> row_masks(static_cast<size_t>(in.NumRows()));

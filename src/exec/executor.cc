@@ -3,7 +3,9 @@
 #include <chrono>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "exec/query_context.h"
 
 namespace eca {
@@ -28,6 +30,54 @@ Executor::Executor(Options options) : options_(options) {
 Executor::~Executor() = default;
 
 Relation Executor::Execute(const Plan& plan, const Database& db) {
+  TraceSpan span("execute");
+  ExecStats before = stats_;
+  Relation out = ExecNode(plan, db);
+  if (span.active()) {
+    span.AppendArg("rows", static_cast<long long>(out.NumRows()));
+  }
+  PublishStatsDelta(before);
+  return out;
+}
+
+void Executor::PublishStatsDelta(const ExecStats& before) const {
+  auto& reg = MetricsRegistry::Global();
+  static Counter* const rows = reg.counter("exec.rows_produced");
+  static Counter* const probes = reg.counter("exec.probe_comparisons");
+  static Counter* const joins = reg.counter("exec.join_nodes");
+  static Counter* const comps = reg.counter("exec.comp_nodes");
+  static Counter* const build_rows = reg.counter("exec.hash_build_rows");
+  static Counter* const partitions = reg.counter("exec.partitions_built");
+  static Counter* const spilled_parts =
+      reg.counter("exec.spilled_partitions");
+  static Counter* const spill_bytes = reg.counter("exec.spill_bytes");
+  static Counter* const spill_read = reg.counter("exec.spill_read_bytes");
+  static Counter* const sort_runs = reg.counter("exec.spilled_sort_runs");
+  static Histogram* const join_us = reg.histogram("exec.join_us");
+  static Histogram* const comp_us = reg.histogram("exec.comp_us");
+  static Histogram* const peak = reg.histogram("exec.peak_bytes");
+  rows->Add(stats_.rows_produced - before.rows_produced);
+  probes->Add(stats_.probe_comparisons - before.probe_comparisons);
+  joins->Add(stats_.join_nodes - before.join_nodes);
+  comps->Add(stats_.comp_nodes - before.comp_nodes);
+  build_rows->Add(stats_.hash_build_rows - before.hash_build_rows);
+  partitions->Add(stats_.partitions_built - before.partitions_built);
+  spilled_parts->Add(stats_.spilled_partitions - before.spilled_partitions);
+  spill_bytes->Add(stats_.spill_bytes - before.spill_bytes);
+  spill_read->Add(stats_.spill_read_bytes - before.spill_read_bytes);
+  sort_runs->Add(stats_.spilled_sort_runs - before.spilled_sort_runs);
+  if (stats_.join_nodes > before.join_nodes) {
+    join_us->Record(
+        static_cast<int64_t>((stats_.join_ms - before.join_ms) * 1000.0));
+  }
+  if (stats_.comp_nodes > before.comp_nodes) {
+    comp_us->Record(
+        static_cast<int64_t>((stats_.comp_ms - before.comp_ms) * 1000.0));
+  }
+  if (stats_.peak_bytes > 0) peak->Record(stats_.peak_bytes);
+}
+
+Relation Executor::ExecNode(const Plan& plan, const Database& db) {
   // Governed runs stop descending the moment the query is cancelled, past
   // its deadline, or carrying an error: subtrees return empty relations
   // that ExecuteWithContext discards in favor of StopStatus().
@@ -74,9 +124,13 @@ StatusOr<Relation> Executor::ExecuteWithContext(const Plan& plan,
                                                 const Database& db,
                                                 QueryContext* ctx) {
   ECA_CHECK(ctx != nullptr);
+  TraceSpan span("execute");
+  if (span.active()) span.AppendArg("governed", "yes");
   ctx_ = ctx;
-  Relation out = Execute(plan, db);
+  ExecStats before = stats_;
+  Relation out = ExecNode(plan, db);
   stats_.peak_bytes = ctx->tracker()->peak();
+  PublishStatsDelta(before);
   if (ctx->ShouldStop()) {
     Status s = ctx->StopStatus();
     ctx_ = nullptr;
@@ -109,26 +163,52 @@ void Executor::ReleaseNodeOutput(const Relation& rel) {
 }
 
 Relation Executor::ExecJoin(const Plan& plan, const Database& db) {
-  Relation left = Execute(*plan.left(), db);
-  Relation right = Execute(*plan.right(), db);
+  Relation left = ExecNode(*plan.left(), db);
+  Relation right = ExecNode(*plan.right(), db);
   if (ctx_ != nullptr && ctx_->ShouldStop()) return Relation();
   ++stats_.join_nodes;
+  TraceSpan span("join");
+  if (span.active()) span.AppendArg("op", JoinOpName(plan.op()));
   auto t0 = Clock::now();
   Relation out = EvalJoin(plan.op(), plan.pred(), left, right,
                           options_.join_preference, &stats_, pool_.get(),
                           ctx_);
   stats_.join_ms += MsSince(t0);
   stats_.rows_produced += out.NumRows();
+  if (span.active()) {
+    span.AppendArg("rows", static_cast<long long>(out.NumRows()));
+  }
   ReleaseNodeOutput(left);
   ReleaseNodeOutput(right);
   return out;
 }
 
+namespace {
+
+const char* CompSpanName(CompOp::Kind kind) {
+  switch (kind) {
+    case CompOp::Kind::kLambda:
+      return "comp/lambda";
+    case CompOp::Kind::kBeta:
+      return "comp/beta";
+    case CompOp::Kind::kGamma:
+      return "comp/gamma";
+    case CompOp::Kind::kGammaStar:
+      return "comp/gamma-star";
+    case CompOp::Kind::kProject:
+      return "comp/project";
+  }
+  return "comp";
+}
+
+}  // namespace
+
 Relation Executor::ExecComp(const Plan& plan, const Database& db) {
-  Relation child = Execute(*plan.child(), db);
+  Relation child = ExecNode(*plan.child(), db);
   if (ctx_ != nullptr && ctx_->ShouldStop()) return Relation();
   ++stats_.comp_nodes;
   const CompOp& c = plan.comp();
+  TraceSpan span(CompSpanName(c.kind));
   auto t0 = Clock::now();
   Relation out;
   switch (c.kind) {
@@ -151,6 +231,9 @@ Relation Executor::ExecComp(const Plan& plan, const Database& db) {
   }
   stats_.comp_ms += MsSince(t0);
   stats_.rows_produced += out.NumRows();
+  if (span.active()) {
+    span.AppendArg("rows", static_cast<long long>(out.NumRows()));
+  }
   ReleaseNodeOutput(child);
   return out;
 }

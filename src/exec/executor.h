@@ -98,6 +98,13 @@ class Executor {
   const ExecStats& stats() const { return stats_; }
 
  private:
+  // Recursive evaluation body; the public entry points wrap it in an
+  // "execute" trace span and publish this call's ExecStats delta as
+  // exec.* metrics (docs/observability.md) once the tree is done.
+  Relation ExecNode(const Plan& plan, const Database& db);
+  // Publishes stats_ minus `before` into MetricsRegistry::Global(), so a
+  // registry diff around one Execute call matches stats() exactly.
+  void PublishStatsDelta(const ExecStats& before) const;
   Relation ExecJoin(const Plan& plan, const Database& db);
   Relation ExecComp(const Plan& plan, const Database& db);
   // Charges `rel`'s rows to the query tracker as the durable output of a

@@ -4,7 +4,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "exec/executor.h"
 #include "exec/query_context.h"
 #include "storage/spill_file.h"
@@ -315,8 +317,10 @@ struct BuildIndex {
 
 BuildIndex BuildPartitionedIndex(const KeyEvaluator& ke, const Relation& rel,
                                  ThreadPool* pool, ExecStats* stats) {
+  TraceSpan span("join/build");
   BuildIndex index;
   const int64_t n = rel.NumRows();
+  if (span.active()) span.AppendArg("rows", static_cast<long long>(n));
   const int P = PartitionCountFor(pool);
   index.num_partitions = P;
   index.keys.resize(static_cast<size_t>(n));
@@ -511,10 +515,13 @@ class GraceHashJoin {
     // Level 0: partition both in-memory sides.
     GraceFan build_fan(&dir_, &sstats_);
     GraceFan probe_fan(&dir_, &sstats_);
-    ECA_RETURN_IF_ERROR(PartitionRelation(build_, build_keys_, &build_fan));
-    ECA_RETURN_IF_ERROR(PartitionRelation(probe_, probe_keys_, &probe_fan));
-    ECA_RETURN_IF_ERROR(build_fan.FinishAll());
-    ECA_RETURN_IF_ERROR(probe_fan.FinishAll());
+    {
+      TraceSpan part_span("join/partition");
+      ECA_RETURN_IF_ERROR(PartitionRelation(build_, build_keys_, &build_fan));
+      ECA_RETURN_IF_ERROR(PartitionRelation(probe_, probe_keys_, &probe_fan));
+      ECA_RETURN_IF_ERROR(build_fan.FinishAll());
+      ECA_RETURN_IF_ERROR(probe_fan.FinishAll());
+    }
 
     for (int p = 0; p < kGraceFanout; ++p) {
       ECA_RETURN_IF_ERROR(ProcessPartition(build_fan.path(p),
@@ -603,6 +610,7 @@ class GraceHashJoin {
 
   Status ProbeLeaf(const std::string& build_path,
                    const std::string& probe_path) {
+    TraceSpan span("join/spill-probe");
     if (stats_ != nullptr) ++stats_->spilled_partitions;
 
     // Load the build slice (the only resident piece) and key it by hash;
@@ -777,6 +785,11 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
   if (ctx != nullptr) {
     int64_t est = ApproxRowsBytes(build.rows()) + build.NumRows() * 64;
     if (ctx->tracker()->WouldExceedSoft(est)) {
+      static Counter* const escalations =
+          MetricsRegistry::Global().counter("governor.spill_escalate");
+      escalations->Increment();
+      Tracer::Instant("governor/spill-escalate", "hash-join");
+      TraceSpan grace_span("join/grace");
       GraceHashJoin grace(op, shape, build_keys, probe_keys, build_left,
                           have_residual ? &compiled_residual : nullptr, left,
                           right, ctx, stats);
@@ -882,10 +895,16 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
     }
     chunk_comparisons[static_cast<size_t>(c)] = comparisons;
   };
-  if (pool != nullptr) {
-    pool->ParallelFor(chunks, probe_chunk);
-  } else {
-    for (int64_t c = 0; c < chunks; ++c) probe_chunk(c);
+  {
+    TraceSpan probe_span("join/probe");
+    if (probe_span.active()) {
+      probe_span.AppendArg("rows", static_cast<long long>(pn));
+    }
+    if (pool != nullptr) {
+      pool->ParallelFor(chunks, probe_chunk);
+    } else {
+      for (int64_t c = 0; c < chunks; ++c) probe_chunk(c);
+    }
   }
 
   if (stats != nullptr) {

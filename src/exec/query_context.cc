@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "testing/fault_injection.h"
 
 namespace eca {
@@ -47,7 +49,13 @@ bool QueryContext::ShouldStop() {
   if (deadline_ms_ > 0) {
     if (deadline_hit_.load(std::memory_order_relaxed)) return true;
     if (GovernedNowMs() >= deadline_ms_) {
-      deadline_hit_.store(true, std::memory_order_relaxed);
+      // exchange: exactly one caller observes the flip and counts the trip.
+      if (!deadline_hit_.exchange(true, std::memory_order_relaxed)) {
+        static Counter* const trips =
+            MetricsRegistry::Global().counter("governor.deadline_trip");
+        trips->Increment();
+        Tracer::Instant("governor/deadline-trip");
+      }
       return true;
     }
   }

@@ -5,11 +5,37 @@
 
 #include "rewrite/rules.h"
 
+#include "common/metrics.h"
 #include "expr/pred_normalize.h"
 
 namespace eca {
 
 namespace {
+
+// One increment per applied pull-up, by the kind of the pulled operator
+// (rewrite.rule.pull_* in the metric catalog, docs/observability.md).
+Counter* PullRuleCounter(CompOp::Kind kind) {
+  auto& reg = MetricsRegistry::Global();
+  static Counter* const lambda = reg.counter("rewrite.rule.pull_lambda");
+  static Counter* const beta = reg.counter("rewrite.rule.pull_beta");
+  static Counter* const gamma = reg.counter("rewrite.rule.pull_gamma");
+  static Counter* const gamma_star =
+      reg.counter("rewrite.rule.pull_gamma_star");
+  static Counter* const project = reg.counter("rewrite.rule.pull_project");
+  switch (kind) {
+    case CompOp::Kind::kLambda:
+      return lambda;
+    case CompOp::Kind::kBeta:
+      return beta;
+    case CompOp::Kind::kGamma:
+      return gamma;
+    case CompOp::Kind::kGammaStar:
+      return gamma_star;
+    case CompOp::Kind::kProject:
+      return project;
+  }
+  return beta;
+}
 
 // Combined predicate for lambda folding: (pj AND q), labeled "pj&q".
 // Normalized so that repeated folds stay flat and duplicate conjuncts
@@ -60,6 +86,9 @@ int RecordExpansionDependency(RewriteContext* ctx, const PredRef& pred,
 }  // namespace
 
 PlanPtr ExpandAntiJoinNode(PlanPtr node, RewriteContext* ctx) {
+  static Counter* const applied =
+      MetricsRegistry::Global().counter("rewrite.rule.expand_antijoin");
+  applied->Increment();
   ECA_CHECK(node->is_join());
   if (node->op() == JoinOp::kRightAnti) NormalizeRightVariants(node.get());
   ECA_CHECK(node->op() == JoinOp::kLeftAnti);
@@ -76,6 +105,9 @@ PlanPtr ExpandAntiJoinNode(PlanPtr node, RewriteContext* ctx) {
 }
 
 PlanPtr ExpandSemiJoinNode(PlanPtr node, RewriteContext* ctx) {
+  static Counter* const applied =
+      MetricsRegistry::Global().counter("rewrite.rule.expand_semijoin");
+  applied->Increment();
   ECA_CHECK(node->is_join());
   if (node->op() == JoinOp::kRightSemi) NormalizeRightVariants(node.get());
   ECA_CHECK(node->op() == JoinOp::kLeftSemi);
@@ -119,8 +151,10 @@ bool IsBetaClean(const Plan& plan) {
   return false;
 }
 
-bool PullCompAboveJoin(PlanPtr* j_subtree_slot, bool comp_on_left,
-                       RewriteContext* ctx) {
+namespace {
+
+bool PullCompAboveJoinImpl(PlanPtr* j_subtree_slot, bool comp_on_left,
+                           RewriteContext* ctx) {
   PlanPtr j_subtree = std::move(*j_subtree_slot);
   Plan* j = j_subtree.get();
   // Every early-out below must restore the subtree before returning false.
@@ -348,6 +382,18 @@ bool PullCompAboveJoin(PlanPtr* j_subtree_slot, bool comp_on_left,
     }
   }
   return fail();
+}
+
+}  // namespace
+
+bool PullCompAboveJoin(PlanPtr* j_subtree_slot, bool comp_on_left,
+                       RewriteContext* ctx) {
+  Plan* j = j_subtree_slot->get();
+  const CompOp::Kind kind =
+      (comp_on_left ? j->left() : j->right())->comp().kind;
+  if (!PullCompAboveJoinImpl(j_subtree_slot, comp_on_left, ctx)) return false;
+  PullRuleCounter(kind)->Increment();
+  return true;
 }
 
 }  // namespace eca

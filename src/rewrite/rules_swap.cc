@@ -8,11 +8,32 @@
 
 #include "rewrite/rules.h"
 
+#include "common/metrics.h"
+
 namespace eca {
 
 namespace {
 
 enum class Candidate { kAssocFwd, kLAsscom, kAssocRev, kRAsscom };
+
+// rewrite.rule.* counters feed PlanProvenance and the --metrics table;
+// one increment per applied rewrite (docs/observability.md).
+Counter* PlainRuleCounter(Candidate c) {
+  auto& reg = MetricsRegistry::Global();
+  static Counter* const assoc = reg.counter("rewrite.rule.assoc");
+  static Counter* const l_asscom = reg.counter("rewrite.rule.l_asscom");
+  static Counter* const r_asscom = reg.counter("rewrite.rule.r_asscom");
+  switch (c) {
+    case Candidate::kAssocFwd:
+    case Candidate::kAssocRev:
+      return assoc;
+    case Candidate::kLAsscom:
+      return l_asscom;
+    case Candidate::kRAsscom:
+      return r_asscom;
+  }
+  return assoc;
+}
 
 // Mirrors a right-variant join node in place (children swapped).
 void MirrorNode(Plan* j) {
@@ -39,6 +60,9 @@ void RecordSwapDEdges(RewriteContext* ctx, const PredRef& pm,
 
 void RecordSimplifyDEdge(RewriteContext* ctx, const PredRef& changed,
                          const PredRef& cause) {
+  static Counter* const applied =
+      MetricsRegistry::Global().counter("rewrite.rule.oj_simplify");
+  applied->Increment();
   if (ctx == nullptr) return;
   DEdge e;
   e.src_pred = ctx->Interner().Intern(changed);
@@ -67,6 +91,7 @@ PlanPtr WrapComps(const std::vector<CompOp>& comps, PlanPtr child) {
 // Destructures the (p, m) pattern and rebuilds the risen shape for a
 // table-valid transformation. Consumes `sub`.
 PlanPtr RebuildPlain(PlanPtr sub, Candidate c, bool m_on_left) {
+  PlainRuleCounter(c)->Increment();
   Plan* p = sub.get();
   PlanPtr m = std::move(m_on_left ? p->mutable_left() : p->mutable_right());
   JoinOp op_p = p->op(), op_m = m->op();
@@ -109,6 +134,9 @@ PlanPtr RebuildPlain(PlanPtr sub, Candidate c, bool m_on_left) {
 // kInner on the right).
 PlanPtr BuildGeneralizedOuterjoin(PlanPtr sub, Candidate c,
                                   RewriteContext* ctx) {
+  static Counter* const applied =
+      MetricsRegistry::Global().counter("rewrite.rule.gen_oj_comp");
+  applied->Increment();
   Plan* p = sub.get();
   PlanPtr m = std::move(p->mutable_right());
   PredRef pp = p->pred(), pm = m->pred();

@@ -11,6 +11,7 @@
 #endif
 
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "testing/fault_injection.h"
 
 namespace eca {
@@ -344,6 +345,10 @@ void ExternalRowSorter::SortPending() {
 }
 
 Status ExternalRowSorter::SpillRun() {
+  TraceSpan span("spill/sort-run");
+  if (span.active()) {
+    span.AppendArg("rows", static_cast<long long>(pending_.size()));
+  }
   SortPending();
   ECA_ASSIGN_OR_RETURN(std::string path, dir_->NextFilePath());
   SpillWriter w;
@@ -370,6 +375,10 @@ Status ExternalRowSorter::Add(uint64_t tag, Tuple row) {
 
 Status ExternalRowSorter::Drain(
     const std::function<Status(uint64_t, Tuple&)>& emit) {
+  TraceSpan span("spill/merge");
+  if (span.active()) {
+    span.AppendArg("runs", static_cast<long long>(run_paths_.size()));
+  }
   SortPending();
   if (run_paths_.empty()) {
     // Everything fit: plain in-memory sort.

@@ -153,7 +153,7 @@ class ExternalRowSorter {
 
  private:
   struct TaggedRow {
-    uint64_t tag;
+    uint64_t tag = 0;
     Tuple row;
   };
 

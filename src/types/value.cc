@@ -41,7 +41,7 @@ int Value::Compare(const Value& other) const {
 
 uint64_t Value::Hash() const {
   if (null_) return 0x9e3779b97f4a7c15ULL;
-  uint64_t h;
+  uint64_t h = 0;
   switch (type_) {
     case DataType::kInt64:
       h = static_cast<uint64_t>(int_);

@@ -1,0 +1,424 @@
+// Tests for the span tracer (common/trace.h): span nesting, ring
+// wraparound, the disabled-mode zero-allocation guarantee, and Chrome
+// trace JSON validity under concurrent multi-thread emission.
+
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace eca {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON validator + trace-event extractor. Deliberately
+// independent of any JSON library: it accepts exactly the grammar of
+// RFC 8259 (minus number edge cases the tracer never emits) so a trace
+// that loads here also loads in chrome://tracing / ui.perfetto.dev.
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  bool Validate() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't' && e != 'u') {
+          return false;
+        }
+        if (e == 'u') pos_ += 4;
+      }
+      // Raw control characters are invalid inside JSON strings; the
+      // tracer must escape anything below 0x20.
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (isdigit(text_[pos_]) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() && isspace(text_[pos_])) ++pos_;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// One exported event, as scraped back out of the JSON text.
+struct ParsedEvent {
+  std::string name;
+  std::string ph;
+  std::string detail;
+  int tid = 0;
+  double ts = 0;
+  double dur = 0;
+};
+
+// The tracer emits compact JSON ("key":value, no spaces); these helpers
+// scrape fields back out of one event object.
+std::string FindStringField(const std::string& obj, const std::string& key) {
+  size_t k = obj.find("\"" + key + "\":\"");
+  if (k == std::string::npos) return "";
+  size_t start = k + key.size() + 4;
+  size_t end = obj.find('"', start);
+  return obj.substr(start, end - start);
+}
+
+double FindNumberField(const std::string& obj, const std::string& key) {
+  size_t k = obj.find("\"" + key + "\":");
+  if (k == std::string::npos) return 0;
+  return std::strtod(obj.c_str() + k + key.size() + 3, nullptr);
+}
+
+// Splits the traceEvents array into per-event objects by brace balance.
+std::vector<ParsedEvent> ParseEvents(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  size_t arr = json.find("\"traceEvents\":[");
+  if (arr == std::string::npos) return events;
+  size_t pos = arr;
+  while (true) {
+    size_t open = json.find('{', pos);
+    if (open == std::string::npos) break;
+    int depth = 0;
+    size_t close = open;
+    for (; close < json.size(); ++close) {
+      if (json[close] == '{') ++depth;
+      if (json[close] == '}' && --depth == 0) break;
+    }
+    std::string obj = json.substr(open, close - open + 1);
+    ParsedEvent e;
+    e.name = FindStringField(obj, "name");
+    e.ph = FindStringField(obj, "ph");
+    e.detail = FindStringField(obj, "detail");
+    e.tid = static_cast<int>(FindNumberField(obj, "tid"));
+    e.ts = FindNumberField(obj, "ts");
+    e.dur = FindNumberField(obj, "dur");
+    events.push_back(e);
+    pos = close + 1;
+  }
+  return events;
+}
+
+const ParsedEvent* FindByName(const std::vector<ParsedEvent>& events,
+                              const std::string& name) {
+  for (const auto& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  // Every test leaves the tracer disabled for its neighbors.
+  void TearDown() override { Tracer::Disable(); }
+};
+
+TEST_F(TraceTest, DisabledSpansCostNothing) {
+  Tracer::Disable();
+  int64_t allocs_before = Tracer::AllocationCountForTest();
+  int buffers_before = Tracer::ThreadBufferCount();
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan span("disabled-span");
+    EXPECT_FALSE(span.active());
+    span.AppendArg("rows", static_cast<long long>(i));
+    Tracer::Instant("disabled-instant");
+  }
+  // Disabled tracing allocates nothing and registers no thread buffers:
+  // the whole path is one relaxed atomic load.
+  EXPECT_EQ(Tracer::AllocationCountForTest(), allocs_before);
+  EXPECT_EQ(Tracer::ThreadBufferCount(), buffers_before);
+}
+
+TEST_F(TraceTest, SpansNestInTheTimeline) {
+  Tracer::Enable(64);
+  {
+    TraceSpan outer("outer");
+    ASSERT_TRUE(outer.active());
+    outer.AppendArg("rows", 42LL);
+    {
+      TraceSpan inner("inner");
+      inner.AppendArg("kind", "probe");
+    }
+  }
+  Tracer::Disable();
+  EXPECT_EQ(Tracer::EventCount(), 2);
+
+  std::string json = Tracer::ToJson();
+  EXPECT_TRUE(JsonScanner(json).Validate()) << json;
+  std::vector<ParsedEvent> events = ParseEvents(json);
+  ASSERT_EQ(events.size(), 2u);
+  const ParsedEvent* outer = FindByName(events, "outer");
+  const ParsedEvent* inner = FindByName(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->ph, "X");
+  EXPECT_EQ(outer->detail, "rows=42");
+  EXPECT_EQ(inner->detail, "kind=probe");
+  // The inner span's [ts, ts+dur] interval lies inside the outer's.
+  EXPECT_GE(inner->ts, outer->ts);
+  EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur + 1e-3);
+}
+
+TEST_F(TraceTest, InstantEventsCarryDetail) {
+  Tracer::Enable(64);
+  Tracer::Instant("governor/reserve-fail", "hash build");
+  Tracer::Disable();
+  std::string json = Tracer::ToJson();
+  EXPECT_TRUE(JsonScanner(json).Validate()) << json;
+  std::vector<ParsedEvent> events = ParseEvents(json);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ph, "i");
+  EXPECT_EQ(events[0].name, "governor/reserve-fail");
+  EXPECT_EQ(events[0].detail, "hash build");
+}
+
+TEST_F(TraceTest, RingWrapsKeepingTheNewestEvents) {
+  Tracer::Enable(/*per_thread_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    char name[Tracer::kNameSize];
+    std::snprintf(name, sizeof(name), "span-%d", i);
+    TraceSpan span(name);
+  }
+  Tracer::Disable();
+  EXPECT_EQ(Tracer::EventCount(), 4);
+  EXPECT_EQ(Tracer::DroppedCount(), 6);
+
+  std::string json = Tracer::ToJson();
+  EXPECT_TRUE(JsonScanner(json).Validate()) << json;
+  std::vector<ParsedEvent> events = ParseEvents(json);
+  ASSERT_EQ(events.size(), 4u);
+  // The oldest events were overwritten; the last four survive.
+  for (int i = 6; i < 10; ++i) {
+    char name[Tracer::kNameSize];
+    std::snprintf(name, sizeof(name), "span-%d", i);
+    EXPECT_NE(FindByName(events, name), nullptr) << name;
+  }
+  EXPECT_EQ(FindByName(events, "span-0"), nullptr);
+}
+
+TEST_F(TraceTest, ReEnableDiscardsRetainedEvents) {
+  Tracer::Enable(16);
+  { TraceSpan span("stale"); }
+  Tracer::Disable();
+  ASSERT_EQ(Tracer::EventCount(), 1);
+  Tracer::Enable(16);
+  Tracer::Disable();
+  EXPECT_EQ(Tracer::EventCount(), 0);
+  EXPECT_EQ(Tracer::DroppedCount(), 0);
+}
+
+TEST_F(TraceTest, OverlongNamesAndArgsAreTruncatedNotCorrupted) {
+  Tracer::Enable(16);
+  std::string long_name(200, 'n');
+  std::string long_arg(200, 'a');
+  {
+    TraceSpan span(long_name.c_str());
+    span.AppendArg("k", long_arg.c_str());
+  }
+  Tracer::Instant(long_name.c_str(), long_arg.c_str());
+  Tracer::Disable();
+  std::string json = Tracer::ToJson();
+  EXPECT_TRUE(JsonScanner(json).Validate()) << json;
+  std::vector<ParsedEvent> events = ParseEvents(json);
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& e : events) {
+    EXPECT_LT(e.name.size(), Tracer::kNameSize);
+    EXPECT_EQ(e.name, std::string(Tracer::kNameSize - 1, 'n'));
+  }
+}
+
+TEST_F(TraceTest, EscapesJsonMetaCharacters) {
+  Tracer::Enable(16);
+  Tracer::Instant("quote\"back\\slash", "tab\there");
+  Tracer::Disable();
+  std::string json = Tracer::ToJson();
+  EXPECT_TRUE(JsonScanner(json).Validate()) << json;
+}
+
+TEST_F(TraceTest, ConcurrentSpansFromFourThreadsExportValidJson) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;  // 2 events each (outer + inner)
+  Tracer::Enable(/*per_thread_capacity=*/2 * kSpansPerThread);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        char name[Tracer::kNameSize];
+        std::snprintf(name, sizeof(name), "worker-%d", t);
+        TraceSpan outer(name);
+        outer.AppendArg("i", static_cast<long long>(i));
+        TraceSpan inner("inner");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  Tracer::Disable();
+
+  EXPECT_EQ(Tracer::EventCount(), 2 * kThreads * kSpansPerThread);
+  EXPECT_EQ(Tracer::DroppedCount(), 0);
+  EXPECT_GE(Tracer::ThreadBufferCount(), kThreads);
+
+  std::string json = Tracer::ToJson();
+  ASSERT_TRUE(JsonScanner(json).Validate());
+  std::vector<ParsedEvent> events = ParseEvents(json);
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(2 * kThreads * kSpansPerThread));
+  // All four emitting threads appear as distinct tids.
+  std::vector<int> tids;
+  for (const auto& e : events) {
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end()) {
+      tids.push_back(e.tid);
+    }
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+TEST_F(TraceTest, WriteJsonRoundTrips) {
+  Tracer::Enable(16);
+  { TraceSpan span("file-span"); }
+  Tracer::Disable();
+  std::string path = ::testing::TempDir() + "/eca_trace_test.json";
+  Status written = Tracer::WriteJson(path);
+  ASSERT_TRUE(written.ok()) << written.ToString();
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(contents, Tracer::ToJson());
+  EXPECT_TRUE(JsonScanner(contents).Validate());
+  EXPECT_NE(contents.find("\"displayTimeUnit\""), std::string::npos);
+
+  Status bad = Tracer::WriteJson("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace eca

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against its committed baseline.
+
+Used by the CI bench-regression job (docs/observability.md):
+
+    bench_check.py --baseline BENCH_enum.json --candidate build/enum.json
+
+The bench type is autodetected from the "bench" field; the three
+recognized producers are bench_enumerator_perf, bench_parallel_exec
+("parallel_exec") and bench_spill.
+
+Two classes of checks:
+
+  * identity metrics (identity_pass, per-row "identical", row counts)
+    must hold EXACTLY -- a reordered or spilled plan that stops producing
+    the direct plan's multiset is a correctness bug, not a regression;
+  * work-reduction metrics (bench_enumerator_perf's work_reduction /
+    work_reduction_enhanced) may not drop by more than --max-regress
+    (default 0.25) relative to the baseline.
+
+Wall-clock timings are INFORMATIONAL ONLY: CI runners are too noisy to
+gate on, so timings are printed side by side but never fail the check.
+
+Exit status: 0 when every gated check passes, 1 otherwise, 2 on usage or
+malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+PASS = "ok"
+FAIL = "FAIL"
+
+
+class Checker:
+    """Accumulates per-check results and renders a report."""
+
+    def __init__(self):
+        self.failures = 0
+        self.lines = []
+
+    def gate(self, label, ok, detail=""):
+        status = PASS if ok else FAIL
+        if not ok:
+            self.failures += 1
+        self.lines.append(f"  [{status}] {label}" + (f"  {detail}" if detail else ""))
+
+    def info(self, label):
+        self.lines.append(f"  [info] {label}")
+
+    def report(self, title):
+        print(title)
+        for line in self.lines:
+            print(line)
+        print(f"  {self.failures} gated failure(s)")
+        return self.failures == 0
+
+
+def rel_drop(baseline, candidate):
+    """Relative drop of candidate below baseline; <= 0 means no regression."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - candidate) / baseline
+
+
+def check_work_metric(c, label, base_val, cand_val, max_regress):
+    drop = rel_drop(base_val, cand_val)
+    ok = drop <= max_regress
+    c.gate(
+        f"{label}: {base_val:.2f} -> {cand_val:.2f}",
+        ok,
+        f"(drop {drop * 100:.1f}%, limit {max_regress * 100:.0f}%)",
+    )
+
+
+def check_enum(c, base, cand, max_regress):
+    c.gate(
+        f"identity_pass: {base['identity_pass']} -> {cand['identity_pass']}",
+        cand["identity_pass"] is True,
+    )
+    base_rows = {r["rels"]: r for r in base["rows"]}
+    for row in cand["rows"]:
+        rels = row["rels"]
+        b = base_rows.get(rels)
+        if b is None:
+            c.info(f"rels={rels}: no baseline row, skipping")
+            continue
+        for key in ("work_reduction", "work_reduction_enhanced"):
+            if key in b and key in row:
+                check_work_metric(c, f"rels={rels} {key}", b[key], row[key], max_regress)
+        if "fast_ms_t1" in b and "fast_ms_t1" in row:
+            c.info(
+                f"rels={rels} fast_ms_t1 {b['fast_ms_t1']:.2f} -> {row['fast_ms_t1']:.2f} ms"
+            )
+    missing = set(base_rows) - {r["rels"] for r in cand["rows"]}
+    c.gate(f"all baseline rel counts present (missing: {sorted(missing)})", not missing)
+
+
+def check_exec(c, base, cand, max_regress):
+    del max_regress  # parallel_exec has identity gates only
+    base_wl = {(w["query"], w["plan"]): w for w in base["workloads"]}
+    for w in cand["workloads"]:
+        key = (w["query"], w["plan"])
+        b = base_wl.get(key)
+        if b is None:
+            c.info(f"{key}: no baseline workload, skipping")
+            continue
+        c.gate(f"{key} identical across thread counts", w["identical"] is True)
+        c.gate(
+            f"{key} rows_out: {b['rows_out']} -> {w['rows_out']}",
+            w["rows_out"] == b["rows_out"],
+        )
+        for run in w.get("runs", []):
+            c.info(f"{key} threads={run['threads']}: {run['ms']:.1f} ms")
+    missing = set(base_wl) - {(w["query"], w["plan"]) for w in cand["workloads"]}
+    c.gate(f"all baseline workloads present (missing: {sorted(missing)})", not missing)
+
+
+def check_spill(c, base, cand, max_regress):
+    del max_regress  # bench_spill has identity gates only
+    c.gate(
+        f"identity_pass: {base['identity_pass']} -> {cand['identity_pass']}",
+        cand["identity_pass"] is True,
+    )
+    base_rows = {(r["plan"], r["mode"]): r for r in base["rows"]}
+    for row in cand["rows"]:
+        key = (row["plan"], row["mode"])
+        b = base_rows.get(key)
+        if b is None:
+            c.info(f"{key}: no baseline row, skipping")
+            continue
+        c.gate(f"{key} identical", row["identical"] is True)
+        c.gate(f"{key} rows: {b['rows']} -> {row['rows']}", row["rows"] == b["rows"])
+        # Spill must still engage where the baseline spilled: a run that
+        # stops spilling under the same soft limit silently stopped
+        # honoring the governor.
+        if b["spilled_partitions"] > 0:
+            c.gate(
+                f"{key} still spills ({row['spilled_partitions']} partitions)",
+                row["spilled_partitions"] > 0,
+            )
+        if b["spilled_sort_runs"] > 0:
+            c.gate(
+                f"{key} still sorts externally ({row['spilled_sort_runs']} runs)",
+                row["spilled_sort_runs"] > 0,
+            )
+        c.info(f"{key}: {row['wall_ms']:.1f} ms (baseline {b['wall_ms']:.1f} ms)")
+    missing = set(base_rows) - {(r["plan"], r["mode"]) for r in cand["rows"]}
+    c.gate(f"all baseline rows present (missing: {sorted(missing)})", not missing)
+
+
+CHECKERS = {
+    "bench_enumerator_perf": check_enum,
+    "parallel_exec": check_exec,
+    "bench_spill": check_spill,
+}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    parser.add_argument("--candidate", required=True, help="freshly produced JSON")
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.25,
+        help="max relative drop of work-reduction metrics (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.candidate) as f:
+            cand = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_check: cannot load input: {e}", file=sys.stderr)
+        return 2
+
+    bench = base.get("bench")
+    if bench != cand.get("bench"):
+        print(
+            f"bench_check: bench mismatch: baseline={bench!r} "
+            f"candidate={cand.get('bench')!r}",
+            file=sys.stderr,
+        )
+        return 2
+    checker_fn = CHECKERS.get(bench)
+    if checker_fn is None:
+        print(
+            f"bench_check: unknown bench {bench!r} "
+            f"(known: {sorted(CHECKERS)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    c = Checker()
+    checker_fn(c, base, cand, args.max_regress)
+    ok = c.report(f"bench_check [{bench}]: {args.candidate} vs {args.baseline}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,6 +4,10 @@
 # garbage, trailing-junk, negative, zero and out-of-range values for
 # --threads / --rows / --timeout-ms / --mem-limit-mb must exit nonzero with
 # a diagnostic naming the flag, and valid governed invocations must run.
+# Also covers the observability flags: --trace-out (both --trace-out=FILE
+# and --trace-out FILE forms) must write a Chrome-trace JSON file and print
+# the summary line, --metrics must print per-approach registry deltas, and
+# --metrics-json must end the output with a JSON snapshot.
 
 if(NOT DEFINED ECATOOL)
   message(FATAL_ERROR "pass -DECATOOL=<path to ecatool>")
@@ -80,5 +84,60 @@ if(NOT LAST_OUT MATCHES "governor: degraded=")
   message(FATAL_ERROR
           "governed explain did not print governor counters:\n${LAST_OUT}")
 endif()
+
+# --- observability flags ----------------------------------------------------
+
+expect_fail("trace-out empty value" "bad --trace-out value"
+            explain ${PLAN} --pred ${PRED} --trace-out=)
+
+set(TRACE_FILE "${CMAKE_CURRENT_BINARY_DIR}/ecatool_cli_trace.json")
+file(REMOVE "${TRACE_FILE}")
+expect_ok("trace + metrics explain"
+          explain ${PLAN} --pred ${PRED} --rows 32 --approach eca
+          --trace-out=${TRACE_FILE} --metrics)
+if(NOT EXISTS "${TRACE_FILE}")
+  message(FATAL_ERROR "--trace-out did not write ${TRACE_FILE}")
+endif()
+file(READ "${TRACE_FILE}" trace_json)
+if(NOT trace_json MATCHES "\"traceEvents\"")
+  message(FATAL_ERROR "trace file is not Chrome trace JSON:\n${trace_json}")
+endif()
+if(NOT trace_json MATCHES "\"optimize\"")
+  message(FATAL_ERROR "trace file has no optimize span:\n${trace_json}")
+endif()
+if(NOT trace_json MATCHES "\"execute\"")
+  message(FATAL_ERROR "trace file has no execute span:\n${trace_json}")
+endif()
+if(NOT LAST_OUT MATCHES "trace: [0-9]+ events")
+  message(FATAL_ERROR "missing trace summary line:\n${LAST_OUT}")
+endif()
+if(NOT LAST_OUT MATCHES "metrics \\(ECA\\):")
+  message(FATAL_ERROR "--metrics did not print a registry delta:\n${LAST_OUT}")
+endif()
+if(NOT LAST_OUT MATCHES "enum\\.subplan_calls")
+  message(FATAL_ERROR "metrics delta missing enum counters:\n${LAST_OUT}")
+endif()
+if(NOT LAST_OUT MATCHES "exec\\.rows_produced")
+  message(FATAL_ERROR "metrics delta missing exec counters:\n${LAST_OUT}")
+endif()
+if(NOT LAST_OUT MATCHES "provenance:")
+  message(FATAL_ERROR "explain did not print provenance:\n${LAST_OUT}")
+endif()
+file(REMOVE "${TRACE_FILE}")
+
+# The space-separated --trace-out form and --metrics-json.
+expect_ok("trace space form + metrics-json"
+          explain ${PLAN} --pred ${PRED} --rows 32 --approach eca
+          --trace-out ${TRACE_FILE} --metrics-json)
+if(NOT EXISTS "${TRACE_FILE}")
+  message(FATAL_ERROR "--trace-out FILE form did not write ${TRACE_FILE}")
+endif()
+if(NOT LAST_OUT MATCHES "\"counters\"")
+  message(FATAL_ERROR "--metrics-json did not print JSON:\n${LAST_OUT}")
+endif()
+if(NOT LAST_OUT MATCHES "\"histograms\"")
+  message(FATAL_ERROR "--metrics-json missing histograms:\n${LAST_OUT}")
+endif()
+file(REMOVE "${TRACE_FILE}")
 
 message(STATUS "ecatool CLI contract: all checks passed")

@@ -431,6 +431,22 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
+  // Every flag that changes what MakeTrial / RunTrial does for a given
+  // seed must appear in the printed repro command, or replaying it runs a
+  // different trial: --smoke changes the query-shape distribution,
+  // --max-rels seeds different relation counts, --threads picks the
+  // parallel execution path, --mem-limit-mb arms the governor.
+  std::string repro_suffix = cfg.smoke ? " --smoke" : "";
+  if (cfg.max_rels != FuzzConfig{}.max_rels) {
+    repro_suffix += " --max-rels " + std::to_string(cfg.max_rels);
+  }
+  if (cfg.threads != 1) {
+    repro_suffix += " --threads " + std::to_string(cfg.threads);
+  }
+  if (cfg.mem_limit_mb > 0) {
+    repro_suffix += " --mem-limit-mb " + std::to_string(cfg.mem_limit_mb);
+  }
+
   if (cfg.enum_diff) {
     int64_t failures = 0;
     for (int64_t i = 0; i < cfg.queries; ++i) {
@@ -440,11 +456,12 @@ int Main(int argc, char** argv) {
       if (!failure.empty()) {
         std::fprintf(stderr, "seed %llu: %s\n",
                      static_cast<unsigned long long>(seed), failure.c_str());
-        std::fprintf(stderr,
-                     "  query: %s\n"
-                     "  repro: ecafuzz --enum-diff --seed %llu --queries 1\n",
-                     t.query->ToInlineString().c_str(),
-                     static_cast<unsigned long long>(seed));
+        std::fprintf(
+            stderr,
+            "  query: %s\n"
+            "  repro: ecafuzz --enum-diff --seed %llu --queries 1%s\n",
+            t.query->ToInlineString().c_str(),
+            static_cast<unsigned long long>(seed), repro_suffix.c_str());
         ++failures;
       } else if (cfg.verbose) {
         std::printf("seed %llu ok\n", static_cast<unsigned long long>(seed));
@@ -457,10 +474,6 @@ int Main(int argc, char** argv) {
   }
 
   int64_t failures = 0, degraded = 0, mutants_parsed = 0;
-  std::string repro_suffix = cfg.smoke ? " --smoke" : "";
-  if (cfg.mem_limit_mb > 0) {
-    repro_suffix += " --mem-limit-mb " + std::to_string(cfg.mem_limit_mb);
-  }
   for (int64_t i = 0; i < cfg.queries; ++i) {
     uint64_t seed = cfg.seed + static_cast<uint64_t>(i);
     Trial t = MakeTrial(seed, cfg);

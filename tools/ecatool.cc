@@ -23,6 +23,15 @@
 //       memo reuses, branch-and-bound prunes, cloned nodes, budget
 //       trigger, ...) together with its wall-clock time.
 //
+//       --trace-out=<file.json> (or --trace-out <file.json>) records a
+//       Chrome-trace/Perfetto span timeline of the whole run — optimizer
+//       phases, waves, operator build/probe/partition/spill phases,
+//       governor instants — and writes it when the command finishes.
+//       --metrics prints, per approach, the delta of the process metrics
+//       registry (docs/observability.md) over that approach's
+//       optimize+execute; --metrics-json prints one cumulative JSON
+//       snapshot of the registry on the last line instead of tables.
+//
 //       --timeout-ms and --mem-limit-mb run each approach under the
 //       resource governor (docs/robustness.md): the deadline covers
 //       enumeration and execution end to end, the memory limit makes hash
@@ -50,6 +59,8 @@
 
 #include "algebra/plan_parser.h"
 #include "algebra/validate.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "eca/optimizer.h"
 #include "enumerate/join_order.h"
 #include "exec/explain.h"
@@ -69,7 +80,8 @@ int Usage() {
                "  ecatool explain \"<plan>\" --pred name=\"<expr>\"... "
                "[--rows N] [--approach eca|tba|cba] [--data <dir>] "
                "[--threads N] [--explain-stats] "
-               "[--timeout-ms N] [--mem-limit-mb N]\n");
+               "[--timeout-ms N] [--mem-limit-mb N] "
+               "[--trace-out <file.json>] [--metrics] [--metrics-json]\n");
   return 2;
 }
 
@@ -99,6 +111,9 @@ struct ExplainArgs {
   bool explain_stats = false;
   int64_t timeout_ms = 0;     // 0 = no deadline
   int64_t mem_limit_mb = 0;   // 0 = no memory limit
+  std::string trace_out;      // empty = tracing stays disabled
+  bool metrics = false;
+  bool metrics_json = false;
 
   bool governed() const { return timeout_ms > 0 || mem_limit_mb > 0; }
 };
@@ -142,6 +157,22 @@ bool ParsePredArgs(int argc, char** argv, int start,
     } else if (explain != nullptr &&
                std::strcmp(argv[i], "--explain-stats") == 0) {
       explain->explain_stats = true;
+    } else if (explain != nullptr &&
+               std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      explain->trace_out = argv[i] + 12;
+      if (explain->trace_out.empty()) {
+        std::fprintf(stderr, "bad --trace-out value (want a file path)\n");
+        return false;
+      }
+    } else if (explain != nullptr &&
+               std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      explain->trace_out = argv[++i];
+    } else if (explain != nullptr &&
+               std::strcmp(argv[i], "--metrics") == 0) {
+      explain->metrics = true;
+    } else if (explain != nullptr &&
+               std::strcmp(argv[i], "--metrics-json") == 0) {
+      explain->metrics_json = true;
     } else if (std::strcmp(argv[i], "--pred") == 0 && i + 1 < argc) {
       std::string spec = argv[++i];
       size_t eq = spec.find('=');
@@ -322,8 +353,13 @@ int Explain(int argc, char** argv) {
       return 1;
     }
   }
+  if (!extra.trace_out.empty()) Tracer::Enable();
   std::printf("query:\n%s\n", plan->ToString().c_str());
   for (auto approach : extra.approaches) {
+    MetricsSnapshot metrics_before;
+    if (extra.metrics) {
+      metrics_before = MetricsRegistry::Global().Snapshot();
+    }
     Optimizer::Options opts;
     opts.approach = approach;
     opts.num_threads = extra.num_threads;
@@ -360,6 +396,7 @@ int Explain(int argc, char** argv) {
                   Optimizer::ApproachName(approach), best->estimated_cost,
                   ExplainAnalyze(*best->plan, db).c_str());
     }
+    std::printf("%s", best->provenance.ToString().c_str());
     if (extra.explain_stats) {
       const EnumeratorStats& s = best->stats;
       std::printf(
@@ -414,6 +451,28 @@ int Explain(int argc, char** argv) {
                       ? "yes"
                       : "NO!");
     }
+    if (extra.metrics) {
+      MetricsSnapshot delta =
+          MetricsRegistry::Global().Snapshot().DiffSince(metrics_before);
+      std::printf("metrics (%s):\n%s\n", Optimizer::ApproachName(approach),
+                  delta.ToTable().c_str());
+    }
+  }
+  if (!extra.trace_out.empty()) {
+    Status written = Tracer::WriteJson(extra.trace_out);
+    Tracer::Disable();
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %lld events (%lld dropped) -> %s\n",
+                static_cast<long long>(Tracer::EventCount()),
+                static_cast<long long>(Tracer::DroppedCount()),
+                extra.trace_out.c_str());
+  }
+  if (extra.metrics_json) {
+    std::printf("%s\n", MetricsRegistry::Global().Snapshot().ToJson().c_str());
   }
   return 0;
 }
