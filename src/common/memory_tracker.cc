@@ -6,6 +6,11 @@
 
 namespace eca {
 
+MemoryTracker::~MemoryTracker() {
+  int64_t leftover = used_.load(std::memory_order_relaxed);
+  if (parent_ != nullptr && leftover > 0) parent_->Release(leftover);
+}
+
 Status MemoryTracker::Reserve(int64_t bytes, const char* what) {
   ECA_DCHECK(bytes >= 0);
   if (bytes <= 0) return Status::OK();

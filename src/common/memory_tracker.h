@@ -37,6 +37,11 @@ class MemoryTracker {
   MemoryTracker(int64_t soft_bytes, int64_t hard_bytes,
                 MemoryTracker* parent = nullptr)
       : soft_bytes_(soft_bytes), hard_bytes_(hard_bytes), parent_(parent) {}
+  // A failed query's tracker is discarded with charges still outstanding
+  // (the executor stops releasing once the query carries an error); the
+  // leftover is returned to the ancestors here so a long-lived parent —
+  // the service's global root — stays balanced across failed queries.
+  ~MemoryTracker();
 
   MemoryTracker(const MemoryTracker&) = delete;
   MemoryTracker& operator=(const MemoryTracker&) = delete;

@@ -24,6 +24,8 @@ enum class StatusCode {
   kInternal,           // invariant violation surfaced as an error
   kDeadlineExceeded,   // wall-clock deadline passed (query governor)
   kCancelled,          // cooperative cancellation (CancelToken)
+  kUnavailable,        // transient service failure (draining, dropped
+                       // connection) — safe to retry with backoff
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -66,6 +68,9 @@ class Status {
   }
   static Status Cancelled(std::string message) {
     return Error(StatusCode::kCancelled, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Error(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

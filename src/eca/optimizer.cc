@@ -1,13 +1,98 @@
 #include "eca/optimizer.h"
 
 #include <cctype>
+#include <memory>
+#include <vector>
 
 #include "algebra/validate.h"
 #include "common/str_util.h"
 #include "common/trace.h"
+#include "enumerate/join_order.h"
 #include "rewrite/comp_simplify.h"
 
 namespace eca {
+
+namespace {
+
+// The Simpli-Squared ordering (arXiv:2111.00163) adapted to ECA: build a
+// left-deep join order from base-table row counts alone — start with the
+// smallest table, then repeatedly attach the smallest table connected to
+// the joined set by some join predicate (falling back to the smallest
+// remaining table when the predicate graph leaves no connected choice).
+// Ties break on relation id, so the ordering is deterministic. The
+// ordering is then realized with the approach's compensation arsenal;
+// nullptr when the swap machinery cannot reach it.
+PlanPtr SizesOnlyRealize(const Plan& query, const Database& db,
+                         SwapPolicy policy) {
+  std::vector<int> remaining;
+  for (int id : query.leaves()) remaining.push_back(id);
+  if (remaining.size() < 2) return nullptr;
+  std::vector<RelSet> pred_refs = PredicateRefSets(query);
+
+  auto table_rows = [&db](int id) -> int64_t {
+    return id < db.NumTables() ? db.table(id).NumRows() : 0;
+  };
+  auto take_smallest = [&](bool connected_only,
+                           RelSet joined) -> int {
+    int best = -1;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      int cand = remaining[i];
+      if (connected_only) {
+        RelSet combined = joined.Union(RelSet::Single(cand));
+        bool connected = false;
+        for (RelSet p : pred_refs) {
+          if (p.Intersects(joined) && p.Contains(cand) &&
+              combined.ContainsAll(p)) {
+            connected = true;
+            break;
+          }
+        }
+        if (!connected) continue;
+      }
+      if (best < 0 || table_rows(cand) < table_rows(best) ||
+          (table_rows(cand) == table_rows(best) && cand < best)) {
+        best = cand;
+      }
+    }
+    if (best >= 0) {
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        if (remaining[i] == best) {
+          remaining.erase(remaining.begin() + static_cast<long>(i));
+          break;
+        }
+      }
+    }
+    return best;
+  };
+
+  auto leaf = [](int id) {
+    auto n = std::make_shared<OrderingNode>();
+    n->rels = RelSet::Single(id);
+    return OrderingNodePtr(n);
+  };
+
+  int seed = take_smallest(/*connected_only=*/false, RelSet());
+  OrderingNodePtr tree = leaf(seed);
+  while (!remaining.empty()) {
+    int next = take_smallest(/*connected_only=*/true, tree->rels);
+    if (next < 0) next = take_smallest(/*connected_only=*/false, tree->rels);
+    OrderingNodePtr rhs = leaf(next);
+    auto parent = std::make_shared<OrderingNode>();
+    parent->rels = tree->rels.Union(rhs->rels);
+    // Canonical orientation: smaller minimum relation id on the left.
+    if (tree->rels.Min() <= rhs->rels.Min()) {
+      parent->left = tree;
+      parent->right = rhs;
+    } else {
+      parent->left = rhs;
+      parent->right = tree;
+    }
+    tree = parent;
+  }
+  return RealizeOrdering(query, *tree, policy);
+}
+
+}  // namespace
 
 Optimizer::Optimized Optimizer::Optimize(const Plan& query,
                                          const Database& db) const {
@@ -54,11 +139,44 @@ StatusOr<Relation> Optimizer::ExecuteChecked(const Plan& plan,
   return Execute(plan, db);
 }
 
+Optimizer::Optimized Optimizer::OptimizeSizesOnly(const Plan& query,
+                                                  const Database& db) const {
+  TraceSpan span("optimize-sizes-only");
+  if (span.active()) {
+    span.AppendArg("approach", ApproachName(options_.approach));
+  }
+  static Counter* const fallbacks =
+      MetricsRegistry::Global().counter("optimizer.sizes_only_fallback");
+  fallbacks->Increment();
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  CostModel cost = CostModel::FromDatabase(db);
+  PlanPtr plan = SizesOnlyRealize(query, db, policy());
+  if (plan == nullptr) plan = query.Clone();
+  if (options_.cleanup_compensations) SimplifyCompensations(&plan);
+  Optimized out;
+  out.plan = std::move(plan);
+  out.estimated_cost = cost.Cost(*out.plan);
+  out.stats.degraded = true;
+  out.stats.trigger = BudgetTrigger::kSizesOnlyFallback;
+  out.provenance =
+      BuildPlanProvenance(*out.plan, out.stats, before,
+                          MetricsRegistry::Global().Snapshot(),
+                          ApproachName(options_.approach));
+  return out;
+}
+
 Optimizer::Optimized Optimizer::OptimizeGoverned(const Plan& query,
                                                  const Database& db,
                                                  QueryContext* ctx) const {
   Options opts = options_;
   int64_t remaining = ctx != nullptr ? ctx->RemainingMs() : INT64_MAX;
+  if (remaining != INT64_MAX && options_.sizes_only_fallback_ms > 0 &&
+      remaining < options_.sizes_only_fallback_ms) {
+    // The admission deadline leaves no budget for DP enumeration with
+    // compensation operators: degrade to the sizes-only order and save
+    // every remaining millisecond for execution.
+    return OptimizeSizesOnly(query, db);
+  }
   if (remaining != INT64_MAX) {
     // An expired deadline still gets a 1ms budget: the enumerator notices
     // exhaustion at its first between-wave check and returns the query as

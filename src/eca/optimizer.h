@@ -49,6 +49,16 @@ class Optimizer {
     // complete plan found so far, or the query as written, and reports
     // stats.degraded plus the trigger. See docs/robustness.md.
     EnumeratorBudget budget{};
+    // Degraded planning mode for deadline-squeezed governed queries
+    // (docs/robustness.md, "Service hardening"): when OptimizeGoverned
+    // finds less than this many milliseconds of deadline remaining, it
+    // skips DP enumeration entirely and greedily orders joins from base
+    // table sizes alone (the Simpli-Squared policy, arXiv:2111.00163 —
+    // near-zero planning cost, no cardinality estimates). The result is
+    // flagged stats.degraded with BudgetTrigger::kSizesOnlyFallback.
+    // <= 0 disables the fallback (the enumerator's own wall-clock budget
+    // still applies).
+    int64_t sizes_only_fallback_ms = 0;
   };
 
   Optimizer() : Optimizer(Options()) {}
@@ -87,8 +97,20 @@ class Optimizer {
   // An already-expired context degrades immediately (best-so-far plan,
   // stats.degraded set) rather than erroring — callers decide whether a
   // degraded plan is still worth executing with the time they have left.
+  // When Options::sizes_only_fallback_ms is set and the remaining
+  // deadline is below it, DP enumeration is skipped in favor of
+  // OptimizeSizesOnly.
   Optimized OptimizeGoverned(const Plan& query, const Database& db,
                              QueryContext* ctx) const;
+
+  // The sizes-only degraded planner: greedily orders joins from base
+  // table row counts alone (smallest tables first, connected relations
+  // preferred) and realizes that ordering with the approach's
+  // compensation arsenal; when the greedy ordering is not realizable the
+  // query is returned as written. Always flags the result degraded with
+  // BudgetTrigger::kSizesOnlyFallback. Exposed for tests and for callers
+  // that want the fallback unconditionally.
+  Optimized OptimizeSizesOnly(const Plan& query, const Database& db) const;
 
   // Governed execution: evaluates `plan` under `ctx`'s memory, deadline
   // and cancellation limits (Executor::ExecuteWithContext). On both

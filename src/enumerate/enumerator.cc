@@ -727,6 +727,8 @@ const char* BudgetTriggerName(BudgetTrigger trigger) {
       return "injected-allocation-fault";
     case BudgetTrigger::kRewriteFault:
       return "injected-rewrite-fault";
+    case BudgetTrigger::kSizesOnlyFallback:
+      return "sizes-only-fallback";
   }
   return "unknown";
 }

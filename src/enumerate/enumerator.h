@@ -38,6 +38,10 @@ enum class BudgetTrigger {
   kInjectedFault,    // FaultPoint::kEnumeratorBudget fired
   kAllocationFault,  // FaultPoint::kAllocation fired (clone denied)
   kRewriteFault,     // FaultPoint::kRewriteRule fired (swap denied)
+  kSizesOnlyFallback,  // DP enumeration skipped entirely: the admission
+                       // deadline left less than the configured planning
+                       // budget, so the plan is a table-sizes-only greedy
+                       // order (Optimizer::Options::sizes_only_fallback_ms)
 };
 
 const char* BudgetTriggerName(BudgetTrigger trigger);

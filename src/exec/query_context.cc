@@ -1,9 +1,13 @@
 #include "exec/query_context.h"
 
 #include <chrono>
+#include <filesystem>
+#include <system_error>
+#include <utility>
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "storage/spill_file.h"
 #include "testing/fault_injection.h"
 
 namespace eca {
@@ -20,12 +24,28 @@ int64_t GovernedNowMs() {
 }  // namespace
 
 QueryContext::QueryContext(Limits limits)
-    : limits_(limits),
-      tracker_(limits.mem_soft_bytes > 0
-                   ? limits.mem_soft_bytes
-                   : (limits.mem_limit_bytes > 0 ? limits.mem_limit_bytes / 2
-                                                 : 0),
-               limits.mem_limit_bytes) {}
+    : limits_(std::move(limits)),
+      spill_dir_(limits_.spill_dir.empty()
+                     ? std::string()
+                     : QuerySpillSubdir(limits_.spill_dir)),
+      tracker_(limits_.mem_soft_bytes > 0
+                   ? limits_.mem_soft_bytes
+                   : (limits_.mem_limit_bytes > 0
+                          ? limits_.mem_limit_bytes / 2
+                          : 0),
+               limits_.mem_limit_bytes, limits_.parent_tracker) {}
+
+QueryContext::~QueryContext() {
+  // The per-query spill subdirectory should already be empty (operator
+  // SpillDirs are RAII-removed), but remove it recursively anyway so a
+  // unwind path that leaked a file cannot leave an orphan. A process that
+  // dies before reaching this is what SweepOrphanQuerySpillDirs exists
+  // for.
+  if (!spill_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(spill_dir_, ec);  // best effort
+  }
+}
 
 void QueryContext::Arm() {
   if (limits_.timeout_ms > 0) {

@@ -51,12 +51,23 @@ class QueryContext {
     int64_t mem_soft_bytes = 0;
     // Wall-clock budget from Arm() (not construction); <= 0 = none.
     int64_t timeout_ms = 0;
-    // Temp-file location override; "" = system temp dir.
+    // Temp-file location override; "" = system temp dir. When set, this
+    // query's spill files live in a per-query "eca-q<pid>-<seq>"
+    // subdirectory (storage/spill_file.h) that is removed when the
+    // context is destroyed — and reclaimed by the startup sweep if the
+    // process crashes first.
     std::string spill_dir;
+    // Optional shared root for multi-query accounting: the query tracker
+    // charges this parent on every reservation, so one global
+    // MemoryTracker bounds the sum of all concurrent governed queries
+    // (the ecad admission model). Must outlive the context; nullptr for
+    // standalone queries.
+    MemoryTracker* parent_tracker = nullptr;
   };
 
   QueryContext() : QueryContext(Limits{}) {}
   explicit QueryContext(Limits limits);
+  ~QueryContext();
 
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;
@@ -67,7 +78,9 @@ class QueryContext {
 
   MemoryTracker* tracker() { return &tracker_; }
   CancelToken* cancel_token() { return &cancel_; }
-  const std::string& spill_dir() const { return limits_.spill_dir; }
+  // The per-query spill subdirectory (not the configured base); empty when
+  // no spill directory was configured.
+  const std::string& spill_dir() const { return spill_dir_; }
   int64_t deadline_ms() const { return deadline_ms_; }
 
   // Remaining wall-clock milliseconds, or <= 0 when the deadline passed;
@@ -93,6 +106,7 @@ class QueryContext {
 
  private:
   Limits limits_;
+  std::string spill_dir_;  // per-query subdir of limits_.spill_dir
   MemoryTracker tracker_;
   CancelToken cancel_;
   int64_t deadline_ms_ = 0;  // absolute governed-clock ms; 0 = none

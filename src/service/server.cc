@@ -1,0 +1,232 @@
+#include "service/server.h"
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "service/wire.h"
+#include "storage/spill_file.h"
+#include "testing/fault_injection.h"
+
+namespace eca {
+
+#ifdef _WIN32
+
+EcadServer::EcadServer(const Database* db, ServerConfig config)
+    : config_(std::move(config)), state_(db, config_.service) {}
+EcadServer::~EcadServer() = default;
+Status EcadServer::Start() {
+  return Status::Internal("ecad is POSIX-only");
+}
+void EcadServer::Stop() {}
+void EcadServer::AcceptLoop() {}
+void EcadServer::ServeConnection(int) {}
+
+#else
+
+namespace {
+
+struct ServerCounters {
+  Counter* connections;
+  Counter* accept_faults;
+};
+
+const ServerCounters& Counters() {
+  static const ServerCounters counters = [] {
+    auto& reg = MetricsRegistry::Global();
+    return ServerCounters{reg.counter("service.connections"),
+                          reg.counter("service.accept_faults")};
+  }();
+  return counters;
+}
+
+}  // namespace
+
+EcadServer::EcadServer(const Database* db, ServerConfig config)
+    : config_(std::move(config)), state_(db, config_.service) {
+  Counters();  // eager registration, same reason as ServiceState's ctor
+}
+
+EcadServer::~EcadServer() { Stop(); }
+
+Status EcadServer::Start() {
+  if (started_) return Status::Internal("EcadServer::Start called twice");
+
+  // Crash recovery before anything can spill: reclaim per-query spill
+  // directories whose owning process is gone (storage/spill_file.h).
+  const std::string& spill_dir = config_.service.spill_dir;
+  if (!spill_dir.empty()) {
+    swept_spill_dirs_ = SweepOrphanQuerySpillDirs(spill_dir);
+  }
+
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.empty() ||
+      config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        "bad socket path '" + config_.socket_path + "' (want 1.." +
+        std::to_string(sizeof(addr.sun_path) - 1) + " bytes)");
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  ::unlink(config_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status bound = Status::Internal("cannot bind '" + config_.socket_path +
+                                    "': " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return bound;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status listening = Status::Internal(
+        "cannot listen on '" + config_.socket_path +
+        "': " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+    return listening;
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    Status piped = Status::Internal(std::string("pipe() failed: ") +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+    return piped;
+  }
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void EcadServer::AcceptLoop() {
+  if (config_.fault_accept_skip >= 0) {
+    FaultInjector::Arm(FaultPoint::kServiceAccept,
+                       config_.fault_accept_skip);
+  }
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_[0], POLLIN, 0};
+    int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire) ||
+        (fds[1].revents & POLLIN) != 0) {
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    // Deterministic accept-time connection drop: the client sees an
+    // immediate close and must retry (kUnavailable class). One-shot —
+    // Arm() fails every hit from the (skip+1)-th onward, but a server
+    // that drops every connection forever would make retry untestable.
+    if (FaultInjector::ShouldFail(FaultPoint::kServiceAccept)) {
+      FaultInjector::Disarm(FaultPoint::kServiceAccept);
+      Counters().accept_faults->Increment();
+      Tracer::Instant("service/accept-fault");
+      ::close(fd);
+      continue;
+    }
+    Counters().connections->Increment();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Lost the race with Stop(): this fd would miss the shutdown()
+      // pass, so refuse it here rather than strand a session thread.
+      ::close(fd);
+      break;
+    }
+    conn_fds_.insert(fd);
+    sessions_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void EcadServer::ServeConnection(int fd) {
+  if (config_.fault_write_skip >= 0) {
+    FaultInjector::Arm(FaultPoint::kServiceWrite, config_.fault_write_skip);
+  }
+  for (;;) {
+    bool eof = false;
+    StatusOr<WireMessage> request = ReadFrame(fd, &eof);
+    if (!request.ok() || eof) break;
+    WireMessage response = request->type.empty()
+                               ? ErrorResponse(Status::InvalidArgument(
+                                     "wire: empty request type"))
+                               : state_.Handle(*request);
+    // A failed response write (peer gone, kServiceWrite fault) ends the
+    // session; the query already unwound through its governor, so
+    // nothing leaks — tests assert the root tracker is back at zero.
+    if (!WriteFrame(fd, response).ok()) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.erase(fd);
+}
+
+void EcadServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+
+  // Graceful drain, in dependency order (docs/robustness.md):
+  // 1. No new admissions — arrivals and queued waiters get kUnavailable.
+  state_.admission().BeginDrain();
+  // 2. Cancel in-flight queries; their sessions still write a clean
+  //    kCancelled ERROR response before the connection closes.
+  state_.cancels().CancelAll();
+  // 3. Wait until every admitted query released its slot and budget.
+  state_.admission().WaitIdle();
+
+  // 4. Stop accepting and unblock idle session reads.
+  stopping_.store(true, std::memory_order_release);
+  char byte = 0;
+  (void)!::write(stop_pipe_[1], &byte, 1);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // SHUT_RD only: idle reads unblock with EOF, but a session still
+    // mid-write can finish delivering its (kCancelled) response.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  accept_thread_.join();
+  // The accept loop is done, so sessions_ cannot grow anymore.
+  for (std::thread& t : sessions_) t.join();
+  sessions_.clear();
+
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(config_.socket_path.c_str());
+
+  // Every query context died with its session: the global accounting
+  // root must be empty, or a release was lost somewhere.
+  ECA_DCHECK(state_.root_tracker().used() == 0);
+}
+
+#endif  // _WIN32
+
+}  // namespace eca

@@ -1,0 +1,88 @@
+#ifndef ECA_SERVICE_SERVER_H_
+#define ECA_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "service/session.h"
+
+namespace eca {
+
+// The always-on query service (docs/service.md): a unix-domain stream
+// socket, one session thread per connection, every request answered by
+// the shared ServiceState (admission control, global memory root,
+// per-query governor). The server owns the whole lifecycle:
+//
+//   Start()  sweeps orphaned spill directories left by crashed processes,
+//            binds the socket and spawns the accept loop.
+//   Stop()   graceful drain: admission rejects new work (kUnavailable),
+//            every in-flight query's CancelToken fires (clients get a
+//            clean kCancelled response), admitted work fully releases,
+//            connections close, threads join. Idempotent. After Stop()
+//            the global tracker is back at zero — Stop() DCHECKs it.
+//
+// Robustness hooks: FaultPoint::kServiceAccept drops a just-accepted
+// connection (clients must treat it as retryable), and any session I/O
+// failure ends only that session — the query it was running unwinds
+// through its governor without touching other sessions.
+struct ServerConfig {
+  // Unix socket path; must fit sockaddr_un (~100 bytes). An existing
+  // socket file at the path is replaced.
+  std::string socket_path;
+  ServiceOptions service;
+  // Fault arming for robustness tests (fault state is thread-local, so
+  // the threads that hit the points must arm them themselves): >= 0 arms
+  // kServiceAccept on the accept thread / kServiceWrite on every session
+  // thread with that skip count; < 0 (default) leaves them disarmed.
+  int64_t fault_accept_skip = -1;
+  int64_t fault_write_skip = -1;
+};
+
+class EcadServer {
+ public:
+  // `db` must outlive the server.
+  EcadServer(const Database* db, ServerConfig config);
+  ~EcadServer();
+
+  EcadServer(const EcadServer&) = delete;
+  EcadServer& operator=(const EcadServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  bool started() const { return started_; }
+  const std::string& socket_path() const { return config_.socket_path; }
+  ServiceState& state() { return state_; }
+  // Orphaned spill directories reclaimed by Start()'s crash-recovery
+  // sweep.
+  int64_t swept_spill_dirs() const { return swept_spill_dirs_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  ServerConfig config_;
+  ServiceState state_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  int64_t swept_spill_dirs_ = 0;
+  std::thread accept_thread_;
+
+  // Live connection fds (shutdown() on Stop unblocks idle sessions) and
+  // their threads (joined on Stop).
+  std::mutex conn_mu_;
+  std::set<int> conn_fds_;
+  std::vector<std::thread> sessions_;
+};
+
+}  // namespace eca
+
+#endif  // ECA_SERVICE_SERVER_H_

@@ -1,0 +1,94 @@
+#ifndef ECA_SERVICE_SESSION_H_
+#define ECA_SERVICE_SESSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/memory_tracker.h"
+#include "exec/database.h"
+#include "exec/query_context.h"
+#include "service/admission.h"
+#include "service/wire.h"
+
+namespace eca {
+
+// Request execution for the ecad service: ServiceState owns everything the
+// concurrent sessions share — the catalog, the global MemoryTracker root,
+// the admission controller and the per-query defaults — and Handle() turns
+// one decoded request into one response. The transport lives in
+// server.cc; keeping Handle() socket-free is what makes every robustness
+// behavior unit-testable in process.
+
+// Tracks the CancelTokens of in-flight queries so a drain can fire them
+// all. Registering after CancelAll() cancels the token immediately: a
+// query that slipped past admission while the drain flag was being set
+// still stops at its first governor check.
+class CancelRegistry {
+ public:
+  void Register(CancelToken* token);
+  void Unregister(CancelToken* token);
+  // Fires every registered token; returns how many were cancelled.
+  int64_t CancelAll();
+  bool cancelled_all() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::set<CancelToken*> tokens_;
+  bool cancel_all_ = false;
+};
+
+struct ServiceOptions {
+  AdmissionConfig admission;
+  // Per-query hard memory limit: the cap on what a client may request and
+  // the default when it requests nothing. <= 0 = unlimited queries (the
+  // admission commit ledger then uses admission.default_commit_bytes).
+  int64_t client_mem_limit_bytes = 64ll << 20;
+  // Deadline applied to queries that send no timeout_ms; <= 0 = none.
+  int64_t default_timeout_ms = 0;
+  // Spill root shared by all queries (each gets its own crash-sweepable
+  // subdirectory via QueryContext); "" = system temp dir.
+  std::string spill_dir;
+  // Worker threads per query (execution + root enumeration).
+  int num_threads = 1;
+};
+
+class ServiceState {
+ public:
+  // `db` must outlive the state and is shared read-only by all sessions —
+  // per-query isolation means no query, failed or cancelled, ever mutates
+  // it.
+  ServiceState(const Database* db, ServiceOptions options);
+
+  ServiceState(const ServiceState&) = delete;
+  ServiceState& operator=(const ServiceState&) = delete;
+
+  // Executes one request end to end (admission included for QUERY).
+  // Always returns a well-formed response message; failures become ERROR
+  // responses, never exceptions or aborts.
+  WireMessage Handle(const WireMessage& request);
+
+  AdmissionController& admission() { return admission_; }
+  CancelRegistry& cancels() { return cancels_; }
+  MemoryTracker& root_tracker() { return root_; }
+  const ServiceOptions& options() const { return options_; }
+  const Database& db() const { return *db_; }
+
+ private:
+  WireMessage HandleQuery(const WireMessage& request);
+  WireMessage HandleMetrics();
+
+  const Database* db_;
+  ServiceOptions options_;
+  // Global accounting root: every query tracker chains to it, so its
+  // usage is the true concurrent footprint and must return to zero when
+  // the service drains.
+  MemoryTracker root_;
+  AdmissionController admission_;
+  CancelRegistry cancels_;
+};
+
+}  // namespace eca
+
+#endif  // ECA_SERVICE_SESSION_H_

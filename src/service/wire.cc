@@ -1,0 +1,280 @@
+#include "service/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "testing/fault_injection.h"
+
+namespace eca {
+
+namespace {
+
+// Values are percent-escaped so newlines (the line separator) and '%'
+// round-trip; '=' only separates on the first occurrence, so it needs no
+// escape. Keys are restricted to [A-Za-z0-9_.-] by construction.
+void AppendEscaped(const std::string& value, std::string* out) {
+  for (char c : value) {
+    if (c == '\n') {
+      *out += "%0A";
+    } else if (c == '\r') {
+      *out += "%0D";
+    } else if (c == '%') {
+      *out += "%25";
+    } else {
+      *out += c;
+    }
+  }
+}
+
+bool HexVal(char c, int* v) {
+  if (c >= '0' && c <= '9') {
+    *v = c - '0';
+    return true;
+  }
+  if (c >= 'A' && c <= 'F') {
+    *v = c - 'A' + 10;
+    return true;
+  }
+  if (c >= 'a' && c <= 'f') {
+    *v = c - 'a' + 10;
+    return true;
+  }
+  return false;
+}
+
+StatusOr<std::string> Unescape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '%') {
+      out += in[i];
+      continue;
+    }
+    int hi = 0, lo = 0;
+    if (i + 2 >= in.size() || !HexVal(in[i + 1], &hi) ||
+        !HexVal(in[i + 2], &lo)) {
+      return Status::InvalidArgument("wire: truncated %-escape in field");
+    }
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+Status FullWrite(int fd, const unsigned char* data, size_t len) {
+#ifdef _WIN32
+  (void)fd;
+  (void)data;
+  (void)len;
+  return Status::Internal("wire I/O is POSIX-only");
+#else
+  size_t off = 0;
+  while (off < len) {
+    if (FaultInjector::ShouldFail(FaultPoint::kServiceWrite)) {
+      return Status::Unavailable("service write fault injected");
+    }
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE -> kUnavailable
+    // instead of a process-killing SIGPIPE (callers cannot be assumed to
+    // ignore it — the gtest binaries do not).
+#ifdef MSG_NOSIGNAL
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+#else
+    ssize_t n = ::write(fd, data + off, len - off);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("wire write failed: ") +
+                                 std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+#endif
+}
+
+// Reads exactly `len` bytes. *eof flags a clean close before the first
+// byte when allow_eof; any other short read is kUnavailable.
+Status FullRead(int fd, unsigned char* data, size_t len, bool allow_eof,
+                bool* eof) {
+#ifdef _WIN32
+  (void)fd;
+  (void)data;
+  (void)len;
+  (void)allow_eof;
+  (void)eof;
+  return Status::Internal("wire I/O is POSIX-only");
+#else
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::read(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("wire read failed: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
+      if (allow_eof && off == 0 && eof != nullptr) {
+        *eof = true;
+        return Status::OK();
+      }
+      return Status::Unavailable("wire: connection closed mid-frame");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+#endif
+}
+
+}  // namespace
+
+const std::string* WireMessage::Find(const std::string& key) const {
+  for (const auto& kv : fields) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> WireMessage::FindAll(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& kv : fields) {
+    if (kv.first == key) out.push_back(kv.second);
+  }
+  return out;
+}
+
+StatusOr<int64_t> WireMessage::FindInt(const std::string& key,
+                                       int64_t fallback) const {
+  const std::string* raw = Find(key);
+  if (raw == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("wire: field '" + key +
+                                   "' is not an integer: '" + *raw + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::string EncodeMessage(const WireMessage& msg) {
+  std::string out = msg.type;
+  out += '\n';
+  for (const auto& kv : msg.fields) {
+    out += kv.first;
+    out += '=';
+    AppendEscaped(kv.second, &out);
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<WireMessage> DecodeMessage(const std::string& payload) {
+  WireMessage msg;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < payload.size()) {
+    size_t nl = payload.find('\n', pos);
+    if (nl == std::string::npos) {
+      return Status::InvalidArgument("wire: unterminated message line");
+    }
+    std::string line = payload.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (first) {
+      if (line.empty()) {
+        return Status::InvalidArgument("wire: empty message type");
+      }
+      msg.type = std::move(line);
+      first = false;
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("wire: field line without key: '" +
+                                     line + "'");
+    }
+    StatusOr<std::string> value = Unescape(line.substr(eq + 1));
+    ECA_RETURN_IF_ERROR(value.status());
+    msg.Add(line.substr(0, eq), *std::move(value));
+  }
+  if (first) return Status::InvalidArgument("wire: empty frame");
+  return msg;
+}
+
+Status WriteFrame(int fd, const WireMessage& msg) {
+  std::string payload = EncodeMessage(msg);
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("wire: frame exceeds " +
+                                   std::to_string(kMaxFrameBytes) +
+                                   " bytes");
+  }
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  unsigned char frame[4];
+  for (int i = 0; i < 4; ++i) {
+    frame[i] = static_cast<unsigned char>((len >> (8 * i)) & 0xff);
+  }
+  ECA_RETURN_IF_ERROR(FullWrite(fd, frame, sizeof(frame)));
+  return FullWrite(
+      fd, reinterpret_cast<const unsigned char*>(payload.data()),
+      payload.size());
+}
+
+StatusOr<WireMessage> ReadFrame(int fd, bool* eof) {
+  if (eof != nullptr) *eof = false;
+  unsigned char hdr[4];
+  ECA_RETURN_IF_ERROR(
+      FullRead(fd, hdr, sizeof(hdr), /*allow_eof=*/true, eof));
+  if (eof != nullptr && *eof) return WireMessage{};
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(hdr[i]) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument("wire: frame length " +
+                                   std::to_string(len) + " exceeds cap");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    ECA_RETURN_IF_ERROR(
+        FullRead(fd, reinterpret_cast<unsigned char*>(payload.data()), len,
+                 /*allow_eof=*/false, nullptr));
+  }
+  return DecodeMessage(payload);
+}
+
+StatusOr<WireMessage> RoundTrip(int fd, const WireMessage& request) {
+  ECA_RETURN_IF_ERROR(WriteFrame(fd, request));
+  bool eof = false;
+  StatusOr<WireMessage> response = ReadFrame(fd, &eof);
+  ECA_RETURN_IF_ERROR(response.status());
+  if (eof) {
+    return Status::Unavailable("wire: server closed before responding");
+  }
+  return response;
+}
+
+WireMessage ErrorResponse(const Status& status) {
+  WireMessage msg;
+  msg.type = "ERROR";
+  msg.Add("status", StatusCodeName(status.code()));
+  msg.Add("message", status.message());
+  return msg;
+}
+
+StatusCode ParseStatusCodeName(const std::string& name) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
+        StatusCode::kDataLoss, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+        StatusCode::kUnavailable}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+}  // namespace eca

@@ -1,0 +1,80 @@
+#ifndef ECA_SERVICE_WIRE_H_
+#define ECA_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eca {
+
+// The ecad wire protocol (docs/service.md): length-prefixed frames over a
+// local stream socket. Each frame is a 4-byte little-endian payload length
+// followed by the payload; the payload is a line-oriented message — the
+// first line names the message type, every further line is one
+// percent-escaped "key=value" field. Keys may repeat (QUERY carries one
+// "pred" field per predicate), and field order is preserved, so encoding
+// is deterministic: two equal messages produce byte-identical frames.
+//
+// Message types (requests -> responses):
+//   QUERY   -> RESULT   optimize + execute one plan under the governor
+//   METRICS -> METRICS  scrape the process metrics registry (JSON)
+//   PING    -> PONG     liveness probe (served even when saturated)
+//   any     -> ERROR    malformed frame / unknown type / shed / failure
+//
+// Frames are capped at kMaxFrameBytes so a corrupt or hostile length
+// prefix cannot make the server allocate unbounded memory. All transport
+// errors surface as Status: kUnavailable for connection-level failures
+// (the client's retry class), kInvalidArgument for malformed payloads.
+// FaultPoint::kServiceWrite makes WriteFrame fail deterministically so
+// dropped-connection handling is testable without real sockets
+// misbehaving.
+
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+struct WireMessage {
+  std::string type;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  void Add(std::string key, std::string value) {
+    fields.emplace_back(std::move(key), std::move(value));
+  }
+  void AddInt(std::string key, int64_t value) {
+    Add(std::move(key), std::to_string(value));
+  }
+
+  // First value for `key`, or nullptr when absent.
+  const std::string* Find(const std::string& key) const;
+  // All values for `key`, in insertion order.
+  std::vector<std::string> FindAll(const std::string& key) const;
+  // First value for `key` parsed as a strict base-10 int64; `fallback`
+  // when the key is absent; kInvalidArgument when present but malformed.
+  StatusOr<int64_t> FindInt(const std::string& key, int64_t fallback) const;
+};
+
+// Payload encoding (without the length prefix). Deterministic.
+std::string EncodeMessage(const WireMessage& msg);
+StatusOr<WireMessage> DecodeMessage(const std::string& payload);
+
+// Blocking framed I/O over a file descriptor (handles short reads/writes
+// and EINTR). WriteFrame consults FaultPoint::kServiceWrite before every
+// write syscall. ReadFrame sets *eof (and returns OK with an empty
+// message) when the peer closed the connection cleanly before any byte of
+// a frame; a close mid-frame is kUnavailable.
+Status WriteFrame(int fd, const WireMessage& msg);
+StatusOr<WireMessage> ReadFrame(int fd, bool* eof);
+
+// Convenience for clients and tests: one request -> one response.
+StatusOr<WireMessage> RoundTrip(int fd, const WireMessage& request);
+
+// Builds the standard ERROR response for a failed request.
+WireMessage ErrorResponse(const Status& status);
+// Maps a RESULT/ERROR response's "status" field back to a StatusCode
+// (kInternal for names this build does not know).
+StatusCode ParseStatusCodeName(const std::string& name);
+
+}  // namespace eca
+
+#endif  // ECA_SERVICE_WIRE_H_

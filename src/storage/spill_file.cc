@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
 
 #ifndef _WIN32
+#include <signal.h>
 #include <unistd.h>
 #endif
 
@@ -63,6 +65,80 @@ Status InjectedIo(const char* op, const std::string& path) {
 std::atomic<int64_t> g_spill_dir_seq{0};
 
 }  // namespace
+
+// --- Crash-safe per-query spill layout ------------------------------------
+
+namespace {
+
+// Sequence for per-query subdirectory names; distinct from the SpillDir
+// sequence so the two layers never race on one counter's semantics.
+std::atomic<int64_t> g_query_spill_seq{0};
+
+long long CurrentPid() {
+#ifdef _WIN32
+  return 0;
+#else
+  return static_cast<long long>(getpid());
+#endif
+}
+
+// kill(pid, 0) probes existence without signalling: 0 and EPERM both mean
+// the process exists; ESRCH means it is gone.
+bool ProcessAlive(long long pid) {
+#ifdef _WIN32
+  return true;  // no cheap probe; never sweep on Windows
+#else
+  if (pid <= 0) return true;  // malformed name: refuse to sweep
+  return kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+#endif
+}
+
+// Parses "eca-q<pid>-<seq>"; returns the pid or -1 when the name does not
+// match the per-query layout (foreign files are never swept).
+long long ParseQuerySpillPid(const std::string& name) {
+  const std::string prefix = "eca-q";
+  if (name.rfind(prefix, 0) != 0) return -1;
+  size_t dash = name.find('-', prefix.size());
+  if (dash == std::string::npos || dash == prefix.size()) return -1;
+  long long pid = 0;
+  for (size_t i = prefix.size(); i < dash; ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    pid = pid * 10 + (name[i] - '0');
+    if (pid > (1LL << 40)) return -1;
+  }
+  for (size_t i = dash + 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+  }
+  if (dash + 1 == name.size()) return -1;
+  return pid;
+}
+
+}  // namespace
+
+std::string QuerySpillSubdir(const std::string& base) {
+  int64_t seq = g_query_spill_seq.fetch_add(1, std::memory_order_relaxed);
+  return (fs::path(base) /
+          StrFormat("eca-q%lld-%lld", CurrentPid(),
+                    static_cast<long long>(seq)))
+      .string();
+}
+
+int64_t SweepOrphanQuerySpillDirs(const std::string& base) {
+  std::error_code ec;
+  fs::directory_iterator it(base, ec);
+  if (ec) return 0;
+  int64_t removed = 0;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_directory(ec) || ec) continue;
+    long long pid = ParseQuerySpillPid(entry.path().filename().string());
+    if (pid < 0) continue;          // not a per-query spill dir
+    if (pid == CurrentPid()) continue;  // our own live queries
+    if (ProcessAlive(pid)) continue;    // another live server's queries
+    fs::remove_all(entry.path(), ec);
+    if (!ec) ++removed;
+  }
+  return removed;
+}
 
 // --- SpillDir -------------------------------------------------------------
 

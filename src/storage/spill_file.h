@@ -41,6 +41,30 @@ struct SpillStats {
   int64_t bytes_read = 0;
 };
 
+// --- Crash-safe per-query spill layout ------------------------------------
+//
+// A governed query with a configured spill directory keeps all of its
+// operator SpillDirs inside one per-query subdirectory named
+// "eca-q<pid>-<seq>" (QueryContext derives it via QuerySpillSubdir and
+// removes it when the query ends). The pid in the name is what makes a
+// crash recoverable: a process that dies mid-spill leaves its
+// subdirectories behind, and the next `ecad` startup (or `ecatool
+// sweep-spill-dir`) calls SweepOrphanQuerySpillDirs to reclaim every
+// subdirectory whose owning process is no longer alive. Subdirectories of
+// live processes — including our own — are never touched, so concurrent
+// servers can safely share one spill root.
+
+// Returns `base`/eca-q<pid>-<seq> for this process with a fresh sequence
+// number. The directory is NOT created (SpillDir creates it lazily on
+// first spill), so queries that never spill cost no filesystem traffic.
+std::string QuerySpillSubdir(const std::string& base);
+
+// Removes every "eca-q<pid>-<seq>" subdirectory of `base` whose pid does
+// not name a live process. Returns the number of subdirectories removed;
+// a missing or unreadable `base` sweeps nothing. Best-effort: removal
+// failures are skipped, not fatal (the next sweep retries).
+int64_t SweepOrphanQuerySpillDirs(const std::string& base);
+
 // A directory of spill files for one operator, created lazily under the
 // system temp dir (or `base_dir` when given). Removed with everything in
 // it on destruction.

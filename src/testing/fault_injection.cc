@@ -40,6 +40,10 @@ const char* FaultPointName(FaultPoint point) {
       return "spill-io";
     case FaultPoint::kCancelRace:
       return "cancel-race";
+    case FaultPoint::kServiceAccept:
+      return "service-accept";
+    case FaultPoint::kServiceWrite:
+      return "service-write";
     case FaultPoint::kNumPoints:
       break;
   }

@@ -22,6 +22,9 @@ enum class FaultPoint {
   kExecAllocation,        // forces an executor memory reservation failure
   kSpillIo,               // forces a spill-file open/write/read I/O error
   kCancelRace,            // forces a governor cancellation check to fire
+  kServiceAccept,         // forces ecad's accept loop to drop a connection
+  kServiceWrite,          // forces a service wire write (response frame)
+                          // to fail mid-stream
   kNumPoints,             // sentinel
 };
 

@@ -77,6 +77,20 @@ TEST(MemoryTrackerTest, ChildSeesParentSoftPressure) {
   query.Release(600);
 }
 
+TEST(MemoryTrackerTest, DestructionReturnsStrandedBalanceToParent) {
+  // A failed query's tracker is discarded with charges outstanding (the
+  // executor stops releasing once the query carries an error). The
+  // destructor must hand the leftover back, or a shared long-lived root —
+  // the ecad service's — drifts upward with every failed query.
+  MemoryTracker root(0, 0);
+  {
+    MemoryTracker query(0, 0, &root);
+    ASSERT_TRUE(query.Reserve(1024).ok());
+    EXPECT_EQ(root.used(), 1024);
+  }
+  EXPECT_EQ(root.used(), 0);
+}
+
 TEST(MemoryTrackerTest, ScopedReservationReleasesOnDestruction) {
   MemoryTracker t(0, 0);
   {

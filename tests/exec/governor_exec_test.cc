@@ -8,6 +8,7 @@
 
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -313,16 +314,21 @@ TEST(GovernorLimitTest, SpillIoFaultFailsCleanlyWithoutOrphanFiles) {
   for (int64_t skip = 0; skip < 6; ++skip) {
     FaultInjector::Reset();
     ScopedFault fault(FaultPoint::kSpillIo, skip);
-    QueryContext::Limits limits = SpillEverythingLimits();
-    limits.spill_dir = base;
-    QueryContext ctx(limits);
-    Executor ex;
-    StatusOr<Relation> got = ex.ExecuteWithContext(*plan, db, &ctx);
-    ASSERT_FALSE(got.ok()) << "skip " << skip;
-    EXPECT_EQ(got.status().code(), StatusCode::kDataLoss)
-        << "skip " << skip << ": " << got.status().ToString();
+    {
+      // Inner scope: the context owns a per-query subdirectory of `base`
+      // that its destructor removes; the orphan count below must run
+      // after that removal, like the startup sweep would.
+      QueryContext::Limits limits = SpillEverythingLimits();
+      limits.spill_dir = base;
+      QueryContext ctx(limits);
+      Executor ex;
+      StatusOr<Relation> got = ex.ExecuteWithContext(*plan, db, &ctx);
+      ASSERT_FALSE(got.ok()) << "skip " << skip;
+      EXPECT_EQ(got.status().code(), StatusCode::kDataLoss)
+          << "skip " << skip << ": " << got.status().ToString();
+    }
     // SpillDir's RAII cleanup must have removed every temp file even on
-    // the error path.
+    // the error path, and ~QueryContext the per-query subdirectory.
     int64_t orphans = 0;
     if (fs::exists(base)) {
       for (const auto& entry : fs::recursive_directory_iterator(base)) {
@@ -399,6 +405,66 @@ TEST(GovernorSpillTest, ThreadedGovernedExecutionIdentical) {
                     "threads " + std::to_string(threads));
     EXPECT_EQ(ctx.tracker()->used(), 0) << "threads " << threads;
   }
+}
+
+// Multi-query accounting (the ecad admission model): N concurrent
+// governed queries all chain their trackers to one shared root whose soft
+// threshold is so tight that every query runs under cross-query spill
+// pressure. Each result must still be byte-identical to that query's solo
+// ungoverned run — concurrency may change *when* queries spill, never
+// *what* they produce — and the root must balance to zero afterwards.
+TEST(GovernorSharedRootTest, ConcurrentQueriesUnderOneRootStayIdentical) {
+  constexpr int kQueries = 6;
+  std::vector<Database> dbs(kQueries);
+  std::vector<PlanPtr> plans(kQueries);
+  std::vector<Relation> expected;
+  for (int q = 0; q < kQueries; ++q) {
+    Rng rng(static_cast<uint64_t>(q) * 131 + 7);
+    RandomDataOptions dopts;
+    dopts.max_rows = 16 + 8 * (q % 3);  // mixed workload sizes
+    RandomQueryOptions qopts;
+    qopts.num_rels = 3 + q % 2;
+    dbs[q] = RandomDatabase(rng, qopts.num_rels, dopts);
+    PlanPtr query = RandomQuery(rng, qopts, dopts);
+    auto best = Optimizer().Optimize(*query, dbs[q]);
+    ASSERT_NE(best.plan, nullptr) << "query " << q;
+    plans[q] = std::move(best.plan);
+    Executor plain;
+    expected.push_back(plain.Execute(*plans[q], dbs[q]));
+  }
+
+  // Soft threshold of one byte at the root: every child reservation sees
+  // SoftExceeded through the parent chain. Hard limit high enough that
+  // all queries succeed — the point is contention, not rejection.
+  MemoryTracker root(/*soft_bytes=*/1, /*hard_bytes=*/int64_t{1} << 30);
+  std::vector<StatusOr<Relation>> results(
+      kQueries, StatusOr<Relation>(Status::Internal("not run")));
+  std::vector<int64_t> leftover(kQueries, -1);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kQueries);
+    for (int q = 0; q < kQueries; ++q) {
+      workers.emplace_back([&, q] {
+        QueryContext::Limits limits;
+        limits.mem_limit_bytes = int64_t{1} << 30;
+        limits.parent_tracker = &root;
+        QueryContext ctx(limits);
+        Executor ex;
+        results[q] = ex.ExecuteWithContext(*plans[q], dbs[q], &ctx);
+        leftover[q] = ctx.tracker()->used();
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  for (int q = 0; q < kQueries; ++q) {
+    ASSERT_TRUE(results[q].ok())
+        << "query " << q << ": " << results[q].status().ToString();
+    ExpectIdentical(expected[q], *results[q],
+                    "shared-root query " + std::to_string(q));
+    EXPECT_EQ(leftover[q], 0) << "query " << q;
+  }
+  EXPECT_EQ(root.used(), 0);
+  EXPECT_GT(root.peak(), 0);
 }
 
 }  // namespace

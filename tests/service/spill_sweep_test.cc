@@ -1,0 +1,127 @@
+// Crash-safe spill layout (storage/spill_file.h): per-query
+// subdirectories named after the owning pid, lazy creation, RAII removal
+// by ~QueryContext, and the startup sweep that reclaims directories
+// orphaned by crashed processes — without ever touching a live process's
+// files.
+
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "exec/query_context.h"
+#include "storage/spill_file.h"
+
+namespace eca {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A pid no live Linux process can have (kernel PID_MAX_LIMIT is 2^22).
+constexpr long long kDeadPid = 2000000000;
+
+class SpillSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = (fs::temp_directory_path() /
+             ("eca-sweep-test-" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(base_, ec);
+  }
+
+  std::string MakeDir(const std::string& name, bool with_file = true) {
+    fs::path dir = fs::path(base_) / name;
+    fs::create_directories(dir);
+    if (with_file) {
+      std::ofstream out((dir / "spill-0.bin").string());
+      out << "orphaned spill payload";
+    }
+    return dir.string();
+  }
+
+  std::string base_;
+};
+
+TEST_F(SpillSweepTest, SubdirNamesCarryTheOwningPid) {
+  std::string a = QuerySpillSubdir(base_);
+  std::string b = QuerySpillSubdir(base_);
+  EXPECT_NE(a, b);  // per-query sequence numbers
+  std::string expected_prefix =
+      (fs::path(base_) / ("eca-q" + std::to_string(::getpid()) + "-"))
+          .string();
+  EXPECT_EQ(a.compare(0, expected_prefix.size(), expected_prefix), 0)
+      << a << " vs " << expected_prefix;
+  // The subdirectory is named, not created: creation is lazy (most
+  // queries never spill).
+  EXPECT_FALSE(fs::exists(a));
+}
+
+TEST_F(SpillSweepTest, SweepReclaimsDeadPidDirsOnly) {
+  std::string dead =
+      MakeDir("eca-q" + std::to_string(kDeadPid) + "-0");
+  std::string dead2 =
+      MakeDir("eca-q" + std::to_string(kDeadPid) + "-17");
+  std::string live =
+      MakeDir("eca-q" + std::to_string(::getpid()) + "-3");
+  std::string unrelated = MakeDir("not-a-spill-dir");
+  std::string malformed = MakeDir("eca-qxyz-1");
+  std::string loose_file = (fs::path(base_) / "eca-q99.txt").string();
+  {
+    std::ofstream out(loose_file);
+    out << "loose";
+  }
+
+  EXPECT_EQ(SweepOrphanQuerySpillDirs(base_), 2);
+
+  EXPECT_FALSE(fs::exists(dead));
+  EXPECT_FALSE(fs::exists(dead2));
+  EXPECT_TRUE(fs::exists(live)) << "own pid is alive: must not be swept";
+  EXPECT_TRUE(fs::exists(unrelated));
+  EXPECT_TRUE(fs::exists(malformed));
+  EXPECT_TRUE(fs::exists(loose_file));
+
+  // Idempotent: nothing left to reclaim.
+  EXPECT_EQ(SweepOrphanQuerySpillDirs(base_), 0);
+}
+
+TEST_F(SpillSweepTest, SweepOfMissingBaseIsANoOp) {
+  EXPECT_EQ(SweepOrphanQuerySpillDirs(
+                (fs::path(base_) / "does-not-exist").string()),
+            0);
+}
+
+TEST_F(SpillSweepTest, QueryContextRemovesItsSubdirOnDestruction) {
+  std::string subdir;
+  {
+    QueryContext::Limits limits;
+    limits.spill_dir = base_;
+    QueryContext ctx(limits);
+    subdir = ctx.spill_dir();
+    ASSERT_FALSE(subdir.empty());
+    // Simulate the first spill: SpillDir creates the directory lazily.
+    fs::create_directories(subdir);
+    std::ofstream out((fs::path(subdir) / "run-0.bin").string());
+    out << "spilled rows";
+  }
+  EXPECT_FALSE(fs::exists(subdir))
+      << "~QueryContext must remove the per-query spill subdirectory";
+  EXPECT_TRUE(fs::exists(base_)) << "the shared base must survive";
+}
+
+TEST_F(SpillSweepTest, UnconfiguredContextHasNoSpillSubdir) {
+  QueryContext ctx;
+  EXPECT_TRUE(ctx.spill_dir().empty());
+}
+
+}  // namespace
+}  // namespace eca

@@ -140,4 +140,63 @@ if(NOT LAST_OUT MATCHES "\"histograms\"")
 endif()
 file(REMOVE "${TRACE_FILE}")
 
+# --- clean Ctrl-C on governed runs ------------------------------------------
+
+# --self-interrupt-ms raises SIGINT from a timer thread mid-query: the
+# handler fires the governed query's CancelToken, the executor unwinds
+# with kCancelled releasing every tracker byte and spill file, and
+# ecatool exits 130 with an "interrupted" diagnostic.
+set(SPILL_DIR "${CMAKE_CURRENT_BINARY_DIR}/ecatool_cli_spill")
+file(REMOVE_RECURSE "${SPILL_DIR}")
+file(MAKE_DIRECTORY "${SPILL_DIR}")
+execute_process(
+  COMMAND ${ECATOOL} explain ${PLAN} --pred ${PRED} --rows 3000
+          --approach eca --timeout-ms 600000 --mem-limit-mb 4096
+          --spill-dir ${SPILL_DIR} --self-interrupt-ms 200
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 130)
+  message(FATAL_ERROR
+          "self-interrupt: expected exit 130, got ${rc}\n${out}${err}")
+endif()
+if(NOT err MATCHES "interrupted")
+  message(FATAL_ERROR
+          "self-interrupt: stderr missing 'interrupted':\n${err}")
+endif()
+# The cancelled query must not strand a per-query spill subdirectory.
+file(GLOB leftover_spill "${SPILL_DIR}/*")
+if(leftover_spill)
+  message(FATAL_ERROR
+          "self-interrupt left spill entries behind: ${leftover_spill}")
+endif()
+file(REMOVE_RECURSE "${SPILL_DIR}")
+
+# --- crash-recovery spill sweep ---------------------------------------------
+
+set(SWEEP_DIR "${CMAKE_CURRENT_BINARY_DIR}/ecatool_cli_sweep")
+file(REMOVE_RECURSE "${SWEEP_DIR}")
+# An orphan from a "crashed" process (pid 2000000000 exceeds any live
+# pid) plus an unrelated directory the sweep must not touch.
+file(MAKE_DIRECTORY "${SWEEP_DIR}/eca-q2000000000-0")
+file(WRITE "${SWEEP_DIR}/eca-q2000000000-0/partition-0.bin" "orphan")
+file(MAKE_DIRECTORY "${SWEEP_DIR}/keep-me")
+expect_ok("sweep-spill-dir" sweep-spill-dir ${SWEEP_DIR})
+if(NOT LAST_OUT MATCHES "swept 1 orphaned spill dirs")
+  message(FATAL_ERROR "sweep-spill-dir wrong summary:\n${LAST_OUT}")
+endif()
+if(EXISTS "${SWEEP_DIR}/eca-q2000000000-0")
+  message(FATAL_ERROR "sweep-spill-dir left the orphan behind")
+endif()
+if(NOT EXISTS "${SWEEP_DIR}/keep-me")
+  message(FATAL_ERROR "sweep-spill-dir removed an unrelated directory")
+endif()
+# The --flag spelling is accepted too, and a second sweep finds nothing.
+expect_ok("sweep-spill-dir flag form" --sweep-spill-dir ${SWEEP_DIR})
+if(NOT LAST_OUT MATCHES "swept 0 orphaned spill dirs")
+  message(FATAL_ERROR "re-sweep should reclaim nothing:\n${LAST_OUT}")
+endif()
+expect_fail("sweep without dir" "usage" sweep-spill-dir)
+file(REMOVE_RECURSE "${SWEEP_DIR}")
+
 message(STATUS "ecatool CLI contract: all checks passed")

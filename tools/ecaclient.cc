@@ -1,0 +1,249 @@
+// ecaclient — command-line client for the ecad service (docs/service.md).
+//
+//   ecaclient --socket <path> query "<plan>" --pred name="<expr>"...
+//             [--approach eca|tba|cba] [--timeout-ms N] [--mem-limit-mb N]
+//             [--print-rows] [--deadline-ms N] [--retries N]
+//   ecaclient --socket <path> metrics
+//   ecaclient --socket <path> ping
+//
+// Transient failures — connection refused (daemon still starting),
+// connections dropped at accept, kUnavailable responses from a draining
+// server — are retried with exponential backoff plus deterministic
+// jitter, bounded by --retries and by the end-to-end --deadline-ms
+// budget. Non-retryable errors (kInvalidArgument, kResourceExhausted
+// shed, kCancelled drain, query failures) surface immediately.
+//
+// Exit codes: 0 success; 1 the server answered with an error (its status
+// and message are printed); 2 bad usage; 3 the retry budget or deadline
+// ran out without ever getting a response.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "common/status.h"
+#include "service/wire.h"
+
+namespace eca {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ecaclient --socket <path> query \"<plan>\" --pred name=\"<expr>\""
+      "... [--approach eca|tba|cba] [--timeout-ms N] [--mem-limit-mb N] "
+      "[--print-rows] [--deadline-ms N] [--retries N]\n"
+      "  ecaclient --socket <path> metrics\n"
+      "  ecaclient --socket <path> ping\n");
+  return 2;
+}
+
+bool ParseIntFlag(const char* flag, const char* text, int64_t min,
+                  int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < min) {
+    std::fprintf(stderr, "bad %s value '%s' (want an integer >= %lld)\n",
+                 flag, text, static_cast<long long>(min));
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+#ifndef _WIN32
+
+StatusOr<int> Connect(const std::string& path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status failed = Status::Unavailable("cannot connect to '" + path +
+                                        "': " + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  return fd;
+}
+
+// One request over a fresh connection, with retry on the kUnavailable
+// class: exponential backoff (50ms base, doubling, capped at 2s) plus a
+// deterministic per-attempt jitter so synchronized clients fan out, all
+// bounded by the end-to-end deadline. `retries` counts re-attempts after
+// the first try.
+StatusOr<WireMessage> Call(const std::string& path, const WireMessage& req,
+                           int64_t retries, int64_t deadline_ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         deadline_ms > 0 ? deadline_ms : (int64_t{1} << 40));
+  Status last = Status::OK();
+  for (int64_t attempt = 0; attempt <= retries; ++attempt) {
+    if (attempt > 0) {
+      int64_t backoff_ms = 50ll << (attempt - 1 < 5 ? attempt - 1 : 5);
+      if (backoff_ms > 2000) backoff_ms = 2000;
+      // Deterministic jitter: spread attempts without nondeterminism in
+      // tests (splitmix-style hash of pid and attempt).
+      uint64_t h = static_cast<uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ull +
+                   static_cast<uint64_t>(attempt);
+      h ^= h >> 31;
+      backoff_ms += static_cast<int64_t>(h % 25);
+      Clock::time_point wake =
+          Clock::now() + std::chrono::milliseconds(backoff_ms);
+      if (wake >= deadline) {
+        return Status::DeadlineExceeded(
+            "client deadline exhausted after " + std::to_string(attempt) +
+            " attempts; last: " + last.ToString());
+      }
+      ::usleep(static_cast<useconds_t>(backoff_ms * 1000));
+    }
+    StatusOr<int> fd = Connect(path);
+    if (!fd.ok()) {
+      last = fd.status();
+      if (last.code() == StatusCode::kUnavailable) continue;
+      return last;
+    }
+    StatusOr<WireMessage> response = RoundTrip(*fd, req);
+    ::close(*fd);
+    if (!response.ok()) {
+      last = response.status();
+      if (last.code() == StatusCode::kUnavailable) continue;
+      return last;
+    }
+    // A draining server answers kUnavailable in-band; that is the one
+    // server-reported status worth retrying (another instance may be up).
+    if (response->type == "ERROR") {
+      const std::string* code = response->Find("status");
+      if (code != nullptr &&
+          ParseStatusCodeName(*code) == StatusCode::kUnavailable) {
+        const std::string* msg = response->Find("message");
+        last = Status::Unavailable(msg != nullptr ? *msg : "unavailable");
+        continue;
+      }
+    }
+    return response;
+  }
+  return Status::Unavailable("retries exhausted; last: " + last.ToString());
+}
+
+int Main(int argc, char** argv) {
+  std::string socket_path, command, plan;
+  WireMessage request;
+  int64_t retries = 5, deadline_ms = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else {
+      break;
+    }
+  }
+  if (socket_path.empty() || i >= argc) return Usage();
+  command = argv[i++];
+
+  if (command == "ping") {
+    request.type = "PING";
+  } else if (command == "metrics") {
+    request.type = "METRICS";
+  } else if (command == "query") {
+    if (i >= argc) return Usage();
+    request.type = "QUERY";
+    request.Add("plan", argv[i++]);
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return Usage();
+  }
+
+  for (; i < argc; ++i) {
+    int64_t parsed = 0;
+    if (std::strcmp(argv[i], "--pred") == 0 && i + 1 < argc) {
+      request.Add("pred", argv[++i]);
+    } else if (std::strcmp(argv[i], "--approach") == 0 && i + 1 < argc) {
+      request.Add("approach", argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      if (!ParseIntFlag("--timeout-ms", argv[++i], 1, &parsed)) return 2;
+      request.AddInt("timeout_ms", parsed);
+    } else if (std::strcmp(argv[i], "--mem-limit-mb") == 0 && i + 1 < argc) {
+      if (!ParseIntFlag("--mem-limit-mb", argv[++i], 1, &parsed)) return 2;
+      request.AddInt("mem_limit_mb", parsed);
+    } else if (std::strcmp(argv[i], "--print-rows") == 0) {
+      request.AddInt("rows", 1);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      if (!ParseIntFlag("--deadline-ms", argv[++i], 1, &deadline_ms)) {
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      if (!ParseIntFlag("--retries", argv[++i], 0, &retries)) return 2;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  StatusOr<WireMessage> response =
+      Call(socket_path, request, retries, deadline_ms);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 3;
+  }
+
+  if (response->type == "ERROR") {
+    const std::string* code = response->Find("status");
+    const std::string* message = response->Find("message");
+    std::fprintf(stderr, "error: %s: %s\n",
+                 code != nullptr ? code->c_str() : "?",
+                 message != nullptr ? message->c_str() : "");
+    return 1;
+  }
+  if (response->type == "PONG") {
+    std::printf("pong\n");
+    return 0;
+  }
+  if (response->type == "METRICS") {
+    const std::string* json = response->Find("json");
+    std::printf("%s\n", json != nullptr ? json->c_str() : "{}");
+    return 0;
+  }
+  // RESULT: stable key=value summary, then the rows when requested.
+  for (const char* key :
+       {"rows", "degraded", "trigger", "queue_wait_ms", "peak_bytes"}) {
+    const std::string* value = response->Find(key);
+    if (value != nullptr) std::printf("%s=%s\n", key, value->c_str());
+  }
+  const std::string* data = response->Find("data");
+  if (data != nullptr) std::printf("%s", data->c_str());
+  return 0;
+}
+
+#else  // _WIN32
+
+int Main(int, char**) {
+  std::fprintf(stderr, "ecaclient is POSIX-only\n");
+  return 1;
+}
+
+#endif
+
+}  // namespace
+}  // namespace eca
+
+int main(int argc, char** argv) { return eca::Main(argc, argv); }

@@ -1,0 +1,273 @@
+// ecad — the always-on query service daemon (docs/service.md).
+//
+//   ecad --socket <path> [--spill-dir <dir>] [--rels N] [--rows N]
+//        [--data <dir>] [--threads N] [--max-concurrent N]
+//        [--queue-depth N] [--commit-limit-mb N] [--client-mem-limit-mb N]
+//        [--est-run-ms N] [--degrade-below-ms N] [--default-timeout-ms N]
+//
+// Serves QUERY / METRICS / PING requests (length-prefixed frames, see
+// src/service/wire.h) over a unix-domain socket until SIGTERM or SIGINT,
+// then drains gracefully: new and queued work is rejected with
+// kUnavailable, in-flight queries are cancelled and answer kCancelled,
+// and the process exits 0 with the global memory tracker at zero.
+//
+// The catalog is fixed at startup: --rels relations of --rows rows of
+// seeded random data (identical to ecatool's, so service results can be
+// compared byte-for-byte against solo runs), or R<i>.tbl files from
+// --data. On startup the spill directory is swept for per-query
+// subdirectories orphaned by crashed processes (crash-safe spill,
+// docs/robustness.md).
+//
+// Admission knobs map straight onto AdmissionConfig:
+//   --max-concurrent      queries running at once (default 4)
+//   --queue-depth         bounded admission queue; arrivals past it are
+//                         shed with kResourceExhausted (default 16)
+//   --commit-limit-mb     cap on the sum of admitted memory budgets
+//   --client-mem-limit-mb per-query hard limit cap and default (64)
+//   --est-run-ms          deadline-aware early rejection threshold
+//   --degrade-below-ms    remaining deadline below this => sizes-only
+//                         degraded planning (response: degraded=1)
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/rng.h"
+#include "eca/optimizer.h"
+#include "service/server.h"
+#include "storage/csv.h"
+#include "testing/random_data.h"
+
+namespace eca {
+namespace {
+
+// SIGTERM/SIGINT set only this flag (async-signal-safe); the main thread
+// polls it and runs the actual drain.
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ecad --socket <path> [--spill-dir <dir>] [--rels N] "
+      "[--rows N] [--data <dir>] [--threads N] [--max-concurrent N] "
+      "[--queue-depth N] [--commit-limit-mb N] [--client-mem-limit-mb N] "
+      "[--est-run-ms N] [--degrade-below-ms N] [--default-timeout-ms N] "
+      "[--fault-accept N] [--fault-write N]\n");
+  return 2;
+}
+
+bool ParseIntFlag(const char* flag, const char* text, int64_t min,
+                  int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < min) {
+    std::fprintf(stderr, "bad %s value '%s' (want an integer >= %lld)\n",
+                 flag, text, static_cast<long long>(min));
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+// The same seeded data ecatool generates for a --rels-relation query, so
+// a client can compare service results against a solo ecatool run.
+Database ServedData(int rels, int rows) {
+  Rng rng(12345);
+  RandomDataOptions opts;
+  opts.min_rows = rows;
+  opts.max_rows = rows;
+  opts.empty_prob = 0;
+  Database db;
+  for (int i = 0; i < rels; ++i) {
+    db.Add(RandomRelation(rng, i, opts));
+  }
+  return db;
+}
+
+StatusOr<Database> DataFromDir(int rels, const std::string& dir) {
+  Database db;
+  for (int i = 0; i < rels; ++i) {
+    Schema schema({{i, "k", DataType::kInt64},
+                   {i, "a", DataType::kInt64},
+                   {i, "b", DataType::kInt64}});
+    Relation rel{schema};
+    ECA_RETURN_IF_ERROR(ReadRelationFile(
+        dir + "/R" + std::to_string(i) + ".tbl", schema, &rel));
+    db.Add(std::move(rel));
+  }
+  return db;
+}
+
+int Main(int argc, char** argv) {
+#ifdef _WIN32
+  std::fprintf(stderr, "ecad is POSIX-only\n");
+  return 1;
+#else
+  ServerConfig config;
+  std::string data_dir;
+  int64_t rels = 4, rows = 64, threads = 1;
+  int64_t commit_limit_mb = 0, client_mem_limit_mb = 64;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    int64_t parsed = 0;
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      const char* v = next("--socket");
+      if (v == nullptr) return 2;
+      config.socket_path = v;
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0) {
+      const char* v = next("--spill-dir");
+      if (v == nullptr) return 2;
+      config.service.spill_dir = v;
+    } else if (std::strcmp(argv[i], "--data") == 0) {
+      const char* v = next("--data");
+      if (v == nullptr) return 2;
+      data_dir = v;
+    } else if (std::strcmp(argv[i], "--rels") == 0) {
+      const char* v = next("--rels");
+      if (v == nullptr || !ParseIntFlag("--rels", v, 1, &rels) || rels > 64) {
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--rows") == 0) {
+      const char* v = next("--rows");
+      if (v == nullptr || !ParseIntFlag("--rows", v, 1, &rows) ||
+          rows > (int64_t{1} << 30)) {
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = next("--threads");
+      if (v == nullptr || !ParseIntFlag("--threads", v, 1, &threads) ||
+          threads > 4096) {
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--max-concurrent") == 0) {
+      const char* v = next("--max-concurrent");
+      if (v == nullptr || !ParseIntFlag("--max-concurrent", v, 1, &parsed)) {
+        return 2;
+      }
+      config.service.admission.max_concurrent = static_cast<int>(parsed);
+    } else if (std::strcmp(argv[i], "--queue-depth") == 0) {
+      const char* v = next("--queue-depth");
+      if (v == nullptr || !ParseIntFlag("--queue-depth", v, 0, &parsed)) {
+        return 2;
+      }
+      config.service.admission.max_queue = static_cast<int>(parsed);
+    } else if (std::strcmp(argv[i], "--commit-limit-mb") == 0) {
+      const char* v = next("--commit-limit-mb");
+      if (v == nullptr ||
+          !ParseIntFlag("--commit-limit-mb", v, 0, &commit_limit_mb)) {
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--client-mem-limit-mb") == 0) {
+      const char* v = next("--client-mem-limit-mb");
+      if (v == nullptr ||
+          !ParseIntFlag("--client-mem-limit-mb", v, 0,
+                        &client_mem_limit_mb)) {
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--est-run-ms") == 0) {
+      const char* v = next("--est-run-ms");
+      if (v == nullptr || !ParseIntFlag("--est-run-ms", v, 0, &parsed)) {
+        return 2;
+      }
+      config.service.admission.est_run_ms = parsed;
+    } else if (std::strcmp(argv[i], "--degrade-below-ms") == 0) {
+      const char* v = next("--degrade-below-ms");
+      if (v == nullptr ||
+          !ParseIntFlag("--degrade-below-ms", v, 0, &parsed)) {
+        return 2;
+      }
+      config.service.admission.degrade_below_ms = parsed;
+    } else if (std::strcmp(argv[i], "--default-timeout-ms") == 0) {
+      const char* v = next("--default-timeout-ms");
+      if (v == nullptr ||
+          !ParseIntFlag("--default-timeout-ms", v, 0, &parsed)) {
+        return 2;
+      }
+      config.service.default_timeout_ms = parsed;
+    } else if (std::strcmp(argv[i], "--fault-accept") == 0) {
+      // Robustness-test hooks: drop the (N+1)-th accepted connection /
+      // fail the (N+1)-th response write on each session, so the smoke
+      // test can prove clients retry through both.
+      const char* v = next("--fault-accept");
+      if (v == nullptr ||
+          !ParseIntFlag("--fault-accept", v, 0, &config.fault_accept_skip)) {
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--fault-write") == 0) {
+      const char* v = next("--fault-write");
+      if (v == nullptr ||
+          !ParseIntFlag("--fault-write", v, 0, &config.fault_write_skip)) {
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return Usage();
+    }
+  }
+  if (config.socket_path.empty()) return Usage();
+  config.service.admission.commit_limit_bytes = commit_limit_mb << 20;
+  config.service.client_mem_limit_bytes = client_mem_limit_mb << 20;
+  config.service.num_threads = static_cast<int>(threads);
+
+  Database db;
+  if (!data_dir.empty()) {
+    StatusOr<Database> loaded =
+        DataFromDir(static_cast<int>(rels), data_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load data from '%s': %s\n",
+                   data_dir.c_str(), loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(loaded).value();
+  } else {
+    db = ServedData(static_cast<int>(rels), static_cast<int>(rows));
+  }
+
+  EcadServer server(&db, config);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // The smoke test and clients wait for this exact line before connecting.
+  std::printf("ecad: listening on %s (swept %lld orphaned spill dirs)\n",
+              config.socket_path.c_str(),
+              static_cast<long long>(server.swept_spill_dirs()));
+  std::fflush(stdout);
+
+  while (g_shutdown == 0) {
+    ::usleep(50 * 1000);
+  }
+
+  server.Stop();
+  int64_t leftover = server.state().root_tracker().used();
+  std::printf("ecad: drained, tracker=%lld bytes\n",
+              static_cast<long long>(leftover));
+  return leftover == 0 ? 0 : 1;
+#endif
+}
+
+}  // namespace
+}  // namespace eca
+
+int main(int argc, char** argv) { return eca::Main(argc, argv); }

@@ -40,6 +40,18 @@
 //       and exit 1 instead of an abort or OOM kill. Governed runs print
 //       the governor counters (peak_bytes, spilled_partitions, ...).
 //
+//       Governed runs also handle Ctrl-C cleanly: SIGINT/SIGTERM fire the
+//       query's CancelToken, the executor unwinds with kCancelled
+//       releasing every tracker byte and its spill files, and ecatool
+//       exits 130. --spill-dir places spill files under a per-query
+//       subdirectory of the given directory; --self-interrupt-ms N raises
+//       SIGINT from a timer thread (the deterministic test hook for the
+//       Ctrl-C contract).
+//
+//   ecatool sweep-spill-dir <dir>
+//       Reclaim per-query spill subdirectories orphaned by crashed
+//       processes (docs/robustness.md, "Crash-safe spilling").
+//
 // Plan syntax is the library's compact notation, e.g.
 //   "(R0 laj[p01] (R1 laj[p12] R2))"
 // with predicates like --pred p01="R0.a = R1.a".
@@ -48,13 +60,16 @@
 // files and invalid plans all produce a diagnostic on stderr and a
 // nonzero exit — never an abort.
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algebra/plan_parser.h"
@@ -66,11 +81,27 @@
 #include "exec/explain.h"
 #include "expr/pred_parser.h"
 #include "storage/csv.h"
+#include "storage/spill_file.h"
 #include "testing/random_data.h"
 #include "tpch/tpch_gen.h"
 
 namespace eca {
 namespace {
+
+// Clean Ctrl-C for governed runs (docs/robustness.md, "Service
+// hardening"): SIGINT/SIGTERM fire the active query's CancelToken — an
+// atomic store, async-signal-safe — so the executor unwinds with
+// kCancelled, releases every tracker byte and removes its spill
+// subdirectory, and ecatool exits 130 with a diagnostic instead of dying
+// mid-spill.
+std::atomic<CancelToken*> g_active_cancel{nullptr};
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleInterrupt(int) {
+  g_interrupted = 1;
+  CancelToken* token = g_active_cancel.load(std::memory_order_acquire);
+  if (token != nullptr) token->Cancel();
+}
 
 int Usage() {
   std::fprintf(stderr,
@@ -80,8 +111,9 @@ int Usage() {
                "  ecatool explain \"<plan>\" --pred name=\"<expr>\"... "
                "[--rows N] [--approach eca|tba|cba] [--data <dir>] "
                "[--threads N] [--explain-stats] "
-               "[--timeout-ms N] [--mem-limit-mb N] "
-               "[--trace-out <file.json>] [--metrics] [--metrics-json]\n");
+               "[--timeout-ms N] [--mem-limit-mb N] [--spill-dir <dir>] "
+               "[--trace-out <file.json>] [--metrics] [--metrics-json]\n"
+               "  ecatool sweep-spill-dir <dir>\n");
   return 2;
 }
 
@@ -111,6 +143,10 @@ struct ExplainArgs {
   bool explain_stats = false;
   int64_t timeout_ms = 0;     // 0 = no deadline
   int64_t mem_limit_mb = 0;   // 0 = no memory limit
+  std::string spill_dir;      // "" = system temp dir
+  // Test hook for the Ctrl-C contract: raise SIGINT from a timer thread
+  // after N ms, exercising the real signal handler deterministically.
+  int64_t self_interrupt_ms = 0;
   std::string trace_out;      // empty = tracing stays disabled
   bool metrics = false;
   bool metrics_json = false;
@@ -152,6 +188,16 @@ bool ParsePredArgs(int argc, char** argv, int start,
                std::strcmp(argv[i], "--mem-limit-mb") == 0 && i + 1 < argc) {
       if (!ParseIntFlag("--mem-limit-mb", argv[++i], 1,
                         &explain->mem_limit_mb)) {
+        return false;
+      }
+    } else if (explain != nullptr &&
+               std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
+      explain->spill_dir = argv[++i];
+    } else if (explain != nullptr &&
+               std::strcmp(argv[i], "--self-interrupt-ms") == 0 &&
+               i + 1 < argc) {
+      if (!ParseIntFlag("--self-interrupt-ms", argv[++i], 1,
+                        &explain->self_interrupt_ms)) {
         return false;
       }
     } else if (explain != nullptr &&
@@ -344,6 +390,12 @@ int Explain(int argc, char** argv) {
     extra.approaches = {Optimizer::Approach::kTBA, Optimizer::Approach::kCBA,
                         Optimizer::Approach::kECA};
   }
+  struct JoinOnExit {
+    std::thread t;
+    ~JoinOnExit() {
+      if (t.joinable()) t.join();
+    }
+  } interrupt_timer;
   if (extra.governed()) {
     // OptimizeGoverned skips the validating front door, so validate the
     // hand-typed plan here once for all approaches.
@@ -351,6 +403,14 @@ int Explain(int argc, char** argv) {
     if (!valid.ok()) {
       std::fprintf(stderr, "%s\n", valid.ToString().c_str());
       return 1;
+    }
+    std::signal(SIGINT, HandleInterrupt);
+    std::signal(SIGTERM, HandleInterrupt);
+    if (extra.self_interrupt_ms > 0) {
+      interrupt_timer.t = std::thread([ms = extra.self_interrupt_ms] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        std::raise(SIGINT);
+      });
     }
   }
   if (!extra.trace_out.empty()) Tracer::Enable();
@@ -369,8 +429,12 @@ int Explain(int argc, char** argv) {
     QueryContext::Limits limits;
     limits.mem_limit_bytes = extra.mem_limit_mb << 20;
     limits.timeout_ms = extra.timeout_ms;
+    limits.spill_dir = extra.spill_dir;
     QueryContext ctx(limits);
-    if (extra.governed()) ctx.Arm();
+    if (extra.governed()) {
+      ctx.Arm();
+      g_active_cancel.store(ctx.cancel_token(), std::memory_order_release);
+    }
     auto opt_start = std::chrono::steady_clock::now();
     StatusOr<Optimizer::Optimized> best =
         extra.governed()
@@ -437,7 +501,16 @@ int Explain(int argc, char** argv) {
           static_cast<long long>(xs.spill_bytes),
           static_cast<long long>(xs.spill_read_bytes),
           static_cast<long long>(xs.spilled_sort_runs));
+      g_active_cancel.store(nullptr, std::memory_order_release);
       if (!res.ok()) {
+        if (g_interrupted != 0 &&
+            res.status().code() == StatusCode::kCancelled) {
+          std::fprintf(stderr,
+                       "ecatool: interrupted — query cancelled cleanly "
+                       "(tracker=%lld bytes)\n",
+                       static_cast<long long>(ctx.tracker()->used()));
+          return 130;
+        }
         std::fprintf(stderr, "%s\n", res.status().ToString().c_str());
         return 1;
       }
@@ -458,6 +531,13 @@ int Explain(int argc, char** argv) {
                   delta.ToTable().c_str());
     }
   }
+  // A self-interrupt that fired after the last query completed still ends
+  // the run as an interruption: wait for the timer, then report.
+  if (interrupt_timer.t.joinable()) interrupt_timer.t.join();
+  if (g_interrupted != 0) {
+    std::fprintf(stderr, "ecatool: interrupted\n");
+    return 130;
+  }
   if (!extra.trace_out.empty()) {
     Status written = Tracer::WriteJson(extra.trace_out);
     Tracer::Disable();
@@ -477,11 +557,27 @@ int Explain(int argc, char** argv) {
   return 0;
 }
 
+// Crash recovery for standalone runs: reclaim per-query spill
+// subdirectories whose owning process is gone (a crashed or killed -9
+// ecatool/ecad left them behind). The ecad service runs the same sweep on
+// startup; this subcommand covers operator-driven cleanup.
+int SweepSpillDir(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  int64_t swept = SweepOrphanQuerySpillDirs(argv[2]);
+  std::printf("swept %lld orphaned spill dirs under %s\n",
+              static_cast<long long>(swept), argv[2]);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "gen-tpch") == 0) return GenTpch(argc, argv);
   if (std::strcmp(argv[1], "orderings") == 0) return Orderings(argc, argv);
   if (std::strcmp(argv[1], "explain") == 0) return Explain(argc, argv);
+  if (std::strcmp(argv[1], "sweep-spill-dir") == 0 ||
+      std::strcmp(argv[1], "--sweep-spill-dir") == 0) {
+    return SweepSpillDir(argc, argv);
+  }
   return Usage();
 }
 

@@ -1,0 +1,199 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the ecad service over a real socket with real
+# processes: startup sweep, admit, queue-then-run with byte-identical
+# results, overload shed, degraded planning under a tight deadline,
+# accept-fault retry, and SIGTERM drain with a clean kCancelled and the
+# tracker at zero. Run by ctest as `service_smoke`:
+#
+#   service_smoke.sh <ecad> <ecaclient> [workdir]
+#
+# The daemon serves 3 relations x 400 rows of seeded random data
+# (domain-4 join keys): the 3-way join is the slow "holder" workload
+# (~1.6M output rows, seconds on one core), the 2-way join the quick
+# probe whose bytes are compared across contended and idle runs.
+set -u
+
+ECAD=${1:?usage: service_smoke.sh <ecad> <ecaclient> [workdir]}
+ECACLIENT=${2:?usage: service_smoke.sh <ecad> <ecaclient> [workdir]}
+WORK=${3:-$(mktemp -d /tmp/eca-smoke-XXXXXX)}
+mkdir -p "$WORK"
+SOCK="$WORK/ecad.sock"
+SPILL="$WORK/spill"
+LOG="$WORK/ecad.log"
+
+PLAN3='(R0 join[p01] (R1 join[p12] R2))'
+PLAN2='(R0 join[p01] R1)'
+P01='p01=R0.a = R1.a'
+P12='p12=R1.b = R2.b'
+
+ECAD_PID=
+cleanup() {
+  if [ -n "$ECAD_PID" ] && kill -0 "$ECAD_PID" 2>/dev/null; then
+    kill -9 "$ECAD_PID" 2>/dev/null
+    wait "$ECAD_PID" 2>/dev/null
+  fi
+}
+trap cleanup EXIT
+
+fail() {
+  echo "service_smoke: FAIL: $*" >&2
+  echo "--- ecad log ---" >&2
+  cat "$LOG" >&2 2>/dev/null
+  exit 1
+}
+
+# Scrape one service.* counter from the metrics JSON (0 when absent, so
+# baselines read before any event stay arithmetic-safe).
+counter() {
+  local value
+  value=$("$ECACLIENT" --socket "$SOCK" metrics 2>/dev/null |
+    grep -o "\"$1\":[0-9]*" | head -1 | cut -d: -f2)
+  echo "${value:-0}"
+}
+
+# Poll until `counter $1` is >= $2 (bounded); echoes the final value.
+wait_counter_at_least() {
+  local name=$1 want=$2 value=0 i
+  for i in $(seq 1 200); do
+    value=$(counter "$name")
+    [ -n "$value" ] && [ "$value" -ge "$want" ] && { echo "$value"; return 0; }
+    sleep 0.05
+  done
+  echo "${value:-0}"
+  return 1
+}
+
+# --- startup: crash-recovery sweep ------------------------------------------
+
+mkdir -p "$SPILL/eca-q2000000000-0"
+echo "rows from a crashed ecad" > "$SPILL/eca-q2000000000-0/partition-0.bin"
+
+# --degrade-below-ms 60000: only requests that carry a deadline under a
+# minute plan in degraded sizes-only mode; the probes below send none.
+"$ECAD" --socket "$SOCK" --spill-dir "$SPILL" --rels 3 --rows 400 \
+  --max-concurrent 1 --queue-depth 1 --client-mem-limit-mb 1024 \
+  --degrade-below-ms 60000 > "$LOG" 2>&1 &
+ECAD_PID=$!
+
+for i in $(seq 1 200); do
+  grep -q "listening" "$LOG" 2>/dev/null && break
+  kill -0 "$ECAD_PID" 2>/dev/null || fail "ecad died during startup"
+  sleep 0.05
+done
+grep -q "listening" "$LOG" || fail "ecad never printed its listening line"
+grep -q "swept 1 orphaned spill dirs" "$LOG" ||
+  fail "startup sweep did not reclaim the orphan"
+[ ! -d "$SPILL/eca-q2000000000-0" ] || fail "orphan spill dir survived"
+
+"$ECACLIENT" --socket "$SOCK" ping | grep -q pong || fail "ping"
+
+# --- queue-then-run with byte-identical results -----------------------------
+
+ADMITTED0=$(counter service.admitted)
+QUEUED0=$(counter service.queued)
+SHED0=$(counter service.shed)
+
+# Holder: the slow 3-way join occupies the single slot.
+"$ECACLIENT" --socket "$SOCK" query "$PLAN3" --pred "$P01" --pred "$P12" \
+  > "$WORK/holder.out" 2> "$WORK/holder.err" &
+HOLDER_PID=$!
+wait_counter_at_least service.admitted $((ADMITTED0 + 1)) > /dev/null ||
+  fail "holder query was never admitted"
+
+# Probe: queues behind the holder (max-concurrent 1, queue-depth 1),
+# then runs; its bytes must match an idle run exactly.
+"$ECACLIENT" --socket "$SOCK" query "$PLAN2" --pred "$P01" --print-rows \
+  > "$WORK/contended.out" 2> "$WORK/contended.err" &
+PROBE_PID=$!
+wait_counter_at_least service.queued $((QUEUED0 + 1)) > /dev/null ||
+  fail "probe query never queued"
+
+# --- overload shed while saturated ------------------------------------------
+
+# Slot busy + queue full: a third arrival is shed immediately.
+"$ECACLIENT" --socket "$SOCK" query "$PLAN2" --pred "$P01" --retries 0 \
+  > "$WORK/shed.out" 2> "$WORK/shed.err"
+SHED_RC=$?
+[ "$SHED_RC" -eq 1 ] || fail "shed query exited $SHED_RC (want 1)"
+grep -q "RESOURCE_EXHAUSTED" "$WORK/shed.err" ||
+  fail "shed error is not RESOURCE_EXHAUSTED: $(cat "$WORK/shed.err")"
+[ "$(counter service.shed)" -gt "$SHED0" ] || fail "service.shed never moved"
+
+wait "$HOLDER_PID" || fail "holder query failed: $(cat "$WORK/holder.err")"
+wait "$PROBE_PID" || fail "probe query failed: $(cat "$WORK/contended.err")"
+grep -q "^queue_wait_ms=" "$WORK/contended.out" ||
+  fail "probe response has no queue_wait_ms"
+
+# Idle run of the same probe: byte-identical data. Only the volatile
+# summary keys (wait time, peak bytes, degrade markers) may differ.
+VOLATILE='^queue_wait_ms=\|^peak_bytes=\|^degraded=\|^trigger='
+"$ECACLIENT" --socket "$SOCK" query "$PLAN2" --pred "$P01" --print-rows \
+  > "$WORK/idle.out" 2>&1 || fail "idle probe failed"
+grep -v "$VOLATILE" "$WORK/contended.out" > "$WORK/contended.cmp"
+grep -v "$VOLATILE" "$WORK/idle.out" > "$WORK/idle.cmp"
+cmp -s "$WORK/contended.cmp" "$WORK/idle.cmp" ||
+  fail "contended and idle results differ (queue must not change bytes)"
+
+# --- degraded planning under a tight deadline -------------------------------
+
+# A 30s deadline is far below --degrade-below-ms 60000, so admission
+# flips the degrade bit while leaving ample real time to finish.
+DEGRADED0=$(counter service.degraded)
+"$ECACLIENT" --socket "$SOCK" query "$PLAN2" --pred "$P01" --print-rows \
+  --timeout-ms 30000 > "$WORK/degraded.out" 2>&1 ||
+  fail "degraded query failed: $(cat "$WORK/degraded.out")"
+grep -q "^degraded=1$" "$WORK/degraded.out" ||
+  fail "tight deadline did not degrade planning"
+grep -q "^trigger=sizes-only-fallback$" "$WORK/degraded.out" ||
+  fail "degraded response missing the trigger"
+[ "$(counter service.degraded)" -gt "$DEGRADED0" ] ||
+  fail "service.degraded never moved"
+# Sizes-only planning may pick a different join order, which permutes
+# row order; the result multiset (and the row count) must be unchanged.
+grep -v "$VOLATILE" "$WORK/degraded.out" | sort > "$WORK/degraded.cmp"
+sort "$WORK/idle.cmp" > "$WORK/idle.sorted"
+cmp -s "$WORK/degraded.cmp" "$WORK/idle.sorted" ||
+  fail "degraded planning changed the results"
+
+# --- SIGTERM drain: clean kCancelled, tracker at zero -----------------------
+
+DRAINED0=$(counter service.drained)
+ADMITTED1=$(counter service.admitted)
+"$ECACLIENT" --socket "$SOCK" query "$PLAN3" --pred "$P01" --pred "$P12" \
+  --retries 0 > "$WORK/drain.out" 2> "$WORK/drain.err" &
+VICTIM_PID=$!
+wait_counter_at_least service.admitted $((ADMITTED1 + 1)) > /dev/null ||
+  fail "drain victim was never admitted"
+
+kill -TERM "$ECAD_PID"
+wait "$VICTIM_PID"
+VICTIM_RC=$?
+wait "$ECAD_PID"
+ECAD_RC=$?
+ECAD_PID=
+
+[ "$ECAD_RC" -eq 0 ] || fail "ecad exited $ECAD_RC after SIGTERM (want 0)"
+grep -q "drained, tracker=0 bytes" "$LOG" ||
+  fail "ecad did not report a zero tracker after the drain"
+[ "$VICTIM_RC" -eq 1 ] || fail "drained query exited $VICTIM_RC (want 1)"
+grep -q "CANCELLED" "$WORK/drain.err" ||
+  fail "drained query did not see kCancelled: $(cat "$WORK/drain.err")"
+
+# --- accept-fault: the client retry loop rides through a dropped accept -----
+
+"$ECAD" --socket "$SOCK" --rels 2 --rows 16 --fault-accept 0 \
+  > "$LOG" 2>&1 &
+ECAD_PID=$!
+for i in $(seq 1 200); do
+  grep -q "listening" "$LOG" 2>/dev/null && break
+  sleep 0.05
+done
+# First accepted connection is dropped; the client's backoff-retry must
+# land the second attempt.
+"$ECACLIENT" --socket "$SOCK" ping --retries 5 | grep -q pong ||
+  fail "client did not retry through the accept fault"
+kill -TERM "$ECAD_PID"
+wait "$ECAD_PID" || fail "faulted ecad did not drain cleanly"
+ECAD_PID=
+
+echo "service_smoke: all checks passed"
