@@ -51,8 +51,9 @@ int Run(int queries, int max_rels, bool all_orderings) {
         return;
       }
       // Sort-merge engine.
-      Executor smj_engine(
-          Executor::Options{Executor::JoinPreference::kSortMerge});
+      Executor::Options smj_opts;
+      smj_opts.join_preference = Executor::JoinPreference::kSortMerge;
+      Executor smj_engine(smj_opts);
       ++plans_checked;
       if (!SameMultiset(reference, CanonicalizeColumnOrder(
                                        smj_engine.Execute(plan, db)))) {

@@ -32,7 +32,9 @@ OrderingNodePtr Pair(OrderingNodePtr l, OrderingNodePtr r) {
 
 int Run() {
   TpchData data = GenerateTpch(TpchScale::OfSF(0.002), 7);
-  Optimizer tba{Optimizer::Options{Optimizer::Approach::kTBA}};
+  Optimizer::Options tba_opts;
+  tba_opts.approach = Optimizer::Approach::kTBA;
+  Optimizer tba{tba_opts};
   Optimizer eca;
 
   for (int which = 1; which <= 3; ++which) {

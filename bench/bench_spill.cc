@@ -59,7 +59,7 @@ StatusOr<Relation> TimeGoverned(const Plan& plan, const Database& db,
   row->wall_ms = 1e300;
   for (int i = 0; i < iters; ++i) {
     QueryContext ctx(limits);
-    Executor ex(Executor::Options{Executor::JoinPreference::kHash});
+    Executor ex;
     auto t0 = std::chrono::steady_clock::now();
     StatusOr<Relation> got = ex.ExecuteWithContext(plan, db, &ctx);
     auto t1 = std::chrono::steady_clock::now();
@@ -104,7 +104,7 @@ int Run(double sf, double nu, int iters, const std::string& json_path) {
     base.plan = np.name;
     base.wall_ms = 1e300;
     for (int i = 0; i < iters; ++i) {
-      Executor ex(Executor::Options{Executor::JoinPreference::kHash});
+      Executor ex;
       auto t0 = std::chrono::steady_clock::now();
       Relation out = ex.Execute(*np.plan, q.db);
       auto t1 = std::chrono::steady_clock::now();

@@ -25,8 +25,10 @@ namespace bench {
 inline double TimePlanMs(const Plan& plan, const Database& db,
                          Executor::JoinPreference pref, int iters) {
   double best = 1e300;
+  Executor::Options opts;
+  opts.join_preference = pref;
   for (int i = 0; i < iters; ++i) {
-    Executor ex(Executor::Options{pref});
+    Executor ex(opts);
     auto t0 = std::chrono::steady_clock::now();
     Relation out = ex.Execute(plan, db);
     auto t1 = std::chrono::steady_clock::now();

@@ -82,7 +82,9 @@ int main() {
       AllJoinOrderingTrees(query->leaves(), PredicateRefSets(*query));
   for (auto approach : {Optimizer::Approach::kTBA, Optimizer::Approach::kCBA,
                         Optimizer::Approach::kECA}) {
-    Optimizer opt{Optimizer::Options{approach}};
+    Optimizer::Options opts;
+    opts.approach = approach;
+    Optimizer opt{opts};
     int reachable = 0;
     for (const OrderingNodePtr& theta : thetas) {
       if (opt.Reorder(*query, *theta) != nullptr) ++reachable;

@@ -30,8 +30,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(seed),
               query->ToString().c_str());
 
-  Optimizer tba{Optimizer::Options{Optimizer::Approach::kTBA}};
-  Optimizer cba{Optimizer::Options{Optimizer::Approach::kCBA}};
+  Optimizer::Options tba_opts, cba_opts;
+  tba_opts.approach = Optimizer::Approach::kTBA;
+  cba_opts.approach = Optimizer::Approach::kCBA;
+  Optimizer tba{tba_opts};
+  Optimizer cba{cba_opts};
   Optimizer eca;
   Relation reference =
       CanonicalizeColumnOrder(eca.Execute(*query, db));

@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(data.partsupp.NumRows()),
               static_cast<long long>(data.part.NumRows()));
 
-  Optimizer tba{Optimizer::Options{Optimizer::Approach::kTBA}};
+  Optimizer::Options tba_opts;
+  tba_opts.approach = Optimizer::Approach::kTBA;
+  Optimizer tba{tba_opts};
   Optimizer eca;  // kECA
 
   std::printf("%8s %8s %12s %12s %9s %8s\n", "nu", "f12", "t_direct(ms)",

@@ -68,9 +68,39 @@ void ThreadPool::ParallelFor(int64_t count,
   in_loop_ = false;
 }
 
+void ThreadPool::RunOnWorkers(const std::function<void(int)>& fn) {
+  bool run_inline = num_threads_ == 1;
+  if (!run_inline) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Reentrant call from inside a loop body: run once on this thread.
+    if (in_loop_) run_inline = true;
+  }
+  if (run_inline) {
+    fn(0);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    worker_fn_ = &fn;
+    in_loop_ = true;
+    active_workers_ = num_threads_ - 1;  // workers; the caller joins too
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  fn(0);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  worker_fn_ = nullptr;
+  in_loop_ = false;
+}
+
 void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen_epoch = 0;
   for (;;) {
+    const std::function<void(int)>* worker_fn;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this, seen_epoch] {
@@ -78,8 +108,13 @@ void ThreadPool::WorkerLoop(int worker) {
       });
       if (shutdown_) return;
       seen_epoch = epoch_;
+      worker_fn = worker_fn_;
     }
-    DrainLoop(worker);
+    if (worker_fn != nullptr) {
+      (*worker_fn)(worker);
+    } else {
+      DrainLoop(worker);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--active_workers_ == 0) done_cv_.notify_all();

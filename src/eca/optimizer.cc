@@ -194,7 +194,8 @@ StatusOr<Relation> Optimizer::ExecuteGoverned(const Plan& plan,
                                               QueryContext* ctx,
                                               ExecStats* stats) const {
   Executor ex(
-      Executor::Options{options_.join_preference, options_.num_threads});
+      Executor::Options{options_.join_preference, options_.num_threads,
+                        options_.exec_tuning});
   StatusOr<Relation> result = ex.ExecuteWithContext(plan, db, ctx);
   if (stats != nullptr) *stats = ex.stats();
   return result;
@@ -232,7 +233,8 @@ PlanPtr Optimizer::Reorder(const Plan& query,
 
 Relation Optimizer::Execute(const Plan& plan, const Database& db) const {
   Executor ex(
-      Executor::Options{options_.join_preference, options_.num_threads});
+      Executor::Options{options_.join_preference, options_.num_threads,
+                        options_.exec_tuning});
   return ex.Execute(plan, db);
 }
 

@@ -41,6 +41,9 @@ class Optimizer {
     // for Optimize()'s root-level pair enumeration; results are
     // byte-identical for every value (docs/performance.md).
     int num_threads = 1;
+    // Executor morsel/chunk granularity; results are byte-identical for
+    // every legal value (fuzzed via ecafuzz --morsel-rows/--chunk-rows).
+    ExecTuning exec_tuning;
     // Run the compensation cleanup pass on the chosen plan (removes
     // identity projections, redundant best-matches, ...).
     bool cleanup_compensations = true;

@@ -6,7 +6,9 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "exec/chunk.h"
 #include "exec/executor.h"
+#include "exec/fused_comp.h"
 #include "exec/query_context.h"
 #include "storage/spill_file.h"
 #include "types/tri_bool.h"
@@ -15,47 +17,66 @@ namespace eca {
 
 namespace {
 
-// Runs fn(row) for every input row, chunk-parallel when a pool is given.
-// fn must only touch state owned by its row (the transforms below write
-// into a pre-sized output slot per row), so the result is identical for
-// every thread count. A governed ctx is observed at chunk granularity
-// (every 4096 rows when sequential): once ShouldStop() flips, remaining
-// rows are skipped — callers' outputs are discarded on the error path.
+// Runs fn(row) for every input row, morsel-parallel when a pool is given:
+// workers (the caller included) claim fixed-size morsels from a shared
+// cursor until the input is dry. fn must only touch state owned by its
+// row (the transforms below write into a pre-sized output slot per row),
+// so the result is identical for every thread count. A governed ctx is
+// observed at every morsel boundary — sequential runs included — so
+// deadline/cancellation latency is bounded by one morsel of work
+// regardless of how operators are fused.
 template <typename RowFn>
 void ForEachRow(const Relation& in, ThreadPool* pool, QueryContext* ctx,
-                const RowFn& fn) {
-  const int64_t n = in.NumRows();
-  if (pool == nullptr || pool->num_threads() <= 1) {
-    for (int64_t i = 0; i < n; ++i) {
-      if (ctx != nullptr && (i & 4095) == 0 && ctx->ShouldStop()) return;
-      fn(i);
+                const ExecTuning* tuning, const RowFn& fn) {
+  const ExecTuning t = tuning != nullptr ? tuning->Clamped() : ExecTuning();
+  MorselCursor cursor(in.NumRows(), t.morsel_rows);
+  auto worker = [&](int) {
+    int64_t begin, end, morsel;
+    while (cursor.Next(&begin, &end, &morsel)) {
+      if (ctx != nullptr && ctx->ShouldStop()) return;
+      for (int64_t i = begin; i < end; ++i) fn(i);
     }
-    return;
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->RunOnWorkers(worker);
+  } else {
+    worker(0);
   }
-  const int64_t chunks = pool->ShardsFor(n);
-  pool->ParallelFor(chunks, [&](int64_t c) {
-    if (ctx != nullptr && ctx->ShouldStop()) return;
-    int64_t begin = c * n / chunks;
-    int64_t end = (c + 1) * n / chunks;
-    for (int64_t i = begin; i < end; ++i) fn(i);
-  });
 }
 
 // Null mask of a tuple packed into words (bit i set = column i is NULL).
+// Distinct patterns (map keys) keep this owning form; per-row masks live
+// in a NullMaskMatrix (one flat allocation, no per-row heap traffic) and
+// are compared against patterns word-by-word.
 using NullMask = std::vector<uint64_t>;
-
-NullMask MaskOf(const Tuple& t) {
-  NullMask m((t.size() + 63) / 64, 0);
-  for (size_t i = 0; i < t.size(); ++i) {
-    if (t[i].is_null()) m[i / 64] |= uint64_t{1} << (i % 64);
-  }
-  return m;
-}
 
 int Popcount(const NullMask& m) {
   int c = 0;
   for (uint64_t w : m) c += __builtin_popcountll(w);
   return c;
+}
+
+// Copies row `r`'s mask words into `out` (reusing its storage).
+void MaskFromMatrix(const NullMaskMatrix& m, int64_t r, NullMask* out) {
+  const uint64_t* w = m.row(r);
+  out->assign(w, w + m.words_per_row());
+}
+
+bool RowMaskEquals(const NullMaskMatrix& m, int64_t r, const NullMask& p) {
+  const uint64_t* w = m.row(r);
+  for (size_t i = 0; i < m.words_per_row(); ++i) {
+    if (w[i] != p[i]) return false;
+  }
+  return true;
+}
+
+bool RowMasksEqual(const NullMaskMatrix& m, int64_t a, int64_t b) {
+  const uint64_t* wa = m.row(a);
+  const uint64_t* wb = m.row(b);
+  for (size_t i = 0; i < m.words_per_row(); ++i) {
+    if (wa[i] != wb[i]) return false;
+  }
+  return true;
 }
 
 // True if every null position of `a` is also null in `b` (a's null set is a
@@ -125,14 +146,15 @@ Relation EvalBetaExternal(const Relation& in, QueryContext* ctx,
 }  // namespace
 
 Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in,
-                    ThreadPool* pool, QueryContext* ctx) {
+                    ThreadPool* pool, QueryContext* ctx,
+                    const ExecTuning* tuning) {
   ECA_CHECK(pred != nullptr);
   CompiledPredicate compiled(pred, in.schema());
   std::vector<int> cols = in.schema().ColumnsOf(attrs);
   Relation out(in.schema());
   // One output row per input row: pre-size and fill slots in parallel.
   out.mutable_rows().resize(static_cast<size_t>(in.NumRows()));
-  ForEachRow(in, pool, ctx, [&](int64_t i) {
+  ForEachRow(in, pool, ctx, tuning, [&](int64_t i) {
     const Tuple& t = in.rows()[static_cast<size_t>(i)];
     if (compiled.EvalTrue(t)) {
       out.mutable_rows()[static_cast<size_t>(i)] = t;
@@ -149,13 +171,13 @@ Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in,
 }
 
 Relation EvalGamma(RelSet attrs, const Relation& in, ThreadPool* pool,
-                   QueryContext* ctx) {
+                   QueryContext* ctx, const ExecTuning* tuning) {
   std::vector<int> cols = in.schema().ColumnsOf(attrs);
   ECA_CHECK_MSG(!cols.empty(), "gamma over attributes absent from input");
   // Filter: mark selected rows in parallel, emit sequentially in row
   // order (so the output is identical for every thread count).
   std::vector<uint8_t> selected(static_cast<size_t>(in.NumRows()), 0);
-  ForEachRow(in, pool, ctx, [&](int64_t i) {
+  ForEachRow(in, pool, ctx, tuning, [&](int64_t i) {
     const Tuple& t = in.rows()[static_cast<size_t>(i)];
     bool all_null = true;
     for (int c : cols) {
@@ -193,15 +215,17 @@ Relation EvalBeta(const Relation& in, QueryContext* ctx, ExecStats* stats) {
   // of P) agrees with it on P's non-null positions. Plan intermediates have
   // relation-block-structured nulls, so the number of distinct patterns is
   // small and this runs in near-linear time while implementing the exact
-  // per-attribute definition of Section 2.2.
+  // per-attribute definition of Section 2.2. Row masks live in one flat
+  // matrix; only the (few) distinct patterns are heap-allocated map keys.
+  NullMaskMatrix masks;
+  masks.Build(in);
   std::unordered_map<NullMask, std::vector<int64_t>, MaskHash> groups;
-  std::vector<NullMask> row_masks(static_cast<size_t>(in.NumRows()));
   const int num_cols = in.schema().NumColumns();
+  NullMask scratch;
   for (int64_t i = 0; i < in.NumRows(); ++i) {
-    NullMask m = MaskOf(in.rows()[static_cast<size_t>(i)]);
-    if (Popcount(m) == num_cols) continue;  // all-NULL tuples are spurious
-    row_masks[static_cast<size_t>(i)] = m;
-    groups[std::move(m)].push_back(i);
+    if (masks.NullCount(i) == num_cols) continue;  // all-NULL is spurious
+    MaskFromMatrix(masks, i, &scratch);
+    groups[scratch].push_back(i);
   }
 
   std::vector<std::pair<NullMask, std::vector<int64_t>>> ordered(
@@ -310,18 +334,20 @@ Relation EvalBetaNaive(const Relation& in) {
 
 Relation EvalBetaSorted(const Relation& in) {
   const int num_cols = in.schema().NumColumns();
-  // Distinct null patterns present in the input.
+  // Distinct null patterns present in the input; per-row masks stay in
+  // the flat matrix.
+  NullMaskMatrix masks;
+  masks.Build(in);
   std::unordered_map<NullMask, int, MaskHash> patterns;
-  std::vector<NullMask> row_masks(static_cast<size_t>(in.NumRows()));
   std::vector<bool> keep(static_cast<size_t>(in.NumRows()), true);
+  NullMask scratch;
   for (int64_t i = 0; i < in.NumRows(); ++i) {
-    NullMask m = MaskOf(in.rows()[static_cast<size_t>(i)]);
-    if (Popcount(m) == num_cols && num_cols > 0) {
+    if (masks.NullCount(i) == num_cols && num_cols > 0) {
       keep[static_cast<size_t>(i)] = false;  // all-NULL convention
       continue;
     }
-    row_masks[static_cast<size_t>(i)] = m;
-    patterns.emplace(std::move(m), 1);
+    MaskFromMatrix(masks, i, &scratch);
+    patterns.emplace(scratch, 1);
   }
 
   // One sorting pass per pattern P: order by P's non-NULL columns first
@@ -367,7 +393,7 @@ Relation EvalBetaSorted(const Relation& in) {
     // agrees on the prefix columns and has fewer-or-equal NULLs.
     int64_t prev = -1;
     for (int64_t idx : order) {
-      if (prev >= 0 && row_masks[static_cast<size_t>(idx)] == pattern) {
+      if (prev >= 0 && RowMaskEquals(masks, idx, pattern)) {
         const Tuple& t = in.rows()[static_cast<size_t>(idx)];
         const Tuple& p = in.rows()[static_cast<size_t>(prev)];
         bool agree = true;
@@ -380,18 +406,12 @@ Relation EvalBetaSorted(const Relation& in) {
             break;
           }
         }
-        if (agree &&
-            Popcount(row_masks[static_cast<size_t>(prev)]) <=
-                Popcount(row_masks[static_cast<size_t>(idx)])) {
+        if (agree && masks.NullCount(prev) <= masks.NullCount(idx)) {
           // Dominated (strictly fewer NULLs) or duplicate (equal pattern
           // and full agreement — prefix agreement plus both all-NULL
           // elsewhere).
-          bool duplicate =
-              row_masks[static_cast<size_t>(prev)] ==
-              row_masks[static_cast<size_t>(idx)];
-          bool dominated =
-              Popcount(row_masks[static_cast<size_t>(prev)]) <
-              Popcount(row_masks[static_cast<size_t>(idx)]);
+          bool duplicate = RowMasksEqual(masks, prev, idx);
+          bool dominated = masks.NullCount(prev) < masks.NullCount(idx);
           if (duplicate || dominated) {
             keep[static_cast<size_t>(idx)] = false;
             continue;  // prev stays the reference survivor
@@ -425,17 +445,18 @@ Relation EvalBetaExternal(const Relation& in, QueryContext* ctx,
     span.AppendArg("rows", static_cast<long long>(in.NumRows()));
   }
   const int num_cols = in.schema().NumColumns();
+  NullMaskMatrix masks;
+  masks.Build(in);
   std::unordered_map<NullMask, int, MaskHash> patterns;
-  std::vector<NullMask> row_masks(static_cast<size_t>(in.NumRows()));
   std::vector<bool> keep(static_cast<size_t>(in.NumRows()), true);
+  NullMask mscratch;
   for (int64_t i = 0; i < in.NumRows(); ++i) {
-    NullMask m = MaskOf(in.rows()[static_cast<size_t>(i)]);
-    if (Popcount(m) == num_cols && num_cols > 0) {
+    if (masks.NullCount(i) == num_cols && num_cols > 0) {
       keep[static_cast<size_t>(i)] = false;  // all-NULL convention
       continue;
     }
-    row_masks[static_cast<size_t>(i)] = m;
-    patterns.emplace(std::move(m), 1);
+    MaskFromMatrix(masks, i, &mscratch);
+    patterns.emplace(mscratch, 1);
   }
 
   SpillDir dir("eca-beta", ctx->spill_dir());
@@ -489,7 +510,7 @@ Relation EvalBetaExternal(const Relation& in, QueryContext* ctx,
         return ctx->StopStatus();
       }
       int64_t idx = static_cast<int64_t>(tag);
-      if (prev >= 0 && row_masks[static_cast<size_t>(idx)] == pattern) {
+      if (prev >= 0 && RowMaskEquals(masks, idx, pattern)) {
         const Tuple& t = in.rows()[static_cast<size_t>(idx)];
         const Tuple& p = in.rows()[static_cast<size_t>(prev)];
         bool agree = true;
@@ -501,13 +522,9 @@ Relation EvalBetaExternal(const Relation& in, QueryContext* ctx,
             break;
           }
         }
-        if (agree &&
-            Popcount(row_masks[static_cast<size_t>(prev)]) <=
-                Popcount(row_masks[static_cast<size_t>(idx)])) {
-          bool duplicate = row_masks[static_cast<size_t>(prev)] ==
-                           row_masks[static_cast<size_t>(idx)];
-          bool dominated = Popcount(row_masks[static_cast<size_t>(prev)]) <
-                           Popcount(row_masks[static_cast<size_t>(idx)]);
+        if (agree && masks.NullCount(prev) <= masks.NullCount(idx)) {
+          bool duplicate = RowMasksEqual(masks, prev, idx);
+          bool dominated = masks.NullCount(prev) < masks.NullCount(idx);
           if (duplicate || dominated) {
             keep[static_cast<size_t>(idx)] = false;
             return Status::OK();  // prev stays the reference survivor
@@ -541,7 +558,7 @@ Relation EvalBetaExternal(const Relation& in, QueryContext* ctx,
 
 Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in,
                        ThreadPool* pool, QueryContext* ctx,
-                       ExecStats* stats) {
+                       ExecStats* stats, const ExecTuning* tuning) {
   std::vector<int> acols = in.schema().ColumnsOf(attrs);
   ECA_CHECK_MSG(!acols.empty(), "gamma* over attributes absent from input");
   std::vector<int> nulled_cols;
@@ -552,7 +569,7 @@ Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in,
   // below is inherently sequential (cross-row domination).
   Relation modified(in.schema());
   modified.mutable_rows().resize(static_cast<size_t>(in.NumRows()));
-  ForEachRow(in, pool, ctx, [&](int64_t i) {
+  ForEachRow(in, pool, ctx, tuning, [&](int64_t i) {
     const Tuple& t = in.rows()[static_cast<size_t>(i)];
     bool all_null = true;
     for (int c : acols) {
@@ -628,6 +645,116 @@ Relation EvalOuterUnion(const Relation& a, const Relation& b) {
 
 Relation EvalMinUnion(const Relation& a, const Relation& b) {
   return EvalBeta(EvalOuterUnion(a, b));
+}
+
+void FusedCompChain::AddLambda(const PredRef& pred, RelSet attrs,
+                               const Schema& schema) {
+  ECA_CHECK(pred != nullptr);
+  Step s;
+  s.kind = Step::Kind::kLambdaMask;
+  s.pred = CompiledPredicate(pred, schema);
+  for (int c : schema.ColumnsOf(attrs)) {
+    s.null_cols.push_back(c);
+    s.null_types.push_back(schema.column(c).type);
+  }
+  steps_.push_back(std::move(s));
+}
+
+void FusedCompChain::AddGamma(RelSet attrs, const Schema& schema) {
+  std::vector<int> cols = schema.ColumnsOf(attrs);
+  ECA_CHECK_MSG(!cols.empty(), "gamma over attributes absent from input");
+  Step s;
+  s.kind = Step::Kind::kGammaFilter;
+  s.check_cols = std::move(cols);
+  steps_.push_back(std::move(s));
+}
+
+void FusedCompChain::AddGammaStarModify(RelSet attrs, RelSet keep,
+                                        const Schema& schema) {
+  std::vector<int> acols = schema.ColumnsOf(attrs);
+  ECA_CHECK_MSG(!acols.empty(), "gamma* over attributes absent from input");
+  Step s;
+  s.kind = Step::Kind::kGammaStarModify;
+  s.check_cols = std::move(acols);
+  for (int c = 0; c < schema.NumColumns(); ++c) {
+    if (!keep.Contains(schema.column(c).rel_id)) {
+      s.null_cols.push_back(c);
+      s.null_types.push_back(schema.column(c).type);
+    }
+  }
+  steps_.push_back(std::move(s));
+}
+
+bool FusedCompChain::Apply(Tuple* t) const {
+  for (const Step& s : steps_) {
+    switch (s.kind) {
+      case Step::Kind::kLambdaMask:
+        if (!s.pred.EvalTrue(*t)) {
+          for (size_t k = 0; k < s.null_cols.size(); ++k) {
+            (*t)[static_cast<size_t>(s.null_cols[k])] =
+                Value::Null(s.null_types[k]);
+          }
+        }
+        break;
+      case Step::Kind::kGammaFilter:
+        for (int c : s.check_cols) {
+          if (!(*t)[static_cast<size_t>(c)].is_null()) return false;
+        }
+        break;
+      case Step::Kind::kGammaStarModify: {
+        bool all_null = true;
+        for (int c : s.check_cols) {
+          if (!(*t)[static_cast<size_t>(c)].is_null()) {
+            all_null = false;
+            break;
+          }
+        }
+        if (!all_null) {
+          for (size_t k = 0; k < s.null_cols.size(); ++k) {
+            (*t)[static_cast<size_t>(s.null_cols[k])] =
+                Value::Null(s.null_types[k]);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+Relation ApplyFusedChain(const FusedCompChain& chain, const Relation& in,
+                         ThreadPool* pool, QueryContext* ctx,
+                         const ExecTuning* tuning) {
+  const ExecTuning t = tuning != nullptr ? tuning->Clamped() : ExecTuning();
+  MorselCursor cursor(in.NumRows(), t.morsel_rows);
+  std::vector<std::vector<Tuple>> morsel_out(
+      static_cast<size_t>(cursor.num_morsels()));
+  auto worker = [&](int) {
+    int64_t begin, end, morsel;
+    while (cursor.Next(&begin, &end, &morsel)) {
+      if (ctx != nullptr && ctx->ShouldStop()) return;
+      std::vector<Tuple>& buf = morsel_out[static_cast<size_t>(morsel)];
+      for (int64_t i = begin; i < end; ++i) {
+        Tuple u = in.rows()[static_cast<size_t>(i)];
+        if (chain.Apply(&u)) buf.push_back(std::move(u));
+      }
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->RunOnWorkers(worker);
+  } else {
+    worker(0);
+  }
+  // Morsel-ordered concatenation: dropped rows compact away, survivors
+  // keep input order for every thread count.
+  Relation out(in.schema());
+  size_t total = 0;
+  for (const auto& buf : morsel_out) total += buf.size();
+  out.mutable_rows().reserve(total);
+  for (auto& buf : morsel_out) {
+    for (Tuple& u : buf) out.Add(std::move(u));
+  }
+  return out;
 }
 
 Relation CanonicalizeColumnOrder(const Relation& in) {

@@ -6,6 +6,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "exec/fused_comp.h"
 #include "exec/query_context.h"
 
 namespace eca {
@@ -17,6 +18,28 @@ using Clock = std::chrono::steady_clock;
 double MsSince(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0)
       .count();
+}
+
+// Output schema of `plan` without executing it; the fusion dispatch needs
+// the base operator's schema to compile a chain before the base runs.
+Schema PlanOutputSchema(const Plan& plan, const Database& db) {
+  switch (plan.kind()) {
+    case Plan::Kind::kLeaf:
+      return db.table(plan.rel_id()).schema();
+    case Plan::Kind::kJoin: {
+      Schema left = PlanOutputSchema(*plan.left(), db);
+      Schema right = PlanOutputSchema(*plan.right(), db);
+      return JoinOutputSchema(plan.op(), left, right);
+    }
+    case Plan::Kind::kComp: {
+      Schema child = PlanOutputSchema(*plan.child(), db);
+      if (plan.comp().kind == CompOp::Kind::kProject) {
+        return child.Project(plan.comp().attrs);
+      }
+      return child;  // lambda/beta/gamma/gamma* are schema-preserving
+    }
+  }
+  return Schema();
 }
 
 }  // namespace
@@ -85,9 +108,9 @@ Relation Executor::ExecNode(const Plan& plan, const Database& db) {
   Relation out;
   switch (plan.kind()) {
     case Plan::Kind::kLeaf: {
-      // Leaf scans materialize a copy of the base table; chunk-parallel
-      // row copy when a pool is available (output order is by row index
-      // either way).
+      // Leaf scans materialize a copy of the base table; morsel-parallel
+      // row copy when a pool is available (slots are written by row
+      // index, so the output is identical either way).
       const Relation& table = db.table(plan.rel_id());
       if (pool_ == nullptr) {
         out = table;
@@ -95,16 +118,17 @@ Relation Executor::ExecNode(const Plan& plan, const Database& db) {
       }
       out = Relation(table.schema());
       out.mutable_rows().resize(table.rows().size());
-      pool_->ParallelFor(
-          pool_->ShardsFor(table.NumRows()), [&](int64_t c) {
-            int64_t chunks = pool_->ShardsFor(table.NumRows());
-            int64_t begin = c * table.NumRows() / chunks;
-            int64_t end = (c + 1) * table.NumRows() / chunks;
-            for (int64_t i = begin; i < end; ++i) {
-              out.mutable_rows()[static_cast<size_t>(i)] =
-                  table.rows()[static_cast<size_t>(i)];
-            }
-          });
+      MorselCursor cursor(table.NumRows(),
+                          options_.tuning.Clamped().morsel_rows);
+      pool_->RunOnWorkers([&](int) {
+        int64_t begin, end, morsel;
+        while (cursor.Next(&begin, &end, &morsel)) {
+          for (int64_t i = begin; i < end; ++i) {
+            out.mutable_rows()[static_cast<size_t>(i)] =
+                table.rows()[static_cast<size_t>(i)];
+          }
+        }
+      });
       break;
     }
     case Plan::Kind::kJoin:
@@ -162,17 +186,24 @@ void Executor::ReleaseNodeOutput(const Relation& rel) {
   ctx_->tracker()->Release(ApproxRowsBytes(rel.rows()));
 }
 
-Relation Executor::ExecJoin(const Plan& plan, const Database& db) {
+Relation Executor::ExecJoin(const Plan& plan, const Database& db,
+                            const FusedCompChain* fused) {
   Relation left = ExecNode(*plan.left(), db);
   Relation right = ExecNode(*plan.right(), db);
   if (ctx_ != nullptr && ctx_->ShouldStop()) return Relation();
   ++stats_.join_nodes;
   TraceSpan span("join");
-  if (span.active()) span.AppendArg("op", JoinOpName(plan.op()));
+  if (span.active()) {
+    span.AppendArg("op", JoinOpName(plan.op()));
+    if (fused != nullptr && !fused->empty()) {
+      span.AppendArg("fused_steps",
+                     static_cast<long long>(fused->num_steps()));
+    }
+  }
   auto t0 = Clock::now();
   Relation out = EvalJoin(plan.op(), plan.pred(), left, right,
                           options_.join_preference, &stats_, pool_.get(),
-                          ctx_);
+                          ctx_, &options_.tuning, fused);
   stats_.join_ms += MsSince(t0);
   stats_.rows_produced += out.NumRows();
   if (span.active()) {
@@ -204,37 +235,103 @@ const char* CompSpanName(CompOp::Kind kind) {
 }  // namespace
 
 Relation Executor::ExecComp(const Plan& plan, const Database& db) {
-  Relation child = ExecNode(*plan.child(), db);
-  if (ctx_ != nullptr && ctx_->ShouldStop()) return Relation();
-  ++stats_.comp_nodes;
-  const CompOp& c = plan.comp();
-  TraceSpan span(CompSpanName(c.kind));
-  auto t0 = Clock::now();
+  // Collect the maximal fusable stack of row-local compensation steps
+  // rooted at this node: lambda and gamma always fuse; gamma* fuses only
+  // as the top of the segment (its best-match half, beta, must run after
+  // every fused step, so nothing above a gamma* can join its chain). The
+  // walk stops at the first pipeline breaker (beta, project) or non-comp
+  // node — that node is the segment's base.
+  std::vector<const Plan*> fusable;  // top-down plan order
+  const Plan* base = &plan;
+  while (base->kind() == Plan::Kind::kComp) {
+    const CompOp& op = base->comp();
+    bool can_fuse =
+        op.kind == CompOp::Kind::kLambda || op.kind == CompOp::Kind::kGamma ||
+        (op.kind == CompOp::Kind::kGammaStar && fusable.empty());
+    if (!can_fuse) break;
+    fusable.push_back(base);
+    base = &*base->child();
+  }
+
+  if (fusable.empty()) {
+    // Pipeline breaker at the top (beta or project): materialize the
+    // child (recursively fusing below it) and run the breaker.
+    const CompOp& c = plan.comp();
+    Relation child = ExecNode(*plan.child(), db);
+    if (ctx_ != nullptr && ctx_->ShouldStop()) return Relation();
+    ++stats_.comp_nodes;
+    TraceSpan span(CompSpanName(c.kind));
+    auto t0 = Clock::now();
+    Relation out = c.kind == CompOp::Kind::kBeta
+                       ? EvalBeta(child, ctx_, &stats_)
+                       : EvalProject(c.attrs, child);
+    stats_.comp_ms += MsSince(t0);
+    stats_.rows_produced += out.NumRows();
+    if (span.active()) {
+      span.AppendArg("rows", static_cast<long long>(out.NumRows()));
+    }
+    ReleaseNodeOutput(child);
+    return out;
+  }
+
+  // Compile the chain against the base's output schema (every fused step
+  // is schema-preserving, so one schema serves the whole chain), deepest
+  // step first — the order the rows would have met the operators.
+  const bool gamma_star_top =
+      fusable.front()->comp().kind == CompOp::Kind::kGammaStar;
+  FusedCompChain chain;
+  Schema base_schema = PlanOutputSchema(*base, db);
+  for (auto it = fusable.rbegin(); it != fusable.rend(); ++it) {
+    const CompOp& op = (*it)->comp();
+    switch (op.kind) {
+      case CompOp::Kind::kLambda:
+        chain.AddLambda(op.pred, op.attrs, base_schema);
+        break;
+      case CompOp::Kind::kGamma:
+        chain.AddGamma(op.attrs, base_schema);
+        break;
+      case CompOp::Kind::kGammaStar:
+        chain.AddGammaStarModify(op.attrs, op.keep, base_schema);
+        break;
+      default:
+        break;
+    }
+  }
+
   Relation out;
-  switch (c.kind) {
-    case CompOp::Kind::kLambda:
-      out = EvalLambda(c.pred, c.attrs, child, pool_.get(), ctx_);
-      break;
-    case CompOp::Kind::kBeta:
-      out = EvalBeta(child, ctx_, &stats_);
-      break;
-    case CompOp::Kind::kGamma:
-      out = EvalGamma(c.attrs, child, pool_.get(), ctx_);
-      break;
-    case CompOp::Kind::kGammaStar:
-      out = EvalGammaStar(c.attrs, c.keep, child, pool_.get(), ctx_,
-                          &stats_);
-      break;
-    case CompOp::Kind::kProject:
-      out = EvalProject(c.attrs, child);
-      break;
+  if (base->kind() == Plan::Kind::kJoin) {
+    // The chain rides the join's probe pipeline: every emitted row passes
+    // through it in place, no intermediate relation exists.
+    out = ExecJoin(*base, db, &chain);
+  } else {
+    Relation base_rel = ExecNode(*base, db);
+    if (ctx_ != nullptr && ctx_->ShouldStop()) return Relation();
+    TraceSpan span("comp/fused");
+    if (span.active()) {
+      span.AppendArg("steps", static_cast<long long>(chain.num_steps()));
+    }
+    auto t0 = Clock::now();
+    out = ApplyFusedChain(chain, base_rel, pool_.get(), ctx_,
+                          &options_.tuning);
+    stats_.comp_ms += MsSince(t0);
+    ReleaseNodeOutput(base_rel);
   }
-  stats_.comp_ms += MsSince(t0);
+  stats_.comp_nodes += static_cast<int64_t>(fusable.size());
+
+  // gamma* at the segment top: its modify half ran fused above; the
+  // best-match half is a pipeline breaker over the materialized result.
+  if (gamma_star_top) {
+    if (ctx_ != nullptr && ctx_->ShouldStop()) return Relation();
+    TraceSpan bspan("comp/beta");
+    auto t0 = Clock::now();
+    Relation bout = EvalBeta(out, ctx_, &stats_);
+    stats_.comp_ms += MsSince(t0);
+    if (bspan.active()) {
+      bspan.AppendArg("rows", static_cast<long long>(bout.NumRows()));
+    }
+    out = std::move(bout);
+  }
   stats_.rows_produced += out.NumRows();
-  if (span.active()) {
-    span.AppendArg("rows", static_cast<long long>(out.NumRows()));
-  }
-  ReleaseNodeOutput(child);
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "algebra/plan.h"
 #include "common/status.h"
+#include "exec/chunk.h"
 #include "exec/database.h"
 #include "storage/relation.h"
 
@@ -13,6 +14,7 @@ namespace eca {
 
 class ThreadPool;
 class QueryContext;
+class FusedCompChain;
 
 // Execution statistics accumulated over one Execute() call.
 struct ExecStats {
@@ -27,14 +29,21 @@ struct ExecStats {
   double join_ms = 0;
   double comp_ms = 0;
 
-  // Partition shape of the hash joins executed: total partitions built,
-  // the largest/smallest build partition, and the worst observed skew
-  // (largest partition over the mean partition size; 1.0 = perfectly
-  // balanced, higher = one partition dominates the parallel build).
+  // Partition shape of the hash joins executed, measured at a fixed stat
+  // fanout (16 hash partitions) independent of the thread count: total
+  // stat partitions, the largest/smallest partition, and the worst
+  // observed skew (largest partition over the mean partition size; 1.0 =
+  // perfectly balanced, higher = one key-hash range dominates). The same
+  // query reports the same shape at every --threads value.
   int64_t partitions_built = 0;
   int64_t max_partition_rows = 0;
   int64_t min_partition_rows = 0;
   double partition_skew = 0;
+  // True once any hash join seeded the min/max/skew fields above; the
+  // min-tracking needs it to distinguish "first build" from "smallest so
+  // far" (an explicit flag — the old partitions_built-based heuristic
+  // misfired across joins).
+  bool partition_stats_seeded = false;
 
   // Resource-governor counters (ExecuteWithContext only; all zero for
   // ungoverned runs). peak_bytes is the query tracker's high-water mark;
@@ -65,10 +74,14 @@ class Executor {
 
   struct Options {
     JoinPreference join_preference = JoinPreference::kHash;
-    // Number of threads for partitioned join/compensation evaluation.
-    // 1 (the default) runs the exact sequential code path with zero
+    // Number of threads for morsel-driven join/compensation evaluation.
+    // 1 (the default) runs the same morsel loops inline with zero
     // synchronization; results are byte-identical for every value.
     int num_threads = 1;
+    // Morsel/chunk granularity (exec/chunk.h). Results are byte-identical
+    // for every legal value; the knobs only move work-claim and scratch
+    // sizes (and are fuzzed via ecafuzz --morsel-rows/--chunk-rows).
+    ExecTuning tuning;
   };
 
   Executor() : Executor(Options()) {}
@@ -105,7 +118,15 @@ class Executor {
   // Publishes stats_ minus `before` into MetricsRegistry::Global(), so a
   // registry diff around one Execute call matches stats() exactly.
   void PublishStatsDelta(const ExecStats& before) const;
-  Relation ExecJoin(const Plan& plan, const Database& db);
+  // `fused` (optional) is a chain of row-local compensation steps stacked
+  // directly above the join in the plan; the join applies it per emitted
+  // row inside its probe pipeline.
+  Relation ExecJoin(const Plan& plan, const Database& db,
+                    const FusedCompChain* fused = nullptr);
+  // Fusion dispatch: collects the maximal lambda/gamma/gamma*-modify
+  // stack rooted at `plan` into a FusedCompChain and runs it inside the
+  // base join's probe loop (or as one morsel pass over the materialized
+  // base); beta and project are pipeline breakers and run standalone.
   Relation ExecComp(const Plan& plan, const Database& db);
   // Charges `rel`'s rows to the query tracker as the durable output of a
   // plan node; records the error on failure. No-op when ungoverned.
@@ -122,30 +143,42 @@ class Executor {
 
 // Generic join evaluation: uses hash (or sort-merge) join when the predicate
 // contains equi-conjuncts across the two inputs, nested loop otherwise.
-// The hash path partitions the build side (the smaller input for
-// inner/semi/anti joins) and probes in contiguous chunks; passing a
-// ThreadPool runs build and probe in parallel with output assembled in
-// chunk order, so the result is byte-identical for every thread count.
-// A governed call (non-null ctx) additionally observes cancellation and
-// deadline at chunk granularity, charges the build index to the memory
-// tracker, and escalates to the spilling grace hash join when the build
-// would cross the soft threshold — with output still byte-identical.
+// The hash path builds one shared open-addressing table over typed
+// columnar keys (the smaller input hosts it for inner/semi/anti joins)
+// and probes in fixed-size morsels claimed from a shared cursor; passing
+// a ThreadPool runs build and probe morsel-parallel with output assembled
+// in morsel-index order, so the result is byte-identical for every thread
+// count (and every `tuning` value). A governed call (non-null ctx)
+// additionally observes cancellation and deadline at morsel granularity,
+// charges the build index to the memory tracker, and escalates to the
+// spilling grace hash join when the build would cross the soft threshold
+// — with output still byte-identical. A non-null `fused` chain
+// (compensation operators stacked directly above the join) is applied
+// per emitted row inside the probe pipeline instead of as separate
+// materializing passes.
 Relation EvalJoin(JoinOp op, const PredRef& pred, const Relation& left,
                   const Relation& right,
                   Executor::JoinPreference pref = Executor::JoinPreference::kHash,
                   ExecStats* stats = nullptr, ThreadPool* pool = nullptr,
-                  QueryContext* ctx = nullptr);
+                  QueryContext* ctx = nullptr,
+                  const ExecTuning* tuning = nullptr,
+                  const FusedCompChain* fused = nullptr);
 
 // Reference nested-loop implementation of every join operator; used to
 // validate the hash/sort-merge paths.
 Relation EvalJoinNaive(JoinOp op, const PredRef& pred, const Relation& left,
                        const Relation& right);
 
+// Output schema of `op` over the two input schemas (semi/anti joins keep
+// one side, everything else concatenates).
+Schema JoinOutputSchema(JoinOp op, const Schema& left, const Schema& right);
+
 // lambda_{p,A}: NULLs the columns of relations in `attrs` for every tuple
-// on which `pred` does not evaluate to true. Row-parallel when a pool is
-// given (chunk-ordered assembly keeps the output order identical).
+// on which `pred` does not evaluate to true. Morsel-parallel when a pool
+// is given (morsel-ordered assembly keeps the output order identical).
 Relation EvalLambda(const PredRef& pred, RelSet attrs, const Relation& in,
-                    ThreadPool* pool = nullptr, QueryContext* ctx = nullptr);
+                    ThreadPool* pool = nullptr, QueryContext* ctx = nullptr,
+                    const ExecTuning* tuning = nullptr);
 
 // beta: removes spurious (dominated or duplicated) tuples. Exact
 // per-attribute semantics via null-pattern grouping; near-linear when the
@@ -181,9 +214,10 @@ Relation EvalBetaNaive(const Relation& in);
 Relation EvalBetaSorted(const Relation& in);
 
 // gamma_A: keeps tuples whose attributes of relations in `attrs` are all
-// NULL (Equation 7). Row-parallel when a pool is given.
+// NULL (Equation 7). Morsel-parallel when a pool is given.
 Relation EvalGamma(RelSet attrs, const Relation& in,
-                   ThreadPool* pool = nullptr, QueryContext* ctx = nullptr);
+                   ThreadPool* pool = nullptr, QueryContext* ctx = nullptr,
+                   const ExecTuning* tuning = nullptr);
 
 // gamma*_{A(B)}: Equation 8 — tuples with all-NULL A pass unchanged; other
 // tuples get every attribute outside `keep` NULLed; beta removes spurious
@@ -191,7 +225,8 @@ Relation EvalGamma(RelSet attrs, const Relation& in,
 // best-match stage is inherently sequential.
 Relation EvalGammaStar(RelSet attrs, RelSet keep, const Relation& in,
                        ThreadPool* pool = nullptr, QueryContext* ctx = nullptr,
-                       ExecStats* stats = nullptr);
+                       ExecStats* stats = nullptr,
+                       const ExecTuning* tuning = nullptr);
 
 // pi_A at relation granularity.
 Relation EvalProject(RelSet attrs, const Relation& in);

@@ -308,7 +308,9 @@ std::unique_ptr<RowIterator> Open(const Plan& plan, const Database& db,
 std::unique_ptr<RowIterator> OpenMaterialized(const Plan& plan,
                                               const Database& db,
                                               Executor::JoinPreference pref) {
-  Executor ex(Executor::Options{pref});
+  Executor::Options opts;
+  opts.join_preference = pref;
+  Executor ex(opts);
   return std::make_unique<MaterializedIterator>(ex.Execute(plan, db));
 }
 
@@ -328,7 +330,9 @@ std::unique_ptr<RowIterator> Open(const Plan& plan, const Database& db,
                 plan.right()->output_rels(), &keys, &residual);
       if (keys.empty()) return OpenMaterialized(plan, db, pref);
       std::unique_ptr<RowIterator> left = Open(*plan.left(), db, pref);
-      Executor ex(Executor::Options{pref});
+      Executor::Options ex_opts;
+      ex_opts.join_preference = pref;
+      Executor ex(ex_opts);
       Relation right = ex.Execute(*plan.right(), db);
       return std::make_unique<StreamingHashJoinIterator>(
           std::move(left), std::move(right), plan.op(), plan.pred(),

@@ -7,7 +7,9 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "exec/chunk.h"
 #include "exec/executor.h"
+#include "exec/fused_comp.h"
 #include "exec/query_context.h"
 #include "storage/spill_file.h"
 #include "types/tri_bool.h"
@@ -141,23 +143,29 @@ bool NeedsRightFlags(JoinOp op) {
 // appends outer-join NULL padding for unmatched rows, or emits the
 // semi/anti output from the matched flags. Runs sequentially in row
 // order, so the tail of the output is independent of how the matched
-// flags were computed.
+// flags were computed. A fused compensation chain (operators stacked
+// directly above the join in the plan) applies to these rows exactly as
+// it applies to matched pairs — the chain sits above the whole join
+// output, padding included.
 void FinishJoinOutput(JoinOp op, const JoinShape& shape, const Relation& left,
                       const Relation& right,
                       const std::vector<uint8_t>& left_matched,
                       const std::vector<uint8_t>& right_matched,
-                      Relation* out) {
+                      const FusedCompChain* fused, Relation* out) {
+  auto add = [&](Tuple t) {
+    if (fused == nullptr || fused->Apply(&t)) out->Add(std::move(t));
+  };
   auto emit_unmatched_left_padded = [&] {
     Tuple pad =
         NullsFor(shape.concat_schema, shape.left_width, shape.right_width);
     for (size_t i = 0; i < left_matched.size(); ++i) {
-      if (!left_matched[i]) out->Add(ConcatTuples(left.rows()[i], pad));
+      if (!left_matched[i]) add(ConcatTuples(left.rows()[i], pad));
     }
   };
   auto emit_unmatched_right_padded = [&] {
     Tuple pad = NullsFor(shape.concat_schema, 0, shape.left_width);
     for (size_t i = 0; i < right_matched.size(); ++i) {
-      if (!right_matched[i]) out->Add(ConcatTuples(pad, right.rows()[i]));
+      if (!right_matched[i]) add(ConcatTuples(pad, right.rows()[i]));
     }
   };
   auto emit_side = [&](const Relation& side,
@@ -165,7 +173,7 @@ void FinishJoinOutput(JoinOp op, const JoinShape& shape, const Relation& left,
                        bool want_matched) {
     for (size_t i = 0; i < matched.size(); ++i) {
       if (static_cast<bool>(matched[i]) == want_matched) {
-        out->Add(side.rows()[i]);
+        add(side.rows()[i]);
       }
     }
   };
@@ -203,8 +211,8 @@ void FinishJoinOutput(JoinOp op, const JoinShape& shape, const Relation& left,
 class JoinEmitter {
  public:
   JoinEmitter(JoinOp op, const JoinShape& shape, const Relation& left,
-              const Relation& right)
-      : op_(op), shape_(shape), left_(left), right_(right),
+              const Relation& right, const FusedCompChain* fused = nullptr)
+      : op_(op), shape_(shape), left_(left), right_(right), fused_(fused),
         out_(shape.out_schema) {
     if (NeedsLeftFlags(op)) {
       left_matched_.assign(static_cast<size_t>(left.NumRows()), 0);
@@ -215,16 +223,20 @@ class JoinEmitter {
   }
 
   void Match(int64_t li, int64_t ri) {
+    // Matched flags reflect the join itself; the fused chain only gates
+    // what reaches the output (a gamma above the join drops rows, it does
+    // not un-match them).
     if (!left_matched_.empty()) left_matched_[static_cast<size_t>(li)] = 1;
     if (!right_matched_.empty()) right_matched_[static_cast<size_t>(ri)] = 1;
     if (OutputsOneSide(op_)) return;  // semi/anti emit in Finish()
-    out_.Add(ConcatTuples(left_.rows()[static_cast<size_t>(li)],
-                          right_.rows()[static_cast<size_t>(ri)]));
+    Tuple t = ConcatTuples(left_.rows()[static_cast<size_t>(li)],
+                           right_.rows()[static_cast<size_t>(ri)]);
+    if (fused_ == nullptr || fused_->Apply(&t)) out_.Add(std::move(t));
   }
 
   Relation Finish() {
     FinishJoinOutput(op_, shape_, left_, right_, left_matched_,
-                     right_matched_, &out_);
+                     right_matched_, fused_, &out_);
     return std::move(out_);
   }
 
@@ -237,6 +249,7 @@ class JoinEmitter {
   const JoinShape& shape_;
   const Relation& left_;
   const Relation& right_;
+  const FusedCompChain* fused_;
   Relation out_;
   std::vector<uint8_t> left_matched_;
   std::vector<uint8_t> right_matched_;
@@ -244,9 +257,10 @@ class JoinEmitter {
 
 Relation NestedLoopJoin(JoinOp op, const PredRef& pred, const Relation& left,
                         const Relation& right, ExecStats* stats,
-                        QueryContext* ctx = nullptr) {
+                        QueryContext* ctx = nullptr,
+                        const FusedCompChain* fused = nullptr) {
   JoinShape shape = MakeShape(op, left, right);
-  JoinEmitter emitter(op, shape, left, right);
+  JoinEmitter emitter(op, shape, left, right, fused);
   CompiledPredicate compiled;
   bool have_pred = pred != nullptr;
   if (have_pred) compiled = CompiledPredicate(pred, shape.concat_schema);
@@ -286,114 +300,118 @@ Relation NestedLoopJoin(JoinOp op, const PredRef& pred, const Relation& left,
   return emitter.Finish();
 }
 
-// --- Partitioned hash join ------------------------------------------------
+// --- Morsel-driven vectorized hash join -----------------------------------
 //
-// The build side is hash-partitioned: each partition owns a disjoint slice
-// of the key-hash space and builds its own bucket table, so partitions
-// build independently (in parallel) without locks. The probe side is cut
-// into contiguous row chunks; each chunk probes the (read-only) partition
-// tables and buffers its matches, and chunk outputs are concatenated in
-// chunk order. Both phases therefore produce output whose content AND
-// order depend only on the inputs — never on the thread count or the
-// partition count — which is what lets `--threads N` promise results
-// byte-identical to the sequential engine.
+// The build side goes into ONE open-addressing table shared by all
+// workers: keys are extracted into typed flat columns (KeyChunkSet) and
+// inserted with a single compare-exchange per row, in the same morsel
+// pass that evaluates the keys. There is no scatter phase, no
+// per-partition table build, and — crucially — none of the two barrier
+// pairs the old partitioned build ran per join, which dominated runtime
+// at small-to-medium build sides and made adding threads a net loss.
+//
+// Determinism: CAS insertion order varies across runs, but the table is
+// only a *set* of row indexes per key — the probe collects every matching
+// build row from the linear-probe cluster and sorts the (usually 0- or
+// 1-element) match list ascending, restoring the increasing-build-row
+// emit order the row engine produced. Probe output is buffered per morsel
+// and concatenated in morsel-index order, and morsel boundaries depend
+// only on (rows, morsel_rows) — so output bytes are identical for every
+// thread count.
 
-int PartitionCountFor(ThreadPool* pool) {
-  if (pool == nullptr || pool->num_threads() <= 1) return 1;
-  int want = pool->num_threads() * 4;
-  int p = 1;
-  while (p < want && p < 256) p <<= 1;
-  return p;
-}
+// Fanout of the partition-shape statistics (partitions_built,
+// max/min_partition_rows, partition_skew): a fixed histogram over the low
+// 4 hash bits, computed after the build. The old code derived these from
+// the physical partition count (4x threads), so a 1-thread run reported a
+// meaningless skew of 1.000 over its single partition and the numbers
+// changed shape with --threads; the fixed fanout makes them a property of
+// the data, identical at every thread count.
+constexpr int kStatFanout = 16;
 
-struct BuildIndex {
-  int num_partitions = 1;
-  std::vector<std::vector<Value>> keys;  // per build row; empty = NULL key
-  std::vector<uint64_t> hashes;          // valid where keys[row] non-empty
-  // partition -> bucket map, bucket rows in increasing row order.
-  std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> tables;
-  int64_t valid_rows = 0;
+struct JoinTable {
+  KeyChunkSet keys;                         // columnar build-side keys
+  std::vector<std::atomic<int64_t>> slots;  // open addressing; -1 = empty
+  uint64_t mask = 0;                        // slots.size() - 1 (power of 2)
+  int64_t valid_rows = 0;                   // rows with non-NULL keys
 };
 
-BuildIndex BuildPartitionedIndex(const KeyEvaluator& ke, const Relation& rel,
-                                 ThreadPool* pool, ExecStats* stats) {
+void BuildJoinTable(const Relation& rel, const std::vector<int>& col_idx,
+                    const std::vector<ScalarRef>& exprs,
+                    const std::vector<KeyColumn::Tag>& tags, ThreadPool* pool,
+                    const ExecTuning& tuning, QueryContext* ctx,
+                    ExecStats* stats, JoinTable* table) {
   TraceSpan span("join/build");
-  BuildIndex index;
   const int64_t n = rel.NumRows();
   if (span.active()) span.AppendArg("rows", static_cast<long long>(n));
-  const int P = PartitionCountFor(pool);
-  index.num_partitions = P;
-  index.keys.resize(static_cast<size_t>(n));
-  index.hashes.resize(static_cast<size_t>(n));
+  table->keys.Reset(tags, n);
+  int64_t cap = 16;
+  while (cap < 2 * n) cap <<= 1;
+  table->slots = std::vector<std::atomic<int64_t>>(static_cast<size_t>(cap));
+  for (auto& s : table->slots) s.store(-1, std::memory_order_relaxed);
+  table->mask = static_cast<uint64_t>(cap - 1);
 
-  // Phase 1: evaluate keys and scatter rows into per-chunk partition
-  // lists. Chunks are contiguous, so concatenating a partition's lists in
-  // chunk order preserves increasing row order within the partition.
-  const int64_t chunks = pool != nullptr ? pool->ShardsFor(n) : 1;
-  std::vector<std::vector<std::vector<int64_t>>> scatter(
-      static_cast<size_t>(chunks),
-      std::vector<std::vector<int64_t>>(static_cast<size_t>(P)));
-  auto scan_chunk = [&](int64_t c) {
-    int64_t begin = c * n / chunks;
-    int64_t end = (c + 1) * n / chunks;
-    std::vector<Value> kv;
-    for (int64_t r = begin; r < end; ++r) {
-      if (!ke.Eval(rel.rows()[static_cast<size_t>(r)], &kv)) continue;
-      uint64_t h = HashTuple(kv);
-      index.keys[static_cast<size_t>(r)] = kv;
-      index.hashes[static_cast<size_t>(r)] = h;
-      scatter[static_cast<size_t>(c)]
-             [static_cast<size_t>(h % static_cast<uint64_t>(P))]
-                 .push_back(r);
-    }
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(chunks, scan_chunk);
-  } else {
-    for (int64_t c = 0; c < chunks; ++c) scan_chunk(c);
-  }
-
-  // Phase 2: per-partition table build, one partition per task.
-  index.tables.resize(static_cast<size_t>(P));
-  std::vector<int64_t> partition_rows(static_cast<size_t>(P), 0);
-  auto build_partition = [&](int64_t p) {
-    auto& table = index.tables[static_cast<size_t>(p)];
-    int64_t rows = 0;
-    for (int64_t c = 0; c < chunks; ++c) {
-      for (int64_t r : scatter[static_cast<size_t>(c)]
-                              [static_cast<size_t>(p)]) {
-        table[index.hashes[static_cast<size_t>(r)]].push_back(r);
-        ++rows;
+  // One fused pass: extract the morsel's keys into the typed columns and
+  // CAS each valid row into the table. Load factor stays <= 0.5, so
+  // linear-probe clusters are short.
+  MorselCursor cursor(n, tuning.morsel_rows);
+  auto build_worker = [&](int) {
+    int64_t begin, end, morsel;
+    while (cursor.Next(&begin, &end, &morsel)) {
+      if (ctx != nullptr && ctx->ShouldStop()) return;
+      for (int64_t r = begin; r < end; ++r) {
+        table->keys.ExtractRow(r, rel.rows()[static_cast<size_t>(r)], col_idx,
+                               exprs, rel.schema());
+        if (!table->keys.ValidAt(r)) continue;
+        uint64_t idx =
+            table->keys.hashes[static_cast<size_t>(r)] & table->mask;
+        int64_t expected = -1;
+        while (!table->slots[idx].compare_exchange_strong(
+            expected, r, std::memory_order_release,
+            std::memory_order_relaxed)) {
+          expected = -1;
+          idx = (idx + 1) & table->mask;
+        }
       }
     }
-    partition_rows[static_cast<size_t>(p)] = rows;
   };
-  if (pool != nullptr) {
-    pool->ParallelFor(P, build_partition);
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->RunOnWorkers(build_worker);
   } else {
-    for (int64_t p = 0; p < P; ++p) build_partition(p);
+    build_worker(0);
   }
 
-  for (int64_t rows : partition_rows) index.valid_rows += rows;
+  int64_t counts[kStatFanout] = {0};
+  int64_t valid = 0;
+  for (int64_t r = 0; r < n; ++r) {
+    if (!table->keys.ValidAt(r)) continue;
+    ++valid;
+    ++counts[table->keys.hashes[static_cast<size_t>(r)] &
+             uint64_t{kStatFanout - 1}];
+  }
+  table->valid_rows = valid;
   if (stats != nullptr) {
-    stats->hash_build_rows += index.valid_rows;
-    stats->partitions_built += P;
+    stats->hash_build_rows += valid;
+    stats->partitions_built += kStatFanout;
     int64_t max_rows = 0;
-    int64_t min_rows = n + 1;
-    for (int64_t rows : partition_rows) {
-      max_rows = std::max(max_rows, rows);
-      min_rows = std::min(min_rows, rows);
+    int64_t min_rows = counts[0];
+    for (int64_t c : counts) {
+      max_rows = std::max(max_rows, c);
+      min_rows = std::min(min_rows, c);
     }
     stats->max_partition_rows = std::max(stats->max_partition_rows, max_rows);
-    stats->min_partition_rows =
-        stats->partitions_built == P  // first join this Execute()
-            ? min_rows
-            : std::min(stats->min_partition_rows, min_rows);
-    double mean = static_cast<double>(index.valid_rows) / P;
+    // First-build detection is an explicit flag; the old heuristic
+    // (`partitions_built == P`) misfired as soon as two joins in one
+    // Execute() used different partition counts, leaving min_partition_rows
+    // stuck at the first join's value.
+    stats->min_partition_rows = stats->partition_stats_seeded
+                                    ? std::min(stats->min_partition_rows,
+                                               min_rows)
+                                    : min_rows;
+    stats->partition_stats_seeded = true;
+    double mean = static_cast<double>(valid) / kStatFanout;
     double skew = mean > 0 ? static_cast<double>(max_rows) / mean : 1.0;
     stats->partition_skew = std::max(stats->partition_skew, skew);
   }
-  return index;
 }
 
 // --- Grace (spilling) hash join -------------------------------------------
@@ -463,14 +481,15 @@ class GraceHashJoin {
   GraceHashJoin(JoinOp op, const JoinShape& shape,
                 const KeyEvaluator& build_keys, const KeyEvaluator& probe_keys,
                 bool build_left, const CompiledPredicate* residual,
-                const Relation& left, const Relation& right, QueryContext* ctx,
-                ExecStats* stats)
+                const FusedCompChain* fused, const Relation& left,
+                const Relation& right, QueryContext* ctx, ExecStats* stats)
       : op_(op),
         shape_(shape),
         build_keys_(build_keys),
         probe_keys_(probe_keys),
         build_left_(build_left),
         residual_(residual),
+        fused_(fused),
         left_(left),
         right_(right),
         build_(build_left ? left : right),
@@ -541,7 +560,7 @@ class GraceHashJoin {
     for (TaggedRow& m : matches_) result.Add(std::move(m.row));
     matches_.clear();
     FinishJoinOutput(op_, shape_, left_, right_, left_matched_,
-                     right_matched_, &result);
+                     right_matched_, fused_, &result);
     *out = std::move(result);
     return Status::OK();
   }
@@ -700,6 +719,9 @@ class GraceHashJoin {
         }
         if (emit_pairs) {
           Tuple t = ConcatTuples(lrow, rrow);
+          // The fused chain applies per emitted row here exactly as in the
+          // in-memory probe, so escalation stays byte-identical.
+          if (fused_ != nullptr && !fused_->Apply(&t)) continue;
           out_pending += ApproxTupleBytes(t);
           matches_.push_back({ptag, std::move(t)});
           if (out_pending >= (64 << 10)) {
@@ -719,6 +741,7 @@ class GraceHashJoin {
   const KeyEvaluator& probe_keys_;
   const bool build_left_;
   const CompiledPredicate* residual_;
+  const FusedCompChain* fused_;
   const Relation& left_;
   const Relation& right_;
   const Relation& build_;
@@ -737,7 +760,8 @@ class GraceHashJoin {
 Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
                   const PredRef& residual, const Relation& left,
                   const Relation& right, ExecStats* stats, ThreadPool* pool,
-                  QueryContext* ctx = nullptr) {
+                  QueryContext* ctx, const ExecTuning& tuning,
+                  const FusedCompChain* fused) {
   JoinShape shape = MakeShape(op, left, right);
 
   // Build on the smaller input where the operator allows it. Inner, semi
@@ -791,8 +815,8 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
       Tracer::Instant("governor/spill-escalate", "hash-join");
       TraceSpan grace_span("join/grace");
       GraceHashJoin grace(op, shape, build_keys, probe_keys, build_left,
-                          have_residual ? &compiled_residual : nullptr, left,
-                          right, ctx, stats);
+                          have_residual ? &compiled_residual : nullptr, fused,
+                          left, right, ctx, stats);
       Relation out(shape.out_schema);
       Status s = grace.Run(&out);
       if (!s.ok()) {
@@ -808,12 +832,23 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
     }
   }
 
-  BuildIndex index = BuildPartitionedIndex(build_keys, build, pool, stats);
-  const uint64_t P = static_cast<uint64_t>(index.num_partitions);
+  // Shared key-pair tags; bound column indexes come from the evaluators.
+  std::vector<KeyColumn::Tag> tags;
+  tags.reserve(keys.size());
+  for (const EquiKey& k : keys) {
+    const ScalarRef& be = build_left ? k.left_expr : k.right_expr;
+    const ScalarRef& pe = build_left ? k.right_expr : k.left_expr;
+    tags.push_back(
+        KeyColumn::TagFor(be, build.schema(), pe, probe.schema()));
+  }
 
-  // Matched flags. Probe-side flags are written by exactly one chunk per
-  // row (chunks are disjoint), so plain bytes suffice; build-side rows can
-  // match concurrently in several probe chunks, so those flags are
+  JoinTable table;
+  BuildJoinTable(build, build_keys.col_fastpath, build_keys.exprs, tags, pool,
+                 tuning, ctx, stats, &table);
+
+  // Matched flags. Probe-side flags are written by exactly one morsel per
+  // row (morsels are disjoint), so plain bytes suffice; build-side rows
+  // can match concurrently in several probe morsels, so those flags are
   // relaxed atomics (all writers store 1 — order is irrelevant).
   const bool need_left = NeedsLeftFlags(op);
   const bool need_right = NeedsRightFlags(op);
@@ -827,99 +862,119 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
   for (auto& f : build_matched) f.store(0, std::memory_order_relaxed);
 
   const int64_t pn = probe.NumRows();
-  const int64_t chunks = pool != nullptr ? pool->ShardsFor(pn) : 1;
-  std::vector<std::vector<Tuple>> chunk_out(
-      emit_pairs ? static_cast<size_t>(chunks) : 0);
-  std::vector<int64_t> chunk_comparisons(static_cast<size_t>(chunks), 0);
+  MorselCursor cursor(pn, tuning.morsel_rows);
+  const size_t num_morsels = static_cast<size_t>(cursor.num_morsels());
+  std::vector<std::vector<Tuple>> morsel_out(emit_pairs ? num_morsels : 0);
+  std::vector<int64_t> morsel_comparisons(num_morsels, 0);
 
-  auto probe_chunk = [&](int64_t c) {
-    int64_t begin = c * pn / chunks;
-    int64_t end = (c + 1) * pn / chunks;
-    std::vector<Tuple>* out =
-        emit_pairs ? &chunk_out[static_cast<size_t>(c)] : nullptr;
-    int64_t comparisons = 0;
-    std::vector<Value> kv;
-    // Per-chunk governor probe and output charge (thread-local; a failed
-    // charge records the error and every chunk sees ShouldStop()).
-    ExecCharge chunk_charge(ctx);
-    size_t charged_rows = 0;
-    int64_t chunk_pending = 0;
-    for (int64_t pi = begin; pi < end; ++pi) {
-      if (ctx != nullptr && ((pi - begin) & 1023) == 0) {
+  auto probe_worker = [&](int) {
+    KeyChunkSet pk;                 // per-worker columnar key scratch
+    std::vector<int64_t> matches;   // build rows matching one probe row
+    // Per-worker governor charge for buffered output (scratch; the
+    // executor re-charges the merged relation as node output). A failed
+    // charge records the error and every worker sees ShouldStop() at its
+    // next morsel boundary.
+    ExecCharge out_charge(ctx);
+    int64_t pending = 0;
+    int64_t begin, end, morsel;
+    while (cursor.Next(&begin, &end, &morsel)) {
+      if (ctx != nullptr) {
         if (ctx->ShouldStop()) return;
-        if (out != nullptr) {
-          for (; charged_rows < out->size(); ++charged_rows) {
-            chunk_pending += ApproxTupleBytes((*out)[charged_rows]);
+        if (pending >= (64 << 10)) {
+          Status s = out_charge.Add(pending, "hash-join output");
+          pending = 0;
+          if (!s.ok()) {
+            ctx->RecordError(std::move(s));
+            return;
           }
-          if (chunk_pending >= (64 << 10)) {
-            Status s = chunk_charge.Add(chunk_pending, "hash-join output");
-            chunk_pending = 0;
-            if (!s.ok()) {
-              ctx->RecordError(std::move(s));
-              return;
+        }
+      }
+      std::vector<Tuple>* out =
+          emit_pairs ? &morsel_out[static_cast<size_t>(morsel)] : nullptr;
+      int64_t comparisons = 0;
+      for (int64_t cb = begin; cb < end; cb += tuning.chunk_rows) {
+        const int64_t ce = std::min(cb + tuning.chunk_rows, end);
+        const int64_t cn = ce - cb;
+        pk.Reset(tags, cn);
+        for (int64_t i = 0; i < cn; ++i) {
+          pk.ExtractRow(i, probe.rows()[static_cast<size_t>(cb + i)],
+                        probe_keys.col_fastpath, probe_keys.exprs,
+                        probe.schema());
+        }
+        for (int64_t i = 0; i < cn; ++i) {
+          if (!pk.ValidAt(i)) continue;
+          const uint64_t h = pk.hashes[static_cast<size_t>(i)];
+          uint64_t idx = h & table.mask;
+          matches.clear();
+          for (;;) {
+            int64_t br = table.slots[idx].load(std::memory_order_acquire);
+            if (br < 0) break;
+            if (table.keys.hashes[static_cast<size_t>(br)] == h) {
+              ++comparisons;
+              if (table.keys.RowEqual(br, pk, i)) matches.push_back(br);
+            }
+            idx = (idx + 1) & table.mask;
+          }
+          // CAS insertion order is nondeterministic; ascending build-row
+          // order per probe row restores the row engine's emit order.
+          if (matches.size() > 1) std::sort(matches.begin(), matches.end());
+          const int64_t pi = cb + i;
+          const Tuple& prow = probe.rows()[static_cast<size_t>(pi)];
+          for (int64_t bi : matches) {
+            const Tuple& brow = build.rows()[static_cast<size_t>(bi)];
+            const Tuple& lrow = build_left ? brow : prow;
+            const Tuple& rrow = build_left ? prow : brow;
+            if (have_residual &&
+                !compiled_residual.EvalTrue(ConcatTuples(lrow, rrow))) {
+              continue;
+            }
+            if (need_probe) probe_matched[static_cast<size_t>(pi)] = 1;
+            if (need_build) {
+              build_matched[static_cast<size_t>(bi)].store(
+                  1, std::memory_order_relaxed);
+            }
+            if (emit_pairs) {
+              Tuple t = ConcatTuples(lrow, rrow);
+              if (fused == nullptr || fused->Apply(&t)) {
+                if (ctx != nullptr) pending += ApproxTupleBytes(t);
+                out->push_back(std::move(t));
+              }
             }
           }
         }
       }
-      const Tuple& prow = probe.rows()[static_cast<size_t>(pi)];
-      if (!probe_keys.Eval(prow, &kv)) continue;
-      uint64_t h = HashTuple(kv);
-      const auto& table = index.tables[static_cast<size_t>(h % P)];
-      auto it = table.find(h);
-      if (it == table.end()) continue;
-      for (int64_t bi : it->second) {
-        ++comparisons;
-        const std::vector<Value>& bk = index.keys[static_cast<size_t>(bi)];
-        bool key_equal = true;
-        for (size_t i = 0; i < kv.size(); ++i) {
-          if (!kv[i].SameAs(bk[i])) {
-            key_equal = false;
-            break;
-          }
-        }
-        if (!key_equal) continue;
-        const Tuple& brow = build.rows()[static_cast<size_t>(bi)];
-        const Tuple& lrow = build_left ? brow : prow;
-        const Tuple& rrow = build_left ? prow : brow;
-        if (have_residual &&
-            !compiled_residual.EvalTrue(ConcatTuples(lrow, rrow))) {
-          continue;
-        }
-        if (need_probe) probe_matched[static_cast<size_t>(pi)] = 1;
-        if (need_build) {
-          build_matched[static_cast<size_t>(bi)].store(
-              1, std::memory_order_relaxed);
-        }
-        if (emit_pairs) out->push_back(ConcatTuples(lrow, rrow));
-      }
+      morsel_comparisons[static_cast<size_t>(morsel)] = comparisons;
     }
-    chunk_comparisons[static_cast<size_t>(c)] = comparisons;
+    if (ctx != nullptr && pending > 0) {
+      Status s = out_charge.Add(pending, "hash-join output");
+      if (!s.ok()) ctx->RecordError(std::move(s));
+    }
   };
   {
     TraceSpan probe_span("join/probe");
     if (probe_span.active()) {
       probe_span.AppendArg("rows", static_cast<long long>(pn));
     }
-    if (pool != nullptr) {
-      pool->ParallelFor(chunks, probe_chunk);
+    if (pool != nullptr && pool->num_threads() > 1) {
+      pool->RunOnWorkers(probe_worker);
     } else {
-      for (int64_t c = 0; c < chunks; ++c) probe_chunk(c);
+      probe_worker(0);
     }
   }
 
   if (stats != nullptr) {
-    for (int64_t comparisons : chunk_comparisons) {
+    for (int64_t comparisons : morsel_comparisons) {
       stats->probe_comparisons += comparisons;
     }
   }
 
-  // Chunk-ordered merge, then the sequential padding/side phase.
+  // Morsel-ordered merge, then the sequential padding/side phase.
   Relation out(shape.out_schema);
   if (emit_pairs) {
     size_t total = 0;
-    for (const auto& part : chunk_out) total += part.size();
+    for (const auto& part : morsel_out) total += part.size();
     out.mutable_rows().reserve(total);
-    for (auto& part : chunk_out) {
+    for (auto& part : morsel_out) {
       for (Tuple& t : part) out.Add(std::move(t));
     }
   }
@@ -933,7 +988,7 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
     build_out[i] = build_matched[i].load(std::memory_order_relaxed);
   }
   if (need_probe) probe_out = std::move(probe_matched);
-  FinishJoinOutput(op, shape, left, right, left_matched, right_matched,
+  FinishJoinOutput(op, shape, left, right, left_matched, right_matched, fused,
                    &out);
   return out;
 }
@@ -941,9 +996,10 @@ Relation HashJoin(JoinOp op, const std::vector<EquiKey>& keys,
 Relation SortMergeJoin(JoinOp op, const std::vector<EquiKey>& keys,
                        const PredRef& residual, const Relation& left,
                        const Relation& right, ExecStats* stats,
-                       QueryContext* ctx = nullptr) {
+                       QueryContext* ctx = nullptr,
+                       const FusedCompChain* fused = nullptr) {
   JoinShape shape = MakeShape(op, left, right);
-  JoinEmitter emitter(op, shape, left, right);
+  JoinEmitter emitter(op, shape, left, right, fused);
 
   KeyEvaluator lkeys, rkeys;
   std::vector<ScalarRef> lexprs, rexprs;
@@ -1033,6 +1089,19 @@ Relation SortMergeJoin(JoinOp op, const std::vector<EquiKey>& keys,
 
 }  // namespace
 
+Schema JoinOutputSchema(JoinOp op, const Schema& left, const Schema& right) {
+  switch (op) {
+    case JoinOp::kLeftSemi:
+    case JoinOp::kLeftAnti:
+      return left;
+    case JoinOp::kRightSemi:
+    case JoinOp::kRightAnti:
+      return right;
+    default:
+      return left.Concat(right);
+  }
+}
+
 Relation EvalJoinNaive(JoinOp op, const PredRef& pred, const Relation& left,
                        const Relation& right) {
   return NestedLoopJoin(op, pred, left, right, nullptr);
@@ -1040,21 +1109,25 @@ Relation EvalJoinNaive(JoinOp op, const PredRef& pred, const Relation& left,
 
 Relation EvalJoin(JoinOp op, const PredRef& pred, const Relation& left,
                   const Relation& right, Executor::JoinPreference pref,
-                  ExecStats* stats, ThreadPool* pool, QueryContext* ctx) {
+                  ExecStats* stats, ThreadPool* pool, QueryContext* ctx,
+                  const ExecTuning* tuning, const FusedCompChain* fused) {
+  const ExecTuning t = tuning != nullptr ? tuning->Clamped() : ExecTuning();
+  if (fused != nullptr && fused->empty()) fused = nullptr;
   if (pred == nullptr) {
-    return NestedLoopJoin(op, pred, left, right, stats, ctx);
+    return NestedLoopJoin(op, pred, left, right, stats, ctx, fused);
   }
   std::vector<EquiKey> keys;
   PredRef residual;
   SplitEquiKeys(pred, left.schema().rels(), right.schema().rels(), &keys,
                 &residual);
   if (keys.empty()) {
-    return NestedLoopJoin(op, pred, left, right, stats, ctx);
+    return NestedLoopJoin(op, pred, left, right, stats, ctx, fused);
   }
   if (pref == Executor::JoinPreference::kSortMerge) {
-    return SortMergeJoin(op, keys, residual, left, right, stats, ctx);
+    return SortMergeJoin(op, keys, residual, left, right, stats, ctx, fused);
   }
-  return HashJoin(op, keys, residual, left, right, stats, pool, ctx);
+  return HashJoin(op, keys, residual, left, right, stats, pool, ctx, t,
+                  fused);
 }
 
 }  // namespace eca

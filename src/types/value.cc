@@ -39,39 +39,51 @@ int Value::Compare(const Value& other) const {
   return c < 0 ? -1 : (c > 0 ? 1 : 0);
 }
 
-uint64_t Value::Hash() const {
-  if (null_) return 0x9e3779b97f4a7c15ULL;
-  uint64_t h = 0;
-  switch (type_) {
-    case DataType::kInt64:
-      h = static_cast<uint64_t>(int_);
-      break;
-    case DataType::kDouble: {
-      // Hash doubles representing integers identically to the int64 hash so
-      // that equi-join hashing across numeric types is consistent with
-      // Compare().
-      double d = double_;
-      if (d == std::floor(d) && std::abs(d) < 9.0e18) {
-        h = static_cast<uint64_t>(static_cast<int64_t>(d));
-      } else {
-        static_assert(sizeof(double) == sizeof(uint64_t));
-        __builtin_memcpy(&h, &d, sizeof(h));
-      }
-      break;
-    }
-    case DataType::kString: {
-      h = 1469598103934665603ULL;
-      for (char c : str_) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ULL;
-      }
-      return h;  // string hashes are in a separate family; no mixing needed
-    }
-  }
+uint64_t HashInt64Key(int64_t x) {
+  uint64_t h = static_cast<uint64_t>(x);
   h ^= h >> 33;
   h *= 0xff51afd7ed558ccdULL;
   h ^= h >> 33;
   return h;
+}
+
+uint64_t HashDoubleKey(double d) {
+  // Hash doubles representing integers identically to the int64 hash so
+  // that equi-join hashing across numeric types is consistent with
+  // Compare().
+  uint64_t h;
+  if (d == std::floor(d) && std::abs(d) < 9.0e18) {
+    return HashInt64Key(static_cast<int64_t>(d));
+  }
+  static_assert(sizeof(double) == sizeof(uint64_t));
+  __builtin_memcpy(&h, &d, sizeof(h));
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashStringKey(const std::string& s) {
+  // String hashes are in a separate family; no avalanche mixing needed.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Value::Hash() const {
+  if (null_) return 0x9e3779b97f4a7c15ULL;
+  switch (type_) {
+    case DataType::kInt64:
+      return HashInt64Key(int_);
+    case DataType::kDouble:
+      return HashDoubleKey(double_);
+    case DataType::kString:
+      return HashStringKey(str_);
+  }
+  return 0;
 }
 
 std::string Value::ToString() const {

@@ -93,6 +93,15 @@ class Value {
 
   std::string ToString() const;
 
+  // Columnar accessors: raw payload reads for the vectorized executor's
+  // typed column extraction (exec/chunk.h). Unlike AsInt()/AsDouble()/
+  // AsStr() these do not assert type or nullness — the caller has already
+  // dispatched on the column's declared type and checked the null flag
+  // once per column, not once per value.
+  int64_t raw_int() const { return int_; }
+  double raw_double() const { return double_; }
+  const std::string& raw_str() const { return str_; }
+
  private:
   DataType type_;
   bool null_;
@@ -100,6 +109,15 @@ class Value {
   double double_ = 0;
   std::string str_;
 };
+
+// Per-type key hash functions, identical to Value::Hash() on non-null
+// values of that type but callable on raw column data (exec/chunk.h).
+// HashDoubleKey maps integer-valued doubles to HashInt64Key of that
+// integer, keeping hashing consistent with Compare()'s numeric promotion
+// (Int(3) and Real(3.0) hash — and compare — equal).
+uint64_t HashInt64Key(int64_t x);
+uint64_t HashDoubleKey(double d);
+uint64_t HashStringKey(const std::string& s);
 
 }  // namespace eca
 

@@ -52,7 +52,9 @@ TEST(OptimizerFacadeTest, ApproachesDiffer) {
   auto thetas = AllJoinOrderingTrees(q->leaves(), PredicateRefSets(*q));
   ASSERT_EQ(thetas.size(), 2u);
 
-  Optimizer tba{Optimizer::Options{Optimizer::Approach::kTBA}};
+  Optimizer::Options tba_opts;
+  tba_opts.approach = Optimizer::Approach::kTBA;
+  Optimizer tba{tba_opts};
   Optimizer eca;
   int tba_reach = 0, eca_reach = 0;
   for (const OrderingNodePtr& theta : thetas) {
@@ -81,8 +83,9 @@ TEST(OptimizerFacadeTest, ExplainIncludesPlanCostAndSql) {
 TEST(OptimizerFacadeTest, JoinPreferenceRespected) {
   Fixture f = MakeFixture(5, 3);
   Optimizer hash;
-  Optimizer smj{Optimizer::Options{Optimizer::Approach::kECA, true,
-                                   Executor::JoinPreference::kSortMerge}};
+  Optimizer::Options smj_opts;
+  smj_opts.join_preference = Executor::JoinPreference::kSortMerge;
+  Optimizer smj{smj_opts};
   Relation a = hash.Execute(*f.query, f.db);
   Relation b = smj.Execute(*f.query, f.db);
   ExpectSameRelation(a, b, "hash vs sort-merge engine profiles");

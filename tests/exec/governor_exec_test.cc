@@ -237,6 +237,66 @@ TEST(GovernorLimitTest, DeadlineUnwindsWithDeadlineExceeded) {
       << got.status().ToString();
 }
 
+// Regression for deadline granularity inside fused pipelines: the old
+// executor only observed the clock between operator phases, so a fused
+// probe+compensation pipeline over a large input could overrun its
+// deadline by the whole pipeline's runtime. Checks now happen at morsel
+// boundaries: with single-row morsels and a fake clock that advances 1ms
+// per governed observation, a 2ms budget must fire within the first few
+// morsels of a long join — deterministically, no sleeps involved.
+TEST(GovernorLimitTest, DeadlineObservedAtMorselBoundariesInFusedPipeline) {
+  Relation left = BigRel(0, 2000, 53, /*key_domain=*/30);
+  Relation right = BigRel(1, 2000, 59, /*key_domain=*/30);
+  Database db;
+  db.Add(std::move(left));
+  db.Add(std::move(right));
+  // Lambda over a full outer join fuses into the probe pipeline; the
+  // deadline must still be observed inside the fused loop.
+  PlanPtr plan = Plan::Comp(
+      CompOp::Lambda(EquiJoin(0, "b", 1, "b", "pb"), RelSet::Single(1)),
+      Plan::Join(JoinOp::kFullOuter, EquiJoin(0, "a", 1, "a", "p01"),
+                 Plan::Leaf(0), Plan::Leaf(1)));
+  ScopedFaultClock clock(/*now_ms=*/100, /*step_ms=*/1);
+  QueryContext::Limits limits;
+  limits.timeout_ms = 2;
+  QueryContext ctx(limits);
+  ctx.Arm();
+  Executor::Options opts;
+  opts.tuning.morsel_rows = 1;  // a check per row: the tightest granularity
+  Executor ex(opts);
+  StatusOr<Relation> got = ex.ExecuteWithContext(*plan, db, &ctx);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded)
+      << got.status().ToString();
+}
+
+// Cancellation mid-morsel-stream: kCancelRace flips the token from inside
+// a governor probe once a few morsels are already done; the fused
+// pipeline must unwind with a clean kCancelled at the next boundary.
+TEST(GovernorLimitTest, CancelMidMorselUnwindsCleanly) {
+  Relation left = BigRel(0, 600, 61, /*key_domain=*/12);
+  Relation right = BigRel(1, 600, 67, /*key_domain=*/12);
+  Database db;
+  db.Add(std::move(left));
+  db.Add(std::move(right));
+  PlanPtr plan = Plan::Comp(
+      CompOp::Gamma(RelSet::Single(1)),
+      Plan::Join(JoinOp::kFullOuter, EquiJoin(0, "a", 1, "a", "p01"),
+                 Plan::Leaf(0), Plan::Leaf(1)));
+  for (int64_t skip : {int64_t{2}, int64_t{10}}) {
+    FaultInjector::Reset();
+    ScopedFault fault(FaultPoint::kCancelRace, skip);
+    QueryContext ctx;
+    Executor::Options opts;
+    opts.tuning.morsel_rows = 8;
+    Executor ex(opts);
+    StatusOr<Relation> got = ex.ExecuteWithContext(*plan, db, &ctx);
+    ASSERT_FALSE(got.ok()) << "skip " << skip;
+    EXPECT_EQ(got.status().code(), StatusCode::kCancelled) << "skip " << skip;
+  }
+  FaultInjector::Reset();
+}
+
 TEST(GovernorLimitTest, CancellationUnwindsWithCancelled) {
   Rng rng(43);
   RandomDataOptions dopts;

@@ -55,6 +55,12 @@ expect_fail("threads negative" "bad --threads value '-2'"
             explain ${PLAN} --pred ${PRED} --threads -2)
 expect_fail("threads huge" "bad --threads value '99999999999'"
             explain ${PLAN} --pred ${PRED} --threads 99999999999)
+expect_fail("morsel-rows zero" "bad --morsel-rows value '0'"
+            explain ${PLAN} --pred ${PRED} --morsel-rows 0)
+expect_fail("morsel-rows garbage" "bad --morsel-rows value '4k'"
+            explain ${PLAN} --pred ${PRED} --morsel-rows 4k)
+expect_fail("chunk-rows negative" "bad --chunk-rows value '-1'"
+            explain ${PLAN} --pred ${PRED} --chunk-rows -1)
 expect_fail("rows garbage" "bad --rows value '10q'"
             explain ${PLAN} --pred ${PRED} --rows 10q)
 expect_fail("rows negative" "bad --rows value '-3'"
@@ -77,6 +83,9 @@ expect_fail("bad gen-tpch sf" "bad scale factor"
 
 expect_ok("plain explain"
           explain ${PLAN} --pred ${PRED} --rows 32 --approach eca)
+expect_ok("tuned explain"
+          explain ${PLAN} --pred ${PRED} --rows 32 --approach eca
+          --threads 2 --morsel-rows 5 --chunk-rows 3)
 expect_ok("governed explain"
           explain ${PLAN} --pred ${PRED} --rows 32 --approach eca
           --timeout-ms 60000 --mem-limit-mb 256)

@@ -64,6 +64,12 @@ struct FuzzConfig {
   bool verbose = false;
   bool enum_diff = false;
   int64_t mem_limit_mb = 0;  // > 0: governed re-execution differential
+  // Executor morsel/chunk granularity for the optimized side (0 = engine
+  // default). Results must be byte-identical for every legal value, so
+  // these knobs widen the parallel-vs-sequential differential the same
+  // way --threads does.
+  int morsel_rows = 0;
+  int chunk_rows = 0;
 };
 
 // One iteration's randomized setup, minus the data/query (regenerated
@@ -79,6 +85,9 @@ struct TrialSetup {
   // Hard memory limit (MB) for the governed re-execution differential;
   // 0 disables it.
   int64_t mem_limit_mb = 0;
+  // Morsel/chunk granularity for the optimized side (0 = default).
+  int morsel_rows = 0;
+  int chunk_rows = 0;
   // skip counts per fault point; -1 = disarmed. Filled in the constructor
   // so every point starts disarmed however many FaultPoints exist.
   int64_t fault_skip[static_cast<int>(FaultPoint::kNumPoints)];
@@ -111,6 +120,12 @@ struct TrialSetup {
     }
     if (mem_limit_mb > 0) {
       out += " mem_limit_mb=" + std::to_string(mem_limit_mb);
+    }
+    if (morsel_rows > 0) {
+      out += " morsel_rows=" + std::to_string(morsel_rows);
+    }
+    if (chunk_rows > 0) {
+      out += " chunk_rows=" + std::to_string(chunk_rows);
     }
     for (int p = 0; p < static_cast<int>(FaultPoint::kNumPoints); ++p) {
       if (fault_skip[p] >= 0) {
@@ -146,6 +161,8 @@ Trial MakeTrial(uint64_t seed, const FuzzConfig& cfg) {
   TrialSetup& s = t.setup;
   s.exec_threads = cfg.threads;
   s.mem_limit_mb = cfg.mem_limit_mb;
+  s.morsel_rows = cfg.morsel_rows;
+  s.chunk_rows = cfg.chunk_rows;
   s.approach = static_cast<Optimizer::Approach>(rng.Uniform(0, 2));
   s.reuse_subplans = rng.Bernoulli(0.7);
   if (rng.Bernoulli(0.5)) {
@@ -218,6 +235,8 @@ std::string RunTrial(const Trial& t, const TrialSetup& setup,
   Relation expect = plain.Execute(*t.query, t.db);
   Optimizer::Options exec_opts;
   exec_opts.num_threads = setup.exec_threads;
+  if (setup.morsel_rows > 0) exec_opts.exec_tuning.morsel_rows = setup.morsel_rows;
+  if (setup.chunk_rows > 0) exec_opts.exec_tuning.chunk_rows = setup.chunk_rows;
   Optimizer threaded{exec_opts};
   Relation got = threaded.Execute(*best->plan, t.db);
   if (!SameMultiset(CanonicalizeColumnOrder(expect),
@@ -244,6 +263,8 @@ std::string RunTrial(const Trial& t, const TrialSetup& setup,
     ctx.Arm();
     Executor::Options xopts;
     xopts.num_threads = setup.exec_threads;
+    if (setup.morsel_rows > 0) xopts.tuning.morsel_rows = setup.morsel_rows;
+    if (setup.chunk_rows > 0) xopts.tuning.chunk_rows = setup.chunk_rows;
     Executor ex(xopts);
     StatusOr<Relation> governed = ex.ExecuteWithContext(*best->plan, t.db,
                                                         &ctx);
@@ -392,50 +413,53 @@ std::string RunMutatedNotation(const Trial& t, uint64_t seed) {
   return "";
 }
 
-int Main(int argc, char** argv) {
-  FuzzConfig cfg;
-  bool queries_set = false;
+// Parses command-line flags into `cfg`. Returns false (after printing
+// usage) on an unknown flag. `queries_set` reports whether --queries was
+// given explicitly (smoke mode lowers the default).
+bool ParseArgs(int argc, char** argv, FuzzConfig* cfg, bool* queries_set) {
+  *queries_set = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
-      cfg.queries = std::atoll(argv[++i]);
-      queries_set = true;
+      cfg->queries = std::atoll(argv[++i]);
+      *queries_set = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      cfg.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      cfg->seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--max-rels") == 0 && i + 1 < argc) {
-      cfg.max_rels = std::atoi(argv[++i]);
+      cfg->max_rels = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      cfg.threads = std::atoi(argv[++i]);
+      cfg->threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
-      cfg.smoke = true;
+      cfg->smoke = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
-      cfg.verbose = true;
+      cfg->verbose = true;
     } else if (std::strcmp(argv[i], "--enum-diff") == 0) {
-      cfg.enum_diff = true;
+      cfg->enum_diff = true;
     } else if (std::strcmp(argv[i], "--mem-limit-mb") == 0 && i + 1 < argc) {
-      cfg.mem_limit_mb = std::atoll(argv[++i]);
+      cfg->mem_limit_mb = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--morsel-rows") == 0 && i + 1 < argc) {
+      cfg->morsel_rows = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--chunk-rows") == 0 && i + 1 < argc) {
+      cfg->chunk_rows = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\nusage: ecafuzz [--queries N] "
                    "[--seed S] [--max-rels N] [--threads N] [--smoke] "
-                   "[--verbose] [--enum-diff] [--mem-limit-mb N]\n",
+                   "[--verbose] [--enum-diff] [--mem-limit-mb N] "
+                   "[--morsel-rows N] [--chunk-rows N]\n",
                    argv[i]);
-      return 2;
+      return false;
     }
   }
-  if (cfg.smoke && !queries_set) cfg.queries = 200;
-  if (cfg.max_rels < 2 || cfg.queries <= 0 || cfg.threads < 1 ||
-      cfg.mem_limit_mb < 0) {
-    std::fprintf(stderr,
-                 "need --max-rels >= 2, --queries > 0, --threads >= 1 "
-                 "and --mem-limit-mb >= 0\n");
-    return 2;
-  }
+  return true;
+}
 
-  // Every flag that changes what MakeTrial / RunTrial does for a given
-  // seed must appear in the printed repro command, or replaying it runs a
-  // different trial: --smoke changes the query-shape distribution,
-  // --max-rels seeds different relation counts, --threads picks the
-  // parallel execution path, --mem-limit-mb arms the governor.
+// Every flag that changes what MakeTrial / RunTrial does for a given
+// seed must appear in the printed repro command, or replaying it runs a
+// different trial: --smoke changes the query-shape distribution,
+// --max-rels seeds different relation counts, --threads picks the
+// parallel execution path, --mem-limit-mb arms the governor, and
+// --morsel-rows/--chunk-rows move the executor's work-claim granularity.
+std::string ReproSuffix(const FuzzConfig& cfg) {
   std::string repro_suffix = cfg.smoke ? " --smoke" : "";
   if (cfg.max_rels != FuzzConfig{}.max_rels) {
     repro_suffix += " --max-rels " + std::to_string(cfg.max_rels);
@@ -446,6 +470,67 @@ int Main(int argc, char** argv) {
   if (cfg.mem_limit_mb > 0) {
     repro_suffix += " --mem-limit-mb " + std::to_string(cfg.mem_limit_mb);
   }
+  if (cfg.morsel_rows > 0) {
+    repro_suffix += " --morsel-rows " + std::to_string(cfg.morsel_rows);
+  }
+  if (cfg.chunk_rows > 0) {
+    repro_suffix += " --chunk-rows " + std::to_string(cfg.chunk_rows);
+  }
+  return repro_suffix;
+}
+
+// Self-check: re-parsing "--seed S --queries 1<ReproSuffix(cfg)>" must
+// reproduce every trial-relevant field of `cfg`. This is the property the
+// printed repro lines rely on; a flag added to FuzzConfig but forgotten
+// in ReproSuffix fails here (in --smoke CI) instead of producing repro
+// commands that silently replay a different trial.
+bool ReproSuffixRoundTrips(const FuzzConfig& cfg) {
+  std::string cmd = "--seed " + std::to_string(cfg.seed) + " --queries 1" +
+                    ReproSuffix(cfg);
+  std::vector<std::string> tokens;
+  for (size_t pos = 0; pos < cmd.size();) {
+    size_t space = cmd.find(' ', pos);
+    if (space == std::string::npos) space = cmd.size();
+    if (space > pos) tokens.push_back(cmd.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("ecafuzz"));
+  for (std::string& t : tokens) argv.push_back(t.data());
+  FuzzConfig replay;
+  bool queries_set = false;
+  if (!ParseArgs(static_cast<int>(argv.size()), argv.data(), &replay,
+                 &queries_set)) {
+    return false;
+  }
+  return replay.seed == cfg.seed && replay.smoke == cfg.smoke &&
+         replay.max_rels == cfg.max_rels && replay.threads == cfg.threads &&
+         replay.mem_limit_mb == cfg.mem_limit_mb &&
+         replay.morsel_rows == cfg.morsel_rows &&
+         replay.chunk_rows == cfg.chunk_rows && queries_set &&
+         replay.queries == 1;
+}
+
+int Main(int argc, char** argv) {
+  FuzzConfig cfg;
+  bool queries_set = false;
+  if (!ParseArgs(argc, argv, &cfg, &queries_set)) return 2;
+  if (cfg.smoke && !queries_set) cfg.queries = 200;
+  if (cfg.max_rels < 2 || cfg.queries <= 0 || cfg.threads < 1 ||
+      cfg.mem_limit_mb < 0 || cfg.morsel_rows < 0 || cfg.chunk_rows < 0) {
+    std::fprintf(stderr,
+                 "need --max-rels >= 2, --queries > 0, --threads >= 1 and "
+                 "non-negative --mem-limit-mb/--morsel-rows/--chunk-rows\n");
+    return 2;
+  }
+  if (cfg.smoke && !ReproSuffixRoundTrips(cfg)) {
+    std::fprintf(stderr,
+                 "repro-suffix round-trip failed: a printed repro command "
+                 "would not replay this configuration\n");
+    return 2;
+  }
+
+  std::string repro_suffix = ReproSuffix(cfg);
 
   if (cfg.enum_diff) {
     int64_t failures = 0;

@@ -10,6 +10,7 @@
 //
 //   ecatool explain "<plan>" --pred name="<expr>" ... [--rows N]
 //           [--approach eca|tba|cba] [--data <dir>] [--threads N]
+//           [--morsel-rows N] [--chunk-rows N]
 //           [--explain-stats] [--timeout-ms N] [--mem-limit-mb N]
 //       Optimize the query — with all three approaches, or just the one
 //       named by --approach — and print plans, costs and EXPLAIN ANALYZE.
@@ -110,7 +111,8 @@ int Usage() {
                "  ecatool orderings \"<plan>\" --pred name=\"<expr>\"...\n"
                "  ecatool explain \"<plan>\" --pred name=\"<expr>\"... "
                "[--rows N] [--approach eca|tba|cba] [--data <dir>] "
-               "[--threads N] [--explain-stats] "
+               "[--threads N] [--morsel-rows N] [--chunk-rows N] "
+               "[--explain-stats] "
                "[--timeout-ms N] [--mem-limit-mb N] [--spill-dir <dir>] "
                "[--trace-out <file.json>] [--metrics] [--metrics-json]\n"
                "  ecatool sweep-spill-dir <dir>\n");
@@ -140,6 +142,8 @@ struct ExplainArgs {
   std::vector<Optimizer::Approach> approaches;
   std::string data_dir;
   int num_threads = 1;
+  int64_t morsel_rows = 0;  // 0 = executor default
+  int64_t chunk_rows = 0;   // 0 = executor default
   bool explain_stats = false;
   int64_t timeout_ms = 0;     // 0 = no deadline
   int64_t mem_limit_mb = 0;   // 0 = no memory limit
@@ -179,6 +183,17 @@ bool ParsePredArgs(int argc, char** argv, int start,
         return false;
       }
       explain->num_threads = static_cast<int>(threads);
+    } else if (explain != nullptr &&
+               std::strcmp(argv[i], "--morsel-rows") == 0 && i + 1 < argc) {
+      if (!ParseIntFlag("--morsel-rows", argv[++i], 1,
+                        &explain->morsel_rows)) {
+        return false;
+      }
+    } else if (explain != nullptr &&
+               std::strcmp(argv[i], "--chunk-rows") == 0 && i + 1 < argc) {
+      if (!ParseIntFlag("--chunk-rows", argv[++i], 1, &explain->chunk_rows)) {
+        return false;
+      }
     } else if (explain != nullptr &&
                std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
       if (!ParseIntFlag("--timeout-ms", argv[++i], 1, &explain->timeout_ms)) {
@@ -423,6 +438,12 @@ int Explain(int argc, char** argv) {
     Optimizer::Options opts;
     opts.approach = approach;
     opts.num_threads = extra.num_threads;
+    if (extra.morsel_rows > 0) {
+      opts.exec_tuning.morsel_rows = static_cast<int>(extra.morsel_rows);
+    }
+    if (extra.chunk_rows > 0) {
+      opts.exec_tuning.chunk_rows = static_cast<int>(extra.chunk_rows);
+    }
     Optimizer opt{opts};
     // Each approach runs as its own governed query: fresh tracker, fresh
     // deadline, so --timeout-ms bounds every optimize+execute pair.
