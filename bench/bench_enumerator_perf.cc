@@ -62,6 +62,12 @@ struct SizeRow {
   int64_t fast_calls = 0;
   double fast_ms_t1 = 0;
   double fast_ms_t4 = 0;
+  // Phase breakdown of the fast path (EnumeratorStats::phase_*_us): the
+  // sequential leader prefix vs the barrier-free follower pass.
+  double fast_leader_ms_t1 = 0;
+  double fast_followers_ms_t1 = 0;
+  double fast_leader_ms_t4 = 0;
+  double fast_followers_ms_t4 = 0;
   int64_t fast_clones = 0;
   int64_t fast_cost_evals = 0;
   int64_t fast_prunes = 0;
@@ -165,6 +171,8 @@ int Run(int queries, int max_rels, int ref_max_rels, int basic_max_rels,
       row.fast_prunes += f1.stats.prunes;
       row.fast_memo_hits += f1.stats.cost_memo_hits;
       row.fast_reuses += f1.stats.reuses;
+      row.fast_leader_ms_t1 += f1.stats.phase_leader_us / 1000.0;
+      row.fast_followers_ms_t1 += f1.stats.phase_followers_us / 1000.0;
 
       if (have_ref && f1.cost != ref_cost) {
         std::printf("IDENTITY FAIL: rels=%d query=%d fast cost %.17g != "
@@ -179,6 +187,8 @@ int Run(int queries, int max_rels, int ref_max_rels, int basic_max_rels,
       t0 = std::chrono::steady_clock::now();
       auto f4 = e4.Optimize(*query);
       row.fast_ms_t4 += MsSince(t0);
+      row.fast_leader_ms_t4 += f4.stats.phase_leader_us / 1000.0;
+      row.fast_followers_ms_t4 += f4.stats.phase_followers_us / 1000.0;
       if (f4.cost != f1.cost ||
           PlanFingerprint(*f4.plan) != PlanFingerprint(*f1.plan) ||
           f4.plan->ToString() != f1.plan->ToString()) {
@@ -288,42 +298,64 @@ int Run(int queries, int max_rels, int ref_max_rels, int basic_max_rels,
     std::fprintf(out, "  \"identity_pass\": %s,\n",
                  failures == 0 ? "true" : "false");
     std::fprintf(out, "  \"rows\": [\n");
+    // Reference columns for a size the reference did not run at are JSON
+    // null, never a fabricated 0.00 — a 0 work_reduction reads as "the
+    // fast path did infinitely more work", and tools/bench_check.py would
+    // have to special-case it forever.
+    auto opt_f = [](char* buf, size_t len, bool ran, double v) -> const char* {
+      if (!ran) return "null";
+      std::snprintf(buf, len, "%.2f", v);
+      return buf;
+    };
+    auto opt_i = [](char* buf, size_t len, bool ran, int64_t v) -> const char* {
+      if (!ran) return "null";
+      std::snprintf(buf, len, "%lld", static_cast<long long>(v));
+      return buf;
+    };
     for (size_t i = 0; i < rows.size(); ++i) {
       const SizeRow& r = rows[i];
+      char b[12][32];
       std::fprintf(
           out,
           "    {\"rels\": %d, \"queries\": %d, \"ref_ran\": %s, "
           "\"basic_ran\": %s, "
-          "\"ref_ms\": %.2f, \"ref_cloned_nodes\": %lld, "
-          "\"ref_cost_evals\": %lld, \"ref_subplan_calls\": %lld, "
-          "\"ref_reuses\": %lld, "
-          "\"basic_ms\": %.2f, \"basic_cloned_nodes\": %lld, "
-          "\"basic_cost_evals\": %lld, \"basic_subplan_calls\": %lld, "
+          "\"ref_ms\": %s, \"ref_cloned_nodes\": %s, "
+          "\"ref_cost_evals\": %s, \"ref_subplan_calls\": %s, "
+          "\"ref_reuses\": %s, "
+          "\"basic_ms\": %s, \"basic_cloned_nodes\": %s, "
+          "\"basic_cost_evals\": %s, \"basic_subplan_calls\": %s, "
           "\"fast_ms_t1\": %.2f, "
-          "\"fast_ms_t4\": %.2f, \"fast_cloned_nodes\": %lld, "
+          "\"fast_ms_t4\": %.2f, "
+          "\"fast_leader_ms_t1\": %.2f, \"fast_followers_ms_t1\": %.2f, "
+          "\"fast_leader_ms_t4\": %.2f, \"fast_followers_ms_t4\": %.2f, "
+          "\"fast_cloned_nodes\": %lld, "
           "\"fast_cost_evals\": %lld, \"fast_subplan_calls\": %lld, "
           "\"fast_prunes\": %lld, "
           "\"fast_cost_memo_hits\": %lld, \"fast_reuses\": %lld, "
           "\"basic_budget_exceeded\": %d, \"fast_budget_completed\": %d, "
-          "\"work_reduction\": %.2f, \"work_reduction_enhanced\": %.2f}%s\n",
+          "\"work_reduction\": %s, \"work_reduction_enhanced\": %s}%s\n",
           r.rels, r.queries, r.ref_ran ? "true" : "false",
-          r.basic_ran ? "true" : "false", r.ref_ms,
-          static_cast<long long>(r.ref_clones),
-          static_cast<long long>(r.ref_cost_evals),
-          static_cast<long long>(r.ref_calls),
-          static_cast<long long>(r.ref_reuses), r.basic_ms,
-          static_cast<long long>(r.basic_clones),
-          static_cast<long long>(r.basic_cost_evals),
-          static_cast<long long>(r.basic_calls), r.fast_ms_t1,
-          r.fast_ms_t4, static_cast<long long>(r.fast_clones),
+          r.basic_ran ? "true" : "false",
+          opt_f(b[0], sizeof(b[0]), r.ref_ran, r.ref_ms),
+          opt_i(b[1], sizeof(b[1]), r.ref_ran, r.ref_clones),
+          opt_i(b[2], sizeof(b[2]), r.ref_ran, r.ref_cost_evals),
+          opt_i(b[3], sizeof(b[3]), r.ref_ran, r.ref_calls),
+          opt_i(b[4], sizeof(b[4]), r.ref_ran, r.ref_reuses),
+          opt_f(b[5], sizeof(b[5]), r.basic_ran, r.basic_ms),
+          opt_i(b[6], sizeof(b[6]), r.basic_ran, r.basic_clones),
+          opt_i(b[7], sizeof(b[7]), r.basic_ran, r.basic_cost_evals),
+          opt_i(b[8], sizeof(b[8]), r.basic_ran, r.basic_calls),
+          r.fast_ms_t1, r.fast_ms_t4, r.fast_leader_ms_t1,
+          r.fast_followers_ms_t1, r.fast_leader_ms_t4,
+          r.fast_followers_ms_t4, static_cast<long long>(r.fast_clones),
           static_cast<long long>(r.fast_cost_evals),
           static_cast<long long>(r.fast_calls),
           static_cast<long long>(r.fast_prunes),
           static_cast<long long>(r.fast_memo_hits),
           static_cast<long long>(r.fast_reuses),
           r.basic_budget_exceeded, r.fast_budget_completed,
-          r.basic_ran ? r.WorkReductionBasic() : 0.0,
-          r.ref_ran ? r.WorkReductionEnhanced() : 0.0,
+          opt_f(b[9], sizeof(b[9]), r.basic_ran, r.WorkReductionBasic()),
+          opt_f(b[10], sizeof(b[10]), r.ref_ran, r.WorkReductionEnhanced()),
           i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");

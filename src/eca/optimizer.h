@@ -62,6 +62,13 @@ class Optimizer {
     // <= 0 disables the fallback (the enumerator's own wall-clock budget
     // still applies).
     int64_t sizes_only_fallback_ms = 0;
+    // Cross-query plan cache (enumerate/shared_memo.h), shared across
+    // Optimize() calls and owned by the caller (the service wires its
+    // per-process cache here). Null = a private per-query memo; behavior
+    // is unchanged, only cross-query reuse is lost. The caller must keep
+    // the cache alive for the lifetime of this Optimizer and advance its
+    // stats epoch whenever base-relation statistics change.
+    SharedMemo* plan_cache = nullptr;
   };
 
   Optimizer() : Optimizer(Options()) {}

@@ -4,8 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -15,6 +15,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "enumerate/shared_memo.h"
 #include "enumerate/subtree.h"
 #include "rewrite/oj_simplify.h"
 #include "testing/fault_injection.h"
@@ -30,8 +31,15 @@ int64_t SteadyNowMs() {
                      std::chrono::steady_clock::now().time_since_epoch())
                      .count();
   // Routed through the fault clock so deadline behavior (mid-search and
-  // between waves) is testable deterministically (testing/fault_injection).
+  // in the root fan-out) is testable deterministically
+  // (testing/fault_injection).
   return FaultClock::NowMs(real);
+}
+
+int64_t WallNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 uint64_t FpMix(uint64_t h, uint64_t v) {
@@ -120,36 +128,6 @@ bool Contains(const std::vector<int>& sorted, int v) {
   return std::binary_search(sorted.begin(), sorted.end(), v);
 }
 
-// One external d-edge key: the (source, label_a, label_b) name triple as
-// interner ids. Ids are task-local but the memo is too, so exact id
-// comparison is exact name comparison.
-struct ExtKey {
-  int src = 0;
-  int a = 0;
-  int b = 0;
-
-  bool operator==(const ExtKey& o) const {
-    return src == o.src && a == o.a && b == o.b;
-  }
-  bool operator<(const ExtKey& o) const {
-    if (src != o.src) return src < o.src;
-    if (a != o.a) return a < o.a;
-    return b < o.b;
-  }
-};
-
-// A cached optimal subplan: just the subtree for S (not the whole plan the
-// seed enumerator stored) plus everything a graft needs — the subtree's own
-// d-edges and the producer's vnode counter for remapping into the consumer.
-struct MemoEntry {
-  RelSet s;
-  std::vector<ExtKey> ext_keys;  // full key: verified on every probe
-  PlanPtr subtree;
-  double cost = 0;
-  std::vector<DEdge> dedges;  // producer-id space; vnodes unremapped
-  int next_vnode = 1;         // producer's counter at store time
-};
-
 // Budget state shared by every root task. Counters that feed hard caps are
 // atomics; the degraded/trigger report is first-trigger-wins under a mutex.
 struct SharedState {
@@ -194,15 +172,31 @@ struct SharedState {
   }
 };
 
-// The search state of one root task: its memo, its fingerprint caches and
-// its slice of the statistics. Tasks never share a Search, so everything
-// here is single-threaded; cross-task coordination goes through
-// SharedState only.
+// The search state of one root task. Tasks never share a Search, so
+// everything here is single-threaded; cross-task coordination goes through
+// SharedState (budget) and SharedMemo (proven subplans) only.
+//
+// Memo layering: every entry this task stores lives in its task-local maps
+// first — so the task's own discoveries are always visible to itself, no
+// matter what the shared table did with them — and is then published into
+// the SharedMemo, where the (gen, leader) visibility rule decides who else
+// may see it (see shared_memo.h for the determinism argument). Probes go
+// local-first: a local entry only exists when it was strictly cheaper than
+// the visible shared entry at store time, so local-first is the same
+// update-if-cheaper discipline a single sequential memo has.
 class Search {
  public:
   Search(const CostModel* cost, SharedState* shared,
-         const EnumeratorOptions& options)
-      : cost_(cost), shared_(shared), opt_(options) {}
+         const EnumeratorOptions& options, SharedMemo* memo,
+         uint64_t query_fp, uint64_t epoch, uint64_t gen, bool leader)
+      : cost_(cost),
+        shared_(shared),
+        opt_(options),
+        memo_(memo),
+        query_fp_(query_fp),
+        epoch_(epoch),
+        gen_(gen),
+        leader_(leader) {}
 
   EnumeratorStats stats;
 
@@ -232,16 +226,24 @@ class Search {
       ++stats.cost_memo_hits;
       return it->second;
     }
-    if (base_cost_memo_ != nullptr) {
-      auto bit = base_cost_memo_->find(fp);
-      if (bit != base_cost_memo_->end()) {
+    if (memo_ != nullptr) {
+      // Shared subtree-cost table. Costs are a pure function of
+      // (fingerprint, stats epoch) — every publisher computes the same
+      // value — so sharing across tasks and queries can change how much
+      // work is saved, never which plan is chosen.
+      ++memo_stats_.cost_probes;
+      double c;
+      if (memo_->CostLookup(FpMix(fp, epoch_), &c)) {
+        ++memo_stats_.cost_hits;
         ++stats.cost_memo_hits;
-        return bit->second;
+        cost_memo_.emplace(fp, c);
+        return c;
       }
     }
     ++stats.cost_evals;
     double c = cost_->Cost(*sub);
     cost_memo_.emplace(fp, c);
+    if (memo_ != nullptr) memo_->CostPublish(FpMix(fp, epoch_), c);
     return c;
   }
 
@@ -249,85 +251,33 @@ class Search {
     return PlanFingerprint(plan, &pred_fp_);
   }
 
-  // Wave memo sharing (see Optimize): this search probes `base` — a memo
-  // from an earlier wave, frozen for the duration of this search — after
-  // its own overlay. The caller guarantees `base` (and the cost memo)
-  // outlives this search, is never written while any wave task runs, and
-  // that the interner this search works with was forked from the base
-  // interner after the last merge, so the int ids inside base entries keep
-  // their meaning here.
-  void SetBase(const Search& base) {
-    base_memo_ = &base.memo_;
-    base_cost_memo_ = &base.cost_memo_;
-  }
-
-  // Deterministic barrier merge for the multi-wave schedule: moves the
-  // overlay task's memo entries into this (base) memo under the usual
-  // update-if-strictly-cheaper discipline, translating interner ids from
-  // the overlay's fork into the base id space by name (new names grow the
-  // base interner, so later waves fork a superset and ids stay aligned).
-  // Entry content is deterministic per task and merge order is pair order,
-  // so the merged memo is identical at any thread count. Must only run
-  // between waves — never while a task is probing this memo.
-  void AbsorbOverlay(Search* overlay, const PredNameInterner& overlay_ids,
-                     PredNameInterner* base_ids) {
-    std::vector<int> xlat(static_cast<size_t>(overlay_ids.size()), -1);
-    auto translate = [&](int id) {
-      int& t = xlat[static_cast<size_t>(id)];
-      if (t < 0) t = base_ids->InternName(overlay_ids.NameOf(id));
-      return t;
-    };
-    for (auto& [map_key, entries] : overlay->memo_) {
-      std::vector<MemoEntry>& bucket = memo_[map_key];
-      for (MemoEntry& oe : entries) {
-        for (ExtKey& k : oe.ext_keys) {
-          k.src = translate(k.src);
-          k.a = translate(k.a);
-          k.b = translate(k.b);
-        }
-        // Probes sort keys by id; re-establish that order in base id space.
-        std::sort(oe.ext_keys.begin(), oe.ext_keys.end());
-        for (DEdge& e : oe.dedges) {
-          e.src_pred = translate(e.src_pred);
-          e.label_a = translate(e.label_a);
-          e.label_b = translate(e.label_b);
-        }
-        bool matched = false;
-        for (MemoEntry& be : bucket) {
-          if (be.s == oe.s && be.ext_keys == oe.ext_keys) {
-            if (oe.cost < be.cost) be = std::move(oe);
-            matched = true;
-            break;
-          }
-        }
-        if (!matched) bucket.push_back(std::move(oe));
-      }
-    }
-    overlay->memo_.clear();
-    // Subtree costs are keyed by canonical fingerprints, so they merge
-    // without translation; first writer wins (all writers agree).
-    for (const auto& [fp, c] : overlay->cost_memo_) {
-      cost_memo_.try_emplace(fp, c);
-    }
-    overlay->cost_memo_.clear();
+  // Folds the locally-accumulated probe counters into the task stats and
+  // the owning memo's metrics. Call exactly once, when the task finishes.
+  void FinishTask() {
+    stats.sig_collisions += memo_stats_.sig_collisions;
+    if (memo_ != nullptr) memo_->AccumulateProbeStats(memo_stats_);
+    memo_stats_ = MemoProbeStats{};
   }
 
  private:
   struct Probe {
-    std::vector<ExtKey> keys;  // sorted
+    std::vector<MemoExtKey> keys;  // canonically sorted
     uint64_t map_key = 0;
   };
 
   // The external d-edge signature of subtree(p, s): every d-edge whose
   // source join lies inside but whose dependency target does not (or exists
-  // both inside and out), per Theorem 5.4. The sorted key vector is the full
-  // identity; map_key compresses (s, signature) to the 64-bit memo index.
+  // both inside and out), per Theorem 5.4. The sorted key vector is the
+  // full identity; map_key compresses the full cross-query key — relation
+  // set, signature, query fingerprint, stats epoch and policy — to the
+  // 64-bit table index.
   Probe MakeProbe(APlan* p, RelSet s) {
     const Plan* sub = SubtreeOf(p->root.get(), s);
     std::vector<int> inside_ids = JoinPredIdsOf(sub, &p->ctx);
     std::vector<int> inside_vnodes = VnodesOf(sub);
     std::vector<int> all_vnodes = VnodesOf(p->root.get());
     Probe probe;
+    const PredNameInterner& interner = p->ctx.Interner();
     for (const DEdge& e : p->ctx.dedges) {
       if (!Contains(inside_ids, e.src_pred)) continue;
       bool external;
@@ -339,84 +289,94 @@ class Search {
         bool out_exists = !in && Contains(all_vnodes, e.vnode);
         external = !in || out_exists;
       }
-      if (external) probe.keys.push_back({e.src_pred, e.label_a, e.label_b});
+      if (!external) continue;
+      MemoExtKey k;
+      k.src_hash = interner.HashOf(e.src_pred);
+      k.a_hash = interner.HashOf(e.label_a);
+      k.b_hash = interner.HashOf(e.label_b);
+      k.src = interner.NameOf(e.src_pred);
+      k.a = interner.NameOf(e.label_a);
+      k.b = interner.NameOf(e.label_b);
+      probe.keys.push_back(std::move(k));
     }
+    // Canonical (hash, name) order: independent of any interner's id
+    // assignment, so two tasks — or two queries — that discovered the same
+    // external set through different rewrite histories still match.
     std::sort(probe.keys.begin(), probe.keys.end());
     uint64_t sig = 0;
     if (!opt_.collide_signatures && !opt_.unsafe_ignore_dedges) {
-      // Hash canonical per-name hashes, not ids, so the signature depends
-      // only on the names involved (ids are interner-order dependent).
-      const PredNameInterner& interner = p->ctx.Interner();
       sig = 1469598103934665603ULL;
-      for (const ExtKey& k : probe.keys) {
-        sig = FpMix(sig, interner.HashOf(k.src));
-        sig = FpMix(sig, interner.HashOf(k.a));
-        sig = FpMix(sig, interner.HashOf(k.b));
+      for (const MemoExtKey& k : probe.keys) {
+        sig = FpMix(sig, k.src_hash);
+        sig = FpMix(sig, k.a_hash);
+        sig = FpMix(sig, k.b_hash);
       }
     }
-    probe.map_key = FpMix(FpMix(0x5eedULL, s.bits()), sig);
+    probe.map_key =
+        FpMix(FpMix(FpMix(FpMix(FpMix(0x5eedULL, s.bits()), sig), query_fp_),
+                    epoch_),
+              static_cast<uint64_t>(opt_.policy));
     return probe;
   }
 
-  const MemoEntry* FindIn(
-      const std::unordered_map<uint64_t, std::vector<MemoEntry>>& memo,
-      const Probe& probe, RelSet s, bool count_collisions) {
-    auto it = memo.find(probe.map_key);
-    if (it == memo.end()) return nullptr;
+  MemoProbe ShapeProbe(const Probe& probe, RelSet s) const {
+    MemoProbe mp;
+    mp.map_key = probe.map_key;
+    mp.query_fp = query_fp_;
+    mp.s = s;
+    mp.policy = static_cast<int>(opt_.policy);
+    mp.epoch = epoch_;
+    mp.ext_keys = &probe.keys;
+    mp.ignore_ext = opt_.unsafe_ignore_dedges;
+    return mp;
+  }
+
+  const MemoPayload* FindLocal(const Probe& probe, RelSet s) {
+    auto it = local_memo_.find(probe.map_key);
+    if (it == local_memo_.end()) return nullptr;
     if (opt_.unsafe_ignore_dedges) {
       // ABLATION (Example 5.1): first entry for the relation set, external
       // dependencies ignored — the unsound shortcut under test.
-      for (const MemoEntry& e : it->second) {
-        if (e.s == s) return &e;
+      for (const auto& e : it->second) {
+        if (e->s == s) return e.get();
       }
       return nullptr;
     }
-    for (const MemoEntry& e : it->second) {
-      if (e.s != s) continue;
-      if (e.ext_keys == probe.keys) return &e;
+    for (const auto& e : it->second) {
+      if (!(e->s == s)) continue;
+      if (e->ext_keys == probe.keys) return e.get();
       // Same 64-bit (s, signature) slot, different full key: a signature
       // collision a hash-only memo would have grafted unsoundly.
-      if (count_collisions) ++stats.sig_collisions;
+      ++stats.sig_collisions;
     }
     return nullptr;
   }
 
-  // Overlay first, then the frozen base. An overlay entry shadows a base
-  // entry with the same full key only when it is strictly cheaper
-  // (StoreEntry maintains that invariant), so preferring the overlay is the
-  // same update-if-cheaper discipline a single sequential memo has.
-  const MemoEntry* FindEntry(const Probe& probe, RelSet s) {
-    if (const MemoEntry* e =
-            FindIn(memo_, probe, s, /*count_collisions=*/true)) {
-      return e;
-    }
-    if (base_memo_ != nullptr) {
-      return FindIn(*base_memo_, probe, s, /*count_collisions=*/true);
-    }
-    return nullptr;
+  const MemoPayload* FindEntry(const Probe& probe, RelSet s) {
+    if (const MemoPayload* e = FindLocal(probe, s)) return e;
+    if (memo_ == nullptr) return nullptr;
+    return memo_->Find(ShapeProbe(probe, s), gen_, &memo_stats_);
   }
 
   void StoreEntry(APlan* p, RelSet s, const Probe& probe, double cost) {
-    const Plan* sub = SubtreeOf(p->root.get(), s);
-    std::vector<MemoEntry>& bucket = memo_[probe.map_key];
-    for (MemoEntry& e : bucket) {
-      if (e.s == s && e.ext_keys == probe.keys) {
-        if (cost < e.cost) {
-          e.subtree = sub->Clone();
-          stats.cloned_nodes += CountNodes(e.subtree.get());
-          e.cost = cost;
-          e.dedges = OwnDEdges(p, sub);
-          e.next_vnode = p->ctx.next_vnode;
+    auto& bucket = local_memo_[probe.map_key];
+    for (auto& e : bucket) {
+      if (e->s == s && e->ext_keys == probe.keys) {
+        if (cost < e->cost) {
+          e = BuildPayload(p, s, probe, cost);
+          PublishShared(probe.map_key, e);
         }
         return;
       }
     }
-    if (base_memo_ != nullptr) {
-      const MemoEntry* base =
-          FindIn(*base_memo_, probe, s, /*count_collisions=*/false);
-      // Seed semantics against the frozen base: a same-key entry only
-      // enters the overlay when strictly cheaper than the base's, so
-      // FindEntry's overlay-first order never returns a worse subplan.
+    if (memo_ != nullptr) {
+      // Seed semantics against the shared view: a same-key entry only
+      // enters the local layer when strictly cheaper than the visible
+      // shared one, so FindEntry's local-first order never returns a worse
+      // subplan. Not counted as a probe — it is store bookkeeping.
+      MemoProbeStats scratch;
+      const MemoPayload* base = memo_->Find(ShapeProbe(probe, s), gen_,
+                                            &scratch);
       if (base != nullptr && cost >= base->cost) return;
     }
     const EnumeratorBudget& b = opt_.budget;
@@ -428,30 +388,59 @@ class Search {
       shared_->Trip(BudgetTrigger::kMemoEntries, /*hard=*/false);
       return;
     }
-    MemoEntry e;
-    e.s = s;
-    e.ext_keys = probe.keys;
-    e.subtree = sub->Clone();
-    stats.cloned_nodes += CountNodes(e.subtree.get());
-    e.cost = cost;
-    e.dedges = OwnDEdges(p, sub);
-    e.next_vnode = p->ctx.next_vnode;
-    bucket.push_back(std::move(e));
+    auto payload = BuildPayload(p, s, probe, cost);
+    bucket.push_back(payload);
     shared_->cache_entries.fetch_add(1, std::memory_order_relaxed);
+    PublishShared(probe.map_key, payload);
   }
 
-  // The d-edges whose source join lies inside `sub` — what a graft of this
-  // subtree must carry along.
-  std::vector<DEdge> OwnDEdges(APlan* p, const Plan* sub) {
+  std::shared_ptr<const MemoPayload> BuildPayload(APlan* p, RelSet s,
+                                                  const Probe& probe,
+                                                  double cost) {
+    const Plan* sub = SubtreeOf(p->root.get(), s);
+    auto pl = std::make_shared<MemoPayload>();
+    pl->query_fp = query_fp_;
+    pl->s = s;
+    pl->policy = static_cast<int>(opt_.policy);
+    pl->epoch = epoch_;
+    pl->ext_keys = probe.keys;
+    pl->subtree = sub->Clone();
+    int64_t subtree_nodes = CountNodes(pl->subtree.get());
+    stats.cloned_nodes += subtree_nodes;
+    pl->cost = cost;
+    const PredNameInterner& interner = p->ctx.Interner();
     std::vector<int> ids = JoinPredIdsOf(sub, &p->ctx);
-    std::vector<DEdge> out;
     for (const DEdge& e : p->ctx.dedges) {
-      if (Contains(ids, e.src_pred)) out.push_back(e);
+      if (!Contains(ids, e.src_pred)) continue;
+      MemoDEdge d;
+      d.src_pred = interner.NameOf(e.src_pred);
+      d.label_a = interner.NameOf(e.label_a);
+      d.label_b = interner.NameOf(e.label_b);
+      d.vnode = e.vnode;
+      pl->dedges.push_back(std::move(d));
     }
-    return out;
+    pl->next_vnode = p->ctx.next_vnode;
+    int64_t bytes =
+        static_cast<int64_t>(sizeof(MemoPayload)) + subtree_nodes * 160;
+    for (const MemoExtKey& k : pl->ext_keys) {
+      bytes += static_cast<int64_t>(sizeof(MemoExtKey) + k.src.size() +
+                                    k.a.size() + k.b.size());
+    }
+    for (const MemoDEdge& d : pl->dedges) {
+      bytes += static_cast<int64_t>(sizeof(MemoDEdge) + d.src_pred.size() +
+                                    d.label_a.size() + d.label_b.size());
+    }
+    pl->bytes = bytes;
+    return pl;
   }
 
-  void Graft(APlan* p, RelSet s, const MemoEntry& entry) {
+  void PublishShared(uint64_t map_key,
+                     const std::shared_ptr<const MemoPayload>& payload) {
+    if (memo_ == nullptr) return;
+    memo_->Publish(map_key, payload, gen_, leader_);
+  }
+
+  void Graft(APlan* p, RelSet s, const MemoPayload& entry) {
     Plan* dst = SubtreeOf(p->root.get(), s);
     // Drop dependency edges owned by the replaced subplan.
     std::vector<int> replaced = JoinPredIdsOf(dst, &p->ctx);
@@ -460,14 +449,20 @@ class Search {
       if (!Contains(replaced, e.src_pred)) kept.push_back(e);
     }
     // Graft a clone with compensation-group ids remapped into p's id space,
-    // and import the graft's dependency edges.
+    // and import the graft's dependency edges. Entry d-edges carry names
+    // (the producer's interner is gone); re-intern them here.
     PlanPtr graft = entry.subtree->Clone();
     stats.cloned_nodes += CountNodes(graft.get());
     int offset = p->ctx.next_vnode;
     RemapVnodes(graft.get(), offset);
-    for (DEdge moved : entry.dedges) {
-      if (moved.vnode >= 0) moved.vnode += offset;
-      kept.push_back(moved);
+    PredNameInterner& interner = p->ctx.Interner();
+    for (const MemoDEdge& moved : entry.dedges) {
+      DEdge e;
+      e.src_pred = interner.InternName(moved.src_pred);
+      e.label_a = interner.InternName(moved.label_a);
+      e.label_b = interner.InternName(moved.label_b);
+      e.vnode = moved.vnode >= 0 ? moved.vnode + offset : moved.vnode;
+      kept.push_back(e);
     }
     p->ctx.next_vnode += entry.next_vnode;
     p->ctx.dedges = std::move(kept);
@@ -479,15 +474,20 @@ class Search {
   const CostModel* cost_;
   SharedState* shared_;
   const EnumeratorOptions& opt_;
-  // (relation set, ext-d-edge signature) -> candidate entries. Collisions
-  // on the 64-bit index land in one bucket and are told apart by the stored
-  // full key.
-  std::unordered_map<uint64_t, std::vector<MemoEntry>> memo_;
-  const std::unordered_map<uint64_t, std::vector<MemoEntry>>* base_memo_ =
-      nullptr;
+  SharedMemo* memo_;  // null only in the unsafe_ignore_dedges ablation
+  const uint64_t query_fp_;
+  const uint64_t epoch_;
+  const uint64_t gen_;
+  const bool leader_;
+  MemoProbeStats memo_stats_;
+  // Task-local layer: everything this task stored, always visible to
+  // itself. Collisions on the 64-bit index land in one bucket and are told
+  // apart by the stored full key. Payloads are shared with the table.
+  std::unordered_map<uint64_t,
+                     std::vector<std::shared_ptr<const MemoPayload>>>
+      local_memo_;
   std::unordered_map<const Predicate*, uint64_t> pred_fp_;
   std::unordered_map<uint64_t, double> cost_memo_;
-  const std::unordered_map<uint64_t, double>* base_cost_memo_ = nullptr;
 };
 
 bool Search::GenerateSubplan(APlan* p, const std::optional<NodePath>& i_path,
@@ -503,7 +503,7 @@ bool Search::GenerateSubplan(APlan* p, const std::optional<NodePath>& i_path,
   Probe probe;
   if (opt_.reuse_subplans) {
     probe = MakeProbe(p, s);
-    if (const MemoEntry* entry = FindEntry(probe, s)) {
+    if (const MemoPayload* entry = FindEntry(probe, s)) {
       ++stats.reuses;
       Graft(p, s, *entry);
       return true;
@@ -829,57 +829,105 @@ TopDownEnumerator::Result TopDownEnumerator::OptimizeImpl(const Plan& query) {
     }
   }
 
+  // ABLATION (Example 5.1): unsafe_ignore_dedges exists to demonstrate that
+  // reuse without the d-edge guard corrupts plans, and the demonstration
+  // needs the seed enumerator's semantics — one memo shared across every
+  // root pair (isolated per-pair memos leave too few unsound reuse
+  // opportunities to reliably misbehave). The mode runs sequentially with a
+  // shared interner and a purely task-local memo.
+  const bool share_memo = options_.unsafe_ignore_dedges;
+
+  // The shared memo: the caller's cross-query plan cache when provided,
+  // else a private per-query table (the tasks of this query still share
+  // it). Generation and epoch are captured once so every task keys its
+  // entries identically even if the owner advances the epoch mid-flight.
+  std::unique_ptr<SharedMemo> private_memo;
+  SharedMemo* memo = nullptr;
+  if (!share_memo && !pairs.empty()) {
+    memo = options_.shared_memo;
+    if (memo == nullptr) {
+      // Private tables sized to the query: entry counts grow roughly
+      // exponentially in the relation count, and over-allocating costs
+      // real time per query (first-touch page faults dominate small
+      // enumerations). Saturation only drops publishes, which is safe.
+      SharedMemo::Config cfg;
+      const int n = static_cast<int>(all.Count());
+      cfg.slot_count = size_t{1} << std::min(13, n + 3);
+      cfg.cost_slot_count = size_t{1} << std::min(15, n + 5);
+      private_memo = std::make_unique<SharedMemo>(cfg);
+      memo = private_memo.get();
+    }
+  }
+  struct MemoPin {
+    SharedMemo* memo = nullptr;
+    ~MemoPin() {
+      if (memo != nullptr) memo->Unpin();
+    }
+  } pin;
+  uint64_t gen = 0;
+  uint64_t epoch = 0;
+  uint64_t query_fp = 0;
+  if (memo != nullptr) {
+    memo->Pin();
+    pin.memo = memo;
+    gen = memo->BeginQuery();
+    epoch = memo->epoch();
+    // Entries are keyed by the whole simplified query's fingerprint:
+    // cross-query reuse happens only between structurally identical
+    // queries, where a subplan's full surrounding context — and therefore
+    // Theorem 5.4's external-d-edge reasoning — is known to transfer.
+    std::unordered_map<const Predicate*, uint64_t> fp_cache;
+    query_fp = PlanFingerprint(*init.root, &fp_cache);
+  }
+
   // One task per root joinable pair: its own clone of the initial plan,
-  // its own rewrite context and its own memo overlay. Beyond the budget
-  // counters, tasks share only frozen state published at wave barriers
-  // before they start (the multi-wave schedule below), so every task
-  // computes the same result at any thread count and the merge is
-  // deterministic. `search` and `interner` are kept alive past the task so
-  // the barrier can absorb its overlay into the base memo.
+  // its own rewrite context and its own Search. Beyond the budget
+  // counters, tasks share only the SharedMemo — whose (gen, leader)
+  // visibility rule admits exactly the entries of completed earlier
+  // queries and of this query's leader — so every task computes the same
+  // result at any thread count and the merge is deterministic.
   struct RootTask {
     bool found = false;
     PlanPtr plan;
     double cost = kInf;
     uint64_t fingerprint = 0;
     EnumeratorStats stats;
-    std::unique_ptr<Search> search;
-    std::shared_ptr<PredNameInterner> interner;
   };
   std::vector<RootTask> tasks(pairs.size());
 
-  // ABLATION (Example 5.1): unsafe_ignore_dedges exists to demonstrate that
-  // reuse without the d-edge guard corrupts plans, and the demonstration
-  // needs the seed enumerator's semantics — one memo shared across every
-  // root pair (isolated per-pair memos leave too few unsound reuse
-  // opportunities to reliably misbehave). The mode runs sequentially with a
-  // shared interner so cached ids stay comparable across tasks.
-  const bool share_memo = options_.unsafe_ignore_dedges;
   std::unique_ptr<Search> shared_search;
   std::shared_ptr<PredNameInterner> shared_interner;
   if (share_memo) {
-    shared_search = std::make_unique<Search>(cost_, &shared, options_);
+    shared_search =
+        std::make_unique<Search>(cost_, &shared, options_, nullptr,
+                                 /*query_fp=*/0, /*epoch=*/0,
+                                 /*gen=*/0, /*leader=*/false);
     shared_interner = std::make_shared<PredNameInterner>();
   }
 
-  // Multi-wave schedule (normal mode). Root pair 0 runs first, alone, and
-  // publishes the base state: its memo (which every later task probes
-  // through a private overlay), its interner (forked per task, so the int
-  // ids inside base entries keep their meaning), and its plan cost (the
-  // branch-and-bound bound for later tasks). The remaining pairs then run
-  // in fixed-size waves; at each wave barrier the wave's overlays are
-  // absorbed into the base in pair order and the bound is tightened to the
-  // best cost seen so far. That recovers the cross-root-pair subplan reuse
-  // a single sequential memo gives — without giving up determinism: wave
-  // boundaries depend only on pair indices, and everything a task observes
-  // is a function of the query and of fully-merged earlier waves, never of
-  // timing or thread count.
-  std::unique_ptr<Search> base_search;
-  std::shared_ptr<PredNameInterner> base_interner;
-  double wave_bound = kInf;
-  if (!share_memo && !pairs.empty()) {
-    base_search = std::make_unique<Search>(cost_, &shared, options_);
-    base_interner = std::make_shared<PredNameInterner>();
-  }
+  // Leader/follower schedule (normal mode). The first few root pairs —
+  // the leader prefix — run sequentially at EVERY thread count, each
+  // publishing leader-visible memo entries and tightening the root bound
+  // for its successors; this seeds the shared memo with the densest reuse
+  // surface (it replaces the old wave-barrier absorb, without barriers).
+  // The remaining pairs — the followers — then run barrier-free: workers
+  // claim pair indices from an atomic cursor and publish into the shared
+  // memo as subplans are proven. Follower publishes stay invisible to
+  // sibling followers (the visibility rule above), so everything a task
+  // observes is a function of the query, the cache's pre-query content
+  // and the deterministic sequential prefix — never of sibling timing or
+  // thread count.
+  const int64_t total = static_cast<int64_t>(pairs.size());
+  constexpr int64_t kLeaderPrefix = 4;
+  const int64_t prefix = std::min(total, kLeaderPrefix);
+  auto leader_interner = std::make_shared<PredNameInterner>();
+  // The global best at root level. Tightened only between sequential
+  // prefix tasks, then FROZEN before any follower starts — never
+  // mid-flight: a moving bound would keep the chosen COST deterministic
+  // but not the chosen BYTES, because which equal-cost realization a task
+  // settles on depends on its bound trajectory. Candidates a tighter
+  // bound would have cut lose the deterministic root merge anyway.
+  std::atomic<double> root_bound{kInf};
 
   auto run_pair = [&](int64_t k) {
     RootTask& task = tasks[static_cast<size_t>(k)];
@@ -890,14 +938,13 @@ TopDownEnumerator::Result TopDownEnumerator::OptimizeImpl(const Plan& query) {
       shared.Trip(BudgetTrigger::kAllocationFault, /*hard=*/true);
       return;
     }
-    const bool is_base = !share_memo && k == 0;
-    if (!share_memo && !is_base) {
-      task.search = std::make_unique<Search>(cost_, &shared, options_);
-      task.search->SetBase(*base_search);
+    const bool is_leader = !share_memo && k < prefix;
+    std::unique_ptr<Search> own_search;
+    if (!share_memo) {
+      own_search = std::make_unique<Search>(cost_, &shared, options_, memo,
+                                            query_fp, epoch, gen, is_leader);
     }
-    Search& search = share_memo ? *shared_search
-                     : is_base  ? *base_search
-                                : *task.search;
+    Search& search = share_memo ? *shared_search : *own_search;
     ++search.stats.pairs_considered;
 
     APlan p;
@@ -906,12 +953,19 @@ TopDownEnumerator::Result TopDownEnumerator::OptimizeImpl(const Plan& query) {
     p.ctx.policy = options_.policy;
     if (share_memo) {
       p.ctx.interner = shared_interner;
-    } else if (is_base) {
-      p.ctx.interner = base_interner;
+    } else if (is_leader) {
+      // Prefix tasks run sequentially and share one interner (append-only,
+      // single-threaded), so the fork the followers take below covers
+      // every name the whole prefix discovered.
+      p.ctx.interner = leader_interner;
     } else {
-      task.interner =
-          std::make_shared<PredNameInterner>(base_interner->Fork());
-      p.ctx.interner = task.interner;
+      // Fork the prefix's interner WITH its pointer cache: the follower
+      // works on clones of the same initial plan and Plan::Clone shares
+      // predicate objects, so the cached addresses stay valid and the
+      // fork skips re-rendering every display name — the dominant
+      // per-follower setup cost in profiles.
+      p.ctx.interner =
+          std::make_shared<PredNameInterner>(leader_interner->ForkWithPins());
     }
 
     const JoinablePair& pair = pairs[static_cast<size_t>(k)];
@@ -950,17 +1004,18 @@ TopDownEnumerator::Result TopDownEnumerator::OptimizeImpl(const Plan& query) {
                            ? pair.s1
                            : pair.s2;
         RelSet second = first == pair.s1 ? pair.s2 : pair.s1;
-        // Task 0's bound is infinite, never the initial plan's cost: the
+        // Pair 0's bound is infinite, never the initial plan's cost: the
         // enumerator returns its best completed plan even when that is
         // worse than the query as written, and a tighter base bound would
         // suppress exactly those plans. Later tasks are bounded by the
-        // best cost completed waves achieved: a candidate at or above it
-        // cannot win the merge (equal-cost ties still complete — the
-        // additive cost model means the c1 cut only ever discards strictly
-        // worse plans), so the merged result is the same as with an
-        // infinite bound.
-        const double bound =
-            is_base || !options_.prune ? kInf : wave_bound;
+        // best cost their deterministic predecessors achieved: a candidate
+        // at or above it cannot win the merge (equal-cost ties still
+        // complete — the additive cost model means the c1 cut only ever
+        // discards strictly worse plans), so the merged result is the same
+        // as with an infinite bound.
+        const double bound = k == 0 || share_memo || !options_.prune
+                                 ? kInf
+                                 : root_bound.load(std::memory_order_relaxed);
         const double tie_slack =
             bound < kInf ? 1e-9 * (std::abs(bound) + 1.0) : 0.0;
         bool viable = search.GenerateSubplan(&p, j_path, first, bound);
@@ -986,58 +1041,56 @@ TopDownEnumerator::Result TopDownEnumerator::OptimizeImpl(const Plan& query) {
         }
       }
     }
-    if (!share_memo) task.stats = std::move(search.stats);
+    if (!share_memo) {
+      search.FinishTask();
+      task.stats = std::move(search.stats);
+    }
   };
 
+  int64_t leader_us = 0;
+  int64_t followers_us = 0;
   if (!pairs.empty()) {
-    // Wave 0: root pair 0, alone. Publishes the base memo and the first
-    // bound before any other task starts, at every thread count.
+    const int64_t t_start = WallNowUs();
     {
-      TraceSpan wave_span("wave-0");
-      run_pair(0);
-    }
-    if (!share_memo && tasks[0].found) wave_bound = tasks[0].cost;
-    const int64_t total = static_cast<int64_t>(pairs.size());
-    // Wave width: fixed, so wave boundaries (and with them everything a
-    // task can observe) are independent of the thread count. Four keeps
-    // typical machines busy while still merging often enough that late
-    // pairs see most earlier subplans.
-    constexpr int64_t kRootWave = 4;
-    std::optional<ThreadPool> pool;
-    if (options_.num_threads > 1 && !share_memo && total > 1) {
-      pool.emplace(options_.num_threads);
-    }
-    for (int64_t start = 1; start < total; start += kRootWave) {
-      const int64_t count = std::min(kRootWave, total - start);
-      char wave_name[Tracer::kNameSize];
-      std::snprintf(wave_name, sizeof(wave_name), "wave-%lld",
-                    static_cast<long long>(1 + (start - 1) / kRootWave));
-      TraceSpan wave_span(wave_name);
-      if (wave_span.active()) wave_span.AppendArg("pairs", count);
-      if (pool.has_value()) {
-        pool->ParallelFor(count, [&](int64_t i) { run_pair(start + i); });
-      } else {
-        for (int64_t i = 0; i < count; ++i) run_pair(start + i);
-      }
-      if (!share_memo) {
-        // Barrier: absorb the wave's overlays into the base in pair order
-        // and tighten the bound for the next wave. Both are deterministic —
-        // they depend on task results, not on completion order.
-        for (int64_t i = 0; i < count; ++i) {
-          RootTask& t = tasks[static_cast<size_t>(start + i)];
-          if (t.search != nullptr) {
-            base_search->AbsorbOverlay(t.search.get(), *t.interner,
-                                       base_interner.get());
-            t.search.reset();
-          }
-          if (t.found && t.cost < wave_bound) wave_bound = t.cost;
+      TraceSpan leader_span("root-leader");
+      if (leader_span.active()) leader_span.AppendArg("pairs", prefix);
+      for (int64_t k = 0; k < prefix; ++k) {
+        run_pair(k);
+        if (!share_memo && tasks[static_cast<size_t>(k)].found &&
+            tasks[static_cast<size_t>(k)].cost <
+                root_bound.load(std::memory_order_relaxed)) {
+          root_bound.store(tasks[static_cast<size_t>(k)].cost,
+                           std::memory_order_relaxed);
         }
+        if (shared.Exhausted()) break;
       }
-      // The deadline is also observed between waves: a tripped budget ends
-      // the schedule at this barrier with every completed wave's results
-      // merged, so the final pick below is a true best-so-far.
-      if (shared.Exhausted()) break;
     }
+    const int64_t t_leader = WallNowUs();
+    leader_us = t_leader - t_start;
+    if (total > prefix && !shared.Exhausted()) {
+      TraceSpan fan_span("root-followers");
+      if (fan_span.active()) fan_span.AppendArg("pairs", total - prefix);
+      const bool fan_out = options_.num_threads > 1 && !share_memo &&
+                           (options_.pool_spinup_us <= 0 ||
+                            leader_us >= options_.pool_spinup_us);
+      if (fan_out) {
+        // Barrier-free fan-out over a shared cursor: a slow pair never
+        // stalls the rest of the queue, and a tripped budget drains it
+        // immediately (each claimed pair re-checks Exhausted on entry).
+        ThreadPool pool(options_.num_threads);
+        std::atomic<int64_t> next{prefix};
+        pool.RunOnWorkers([&](int) {
+          for (;;) {
+            const int64_t k = next.fetch_add(1, std::memory_order_relaxed);
+            if (k >= total) return;
+            run_pair(k);
+          }
+        });
+      } else {
+        for (int64_t k = prefix; k < total; ++k) run_pair(k);
+      }
+    }
+    followers_us = WallNowUs() - t_leader;
   }
 
   // Deterministic merge, independent of completion order: lowest cost wins;
@@ -1058,6 +1111,8 @@ TopDownEnumerator::Result TopDownEnumerator::OptimizeImpl(const Plan& query) {
   stats.subplan_calls = shared.subplan_calls.load(std::memory_order_relaxed);
   stats.cache_entries = shared.cache_entries.load(std::memory_order_relaxed);
   stats.root_tasks = static_cast<int64_t>(tasks.size());
+  stats.phase_leader_us = leader_us;
+  stats.phase_followers_us = followers_us;
   auto accumulate = [&stats](const EnumeratorStats& t) {
     stats.pairs_considered += t.pairs_considered;
     stats.swaps_attempted += t.swaps_attempted;
@@ -1072,7 +1127,10 @@ TopDownEnumerator::Result TopDownEnumerator::OptimizeImpl(const Plan& query) {
     stats.sig_collisions += t.sig_collisions;
   };
   for (const RootTask& t : tasks) accumulate(t.stats);
-  if (shared_search != nullptr) accumulate(shared_search->stats);
+  if (shared_search != nullptr) {
+    shared_search->FinishTask();
+    accumulate(shared_search->stats);
+  }
   {
     std::lock_guard<std::mutex> lock(shared.trip_mu);
     stats.degraded = shared.degraded;

@@ -10,6 +10,8 @@
 
 namespace eca {
 
+class SharedMemo;
+
 // Hard resource limits for one Optimize() call. Enumeration cost grows
 // explosively with query size, so a production deployment caps the search
 // and accepts the best plan found so far (or, when nothing complete was
@@ -79,10 +81,26 @@ struct EnumeratorOptions {
   // Exceeding it abandons the decomposition and increments
   // EnumeratorStats::swap_chain_guard_trips.
   int max_swap_chain = 128;
+  // Spin up the worker pool for the follower pairs only when the
+  // sequential leader prefix took at least this long — queries that finish
+  // in a millisecond cannot amortize thread creation. The chosen plan is
+  // identical either way (scheduling never affects plan bytes); <= 0
+  // always fans out when num_threads > 1 (used by stress tests to force
+  // real concurrency).
+  int64_t pool_spinup_us = 1500;
   // TESTING ONLY: degrade every memo signature to a single value so that
   // distinct ext-d-edge key vectors collide in one bucket — exercises the
   // stored-full-key verification that keeps 64-bit collisions sound.
   bool collide_signatures = false;
+  // Cross-query plan cache (enumerate/shared_memo.h). When set, proven
+  // subplans are published into / probed from this table, so a repeated
+  // structurally-identical query under the same stats epoch reuses them
+  // instead of re-enumerating. When null, Optimize uses a private
+  // per-query table (the tasks of one query still share it). The caller
+  // owns the memo and must keep it alive across the call; Optimize pins
+  // it for the duration of the enumeration. Ignored (forced private
+  // semantics) under unsafe_ignore_dedges.
+  SharedMemo* shared_memo = nullptr;
   // Resource limits; default unlimited (exhaustive enumeration).
   EnumeratorBudget budget;
 };
@@ -114,6 +132,11 @@ struct EnumeratorStats {
   int64_t sig_collisions = 0;
   // Root-level joinable pairs searched as (potentially parallel) tasks.
   int64_t root_tasks = 0;
+  // Phase timing breakdown (bench_enumerator_perf): the sequential leader
+  // pass over root pair 0, and the barrier-free follower pass over the
+  // remaining pairs. Wall-clock microseconds, informational only.
+  int64_t phase_leader_us = 0;
+  int64_t phase_followers_us = 0;
   // True when the search was cut short (budget or injected fault): the
   // returned plan is correct but possibly not the enumeration optimum.
   bool degraded = false;

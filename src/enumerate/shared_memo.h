@@ -1,0 +1,238 @@
+#ifndef ECA_ENUMERATE_SHARED_MEMO_H_
+#define ECA_ENUMERATE_SHARED_MEMO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/concurrent_table.h"
+#include "common/memory_tracker.h"
+#include "common/rel_set.h"
+
+namespace eca {
+
+// One external dependency edge of a memo entry (Theorem 5.4's reuse
+// guard), in interner-independent form: the display-name strings of the
+// participating predicates plus their FNV hashes. Strings are compared
+// exactly on probe, so a hash collision can never cause a wrong reuse —
+// it only costs a chain hop (counted as a sig collision). Keys are kept
+// canonically sorted so two searches that discovered the same external
+// set in different orders still match.
+struct MemoExtKey {
+  uint64_t src_hash = 0;
+  uint64_t a_hash = 0;
+  uint64_t b_hash = 0;
+  std::string src;
+  std::string a;
+  std::string b;
+
+  friend bool operator==(const MemoExtKey& x, const MemoExtKey& y) {
+    return x.src_hash == y.src_hash && x.a_hash == y.a_hash &&
+           x.b_hash == y.b_hash && x.src == y.src && x.a == y.a && x.b == y.b;
+  }
+  friend bool operator<(const MemoExtKey& x, const MemoExtKey& y) {
+    if (x.src_hash != y.src_hash) return x.src_hash < y.src_hash;
+    if (x.a_hash != y.a_hash) return x.a_hash < y.a_hash;
+    if (x.b_hash != y.b_hash) return x.b_hash < y.b_hash;
+    if (x.src != y.src) return x.src < y.src;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  }
+};
+
+// A d-edge carried by a memoized subtree, with predicate names as strings
+// so the entry can be grafted into any consumer's interner.
+struct MemoDEdge {
+  std::string src_pred;
+  std::string label_a;
+  std::string label_b;
+  int vnode = 0;
+};
+
+// An immutable proven-optimal subplan entry. Entries store true optima
+// for their (relation set, external-edge set) — the enumerator only
+// publishes when the bounded search completed below its bound, which by
+// the additive-cost cut argument means no better realization exists — so
+// a value is a pure function of its full key and publishing is
+// order-independent.
+struct MemoPayload {
+  // Full key, verified exactly on probe (the map key is only a hash).
+  uint64_t query_fp = 0;  // fingerprint of the whole simplified query
+  RelSet s;               // relations covered by the subtree
+  int policy = 0;         // SwapPolicy
+  uint64_t epoch = 0;     // stats epoch the costs were computed under
+  std::vector<MemoExtKey> ext_keys;  // sorted external d-edge signature
+
+  // Value.
+  PlanPtr subtree;  // never mutated after publish; consumers clone
+  double cost = 0.0;
+  std::vector<MemoDEdge> dedges;  // d-edges local to the subtree
+  int next_vnode = 1;             // vnode headroom the subtree consumes
+  int64_t bytes = 0;              // charge estimate for the tracker
+};
+
+// Chain node: immutable after publish except for the LRU stamp.
+struct MemoNode {
+  std::atomic<MemoNode*> next{nullptr};
+  uint64_t gen = 0;    // generation (BeginQuery tick) that published it
+  bool leader = false;  // published by the generation's leader task
+  std::atomic<uint64_t> last_used{0};  // generation of the last hit (LRU)
+  std::shared_ptr<const MemoPayload> payload;
+};
+
+// A probe for SharedMemo::Find. `ext_keys` must be canonically sorted.
+struct MemoProbe {
+  uint64_t map_key = 0;
+  uint64_t query_fp = 0;
+  RelSet s;
+  int policy = 0;
+  uint64_t epoch = 0;
+  const std::vector<MemoExtKey>* ext_keys = nullptr;
+  // unsafe_ignore_dedges ablation: match on `s` alone, ignoring the
+  // external signature (deliberately unsound, kept for the paper's
+  // Theorem 5.4 counterexamples).
+  bool ignore_ext = false;
+};
+
+enum class MemoPublishResult {
+  kStoredNew,        // first entry for this full key
+  kStoredImproved,   // cheaper than the visible entry for the key
+  kSkippedDuplicate, // a visible entry is already as cheap
+  kRejectedFull,     // probe window saturated; entry dropped
+  kRejectedMemory,   // byte budget exhausted; entry dropped
+};
+
+// Per-enumeration probe counters, accumulated locally by each search task
+// and folded into the memo.* metrics once per task (per-probe global
+// atomics would put contention right back on the lock-free read path).
+struct MemoProbeStats {
+  int64_t probes = 0;
+  int64_t hits = 0;
+  int64_t sig_collisions = 0;
+  int64_t cost_probes = 0;
+  int64_t cost_hits = 0;
+};
+
+// Concurrent, fingerprint-keyed memo of proven-optimal subplans, shared
+// by the enumeration tasks of one query and — when owned by the service —
+// across queries as a plan cache (docs/performance.md, "Shared memo &
+// plan cache").
+//
+// Thread model: Pin() once per enumeration, then Find/Publish/Cost* are
+// lock-free; Sweep/Clear take the exclusive side of the gate and may
+// rebuild the table wholesale. BeginQuery hands out a monotonic
+// generation used for the determinism-critical visibility rule:
+//
+//   a node is visible to a probe of generation G iff
+//     node.gen < G            (published by a completed earlier query), or
+//     node.gen == G && leader (published by this query's leader task).
+//
+// Follower tasks keep their own publishes in task-local maps (always
+// visible to themselves), so what any task can observe is a function of
+// the cache's pre-query content, the leader's deterministic sequential
+// run, and the task's own work — never of sibling-task timing. That is
+// the whole byte-identical-at-any-thread-count argument; the chain walk
+// resolves equal-cost ties toward the oldest visible entry, which
+// reproduces the sequential first-stored-wins order.
+class SharedMemo {
+ public:
+  struct Config {
+    size_t slot_count = 1 << 13;       // chain-table slots (rounded up)
+    size_t cost_slot_count = 1 << 13;  // cost-table slots (rounded up)
+    // Byte budget for cached entries; 0 means unlimited (per-query
+    // private memos). Publishes beyond the budget are rejected until the
+    // next Sweep.
+    int64_t max_bytes = 0;
+    // When set, entry bytes are charged to a child of this tracker (the
+    // service points it at the global root).
+    MemoryTracker* parent = nullptr;
+  };
+
+  explicit SharedMemo(const Config& config);
+  SharedMemo() : SharedMemo(Config{}) {}
+  ~SharedMemo();
+
+  SharedMemo(const SharedMemo&) = delete;
+  SharedMemo& operator=(const SharedMemo&) = delete;
+
+  // Hot-path gate: hold a pin for the duration of an enumeration.
+  void Pin() { gate_.Pin(); }
+  void Unpin() { gate_.Unpin(); }
+
+  // New monotonic generation for a starting query (also the LRU clock).
+  uint64_t BeginQuery() {
+    return gen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  // Stats epoch: bumped when base-relation statistics change. The epoch
+  // is part of every entry's full key, so advancing it instantly makes
+  // all older entries unreachable; Sweep() reclaims their bytes.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void AdvanceEpoch();
+
+  // Cheapest visible entry matching `probe` exactly (nullptr on miss);
+  // requires a pin. Ties resolve to the oldest entry.
+  const MemoPayload* Find(const MemoProbe& probe, uint64_t gen,
+                          MemoProbeStats* stats);
+
+  // Publishes an entry; requires a pin. `gen`/`leader` tag visibility as
+  // described above. Rejections are safe (they can only cost rework).
+  MemoPublishResult Publish(uint64_t map_key,
+                            std::shared_ptr<const MemoPayload> payload,
+                            uint64_t gen, bool leader);
+
+  // Shared subtree-cost memo, keyed by FpMix(plan fingerprint, epoch).
+  // Costs are a pure function of the key, so cross-task sharing cannot
+  // perturb results. Requires a pin.
+  bool CostLookup(uint64_t key, double* value) {
+    return cost_table_.Lookup(key, value);
+  }
+  void CostPublish(uint64_t key, double value) {
+    cost_table_.Publish(key, value);
+  }
+
+  // Folds one task's local probe counters into the memo.* metrics.
+  void AccumulateProbeStats(const MemoProbeStats& stats);
+
+  // Maintenance (exclusive; waits for / excludes pinned enumerations).
+  // Sweep drops entries from stale epochs, then evicts
+  // least-recently-used entries until under the byte budget. TrySweep
+  // skips (returning false) when an enumeration is in flight.
+  void Sweep();
+  bool TrySweep();
+  // Drops everything and returns every tracked byte (service drain).
+  void Clear();
+
+  int64_t used_bytes() const {
+    return used_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t entry_count() const {
+    return entry_count_.load(std::memory_order_relaxed);
+  }
+  int64_t max_bytes() const { return max_bytes_; }
+
+ private:
+  void SweepLocked();
+  // Drops nodes selected by `keep` (called with every node; return false
+  // to evict) and rebuilds the chain table. Gate held exclusively.
+  template <typename Keep>
+  void RebuildLocked(Keep&& keep);
+  void ReleaseNode(MemoNode* node);
+
+  ReaderGate gate_;
+  ConcurrentChainTable<MemoNode> table_;
+  ConcurrentCostTable cost_table_;
+  const int64_t max_bytes_;
+  std::unique_ptr<MemoryTracker> tracker_;  // child of config.parent
+  std::atomic<uint64_t> gen_{0};
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<int64_t> used_bytes_{0};
+  std::atomic<int64_t> entry_count_{0};
+};
+
+}  // namespace eca
+
+#endif  // ECA_ENUMERATE_SHARED_MEMO_H_

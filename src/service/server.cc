@@ -222,8 +222,13 @@ void EcadServer::Stop() {
   listen_fd_ = -1;
   ::unlink(config_.socket_path.c_str());
 
-  // Every query context died with its session: the global accounting
-  // root must be empty, or a release was lost somewhere.
+  // Every session has joined, so no enumeration pin remains: drop the
+  // plan cache's entries and return their bytes to the root.
+  state_.ClearPlanCache();
+
+  // Every query context died with its session and the plan cache was
+  // drained: the global accounting root must be empty, or a release was
+  // lost somewhere.
   ECA_DCHECK(state_.root_tracker().used() == 0);
 }
 

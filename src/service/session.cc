@@ -74,6 +74,22 @@ ServiceState::ServiceState(const Database* db, ServiceOptions options)
   // service.* set at zero (the AdmissionController ctor does the same
   // for the admission counters).
   Counters();
+  if (options_.plan_cache_bytes > 0) {
+    SharedMemo::Config config;
+    // Size the slot arrays from the byte budget assuming ~1KB per cached
+    // entry, clamped to [2^13, 2^20] slots; the cost table runs 4x wider
+    // (entries are one 16-byte slot each).
+    size_t slots = size_t{1} << 13;
+    while (slots < size_t{1} << 20 &&
+           static_cast<int64_t>(slots) * 1024 < options_.plan_cache_bytes) {
+      slots <<= 1;
+    }
+    config.slot_count = slots;
+    config.cost_slot_count = slots * 4;
+    config.max_bytes = options_.plan_cache_bytes;
+    config.parent = &root_;
+    plan_cache_ = std::make_unique<SharedMemo>(config);
+  }
 }
 
 WireMessage ServiceState::Handle(const WireMessage& request) {
@@ -174,6 +190,7 @@ WireMessage ServiceState::HandleQuery(const WireMessage& request) {
     opts.approach = approach;
     opts.num_threads = options_.num_threads;
     opts.sizes_only_fallback_ms = options_.admission.degrade_below_ms;
+    opts.plan_cache = plan_cache_.get();
     Optimizer opt{opts};
 
     // The admission verdict can force degraded planning outright (the
@@ -205,6 +222,14 @@ WireMessage ServiceState::HandleQuery(const WireMessage& request) {
     response.AddInt("peak_bytes", exec_stats.peak_bytes);
   }
   admission_.Release(*admitted);
+  // Opportunistic cache maintenance outside the query scope: when the
+  // publish path hit the byte budget, drop stale-epoch and LRU entries.
+  // TrySweep is a no-op while another query holds a pin — the next idle
+  // moment gets it.
+  if (plan_cache_ != nullptr &&
+      plan_cache_->used_bytes() >= plan_cache_->max_bytes()) {
+    plan_cache_->TrySweep();
+  }
   return response;
 }
 

@@ -2,11 +2,13 @@
 #define ECA_SERVICE_SESSION_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 
 #include "common/memory_tracker.h"
+#include "enumerate/shared_memo.h"
 #include "exec/database.h"
 #include "exec/query_context.h"
 #include "service/admission.h"
@@ -52,6 +54,12 @@ struct ServiceOptions {
   std::string spill_dir;
   // Worker threads per query (execution + root enumeration).
   int num_threads = 1;
+  // Cross-query plan cache byte budget (ecad --plan-cache-mb). When > 0
+  // the service owns a SharedMemo charged to the global tracker root:
+  // repeated structurally-identical queries under the same stats epoch
+  // reuse proven subplans instead of re-enumerating. 0 disables the
+  // cache (every query keeps a private per-query memo).
+  int64_t plan_cache_bytes = 0;
 };
 
 class ServiceState {
@@ -74,6 +82,13 @@ class ServiceState {
   MemoryTracker& root_tracker() { return root_; }
   const ServiceOptions& options() const { return options_; }
   const Database& db() const { return *db_; }
+  // The cross-query plan cache; nullptr when plan_cache_bytes == 0.
+  SharedMemo* plan_cache() { return plan_cache_.get(); }
+  // Drain hook (server Stop): drops every cached entry and returns its
+  // bytes to the root tracker so the drained-to-zero invariant holds.
+  void ClearPlanCache() {
+    if (plan_cache_ != nullptr) plan_cache_->Clear();
+  }
 
  private:
   WireMessage HandleQuery(const WireMessage& request);
@@ -87,6 +102,7 @@ class ServiceState {
   MemoryTracker root_;
   AdmissionController admission_;
   CancelRegistry cancels_;
+  std::unique_ptr<SharedMemo> plan_cache_;
 };
 
 }  // namespace eca

@@ -37,6 +37,17 @@ import sys
 PASS = "ok"
 FAIL = "FAIL"
 
+# bench_enumerator_perf parallel-overhead gate: geometric mean of
+# fast_ms_t4 / fast_ms_t1 over the candidate's rows with rels >=
+# ENUM_RATIO_MIN_RELS must stay at or below this. The ratio is measured
+# within one run, so it cancels machine speed: 1.0 means 4 threads cost
+# nothing over 1 (the barrier-free scheduler's contract on a small host),
+# anything well above it means per-query thread spin-up or cross-task
+# synchronization crept back in. Small queries amortize nothing and are
+# all scheduling noise, so the gate starts where enumeration time does.
+ENUM_T4_T1_LIMIT = 1.05
+ENUM_RATIO_MIN_RELS = 7
+
 
 class Checker:
     """Accumulates per-check results and renders a report."""
@@ -92,14 +103,35 @@ def check_enum(c, base, cand, max_regress):
             c.info(f"rels={rels}: no baseline row, skipping")
             continue
         for key in ("work_reduction", "work_reduction_enhanced"):
-            if key in b and key in row:
+            # A row whose reference did not run carries null (or, in old
+            # baselines, a fabricated 0.00) — not a measurement; skip it.
+            if b.get(key) and row.get(key):
                 check_work_metric(c, f"rels={rels} {key}", b[key], row[key], max_regress)
-        if "fast_ms_t1" in b and "fast_ms_t1" in row:
+        if b.get("fast_ms_t1") and row.get("fast_ms_t1"):
             c.info(
                 f"rels={rels} fast_ms_t1 {b['fast_ms_t1']:.2f} -> {row['fast_ms_t1']:.2f} ms"
             )
     missing = set(base_rows) - {r["rels"] for r in cand["rows"]}
     c.gate(f"all baseline rel counts present (missing: {sorted(missing)})", not missing)
+
+    # Parallel-overhead gate (candidate-only; see ENUM_T4_T1_LIMIT above).
+    ratios = [
+        row["fast_ms_t4"] / row["fast_ms_t1"]
+        for row in cand["rows"]
+        if row["rels"] >= ENUM_RATIO_MIN_RELS
+        and row.get("fast_ms_t1")
+        and row.get("fast_ms_t4")
+    ]
+    if ratios:
+        g = geomean(ratios)
+        c.gate(
+            f"t4/t1 geomean over {len(ratios)} row(s) with rels>="
+            f"{ENUM_RATIO_MIN_RELS}: {g:.3f}",
+            g <= ENUM_T4_T1_LIMIT,
+            f"(limit {ENUM_T4_T1_LIMIT})",
+        )
+    else:
+        c.info(f"no rows with rels>={ENUM_RATIO_MIN_RELS}; t4/t1 gate skipped")
 
 
 def geomean(values):

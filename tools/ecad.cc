@@ -4,6 +4,7 @@
 //        [--data <dir>] [--threads N] [--max-concurrent N]
 //        [--queue-depth N] [--commit-limit-mb N] [--client-mem-limit-mb N]
 //        [--est-run-ms N] [--degrade-below-ms N] [--default-timeout-ms N]
+//        [--plan-cache-mb N]
 //
 // Serves QUERY / METRICS / PING requests (length-prefixed frames, see
 // src/service/wire.h) over a unix-domain socket until SIGTERM or SIGINT,
@@ -27,6 +28,9 @@
 //   --est-run-ms          deadline-aware early rejection threshold
 //   --degrade-below-ms    remaining deadline below this => sizes-only
 //                         degraded planning (response: degraded=1)
+//   --plan-cache-mb       cross-query plan cache byte budget: proven
+//                         subplans survive across queries (memo.* hit
+//                         metrics; 0 = off, the default)
 
 #include <csignal>
 #include <cstdio>
@@ -60,7 +64,7 @@ int Usage() {
       "[--rows N] [--data <dir>] [--threads N] [--max-concurrent N] "
       "[--queue-depth N] [--commit-limit-mb N] [--client-mem-limit-mb N] "
       "[--est-run-ms N] [--degrade-below-ms N] [--default-timeout-ms N] "
-      "[--fault-accept N] [--fault-write N]\n");
+      "[--plan-cache-mb N] [--fault-accept N] [--fault-write N]\n");
   return 2;
 }
 
@@ -199,6 +203,12 @@ int Main(int argc, char** argv) {
         return 2;
       }
       config.service.default_timeout_ms = parsed;
+    } else if (std::strcmp(argv[i], "--plan-cache-mb") == 0) {
+      const char* v = next("--plan-cache-mb");
+      if (v == nullptr || !ParseIntFlag("--plan-cache-mb", v, 0, &parsed)) {
+        return 2;
+      }
+      config.service.plan_cache_bytes = parsed << 20;
     } else if (std::strcmp(argv[i], "--fault-accept") == 0) {
       // Robustness-test hooks: drop the (N+1)-th accepted connection /
       // fail the (N+1)-th response write on each session, so the smoke

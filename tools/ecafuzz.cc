@@ -24,7 +24,16 @@
 //             each seeded query is enumerated at 1, 2 and 4 threads and
 //             with branch-and-bound and the cost memo toggled, asserting a
 //             byte-identical plan (cost and structural fingerprint), plus
-//             reuse on/off, asserting an identical plan cost.
+//             reuse on/off, asserting an identical plan cost. Threaded
+//             variants force the worker pool on (pool_spinup_us = 0), so
+//             the identity claim is exercised under real concurrency.
+//   --plan-cache  (with --enum-diff) routes every trial through one
+//             shared cross-query SharedMemo, advancing its stats epoch
+//             between trials (each trial has its own database): cached
+//             cold and warm runs must reproduce the private-memo plan
+//             cost bitwise, the warm plan must stay semantically
+//             equivalent to the query (execution oracle), and the cache
+//             must drain to zero tracked bytes at the end.
 //   --mem-limit-mb  spilled-vs-in-memory differential: after the oracle
 //             comparison, the optimized plan is re-executed under a
 //             resource governor with the given hard limit and a
@@ -38,14 +47,17 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "algebra/plan.h"
 #include "algebra/plan_parser.h"
 #include "algebra/validate.h"
+#include "common/memory_tracker.h"
 #include "common/rng.h"
 #include "eca/optimizer.h"
+#include "enumerate/shared_memo.h"
 #include "exec/executor.h"
 #include "exec/query_context.h"
 #include "testing/fault_injection.h"
@@ -63,6 +75,7 @@ struct FuzzConfig {
   bool smoke = false;
   bool verbose = false;
   bool enum_diff = false;
+  bool plan_cache = false;  // --enum-diff through a shared cross-query memo
   int64_t mem_limit_mb = 0;  // > 0: governed re-execution differential
   // Executor morsel/chunk granularity for the optimized side (0 = engine
   // default). Results must be byte-identical for every legal value, so
@@ -291,18 +304,23 @@ std::string RunTrial(const Trial& t, const TrialSetup& setup,
 // byte-identical plan; subplan reuse promises an identical plan cost
 // (Theorem 5.4 guards its soundness, and in practice it is plan-identical
 // too — but the cost is the contract). Any difference is a bug.
-std::string RunEnumDiff(const Trial& t) {
+std::string RunEnumDiff(const Trial& t, SharedMemo* cache) {
   CostModel cost = CostModel::FromDatabase(t.db);
   SwapPolicy policy = SwapPolicy::kECA;
   if (t.setup.approach == Optimizer::Approach::kTBA) policy = SwapPolicy::kTBA;
   if (t.setup.approach == Optimizer::Approach::kCBA) policy = SwapPolicy::kCBA;
-  auto run = [&](int threads, bool reuse, bool prune, bool cost_memo) {
+  auto run = [&](int threads, bool reuse, bool prune, bool cost_memo,
+                 SharedMemo* memo = nullptr) {
     EnumeratorOptions o;
     o.policy = policy;
     o.reuse_subplans = reuse;
     o.prune = prune;
     o.cost_memo = cost_memo;
     o.num_threads = threads;
+    // Always fan the pool out: queries this small would otherwise stay on
+    // the sequential fast path and never exercise real concurrency.
+    o.pool_spinup_us = 0;
+    o.shared_memo = memo;
     TopDownEnumerator e(&cost, o);
     return e.Optimize(*t.query);
   };
@@ -335,6 +353,43 @@ std::string RunEnumDiff(const Trial& t) {
     if (v.plan_identical && PlanFingerprint(*r.plan) != base_fp) {
       return std::string("enum-diff: ") + v.name + " changed the plan\n" +
              r.plan->ToString();
+    }
+  }
+
+  if (cache != nullptr) {
+    // Cross-query plan-cache differential: a cold cached run must land on
+    // the private-memo cost bitwise; so must a warm 4-thread run against
+    // the entries the cold run just published (every cached entry is a
+    // true optimum for its full key, so reuse can never change the chosen
+    // cost — only skip re-derivation). Warm plan bytes are NOT promised
+    // identical to cold, so the warm plan is checked semantically against
+    // the query instead.
+    TopDownEnumerator::Result cached_cold = run(1, true, true, true, cache);
+    if (cached_cold.plan == nullptr) {
+      return "plan-cache: null plan from the cold cached run";
+    }
+    if (cached_cold.cost != base.cost) {
+      return "plan-cache: cold cached run changed the plan cost";
+    }
+    TopDownEnumerator::Result warm = run(4, true, true, true, cache);
+    if (warm.plan == nullptr) {
+      return "plan-cache: null plan from the warm cached run";
+    }
+    if (warm.cost != base.cost) {
+      return "plan-cache: warm cached run changed the plan cost";
+    }
+    Status valid = ValidatePlanStatus(*warm.plan, t.db.BaseSchemas());
+    if (!valid.ok()) {
+      return "plan-cache: warm plan fails validation: " + valid.ToString();
+    }
+    Optimizer plain;
+    Relation expect = plain.Execute(*t.query, t.db);
+    Relation got = plain.Execute(*warm.plan, t.db);
+    if (!SameMultiset(CanonicalizeColumnOrder(expect),
+                      CanonicalizeColumnOrder(got))) {
+      return "plan-cache DIVERGENCE: warm cached plan result differs from "
+             "the query\n" +
+             warm.plan->ToString();
     }
   }
   return "";
@@ -434,6 +489,8 @@ bool ParseArgs(int argc, char** argv, FuzzConfig* cfg, bool* queries_set) {
       cfg->verbose = true;
     } else if (std::strcmp(argv[i], "--enum-diff") == 0) {
       cfg->enum_diff = true;
+    } else if (std::strcmp(argv[i], "--plan-cache") == 0) {
+      cfg->plan_cache = true;
     } else if (std::strcmp(argv[i], "--mem-limit-mb") == 0 && i + 1 < argc) {
       cfg->mem_limit_mb = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--morsel-rows") == 0 && i + 1 < argc) {
@@ -444,7 +501,8 @@ bool ParseArgs(int argc, char** argv, FuzzConfig* cfg, bool* queries_set) {
       std::fprintf(stderr,
                    "unknown argument '%s'\nusage: ecafuzz [--queries N] "
                    "[--seed S] [--max-rels N] [--threads N] [--smoke] "
-                   "[--verbose] [--enum-diff] [--mem-limit-mb N] "
+                   "[--verbose] [--enum-diff] [--plan-cache] "
+                   "[--mem-limit-mb N] "
                    "[--morsel-rows N] [--chunk-rows N]\n",
                    argv[i]);
       return false;
@@ -466,6 +524,9 @@ std::string ReproSuffix(const FuzzConfig& cfg) {
   }
   if (cfg.threads != 1) {
     repro_suffix += " --threads " + std::to_string(cfg.threads);
+  }
+  if (cfg.plan_cache) {
+    repro_suffix += " --plan-cache";
   }
   if (cfg.mem_limit_mb > 0) {
     repro_suffix += " --mem-limit-mb " + std::to_string(cfg.mem_limit_mb);
@@ -505,6 +566,7 @@ bool ReproSuffixRoundTrips(const FuzzConfig& cfg) {
   }
   return replay.seed == cfg.seed && replay.smoke == cfg.smoke &&
          replay.max_rels == cfg.max_rels && replay.threads == cfg.threads &&
+         replay.plan_cache == cfg.plan_cache &&
          replay.mem_limit_mb == cfg.mem_limit_mb &&
          replay.morsel_rows == cfg.morsel_rows &&
          replay.chunk_rows == cfg.chunk_rows && queries_set &&
@@ -533,11 +595,28 @@ int Main(int argc, char** argv) {
   std::string repro_suffix = ReproSuffix(cfg);
 
   if (cfg.enum_diff) {
+    // --plan-cache: one shared memo for the whole run, tracked so the
+    // final drain check can prove byte balance.
+    MemoryTracker cache_root(0, 0);
+    std::unique_ptr<SharedMemo> cache;
+    if (cfg.plan_cache) {
+      SharedMemo::Config cache_config;
+      cache_config.max_bytes = 8ll << 20;
+      cache_config.parent = &cache_root;
+      cache = std::make_unique<SharedMemo>(cache_config);
+    }
     int64_t failures = 0;
     for (int64_t i = 0; i < cfg.queries; ++i) {
       uint64_t seed = cfg.seed + static_cast<uint64_t>(i);
       Trial t = MakeTrial(seed, cfg);
-      std::string failure = RunEnumDiff(t);
+      if (cache != nullptr) {
+        // Every trial has its own database, i.e. new base-relation
+        // statistics: the epoch advance is what keeps entries costed
+        // under trial i's stats unreachable from trial i+1.
+        cache->AdvanceEpoch();
+        if (i % 16 == 15) cache->Sweep();  // exercise reclamation mid-run
+      }
+      std::string failure = RunEnumDiff(t, cache.get());
       if (!failure.empty()) {
         std::fprintf(stderr, "seed %llu: %s\n",
                      static_cast<unsigned long long>(seed), failure.c_str());
@@ -550,6 +629,17 @@ int Main(int argc, char** argv) {
         ++failures;
       } else if (cfg.verbose) {
         std::printf("seed %llu ok\n", static_cast<unsigned long long>(seed));
+      }
+    }
+    if (cache != nullptr) {
+      cache->Clear();
+      if (cache->used_bytes() != 0 || cache_root.used() != 0) {
+        std::fprintf(stderr,
+                     "plan-cache: %lld cached / %lld tracked bytes left "
+                     "after Clear (accounting imbalance)\n",
+                     static_cast<long long>(cache->used_bytes()),
+                     static_cast<long long>(cache_root.used()));
+        ++failures;
       }
     }
     std::printf("ecafuzz --enum-diff: %lld queries, %lld failure(s)\n",

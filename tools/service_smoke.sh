@@ -179,6 +179,51 @@ grep -q "drained, tracker=0 bytes" "$LOG" ||
 grep -q "CANCELLED" "$WORK/drain.err" ||
   fail "drained query did not see kCancelled: $(cat "$WORK/drain.err")"
 
+# --- warm plan cache: repeated identical query hits the shared memo ---------
+
+# Fresh daemon with the cross-query plan cache enabled. The service's
+# database is fixed for its lifetime, so the stats epoch never advances
+# and the second identical query should find essentially every subplan
+# already published (docs/service.md, --plan-cache-mb).
+"$ECAD" --socket "$SOCK" --spill-dir "$SPILL" --rels 3 --rows 64 \
+  --plan-cache-mb 16 > "$LOG" 2>&1 &
+ECAD_PID=$!
+for i in $(seq 1 200); do
+  grep -q "listening" "$LOG" 2>/dev/null && break
+  sleep 0.05
+done
+grep -q "listening" "$LOG" || fail "plan-cache ecad never started listening"
+
+"$ECACLIENT" --socket "$SOCK" query "$PLAN3" --pred "$P01" --pred "$P12" \
+  --print-rows > "$WORK/cold.out" 2>&1 || fail "cold plan-cache query failed"
+PROBES1=$(counter memo.probes)
+HITS1=$(counter memo.hits)
+"$ECACLIENT" --socket "$SOCK" query "$PLAN3" --pred "$P01" --pred "$P12" \
+  --print-rows > "$WORK/warm.out" 2>&1 || fail "warm plan-cache query failed"
+PROBES2=$(counter memo.probes)
+HITS2=$(counter memo.hits)
+
+PROBES_D=$((PROBES2 - PROBES1))
+HITS_D=$((HITS2 - HITS1))
+[ "$PROBES_D" -gt 0 ] || fail "warm query issued no memo probes"
+# Warm hit rate >= 90%: the second identical query must reuse the cache.
+[ $((HITS_D * 10)) -ge $((PROBES_D * 9)) ] ||
+  fail "warm hit rate too low: $HITS_D hits / $PROBES_D probes"
+# Warm reuse is cost-preserving but may pick a cost-equal plan with a
+# different shape, which permutes row order; the multiset must match.
+grep -v "$VOLATILE" "$WORK/cold.out" | sort > "$WORK/cold.cmp"
+grep -v "$VOLATILE" "$WORK/warm.out" | sort > "$WORK/warm.cmp"
+cmp -s "$WORK/cold.cmp" "$WORK/warm.cmp" ||
+  fail "warm plan-cache query changed the result multiset"
+
+# Drain: the cache is charged to the root tracker, so a zero tracker
+# after SIGTERM proves the service released every cached byte.
+kill -TERM "$ECAD_PID"
+wait "$ECAD_PID" || fail "plan-cache ecad did not drain cleanly"
+ECAD_PID=
+grep -q "drained, tracker=0 bytes" "$LOG" ||
+  fail "plan-cache ecad tracker not at zero after drain"
+
 # --- accept-fault: the client retry loop rides through a dropped accept -----
 
 "$ECAD" --socket "$SOCK" --rels 2 --rows 16 --fault-accept 0 \
