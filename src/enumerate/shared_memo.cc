@@ -212,6 +212,48 @@ MemoPublishResult SharedMemo::Publish(
   }
 }
 
+std::vector<MemoExportEntry> SharedMemo::ExportEntries(uint64_t min_gen) {
+  std::vector<MemoExportEntry> out;
+  const uint64_t live_epoch = epoch();
+  gate_.LockExclusive();
+  struct Chain {
+    uint64_t key;
+    std::vector<MemoExportEntry> entries;  // oldest first
+  };
+  std::vector<Chain> chains;
+  table_.ForEachChainExclusive([&](uint64_t key, MemoNode* chain_head) {
+    Chain chain;
+    chain.key = key;
+    for (MemoNode* n = chain_head; n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      if (n->gen < min_gen) continue;
+      if (n->payload->epoch != live_epoch) continue;  // dead on load anyway
+      chain.entries.push_back(MemoExportEntry{key, n->gen, n->payload});
+    }
+    if (chain.entries.empty()) return;
+    // Chains store newest first; persist oldest first so a reload that
+    // re-publishes in file order reproduces the probe tie order.
+    std::reverse(chain.entries.begin(), chain.entries.end());
+    chains.push_back(std::move(chain));
+  });
+  gate_.UnlockExclusive();
+  std::sort(chains.begin(), chains.end(),
+            [](const Chain& x, const Chain& y) { return x.key < y.key; });
+  for (Chain& chain : chains) {
+    for (MemoExportEntry& e : chain.entries) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+MemoPublishResult SharedMemo::Import(
+    uint64_t map_key, std::shared_ptr<const MemoPayload> payload) {
+  Pin();
+  MemoPublishResult result =
+      Publish(map_key, std::move(payload), /*gen=*/0, /*leader=*/false);
+  Unpin();
+  return result;
+}
+
 void SharedMemo::AccumulateProbeStats(const MemoProbeStats& stats) {
   const MemoCounters& c = Counters();
   c.probes->Add(stats.probes);

@@ -105,6 +105,16 @@ enum class MemoPublishResult {
   kRejectedMemory,   // byte budget exhausted; entry dropped
 };
 
+// One exported cache entry: the map key it was filed under, the
+// generation that published it (for incremental append watermarks) and a
+// shared reference to the immutable payload. Snapshots serialize these;
+// Import() files them back in (see cache_store.h).
+struct MemoExportEntry {
+  uint64_t map_key = 0;
+  uint64_t gen = 0;
+  std::shared_ptr<const MemoPayload> payload;
+};
+
 // Per-enumeration probe counters, accumulated locally by each search task
 // and folded into the memo.* metrics once per task (per-probe global
 // atomics would put contention right back on the lock-free read path).
@@ -167,6 +177,11 @@ class SharedMemo {
     return gen_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
+  // The latest generation handed out so far. The persistence layer records
+  // this as the snapshot watermark: a later incremental append exports
+  // only entries published after it.
+  uint64_t generation() const { return gen_.load(std::memory_order_relaxed); }
+
   // Stats epoch: bumped when base-relation statistics change. The epoch
   // is part of every entry's full key, so advancing it instantly makes
   // all older entries unreachable; Sweep() reclaims their bytes.
@@ -196,6 +211,25 @@ class SharedMemo {
 
   // Folds one task's local probe counters into the memo.* metrics.
   void AccumulateProbeStats(const MemoProbeStats& stats);
+
+  // Persistence (docs/robustness.md, "Crash safety & persistence").
+  //
+  // ExportEntries snapshots every live entry of the current epoch whose
+  // publishing generation is >= min_gen (0 exports everything, including
+  // previously imported entries, which live at generation 0). Takes the
+  // exclusive side of the gate, so it waits for in-flight enumerations;
+  // the result is deterministic for a given cache state: sorted by
+  // (map_key, chain depth oldest-first).
+  std::vector<MemoExportEntry> ExportEntries(uint64_t min_gen = 0);
+
+  // Files a deserialized entry back in at generation 0 / non-leader, which
+  // the visibility rule (gen < G for every BeginQuery generation G >= 1)
+  // makes visible to all future queries — and which a min_gen >= 1 export
+  // never re-exports, so append logs don't accrete duplicates. Duplicate
+  // or more-expensive entries dedup exactly like live publishes. Pins
+  // internally; safe to call while the service is accepting queries.
+  MemoPublishResult Import(uint64_t map_key,
+                           std::shared_ptr<const MemoPayload> payload);
 
   // Maintenance (exclusive; waits for / excludes pinned enumerations).
   // Sweep drops entries from stale epochs, then evicts

@@ -69,6 +69,11 @@ Status EcadServer::Start() {
     swept_spill_dirs_ = SweepOrphanQuerySpillDirs(spill_dir);
   }
 
+  // Warm the plan cache from disk after the sweep, before the socket
+  // exists: no query can race the import, and a corrupt file degrades to
+  // a cold cache (never a failed startup — see CacheStore::Load).
+  cache_load_ = state_.LoadPlanCache();
+
   sockaddr_un addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sun_family = AF_UNIX;
@@ -222,8 +227,12 @@ void EcadServer::Stop() {
   listen_fd_ = -1;
   ::unlink(config_.socket_path.c_str());
 
-  // Every session has joined, so no enumeration pin remains: drop the
-  // plan cache's entries and return their bytes to the root.
+  // Every session has joined, so no enumeration pin remains: persist the
+  // final cache state (full snapshot, compacting the write-behind log),
+  // then drop the entries and return their bytes to the root. A failed
+  // snapshot only costs warmth on the next start.
+  Status flushed = state_.FlushPlanCache(/*snapshot=*/true);
+  (void)flushed;  // logged by ecad; harmless for the drain invariant
   state_.ClearPlanCache();
 
   // Every query context died with its session and the plan cache was

@@ -61,6 +61,9 @@ class EcadServer {
   // Orphaned spill directories reclaimed by Start()'s crash-recovery
   // sweep.
   int64_t swept_spill_dirs() const { return swept_spill_dirs_; }
+  // Outcome of Start()'s plan-cache load (all-zero when no cache file is
+  // configured). A degraded load is a cold-cache start, never a failure.
+  const CacheStore::LoadResult& cache_load() const { return cache_load_; }
 
  private:
   void AcceptLoop();
@@ -74,6 +77,7 @@ class EcadServer {
   bool started_ = false;
   bool stopped_ = false;
   int64_t swept_spill_dirs_ = 0;
+  CacheStore::LoadResult cache_load_;
   std::thread accept_thread_;
 
   // Live connection fds (shutdown() on Stop unblocks idle sessions) and

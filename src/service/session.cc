@@ -10,6 +10,7 @@
 #include "enumerate/enumerator.h"
 #include "expr/pred_parser.h"
 #include "storage/csv.h"
+#include "testing/fault_injection.h"
 
 namespace eca {
 
@@ -74,6 +75,9 @@ ServiceState::ServiceState(const Database* db, ServiceOptions options)
   // service.* set at zero (the AdmissionController ctor does the same
   // for the admission counters).
   Counters();
+  if (!options_.plan_cache_file.empty() && options_.plan_cache_bytes <= 0) {
+    options_.plan_cache_bytes = 32ll << 20;
+  }
   if (options_.plan_cache_bytes > 0) {
     SharedMemo::Config config;
     // Size the slot arrays from the byte budget assuming ~1KB per cached
@@ -90,6 +94,22 @@ ServiceState::ServiceState(const Database* db, ServiceOptions options)
     config.parent = &root_;
     plan_cache_ = std::make_unique<SharedMemo>(config);
   }
+  if (plan_cache_ != nullptr && !options_.plan_cache_file.empty()) {
+    cache_store_ = std::make_unique<CacheStore>(options_.plan_cache_file);
+    // A cache file written against different data must never warm us.
+    catalog_fp_ = CatalogFingerprint(*db_);
+  }
+}
+
+CacheStore::LoadResult ServiceState::LoadPlanCache() {
+  if (cache_store_ == nullptr) return CacheStore::LoadResult{};
+  return cache_store_->Load(plan_cache_.get(), catalog_fp_);
+}
+
+Status ServiceState::FlushPlanCache(bool snapshot) {
+  if (cache_store_ == nullptr) return Status::OK();
+  return snapshot ? cache_store_->WriteSnapshot(plan_cache_.get(), catalog_fp_)
+                  : cache_store_->AppendNew(plan_cache_.get(), catalog_fp_);
 }
 
 WireMessage ServiceState::Handle(const WireMessage& request) {
@@ -172,6 +192,10 @@ WireMessage ServiceState::HandleQuery(const WireMessage& request) {
       admission_.Admit(mem_limit_bytes, *timeout_ms);
   if (!admitted.ok()) return ErrorResponse(admitted.status());
 
+  // Chaos-harness crash step: die like kill -9 right after taking an
+  // admission slot — the successor process must find a clean slate.
+  CrashInjector::MaybeCrash("query-admitted");
+
   WireMessage response;
   {
     // The query scope: the context (and with it the per-query spill
@@ -205,6 +229,11 @@ WireMessage ServiceState::HandleQuery(const WireMessage& request) {
     StatusOr<Relation> result =
         opt.ExecuteGoverned(*best.plan, *db_, &ctx, &exec_stats);
     cancels_.Unregister(ctx.cancel_token());
+
+    // Chaos-harness crash step: die with the result computed but the
+    // response unsent and the query scope (spill dir, tracker bytes)
+    // still alive — the nastiest point for crash-safety.
+    CrashInjector::MaybeCrash("query-executed");
 
     if (!result.ok()) {
       response = ErrorResponse(result.status());

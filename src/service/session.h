@@ -13,6 +13,7 @@
 #include "exec/query_context.h"
 #include "service/admission.h"
 #include "service/wire.h"
+#include "storage/cache_store.h"
 
 namespace eca {
 
@@ -60,6 +61,16 @@ struct ServiceOptions {
   // reuse proven subplans instead of re-enumerating. 0 disables the
   // cache (every query keeps a private per-query memo).
   int64_t plan_cache_bytes = 0;
+  // Crash-safe plan-cache persistence (ecad --plan-cache-file): proven
+  // entries are loaded from this snapshot+log pair on startup and written
+  // back on drain and on the write-behind flush interval
+  // (docs/robustness.md, "Crash safety & persistence"). "" = in-memory
+  // only. Setting a file with plan_cache_bytes == 0 enables the cache at
+  // a 32 MB default budget.
+  std::string plan_cache_file;
+  // Write-behind flush period driven by ecad's main loop; <= 0 disables
+  // periodic flushing (drain still snapshots).
+  int64_t cache_flush_ms = 2000;
 };
 
 class ServiceState {
@@ -90,6 +101,16 @@ class ServiceState {
     if (plan_cache_ != nullptr) plan_cache_->Clear();
   }
 
+  // Plan-cache persistence (plan_cache_file). LoadPlanCache imports the
+  // on-disk snapshot+log; it degrades (cold cache) on any corruption,
+  // never fails. FlushPlanCache writes entries published since the last
+  // flush (`snapshot` = full atomic snapshot + log compaction, else an
+  // append to the write-behind log). Both are no-ops without a configured
+  // file.
+  bool has_cache_store() const { return cache_store_ != nullptr; }
+  CacheStore::LoadResult LoadPlanCache();
+  Status FlushPlanCache(bool snapshot);
+
  private:
   WireMessage HandleQuery(const WireMessage& request);
   WireMessage HandleMetrics();
@@ -103,6 +124,8 @@ class ServiceState {
   AdmissionController admission_;
   CancelRegistry cancels_;
   std::unique_ptr<SharedMemo> plan_cache_;
+  std::unique_ptr<CacheStore> cache_store_;
+  uint64_t catalog_fp_ = 0;
 };
 
 }  // namespace eca

@@ -5,6 +5,7 @@
 
 #ifndef _WIN32
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 #endif
 
@@ -255,6 +256,53 @@ StatusOr<WireMessage> RoundTrip(int fd, const WireMessage& request) {
     return Status::Unavailable("wire: server closed before responding");
   }
   return response;
+}
+
+bool IsRetryableWireStatus(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+int64_t RetryBackoffMs(int64_t attempt, uint64_t salt) {
+  if (attempt < 1) attempt = 1;
+  int64_t shift = attempt - 1 < 5 ? attempt - 1 : 5;
+  int64_t backoff_ms = 50ll << shift;
+  if (backoff_ms > 2000) backoff_ms = 2000;
+  // Splitmix-style mix: deterministic for a fixed (salt, attempt), so
+  // tests can assert exact values, yet different per client.
+  uint64_t h = salt * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(attempt);
+  h ^= h >> 31;
+  return backoff_ms + static_cast<int64_t>(h % 25);
+}
+
+StatusOr<int> ConnectUnixSocket(const std::string& path) {
+#ifdef _WIN32
+  (void)path;
+  return Status::Internal("wire I/O is POSIX-only");
+#else
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    // ECONNREFUSED (socket file without a listener — the daemon died) and
+    // ENOENT (the restarting daemon has not bound yet) are the transient
+    // restart window; other errnos are unexpected but a retry is still
+    // the safest client response, so the whole class is kUnavailable.
+    Status failed = Status::Unavailable("cannot connect to '" + path +
+                                        "': " + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  return fd;
+#endif
 }
 
 WireMessage ErrorResponse(const Status& status) {

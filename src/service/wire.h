@@ -69,6 +69,27 @@ StatusOr<WireMessage> ReadFrame(int fd, bool* eof);
 // Convenience for clients and tests: one request -> one response.
 StatusOr<WireMessage> RoundTrip(int fd, const WireMessage& request);
 
+// --- Client-side retry helpers (ecaclient, smoke tools) ---------------
+//
+// The retryable class is exactly kUnavailable: connection refused while
+// the daemon restarts, a connection reset at accept or mid-frame, a
+// server that closed before responding, and the in-band kUnavailable a
+// draining server answers with. Everything else (parse errors, shed,
+// cancel, query failures) must surface immediately.
+bool IsRetryableWireStatus(const Status& status);
+
+// Backoff before the `attempt`-th re-attempt (attempt >= 1): 50ms base,
+// doubling, capped at 2s, plus a deterministic jitter in [0, 25) ms
+// derived from hash(salt, attempt) — synchronized clients fan out, and
+// tests stay reproducible. Callers typically pass their pid as `salt`.
+int64_t RetryBackoffMs(int64_t attempt, uint64_t salt);
+
+// Connects a blocking AF_UNIX stream socket. Connect-time failures that
+// mean "the daemon is not there right now" — ECONNREFUSED and a missing
+// socket file during a restart window — are kUnavailable so callers can
+// retry them with RetryBackoffMs; a malformed path is kInvalidArgument.
+StatusOr<int> ConnectUnixSocket(const std::string& path);
+
 // Builds the standard ERROR response for a failed request.
 WireMessage ErrorResponse(const Status& status);
 // Maps a RESULT/ERROR response's "status" field back to a StatusCode

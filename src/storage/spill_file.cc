@@ -240,7 +240,26 @@ Status SpillWriter::Append(uint64_t tag, const Tuple& row) {
   }
   PutU64(&buf_, FnvMix(kFnvOffset, buf_.data(), buf_.size()));
   if (FaultInjector::ShouldFail(FaultPoint::kSpillIo)) {
-    return InjectedIo("write", path_);
+    switch (FaultInjector::Variant(FaultPoint::kSpillIo)) {
+      case FaultVariant::kShortWrite: {
+        // A real partial write() return: a prefix of the record reaches
+        // the file before the error, so the tail is physically torn on
+        // disk — a later reader must fail the checksum, and the query's
+        // unwind must still remove the whole spill directory.
+        size_t partial = buf_.size() / 2;
+        (void)!std::fwrite(buf_.data(), 1, partial, file_);
+        (void)std::fflush(file_);
+        return Status::DataLoss(
+            "short write to spill file " + path_ + " (fault injected: " +
+            std::to_string(partial) + "/" + std::to_string(buf_.size()) +
+            " bytes)");
+      }
+      case FaultVariant::kEnospc:
+        return Status::DataLoss("cannot write spill file " + path_ + ": " +
+                                std::strerror(ENOSPC) + " (fault injected)");
+      case FaultVariant::kDefault:
+        return InjectedIo("write", path_);
+    }
   }
   if (std::fwrite(buf_.data(), 1, buf_.size(), file_) != buf_.size()) {
     return Status::DataLoss("short write to spill file " + path_);
@@ -260,6 +279,13 @@ Status SpillWriter::Finish() {
   int close_rc = std::fclose(file_);
   file_ = nullptr;
   if (FaultInjector::ShouldFail(FaultPoint::kSpillIo)) {
+    if (FaultInjector::Variant(FaultPoint::kSpillIo) ==
+        FaultVariant::kEnospc) {
+      // The buffered tail is refused at flush time — the classic way a
+      // full disk surfaces for stdio writers.
+      return Status::DataLoss("cannot flush spill file " + path_ + ": " +
+                              std::strerror(ENOSPC) + " (fault injected)");
+    }
     return InjectedIo("flush", path_);
   }
   if (flush_rc != 0 || close_rc != 0) {

@@ -1,6 +1,12 @@
 #include "testing/fault_injection.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "common/macros.h"
 
@@ -14,6 +20,7 @@ struct PointState {
   bool armed = false;
   int64_t skip = 0;   // hits to let pass before failing
   int64_t hits = 0;   // hits observed since Reset
+  FaultVariant variant = FaultVariant::kDefault;
 };
 
 thread_local PointState g_points[kNumPoints];
@@ -44,22 +51,40 @@ const char* FaultPointName(FaultPoint point) {
       return "service-accept";
     case FaultPoint::kServiceWrite:
       return "service-write";
+    case FaultPoint::kCacheIo:
+      return "cache-io";
+    case FaultPoint::kCrashPoint:
+      return "crash-point";
     case FaultPoint::kNumPoints:
       break;
   }
   return "unknown";
 }
 
-void FaultInjector::Arm(FaultPoint point, int64_t skip) {
+const char* FaultVariantName(FaultVariant variant) {
+  switch (variant) {
+    case FaultVariant::kDefault:
+      return "default";
+    case FaultVariant::kShortWrite:
+      return "short-write";
+    case FaultVariant::kEnospc:
+      return "enospc";
+  }
+  return "unknown";
+}
+
+void FaultInjector::Arm(FaultPoint point, int64_t skip, FaultVariant variant) {
   PointState& s = StateOf(point);
   s.armed = true;
   s.skip = skip;
+  s.variant = variant;
 }
 
 void FaultInjector::Disarm(FaultPoint point) {
   PointState& s = StateOf(point);
   s.armed = false;
   s.skip = 0;
+  s.variant = FaultVariant::kDefault;
 }
 
 void FaultInjector::Reset() {
@@ -84,6 +109,55 @@ int64_t FaultInjector::HitCount(FaultPoint point) {
 }
 
 bool FaultInjector::IsArmed(FaultPoint point) { return StateOf(point).armed; }
+
+FaultVariant FaultInjector::Variant(FaultPoint point) {
+  return StateOf(point).variant;
+}
+
+namespace {
+
+// Global (not thread-local): the chaos harness arms the crash once per
+// process via `ecad --crash-at N`, then any session thread may reach the
+// armed step first.
+std::atomic<int64_t> g_crash_at{0};  // 0 = disarmed; >0 = hit that crashes
+std::atomic<int64_t> g_crash_hits{0};
+
+}  // namespace
+
+void CrashInjector::Arm(int64_t at_hit) {
+  g_crash_at.store(at_hit > 0 ? at_hit : 0, std::memory_order_release);
+}
+
+void CrashInjector::Disarm() {
+  g_crash_at.store(0, std::memory_order_release);
+}
+
+bool CrashInjector::IsArmed() {
+  return g_crash_at.load(std::memory_order_acquire) > 0;
+}
+
+void CrashInjector::MaybeCrash(const char* step) {
+  int64_t hit = g_crash_hits.fetch_add(1, std::memory_order_acq_rel) + 1;
+  int64_t at = g_crash_at.load(std::memory_order_acquire);
+  if (at <= 0 || hit != at) return;
+  // Simulate kill -9 as closely as an injected fault can: log with raw
+  // write(2) (async-signal-safe, no stdio buffering to lose) and _exit —
+  // no destructors, no atexit handlers, no stream flush.
+  char buf[160];
+  int n = std::snprintf(buf, sizeof(buf), "ecad: CRASH INJECTED at step %lld (%s)\n",
+                        static_cast<long long>(hit), step ? step : "?");
+  if (n > 0) {
+#ifndef _WIN32
+    ssize_t ignored = ::write(2, buf, static_cast<size_t>(n));
+    (void)ignored;
+#endif
+  }
+  ::_exit(137);
+}
+
+int64_t CrashInjector::Hits() {
+  return g_crash_hits.load(std::memory_order_acquire);
+}
 
 namespace {
 

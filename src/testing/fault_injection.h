@@ -25,18 +25,36 @@ enum class FaultPoint {
   kServiceAccept,         // forces ecad's accept loop to drop a connection
   kServiceWrite,          // forces a service wire write (response frame)
                           // to fail mid-stream
+  kCacheIo,               // forces a plan-cache file open/write/fsync/
+                          // rename/read I/O error
+  kCrashPoint,            // process-global crash hook: see CrashInjector
   kNumPoints,             // sentinel
 };
 
 const char* FaultPointName(FaultPoint point);
+
+// How an armed fault presents at the call site. Most points only support
+// kDefault (the hit fails outright); kSpillIo additionally distinguishes
+// a short write (the syscall "succeeds" after writing a prefix, tearing
+// the record on disk) from ENOSPC (the device is full — the write is
+// refused but earlier bytes may already be durable).
+enum class FaultVariant {
+  kDefault = 0,
+  kShortWrite,  // partial write() return: a torn record lands on disk
+  kEnospc,      // write refused with "no space left on device"
+};
+
+const char* FaultVariantName(FaultVariant variant);
 
 // Per-point arming state. All state is thread-local: concurrent fuzzer
 // shards never observe each other's faults.
 class FaultInjector {
  public:
   // Arms `point` to fail on its (skip+1)-th upcoming hit and on every hit
-  // after that, until Disarm or Reset.
-  static void Arm(FaultPoint point, int64_t skip = 0);
+  // after that, until Disarm or Reset. `variant` shapes how the failure
+  // presents at call sites that distinguish variants (see FaultVariant).
+  static void Arm(FaultPoint point, int64_t skip = 0,
+                  FaultVariant variant = FaultVariant::kDefault);
   static void Disarm(FaultPoint point);
   // Disarms every point and zeroes the hit counters.
   static void Reset();
@@ -48,14 +66,20 @@ class FaultInjector {
   // Observability for tests: hits seen since the last Reset.
   static int64_t HitCount(FaultPoint point);
   static bool IsArmed(FaultPoint point);
+
+  // The variant `point` was armed with (kDefault when disarmed). Call
+  // sites that support variants read this after ShouldFail returns true.
+  static FaultVariant Variant(FaultPoint point);
 };
 
 // RAII arming for tests: arms in the constructor, resets the point on
 // destruction.
 class ScopedFault {
  public:
-  explicit ScopedFault(FaultPoint point, int64_t skip = 0) : point_(point) {
-    FaultInjector::Arm(point_, skip);
+  explicit ScopedFault(FaultPoint point, int64_t skip = 0,
+                       FaultVariant variant = FaultVariant::kDefault)
+      : point_(point) {
+    FaultInjector::Arm(point_, skip, variant);
   }
   ~ScopedFault() { FaultInjector::Disarm(point_); }
 
@@ -86,6 +110,35 @@ class FaultClock {
   // Call sites pass their steady-clock reading so the disarmed path costs
   // one relaxed load.
   static int64_t NowMs(int64_t real_now_ms);
+};
+
+// Process-global hard-crash injection for the chaos harness. Production
+// code calls MaybeCrash(step_name) at the handful of places where a real
+// SIGKILL would be most damaging (between a cache write and its rename,
+// mid-query, mid-flush); when armed via `ecad --crash-at N`, the N-th
+// process-wide hit calls _exit(137) — no destructors, no atexit, no
+// flush, exactly like a kill -9 — so tools/chaos_smoke.sh can drive a
+// deterministic crash at each distinct step and assert recovery.
+//
+// Unlike FaultInjector this is process-global (atomics): the crash must
+// fire no matter which session or pool thread reaches the step first,
+// and "the N-th hit" must count across all of them.
+class CrashInjector {
+ public:
+  // Arms the crash: the at_hit-th (1-based) upcoming MaybeCrash() call in
+  // this process exits with _exit(137). at_hit <= 0 disarms.
+  static void Arm(int64_t at_hit);
+  static void Disarm();
+  static bool IsArmed();
+
+  // Production-side probe: counts the hit; exits the process when the
+  // armed hit count is reached. `step` names the site for the crash log
+  // line (written to stderr with write(2) before _exit).
+  static void MaybeCrash(const char* step);
+
+  // Hits observed since process start (armed or not) — lets tests and
+  // the harness discover how many distinct crash steps a workload has.
+  static int64_t Hits();
 };
 
 // RAII arming for tests.

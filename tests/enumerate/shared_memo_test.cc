@@ -353,5 +353,127 @@ TEST(SharedMemoTest, LruSweepAfterConcurrentOvershoot) {
   EXPECT_EQ(memo.entry_count(), 1);
 }
 
+// --- Persistence hooks: ExportEntries / Import (cache_store.h) ---------
+
+TEST(SharedMemoExportTest, ExportRespectsMinGenAndEpoch) {
+  SharedMemo memo;
+  memo.Pin();
+  memo.Publish(1, MakePayload(RelSet::Single(1), 10.0), /*gen=*/1, false);
+  memo.Publish(2, MakePayload(RelSet::Single(2), 20.0), /*gen=*/2, false);
+  memo.Publish(3, MakePayload(RelSet::Single(3), 30.0), /*gen=*/3, false);
+  memo.Unpin();
+
+  EXPECT_EQ(memo.ExportEntries(0).size(), 3u);
+  EXPECT_EQ(memo.ExportEntries(2).size(), 2u);  // min_gen is inclusive
+  std::vector<MemoExportEntry> newest = memo.ExportEntries(3);
+  ASSERT_EQ(newest.size(), 1u);
+  EXPECT_EQ(newest[0].map_key, 3u);
+  EXPECT_EQ(newest[0].gen, 3u);
+  EXPECT_EQ(memo.ExportEntries(4).size(), 0u);
+
+  // Entries cost under an old stats epoch never leave the process: after
+  // AdvanceEpoch the whole export is empty even at min_gen 0.
+  memo.AdvanceEpoch();
+  EXPECT_EQ(memo.ExportEntries(0).size(), 0u);
+}
+
+TEST(SharedMemoExportTest, ExportIsDeterministicallyOrdered) {
+  SharedMemo memo;
+  memo.Pin();
+  // Publish out of key order, with an improvement chain on key 5.
+  memo.Publish(9, MakePayload(RelSet::Single(1), 10.0), 1, false);
+  memo.Publish(5, MakePayload(RelSet::Single(2), 20.0), 1, false);
+  memo.Publish(5, MakePayload(RelSet::Single(2), 15.0), 2, false);
+  memo.Publish(7, MakePayload(RelSet::Single(3), 30.0), 2, false);
+  memo.Unpin();
+
+  std::vector<MemoExportEntry> a = memo.ExportEntries(0);
+  std::vector<MemoExportEntry> b = memo.ExportEntries(0);
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].map_key, b[i].map_key) << i;
+    EXPECT_EQ(a[i].payload.get(), b[i].payload.get()) << i;
+  }
+  // Sorted by map key; within key 5, oldest (original) before improved.
+  EXPECT_EQ(a[0].map_key, 5u);
+  EXPECT_EQ(a[1].map_key, 5u);
+  EXPECT_EQ(a[0].payload->cost, 20.0);
+  EXPECT_EQ(a[1].payload->cost, 15.0);
+  EXPECT_EQ(a[2].map_key, 7u);
+  EXPECT_EQ(a[3].map_key, 9u);
+}
+
+TEST(SharedMemoExportTest, ImportIsVisibleToAllQueriesAndDedups) {
+  SharedMemo memo;
+  auto payload = MakePayload(RelSet::Single(1), 10.0);
+  EXPECT_EQ(memo.Import(7, payload), MemoPublishResult::kStoredNew);
+  // Visible from the very first BeginQuery generation (gen-0 rule).
+  uint64_t gen = memo.BeginQuery();
+  EXPECT_GE(gen, 1u);
+  memo.Pin();
+  MemoProbeStats stats;
+  EXPECT_NE(memo.Find(ProbeFor(*payload, 7), gen, &stats), nullptr);
+  memo.Unpin();
+
+  // Re-importing the same entry (snapshot + log overlap after a crash
+  // between rename and log cleanup) dedups instead of accreting.
+  EXPECT_EQ(memo.Import(7, MakePayload(RelSet::Single(1), 10.0)),
+            MemoPublishResult::kSkippedDuplicate);
+  EXPECT_EQ(memo.entry_count(), 1);
+  // A strictly cheaper import supersedes, like a live publish.
+  EXPECT_EQ(memo.Import(7, MakePayload(RelSet::Single(1), 5.0)),
+            MemoPublishResult::kStoredImproved);
+}
+
+TEST(SharedMemoExportTest, ImportsAreNotReExportedByAppends) {
+  SharedMemo memo;
+  memo.Import(7, MakePayload(RelSet::Single(1), 10.0));
+  // A snapshot (min_gen 0) includes the import; the incremental append
+  // window (min_gen >= 1) must not, or every flush would re-log the
+  // whole imported cache.
+  EXPECT_EQ(memo.ExportEntries(0).size(), 1u);
+  EXPECT_EQ(memo.ExportEntries(1).size(), 0u);
+
+  uint64_t gen = memo.BeginQuery();
+  memo.Pin();
+  memo.Publish(9, MakePayload(RelSet::Single(2), 20.0), gen, true);
+  memo.Unpin();
+  std::vector<MemoExportEntry> fresh = memo.ExportEntries(1);
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].map_key, 9u);
+}
+
+TEST(SharedMemoExportTest, ExportImportRoundTripPreservesTrackerBalance) {
+  MemoryTracker root(0, 0);
+  std::vector<MemoExportEntry> exported;
+  {
+    SharedMemo::Config config;
+    config.parent = &root;
+    SharedMemo source(config);
+    source.Pin();
+    for (int i = 0; i < 8; ++i) {
+      source.Publish(static_cast<uint64_t>(i + 1),
+                     MakePayload(RelSet::Single(i), 10.0 + i), 1, false);
+    }
+    source.Unpin();
+    exported = source.ExportEntries(0);
+    ASSERT_EQ(exported.size(), 8u);
+    source.Clear();
+    EXPECT_EQ(root.used(), 0);
+  }
+  SharedMemo::Config config;
+  config.parent = &root;
+  SharedMemo dest(config);
+  for (const MemoExportEntry& e : exported) {
+    EXPECT_EQ(dest.Import(e.map_key, e.payload),
+              MemoPublishResult::kStoredNew);
+  }
+  EXPECT_EQ(dest.entry_count(), 8);
+  EXPECT_EQ(root.used(), dest.used_bytes());
+  dest.Clear();
+  EXPECT_EQ(root.used(), 0);
+}
+
 }  // namespace
 }  // namespace eca

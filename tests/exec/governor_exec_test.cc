@@ -17,6 +17,7 @@
 #include "exec/iterator_exec.h"
 #include "exec/query_context.h"
 #include "storage/relation.h"
+#include "storage/spill_file.h"
 #include "testing/fault_injection.h"
 #include "testing/random_data.h"
 #include "testing/random_query.h"
@@ -401,6 +402,121 @@ TEST(GovernorLimitTest, SpillIoFaultFailsCleanlyWithoutOrphanFiles) {
   FaultInjector::Reset();
   std::error_code ec;
   fs::remove_all(base, ec);
+}
+
+// The nastier spill-write failure shapes: a partial write() return that
+// physically tears the record on disk, and ENOSPC refusing the write or
+// the flush. Both must unwind with a clean kDataLoss and leave zero
+// orphaned files — exactly like the plain fault above.
+TEST(GovernorLimitTest, SpillIoVariantFaultsFailCleanlyWithoutOrphans) {
+  namespace fs = std::filesystem;
+  Relation left = BigRel(0, 300, 43, /*key_domain=*/10);
+  Relation right = BigRel(1, 300, 47, /*key_domain=*/10);
+  Database db;
+  db.Add(std::move(left));
+  db.Add(std::move(right));
+  PlanPtr plan = Plan::Join(JoinOp::kLeftOuter, EquiJoin(0, "a", 1, "a"),
+                            Plan::Leaf(0), Plan::Leaf(1));
+  const std::string base =
+      (fs::temp_directory_path() / "eca-governor-variant-spill").string();
+  for (FaultVariant variant :
+       {FaultVariant::kShortWrite, FaultVariant::kEnospc}) {
+    for (int64_t skip = 0; skip < 6; ++skip) {
+      FaultInjector::Reset();
+      ScopedFault fault(FaultPoint::kSpillIo, skip, variant);
+      {
+        QueryContext::Limits limits = SpillEverythingLimits();
+        limits.spill_dir = base;
+        QueryContext ctx(limits);
+        Executor ex;
+        StatusOr<Relation> got = ex.ExecuteWithContext(*plan, db, &ctx);
+        ASSERT_FALSE(got.ok())
+            << FaultVariantName(variant) << " skip " << skip;
+        EXPECT_EQ(got.status().code(), StatusCode::kDataLoss)
+            << FaultVariantName(variant) << " skip " << skip << ": "
+            << got.status().ToString();
+      }
+      // Even with a torn record physically on disk, RAII cleanup must
+      // remove every temp file and the per-query subdirectory.
+      int64_t orphans = 0;
+      if (fs::exists(base)) {
+        for (const auto& entry : fs::recursive_directory_iterator(base)) {
+          (void)entry;
+          ++orphans;
+        }
+      }
+      EXPECT_EQ(orphans, 0) << FaultVariantName(variant) << " skip " << skip;
+    }
+  }
+  FaultInjector::Reset();
+  std::error_code ec;
+  fs::remove_all(base, ec);
+}
+
+// The short-write variant must actually tear the file — a prefix of the
+// failed record lands on disk — and the reader must keep every record
+// before the tear while rejecting the torn tail with a checksum error,
+// never a crash.
+TEST(GovernorLimitTest, SpillShortWritePhysicallyTearsTheRecord) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "eca-governor-shortwrite").string();
+  fs::create_directories(dir);
+  const std::string path = dir + "/torn.spill";
+
+  Tuple row = {I(7), S("payload"), N()};
+
+  // Control file: one clean record, to learn the encoded record size.
+  const std::string control = dir + "/control.spill";
+  {
+    SpillWriter cw;
+    ASSERT_TRUE(cw.Open(control, nullptr).ok());
+    ASSERT_TRUE(cw.Append(/*tag=*/1, row).ok());
+    ASSERT_TRUE(cw.Finish().ok());
+  }
+  const uintmax_t record_size = fs::file_size(control);
+  ASSERT_GT(record_size, 0u);
+
+  SpillWriter w;
+  ASSERT_TRUE(w.Open(path, nullptr).ok());
+  ASSERT_TRUE(w.Append(/*tag=*/1, row).ok());
+  {
+    FaultInjector::Reset();
+    ScopedFault fault(FaultPoint::kSpillIo, /*skip=*/0,
+                      FaultVariant::kShortWrite);
+    Status torn = w.Append(/*tag=*/2, row);
+    ASSERT_FALSE(torn.ok());
+    EXPECT_EQ(torn.code(), StatusCode::kDataLoss);
+    EXPECT_NE(torn.message().find("short write"), std::string::npos)
+        << torn.ToString();
+  }
+  FaultInjector::Reset();
+  (void)w.Finish();
+
+  // The tear is physical: more bytes than one full record (a prefix of
+  // the failed record landed), fewer than two (it did not all land).
+  const uintmax_t final_size = fs::file_size(path);
+  EXPECT_GT(final_size, record_size);
+  EXPECT_LT(final_size, 2 * record_size);
+
+  // Read back: record 1 intact, then the torn tail must fail (truncated
+  // or checksum mismatch — both are kDataLoss), not parse as a record.
+  SpillReader r;
+  ASSERT_TRUE(r.Open(path, nullptr).ok());
+  uint64_t tag = 0;
+  Tuple got;
+  bool eof = false;
+  ASSERT_TRUE(r.Next(&tag, &got, &eof).ok());
+  ASSERT_FALSE(eof);
+  EXPECT_EQ(tag, 1u);
+  EXPECT_EQ(CompareTuples(row, got), 0);
+  Status tail = r.Next(&tag, &got, &eof);
+  ASSERT_FALSE(tail.ok());
+  EXPECT_EQ(tail.code(), StatusCode::kDataLoss) << tail.ToString();
+  r.Close();
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
 }
 
 // The pull (iterator) engine honors the same contract at its single

@@ -1,0 +1,181 @@
+// Client-side retry helpers (service/wire.h): the retryable-status
+// class, the deterministic backoff schedule, and — over real unix
+// sockets — the connect-time failures a client sees while the daemon is
+// down or restarting (ECONNREFUSED, missing socket file, reset before a
+// response). ecaclient builds its whole retry loop out of these, so a
+// daemon kill -9'd by the chaos harness looks like a transient blip to
+// well-behaved clients.
+
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "service/wire.h"
+
+namespace eca {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(WireRetry, OnlyUnavailableIsRetryable) {
+  EXPECT_TRUE(IsRetryableWireStatus(Status::Unavailable("daemon restart")));
+  EXPECT_FALSE(IsRetryableWireStatus(Status::OK()));
+  EXPECT_FALSE(IsRetryableWireStatus(Status::InvalidArgument("bad plan")));
+  EXPECT_FALSE(IsRetryableWireStatus(Status::ResourceExhausted("shed")));
+  EXPECT_FALSE(IsRetryableWireStatus(Status::Cancelled("drain")));
+  EXPECT_FALSE(IsRetryableWireStatus(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsRetryableWireStatus(Status::Internal("bug")));
+  EXPECT_FALSE(IsRetryableWireStatus(Status::DataLoss("torn")));
+}
+
+TEST(WireRetry, BackoffDoublesFromFiftyMsAndCaps) {
+  // Base schedule: 50, 100, 200, 400, 800, 1600, 1600, ... capped at
+  // 2000 including jitter headroom; jitter adds [0, 25).
+  int64_t prev_base = 0;
+  for (int64_t attempt = 1; attempt <= 10; ++attempt) {
+    int64_t ms = RetryBackoffMs(attempt, /*salt=*/7);
+    int64_t shift = attempt - 1 < 5 ? attempt - 1 : 5;
+    int64_t base = std::min<int64_t>(50ll << shift, 2000);
+    EXPECT_GE(ms, base) << "attempt " << attempt;
+    EXPECT_LT(ms, base + 25) << "attempt " << attempt;
+    EXPECT_GE(base, prev_base);
+    prev_base = base;
+  }
+}
+
+TEST(WireRetry, BackoffIsDeterministicPerSaltAndAttempt) {
+  EXPECT_EQ(RetryBackoffMs(3, 42), RetryBackoffMs(3, 42));
+  // Different salts fan out (not a hard guarantee per pair, but these
+  // particular values differ and pin the mixing in place).
+  bool any_differ = false;
+  for (uint64_t salt = 0; salt < 8 && !any_differ; ++salt) {
+    any_differ = RetryBackoffMs(2, salt) != RetryBackoffMs(2, salt + 100);
+  }
+  EXPECT_TRUE(any_differ);
+  // Out-of-range attempt clamps instead of shifting into the weeds.
+  EXPECT_EQ(RetryBackoffMs(0, 9), RetryBackoffMs(1, 9));
+}
+
+#ifndef _WIN32
+
+std::string TempSocketPath(const char* tag) {
+  // sockaddr_un paths are short; keep them under /tmp regardless of the
+  // test working directory.
+  return "/tmp/eca_wire_retry_" + std::string(tag) + "_" +
+         std::to_string(static_cast<long long>(::getpid())) + ".sock";
+}
+
+TEST(WireRetry, ConnectMissingSocketIsUnavailable) {
+  std::string path = TempSocketPath("missing");
+  fs::remove(path);
+  StatusOr<int> fd = ConnectUnixSocket(path);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryableWireStatus(fd.status()));
+}
+
+TEST(WireRetry, ConnectRefusedIsUnavailable) {
+  // A socket file whose owner died: bind without listen, close the fd,
+  // leave the file. connect() gets ECONNREFUSED — the exact shape of a
+  // daemon killed mid-restart.
+  std::string path = TempSocketPath("refused");
+  fs::remove(path);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  ::close(fd);
+
+  StatusOr<int> client = ConnectUnixSocket(path);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryableWireStatus(client.status()));
+  fs::remove(path);
+}
+
+TEST(WireRetry, BadPathIsNotRetryable) {
+  StatusOr<int> empty = ConnectUnixSocket("");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(IsRetryableWireStatus(empty.status()));
+
+  StatusOr<int> monster = ConnectUnixSocket(std::string(4096, 'x'));
+  ASSERT_FALSE(monster.ok());
+  EXPECT_EQ(monster.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireRetry, ResetBeforeResponseIsUnavailable) {
+  // Server accepts, then closes without answering — what a client sees
+  // when the daemon is SIGKILLed between accept and response. RoundTrip
+  // must map it to the retryable class, not hang or crash.
+  std::string path = TempSocketPath("reset");
+  fs::remove(path);
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(
+      ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  std::thread server([listen_fd] {
+    int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn >= 0) ::close(conn);
+  });
+
+  StatusOr<int> client = ConnectUnixSocket(path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  WireMessage ping;
+  ping.type = "PING";
+  StatusOr<WireMessage> response = RoundTrip(*client, ping);
+  ::close(*client);
+  server.join();
+  ::close(listen_fd);
+  fs::remove(path);
+
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryableWireStatus(response.status()));
+}
+
+TEST(WireRetry, PeerGoneMidWriteIsUnavailableNotSigpipe) {
+  // socketpair with the read side closed: the second write of a large
+  // frame hits EPIPE. MSG_NOSIGNAL in FullWrite must turn that into
+  // kUnavailable instead of killing the process.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  WireMessage big;
+  big.type = "QUERY";
+  big.Add("plan", std::string(1 << 20, 'x'));
+  Status first = WriteFrame(fds[0], big);
+  // The first write may land in the socket buffer; a second must fail.
+  Status second = WriteFrame(fds[0], big);
+  ::close(fds[0]);
+  ASSERT_FALSE(first.ok() && second.ok());
+  const Status& failed = first.ok() ? second : first;
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryableWireStatus(failed));
+}
+
+#endif  // _WIN32
+
+}  // namespace
+}  // namespace eca

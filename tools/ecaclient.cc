@@ -24,8 +24,6 @@
 #include <string>
 
 #ifndef _WIN32
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 #endif
 
@@ -63,33 +61,10 @@ bool ParseIntFlag(const char* flag, const char* text, int64_t min,
 
 #ifndef _WIN32
 
-StatusOr<int> Connect(const std::string& path) {
-  sockaddr_un addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sun_family = AF_UNIX;
-  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("bad socket path '" + path + "'");
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket() failed: ") +
-                            std::strerror(errno));
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status failed = Status::Unavailable("cannot connect to '" + path +
-                                        "': " + std::strerror(errno));
-    ::close(fd);
-    return failed;
-  }
-  return fd;
-}
-
 // One request over a fresh connection, with retry on the kUnavailable
-// class: exponential backoff (50ms base, doubling, capped at 2s) plus a
-// deterministic per-attempt jitter so synchronized clients fan out, all
-// bounded by the end-to-end deadline. `retries` counts re-attempts after
-// the first try.
+// class (IsRetryableWireStatus): exponential backoff with deterministic
+// jitter (RetryBackoffMs, salted by pid), bounded by the end-to-end
+// deadline. `retries` counts re-attempts after the first try.
 StatusOr<WireMessage> Call(const std::string& path, const WireMessage& req,
                            int64_t retries, int64_t deadline_ms) {
   using Clock = std::chrono::steady_clock;
@@ -99,14 +74,8 @@ StatusOr<WireMessage> Call(const std::string& path, const WireMessage& req,
   Status last = Status::OK();
   for (int64_t attempt = 0; attempt <= retries; ++attempt) {
     if (attempt > 0) {
-      int64_t backoff_ms = 50ll << (attempt - 1 < 5 ? attempt - 1 : 5);
-      if (backoff_ms > 2000) backoff_ms = 2000;
-      // Deterministic jitter: spread attempts without nondeterminism in
-      // tests (splitmix-style hash of pid and attempt).
-      uint64_t h = static_cast<uint64_t>(::getpid()) * 0x9e3779b97f4a7c15ull +
-                   static_cast<uint64_t>(attempt);
-      h ^= h >> 31;
-      backoff_ms += static_cast<int64_t>(h % 25);
+      int64_t backoff_ms =
+          RetryBackoffMs(attempt, static_cast<uint64_t>(::getpid()));
       Clock::time_point wake =
           Clock::now() + std::chrono::milliseconds(backoff_ms);
       if (wake >= deadline) {
@@ -116,17 +85,17 @@ StatusOr<WireMessage> Call(const std::string& path, const WireMessage& req,
       }
       ::usleep(static_cast<useconds_t>(backoff_ms * 1000));
     }
-    StatusOr<int> fd = Connect(path);
+    StatusOr<int> fd = ConnectUnixSocket(path);
     if (!fd.ok()) {
       last = fd.status();
-      if (last.code() == StatusCode::kUnavailable) continue;
+      if (IsRetryableWireStatus(last)) continue;
       return last;
     }
     StatusOr<WireMessage> response = RoundTrip(*fd, req);
     ::close(*fd);
     if (!response.ok()) {
       last = response.status();
-      if (last.code() == StatusCode::kUnavailable) continue;
+      if (IsRetryableWireStatus(last)) continue;
       return last;
     }
     // A draining server answers kUnavailable in-band; that is the one

@@ -31,6 +31,17 @@
 //   --plan-cache-mb       cross-query plan cache byte budget: proven
 //                         subplans survive across queries (memo.* hit
 //                         metrics; 0 = off, the default)
+//   --plan-cache-file     crash-safe cache persistence: load the snapshot
+//                         + write-behind log on startup (after the orphan
+//                         sweep), flush on --cache-flush-ms and on drain.
+//                         Corrupt or torn files degrade to a cold cache,
+//                         never a failed start (docs/robustness.md).
+//                         Implies a 32 MB cache when --plan-cache-mb is 0.
+//   --cache-flush-ms      write-behind flush period (default 2000; every
+//                         8th flush compacts into a full snapshot)
+//   --crash-at N          chaos-harness hook: _exit(137) — a simulated
+//                         kill -9 — at the N-th process-wide crash step
+//                         (tools/chaos_smoke.sh)
 
 #include <csignal>
 #include <cstdio>
@@ -46,6 +57,7 @@
 #include "eca/optimizer.h"
 #include "service/server.h"
 #include "storage/csv.h"
+#include "testing/fault_injection.h"
 #include "testing/random_data.h"
 
 namespace eca {
@@ -64,7 +76,8 @@ int Usage() {
       "[--rows N] [--data <dir>] [--threads N] [--max-concurrent N] "
       "[--queue-depth N] [--commit-limit-mb N] [--client-mem-limit-mb N] "
       "[--est-run-ms N] [--degrade-below-ms N] [--default-timeout-ms N] "
-      "[--plan-cache-mb N] [--fault-accept N] [--fault-write N]\n");
+      "[--plan-cache-mb N] [--plan-cache-file <path>] [--cache-flush-ms N] "
+      "[--crash-at N] [--fault-accept N] [--fault-write N]\n");
   return 2;
 }
 
@@ -120,6 +133,7 @@ int Main(int argc, char** argv) {
   std::string data_dir;
   int64_t rels = 4, rows = 64, threads = 1;
   int64_t commit_limit_mb = 0, client_mem_limit_mb = 64;
+  int64_t crash_at = 0;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -209,6 +223,21 @@ int Main(int argc, char** argv) {
         return 2;
       }
       config.service.plan_cache_bytes = parsed << 20;
+    } else if (std::strcmp(argv[i], "--plan-cache-file") == 0) {
+      const char* v = next("--plan-cache-file");
+      if (v == nullptr) return 2;
+      config.service.plan_cache_file = v;
+    } else if (std::strcmp(argv[i], "--cache-flush-ms") == 0) {
+      const char* v = next("--cache-flush-ms");
+      if (v == nullptr || !ParseIntFlag("--cache-flush-ms", v, 0, &parsed)) {
+        return 2;
+      }
+      config.service.cache_flush_ms = parsed;
+    } else if (std::strcmp(argv[i], "--crash-at") == 0) {
+      const char* v = next("--crash-at");
+      if (v == nullptr || !ParseIntFlag("--crash-at", v, 1, &crash_at)) {
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--fault-accept") == 0) {
       // Robustness-test hooks: drop the (N+1)-th accepted connection /
       // fail the (N+1)-th response write on each session, so the smoke
@@ -248,6 +277,10 @@ int Main(int argc, char** argv) {
     db = ServedData(static_cast<int>(rels), static_cast<int>(rows));
   }
 
+  // Arm before Start: the chaos harness wants crash steps to count from
+  // the very first query/flush this process serves.
+  if (crash_at > 0) CrashInjector::Arm(crash_at);
+
   EcadServer server(&db, config);
   Status started = server.Start();
   if (!started.ok()) {
@@ -259,14 +292,45 @@ int Main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGPIPE, SIG_IGN);
 
+  if (!config.service.plan_cache_file.empty()) {
+    // The chaos harness greps this line to assert load-or-degrade.
+    const CacheStore::LoadResult& load = server.cache_load();
+    std::printf(
+        "ecad: plan cache %s: loaded %lld entries "
+        "(recovered %lld, discarded %lld)%s%s\n",
+        config.service.plan_cache_file.c_str(),
+        static_cast<long long>(load.loaded),
+        static_cast<long long>(load.recovered),
+        static_cast<long long>(load.discarded),
+        load.degraded ? ", degraded: " : "",
+        load.degraded ? load.detail.c_str() : "");
+  }
   // The smoke test and clients wait for this exact line before connecting.
   std::printf("ecad: listening on %s (swept %lld orphaned spill dirs)\n",
               config.socket_path.c_str(),
               static_cast<long long>(server.swept_spill_dirs()));
   std::fflush(stdout);
 
+  // Main loop: poll for shutdown; drive the write-behind cache flush.
+  // Every 8th flush compacts the log into a full snapshot so a
+  // long-running daemon's log stays bounded.
+  const int64_t flush_ms = config.service.cache_flush_ms;
+  const bool flushing =
+      !config.service.plan_cache_file.empty() && flush_ms > 0;
+  int64_t since_flush_ms = 0;
+  int64_t flush_count = 0;
   while (g_shutdown == 0) {
     ::usleep(50 * 1000);
+    since_flush_ms += 50;
+    if (flushing && since_flush_ms >= flush_ms) {
+      since_flush_ms = 0;
+      bool snapshot = (++flush_count % 8) == 0;
+      Status flushed = server.state().FlushPlanCache(snapshot);
+      if (!flushed.ok()) {
+        std::fprintf(stderr, "ecad: cache flush failed: %s\n",
+                     flushed.ToString().c_str());
+      }
+    }
   }
 
   server.Stop();

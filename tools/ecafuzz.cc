@@ -34,6 +34,15 @@
 //             cost bitwise, the warm plan must stay semantically
 //             equivalent to the query (execution oracle), and the cache
 //             must drain to zero tracked bytes at the end.
+//   --cache-file <path>  plan-cache corruption fuzz: the persistent-cache
+//             loader (storage/cache_store.h) must load-or-degrade — never
+//             crash, never fail the caller, never unbalance the memory
+//             tracker — for the file truncated at EVERY byte offset and
+//             for --queries seeded single-bit flips. A missing file is
+//             first synthesized from seeded random plans through the real
+//             snapshot writer, so the CI lane is self-contained;
+//             tools/chaos_smoke.sh points this mode at cache files a real
+//             daemon wrote and was SIGKILLed over.
 //   --mem-limit-mb  spilled-vs-in-memory differential: after the oracle
 //             comparison, the optimized plan is re-executed under a
 //             resource governor with the given hard limit and a
@@ -46,6 +55,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -60,6 +71,7 @@
 #include "enumerate/shared_memo.h"
 #include "exec/executor.h"
 #include "exec/query_context.h"
+#include "storage/cache_store.h"
 #include "testing/fault_injection.h"
 #include "testing/random_data.h"
 #include "testing/random_query.h"
@@ -76,6 +88,9 @@ struct FuzzConfig {
   bool verbose = false;
   bool enum_diff = false;
   bool plan_cache = false;  // --enum-diff through a shared cross-query memo
+  // --cache-file: corruption-fuzz a persistent plan-cache file instead of
+  // running query differentials (empty = off).
+  std::string cache_file;
   int64_t mem_limit_mb = 0;  // > 0: governed re-execution differential
   // Executor morsel/chunk granularity for the optimized side (0 = engine
   // default). Results must be byte-identical for every legal value, so
@@ -468,6 +483,210 @@ std::string RunMutatedNotation(const Trial& t, uint64_t seed) {
   return "";
 }
 
+// --- plan-cache corruption fuzz (--cache-file) -----------------------------
+
+std::vector<unsigned char> ReadCacheBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void WriteCacheBytes(const std::string& path,
+                     const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Synthesizes a snapshot at `path` from seeded random plans through the
+// real writer, so the CI lane needs no daemon run first. Returns false on
+// a write failure.
+bool SynthesizeCacheFile(const std::string& path, uint64_t seed,
+                         int max_rels, uint64_t catalog_fp) {
+  MemoryTracker root(0, 0);
+  SharedMemo::Config mc;
+  mc.parent = &root;
+  SharedMemo memo(mc);
+  Rng rng(seed ^ 0x5eedcafeULL);
+  for (int i = 0; i < 12; ++i) {
+    RandomDataOptions dopts;
+    RandomQueryOptions qopts;
+    qopts.num_rels = static_cast<int>(rng.Uniform(2, max_rels));
+    qopts.allow_full_outer = rng.Bernoulli(0.25);
+    qopts.tolerant_pred_prob = rng.Bernoulli(0.3) ? 0.3 : 0.0;
+    auto payload = std::make_shared<MemoPayload>();
+    payload->subtree = RandomQuery(rng, qopts, dopts);
+    payload->s = payload->subtree->leaves();
+    payload->query_fp = rng.Next();
+    payload->policy = static_cast<int>(rng.Uniform(0, 2));
+    payload->epoch = 0;
+    payload->cost = static_cast<double>(rng.Uniform(1, 1 << 20));
+    payload->bytes = 64 + static_cast<int64_t>(rng.Uniform(0, 4096));
+    memo.Import(rng.Next(), std::move(payload));
+  }
+  CacheStore store(path);
+  Status written = store.WriteSnapshot(&memo, catalog_fp);
+  memo.Clear();
+  return written.ok();
+}
+
+// Corruption fuzz for the persistent plan cache: every mutation of the
+// input file must load-or-degrade — Load never fails, never crashes, and
+// the memory tracker balances to zero after Clear. Returns the process
+// exit code.
+int RunCacheFileFuzz(const FuzzConfig& cfg) {
+  namespace fs = std::filesystem;
+  const std::string& path = cfg.cache_file;
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    // Missing file: self-contained profile. The fingerprint constant is
+    // arbitrary — PeekCacheFileHeader reads it back below like it would
+    // from a daemon-written file.
+    if (!SynthesizeCacheFile(path, cfg.seed, cfg.max_rels,
+                             0x5eedecafc0ffee01ull)) {
+      std::fprintf(stderr, "cache-file: cannot synthesize %s\n",
+                   path.c_str());
+      return 2;
+    }
+  }
+  std::vector<unsigned char> pristine = ReadCacheBytes(path);
+  if (pristine.empty()) {
+    std::fprintf(stderr, "cache-file: %s is unreadable or empty\n",
+                 path.c_str());
+    return 2;
+  }
+  // Fuzz under the file's own epoch/fingerprint so entry decoding is
+  // actually reached; a garbage header just means every load degrades at
+  // the header, which is still a valid (if shallow) run.
+  uint64_t epoch = 0;
+  uint64_t catalog_fp = 0;
+  if (!PeekCacheFileHeader(path, &epoch, &catalog_fp)) {
+    std::fprintf(stderr,
+                 "cache-file: %s has no readable header; fuzzing under a "
+                 "zero fingerprint\n",
+                 path.c_str());
+  }
+
+  const std::string victim = path + ".fuzz-victim";
+  int64_t failures = 0;
+  int64_t baseline_loaded = 0;
+
+  // One load of whatever currently sits at `victim` (+ possibly a log the
+  // loader itself truncates), with every invariant checked.
+  auto check_load = [&](const std::string& what,
+                        CacheStore::LoadResult* out) {
+    MemoryTracker root(0, 0);
+    SharedMemo::Config mc;
+    mc.parent = &root;
+    SharedMemo memo(mc);
+    for (uint64_t e = 0; e < epoch && e < (1u << 16); ++e) {
+      memo.AdvanceEpoch();
+    }
+    CacheStore store(victim);
+    CacheStore::LoadResult result = store.Load(&memo, catalog_fp);
+    bool ok = true;
+    if (root.used() != memo.used_bytes()) {
+      std::fprintf(stderr,
+                   "cache-file %s: tracker (%lld) != memo bytes (%lld) "
+                   "after load\n",
+                   what.c_str(), static_cast<long long>(root.used()),
+                   static_cast<long long>(memo.used_bytes()));
+      ok = false;
+    }
+    memo.Clear();
+    if (memo.used_bytes() != 0 || root.used() != 0) {
+      std::fprintf(stderr,
+                   "cache-file %s: %lld memo / %lld tracked bytes left "
+                   "after Clear\n",
+                   what.c_str(), static_cast<long long>(memo.used_bytes()),
+                   static_cast<long long>(root.used()));
+      ok = false;
+    }
+    if (out != nullptr) *out = result;
+    return ok;
+  };
+
+  // Baseline: the pristine bytes must satisfy the same invariants. A
+  // degraded baseline is reported but allowed — chaos_smoke.sh hands this
+  // mode files a SIGKILLed daemon left torn on purpose.
+  WriteCacheBytes(victim, pristine);
+  CacheStore::LoadResult baseline;
+  if (!check_load("baseline", &baseline)) ++failures;
+  baseline_loaded = baseline.loaded;
+  if (baseline.degraded) {
+    std::fprintf(stderr, "cache-file: baseline is degraded (%s)\n",
+                 baseline.detail.c_str());
+  }
+
+  // Truncation sweep: every byte offset for small files, a seeded sample
+  // for big ones. Offsets that land on a record boundary legitimately
+  // load clean with fewer entries (a record stream carries no trailer);
+  // the invariant is only load-or-degrade, never more entries than the
+  // baseline.
+  std::vector<size_t> cuts;
+  if (pristine.size() <= (64u << 10)) {
+    for (size_t c = 0; c <= pristine.size(); ++c) cuts.push_back(c);
+  } else {
+    Rng cut_rng(cfg.seed ^ 0x7277cafeULL);
+    for (int64_t i = 0; i < cfg.queries; ++i) {
+      cuts.push_back(static_cast<size_t>(cut_rng.Next() %
+                                         (pristine.size() + 1)));
+    }
+  }
+  for (size_t cut : cuts) {
+    std::vector<unsigned char> torn(pristine.begin(),
+                                    pristine.begin() + cut);
+    WriteCacheBytes(victim, torn);
+    CacheStore::LoadResult r;
+    if (!check_load("truncate@" + std::to_string(cut), &r)) ++failures;
+    if (r.loaded > baseline_loaded) {
+      std::fprintf(stderr,
+                   "cache-file truncate@%zu: loaded %lld entries from a "
+                   "prefix of a file that held %lld\n",
+                   cut, static_cast<long long>(r.loaded),
+                   static_cast<long long>(baseline_loaded));
+      ++failures;
+    }
+    // (Skipped for an already-degraded baseline: cutting off a torn tail
+    // can legitimately yield a clean file with the same entries.)
+    if (cut < pristine.size() && !baseline.degraded &&
+        baseline_loaded > 0 && !r.degraded && r.loaded == baseline_loaded) {
+      std::fprintf(stderr,
+                   "cache-file truncate@%zu: a shortened file claims the "
+                   "full %lld entries without degrading\n",
+                   cut, static_cast<long long>(baseline_loaded));
+      ++failures;
+    }
+  }
+
+  // Single-bit flips: --queries seeded mutations, each one bit somewhere
+  // in the file. The checksum catches nearly all; the rest must decode to
+  // either a clean rejection or a valid entry — never an abort.
+  Rng flip_rng(cfg.seed ^ 0xb17f11bULL);
+  for (int64_t i = 0; i < cfg.queries; ++i) {
+    std::vector<unsigned char> mutated = pristine;
+    size_t pos = static_cast<size_t>(flip_rng.Next() % mutated.size());
+    int bit = static_cast<int>(flip_rng.Next() % 8);
+    mutated[pos] ^= static_cast<unsigned char>(1u << bit);
+    WriteCacheBytes(victim, mutated);
+    std::string what = "bitflip@" + std::to_string(pos) + "." +
+                       std::to_string(bit);
+    if (!check_load(what, nullptr)) ++failures;
+  }
+
+  fs::remove(victim, ec);
+  fs::remove(victim + ".log", ec);
+  std::printf(
+      "ecafuzz --cache-file: %s (%zu bytes, %lld entries%s), %zu "
+      "truncations, %lld bit flips, %lld failure(s)\n",
+      path.c_str(), pristine.size(),
+      static_cast<long long>(baseline_loaded),
+      baseline.degraded ? ", degraded" : "", cuts.size(),
+      static_cast<long long>(cfg.queries),
+      static_cast<long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
+
 // Parses command-line flags into `cfg`. Returns false (after printing
 // usage) on an unknown flag. `queries_set` reports whether --queries was
 // given explicitly (smoke mode lowers the default).
@@ -491,6 +710,8 @@ bool ParseArgs(int argc, char** argv, FuzzConfig* cfg, bool* queries_set) {
       cfg->enum_diff = true;
     } else if (std::strcmp(argv[i], "--plan-cache") == 0) {
       cfg->plan_cache = true;
+    } else if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
+      cfg->cache_file = argv[++i];
     } else if (std::strcmp(argv[i], "--mem-limit-mb") == 0 && i + 1 < argc) {
       cfg->mem_limit_mb = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--morsel-rows") == 0 && i + 1 < argc) {
@@ -502,7 +723,7 @@ bool ParseArgs(int argc, char** argv, FuzzConfig* cfg, bool* queries_set) {
                    "unknown argument '%s'\nusage: ecafuzz [--queries N] "
                    "[--seed S] [--max-rels N] [--threads N] [--smoke] "
                    "[--verbose] [--enum-diff] [--plan-cache] "
-                   "[--mem-limit-mb N] "
+                   "[--cache-file PATH] [--mem-limit-mb N] "
                    "[--morsel-rows N] [--chunk-rows N]\n",
                    argv[i]);
       return false;
@@ -527,6 +748,9 @@ std::string ReproSuffix(const FuzzConfig& cfg) {
   }
   if (cfg.plan_cache) {
     repro_suffix += " --plan-cache";
+  }
+  if (!cfg.cache_file.empty()) {
+    repro_suffix += " --cache-file " + cfg.cache_file;
   }
   if (cfg.mem_limit_mb > 0) {
     repro_suffix += " --mem-limit-mb " + std::to_string(cfg.mem_limit_mb);
@@ -567,6 +791,7 @@ bool ReproSuffixRoundTrips(const FuzzConfig& cfg) {
   return replay.seed == cfg.seed && replay.smoke == cfg.smoke &&
          replay.max_rels == cfg.max_rels && replay.threads == cfg.threads &&
          replay.plan_cache == cfg.plan_cache &&
+         replay.cache_file == cfg.cache_file &&
          replay.mem_limit_mb == cfg.mem_limit_mb &&
          replay.morsel_rows == cfg.morsel_rows &&
          replay.chunk_rows == cfg.chunk_rows && queries_set &&
@@ -593,6 +818,8 @@ int Main(int argc, char** argv) {
   }
 
   std::string repro_suffix = ReproSuffix(cfg);
+
+  if (!cfg.cache_file.empty()) return RunCacheFileFuzz(cfg);
 
   if (cfg.enum_diff) {
     // --plan-cache: one shared memo for the whole run, tracked so the

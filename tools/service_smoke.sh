@@ -224,6 +224,89 @@ ECAD_PID=
 grep -q "drained, tracker=0 bytes" "$LOG" ||
   fail "plan-cache ecad tracker not at zero after drain"
 
+# --- kill -9, restart: the persisted cache warms the next daemon ------------
+
+# Same catalog, but with crash-safe persistence on. The first daemon
+# fills the cache and flushes the write-behind log; kill -9 gives it no
+# chance to drain, so everything the restart knows comes off disk. The
+# restarted daemon must report a warm load and hit >= 90% of its memo
+# probes on the first repeat of the query — the same bar the in-process
+# warm run above clears (docs/robustness.md, "Crash safety &
+# persistence").
+PCACHE="$WORK/plan.cache"
+"$ECAD" --socket "$SOCK" --spill-dir "$SPILL" --rels 3 --rows 64 \
+  --plan-cache-mb 16 --plan-cache-file "$PCACHE" --cache-flush-ms 100 \
+  > "$LOG" 2>&1 &
+ECAD_PID=$!
+for i in $(seq 1 200); do
+  grep -q "listening" "$LOG" 2>/dev/null && break
+  sleep 0.05
+done
+grep -q "listening" "$LOG" || fail "persistent-cache ecad never started"
+
+"$ECACLIENT" --socket "$SOCK" query "$PLAN3" --pred "$P01" --pred "$P12" \
+  --print-rows > "$WORK/persist-cold.out" 2>&1 ||
+  fail "persistent-cache cold query failed"
+# Wait for the write-behind flush to land the published entries, then
+# for the file size to go quiet so the kill can't race a half-written
+# batch into the torn-tail (recovered-with-fewer-entries) path.
+for i in $(seq 1 100); do
+  [ -s "$PCACHE" ] || [ -s "$PCACHE.log" ] && break
+  sleep 0.05
+done
+[ -s "$PCACHE" ] || [ -s "$PCACHE.log" ] ||
+  fail "write-behind flush never persisted anything"
+LAST_SIZE=-1
+for i in $(seq 1 100); do
+  SIZE=$(cat "$PCACHE" "$PCACHE.log" 2>/dev/null | wc -c)
+  [ "$SIZE" = "$LAST_SIZE" ] && break
+  LAST_SIZE=$SIZE
+  sleep 0.1
+done
+
+kill -9 "$ECAD_PID"
+wait "$ECAD_PID" 2>/dev/null
+ECAD_PID=
+
+"$ECAD" --socket "$SOCK" --spill-dir "$SPILL" --rels 3 --rows 64 \
+  --plan-cache-mb 16 --plan-cache-file "$PCACHE" --cache-flush-ms 100 \
+  > "$LOG" 2>&1 &
+ECAD_PID=$!
+for i in $(seq 1 200); do
+  grep -q "listening" "$LOG" 2>/dev/null && break
+  sleep 0.05
+done
+grep -q "listening" "$LOG" || fail "ecad did not restart after kill -9"
+grep -q "ecad: plan cache" "$LOG" ||
+  fail "restarted ecad printed no plan-cache load line"
+RELOADED=$(sed -n 's/.*plan cache .*loaded \([0-9]*\) entries.*/\1/p' \
+  "$LOG" | head -1)
+[ "${RELOADED:-0}" -gt 0 ] ||
+  fail "restart after kill -9 loaded no cache entries"
+
+PROBES1=$(counter memo.probes)
+HITS1=$(counter memo.hits)
+"$ECACLIENT" --socket "$SOCK" query "$PLAN3" --pred "$P01" --pred "$P12" \
+  --print-rows > "$WORK/persist-warm.out" 2>&1 ||
+  fail "post-restart warm query failed"
+PROBES2=$(counter memo.probes)
+HITS2=$(counter memo.hits)
+PROBES_D=$((PROBES2 - PROBES1))
+HITS_D=$((HITS2 - HITS1))
+[ "$PROBES_D" -gt 0 ] || fail "post-restart query issued no memo probes"
+[ $((HITS_D * 10)) -ge $((PROBES_D * 9)) ] ||
+  fail "post-restart warm hit rate too low: $HITS_D hits / $PROBES_D probes"
+grep -v "$VOLATILE" "$WORK/persist-cold.out" | sort > "$WORK/persist-cold.cmp"
+grep -v "$VOLATILE" "$WORK/persist-warm.out" | sort > "$WORK/persist-warm.cmp"
+cmp -s "$WORK/persist-cold.cmp" "$WORK/persist-warm.cmp" ||
+  fail "disk-warmed query changed the result multiset"
+
+kill -TERM "$ECAD_PID"
+wait "$ECAD_PID" || fail "persistent-cache ecad did not drain cleanly"
+ECAD_PID=
+grep -q "drained, tracker=0 bytes" "$LOG" ||
+  fail "persistent-cache ecad tracker not at zero after drain"
+
 # --- accept-fault: the client retry loop rides through a dropped accept -----
 
 "$ECAD" --socket "$SOCK" --rels 2 --rows 16 --fault-accept 0 \
