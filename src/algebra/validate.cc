@@ -55,7 +55,8 @@ void CheckPredicateColumns(const Predicate* p,
 }
 
 void Visit(const Plan& plan, const std::vector<Schema>& base,
-           std::vector<std::string>* problems, RelSet* seen_leaves) {
+           const ValidateOptions& opts, std::vector<std::string>* problems,
+           RelSet* seen_leaves) {
   switch (plan.kind()) {
     case Plan::Kind::kLeaf: {
       int id = plan.rel_id();
@@ -71,8 +72,20 @@ void Visit(const Plan& plan, const std::vector<Schema>& base,
       return;
     }
     case Plan::Kind::kJoin: {
-      Visit(*plan.left(), base, problems, seen_leaves);
-      Visit(*plan.right(), base, problems, seen_leaves);
+      if (opts.allow_hidden_duplicates && OutputsOneSide(plan.op())) {
+        // The pruning side never reaches the output; check it against a
+        // fresh leaf set so its relations may reappear elsewhere.
+        const Plan& kept =
+            IsRightVariant(plan.op()) ? *plan.right() : *plan.left();
+        const Plan& pruning =
+            IsRightVariant(plan.op()) ? *plan.left() : *plan.right();
+        Visit(kept, base, opts, problems, seen_leaves);
+        RelSet hidden_seen;
+        Visit(pruning, base, opts, problems, &hidden_seen);
+      } else {
+        Visit(*plan.left(), base, opts, problems, seen_leaves);
+        Visit(*plan.right(), base, opts, problems, seen_leaves);
+      }
       RelSet lo = plan.left()->output_rels();
       RelSet ro = plan.right()->output_rels();
       if (lo.Intersects(ro)) {
@@ -97,7 +110,7 @@ void Visit(const Plan& plan, const std::vector<Schema>& base,
       return;
     }
     case Plan::Kind::kComp: {
-      Visit(*plan.child(), base, problems, seen_leaves);
+      Visit(*plan.child(), base, opts, problems, seen_leaves);
       RelSet out = plan.child()->output_rels();
       const CompOp& c = plan.comp();
       switch (c.kind) {
@@ -152,16 +165,17 @@ void Visit(const Plan& plan, const std::vector<Schema>& base,
 }  // namespace
 
 std::vector<std::string> ValidatePlan(const Plan& plan,
-                                      const std::vector<Schema>& base) {
+                                      const std::vector<Schema>& base,
+                                      const ValidateOptions& opts) {
   std::vector<std::string> problems;
   RelSet seen;
-  Visit(plan, base, &problems, &seen);
+  Visit(plan, base, opts, &problems, &seen);
   return problems;
 }
 
-Status ValidatePlanStatus(const Plan& plan,
-                          const std::vector<Schema>& base) {
-  std::vector<std::string> problems = ValidatePlan(plan, base);
+Status ValidatePlanStatus(const Plan& plan, const std::vector<Schema>& base,
+                          const ValidateOptions& opts) {
+  std::vector<std::string> problems = ValidatePlan(plan, base, opts);
   if (problems.empty()) return Status::OK();
   return Status::InvalidArgument("invalid plan: " + StrJoin(problems, "; ") +
                                  "\n" + plan.ToString());

@@ -27,12 +27,26 @@ namespace eca {
 //    whole child output)
 //  - every column referenced by a join/lambda predicate exists in its base
 //    relation's schema (so execution cannot hit an unresolved column)
+struct ValidateOptions {
+  // Accept a relation appearing once per semi/antijoin pruning side in
+  // addition to its visible leaf. The enumerator never produces such
+  // plans (strict mode stays the default), but the Yannakakis pass of the
+  // semijoin policy references each relation a second time inside the
+  // reducers' pruning sides — hidden subtrees whose rows never reach the
+  // output, so the once-per-output invariant still holds. Each pruning
+  // side is checked with a fresh leaf set of its own, keeping genuine
+  // duplicates within one subtree detectable.
+  bool allow_hidden_duplicates = false;
+};
+
 std::vector<std::string> ValidatePlan(const Plan& plan,
-                                      const std::vector<Schema>& base);
+                                      const std::vector<Schema>& base,
+                                      const ValidateOptions& opts = {});
 
 // Status form for propagating callers (the Optimizer facade, tools):
 // INVALID_ARGUMENT joining every problem found, OK when valid.
-Status ValidatePlanStatus(const Plan& plan, const std::vector<Schema>& base);
+Status ValidatePlanStatus(const Plan& plan, const std::vector<Schema>& base,
+                          const ValidateOptions& opts = {});
 
 // Convenience: CHECK-fails with the first problem (for tests).
 void CheckPlanValid(const Plan& plan, const std::vector<Schema>& base);

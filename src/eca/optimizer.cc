@@ -7,102 +7,100 @@
 #include "algebra/validate.h"
 #include "common/str_util.h"
 #include "common/trace.h"
+#include "enumerate/acyclic.h"
+#include "enumerate/greedy.h"
 #include "enumerate/join_order.h"
+#include "enumerate/semijoin.h"
 #include "rewrite/comp_simplify.h"
 
 namespace eca {
 
 namespace {
 
-// The Simpli-Squared ordering (arXiv:2111.00163) adapted to ECA: build a
-// left-deep join order from base-table row counts alone — start with the
-// smallest table, then repeatedly attach the smallest table connected to
-// the joined set by some join predicate (falling back to the smallest
-// remaining table when the predicate graph leaves no connected choice).
-// Ties break on relation id, so the ordering is deterministic. The
-// ordering is then realized with the approach's compensation arsenal;
-// nullptr when the swap machinery cannot reach it.
-PlanPtr SizesOnlyRealize(const Plan& query, const Database& db,
-                         SwapPolicy policy) {
-  std::vector<int> remaining;
-  for (int id : query.leaves()) remaining.push_back(id);
-  if (remaining.size() < 2) return nullptr;
-  std::vector<RelSet> pred_refs = PredicateRefSets(query);
-
-  auto table_rows = [&db](int id) -> int64_t {
-    return id < db.NumTables() ? db.table(id).NumRows() : 0;
-  };
-  auto take_smallest = [&](bool connected_only,
-                           RelSet joined) -> int {
-    int best = -1;
-    for (size_t i = 0; i < remaining.size(); ++i) {
-      int cand = remaining[i];
-      if (connected_only) {
-        RelSet combined = joined.Union(RelSet::Single(cand));
-        bool connected = false;
-        for (RelSet p : pred_refs) {
-          if (p.Intersects(joined) && p.Contains(cand) &&
-              combined.ContainsAll(p)) {
-            connected = true;
-            break;
-          }
-        }
-        if (!connected) continue;
-      }
-      if (best < 0 || table_rows(cand) < table_rows(best) ||
-          (table_rows(cand) == table_rows(best) && cand < best)) {
-        best = cand;
-      }
-    }
-    if (best >= 0) {
-      for (size_t i = 0; i < remaining.size(); ++i) {
-        if (remaining[i] == best) {
-          remaining.erase(remaining.begin() + static_cast<long>(i));
-          break;
-        }
-      }
-    }
-    return best;
-  };
-
-  auto leaf = [](int id) {
-    auto n = std::make_shared<OrderingNode>();
-    n->rels = RelSet::Single(id);
-    return OrderingNodePtr(n);
-  };
-
-  int seed = take_smallest(/*connected_only=*/false, RelSet());
-  OrderingNodePtr tree = leaf(seed);
-  while (!remaining.empty()) {
-    int next = take_smallest(/*connected_only=*/true, tree->rels);
-    if (next < 0) next = take_smallest(/*connected_only=*/false, tree->rels);
-    OrderingNodePtr rhs = leaf(next);
-    auto parent = std::make_shared<OrderingNode>();
-    parent->rels = tree->rels.Union(rhs->rels);
-    // Canonical orientation: smaller minimum relation id on the left.
-    if (tree->rels.Min() <= rhs->rels.Min()) {
-      parent->left = tree;
-      parent->right = rhs;
-    } else {
-      parent->left = rhs;
-      parent->right = tree;
-    }
-    tree = parent;
+std::vector<int64_t> BaseTableRows(const Database& db) {
+  std::vector<int64_t> rows;
+  rows.reserve(static_cast<size_t>(db.NumTables()));
+  for (int i = 0; i < db.NumTables(); ++i) {
+    rows.push_back(db.table(i).NumRows());
   }
-  return RealizeOrdering(query, *tree, policy);
+  return rows;
 }
 
 }  // namespace
 
+Optimizer::Optimized Optimizer::Finish(PlanPtr plan, const CostModel& cost,
+                                       const MetricsSnapshot& before,
+                                       const EnumeratorStats& stats,
+                                       const char* policy_name,
+                                       const std::string& policy_note) const {
+  Optimized out;
+  out.plan = std::move(plan);
+  if (options_.cleanup_compensations && out.plan != nullptr) {
+    TraceSpan cleanup_span("rewrite-cleanup");
+    SimplifyCompensations(&out.plan);
+  }
+  out.estimated_cost = cost.Cost(*out.plan);
+  out.stats = stats;
+  out.provenance = BuildPlanProvenance(
+      *out.plan, out.stats, before, MetricsRegistry::Global().Snapshot(),
+      ApproachName(options_.approach), policy_name, policy_note);
+  return out;
+}
+
 Optimizer::Optimized Optimizer::Optimize(const Plan& query,
                                          const Database& db) const {
   TraceSpan span("optimize");
-  if (span.active()) span.AppendArg("approach", ApproachName(options_.approach));
+  if (span.active()) {
+    span.AppendArg("approach", ApproachName(options_.approach));
+    span.AppendArg("policy", PlanPolicyName(options_.plan_policy));
+  }
   MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
   CostModel cost = [&] {
     TraceSpan model_span("cost-model");
     return CostModel::FromDatabase(db);
   }();
+  const char* policy_name = PlanPolicyName(options_.plan_policy);
+
+  // An ordering-producing policy (sizes-only, greedy) realizes its order
+  // with the approach's compensation arsenal and skips DP entirely; these
+  // are deliberate choices, not degradations, so stats stay clean. A
+  // policy that does not apply falls through to DP with a note.
+  auto realize = [&](OrderingNodePtr theta) {
+    PlanPtr plan =
+        theta != nullptr ? RealizeOrdering(query, *theta, policy()) : nullptr;
+    if (plan == nullptr) plan = query.Clone();
+    return plan;
+  };
+  std::string note;
+  switch (options_.plan_policy) {
+    case PlanPolicy::kDp:
+      break;
+    case PlanPolicy::kSizesOnly:
+      return Finish(realize(SizesOnlyOrdering(query, BaseTableRows(db))),
+                    cost, before, EnumeratorStats{}, policy_name, "");
+    case PlanPolicy::kGreedy: {
+      int num_rels = query.leaves().Count();
+      if (num_rels > options_.max_join_size) {
+        return Finish(realize(GreedyCardinalityOrdering(query, cost)), cost,
+                      before, EnumeratorStats{}, policy_name, "");
+      }
+      note = StrFormat("%d relation(s) within max-join-size %d; dp ran",
+                       num_rels, options_.max_join_size);
+      break;
+    }
+    case PlanPolicy::kSemijoin: {
+      SemijoinTree tree;
+      std::string why;
+      if (BuildSemijoinTree(query, BaseTableRows(db), &tree, &why)) {
+        return Finish(BuildYannakakisPlan(tree), cost, before,
+                      EnumeratorStats{}, policy_name,
+                      StrFormat("yannakakis pass, root R%d", tree.root));
+      }
+      note = "ineligible: " + why + "; dp ran";
+      break;
+    }
+  }
+
   EnumeratorOptions opts;
   opts.policy = policy();
   opts.reuse_subplans = options_.reuse_subplans;
@@ -111,19 +109,27 @@ Optimizer::Optimized Optimizer::Optimize(const Plan& query,
   opts.shared_memo = options_.plan_cache;
   TopDownEnumerator enumerator(&cost, opts);
   auto result = enumerator.Optimize(query);
-  Optimized out;
-  out.plan = std::move(result.plan);
-  if (options_.cleanup_compensations && out.plan != nullptr) {
-    TraceSpan cleanup_span("rewrite-cleanup");
-    SimplifyCompensations(&out.plan);
+  if (result.stats.degraded && result.stats.no_complete_plan) {
+    // The budget tripped before a single complete plan was costed, so the
+    // enumerator fell back to the query as written. Realize the sizes-only
+    // order instead — same near-zero planning cost, but the plan at least
+    // reflects base-table sizes — and report it through the same trigger
+    // as the deadline-squeezed fallback (docs/robustness.md).
+    OrderingNodePtr theta = SizesOnlyOrdering(query, BaseTableRows(db));
+    PlanPtr fallback =
+        theta != nullptr ? RealizeOrdering(query, *theta, policy()) : nullptr;
+    if (fallback != nullptr) {
+      static Counter* const fallbacks = MetricsRegistry::Global().counter(
+          "optimizer.sizes_only_fallback");
+      fallbacks->Increment();
+      result.plan = std::move(fallback);
+      result.stats.trigger = BudgetTrigger::kSizesOnlyFallback;
+      if (!note.empty()) note += "; ";
+      note += "no complete plan within budget; sizes-only order realized";
+    }
   }
-  out.estimated_cost = cost.Cost(*out.plan);
-  out.stats = result.stats;
-  out.provenance =
-      BuildPlanProvenance(*out.plan, out.stats, before,
-                          MetricsRegistry::Global().Snapshot(),
-                          ApproachName(options_.approach));
-  return out;
+  return Finish(std::move(result.plan), cost, before, result.stats,
+                policy_name, note);
 }
 
 StatusOr<Optimizer::Optimized> Optimizer::OptimizeChecked(
@@ -135,8 +141,12 @@ StatusOr<Optimizer::Optimized> Optimizer::OptimizeChecked(
 
 StatusOr<Relation> Optimizer::ExecuteChecked(const Plan& plan,
                                              const Database& db) const {
-  ECA_RETURN_IF_ERROR(
-      ValidatePlanStatus(plan, db.BaseSchemas()).WithContext("Execute"));
+  // Relaxed duplicate handling: optimizer output may be a Yannakakis plan
+  // whose reducers reference relations again inside semijoin pruning sides.
+  ValidateOptions vopts;
+  vopts.allow_hidden_duplicates = true;
+  ECA_RETURN_IF_ERROR(ValidatePlanStatus(plan, db.BaseSchemas(), vopts)
+                          .WithContext("Execute"));
   return Execute(plan, db);
 }
 
@@ -151,19 +161,23 @@ Optimizer::Optimized Optimizer::OptimizeSizesOnly(const Plan& query,
   fallbacks->Increment();
   MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
   CostModel cost = CostModel::FromDatabase(db);
-  PlanPtr plan = SizesOnlyRealize(query, db, policy());
+  OrderingNodePtr theta = SizesOnlyOrdering(query, BaseTableRows(db));
+  PlanPtr plan =
+      theta != nullptr ? RealizeOrdering(query, *theta, policy()) : nullptr;
   if (plan == nullptr) plan = query.Clone();
-  if (options_.cleanup_compensations) SimplifyCompensations(&plan);
-  Optimized out;
-  out.plan = std::move(plan);
-  out.estimated_cost = cost.Cost(*out.plan);
-  out.stats.degraded = true;
-  out.stats.trigger = BudgetTrigger::kSizesOnlyFallback;
-  out.provenance =
-      BuildPlanProvenance(*out.plan, out.stats, before,
-                          MetricsRegistry::Global().Snapshot(),
-                          ApproachName(options_.approach));
-  return out;
+  EnumeratorStats stats;
+  stats.degraded = true;
+  stats.trigger = BudgetTrigger::kSizesOnlyFallback;
+  // Unlike a deliberate --policy sizes-only run, this path is always a
+  // degradation; note which policy was displaced when it was not
+  // sizes-only already.
+  std::string note =
+      options_.plan_policy == PlanPolicy::kSizesOnly
+          ? ""
+          : std::string("requested ") + PlanPolicyName(options_.plan_policy) +
+                ", degraded to sizes-only";
+  return Finish(std::move(plan), cost, before, stats,
+                PlanPolicyName(PlanPolicy::kSizesOnly), note);
 }
 
 Optimizer::Optimized Optimizer::OptimizeGoverned(const Plan& query,

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "cost/cost_model.h"
+#include "eca/policy.h"
 #include "eca/provenance.h"
 #include "enumerate/enumerator.h"
 #include "enumerate/realize.h"
@@ -69,6 +70,19 @@ class Optimizer {
     // the cache alive for the lifetime of this Optimizer and advance its
     // stats epoch whenever base-relation statistics change.
     SharedMemo* plan_cache = nullptr;
+    // Which planner produces the plan (docs/planner-policies.md): the
+    // paper's DP enumerator (default), the Simpli-Squared sizes-only
+    // order, the cardinality-based greedy order, or the Yannakakis
+    // semijoin pass for acyclic queries. Policies other than dp defer to
+    // dp when they do not apply (greedy below max_join_size, semijoin on
+    // cyclic/ineligible queries); the provenance's policy_note records
+    // the deferral. Deliberate policy choices are NOT flagged degraded —
+    // stats.degraded stays reserved for budget/deadline fallbacks.
+    PlanPolicy plan_policy = PlanPolicy::kDp;
+    // Greedy-policy threshold (after ByConity's max_join_size): queries
+    // with at most this many relations still run DP enumeration; only
+    // larger join graphs use the O(n^2) greedy order.
+    int max_join_size = 10;
   };
 
   Optimizer() : Optimizer(Options()) {}
@@ -150,6 +164,12 @@ class Optimizer {
                       const PlanProvenance* provenance = nullptr) const;
 
  private:
+  // Cleanup + costing + provenance shared by every policy's exit path.
+  Optimized Finish(PlanPtr plan, const CostModel& cost,
+                   const MetricsSnapshot& before, const EnumeratorStats& stats,
+                   const char* policy_name,
+                   const std::string& policy_note) const;
+
   SwapPolicy policy() const {
     switch (options_.approach) {
       case Approach::kTBA:

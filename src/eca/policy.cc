@@ -1,0 +1,37 @@
+#include "eca/policy.h"
+
+#include <cctype>
+
+namespace eca {
+
+StatusOr<PlanPolicy> ParsePlanPolicy(const std::string& name) {
+  std::string lower;
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "dp") return PlanPolicy::kDp;
+  if (lower == "sizes-only" || lower == "sizes_only") {
+    return PlanPolicy::kSizesOnly;
+  }
+  if (lower == "greedy") return PlanPolicy::kGreedy;
+  if (lower == "semijoin") return PlanPolicy::kSemijoin;
+  return Status::InvalidArgument(
+      "unknown plan policy '" + name +
+      "' (expected dp, sizes-only, greedy or semijoin)");
+}
+
+const char* PlanPolicyName(PlanPolicy policy) {
+  switch (policy) {
+    case PlanPolicy::kDp:
+      return "dp";
+    case PlanPolicy::kSizesOnly:
+      return "sizes-only";
+    case PlanPolicy::kGreedy:
+      return "greedy";
+    case PlanPolicy::kSemijoin:
+      return "semijoin";
+  }
+  return "unknown";
+}
+
+}  // namespace eca

@@ -1,0 +1,39 @@
+#ifndef ECA_ECA_POLICY_H_
+#define ECA_ECA_POLICY_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace eca {
+
+// Which planner produces the executed plan (docs/planner-policies.md).
+// Orthogonal to Optimizer::Approach: the approach picks the rewrite
+// arsenal (which orderings are reachable and at what compensation cost),
+// the policy picks the search that selects one ordering.
+enum class PlanPolicy {
+  // The paper's top-down DP enumerator with compensation operators
+  // (Algorithms 1-6) — exhaustive within budget, the default.
+  kDp = 0,
+  // Simpli-Squared (arXiv:2111.00163): a left-deep order from base-table
+  // row counts alone — no cardinality estimates, near-zero planning cost.
+  // Also the degraded-planning fallback every other policy drops to.
+  kSizesOnly,
+  // Cardinality-based greedy reorder for very large join graphs, after
+  // ByConity's CardinalityBasedJoinReorder: only fires above the
+  // Optimizer::Options::max_join_size DP threshold; below it, dp runs.
+  kGreedy,
+  // Yannakakis semijoin-reducer pass for GYO-acyclic queries
+  // (arXiv:2601.00098); cyclic or otherwise ineligible queries fall back
+  // to dp.
+  kSemijoin,
+};
+
+// "dp" / "sizes-only" / "greedy" / "semijoin" (case-insensitive) ->
+// PlanPolicy; the error lists the valid names.
+StatusOr<PlanPolicy> ParsePlanPolicy(const std::string& name);
+const char* PlanPolicyName(PlanPolicy policy);
+
+}  // namespace eca
+
+#endif  // ECA_ECA_POLICY_H_

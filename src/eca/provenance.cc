@@ -45,9 +45,12 @@ PlanProvenance BuildPlanProvenance(const Plan& chosen,
                                    const EnumeratorStats& stats,
                                    const MetricsSnapshot& before,
                                    const MetricsSnapshot& after,
-                                   const char* approach) {
+                                   const char* approach, const char* policy,
+                                   const std::string& policy_note) {
   PlanProvenance out;
   out.approach = approach;
+  out.policy = policy;
+  out.policy_note = policy_note;
   const std::string prefix = "rewrite.rule.";
   MetricsSnapshot diff = after.DiffSince(before);
   for (const auto& [name, value] : diff.counters) {
@@ -73,6 +76,12 @@ std::string PlanProvenance::ToString() const {
                                         degraded_trigger.c_str())
                                   .c_str()
                             : "");
+  if (!policy.empty()) {
+    out += StrFormat("  policy: %s%s\n", policy.c_str(),
+                     policy_note.empty()
+                         ? ""
+                         : StrFormat(" (%s)", policy_note.c_str()).c_str());
+  }
   out += StrFormat("  shape: %lld joins, %lld leaves\n",
                    static_cast<long long>(join_nodes),
                    static_cast<long long>(leaf_nodes));

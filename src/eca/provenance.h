@@ -18,6 +18,14 @@ namespace eca {
 struct PlanProvenance {
   std::string approach;  // "ECA" / "TBA" / "CBA"
 
+  // Which plan policy the caller requested ("dp" / "sizes-only" / "greedy"
+  // / "semijoin", eca/policy.h) and, when the policy deferred to another
+  // planner, a one-line note saying why (greedy below its size threshold,
+  // semijoin on a cyclic query, budget-tripped dp rerouted through
+  // sizes-only, ...). Empty note = the requested policy planned the query.
+  std::string policy;
+  std::string policy_note;
+
   // Rewrite-rule applications during this Optimize call (rule name ->
   // count), read from the registry's rewrite.rule.* counters. Rule counts
   // cover the whole search, not just the winning chain — the enumerator
@@ -49,7 +57,9 @@ PlanProvenance BuildPlanProvenance(const Plan& chosen,
                                    const EnumeratorStats& stats,
                                    const MetricsSnapshot& before,
                                    const MetricsSnapshot& after,
-                                   const char* approach);
+                                   const char* approach,
+                                   const char* policy = "dp",
+                                   const std::string& policy_note = "");
 
 }  // namespace eca
 

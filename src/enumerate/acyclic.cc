@@ -1,0 +1,198 @@
+#include "enumerate/acyclic.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "algebra/join_op.h"
+#include "common/str_util.h"
+
+namespace eca {
+
+namespace {
+
+void SplitConjuncts(const PredRef& pred, std::vector<RelSet>* refs,
+                    std::vector<PredRef>* preds) {
+  if (pred == nullptr) return;
+  if (pred->kind() == Predicate::Kind::kAnd) {
+    for (const PredRef& child : pred->children()) {
+      SplitConjuncts(child, refs, preds);
+    }
+    return;
+  }
+  refs->push_back(pred->refs());
+  if (preds != nullptr) preds->push_back(pred);
+}
+
+void CollectConjuncts(const Plan& plan, std::vector<RelSet>* refs,
+                      std::vector<PredRef>* preds) {
+  switch (plan.kind()) {
+    case Plan::Kind::kLeaf:
+      return;
+    case Plan::Kind::kJoin:
+      SplitConjuncts(plan.pred(), refs, preds);
+      CollectConjuncts(*plan.left(), refs, preds);
+      CollectConjuncts(*plan.right(), refs, preds);
+      return;
+    case Plan::Kind::kComp:
+      CollectConjuncts(*plan.child(), refs, preds);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<RelSet> ConjunctRefSets(const Plan& plan) {
+  return ConjunctRefSets(plan, nullptr);
+}
+
+std::vector<RelSet> ConjunctRefSets(const Plan& plan,
+                                    std::vector<PredRef>* preds) {
+  std::vector<RelSet> refs;
+  CollectConjuncts(plan, &refs, preds);
+  return refs;
+}
+
+bool GyoAcyclic(RelSet rels, const std::vector<RelSet>& edges) {
+  std::vector<RelSet> live;
+  for (RelSet e : edges) {
+    if (!e.Empty()) live.push_back(e);
+  }
+  bool changed = true;
+  while (changed && !live.empty()) {
+    changed = false;
+    // (a) Remove vertices that occur in at most one remaining edge.
+    for (int v : rels) {
+      int occurrences = 0;
+      for (RelSet e : live) {
+        if (e.Contains(v)) ++occurrences;
+        if (occurrences > 1) break;
+      }
+      if (occurrences == 1) {
+        for (RelSet& e : live) {
+          if (e.Contains(v)) {
+            e = e.Minus(RelSet::Single(v));
+            changed = true;
+          }
+        }
+      }
+    }
+    // (b) Remove edges that became empty or a subset of another edge
+    // (one survivor of an equal pair stays to absorb the rest).
+    std::vector<RelSet> kept;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (live[i].Empty()) {
+        changed = true;
+        continue;
+      }
+      bool subsumed = false;
+      for (size_t j = 0; j < live.size(); ++j) {
+        if (i == j) continue;
+        bool subset = live[j].ContainsAll(live[i]);
+        bool equal = subset && live[i].ContainsAll(live[j]);
+        // Subset of a different edge, or equal to an earlier one.
+        if ((subset && !equal) || (equal && j < i)) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (subsumed) {
+        changed = true;
+      } else {
+        kept.push_back(live[i]);
+      }
+    }
+    live.swap(kept);
+  }
+  return live.empty();
+}
+
+bool BuildSemijoinTree(const Plan& query,
+                       const std::vector<int64_t>& table_rows,
+                       SemijoinTree* out, std::string* why) {
+  auto reject = [why](std::string reason) {
+    if (why != nullptr) *why = std::move(reason);
+    return false;
+  };
+
+  RelSet rels = query.leaves();
+  if (rels.Count() < 2) return reject("fewer than two relations");
+
+  // Inner joins only: semijoin reduction commutes with inner joins but
+  // not with preserved/antijoined sides.
+  std::vector<Plan*> joins;
+  CollectJoins(const_cast<Plan*>(&query), &joins);
+  for (const Plan* j : joins) {
+    if (j->op() != JoinOp::kInner) {
+      return reject(std::string("non-inner join (") + JoinOpName(j->op()) +
+                    ")");
+    }
+    if (j->pred() == nullptr) return reject("join without a predicate");
+  }
+
+  std::vector<PredRef> preds;
+  std::vector<RelSet> refs = ConjunctRefSets(query, &preds);
+
+  // Binary conjuncts only, merged per relation pair.
+  std::map<std::pair<int, int>, std::vector<PredRef>> by_pair;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (refs[i].Count() != 2) {
+      return reject("conjunct " + preds[i]->DisplayName() + " references " +
+                    refs[i].ToString() + ", not exactly two relations");
+    }
+    int lo = refs[i].Min();
+    int hi = refs[i].Minus(RelSet::Single(lo)).Min();
+    by_pair[{lo, hi}].push_back(preds[i]);
+  }
+
+  if (!GyoAcyclic(rels, refs)) return reject("cyclic join graph");
+
+  // Root at the largest base table: the reducers then shrink every probe
+  // side before the biggest relation is joined at all.
+  auto rows_of = [&table_rows](int id) -> int64_t {
+    return id >= 0 && id < static_cast<int>(table_rows.size())
+               ? table_rows[static_cast<size_t>(id)]
+               : 0;
+  };
+  int root = -1;
+  for (int id : rels) {
+    if (root < 0 || rows_of(id) > rows_of(root)) root = id;
+  }
+
+  // BFS from the root over the pair graph; acyclic + connected means
+  // every relation is reached exactly once.
+  SemijoinTree tree;
+  tree.root = root;
+  tree.rels = rels;
+  RelSet reached = RelSet::Single(root);
+  std::vector<int> frontier = {root};
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (int parent : frontier) {
+      for (const auto& [pair, pair_preds] : by_pair) {
+        int other = -1;
+        if (pair.first == parent) other = pair.second;
+        if (pair.second == parent) other = pair.first;
+        if (other < 0 || reached.Contains(other)) continue;
+        SemijoinTree::Edge edge;
+        edge.parent = parent;
+        edge.child = other;
+        edge.pred = pair_preds.size() == 1
+                        ? pair_preds[0]
+                        : Predicate::And(pair_preds);
+        tree.edges.push_back(std::move(edge));
+        reached = reached.With(other);
+        next.push_back(other);
+      }
+    }
+    frontier.swap(next);
+  }
+  if (!reached.ContainsAll(rels)) {
+    return reject("disconnected join graph (reached " + reached.ToString() +
+                  " of " + rels.ToString() + ")");
+  }
+  if (out != nullptr) *out = std::move(tree);
+  return true;
+}
+
+}  // namespace eca

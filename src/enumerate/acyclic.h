@@ -1,0 +1,70 @@
+#ifndef ECA_ENUMERATE_ACYCLIC_H_
+#define ECA_ENUMERATE_ACYCLIC_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/rel_set.h"
+#include "expr/expr.h"
+
+namespace eca {
+
+// Acyclicity detection for the semijoin plan policy
+// (docs/planner-policies.md): the query's join predicates are viewed as a
+// hypergraph over its relations — one hyperedge per top-level conjunct —
+// and reduced with the GYO (Graham / Yu–Ozsoyoglu) ear-removal algorithm.
+// Alpha-acyclic queries admit a Yannakakis semijoin-reducer plan
+// (enumerate/semijoin.h); everything else falls back to DP enumeration.
+
+// The reference sets of every top-level conjunct in the query's join
+// predicates: AND trees are split into their conjuncts (a clique query
+// written as one AND-predicate per join contributes one hyperedge per
+// pairwise comparison, which is what makes its cycles visible), other
+// predicate shapes contribute their whole reference set. Join nodes
+// without a predicate (cross products) contribute nothing.
+std::vector<RelSet> ConjunctRefSets(const Plan& plan);
+
+// Like ConjunctRefSets, but also hands back the conjunct predicates
+// themselves, index-aligned with the returned reference sets.
+std::vector<RelSet> ConjunctRefSets(const Plan& plan,
+                                    std::vector<PredRef>* preds);
+
+// GYO reduction: repeatedly (a) drop vertices that occur in at most one
+// remaining hyperedge, (b) drop hyperedges that became empty or a subset
+// of another remaining hyperedge. The hypergraph is (alpha-)acyclic iff
+// the reduction consumes every edge. Vertices of `rels` that occur in no
+// edge are ignored (an edge-free graph is trivially acyclic; the semijoin
+// policy separately requires connectivity).
+bool GyoAcyclic(RelSet rels, const std::vector<RelSet>& edges);
+
+// A rooted join tree for the Yannakakis pass: every relation except the
+// root hangs under exactly one parent, connected by the AND of all
+// conjuncts between the two.
+struct SemijoinTree {
+  struct Edge {
+    int parent = -1;
+    int child = -1;
+    PredRef pred;
+  };
+  int root = -1;
+  RelSet rels;
+  // In BFS order from the root, so edges[i].parent always appears as a
+  // child (or the root) before index i.
+  std::vector<Edge> edges;
+};
+
+// Eligibility test + join-tree construction for the semijoin policy.
+// Requires: at least two relations, inner joins only, every conjunct
+// referencing exactly two relations, a connected join graph, and GYO
+// acyclicity. The root is the relation with the most base rows
+// (`table_rows`, indexed by rel id; ties break on the lower id), so the
+// reducers trim the probe side before the biggest table is touched.
+// Returns false with a one-line reason in `*why` when ineligible.
+bool BuildSemijoinTree(const Plan& query,
+                       const std::vector<int64_t>& table_rows,
+                       SemijoinTree* out, std::string* why);
+
+}  // namespace eca
+
+#endif  // ECA_ENUMERATE_ACYCLIC_H_

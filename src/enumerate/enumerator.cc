@@ -1143,6 +1143,7 @@ TopDownEnumerator::Result TopDownEnumerator::OptimizeImpl(const Plan& query) {
     // (single-relation queries, fully blocked swaps) or the budget ran
     // out before one was found. Fall back to the query as written —
     // always executable and trivially correct.
+    result.stats.no_complete_plan = true;
     result.plan = query.Clone();
     result.cost = cost_->Cost(*result.plan);
     return result;

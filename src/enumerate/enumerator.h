@@ -140,6 +140,11 @@ struct EnumeratorStats {
   // True when the search was cut short (budget or injected fault): the
   // returned plan is correct but possibly not the enumeration optimum.
   bool degraded = false;
+  // True when the cut-short search never completed a single plan and fell
+  // back to the query as written. The Optimizer reroutes this case through
+  // the sizes-only ordering (kSizesOnlyFallback) rather than executing the
+  // unoptimized query.
+  bool no_complete_plan = false;
   BudgetTrigger trigger = BudgetTrigger::kNone;
 };
 

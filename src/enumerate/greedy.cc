@@ -1,0 +1,150 @@
+#include "enumerate/greedy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "enumerate/acyclic.h"
+#include "enumerate/join_order.h"
+
+namespace eca {
+
+namespace {
+
+OrderingNodePtr Leaf(int id) {
+  auto n = std::make_shared<OrderingNode>();
+  n->rels = RelSet::Single(id);
+  return n;
+}
+
+OrderingNodePtr Attach(OrderingNodePtr tree, OrderingNodePtr rhs) {
+  auto parent = std::make_shared<OrderingNode>();
+  parent->rels = tree->rels.Union(rhs->rels);
+  // Canonical orientation: smaller minimum relation id on the left.
+  if (tree->rels.Min() <= rhs->rels.Min()) {
+    parent->left = std::move(tree);
+    parent->right = std::move(rhs);
+  } else {
+    parent->left = std::move(rhs);
+    parent->right = std::move(tree);
+  }
+  return parent;
+}
+
+void Erase(std::vector<int>* remaining, int id) {
+  remaining->erase(std::find(remaining->begin(), remaining->end(), id));
+}
+
+}  // namespace
+
+OrderingNodePtr SizesOnlyOrdering(const Plan& query,
+                                  const std::vector<int64_t>& table_rows) {
+  std::vector<int> remaining;
+  for (int id : query.leaves()) remaining.push_back(id);
+  if (remaining.size() < 2) return nullptr;
+  std::vector<RelSet> pred_refs = PredicateRefSets(query);
+
+  auto rows_of = [&table_rows](int id) -> int64_t {
+    return id >= 0 && id < static_cast<int>(table_rows.size())
+               ? table_rows[static_cast<size_t>(id)]
+               : 0;
+  };
+  auto take_smallest = [&](bool connected_only, RelSet joined) -> int {
+    int best = -1;
+    for (int cand : remaining) {
+      if (connected_only) {
+        RelSet combined = joined.Union(RelSet::Single(cand));
+        bool connected = false;
+        for (RelSet p : pred_refs) {
+          if (p.Intersects(joined) && p.Contains(cand) &&
+              combined.ContainsAll(p)) {
+            connected = true;
+            break;
+          }
+        }
+        if (!connected) continue;
+      }
+      if (best < 0 || rows_of(cand) < rows_of(best) ||
+          (rows_of(cand) == rows_of(best) && cand < best)) {
+        best = cand;
+      }
+    }
+    if (best >= 0) Erase(&remaining, best);
+    return best;
+  };
+
+  OrderingNodePtr tree =
+      Leaf(take_smallest(/*connected_only=*/false, RelSet()));
+  while (!remaining.empty()) {
+    int next = take_smallest(/*connected_only=*/true, tree->rels);
+    if (next < 0) next = take_smallest(/*connected_only=*/false, tree->rels);
+    tree = Attach(std::move(tree), Leaf(next));
+  }
+  return tree;
+}
+
+OrderingNodePtr GreedyCardinalityOrdering(const Plan& query,
+                                          const CostModel& cost) {
+  std::vector<int> remaining;
+  for (int id : query.leaves()) remaining.push_back(id);
+  if (remaining.size() < 2) return nullptr;
+
+  std::vector<PredRef> preds;
+  std::vector<RelSet> refs = ConjunctRefSets(query, &preds);
+
+  auto card_of = [&cost](int id) { return cost.Cardinality(*Plan::Leaf(id)); };
+
+  // Start with the relation of smallest estimated cardinality.
+  int seed = remaining[0];
+  for (int cand : remaining) {
+    if (card_of(cand) < card_of(seed) ||
+        (card_of(cand) == card_of(seed) && cand < seed)) {
+      seed = cand;
+    }
+  }
+  Erase(&remaining, seed);
+  OrderingNodePtr tree = Leaf(seed);
+  double cur_card = card_of(seed);
+
+  while (!remaining.empty()) {
+    // Estimated result of attaching `cand`: current estimate x base
+    // cardinality x the selectivity of every conjunct that becomes fully
+    // evaluable once `cand` joins the set. Conjuncts touching neither
+    // side, or already absorbed, contribute nothing.
+    auto joined_card = [&](int cand, bool* connected) -> double {
+      RelSet combined = tree->rels.Union(RelSet::Single(cand));
+      double card = cur_card * card_of(cand);
+      *connected = false;
+      for (size_t i = 0; i < refs.size(); ++i) {
+        if (refs[i].Contains(cand) && refs[i].Intersects(tree->rels) &&
+            combined.ContainsAll(refs[i])) {
+          *connected = true;
+          card *= cost.Selectivity(*preds[i]);
+        }
+      }
+      return card;
+    };
+
+    int best = -1;
+    bool best_connected = false;
+    double best_card = std::numeric_limits<double>::infinity();
+    for (int cand : remaining) {
+      bool connected = false;
+      double card = joined_card(cand, &connected);
+      // Connected candidates always beat cross products; among equals the
+      // lower relation id wins, keeping the ordering deterministic.
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           (card < best_card || (card == best_card && cand < best)))) {
+        best = cand;
+        best_connected = connected;
+        best_card = card;
+      }
+    }
+    Erase(&remaining, best);
+    tree = Attach(std::move(tree), Leaf(best));
+    cur_card = best_card;
+  }
+  return tree;
+}
+
+}  // namespace eca

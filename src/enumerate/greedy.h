@@ -1,0 +1,43 @@
+#ifndef ECA_ENUMERATE_GREEDY_H_
+#define ECA_ENUMERATE_GREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "cost/cost_model.h"
+#include "enumerate/realize.h"
+
+namespace eca {
+
+// The ordering builders behind the sizes-only and greedy plan policies
+// (docs/planner-policies.md). Both return a left-deep OrderingNode tree
+// over the query's relations — the Optimizer realizes it with the
+// approach's compensation arsenal via RealizeOrdering — and nullptr for
+// queries with fewer than two relations.
+
+// Simpli-Squared (arXiv:2111.00163): a left-deep order from base-table
+// row counts alone — start with the smallest table, then repeatedly
+// attach the smallest table connected to the joined set by some join
+// predicate (falling back to the smallest remaining table when the
+// predicate graph leaves no connected choice). No cardinality estimates
+// anywhere; `table_rows` is indexed by rel id and ties break on the
+// lower id, so the ordering is deterministic.
+OrderingNodePtr SizesOnlyOrdering(const Plan& query,
+                                  const std::vector<int64_t>& table_rows);
+
+// Cardinality-based greedy reorder (after ByConity's
+// CardinalityBasedJoinReorder): start with the relation of smallest
+// estimated cardinality, then repeatedly attach the connected relation
+// minimizing the estimated cardinality of the joined result — current
+// estimate x base cardinality x the selectivity of every predicate
+// conjunct that becomes evaluable with the new relation. Unconnected
+// relations are only attached once no connected choice remains. One
+// O(n^2) pass over the join graph instead of DP's exponential search;
+// the Optimizer gates it behind Options::max_join_size.
+OrderingNodePtr GreedyCardinalityOrdering(const Plan& query,
+                                          const CostModel& cost);
+
+}  // namespace eca
+
+#endif  // ECA_ENUMERATE_GREEDY_H_

@@ -1,0 +1,57 @@
+#include "enumerate/semijoin.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "algebra/join_op.h"
+
+namespace eca {
+
+namespace {
+
+struct Child {
+  int rel = -1;
+  PredRef pred;
+};
+
+// Red(v): the base relation semijoin-reduced against its reduced children.
+PlanPtr Reduce(int rel, const std::map<int, std::vector<Child>>& children) {
+  PlanPtr plan = Plan::Leaf(rel);
+  auto it = children.find(rel);
+  if (it == children.end()) return plan;
+  for (const Child& c : it->second) {
+    plan = Plan::Join(JoinOp::kLeftSemi, c.pred, std::move(plan),
+                      Reduce(c.rel, children));
+  }
+  return plan;
+}
+
+// J(v): the reduced relations inner-joined along the same tree.
+PlanPtr JoinDown(int rel, const std::map<int, std::vector<Child>>& children) {
+  PlanPtr plan = Reduce(rel, children);
+  auto it = children.find(rel);
+  if (it == children.end()) return plan;
+  for (const Child& c : it->second) {
+    plan = Plan::Join(JoinOp::kInner, c.pred, std::move(plan),
+                      JoinDown(c.rel, children));
+  }
+  return plan;
+}
+
+}  // namespace
+
+PlanPtr BuildYannakakisPlan(const SemijoinTree& tree) {
+  if (tree.root < 0) return nullptr;
+  std::map<int, std::vector<Child>> children;
+  for (const SemijoinTree::Edge& e : tree.edges) {
+    children[e.parent].push_back({e.child, e.pred});
+  }
+  for (auto& entry : children) {
+    std::sort(entry.second.begin(), entry.second.end(),
+              [](const Child& a, const Child& b) { return a.rel < b.rel; });
+  }
+  return JoinDown(tree.root, children);
+}
+
+}  // namespace eca

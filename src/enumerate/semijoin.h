@@ -1,0 +1,27 @@
+#ifndef ECA_ENUMERATE_SEMIJOIN_H_
+#define ECA_ENUMERATE_SEMIJOIN_H_
+
+#include "algebra/plan.h"
+#include "enumerate/acyclic.h"
+
+namespace eca {
+
+// The Yannakakis pass for an acyclic query (arXiv:2601.00098): from the
+// rooted join tree of BuildSemijoinTree, build
+//
+//   Red(v) = Leaf(v) ⋉_pred Red(c1) ⋉_pred ... ⋉_pred Red(ck)
+//   J(v)   = Red(v) ⋈_pred J(c1) ⋈_pred ... ⋈_pred J(ck)
+//
+// over v's children c1..ck (ordered by relation id): every relation is
+// first semijoin-reduced against its reduced children, then the reduced
+// relations are inner-joined along the same tree. Each join input has
+// already discarded every row that cannot contribute to the final result,
+// so no intermediate exceeds the output size — the classic guarantee for
+// acyclic queries. The reducers reference each relation a second time
+// inside semijoin pruning sides, which plan validation only accepts in
+// relaxed mode (ValidateOptions::allow_hidden_duplicates).
+PlanPtr BuildYannakakisPlan(const SemijoinTree& tree);
+
+}  // namespace eca
+
+#endif  // ECA_ENUMERATE_SEMIJOIN_H_

@@ -170,6 +170,12 @@ WireMessage ServiceState::HandleQuery(const WireMessage& request) {
     if (!parsed.ok()) return ErrorResponse(parsed.status());
     approach = *parsed;
   }
+  PlanPolicy plan_policy = options_.policy;
+  if (const std::string* name = request.Find("policy")) {
+    StatusOr<PlanPolicy> parsed = ParsePlanPolicy(*name);
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    plan_policy = *parsed;
+  }
   StatusOr<int64_t> timeout_ms =
       request.FindInt("timeout_ms", options_.default_timeout_ms);
   if (!timeout_ms.ok()) return ErrorResponse(timeout_ms.status());
@@ -212,6 +218,7 @@ WireMessage ServiceState::HandleQuery(const WireMessage& request) {
 
     Optimizer::Options opts;
     opts.approach = approach;
+    opts.plan_policy = plan_policy;
     opts.num_threads = options_.num_threads;
     opts.sizes_only_fallback_ms = options_.admission.degrade_below_ms;
     opts.plan_cache = plan_cache_.get();
@@ -247,6 +254,9 @@ WireMessage ServiceState::HandleQuery(const WireMessage& request) {
     if (best.stats.degraded) {
       response.Add("trigger", BudgetTriggerName(best.stats.trigger));
     }
+    // Which planner actually produced the plan ("sizes-only" when the
+    // admission verdict or a budget trip displaced the requested policy).
+    response.Add("policy", best.provenance.policy);
     response.AddInt("queue_wait_ms", admitted->queue_wait_ms);
     response.AddInt("peak_bytes", exec_stats.peak_bytes);
   }

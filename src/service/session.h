@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/memory_tracker.h"
+#include "eca/policy.h"
 #include "enumerate/shared_memo.h"
 #include "exec/database.h"
 #include "exec/query_context.h"
@@ -55,6 +56,12 @@ struct ServiceOptions {
   std::string spill_dir;
   // Worker threads per query (execution + root enumeration).
   int num_threads = 1;
+  // Default plan policy for queries that send no "policy" field (ecad
+  // --policy; docs/planner-policies.md). A request-level "policy" field
+  // overrides it per query. Either way, an admission verdict that forces
+  // degraded planning still downgrades to the sizes-only fallback — the
+  // response's degraded/trigger fields record that explicitly.
+  PlanPolicy policy = PlanPolicy::kDp;
   // Cross-query plan cache byte budget (ecad --plan-cache-mb). When > 0
   // the service owns a SharedMemo charged to the global tracker root:
   // repeated structurally-identical queries under the same stats epoch

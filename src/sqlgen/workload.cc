@@ -1,0 +1,72 @@
+#include "sqlgen/workload.h"
+
+#include <cctype>
+#include <vector>
+
+#include "algebra/join_op.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace eca {
+
+StatusOr<Topology> ParseTopology(const std::string& name) {
+  std::string lower;
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "chain") return Topology::kChain;
+  if (lower == "star") return Topology::kStar;
+  if (lower == "clique") return Topology::kClique;
+  return Status::InvalidArgument("unknown topology '" + name +
+                                 "' (expected chain, star or clique)");
+}
+
+const char* TopologyName(Topology topology) {
+  switch (topology) {
+    case Topology::kChain:
+      return "chain";
+    case Topology::kStar:
+      return "star";
+    case Topology::kClique:
+      return "clique";
+  }
+  return "unknown";
+}
+
+Workload GenerateWorkload(const WorkloadOptions& opts) {
+  Rng rng(opts.seed);
+  Workload out;
+  out.db = RandomDatabase(rng, opts.num_rels, opts.data);
+
+  auto pred = [&](int a, int b) {
+    return RandomJoinPredicate(rng, RelSet::Single(a), RelSet::Single(b),
+                               opts.data, StrFormat("p%d_%d", a, b));
+  };
+
+  PlanPtr tree = Plan::Leaf(0);
+  for (int i = 1; i < opts.num_rels; ++i) {
+    PredRef join_pred;
+    switch (opts.topology) {
+      case Topology::kChain:
+        join_pred = pred(i - 1, i);
+        break;
+      case Topology::kStar:
+        join_pred = pred(0, i);
+        break;
+      case Topology::kClique: {
+        std::vector<PredRef> conjuncts;
+        conjuncts.reserve(static_cast<size_t>(i));
+        for (int j = 0; j < i; ++j) conjuncts.push_back(pred(j, i));
+        join_pred = conjuncts.size() == 1 ? conjuncts[0]
+                                          : Predicate::And(conjuncts);
+        break;
+      }
+    }
+    tree = Plan::Join(JoinOp::kInner, join_pred, std::move(tree),
+                      Plan::Leaf(i));
+  }
+  out.query = std::move(tree);
+  return out;
+}
+
+}  // namespace eca

@@ -1,0 +1,58 @@
+#ifndef ECA_SQLGEN_WORKLOAD_H_
+#define ECA_SQLGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "algebra/plan.h"
+#include "common/status.h"
+#include "exec/database.h"
+#include "testing/random_data.h"
+
+namespace eca {
+
+// JOB-style workload generation for the plan-policy harness
+// (docs/planner-policies.md): seeded, deterministic (database, query)
+// pairs over 8-20+ relations in the three topologies that exercise the
+// policies differently — chains and stars are GYO-acyclic (the semijoin
+// policy applies), cliques are cyclic (it must fall back to dp), and all
+// of them grow large enough to trip the DP budget that sizes-only and
+// greedy shrug off. Used by `ecafuzz --policy` for the cross-policy
+// differential and by bench_policy for the planning-time comparison.
+
+// Join-graph shape of a generated query.
+enum class Topology {
+  kChain = 0,  // R0 - R1 - ... - Rn-1 (acyclic)
+  kStar,       // R0 is the hub; every other relation joins it (acyclic)
+  kClique,     // every pair is connected (cyclic for n >= 3)
+};
+
+// "chain" / "star" / "clique" (case-insensitive) -> Topology; the error
+// lists the valid names.
+StatusOr<Topology> ParseTopology(const std::string& name);
+const char* TopologyName(Topology topology);
+
+struct WorkloadOptions {
+  Topology topology = Topology::kChain;
+  int num_rels = 10;
+  uint64_t seed = 1;
+  // Base-relation shape (rows, data columns, value domain, NULL rate).
+  RandomDataOptions data;
+};
+
+struct Workload {
+  Database db;
+  // All-inner left-deep query joining relations 0..num_rels-1 in id
+  // order. Chain/star joins carry one predicate; the clique join
+  // attaching R_i carries the AND of one predicate per already-joined
+  // relation, so the pairwise conjuncts (and the cycles they form) stay
+  // visible to conjunct-level analyses like GYO.
+  PlanPtr query;
+};
+
+// Deterministic for a given options value: same seed, same workload.
+Workload GenerateWorkload(const WorkloadOptions& opts);
+
+}  // namespace eca
+
+#endif  // ECA_SQLGEN_WORKLOAD_H_

@@ -1,0 +1,286 @@
+// GYO ear-removal and semijoin-tree eligibility (enumerate/acyclic.h):
+// the acyclicity test over conjunct-level hyperedges, and the join-tree
+// construction the Yannakakis policy plans from.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eca/optimizer.h"
+#include "enumerate/acyclic.h"
+#include "enumerate/semijoin.h"
+#include "sqlgen/workload.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+RelSet Edge(std::initializer_list<int> rels) {
+  RelSet s;
+  for (int r : rels) s = s.With(r);
+  return s;
+}
+
+RelSet Universe(int n) {
+  RelSet s;
+  for (int i = 0; i < n; ++i) s = s.With(i);
+  return s;
+}
+
+int CountSemijoins(const Plan& node) {
+  int n = node.is_join() && IsSemi(node.op()) ? 1 : 0;
+  if (node.left() != nullptr) n += CountSemijoins(*node.left());
+  if (node.right() != nullptr) n += CountSemijoins(*node.right());
+  return n;
+}
+
+TEST(GyoTest, ChainIsAcyclic) {
+  EXPECT_TRUE(GyoAcyclic(Universe(4),
+                         {Edge({0, 1}), Edge({1, 2}), Edge({2, 3})}));
+}
+
+TEST(GyoTest, StarIsAcyclic) {
+  EXPECT_TRUE(GyoAcyclic(Universe(5), {Edge({0, 1}), Edge({0, 2}),
+                                       Edge({0, 3}), Edge({0, 4})}));
+}
+
+TEST(GyoTest, TriangleIsCyclic) {
+  EXPECT_FALSE(
+      GyoAcyclic(Universe(3), {Edge({0, 1}), Edge({1, 2}), Edge({0, 2})}));
+}
+
+TEST(GyoTest, LongerCycleIsCyclic) {
+  EXPECT_FALSE(GyoAcyclic(Universe(4), {Edge({0, 1}), Edge({1, 2}),
+                                        Edge({2, 3}), Edge({0, 3})}));
+}
+
+// A triangle with a pendant relation hanging off it: the ear is removed
+// but the cycle remains, so the reduction must still reject it.
+TEST(GyoTest, CycleWithPendantEarIsCyclic) {
+  EXPECT_FALSE(GyoAcyclic(Universe(4), {Edge({0, 1}), Edge({1, 2}),
+                                        Edge({0, 2}), Edge({2, 3})}));
+}
+
+// Covering hyperedges make a "cycle" acyclic: the triangle's three binary
+// edges are each subsumed by one ternary edge (the classic alpha- vs
+// gamma-acyclicity distinction GYO settles).
+TEST(GyoTest, TriangleCoveredByTernaryEdgeIsAlphaAcyclic) {
+  EXPECT_TRUE(GyoAcyclic(Universe(3), {Edge({0, 1}), Edge({1, 2}),
+                                       Edge({0, 2}), Edge({0, 1, 2})}));
+}
+
+// A self-join conjunct (R0.a = R0.b) contributes a single-vertex edge —
+// a trivial ear that must not block reduction of the rest.
+TEST(GyoTest, SelfJoinEdgeIsRemovedAsEar) {
+  EXPECT_TRUE(
+      GyoAcyclic(Universe(3), {Edge({0}), Edge({0, 1}), Edge({1, 2})}));
+}
+
+// GYO itself accepts disconnected graphs (each component reduces on its
+// own); the semijoin policy layers a separate connectivity requirement.
+TEST(GyoTest, DisconnectedComponentsAreEachReduced) {
+  EXPECT_TRUE(GyoAcyclic(Universe(4), {Edge({0, 1}), Edge({2, 3})}));
+  EXPECT_FALSE(GyoAcyclic(
+      Universe(5),
+      {Edge({0, 1}), Edge({2, 3}), Edge({3, 4}), Edge({2, 4})}));
+}
+
+TEST(GyoTest, SingleRelationAndNoEdgesAreTriviallyAcyclic) {
+  EXPECT_TRUE(GyoAcyclic(Universe(1), {}));
+  EXPECT_TRUE(GyoAcyclic(Universe(3), {}));
+}
+
+TEST(GyoTest, DuplicateEdgesAreSubsumed) {
+  EXPECT_TRUE(GyoAcyclic(Universe(2), {Edge({0, 1}), Edge({0, 1})}));
+}
+
+// ConjunctRefSets splits AND trees: the clique workload's stacked AND
+// predicates must contribute one hyperedge per pairwise comparison, or
+// the cycles would be invisible to GYO.
+TEST(ConjunctRefSetsTest, SplitsCliqueAndTreesIntoPairwiseEdges) {
+  WorkloadOptions wopts;
+  wopts.topology = Topology::kClique;
+  wopts.num_rels = 5;
+  Workload w = GenerateWorkload(wopts);
+  std::vector<RelSet> edges = ConjunctRefSets(*w.query);
+  EXPECT_EQ(edges.size(), 10u);  // C(5,2) pairwise conjuncts
+  for (const RelSet& e : edges) EXPECT_EQ(e.Count(), 2);
+  EXPECT_FALSE(GyoAcyclic(Universe(5), edges));
+}
+
+TEST(ConjunctRefSetsTest, ChainContributesOneEdgePerJoin) {
+  WorkloadOptions wopts;
+  wopts.topology = Topology::kChain;
+  wopts.num_rels = 6;
+  Workload w = GenerateWorkload(wopts);
+  std::vector<RelSet> edges = ConjunctRefSets(*w.query);
+  EXPECT_EQ(edges.size(), 5u);
+  EXPECT_TRUE(GyoAcyclic(Universe(6), edges));
+}
+
+std::vector<int64_t> RowsOf(const Database& db, int n) {
+  std::vector<int64_t> rows(n);
+  for (int i = 0; i < n; ++i) {
+    rows[i] = db.table(i).NumRows();
+  }
+  return rows;
+}
+
+TEST(SemijoinTreeTest, ChainBuildsTreeRootedAtLargestTable) {
+  WorkloadOptions wopts;
+  wopts.topology = Topology::kChain;
+  wopts.num_rels = 6;
+  wopts.seed = 11;
+  Workload w = GenerateWorkload(wopts);
+  std::vector<int64_t> rows = RowsOf(w.db, 6);
+  SemijoinTree tree;
+  std::string why;
+  ASSERT_TRUE(BuildSemijoinTree(*w.query, rows, &tree, &why)) << why;
+  EXPECT_EQ(tree.rels.Count(), 6);
+  EXPECT_EQ(tree.edges.size(), 5u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_LE(rows[i], rows[tree.root]) << "root must be a largest table";
+  }
+  // BFS invariant: every edge's parent is the root or some earlier child.
+  RelSet seen = RelSet::Single(tree.root);
+  for (const SemijoinTree::Edge& e : tree.edges) {
+    EXPECT_TRUE(seen.Contains(e.parent));
+    EXPECT_FALSE(seen.Contains(e.child));
+    ASSERT_NE(e.pred, nullptr);
+    seen = seen.With(e.child);
+  }
+  EXPECT_EQ(seen, tree.rels);
+}
+
+TEST(SemijoinTreeTest, CliqueIsRejectedAsCyclic) {
+  WorkloadOptions wopts;
+  wopts.topology = Topology::kClique;
+  wopts.num_rels = 4;
+  Workload w = GenerateWorkload(wopts);
+  SemijoinTree tree;
+  std::string why;
+  EXPECT_FALSE(BuildSemijoinTree(*w.query, RowsOf(w.db, 4), &tree, &why));
+  EXPECT_NE(why.find("cyclic"), std::string::npos) << why;
+}
+
+TEST(SemijoinTreeTest, SingleRelationIsRejected) {
+  WorkloadOptions wopts;
+  wopts.num_rels = 2;
+  Workload w = GenerateWorkload(wopts);
+  SemijoinTree tree;
+  std::string why;
+  EXPECT_FALSE(
+      BuildSemijoinTree(*Plan::Leaf(0), RowsOf(w.db, 2), &tree, &why));
+}
+
+TEST(SemijoinTreeTest, OuterJoinIsRejected) {
+  WorkloadOptions wopts;
+  wopts.num_rels = 3;
+  Workload w = GenerateWorkload(wopts);
+  // Rebuild the chain with one join flipped to a left outer join.
+  PredRef p01 = Eq(Col(0, "a"), Col(1, "a"));
+  PredRef p12 = Eq(Col(1, "a"), Col(2, "a"));
+  PlanPtr q = Plan::Join(JoinOp::kLeftOuter, p01, Plan::Leaf(0),
+                         Plan::Leaf(1));
+  q = Plan::Join(JoinOp::kInner, p12, std::move(q), Plan::Leaf(2));
+  SemijoinTree tree;
+  std::string why;
+  EXPECT_FALSE(BuildSemijoinTree(*q, RowsOf(w.db, 3), &tree, &why));
+}
+
+TEST(SemijoinTreeTest, CrossProductAndDisconnectedGraphAreRejected) {
+  WorkloadOptions wopts;
+  wopts.num_rels = 4;
+  Workload w = GenerateWorkload(wopts);
+  std::vector<int64_t> rows = RowsOf(w.db, 4);
+  PredRef p01 = Eq(Col(0, "a"), Col(1, "a"));
+  PredRef p23 = Eq(Col(2, "a"), Col(3, "a"));
+
+  // R0-R1 and R2-R3 combined by a predicate-free cross product.
+  PlanPtr q = Plan::Join(
+      JoinOp::kCross, nullptr,
+      Plan::Join(JoinOp::kInner, p01, Plan::Leaf(0), Plan::Leaf(1)),
+      Plan::Join(JoinOp::kInner, p23, Plan::Leaf(2), Plan::Leaf(3)));
+  SemijoinTree tree;
+  std::string why;
+  EXPECT_FALSE(BuildSemijoinTree(*q, rows, &tree, &why));
+
+  // All inner, every conjunct binary — but the top predicate re-joins
+  // R0-R1, so {R0,R1} and {R2,R3} stay disconnected components.
+  PredRef p01b = Eq(Col(0, "b"), Col(1, "b"));
+  q = Plan::Join(
+      JoinOp::kInner, p01b,
+      Plan::Join(JoinOp::kInner, p01, Plan::Leaf(0), Plan::Leaf(1)),
+      Plan::Join(JoinOp::kInner, p23, Plan::Leaf(2), Plan::Leaf(3)));
+  EXPECT_FALSE(BuildSemijoinTree(*q, rows, &tree, &why));
+  EXPECT_NE(why.find("connect"), std::string::npos) << why;
+}
+
+// A conjunct referencing a single relation (a self-join-shaped filter)
+// makes the query ineligible: the tree's edges need two endpoints.
+TEST(SemijoinTreeTest, SingleRelationConjunctIsRejected) {
+  WorkloadOptions wopts;
+  wopts.num_rels = 2;
+  Workload w = GenerateWorkload(wopts);
+  PredRef self = Eq(Col(0, "a"), Col(0, "b"));
+  PlanPtr q =
+      Plan::Join(JoinOp::kInner, self, Plan::Leaf(0), Plan::Leaf(1));
+  SemijoinTree tree;
+  std::string why;
+  EXPECT_FALSE(BuildSemijoinTree(*q, RowsOf(w.db, 2), &tree, &why));
+}
+
+// End to end through the facade: a cyclic query under the semijoin policy
+// falls back to DP (provenance note says so) and still matches the
+// unoptimized query's result.
+TEST(SemijoinPolicyTest, CyclicQueryFallsBackToDp) {
+  WorkloadOptions wopts;
+  wopts.topology = Topology::kClique;
+  wopts.num_rels = 4;
+  wopts.seed = 5;
+  Workload w = GenerateWorkload(wopts);
+  Optimizer::Options opts;
+  opts.plan_policy = PlanPolicy::kSemijoin;
+  Optimizer opt(opts);
+  auto best = opt.Optimize(*w.query, w.db);
+  ASSERT_NE(best.plan, nullptr);
+  EXPECT_FALSE(best.stats.degraded);
+  EXPECT_EQ(best.provenance.policy, "semijoin");
+  EXPECT_EQ(best.provenance.policy_note.rfind("ineligible", 0), 0u)
+      << best.provenance.policy_note;
+  Relation direct = opt.Execute(*w.query, w.db);
+  Relation got = opt.Execute(*best.plan, w.db);
+  ExpectSameRelation(direct, got, "cyclic semijoin fallback");
+}
+
+// The acyclic counterpart: the Yannakakis plan is built (semijoins
+// present), flagged in the provenance, and result-identical.
+TEST(SemijoinPolicyTest, AcyclicQueryGetsYannakakisPlan) {
+  for (Topology topo : {Topology::kChain, Topology::kStar}) {
+    WorkloadOptions wopts;
+    wopts.topology = topo;
+    wopts.num_rels = 5;
+    wopts.seed = 9;
+    Workload w = GenerateWorkload(wopts);
+    Optimizer::Options opts;
+    opts.plan_policy = PlanPolicy::kSemijoin;
+    Optimizer opt(opts);
+    auto best = opt.Optimize(*w.query, w.db);
+    ASSERT_NE(best.plan, nullptr);
+    EXPECT_FALSE(best.stats.degraded);
+    EXPECT_EQ(best.provenance.policy_note.rfind("yannakakis", 0), 0u)
+        << best.provenance.policy_note;
+    // Red(v) nests its children's reducers, so each non-root relation
+    // contributes at least one semijoin (deep chains contribute more).
+    EXPECT_GE(CountSemijoins(*best.plan), 4) << TopologyName(topo);
+    Relation direct = opt.Execute(*w.query, w.db);
+    Relation got = opt.Execute(*best.plan, w.db);
+    ExpectSameRelation(direct, got,
+                       std::string("yannakakis ") + TopologyName(topo));
+  }
+}
+
+}  // namespace
+}  // namespace eca

@@ -33,9 +33,11 @@ Fixture MakeFixture(int seed, int rels = 4) {
 }
 
 // The acceptance bar: max_enumerated_nodes=1 leaves no room to enumerate
-// anything, so the optimizer must fall back to the query as written and
-// flag the degradation.
-TEST(BudgetTest, OneNodeBudgetDegradesToUnreorderedQuery) {
+// anything, so no complete plan exists and the optimizer reroutes through
+// the sizes-only order (docs/planner-policies.md, "Degradation") — the
+// same trigger the service's admission degrade path reports, with the
+// cause recorded in the provenance note.
+TEST(BudgetTest, OneNodeBudgetDegradesToSizesOnlyOrder) {
   for (int seed = 0; seed < 6; ++seed) {
     Fixture f = MakeFixture(seed);
     Optimizer::Options opts;
@@ -44,7 +46,10 @@ TEST(BudgetTest, OneNodeBudgetDegradesToUnreorderedQuery) {
     auto best = opt.Optimize(*f.query, f.db);
     ASSERT_NE(best.plan, nullptr);
     EXPECT_TRUE(best.stats.degraded);
-    EXPECT_EQ(best.stats.trigger, BudgetTrigger::kEnumeratedNodes);
+    EXPECT_EQ(best.stats.trigger, BudgetTrigger::kSizesOnlyFallback);
+    EXPECT_NE(best.provenance.policy_note.find("no complete plan"),
+              std::string::npos)
+        << best.provenance.policy_note;
     Relation direct = opt.Execute(*f.query, f.db);
     Relation capped = opt.Execute(*best.plan, f.db);
     ExpectSameRelation(direct, capped, "1-node budget fallback");
@@ -113,7 +118,11 @@ TEST(BudgetTest, WallClockDeadlineDegrades) {
   Relation capped = timed.Execute(*best.plan, f.db);
   ExpectSameRelation(direct, capped, "deadline-capped optimization");
   if (best.stats.degraded) {
-    EXPECT_EQ(best.stats.trigger, BudgetTrigger::kWallClock);
+    // kWallClock when a complete plan survived the deadline,
+    // kSizesOnlyFallback when none did and the reroute produced the order.
+    EXPECT_TRUE(best.stats.trigger == BudgetTrigger::kWallClock ||
+                best.stats.trigger == BudgetTrigger::kSizesOnlyFallback)
+        << BudgetTriggerName(best.stats.trigger);
   }
 }
 
@@ -121,8 +130,10 @@ TEST(BudgetTest, WallClockDeadlineDegrades) {
 // observation advances fake time 1ms, so the deadline trips after a fixed
 // number of budget checks — no sleeping, no flakiness. The deadline is
 // observed both inside root tasks and at the wave barriers of the
-// parallel schedule, so every thread count must degrade to a valid
-// best-so-far plan with the kWallClock trigger.
+// parallel schedule, so every thread count must degrade to a valid plan:
+// kWallClock when a complete best-so-far plan survived the deadline,
+// kSizesOnlyFallback when none did and the sizes-only reroute produced
+// the order instead.
 TEST(BudgetTest, FaultClockDeadlineDegradesAtEveryThreadCount) {
   Fixture f = MakeFixture(5, 6);
   Relation direct = Optimizer().Execute(*f.query, f.db);
@@ -138,8 +149,10 @@ TEST(BudgetTest, FaultClockDeadlineDegradesAtEveryThreadCount) {
     }
     ASSERT_NE(best.plan, nullptr) << "threads " << threads;
     EXPECT_TRUE(best.stats.degraded) << "threads " << threads;
-    EXPECT_EQ(best.stats.trigger, BudgetTrigger::kWallClock)
-        << "threads " << threads;
+    EXPECT_TRUE(best.stats.trigger == BudgetTrigger::kWallClock ||
+                best.stats.trigger == BudgetTrigger::kSizesOnlyFallback)
+        << "threads " << threads << " trigger "
+        << BudgetTriggerName(best.stats.trigger);
     Relation timed = opt.Execute(*best.plan, f.db);
     ExpectSameRelation(direct, timed,
                        "fault-clock deadline, threads " +
@@ -148,7 +161,9 @@ TEST(BudgetTest, FaultClockDeadlineDegradesAtEveryThreadCount) {
 }
 
 // OptimizeGoverned clamps the enumeration budget to the context's
-// remaining deadline: one --timeout-ms covers optimization too.
+// remaining deadline: one --timeout-ms covers optimization too. The fake
+// clock eats the whole deadline before any complete plan exists, so the
+// no-complete-plan reroute stamps the sizes-only trigger.
 TEST(BudgetTest, GovernedOptimizeSharesDeadlineWithEnumerator) {
   Fixture f = MakeFixture(6, 6);
   ScopedFaultClock clock(/*now_ms=*/1000, /*step_ms=*/1);
@@ -160,11 +175,11 @@ TEST(BudgetTest, GovernedOptimizeSharesDeadlineWithEnumerator) {
   auto best = opt.OptimizeGoverned(*f.query, f.db, &ctx);
   ASSERT_NE(best.plan, nullptr);
   EXPECT_TRUE(best.stats.degraded);
-  EXPECT_EQ(best.stats.trigger, BudgetTrigger::kWallClock);
+  EXPECT_EQ(best.stats.trigger, BudgetTrigger::kSizesOnlyFallback);
 }
 
-// A context already past its deadline still yields a plan (the query as
-// written, degraded) — the caller decides whether to bother executing it.
+// A context already past its deadline still yields a plan (the sizes-only
+// order, degraded) — the caller decides whether to bother executing it.
 TEST(BudgetTest, ExpiredContextDegradesImmediately) {
   Fixture f = MakeFixture(7, 4);
   ScopedFaultClock clock(/*now_ms=*/1000, /*step_ms=*/1);
@@ -178,7 +193,7 @@ TEST(BudgetTest, ExpiredContextDegradesImmediately) {
   auto best = Optimizer().OptimizeGoverned(*f.query, f.db, &ctx);
   ASSERT_NE(best.plan, nullptr);
   EXPECT_TRUE(best.stats.degraded);
-  EXPECT_EQ(best.stats.trigger, BudgetTrigger::kWallClock);
+  EXPECT_EQ(best.stats.trigger, BudgetTrigger::kSizesOnlyFallback);
 }
 
 // Each fault-injection point, armed: valid plan, degraded=true, result

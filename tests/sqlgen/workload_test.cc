@@ -1,0 +1,97 @@
+// The JOB-style workload generator (sqlgen/workload.h): determinism,
+// topology shapes, and the conjunct structure the policy layer's
+// acyclicity analysis depends on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "enumerate/acyclic.h"
+#include "sqlgen/workload.h"
+
+#include "../test_util.h"
+
+namespace eca {
+namespace {
+
+TEST(WorkloadTest, ParseTopologyRoundTripsAndRejectsUnknown) {
+  for (Topology t : {Topology::kChain, Topology::kStar, Topology::kClique}) {
+    EXPECT_EQ(*ParseTopology(TopologyName(t)), t);
+  }
+  EXPECT_EQ(*ParseTopology("Star"), Topology::kStar);
+  EXPECT_FALSE(ParseTopology("snowflake").ok());
+}
+
+TEST(WorkloadTest, SameSeedSameWorkload) {
+  WorkloadOptions wopts;
+  wopts.topology = Topology::kStar;
+  wopts.num_rels = 9;
+  wopts.seed = 42;
+  Workload a = GenerateWorkload(wopts);
+  Workload b = GenerateWorkload(wopts);
+  EXPECT_EQ(a.query->ToString(), b.query->ToString());
+  ASSERT_EQ(a.db.NumTables(), b.db.NumTables());
+  for (int i = 0; i < a.db.NumTables(); ++i) {
+    ExpectSameRelation(a.db.table(i), b.db.table(i),
+                       "table R" + std::to_string(i));
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDifferentData) {
+  WorkloadOptions wopts;
+  wopts.num_rels = 8;
+  wopts.seed = 1;
+  Workload a = GenerateWorkload(wopts);
+  wopts.seed = 2;
+  Workload b = GenerateWorkload(wopts);
+  bool any_differs = false;
+  for (int i = 0; i < a.db.NumTables() && !any_differs; ++i) {
+    any_differs = a.db.table(i).NumRows() != b.db.table(i).NumRows() ||
+                  a.db.table(i).ToString() != b.db.table(i).ToString();
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(WorkloadTest, GeneratesOneTablePerRelation) {
+  for (int n : {8, 12, 20}) {
+    WorkloadOptions wopts;
+    wopts.num_rels = n;
+    Workload w = GenerateWorkload(wopts);
+    EXPECT_EQ(w.db.NumTables(), n);
+    ASSERT_NE(w.query, nullptr);
+  }
+}
+
+// The conjunct-level hyperedge structure is the generator's contract with
+// the policy layer: chains and stars reduce under GYO, cliques do not,
+// and the edge counts match the topology definition.
+TEST(WorkloadTest, TopologyShapesMatchTheirConjunctGraphs) {
+  const int n = 7;
+  RelSet universe;
+  for (int i = 0; i < n; ++i) universe = universe.With(i);
+
+  WorkloadOptions wopts;
+  wopts.num_rels = n;
+
+  wopts.topology = Topology::kChain;
+  std::vector<RelSet> chain = ConjunctRefSets(*GenerateWorkload(wopts).query);
+  EXPECT_EQ(chain.size(), static_cast<size_t>(n - 1));
+  EXPECT_TRUE(GyoAcyclic(universe, chain));
+
+  wopts.topology = Topology::kStar;
+  std::vector<RelSet> star = ConjunctRefSets(*GenerateWorkload(wopts).query);
+  EXPECT_EQ(star.size(), static_cast<size_t>(n - 1));
+  EXPECT_TRUE(GyoAcyclic(universe, star));
+  // Every star conjunct touches the hub.
+  for (const RelSet& e : star) EXPECT_TRUE(e.Contains(0));
+
+  wopts.topology = Topology::kClique;
+  std::vector<RelSet> clique =
+      ConjunctRefSets(*GenerateWorkload(wopts).query);
+  EXPECT_EQ(clique.size(), static_cast<size_t>(n * (n - 1) / 2));
+  EXPECT_FALSE(GyoAcyclic(universe, clique));
+}
+
+}  // namespace
+}  // namespace eca

@@ -5,9 +5,9 @@ Used by the CI bench-regression job (docs/observability.md):
 
     bench_check.py --baseline BENCH_enum.json --candidate build/enum.json
 
-The bench type is autodetected from the "bench" field; the three
+The bench type is autodetected from the "bench" field; the four
 recognized producers are bench_enumerator_perf, bench_parallel_exec
-("parallel_exec") and bench_spill.
+("parallel_exec"), bench_spill and bench_policy.
 
 Two classes of checks:
 
@@ -47,6 +47,20 @@ FAIL = "FAIL"
 # all scheduling noise, so the gate starts where enumeration time does.
 ENUM_T4_T1_LIMIT = 1.05
 ENUM_RATIO_MIN_RELS = 7
+
+# bench_policy planning-time gates: the cheap policies must stay under a
+# fixed fraction of DP's planning time, summed over the rows where both
+# sides do real work. Ratios are within-run (policy ms / dp ms on the same
+# machine, same workloads), so machine speed cancels. The fraction is
+# deliberately loose -- measured values sit near 0.001; a policy that
+# silently falls through to DP enumeration lands near 1.0, which is what
+# the gate exists to catch.
+POLICY_RATIO_LIMIT = 0.2
+# sizes-only plans every size; the gate starts where DP time is
+# non-trivial. greedy defers to DP at <= max_join_size (10) relations by
+# design, so its ratio is only meaningful from 12 relations up.
+POLICY_SIZES_MIN_RELS = 10
+POLICY_GREEDY_MIN_RELS = 12
 
 
 class Checker:
@@ -227,10 +241,81 @@ def check_spill(c, base, cand, max_regress):
     c.gate(f"all baseline rows present (missing: {sorted(missing)})", not missing)
 
 
+def check_policy(c, base, cand, max_regress):
+    del max_regress  # gates are absolute contracts and fixed ratios
+    c.gate(
+        f"contract_pass: {base['contract_pass']} -> {cand['contract_pass']}",
+        cand["contract_pass"] is True,
+    )
+    base_rows = {(r["topology"], r["rels"]): r for r in base["rows"]}
+    dp_ms_sizes, sizes_ms = 0.0, 0.0
+    dp_ms_greedy, greedy_ms = 0.0, 0.0
+    for row in cand["rows"]:
+        key = (row["topology"], row["rels"])
+        b = base_rows.get(key)
+        if b is None:
+            c.info(f"{key}: no baseline row, skipping")
+            continue
+        topo, rels = key
+        # Policy contract: deliberate policies never degrade; the Yannakakis
+        # pass fires on every acyclic workload and never on a cyclic one;
+        # the default DP budget completes small queries and trips on the
+        # star workloads the cheap policies exist for.
+        c.gate(
+            f"{key} sizes-only/greedy undegraded",
+            row["sizes_only_degraded"] == 0 and row["greedy_degraded"] == 0,
+        )
+        if topo == "clique":
+            c.gate(f"{key} semijoin defers on cyclic", row["semijoin_applied"] == 0)
+        else:
+            c.gate(
+                f"{key} semijoin applied {row['semijoin_applied']}/{row['queries']}",
+                row["semijoin_applied"] == row["queries"],
+            )
+        if rels <= 10:
+            c.gate(f"{key} dp completes inside budget", row["dp_degraded"] == 0)
+        if topo == "star" and rels >= 12:
+            c.gate(
+                f"{key} dp trips budget ({row['dp_degraded']}/{row['queries']})",
+                row["dp_degraded"] > 0,
+            )
+        if rels >= POLICY_SIZES_MIN_RELS:
+            dp_ms_sizes += row["dp_ms"]
+            sizes_ms += row["sizes_only_ms"]
+        if rels >= POLICY_GREEDY_MIN_RELS:
+            dp_ms_greedy += row["dp_ms"]
+            greedy_ms += row["greedy_ms"]
+        c.info(
+            f"{key}: dp {row['dp_ms']:.1f} ms / {row['dp_subplan_calls']} calls, "
+            f"sizes {row['sizes_only_ms']:.2f} ms, greedy {row['greedy_ms']:.2f} ms, "
+            f"semijoin {row['semijoin_ms']:.2f} ms "
+            f"(baseline dp {b['dp_ms']:.1f} ms)"
+        )
+    if dp_ms_sizes > 0:
+        ratio = sizes_ms / dp_ms_sizes
+        c.gate(
+            f"sizes-only/dp planning-time ratio at rels>="
+            f"{POLICY_SIZES_MIN_RELS}: {ratio:.4f}",
+            ratio <= POLICY_RATIO_LIMIT,
+            f"(limit {POLICY_RATIO_LIMIT})",
+        )
+    if dp_ms_greedy > 0:
+        ratio = greedy_ms / dp_ms_greedy
+        c.gate(
+            f"greedy/dp planning-time ratio at rels>="
+            f"{POLICY_GREEDY_MIN_RELS}: {ratio:.4f}",
+            ratio <= POLICY_RATIO_LIMIT,
+            f"(limit {POLICY_RATIO_LIMIT})",
+        )
+    missing = set(base_rows) - {(r["topology"], r["rels"]) for r in cand["rows"]}
+    c.gate(f"all baseline rows present (missing: {sorted(missing)})", not missing)
+
+
 CHECKERS = {
     "bench_enumerator_perf": check_enum,
     "parallel_exec": check_exec,
     "bench_spill": check_spill,
+    "bench_policy": check_policy,
 }
 
 

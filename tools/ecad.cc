@@ -4,7 +4,7 @@
 //        [--data <dir>] [--threads N] [--max-concurrent N]
 //        [--queue-depth N] [--commit-limit-mb N] [--client-mem-limit-mb N]
 //        [--est-run-ms N] [--degrade-below-ms N] [--default-timeout-ms N]
-//        [--plan-cache-mb N]
+//        [--plan-cache-mb N] [--policy <dp|sizes-only|greedy|semijoin>]
 //
 // Serves QUERY / METRICS / PING requests (length-prefixed frames, see
 // src/service/wire.h) over a unix-domain socket until SIGTERM or SIGINT,
@@ -31,6 +31,10 @@
 //   --plan-cache-mb       cross-query plan cache byte budget: proven
 //                         subplans survive across queries (memo.* hit
 //                         metrics; 0 = off, the default)
+//   --policy              default plan policy for queries that send no
+//                         "policy" field (docs/planner-policies.md);
+//                         admission-forced degradation still downgrades
+//                         to sizes-only with degraded=1 in the response
 //   --plan-cache-file     crash-safe cache persistence: load the snapshot
 //                         + write-behind log on startup (after the orphan
 //                         sweep), flush on --cache-flush-ms and on drain.
@@ -77,6 +81,7 @@ int Usage() {
       "[--queue-depth N] [--commit-limit-mb N] [--client-mem-limit-mb N] "
       "[--est-run-ms N] [--degrade-below-ms N] [--default-timeout-ms N] "
       "[--plan-cache-mb N] [--plan-cache-file <path>] [--cache-flush-ms N] "
+      "[--policy <dp|sizes-only|greedy|semijoin>] "
       "[--crash-at N] [--fault-accept N] [--fault-write N]\n");
   return 2;
 }
@@ -233,6 +238,16 @@ int Main(int argc, char** argv) {
         return 2;
       }
       config.service.cache_flush_ms = parsed;
+    } else if (std::strcmp(argv[i], "--policy") == 0) {
+      const char* v = next("--policy");
+      if (v == nullptr) return 2;
+      StatusOr<PlanPolicy> parsed_policy = ParsePlanPolicy(v);
+      if (!parsed_policy.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     parsed_policy.status().ToString().c_str());
+        return 2;
+      }
+      config.service.policy = *parsed_policy;
     } else if (std::strcmp(argv[i], "--crash-at") == 0) {
       const char* v = next("--crash-at");
       if (v == nullptr || !ParseIntFlag("--crash-at", v, 1, &crash_at)) {

@@ -43,6 +43,16 @@
 //             snapshot writer, so the CI lane is self-contained;
 //             tools/chaos_smoke.sh points this mode at cache files a real
 //             daemon wrote and was SIGKILLed over.
+//   --policy <p>  plan-policy differential over seeded JOB-style workloads
+//             (src/sqlgen/workload.h): chain, star and clique topologies
+//             of 8+ relations, each optimized under the named policy (dp /
+//             sizes-only / greedy / semijoin — "all" runs every policy on
+//             every workload) and executed against the unoptimized query
+//             as the multiset-identity oracle. dp runs under a fixed
+//             deterministic node budget (large join graphs are the whole
+//             point), so its degraded fallback path is exercised too; a
+//             semijoin run must apply the Yannakakis pass on at least one
+//             acyclic workload or the run fails.
 //   --mem-limit-mb  spilled-vs-in-memory differential: after the oracle
 //             comparison, the optimized plan is re-executed under a
 //             resource governor with the given hard limit and a
@@ -71,6 +81,7 @@
 #include "enumerate/shared_memo.h"
 #include "exec/executor.h"
 #include "exec/query_context.h"
+#include "sqlgen/workload.h"
 #include "storage/cache_store.h"
 #include "testing/fault_injection.h"
 #include "testing/random_data.h"
@@ -91,6 +102,10 @@ struct FuzzConfig {
   // --cache-file: corruption-fuzz a persistent plan-cache file instead of
   // running query differentials (empty = off).
   std::string cache_file;
+  // --policy: plan-policy differential over generated JOB-style workloads
+  // ("dp" / "sizes-only" / "greedy" / "semijoin" smoke one policy, "all"
+  // runs the cross-policy multiset-identity differential; "" = off).
+  std::string policy;
   int64_t mem_limit_mb = 0;  // > 0: governed re-execution differential
   // Executor morsel/chunk granularity for the optimized side (0 = engine
   // default). Results must be byte-identical for every legal value, so
@@ -687,6 +702,127 @@ int RunCacheFileFuzz(const FuzzConfig& cfg) {
   return failures == 0 ? 0 : 1;
 }
 
+// --policy mode: the cross-policy differential over JOB-style workloads.
+// Every iteration generates a seeded (database, query) pair in a rotating
+// topology (chain / star / clique) with 8+ relations, optimizes it under
+// each requested policy, validates the plan (relaxed: Yannakakis reducers
+// hide duplicate leaves in pruning sides) and compares execution against
+// the unoptimized query. The node budget given to dp is deterministic, so
+// the runs where dp trips its budget — and reroutes through the
+// sizes-only fallback — replay exactly from the printed seed.
+int RunPolicyFuzz(const FuzzConfig& cfg, const std::string& repro_suffix) {
+  std::vector<PlanPolicy> policies;
+  if (cfg.policy == "all") {
+    policies = {PlanPolicy::kDp, PlanPolicy::kSizesOnly, PlanPolicy::kGreedy,
+                PlanPolicy::kSemijoin};
+  } else {
+    StatusOr<PlanPolicy> parsed = ParsePlanPolicy(cfg.policy);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    policies = {*parsed};
+  }
+  const Topology topologies[] = {Topology::kChain, Topology::kStar,
+                                 Topology::kClique};
+
+  int64_t failures = 0, degraded = 0, semijoin_applied = 0;
+  bool semijoin_ran = false;
+  for (int64_t i = 0; i < cfg.queries; ++i) {
+    uint64_t seed = cfg.seed + static_cast<uint64_t>(i);
+    Rng rng(seed * 0x51f15eedULL + 3);
+    WorkloadOptions wopts;
+    wopts.topology = topologies[i % 3];
+    wopts.num_rels = static_cast<int>(
+        rng.Uniform(8, cfg.max_rels > 8 ? cfg.max_rels : 12));
+    wopts.seed = seed;
+    // Small rows and a tight domain keep chains of 8+ inner joins
+    // executable: the expected per-join growth factor stays near 1.
+    wopts.data.min_rows = 2;
+    wopts.data.max_rows = 6;
+    wopts.data.domain = 3;
+    Workload w = GenerateWorkload(wopts);
+
+    Optimizer plain;  // the oracle executes the query as written
+    Relation expect = plain.Execute(*w.query, w.db);
+
+    for (PlanPolicy policy : policies) {
+      Optimizer::Options opts;
+      opts.plan_policy = policy;
+      if (policy == PlanPolicy::kDp) {
+        // Large join graphs are the point of this mode; an unbudgeted DP
+        // enumeration over 8-20 relations would dominate the run. The
+        // node cap is deterministic (unlike wall clock), so every
+        // degraded trial replays bit-for-bit from its seed.
+        opts.budget.max_enumerated_nodes = 20000;
+      }
+      Optimizer opt(opts);
+      Optimizer::Optimized best = opt.Optimize(*w.query, w.db);
+      std::string failure;
+      ValidateOptions vopts;
+      vopts.allow_hidden_duplicates = true;
+      Status valid =
+          ValidatePlanStatus(*best.plan, w.db.BaseSchemas(), vopts);
+      if (!valid.ok()) {
+        failure = "optimized plan fails validation: " + valid.ToString();
+      } else if ((policy == PlanPolicy::kSizesOnly ||
+                  policy == PlanPolicy::kGreedy) &&
+                 best.stats.degraded) {
+        // Deliberate policy choices are not degradations; only budget or
+        // deadline fallbacks may set the flag.
+        failure = "policy-selected planner flagged stats.degraded";
+      } else {
+        Relation got = opt.Execute(*best.plan, w.db);
+        if (!SameMultiset(CanonicalizeColumnOrder(expect),
+                          CanonicalizeColumnOrder(got))) {
+          failure =
+              "POLICY DIVERGENCE: optimized plan result differs from the "
+              "query\n" +
+              best.plan->ToString();
+        }
+      }
+      if (best.stats.degraded) ++degraded;
+      if (policy == PlanPolicy::kSemijoin) {
+        semijoin_ran = true;
+        if (best.provenance.policy_note.rfind("yannakakis", 0) == 0) {
+          ++semijoin_applied;
+        }
+      }
+      if (!failure.empty()) {
+        std::fprintf(
+            stderr,
+            "seed %llu [%s, %d rels, policy %s]: %s\n"
+            "  repro: ecafuzz --seed %llu --queries 1%s\n",
+            static_cast<unsigned long long>(seed),
+            TopologyName(wopts.topology), wopts.num_rels,
+            PlanPolicyName(policy), failure.c_str(),
+            static_cast<unsigned long long>(seed), repro_suffix.c_str());
+        ++failures;
+      } else if (cfg.verbose) {
+        std::printf("seed %llu [%s, %d rels] policy %s ok%s\n",
+                    static_cast<unsigned long long>(seed),
+                    TopologyName(wopts.topology), wopts.num_rels,
+                    PlanPolicyName(policy),
+                    best.stats.degraded ? " [degraded]" : "");
+      }
+    }
+  }
+  if (semijoin_ran && semijoin_applied == 0) {
+    std::fprintf(stderr,
+                 "semijoin policy never applied the Yannakakis pass — the "
+                 "chain/star workloads should be GYO-acyclic\n");
+    ++failures;
+  }
+  std::printf(
+      "ecafuzz --policy %s: %lld workloads x %zu policies, %lld degraded "
+      "gracefully, %lld yannakakis plans, %lld failure(s)\n",
+      cfg.policy.c_str(), static_cast<long long>(cfg.queries),
+      policies.size(), static_cast<long long>(degraded),
+      static_cast<long long>(semijoin_applied),
+      static_cast<long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
+
 // Parses command-line flags into `cfg`. Returns false (after printing
 // usage) on an unknown flag. `queries_set` reports whether --queries was
 // given explicitly (smoke mode lowers the default).
@@ -712,6 +848,8 @@ bool ParseArgs(int argc, char** argv, FuzzConfig* cfg, bool* queries_set) {
       cfg->plan_cache = true;
     } else if (std::strcmp(argv[i], "--cache-file") == 0 && i + 1 < argc) {
       cfg->cache_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      cfg->policy = argv[++i];
     } else if (std::strcmp(argv[i], "--mem-limit-mb") == 0 && i + 1 < argc) {
       cfg->mem_limit_mb = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--morsel-rows") == 0 && i + 1 < argc) {
@@ -723,7 +861,9 @@ bool ParseArgs(int argc, char** argv, FuzzConfig* cfg, bool* queries_set) {
                    "unknown argument '%s'\nusage: ecafuzz [--queries N] "
                    "[--seed S] [--max-rels N] [--threads N] [--smoke] "
                    "[--verbose] [--enum-diff] [--plan-cache] "
-                   "[--cache-file PATH] [--mem-limit-mb N] "
+                   "[--cache-file PATH] "
+                   "[--policy dp|sizes-only|greedy|semijoin|all] "
+                   "[--mem-limit-mb N] "
                    "[--morsel-rows N] [--chunk-rows N]\n",
                    argv[i]);
       return false;
@@ -751,6 +891,9 @@ std::string ReproSuffix(const FuzzConfig& cfg) {
   }
   if (!cfg.cache_file.empty()) {
     repro_suffix += " --cache-file " + cfg.cache_file;
+  }
+  if (!cfg.policy.empty()) {
+    repro_suffix += " --policy " + cfg.policy;
   }
   if (cfg.mem_limit_mb > 0) {
     repro_suffix += " --mem-limit-mb " + std::to_string(cfg.mem_limit_mb);
@@ -792,6 +935,7 @@ bool ReproSuffixRoundTrips(const FuzzConfig& cfg) {
          replay.max_rels == cfg.max_rels && replay.threads == cfg.threads &&
          replay.plan_cache == cfg.plan_cache &&
          replay.cache_file == cfg.cache_file &&
+         replay.policy == cfg.policy &&
          replay.mem_limit_mb == cfg.mem_limit_mb &&
          replay.morsel_rows == cfg.morsel_rows &&
          replay.chunk_rows == cfg.chunk_rows && queries_set &&
@@ -802,7 +946,11 @@ int Main(int argc, char** argv) {
   FuzzConfig cfg;
   bool queries_set = false;
   if (!ParseArgs(argc, argv, &cfg, &queries_set)) return 2;
-  if (cfg.smoke && !queries_set) cfg.queries = 200;
+  if (cfg.smoke && !queries_set) {
+    // Policy trials optimize and execute 8+-relation workloads per policy,
+    // an order of magnitude heavier than a default trial.
+    cfg.queries = cfg.policy.empty() ? 200 : 24;
+  }
   if (cfg.max_rels < 2 || cfg.queries <= 0 || cfg.threads < 1 ||
       cfg.mem_limit_mb < 0 || cfg.morsel_rows < 0 || cfg.chunk_rows < 0) {
     std::fprintf(stderr,
@@ -820,6 +968,8 @@ int Main(int argc, char** argv) {
   std::string repro_suffix = ReproSuffix(cfg);
 
   if (!cfg.cache_file.empty()) return RunCacheFileFuzz(cfg);
+
+  if (!cfg.policy.empty()) return RunPolicyFuzz(cfg, repro_suffix);
 
   if (cfg.enum_diff) {
     // --plan-cache: one shared memo for the whole run, tracked so the

@@ -110,7 +110,8 @@ int Usage() {
                "  ecatool gen-tpch <sf> <dir>\n"
                "  ecatool orderings \"<plan>\" --pred name=\"<expr>\"...\n"
                "  ecatool explain \"<plan>\" --pred name=\"<expr>\"... "
-               "[--rows N] [--approach eca|tba|cba] [--data <dir>] "
+               "[--rows N] [--approach eca|tba|cba] "
+               "[--policy dp|sizes-only|greedy|semijoin] [--data <dir>] "
                "[--threads N] [--morsel-rows N] [--chunk-rows N] "
                "[--explain-stats] "
                "[--timeout-ms N] [--mem-limit-mb N] [--spill-dir <dir>] "
@@ -140,6 +141,9 @@ bool ParseIntFlag(const char* flag, const char* text, int64_t min,
 // Optional-flag sink for explain: approaches to run and a data directory.
 struct ExplainArgs {
   std::vector<Optimizer::Approach> approaches;
+  // Plan policy applied to every listed approach
+  // (docs/planner-policies.md); provenance records it per plan.
+  PlanPolicy policy = PlanPolicy::kDp;
   std::string data_dir;
   int num_threads = 1;
   int64_t morsel_rows = 0;  // 0 = executor default
@@ -170,6 +174,14 @@ bool ParsePredArgs(int argc, char** argv, int start,
         return false;
       }
       explain->approaches.push_back(*approach);
+    } else if (explain != nullptr && std::strcmp(argv[i], "--policy") == 0 &&
+               i + 1 < argc) {
+      auto policy = ParsePlanPolicy(argv[++i]);
+      if (!policy.ok()) {
+        std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+        return false;
+      }
+      explain->policy = *policy;
     } else if (explain != nullptr && std::strcmp(argv[i], "--data") == 0 &&
                i + 1 < argc) {
       explain->data_dir = argv[++i];
@@ -437,6 +449,7 @@ int Explain(int argc, char** argv) {
     }
     Optimizer::Options opts;
     opts.approach = approach;
+    opts.plan_policy = extra.policy;
     opts.num_threads = extra.num_threads;
     if (extra.morsel_rows > 0) {
       opts.exec_tuning.morsel_rows = static_cast<int>(extra.morsel_rows);
